@@ -1,0 +1,223 @@
+//! DMA engine emulation and accounting.
+//!
+//! On SW26010 every byte a CPE kernel touches crosses the REG–LDM–MEM hierarchy
+//! through explicit DMA (§III-B). The emulated engine performs the copy *and*
+//! counts transactions and bytes; its counters feed the performance model's
+//! effective-bandwidth curve, and they are what the fusion / sharing ablations
+//! compare (the paper's "reduce 4 DMA operations in one time step").
+
+use crate::ldm::{Ldm, LdmBuf};
+
+/// Transaction and byte counters of one DMA engine (per CPE or aggregated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaCounters {
+    /// Number of `get` (memory → LDM) transactions.
+    pub gets: u64,
+    /// Number of `put` (LDM → memory) transactions.
+    pub puts: u64,
+    /// Bytes moved memory → LDM.
+    pub bytes_in: u64,
+    /// Bytes moved LDM → memory.
+    pub bytes_out: u64,
+}
+
+impl DmaCounters {
+    /// Total transactions.
+    pub fn transactions(&self) -> u64 {
+        self.gets + self.puts
+    }
+
+    /// Total bytes in both directions.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+
+    /// Mean transaction size in bytes (0 if idle).
+    pub fn mean_transaction_bytes(&self) -> f64 {
+        let t = self.transactions();
+        if t == 0 {
+            0.0
+        } else {
+            self.bytes() as f64 / t as f64
+        }
+    }
+
+    /// Accumulate another engine's counters (for cluster-level totals).
+    pub fn merge(&mut self, other: &DmaCounters) {
+        self.gets += other.gets;
+        self.puts += other.puts;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
+}
+
+/// The emulated DMA engine of one CPE.
+#[derive(Debug, Clone, Default)]
+pub struct DmaEngine {
+    counters: DmaCounters,
+}
+
+impl DmaEngine {
+    /// Fresh engine with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> DmaCounters {
+        self.counters
+    }
+
+    /// Reset counters (between measured phases).
+    pub fn reset(&mut self) {
+        self.counters = DmaCounters::default();
+    }
+
+    /// `dma_get`: copy `src[src_off .. src_off+n]` from main memory into LDM
+    /// buffer `dst` at `dst_off`. One transaction, `8n` bytes.
+    pub fn get(
+        &mut self,
+        mem: &[f64],
+        src_off: usize,
+        n: usize,
+        ldm: &mut Ldm,
+        dst: LdmBuf,
+        dst_off: usize,
+    ) {
+        ldm.slice_mut(dst)[dst_off..dst_off + n].copy_from_slice(&mem[src_off..src_off + n]);
+        self.counters.gets += 1;
+        self.counters.bytes_in += (n * 8) as u64;
+    }
+
+    /// `dma_put`: copy `n` slots from LDM buffer `src` at `src_off` to main
+    /// memory at `dst_off`. One transaction, `8n` bytes.
+    pub fn put(
+        &mut self,
+        ldm: &Ldm,
+        src: LdmBuf,
+        src_off: usize,
+        n: usize,
+        mem: &mut [f64],
+        dst_off: usize,
+    ) {
+        mem[dst_off..dst_off + n].copy_from_slice(&ldm.slice(src)[src_off..src_off + n]);
+        self.counters.puts += 1;
+        self.counters.bytes_out += (n * 8) as u64;
+    }
+
+    /// Strided `dma_get`: `rows` runs of `run` slots each, source rows separated
+    /// by `src_stride`, packed densely into LDM. Counted as one transaction per
+    /// row (the SW26010 DMA issues row-granular bursts for strided descriptors).
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_strided(
+        &mut self,
+        mem: &[f64],
+        src_off: usize,
+        run: usize,
+        rows: usize,
+        src_stride: usize,
+        ldm: &mut Ldm,
+        dst: LdmBuf,
+        dst_off: usize,
+    ) {
+        for r in 0..rows {
+            self.get(mem, src_off + r * src_stride, run, ldm, dst, dst_off + r * run);
+        }
+    }
+
+    /// Model time for these counters on an engine with peak bandwidth `bw`
+    /// \[B/s\] and per-transaction startup `s_half / bw` (the latency–bandwidth
+    /// curve of the perf model, expressed via the half-efficiency size).
+    pub fn model_time(&self, bw: f64, s_half: f64) -> f64 {
+        let bytes = self.counters.bytes() as f64;
+        let startup_bytes = self.counters.transactions() as f64 * s_half;
+        (bytes + startup_bytes) / bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_copies_and_counts() {
+        let mem: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut ldm = Ldm::new(8 * 1024);
+        let buf = ldm.alloc(10).unwrap();
+        let mut dma = DmaEngine::new();
+        dma.get(&mem, 20, 10, &mut ldm, buf, 0);
+        assert_eq!(ldm.slice(buf)[0], 20.0);
+        assert_eq!(ldm.slice(buf)[9], 29.0);
+        let c = dma.counters();
+        assert_eq!(c.gets, 1);
+        assert_eq!(c.bytes_in, 80);
+    }
+
+    #[test]
+    fn put_copies_back_and_counts() {
+        let mut mem = vec![0.0; 50];
+        let mut ldm = Ldm::new(8 * 1024);
+        let buf = ldm.alloc(5).unwrap();
+        ldm.slice_mut(buf).copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut dma = DmaEngine::new();
+        dma.put(&ldm, buf, 1, 3, &mut mem, 10);
+        assert_eq!(&mem[10..13], &[2.0, 3.0, 4.0]);
+        let c = dma.counters();
+        assert_eq!(c.puts, 1);
+        assert_eq!(c.bytes_out, 24);
+    }
+
+    #[test]
+    fn strided_get_packs_rows() {
+        // 3 rows of 4 from a 10-wide matrix.
+        let mem: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut ldm = Ldm::new(8 * 1024);
+        let buf = ldm.alloc(12).unwrap();
+        let mut dma = DmaEngine::new();
+        dma.get_strided(&mem, 2, 4, 3, 10, &mut ldm, buf, 0);
+        assert_eq!(ldm.slice(buf), &[
+            2.0, 3.0, 4.0, 5.0, 12.0, 13.0, 14.0, 15.0, 22.0, 23.0, 24.0, 25.0
+        ]);
+        assert_eq!(dma.counters().gets, 3);
+        assert_eq!(dma.counters().bytes_in, 96);
+    }
+
+    #[test]
+    fn mean_transaction_size_and_merge() {
+        let mut a = DmaCounters {
+            gets: 2,
+            puts: 0,
+            bytes_in: 800,
+            bytes_out: 0,
+        };
+        let b = DmaCounters {
+            gets: 0,
+            puts: 2,
+            bytes_in: 0,
+            bytes_out: 800,
+        };
+        a.merge(&b);
+        assert_eq!(a.transactions(), 4);
+        assert_eq!(a.bytes(), 1600);
+        assert!((a.mean_transaction_bytes() - 400.0).abs() < 1e-12);
+        assert_eq!(DmaCounters::default().mean_transaction_bytes(), 0.0);
+    }
+
+    #[test]
+    fn model_time_includes_startup_charge() {
+        let mut dma = DmaEngine::new();
+        let mem = vec![0.0; 100];
+        let mut ldm = Ldm::new(8 * 1024);
+        let buf = ldm.alloc(100).unwrap();
+        // 10 transactions of 10 slots (80 B each).
+        for i in 0..10 {
+            dma.get(&mem, 0, 10, &mut ldm, buf, i * 10);
+        }
+        let bw = 1e9;
+        let t_no_startup = dma.model_time(bw, 0.0);
+        let t_startup = dma.model_time(bw, 80.0);
+        assert!((t_no_startup - 800.0 / 1e9).abs() < 1e-15);
+        // With s_half equal to the transaction size, efficiency is 50 %.
+        assert!((t_startup - 2.0 * t_no_startup).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,302 @@
+//! Performance model of the GPU-cluster port (paper §IV-E, Figs. 11 & 17).
+//!
+//! The paper evaluates portability on nodes with 2 × Xeon 6248R and 8 × RTX 3090,
+//! reporting a 191× speedup of the fully optimized 8-GPU node over the naive
+//! one-socket MPI baseline and 83.8 % memory-bandwidth utilization, plus 86.3 %
+//! strong-scaling efficiency from 1 to 8 nodes (64 GPUs).
+//!
+//! The model mirrors the paper's optimization ladder:
+//!
+//! 1. **CPU baseline** — unfused (two-pass) kernel on one socket, memory-bound.
+//! 2. **Kernel fusion** — traffic halves (380 B/LUP instead of 760).
+//! 3. **Parallelization** — offload to 8 GPUs with pinned host memory, but halo
+//!    exchange still staged through the host (D2H → MPI → H2D over PCIe).
+//! 4. **Computation opt.** — precomputed divisions/squares lift the achieved
+//!    HBM efficiency (fewer stalls between memory bursts).
+//! 5. **Communication opt.** — NCCL moves halos GPU-to-GPU directly.
+//!
+//! Calibrations (documented): one-socket effective bandwidth 0.50 × 131.2 GB/s;
+//! HBM efficiency 0.55 → 0.65 → 0.838 along stages 3–5 (the final value is the
+//! paper's measured utilization); PCIe 12 GB/s; NCCL exchanges charged half the
+//! serialized injection (pairwise transfers overlap on the bidirectional fabric).
+
+use crate::machine::MachineSpec;
+use crate::perf::{ScalePoint, Workload, BYTES_PER_LUP, BYTES_PER_LUP_SPLIT};
+use swlb_comm::netmodel::NetworkModel;
+use swlb_comm::Cart2d;
+
+/// The optimization stages of the paper's Fig. 11 ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuStage {
+    /// Naive MPI code on one CPU socket (two-pass kernel).
+    CpuBaseline,
+    /// Fused kernel, still CPU-only.
+    KernelFusion,
+    /// 8 GPUs + pinned memory; halos staged through the host.
+    Parallelization,
+    /// Precomputed divisions/squares.
+    ComputationOpt,
+    /// NCCL GPU-to-GPU halo exchange.
+    CommunicationOpt,
+}
+
+impl GpuStage {
+    /// All stages in ladder order.
+    pub const LADDER: [GpuStage; 5] = [
+        GpuStage::CpuBaseline,
+        GpuStage::KernelFusion,
+        GpuStage::Parallelization,
+        GpuStage::ComputationOpt,
+        GpuStage::CommunicationOpt,
+    ];
+
+    /// Display label matching the paper's Fig. 11 captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GpuStage::CpuBaseline => "CPU",
+            GpuStage::KernelFusion => "Kernel Fusion",
+            GpuStage::Parallelization => "Parallelization",
+            GpuStage::ComputationOpt => "Computation Opt.",
+            GpuStage::CommunicationOpt => "Communication Opt.",
+        }
+    }
+}
+
+/// GPU-node and cluster performance model.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuModel {
+    /// Machine description (per-GPU spec in the `cg` slot).
+    pub machine: MachineSpec,
+    /// Cluster interconnect (NCCL intra-node, 100 Gb/s fabric inter-node).
+    pub net: NetworkModel,
+    /// Flops per lattice update for sustained-Flops accounting.
+    pub flops_per_lup: f64,
+    /// One-socket memory bandwidth \[B/s\] (6-channel DDR4-2933).
+    pub cpu_bw: f64,
+    /// Fraction of socket bandwidth the naive baseline achieves (calibration).
+    pub cpu_eff: f64,
+    /// Host↔device PCIe bandwidth \[B/s\].
+    pub pcie_bw: f64,
+    /// HBM efficiency right after offload (stage 3, calibration).
+    pub hbm_eff_unopt: f64,
+    /// HBM efficiency after computation opt. (stage 4, calibration).
+    pub hbm_eff_comp: f64,
+    /// HBM efficiency after communication opt. (stage 5): the paper's
+    /// measured 83.8 % utilization.
+    pub hbm_eff_final: f64,
+}
+
+impl GpuModel {
+    /// The paper's cluster: 8 × RTX 3090 per node.
+    pub fn rtx3090_cluster() -> Self {
+        Self {
+            machine: MachineSpec::gpu_cluster(),
+            net: NetworkModel::gpu_cluster(),
+            flops_per_lup: swlb_core::collision::flops_per_update(19) as f64,
+            cpu_bw: 131.2e9,
+            cpu_eff: 0.50,
+            pcie_bw: 12.0e9,
+            hbm_eff_unopt: 0.55,
+            hbm_eff_comp: 0.65,
+            hbm_eff_final: 0.838,
+        }
+    }
+
+    /// GPUs per node.
+    pub fn gpus_per_node(&self) -> usize {
+        self.machine.cgs_per_chip
+    }
+
+    /// Total halo **send** bytes of one GPU's subdomain per step.
+    fn halo_send_bytes(w: &Workload) -> f64 {
+        (2 * (w.nx + w.ny) * w.nz * crate::perf::FACE_POPS * 8) as f64
+    }
+
+    /// NCCL halo time: pairwise transfers overlap on the bidirectional fabric,
+    /// so we charge the slower of the largest message and half the serialized
+    /// injection.
+    fn nccl_halo_time(&self, w: &Workload, total_gpus: usize) -> f64 {
+        if total_gpus <= 1 {
+            return 0.0;
+        }
+        let cart = Cart2d::balanced(total_gpus, true);
+        let frac = self.net.inter_neighbor_fraction(cart.px, cart.py);
+        let msg = w.max_face_bytes();
+        let slowest = self
+            .net
+            .ptp_time(msg, frac < 0.5)
+            .max(self.net.ptp_time(msg, true));
+        let bw = self.net.bw_intra * (1.0 - frac) + self.net.bw_inter * frac;
+        let injection = Self::halo_send_bytes(w) / bw * 0.5;
+        slowest.max(injection)
+    }
+
+    /// Host-staged halo time (pre-NCCL): D2H + H2D over PCIe plus a host copy.
+    fn staged_halo_time(&self, w: &Workload) -> f64 {
+        Self::halo_send_bytes(w) * 3.0 / self.pcie_bw
+    }
+
+    /// Per-step time of one **node** computing `cells` lattice cells at the
+    /// given optimization stage (Fig. 11's setting: one node, one subdomain).
+    pub fn stage_time(&self, stage: GpuStage, node_cells: u64, node_dims: (usize, usize, usize)) -> f64 {
+        let gpus = self.gpus_per_node();
+        match stage {
+            GpuStage::CpuBaseline => {
+                node_cells as f64 * BYTES_PER_LUP_SPLIT / (self.cpu_bw * self.cpu_eff)
+            }
+            GpuStage::KernelFusion => {
+                node_cells as f64 * BYTES_PER_LUP / (self.cpu_bw * self.cpu_eff)
+            }
+            GpuStage::Parallelization | GpuStage::ComputationOpt | GpuStage::CommunicationOpt => {
+                let eff = match stage {
+                    GpuStage::Parallelization => self.hbm_eff_unopt,
+                    GpuStage::ComputationOpt => self.hbm_eff_comp,
+                    _ => self.hbm_eff_final,
+                };
+                let cart = Cart2d::balanced(gpus, true);
+                let w = Workload::new(
+                    (node_dims.0 / cart.px).max(1),
+                    (node_dims.1 / cart.py).max(1),
+                    node_dims.2,
+                );
+                let per_gpu = node_cells as f64 / gpus as f64;
+                let t_mem = per_gpu * BYTES_PER_LUP / (self.machine.cg.dma_bw * eff);
+                let t_halo = if stage == GpuStage::CommunicationOpt {
+                    self.nccl_halo_time(&w, gpus)
+                } else {
+                    self.staged_halo_time(&w)
+                };
+                t_mem + t_halo + self.net.jitter(gpus)
+            }
+        }
+    }
+
+    /// Strong scaling of a fixed global mesh over `nodes` (Fig. 17): fully
+    /// optimized code, NCCL inside nodes, fabric between them.
+    pub fn strong_scaling(
+        &self,
+        global: (usize, usize, usize),
+        nodes: &[usize],
+    ) -> Vec<ScalePoint> {
+        assert!(!nodes.is_empty());
+        let total_cells = (global.0 * global.1 * global.2) as f64;
+        let time_at = |n: usize| {
+            let gpus = n * self.gpus_per_node();
+            let cart = Cart2d::balanced(gpus, true);
+            let w = Workload::new(
+                (global.0 / cart.px).max(1),
+                (global.1 / cart.py).max(1),
+                global.2,
+            );
+            let per_gpu = total_cells / gpus as f64;
+            let t_mem = per_gpu * BYTES_PER_LUP / (self.machine.cg.dma_bw * self.hbm_eff_final);
+            t_mem + self.nccl_halo_time(&w, gpus) + self.net.jitter(gpus)
+        };
+        let t0 = time_at(nodes[0]);
+        nodes
+            .iter()
+            .map(|&n| {
+                let t = time_at(n);
+                let gpus = n * self.gpus_per_node();
+                let glups = total_cells / t / 1e9;
+                ScalePoint {
+                    procs: gpus,
+                    cores: gpus,
+                    step_time: t,
+                    glups,
+                    efficiency: (t0 * nodes[0] as f64) / (t * n as f64),
+                    pflops: glups * 1e9 * self.flops_per_lup / 1e15,
+                    bw_util: total_cells / t * BYTES_PER_LUP
+                        / (gpus as f64 * self.machine.cg.dma_bw),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's wind-field case: 1400 × 2800 × 100 (392 M cells).
+    const WIND: (usize, usize, usize) = (1400, 2800, 100);
+    const WIND_CELLS: u64 = 392_000_000;
+
+    #[test]
+    fn fig11_ladder_is_monotone() {
+        let m = GpuModel::rtx3090_cluster();
+        let times: Vec<f64> = GpuStage::LADDER
+            .iter()
+            .map(|&s| m.stage_time(s, WIND_CELLS, WIND))
+            .collect();
+        for pair in times.windows(2) {
+            assert!(pair[1] < pair[0], "ladder not monotone: {times:?}");
+        }
+    }
+
+    #[test]
+    fn fig11_total_speedup_matches_paper_191x() {
+        let m = GpuModel::rtx3090_cluster();
+        let t_cpu = m.stage_time(GpuStage::CpuBaseline, WIND_CELLS, WIND);
+        let t_gpu = m.stage_time(GpuStage::CommunicationOpt, WIND_CELLS, WIND);
+        let speedup = t_cpu / t_gpu;
+        assert!(
+            speedup > 150.0 && speedup < 230.0,
+            "speedup = {speedup} (paper: 191x)"
+        );
+    }
+
+    #[test]
+    fn fusion_on_cpu_doubles_throughput() {
+        // Kernel fusion halves the traffic; on a memory-bound CPU that is 2x.
+        let m = GpuModel::rtx3090_cluster();
+        let t0 = m.stage_time(GpuStage::CpuBaseline, WIND_CELLS, WIND);
+        let t1 = m.stage_time(GpuStage::KernelFusion, WIND_CELLS, WIND);
+        assert!((t0 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nccl_beats_host_staging() {
+        let m = GpuModel::rtx3090_cluster();
+        let t_comp = m.stage_time(GpuStage::ComputationOpt, WIND_CELLS, WIND);
+        let t_comm = m.stage_time(GpuStage::CommunicationOpt, WIND_CELLS, WIND);
+        assert!(t_comm < t_comp);
+    }
+
+    #[test]
+    fn final_bandwidth_utilization_is_the_papers_83_8_percent() {
+        let m = GpuModel::rtx3090_cluster();
+        let series = m.strong_scaling(WIND, &[1]);
+        // Utilization = memory time / total time × eff; at one node the halo is
+        // small, so we land slightly below the pure-HBM 83.8 %.
+        let u = series[0].bw_util;
+        assert!(u > 0.75 && u <= 0.838 + 1e-9, "utilization = {u}");
+    }
+
+    #[test]
+    fn fig17_strong_scaling_efficiency_band() {
+        // Fig. 17: 1 → 8 nodes, 86.3 % efficiency.
+        let m = GpuModel::rtx3090_cluster();
+        let series = m.strong_scaling(WIND, &[1, 2, 4, 8]);
+        let last = series.last().unwrap();
+        assert_eq!(last.procs, 64);
+        assert!(
+            last.efficiency > 0.72 && last.efficiency < 0.97,
+            "efficiency = {} (paper: 86.3 %)",
+            last.efficiency
+        );
+        // Efficiency decreases with node count.
+        for pair in series.windows(2) {
+            assert!(pair[1].efficiency <= pair[0].efficiency + 1e-9);
+        }
+    }
+
+    #[test]
+    fn gpu_vastly_outperforms_cpu_socket_per_node() {
+        // The paper quotes ~200x for 1 GPU + 1 core vs 1 core; per node the
+        // aggregate HBM is ~57x the socket bandwidth, amplified by fusion.
+        let m = GpuModel::rtx3090_cluster();
+        let hbm_total = m.machine.cg.dma_bw * m.gpus_per_node() as f64;
+        assert!(hbm_total / m.cpu_bw > 50.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! LDM (Local Data Memory) emulation.
+//!
+//! Each CPE owns a small software-managed scratchpad (64 KB on SW26010, 256 KB
+//! on SW26010-Pro). All kernel data must be staged into it explicitly; exceeding
+//! the capacity is a *hard programming error* on the real machine (and a panic in
+//! the emulator's debug path / an `Err` in the planning path here). The blocking
+//! planner in [`crate::cpe`] sizes tiles against this budget exactly the way the
+//! paper does (§IV-C.2: "all data have to be copied into the 64KB LDM of each CPE
+//! through DMA").
+
+use std::fmt;
+
+/// Error type for LDM capacity violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdmOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes already in use.
+    pub in_use: usize,
+    /// Total capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for LdmOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LDM overflow: requested {} B with {} B in use of {} B capacity",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LdmOverflow {}
+
+/// A capacity-checked scratchpad of `f64` slots.
+///
+/// Allocation is a bump allocator (kernels carve the LDM into a handful of
+/// buffers at startup, exactly like Athread code does), and `reset` recycles the
+/// whole scratchpad between tiles.
+#[derive(Debug, Clone)]
+pub struct Ldm {
+    capacity_bytes: usize,
+    data: Vec<f64>,
+    allocated: usize,
+    high_water: usize,
+}
+
+/// Handle to a buffer carved out of an [`Ldm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LdmBuf {
+    offset: usize,
+    len: usize,
+}
+
+impl LdmBuf {
+    /// Number of `f64` slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Ldm {
+    /// A scratchpad of `capacity_bytes` bytes.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            data: vec![0.0; capacity_bytes / 8],
+            allocated: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.allocated * 8
+    }
+
+    /// Peak bytes ever allocated (for reporting LDM pressure).
+    pub fn high_water(&self) -> usize {
+        self.high_water * 8
+    }
+
+    /// Allocate `slots` f64 slots; fails if the scratchpad would overflow.
+    pub fn alloc(&mut self, slots: usize) -> Result<LdmBuf, LdmOverflow> {
+        if (self.allocated + slots) * 8 > self.capacity_bytes {
+            return Err(LdmOverflow {
+                requested: slots * 8,
+                in_use: self.in_use(),
+                capacity: self.capacity_bytes,
+            });
+        }
+        let buf = LdmBuf {
+            offset: self.allocated,
+            len: slots,
+        };
+        self.allocated += slots;
+        self.high_water = self.high_water.max(self.allocated);
+        Ok(buf)
+    }
+
+    /// Free everything (between tiles). Contents are preserved until overwritten,
+    /// matching real scratchpad behaviour.
+    pub fn reset(&mut self) {
+        self.allocated = 0;
+    }
+
+    /// Read access to a buffer.
+    pub fn slice(&self, buf: LdmBuf) -> &[f64] {
+        &self.data[buf.offset..buf.offset + buf.len]
+    }
+
+    /// Write access to a buffer.
+    pub fn slice_mut(&mut self, buf: LdmBuf) -> &mut [f64] {
+        &mut self.data[buf.offset..buf.offset + buf.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_capacity_succeeds() {
+        let mut ldm = Ldm::new(64 * 1024);
+        let a = ldm.alloc(1000).unwrap();
+        let b = ldm.alloc(2000).unwrap();
+        assert_eq!(a.len(), 1000);
+        assert_eq!(b.len(), 2000);
+        assert_eq!(ldm.in_use(), 3000 * 8);
+        assert_eq!(ldm.capacity(), 65536);
+    }
+
+    #[test]
+    fn overflow_is_rejected_with_diagnostics() {
+        let mut ldm = Ldm::new(1024); // 128 slots
+        ldm.alloc(100).unwrap();
+        let err = ldm.alloc(50).unwrap_err();
+        assert_eq!(err.requested, 400);
+        assert_eq!(err.in_use, 800);
+        assert_eq!(err.capacity, 1024);
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let mut ldm = Ldm::new(800); // 100 slots
+        assert!(ldm.alloc(100).is_ok());
+        assert!(ldm.alloc(1).is_err());
+    }
+
+    #[test]
+    fn reset_recycles_and_tracks_high_water() {
+        let mut ldm = Ldm::new(8000);
+        ldm.alloc(900).unwrap();
+        ldm.reset();
+        assert_eq!(ldm.in_use(), 0);
+        ldm.alloc(500).unwrap();
+        assert_eq!(ldm.high_water(), 900 * 8);
+    }
+
+    #[test]
+    fn buffers_are_disjoint_and_writable() {
+        let mut ldm = Ldm::new(1600);
+        let a = ldm.alloc(100).unwrap();
+        let b = ldm.alloc(100).unwrap();
+        ldm.slice_mut(a).fill(1.0);
+        ldm.slice_mut(b).fill(2.0);
+        assert!(ldm.slice(a).iter().all(|&v| v == 1.0));
+        assert!(ldm.slice(b).iter().all(|&v| v == 2.0));
+    }
+}

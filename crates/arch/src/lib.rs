@@ -1,0 +1,41 @@
+//! # swlb-arch — Sunway & GPU hardware models
+//!
+//! The paper's contribution is an execution *schedule* for LBM on the SW26010 /
+//! SW26010-Pro many-core processors (and a GPU port). Without Sunway silicon we
+//! reproduce that schedule at two levels:
+//!
+//! 1. **Functional emulation** ([`cpe`]): a core group is emulated as 64 CPEs
+//!    with capacity-checked LDM scratchpads ([`ldm`]), explicit DMA transactions
+//!    ([`dma`]) and register-communication / RMA transfers between neighboring
+//!    CPEs ([`regcomm`]). The emulator executes the paper's blocking plan for a
+//!    real lattice and is verified **bit-equivalent** to the reference kernel in
+//!    `swlb-core`. Its byte/transaction counters are the measured inputs of the
+//!    performance model — e.g. kernel fusion demonstrably removes DMA
+//!    operations, register communication demonstrably removes DMA bytes.
+//!
+//! 2. **Calibrated analytic modeling** ([`perf`], [`gpu`]): machine descriptions
+//!    ([`machine`]) with the paper's published constants (32 GiB/s DMA per core
+//!    group, 64/256 KB LDM, 380 B per lattice update, supernode + fat-tree
+//!    network), a latency–bandwidth DMA efficiency curve, a dual-pipeline
+//!    compute model ([`pipeline`]), and composition rules for the optimization
+//!    stages of the paper's Fig. 8 ladder and the scaling figures (Figs. 13–17).
+//!    Every calibration constant is named, documented and printed by the bench
+//!    harnesses.
+
+// Indexed loops mirror the stencil mathematics throughout this workspace and
+// are kept deliberately as the clearer idiom for this domain.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cpe;
+pub mod dma;
+pub mod gpu;
+pub mod ldm;
+pub mod machine;
+pub mod perf;
+pub mod pipeline;
+pub mod regcomm;
+pub mod schedule;
+
+pub use cpe::{CoreGroupExecutor, ExecCounters, FusionMode, SharingMode};
+pub use machine::{CoreGroupSpec, MachineKind, MachineSpec};
+pub use perf::{OptStage, PerfModel, ScalePoint};

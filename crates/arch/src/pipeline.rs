@@ -1,0 +1,146 @@
+//! Dual-pipeline (L0/L1) instruction-throughput model of a CPE.
+//!
+//! Each CPE issues to two pipelines: **L0** executes scalar/vector arithmetic,
+//! **L1** executes load/store (and RMA on the Pro) — paper §IV-D.2, Fig. 10(2).
+//! The paper's assembly-level optimization (manual unroll + instruction
+//! reordering, §IV-C.4) exists precisely to keep both pipelines busy; before it,
+//! dependency chains stall issue.
+//!
+//! We model a kernel by its per-cell instruction mix and two scheduling regimes:
+//!
+//! * **unoptimized**: compiler-scheduled scalar code — no vector lanes, and the
+//!   two pipelines serialize with a low scheduling efficiency;
+//! * **optimized**: hand-scheduled vector code — lanes active, pipelines
+//!   overlap, issue efficiency near 1.
+//!
+//! The regime parameters are machine calibrations ([`crate::machine::Calibration`]).
+
+use crate::machine::MachineSpec;
+
+/// Per-cell instruction mix of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// Floating point operations per cell.
+    pub flops: f64,
+    /// LDM load/store *scalar slots* per cell (each 8 B).
+    pub mem_ops: f64,
+}
+
+impl InstructionMix {
+    /// The D3Q19 fused stream+collide kernel: the flop count of
+    /// `swlb_core::collision::flops_per_update(19)` and `2 × 19` LDM
+    /// loads/stores (19 gathered reads, 19 writes; bounce-back corrections are
+    /// charged to the same budget).
+    pub fn d3q19_fused() -> Self {
+        Self {
+            flops: swlb_core::collision::flops_per_update(19) as f64,
+            mem_ops: 38.0,
+        }
+    }
+
+    /// The collision-only kernel (unfused second pass).
+    pub fn d3q19_collide_only() -> Self {
+        Self {
+            flops: swlb_core::collision::flops_per_update(19) as f64,
+            mem_ops: 38.0,
+        }
+    }
+
+    /// The propagation-only kernel: pure data movement, negligible arithmetic.
+    pub fn d3q19_propagate_only() -> Self {
+        Self { flops: 10.0, mem_ops: 38.0 }
+    }
+}
+
+/// Cycles per cell on one CPE under the given scheduling regime.
+pub fn cycles_per_cell(machine: &MachineSpec, mix: &InstructionMix, optimized: bool) -> f64 {
+    let cg = &machine.cg;
+    let cal = &machine.cal;
+    if optimized {
+        // Vector lanes active; FMA pairs flops; L0 and L1 overlap, so the cell
+        // cost is the larger pipeline divided by the achieved issue efficiency.
+        let l0 = mix.flops / (cg.vector_lanes as f64 * cg.fma_per_cycle);
+        let l1 = mix.mem_ops / cg.vector_lanes as f64;
+        l0.max(l1) / cal.sched_eff_opt
+    } else {
+        // Scalar code with dependency stalls: pipelines serialize and pay the
+        // unoptimized efficiency.
+        let lanes = if cal.unopt_uses_vectors {
+            cg.vector_lanes as f64
+        } else {
+            1.0
+        };
+        (mix.flops / lanes + mix.mem_ops / lanes) / cal.sched_eff_unopt
+    }
+}
+
+/// Wall time for `cells` updates spread over the whole CPE mesh of one CG.
+pub fn cg_compute_time(
+    machine: &MachineSpec,
+    mix: &InstructionMix,
+    cells: u64,
+    optimized: bool,
+) -> f64 {
+    let per_cell = cycles_per_cell(machine, mix, optimized);
+    let cells_per_cpe = cells as f64 / machine.cg.cpes as f64;
+    cells_per_cpe * per_cell / machine.cg.cpe_freq
+}
+
+/// Wall time for `cells` updates on the MPE alone (the paper's 73.6 s baseline).
+pub fn mpe_compute_time(machine: &MachineSpec, mix: &InstructionMix, cells: u64) -> f64 {
+    cells as f64 * mix.flops / machine.cal.mpe_sustained_flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    #[test]
+    fn optimization_speeds_up_compute_substantially() {
+        let m = MachineSpec::taihulight();
+        let mix = InstructionMix::d3q19_fused();
+        let slow = cycles_per_cell(&m, &mix, false);
+        let fast = cycles_per_cell(&m, &mix, true);
+        // The paper's assembly stage is worth well over 2x on compute.
+        assert!(slow / fast > 4.0, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn optimized_kernel_approaches_peak_flops() {
+        let m = MachineSpec::taihulight();
+        let mix = InstructionMix::d3q19_fused();
+        let t = cg_compute_time(&m, &mix, 1_000_000, true);
+        let achieved_flops = 1_000_000.0 * mix.flops / t;
+        let frac = achieved_flops / m.cg.peak_flops();
+        // Compute-bound fraction of peak should be large but < 1.
+        assert!(frac > 0.5 && frac <= 1.0, "fraction of peak = {frac}");
+    }
+
+    #[test]
+    fn mpe_baseline_reproduces_paper_73_6_seconds() {
+        // §IV-C.4 / Fig. 8: 35M cells per CG (500×700×100), one step on the MPE
+        // alone took 73.6 s. Our calibration must land within 3 %.
+        let m = MachineSpec::taihulight();
+        let mix = InstructionMix::d3q19_fused();
+        let t = mpe_compute_time(&m, &mix, 35_000_000);
+        assert!((t - 73.6).abs() / 73.6 < 0.03, "MPE baseline = {t} s");
+    }
+
+    #[test]
+    fn propagate_only_is_memory_dominated() {
+        let m = MachineSpec::taihulight();
+        let prop = InstructionMix::d3q19_propagate_only();
+        let fused = InstructionMix::d3q19_fused();
+        assert!(cycles_per_cell(&m, &prop, true) <= cycles_per_cell(&m, &fused, true));
+    }
+
+    #[test]
+    fn pro_is_faster_per_cell_than_sw26010() {
+        let mix = InstructionMix::d3q19_fused();
+        let t_old = cg_compute_time(&MachineSpec::taihulight(), &mix, 1_000_000, true);
+        let t_new = cg_compute_time(&MachineSpec::new_sunway(), &mix, 1_000_000, true);
+        // Wider vectors + higher clock ⇒ at least 2x.
+        assert!(t_old / t_new > 2.0);
+    }
+}

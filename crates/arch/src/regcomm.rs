@@ -1,0 +1,174 @@
+//! CPE↔CPE data sharing: register communication (SW26010) and RMA (SW26010-Pro).
+//!
+//! Inside a CPE cluster, neighboring CPEs can exchange data without touching
+//! main memory: SW26010 exposes row/column **register communication** buses
+//! (§III-B), SW26010-Pro replaces them with **RMA** one-sided transfers
+//! (§IV-D.2). The paper uses this to share y-direction halo data between
+//! neighboring CPEs instead of re-fetching it via DMA (§IV-C.2, Fig. 5(4);
+//! Fig. 10(1)).
+//!
+//! The emulator models both as counted copies between two CPEs' LDM buffers; the
+//! distinction (register comm is limited to 256-bit packets on the row/column
+//! buses, RMA does arbitrary one-sided block transfers) shows up in the packet
+//! counters and the performance model's per-transfer overhead.
+
+use crate::ldm::{Ldm, LdmBuf};
+
+/// Which intra-cluster sharing fabric is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fabric {
+    /// SW26010 register communication: 256-bit (4 × f64) packets on the
+    /// row/column buses.
+    RegisterComm,
+    /// SW26010-Pro RMA: arbitrary-size one-sided transfers.
+    Rma,
+}
+
+impl Fabric {
+    /// Payload of one packet in f64 slots.
+    pub fn packet_slots(&self) -> usize {
+        match self {
+            Fabric::RegisterComm => 4, // 256-bit register packets
+            Fabric::Rma => 1024,       // block transfer granule (model)
+        }
+    }
+}
+
+/// Counters of one cluster's sharing fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShareCounters {
+    /// Packets (register comm) or RMA operations issued.
+    pub packets: u64,
+    /// Total payload bytes moved between CPEs.
+    pub bytes: u64,
+}
+
+impl ShareCounters {
+    /// Merge another counter set.
+    pub fn merge(&mut self, other: &ShareCounters) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+    }
+}
+
+/// The emulated sharing fabric of one CPE cluster.
+#[derive(Debug, Clone)]
+pub struct ShareFabric {
+    fabric: Fabric,
+    counters: ShareCounters,
+}
+
+impl ShareFabric {
+    /// New fabric of the given kind.
+    pub fn new(fabric: Fabric) -> Self {
+        Self {
+            fabric,
+            counters: ShareCounters::default(),
+        }
+    }
+
+    /// Which fabric this is.
+    pub fn fabric(&self) -> Fabric {
+        self.fabric
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> ShareCounters {
+        self.counters
+    }
+
+    /// Reset counters.
+    pub fn reset(&mut self) {
+        self.counters = ShareCounters::default();
+    }
+
+    /// Transfer `n` slots from `(src_ldm, src_buf, src_off)` of one CPE to
+    /// `(dst_ldm, dst_buf, dst_off)` of a *neighboring* CPE.
+    ///
+    /// The two LDMs are distinct objects (one per CPE), which the borrow checker
+    /// enforces for us — a CPE cannot register-communicate with itself.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer(
+        &mut self,
+        src_ldm: &Ldm,
+        src_buf: LdmBuf,
+        src_off: usize,
+        n: usize,
+        dst_ldm: &mut Ldm,
+        dst_buf: LdmBuf,
+        dst_off: usize,
+    ) {
+        let tmp: Vec<f64> = src_ldm.slice(src_buf)[src_off..src_off + n].to_vec();
+        dst_ldm.slice_mut(dst_buf)[dst_off..dst_off + n].copy_from_slice(&tmp);
+        let granule = self.fabric.packet_slots();
+        self.counters.packets += n.div_ceil(granule) as u64;
+        self.counters.bytes += (n * 8) as u64;
+    }
+
+    /// Model time for the counted traffic: per-packet latency plus payload over
+    /// the mesh-bus bandwidth.
+    pub fn model_time(&self, packet_latency: f64, bus_bw: f64) -> f64 {
+        self.counters.packets as f64 * packet_latency + self.counters.bytes as f64 / bus_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_ldms() -> (Ldm, LdmBuf, Ldm, LdmBuf) {
+        let mut a = Ldm::new(8 * 1024);
+        let ab = a.alloc(64).unwrap();
+        let mut b = Ldm::new(8 * 1024);
+        let bb = b.alloc(64).unwrap();
+        (a, ab, b, bb)
+    }
+
+    #[test]
+    fn transfer_moves_data_between_cpes() {
+        let (mut a, ab, mut b, bb) = two_ldms();
+        for (i, v) in a.slice_mut(ab).iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let mut fab = ShareFabric::new(Fabric::RegisterComm);
+        fab.transfer(&a, ab, 8, 16, &mut b, bb, 0);
+        assert_eq!(b.slice(bb)[0], 8.0);
+        assert_eq!(b.slice(bb)[15], 23.0);
+    }
+
+    #[test]
+    fn register_comm_counts_4_slot_packets() {
+        let (a, ab, mut b, bb) = two_ldms();
+        let mut fab = ShareFabric::new(Fabric::RegisterComm);
+        fab.transfer(&a, ab, 0, 10, &mut b, bb, 0); // ceil(10/4) = 3 packets
+        let c = fab.counters();
+        assert_eq!(c.packets, 3);
+        assert_eq!(c.bytes, 80);
+    }
+
+    #[test]
+    fn rma_counts_block_operations() {
+        let (a, ab, mut b, bb) = two_ldms();
+        let mut fab = ShareFabric::new(Fabric::Rma);
+        fab.transfer(&a, ab, 0, 10, &mut b, bb, 0); // one RMA op
+        assert_eq!(fab.counters().packets, 1);
+    }
+
+    #[test]
+    fn model_time_scales_with_packets_and_bytes() {
+        let (a, ab, mut b, bb) = two_ldms();
+        let mut fab = ShareFabric::new(Fabric::RegisterComm);
+        fab.transfer(&a, ab, 0, 8, &mut b, bb, 0); // 2 packets, 64 B
+        let t = fab.model_time(1e-8, 1e9);
+        assert!((t - (2.0 * 1e-8 + 64.0 / 1e9)).abs() < 1e-18);
+        fab.reset();
+        assert_eq!(fab.counters(), ShareCounters::default());
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = ShareCounters { packets: 2, bytes: 64 };
+        a.merge(&ShareCounters { packets: 3, bytes: 96 });
+        assert_eq!(a, ShareCounters { packets: 5, bytes: 160 });
+    }
+}

@@ -1,0 +1,54 @@
+//! Rank-scaling benchmark of the distributed engine, comparing the sequential
+//! and on-the-fly halo-exchange schedules (the paper's Fig. 6 comparison) on
+//! real in-process message passing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swlb_comm::World;
+use swlb_core::collision::{BgkParams, CollisionKind};
+use swlb_core::flags::FlagField;
+use swlb_core::geometry::GridDims;
+use swlb_core::lattice::D3Q19;
+use swlb_sim::{DistributedSolver, ExchangeMode};
+
+fn run_steps(global: GridDims, flags: &FlagField, ranks: usize, mode: ExchangeMode, steps: u64) {
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+    World::new(ranks).run(|comm| {
+        let mut s = DistributedSolver::<D3Q19>::new(&comm, global, flags, coll, mode);
+        s.initialize_uniform(1.0, [0.02, 0.0, 0.0]);
+        s.run(steps).unwrap();
+    });
+}
+
+fn bench_exchange_modes(c: &mut Criterion) {
+    let global = GridDims::new(64, 64, 32);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+
+    let mut group = c.benchmark_group("distributed_4ranks_64x64x32");
+    group.throughput(Throughput::Elements(global.cells() as u64 * 4));
+    group.sample_size(10);
+    group.bench_function("sequential_exchange", |b| {
+        b.iter(|| run_steps(global, &flags, 4, ExchangeMode::Sequential, 4))
+    });
+    group.bench_function("on_the_fly_exchange", |b| {
+        b.iter(|| run_steps(global, &flags, 4, ExchangeMode::OnTheFly, 4))
+    });
+    group.finish();
+}
+
+fn bench_rank_counts(c: &mut Criterion) {
+    let global = GridDims::new(64, 64, 32);
+    let flags = FlagField::new(global);
+    let mut group = c.benchmark_group("rank_scaling_64x64x32");
+    group.sample_size(10);
+    for ranks in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements(global.cells() as u64 * 4));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &r| {
+            b.iter(|| run_steps(global, &flags, r, ExchangeMode::OnTheFly, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange_modes, bench_rank_counts);
+criterion_main!(benches);

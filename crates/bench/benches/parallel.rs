@@ -1,0 +1,38 @@
+//! Thread-scaling benchmark of the shared-memory parallel driver — the host
+//! analog of the CPE-cluster parallelization stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swlb_core::collision::{BgkParams, CollisionKind};
+use swlb_core::flags::FlagField;
+use swlb_core::geometry::GridDims;
+use swlb_core::lattice::D3Q19;
+use swlb_core::layout::{PopField, SoaField};
+use swlb_core::parallel::ThreadPool;
+
+fn bench_threads(c: &mut Criterion) {
+    let dims = GridDims::new(96, 96, 64);
+    let flags = FlagField::new(dims);
+    let mut src = SoaField::<D3Q19>::new(dims);
+    swlb_core::kernels::initialize_with::<D3Q19, _>(&flags, &mut src, |x, y, z| {
+        (1.0 + 0.001 * ((x + y + z) % 5) as f64, [0.02, 0.0, 0.0])
+    });
+    let mut dst = SoaField::<D3Q19>::new(dims);
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut group = c.benchmark_group("thread_scaling_96x96x64");
+    group.throughput(Throughput::Elements(dims.cells() as u64));
+    group.sample_size(10);
+    let mut t = 1;
+    while t <= max {
+        let pool = ThreadPool::new(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| pool.fused_step(&flags, &src, &mut dst, &coll))
+        });
+        t *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

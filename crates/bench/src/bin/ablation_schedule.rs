@@ -1,0 +1,50 @@
+//! Ablation — instruction scheduling and loop unrolling (§IV-C.4).
+//!
+//! Quantifies the paper's assembly-level optimization by scheduling the fused
+//! D3Q19 cell-update DAG on a modeled dual-pipe in-order CPE: program-order
+//! issue vs critical-path list scheduling, at unroll factors 1–8.
+
+use swlb_arch::schedule::{d3q19_kernel_dag, schedule_in_order, schedule_list};
+use swlb_bench::{header, row};
+
+fn main() {
+    header(
+        "Ablation — dual-pipeline instruction scheduling (modeled CPE)",
+        "Liu et al., §IV-C.4 (manual loop unroll + instruction reordering)",
+    );
+    row(&[
+        "unroll".into(),
+        "in-order c/cell".into(),
+        "reordered c/cell".into(),
+        "gain".into(),
+        "bound c/cell".into(),
+    ]);
+    let mut single_cell_inorder = 0.0;
+    let mut best = f64::INFINITY;
+    for unroll in [1usize, 2, 4, 8] {
+        let dag = d3q19_kernel_dag(unroll);
+        let ord = schedule_in_order(&dag) as f64 / unroll as f64;
+        let list = schedule_list(&dag) as f64 / unroll as f64;
+        let bound = dag.throughput_bound() as f64 / unroll as f64;
+        if unroll == 1 {
+            single_cell_inorder = ord;
+        }
+        best = best.min(list);
+        row(&[
+            format!("{unroll}"),
+            format!("{ord:.0}"),
+            format!("{list:.0}"),
+            format!("{:.2}x", ord / list),
+            format!("{bound:.0}"),
+        ]);
+    }
+    println!(
+        "\ncombined unroll+reorder gain vs naive single-cell program order: {:.1}x",
+        single_cell_inorder / best
+    );
+    println!(
+        "(the mechanism behind the paper's final Fig. 8 stage: dependence chains\n\
+         stall an in-order dual-issue CPE; unrolling supplies independent work and\n\
+         reordering keeps both pipes busy)"
+    );
+}

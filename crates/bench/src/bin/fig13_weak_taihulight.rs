@@ -1,0 +1,67 @@
+//! Fig. 13 — weak scaling on Sunway TaihuLight, 1 CG → 160,000 CGs.
+//!
+//! Each core group owns a 500×700×100 block (35 M cells); the largest run is
+//! 5.6 T cells on 10.4 M cores, reaching 11,245 GLUPS, 4.7 PFlops and 77 %
+//! bandwidth utilization with ~94 % parallel efficiency. The series below comes
+//! from the calibrated model (swlb-arch) over the supernode/fat-tree network
+//! model (swlb-comm); the functional distributed engine validates the halo
+//! protocol itself at laptop scale (see `bench/benches/distributed.rs`).
+
+use swlb_arch::perf::{PerfModel, Workload};
+use swlb_bench::{fmt_cells, header, row, vs_paper};
+
+fn main() {
+    header(
+        "Fig. 13 — weak scaling, Sunway TaihuLight (500x700x100 cells per CG)",
+        "Liu et al., Fig. 13 (11245 GLUPS, 4.7 PFlops, 77% BW, ~94% efficiency)",
+    );
+    let model = PerfModel::taihulight();
+    let w = Workload::taihulight_weak_block();
+    let ps = [1usize, 16, 256, 1024, 4096, 16384, 65536, 131072, 160000];
+    let series = model.weak_scaling(&w, &ps);
+
+    row(&[
+        "CGs".into(),
+        "cores".into(),
+        "cells".into(),
+        "GLUPS".into(),
+        "efficiency".into(),
+    ]);
+    for p in &series {
+        row(&[
+            format!("{}", p.procs),
+            format!("{}", p.cores),
+            fmt_cells(p.procs as u64 * w.cells()),
+            format!("{:.1}", p.glups),
+            format!("{:.1}%", p.efficiency * 100.0),
+        ]);
+    }
+
+    let last = series.last().unwrap();
+    println!("\nlargest run vs paper:");
+    println!(
+        "  cells       : {}   (paper: 5.6T)",
+        fmt_cells(last.procs as u64 * w.cells())
+    );
+    println!(
+        "  GLUPS       : {:.0}   (paper: 11245, {})",
+        last.glups,
+        vs_paper(last.glups, 11_245.0)
+    );
+    println!(
+        "  PFlops      : {:.2}   (paper: 4.7, {})",
+        last.pflops,
+        vs_paper(last.pflops, 4.7)
+    );
+    println!(
+        "  BW util     : {:.1}%  (paper: 77%, {})",
+        last.bw_util * 100.0,
+        vs_paper(last.bw_util, 0.77)
+    );
+    println!(
+        "  efficiency  : {:.1}%  (paper: ~94%)",
+        last.efficiency * 100.0
+    );
+    println!("\nmodel inputs: 380 B/LUP, 32 GiB/s DMA/CG, s_half = {} B, jitter = {} s/log2P",
+        model.machine.cal.dma_s_half, model.net.jitter_per_log2p);
+}

@@ -1,0 +1,67 @@
+//! Fig. 14 — strong scaling on Sunway TaihuLight, three production cases.
+//!
+//! Fixed global meshes scaled from 1,064,960 cores (16,384 CGs) to 10,400,000
+//! cores (160,000 CGs): the cylinder DNS (10000×10000×5000, 71.48 % efficiency
+//! at the top), the DARPA Suboff case (68.89 %) and the urban wind case (89 %).
+//! The paper does not print the Suboff/urban mesh dimensions for this figure;
+//! we use meshes of the same character (Suboff: elongated slender-body channel;
+//! urban: wide flat high-resolution near-ground block — the 271 G-cell mesh of
+//! §V-C) and compare efficiency shapes.
+
+use swlb_arch::perf::PerfModel;
+use swlb_bench::{fmt_cells, header, row, vs_paper};
+
+fn main() {
+    header(
+        "Fig. 14 — strong scaling, Sunway TaihuLight, 1.06M -> 10.4M cores",
+        "Liu et al., Fig. 14 (cylinder 71.48%, Suboff 68.89%, urban wind 89%)",
+    );
+    let model = PerfModel::taihulight();
+    let ps = [16384usize, 32768, 65536, 131072, 160000];
+
+    let cases: [(&str, (usize, usize, usize), f64); 3] = [
+        ("flow past cylinder", (10000, 10000, 5000), 0.7148),
+        ("DARPA Suboff", (20000, 5000, 2500), 0.6889),
+        ("urban wind", (11511, 14744, 1600), 0.89),
+    ];
+
+    for (name, mesh, paper_eff) in cases {
+        println!(
+            "\ncase: {name} — {} cells ({}x{}x{})",
+            fmt_cells((mesh.0 * mesh.1 * mesh.2) as u64),
+            mesh.0,
+            mesh.1,
+            mesh.2
+        );
+        let series = model.strong_scaling(mesh, &ps);
+        row(&[
+            "CGs".into(),
+            "cores".into(),
+            "step [ms]".into(),
+            "GLUPS".into(),
+            "efficiency".into(),
+        ]);
+        for p in &series {
+            row(&[
+                format!("{}", p.procs),
+                format!("{}", p.cores),
+                format!("{:.2}", p.step_time * 1e3),
+                format!("{:.0}", p.glups),
+                format!("{:.1}%", p.efficiency * 100.0),
+            ]);
+        }
+        let last = series.last().unwrap();
+        println!(
+            "  top-end efficiency: {:.1}% (paper: {:.1}%, {})",
+            last.efficiency * 100.0,
+            paper_eff * 100.0,
+            vs_paper(last.efficiency, paper_eff)
+        );
+    }
+    println!(
+        "\n(shape check: smaller per-rank blocks -> shorter DMA pencils and a larger\n\
+         jitter/communication share, so efficiency decays with scale; the urban case's\n\
+         huge cell count keeps per-rank blocks big and its efficiency highest — same\n\
+         ordering as the paper's three curves)"
+    );
+}

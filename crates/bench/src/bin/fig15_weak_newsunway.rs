@@ -1,0 +1,63 @@
+//! Fig. 15 — weak scaling on the new Sunway supercomputer, 6,000 → 60,000 CGs.
+//!
+//! Each SW26010-Pro core group owns a 1000×700×100 block (70 M cells); the
+//! largest run is 4.2 T cells on 3.9 M cores, reaching 6,583 GLUPS, 81.4 %
+//! bandwidth utilization and 2.76 PFlops.
+
+use swlb_arch::perf::{PerfModel, Workload};
+use swlb_bench::{fmt_cells, header, row, vs_paper};
+
+fn main() {
+    header(
+        "Fig. 15 — weak scaling, new Sunway (1000x700x100 cells per CG)",
+        "Liu et al., Fig. 15 (6583 GLUPS, 81.4% BW, 2.76 PFlops, 390000 -> 3.9M cores)",
+    );
+    let model = PerfModel::new_sunway();
+    let w = Workload::new_sunway_weak_block();
+    let ps = [6000usize, 12000, 24000, 36000, 48000, 60000];
+    let series = model.weak_scaling(&w, &ps);
+
+    row(&[
+        "CGs".into(),
+        "cores".into(),
+        "cells".into(),
+        "GLUPS".into(),
+        "efficiency".into(),
+    ]);
+    for p in &series {
+        row(&[
+            format!("{}", p.procs),
+            format!("{}", p.cores),
+            fmt_cells(p.procs as u64 * w.cells()),
+            format!("{:.1}", p.glups),
+            format!("{:.1}%", p.efficiency * 100.0),
+        ]);
+    }
+    let last = series.last().unwrap();
+    println!("\nlargest run vs paper:");
+    println!(
+        "  cells       : {}   (paper: 4.2T)",
+        fmt_cells(last.procs as u64 * w.cells())
+    );
+    println!(
+        "  GLUPS       : {:.0}   (paper: 6583, {})",
+        last.glups,
+        vs_paper(last.glups, 6583.0)
+    );
+    println!(
+        "  BW util     : {:.1}%  (paper: 81.4%, {})",
+        last.bw_util * 100.0,
+        vs_paper(last.bw_util, 0.814)
+    );
+    println!(
+        "  PFlops      : {:.2}   (paper: 2.76, {})",
+        last.pflops,
+        vs_paper(last.pflops, 2.76)
+    );
+    println!(
+        "\nkey SW26010-Pro advantages captured by the model (paper §IV-D): 4x LDM\n\
+         -> longer DMA pencils ({} B vs {} B on SW26010), RMA sharing, wider vectors",
+        model.pencil_bytes(100),
+        PerfModel::taihulight().pencil_bytes(100)
+    );
+}

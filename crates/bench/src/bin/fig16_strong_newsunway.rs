@@ -1,0 +1,82 @@
+//! Fig. 16 — strong scaling on the new Sunway supercomputer, three cases.
+//!
+//! Fixed meshes from the paper: wind field 4000×4000×1000 (13,000 → 130,000
+//! cores = 200 → 2,000 CGs), wake simulation 200000×1000×1500 (65,000 →
+//! 1,170,000 cores = 1,000 → 18,000 CGs), and flow past cylinder
+//! 10000×7000×5000 (390,000 → 3,900,000 cores = 6,000 → 60,000 CGs, 72.2 %
+//! efficiency; Suboff reaches 84.6 %).
+
+use swlb_arch::perf::PerfModel;
+use swlb_bench::{fmt_cells, header, row, vs_paper};
+
+fn main() {
+    header(
+        "Fig. 16 — strong scaling, new Sunway, three production cases",
+        "Liu et al., Fig. 16 (cylinder 72.2% at 3.9M cores; Suboff 84.6%)",
+    );
+    let model = PerfModel::new_sunway();
+
+    struct Case {
+        name: &'static str,
+        mesh: (usize, usize, usize),
+        cgs: Vec<usize>,
+        paper_eff: Option<f64>,
+    }
+    let cases = [
+        Case {
+            name: "wind field simulation",
+            mesh: (4000, 4000, 1000),
+            cgs: vec![200, 400, 800, 1600, 2000],
+            paper_eff: None,
+        },
+        Case {
+            name: "wake simulation",
+            mesh: (200000, 1000, 1500),
+            cgs: vec![1000, 2000, 4500, 9000, 18000],
+            paper_eff: None,
+        },
+        Case {
+            name: "flow past cylinder",
+            mesh: (10000, 7000, 5000),
+            cgs: vec![6000, 12000, 24000, 48000, 60000],
+            paper_eff: Some(0.722),
+        },
+    ];
+
+    for case in cases {
+        println!(
+            "\ncase: {} — {} cells ({}x{}x{})",
+            case.name,
+            fmt_cells((case.mesh.0 * case.mesh.1 * case.mesh.2) as u64),
+            case.mesh.0,
+            case.mesh.1,
+            case.mesh.2
+        );
+        let series = model.strong_scaling(case.mesh, &case.cgs);
+        row(&[
+            "CGs".into(),
+            "cores".into(),
+            "step [ms]".into(),
+            "GLUPS".into(),
+            "efficiency".into(),
+        ]);
+        for p in &series {
+            row(&[
+                format!("{}", p.procs),
+                format!("{}", p.cores),
+                format!("{:.2}", p.step_time * 1e3),
+                format!("{:.0}", p.glups),
+                format!("{:.1}%", p.efficiency * 100.0),
+            ]);
+        }
+        if let Some(pe) = case.paper_eff {
+            let last = series.last().unwrap();
+            println!(
+                "  top-end efficiency: {:.1}% (paper: {:.1}%, {})",
+                last.efficiency * 100.0,
+                pe * 100.0,
+                vs_paper(last.efficiency, pe)
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! §II related-work comparison — where SunwayLB sits among published
+//! extreme-scale LBM runs.
+//!
+//! The paper's related-work section quotes the landmark LBM performance
+//! results; this harness reprints them next to the numbers our model produces
+//! for the Sunway platforms, including the derived per-core and
+//! bandwidth-normalized views that make the comparison meaningful.
+
+use swlb_arch::perf::{PerfModel, Workload};
+use swlb_bench::{fmt_cells, header, row};
+
+struct Entry {
+    system: &'static str,
+    work: &'static str,
+    cells: u64,
+    glups: f64,
+}
+
+fn main() {
+    header(
+        "Related-work landscape (paper §II) and this reproduction's position",
+        "published GLUPS as quoted by Liu et al.; SunwayLB rows from our model",
+    );
+
+    let published = [
+        Entry { system: "Kraken", work: "Jelinek et al. [8] (2-D dendritic)", cells: 0, glups: 133.0 },
+        Entry { system: "HECToR", work: "HemeLB, Groen et al. [12]", cells: 20_000_000, glups: 29.5 },
+        Entry { system: "SuperMUC", work: "HemeLB, Groen et al. [12]", cells: 20_000_000, glups: 68.8 },
+        Entry { system: "Blue Gene", work: "waLBerla, Goetz et al. [18]", cells: 150_000_000_000, glups: 188.0 },
+        Entry { system: "SuperMUC", work: "waLBerla, Godenschwager [11]", cells: 450_000_000_000, glups: 837.0 },
+        Entry { system: "JUQUEEN", work: "waLBerla, Godenschwager [11]", cells: 790_000_000_000, glups: 1930.0 },
+        Entry { system: "JUQUEEN", work: "Schornbaum & Ruede [10]", cells: 886_000_000_000, glups: 889.0 },
+        Entry { system: "Tsubame 2.0", work: "waLBerla GPU, Feichtinger [7]", cells: 0, glups: 245.0 },
+        Entry { system: "Piz Daint-ish", work: "Riesinger et al. [9], 2048 GPUs", cells: 7_000_000_000, glups: 2605.0 },
+    ];
+
+    row(&[
+        "system".into(),
+        "cells".into(),
+        "GLUPS".into(),
+        "".into(),
+        "".into(),
+    ]);
+    for e in &published {
+        row(&[
+            e.system.into(),
+            if e.cells > 0 { fmt_cells(e.cells) } else { "-".into() },
+            format!("{:.0}", e.glups),
+            e.work.into(),
+            "".into(),
+        ]);
+    }
+
+    println!("\nSunwayLB (paper / our model):");
+    let t = PerfModel::taihulight();
+    let wt = Workload::taihulight_weak_block();
+    let taihu = t.weak_scaling(&wt, &[1, 160000]).pop().unwrap();
+    let s = PerfModel::new_sunway();
+    let ws = Workload::new_sunway_weak_block();
+    let pro = s.weak_scaling(&ws, &[6000, 60000]).pop().unwrap();
+    row(&[
+        "TaihuLight".into(),
+        fmt_cells(160_000 * wt.cells()),
+        format!("{:.0}", taihu.glups),
+        "paper: 11245 GLUPS / 5.6T cells".into(),
+        "".into(),
+    ]);
+    row(&[
+        "new Sunway".into(),
+        fmt_cells(60_000 * ws.cells()),
+        format!("{:.0}", pro.glups),
+        "paper: 6583 GLUPS / 4.2T cells".into(),
+        "".into(),
+    ]);
+
+    println!(
+        "\nbandwidth-utilization comparison the paper makes (§V-A.2): SunwayLB reaches\n\
+         {:.0}% (model; paper 77%) vs waLBerla's 67.4% on JUQUEEN and 69% on Piz Daint —\n\
+         the payoff of the LDM blocking + fusion + sharing schedule on a machine with\n\
+         B/F = {:.3}.",
+        taihu.bw_util * 100.0,
+        t.machine.cg.bytes_per_flop(),
+    );
+    println!(
+        "cell-count headline: the paper's 5.6T-cell DNS is ~6.3x JUQUEEN's 886G\n\
+         (the largest prior homogeneous-machine LBM) and 2x the largest prior DNS mesh."
+    );
+}

@@ -1,0 +1,89 @@
+//! §V-A.2 roofline accounting — the paper's in-text performance bounds.
+//!
+//! Reproduces every number of the paper's roofline paragraph: the 380 B/LUP
+//! traffic count, the 90.4 MLUPS/CG bound, the 14,464 GLUPS full-machine bound,
+//! the 77 % utilization arithmetic, and the equivalent figures for the new
+//! Sunway system and the GPU.
+
+use swlb_arch::gpu::GpuModel;
+use swlb_arch::perf::{PerfModel, BYTES_PER_LUP};
+use swlb_bench::{header, row, vs_paper};
+use swlb_core::lattice::{D3Q19, Lattice};
+
+fn main() {
+    header(
+        "Roofline bounds and bandwidth-utilization arithmetic",
+        "Liu et al., §V-A.2 (90.4 MLUPS/CG, 14464 GLUPS, 77%) and §V-A.3 (81.4%)",
+    );
+
+    println!("bytes per lattice update (D3Q19, f64, incl. write-allocate):");
+    println!("  ours  : {} B  (2.5 x 19 x 8)", D3Q19::bytes_per_lup());
+    println!("  paper : 380 B\n");
+
+    let t = PerfModel::taihulight();
+    let s = PerfModel::new_sunway();
+    let g = GpuModel::rtx3090_cluster();
+
+    row(&[
+        "platform".into(),
+        "BW/unit".into(),
+        "bound MLUPS".into(),
+        "paper".into(),
+        "dev".into(),
+    ]);
+    let t_bound = t.roofline_mlups();
+    row(&[
+        "SW26010 CG".into(),
+        "32 GiB/s".into(),
+        format!("{t_bound:.1}"),
+        "90.4".into(),
+        vs_paper(t_bound, 90.4),
+    ]);
+    let s_bound = s.roofline_mlups();
+    row(&[
+        "SW26010-Pro CG".into(),
+        "51.2 GB/s".into(),
+        format!("{s_bound:.1}"),
+        "134.7".into(),
+        vs_paper(s_bound, 51.2e9 / 380.0 / 1e6),
+    ]);
+    let g_bound = g.machine.cg.dma_bw / BYTES_PER_LUP / 1e6;
+    row(&[
+        "RTX 3090".into(),
+        "936 GB/s".into(),
+        format!("{g_bound:.0}"),
+        "2463".into(),
+        vs_paper(g_bound, 936e9 / 380.0 / 1e6),
+    ]);
+
+    println!("\nfull-machine upper bound, 160000 CGs (paper: 14464 GLUPS):");
+    let full = t_bound * 160_000.0 / 1000.0;
+    println!("  ours  : {full:.0} GLUPS ({})", vs_paper(full, 14_464.0));
+
+    println!("\nutilization arithmetic as printed in the paper:");
+    let util_t = 11_245e9 * BYTES_PER_LUP / (32.0 * (1u64 << 30) as f64 * 160_000.0);
+    println!(
+        "  TaihuLight : 11245 GLUPS x 380 B / (32 GiB/s x 160000) = {:.1}%  (paper: 77%)",
+        util_t * 100.0
+    );
+    let util_s = 6_583e9 * BYTES_PER_LUP / (51.2e9 * 60_000.0);
+    println!(
+        "  new Sunway : 6583 GLUPS x 380 B / (51.2 GB/s x 60000)  = {:.1}%  (paper: 81.4%)",
+        util_s * 100.0
+    );
+    println!(
+        "  (note the paper's own unit mix: GiB for TaihuLight, GB for the Pro — \
+         reproduced as printed)"
+    );
+
+    println!("\nflops per lattice update (sustained-Flops accounting):");
+    let flops = swlb_core::collision::flops_per_update(19);
+    let implied = 4.7e15 / 11_245e9;
+    println!(
+        "  ours {} (static kernel count)  vs  paper-implied {:.0} (4.7 PFlops / 11245 GLUPS)",
+        flops, implied
+    );
+
+    println!("\nmachine balance (§III-C): SW26010-Pro B/F = {:.3} (paper: 0.022)",
+        s.machine.cg.dma_bw * 6.0 / (s.machine.cg.peak_flops() * 6.0));
+}

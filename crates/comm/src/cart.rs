@@ -1,0 +1,201 @@
+//! 2-D cartesian process topology.
+//!
+//! The paper decomposes the domain in x and y only (each subdomain keeps the full
+//! z axis, §IV-C.1), so the process grid is 2-D and every rank talks to at most
+//! 8 neighbors (4 faces + 4 corners, because D3Q19's diagonal velocities couple
+//! corner subdomains in the xy plane).
+
+/// A `px × py` cartesian layout over ranks `0..px·py`, row-major
+/// (`rank = cy · px + cx`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cart2d {
+    /// Ranks along x.
+    pub px: usize,
+    /// Ranks along y.
+    pub py: usize,
+    /// Whether neighbor lookups wrap around (periodic domain).
+    pub periodic: bool,
+}
+
+/// The 8-neighborhood offsets in the xy plane, in a fixed order used by the halo
+/// exchange: E, W, N, S, NE, SW, SE, NW.
+pub const NEIGHBOR_OFFSETS: [(i32, i32); 8] = [
+    (1, 0),
+    (-1, 0),
+    (0, 1),
+    (0, -1),
+    (1, 1),
+    (-1, -1),
+    (1, -1),
+    (-1, 1),
+];
+
+impl Cart2d {
+    /// Create a topology; panics if either extent is zero.
+    pub fn new(px: usize, py: usize, periodic: bool) -> Self {
+        assert!(px > 0 && py > 0, "cartesian extents must be nonzero");
+        Self { px, py, periodic }
+    }
+
+    /// Pick a near-square factorization `px × py = n`, preferring `px ≥ py`.
+    ///
+    /// This mirrors the paper's preference for balanced xy subdomains: squarer
+    /// subdomains minimize the halo surface per unit volume.
+    pub fn balanced(n: usize, periodic: bool) -> Self {
+        assert!(n > 0);
+        let mut best = (n, 1);
+        let mut px = (n as f64).sqrt() as usize;
+        while px >= 1 {
+            if n.is_multiple_of(px) {
+                let py = n / px;
+                best = (py.max(px), py.min(px));
+                break;
+            }
+            px -= 1;
+        }
+        Self::new(best.0, best.1, periodic)
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Grid coordinates of `rank`.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        (rank % self.px, rank / self.px)
+    }
+
+    /// Rank at grid coordinates.
+    pub fn rank_of(&self, cx: usize, cy: usize) -> usize {
+        assert!(cx < self.px && cy < self.py);
+        cy * self.px + cx
+    }
+
+    /// Neighbor of `rank` displaced by `(dx, dy)`; `None` at a non-periodic edge.
+    pub fn neighbor(&self, rank: usize, dx: i32, dy: i32) -> Option<usize> {
+        let (cx, cy) = self.coords(rank);
+        let nx = cx as i64 + dx as i64;
+        let ny = cy as i64 + dy as i64;
+        let (nx, ny) = if self.periodic {
+            (
+                nx.rem_euclid(self.px as i64) as usize,
+                ny.rem_euclid(self.py as i64) as usize,
+            )
+        } else {
+            if nx < 0 || ny < 0 || nx >= self.px as i64 || ny >= self.py as i64 {
+                return None;
+            }
+            (nx as usize, ny as usize)
+        };
+        Some(self.rank_of(nx, ny))
+    }
+
+    /// The 8-neighborhood of `rank` in [`NEIGHBOR_OFFSETS`] order; `None` entries
+    /// mark non-periodic edges.
+    pub fn neighbors8(&self, rank: usize) -> [Option<usize>; 8] {
+        let mut out = [None; 8];
+        for (i, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+            out[i] = self.neighbor(rank, *dx, *dy);
+        }
+        out
+    }
+
+    /// Split `total` cells over `parts` as evenly as possible; part `i` gets
+    /// `(offset, len)`. Lower-indexed parts take the remainder (MPI block
+    /// distribution).
+    pub fn block_range(total: usize, parts: usize, i: usize) -> (usize, usize) {
+        assert!(parts > 0 && i < parts);
+        let base = total / parts;
+        let extra = total % parts;
+        let len = base + usize::from(i < extra);
+        let offset = i * base + i.min(extra);
+        (offset, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let c = Cart2d::new(4, 3, false);
+        for r in 0..12 {
+            let (x, y) = c.coords(r);
+            assert_eq!(c.rank_of(x, y), r);
+        }
+    }
+
+    #[test]
+    fn balanced_prefers_square() {
+        let c = Cart2d::balanced(12, false);
+        assert_eq!((c.px, c.py), (4, 3));
+        let c = Cart2d::balanced(16, false);
+        assert_eq!((c.px, c.py), (4, 4));
+        let c = Cart2d::balanced(7, false); // prime
+        assert_eq!((c.px, c.py), (7, 1));
+        let c = Cart2d::balanced(1, false);
+        assert_eq!((c.px, c.py), (1, 1));
+    }
+
+    #[test]
+    fn non_periodic_edges_have_no_neighbor() {
+        let c = Cart2d::new(3, 3, false);
+        assert_eq!(c.neighbor(0, -1, 0), None);
+        assert_eq!(c.neighbor(0, 0, -1), None);
+        assert_eq!(c.neighbor(8, 1, 0), None);
+        assert_eq!(c.neighbor(4, 1, 0), Some(5));
+        assert_eq!(c.neighbor(4, 1, 1), Some(8));
+    }
+
+    #[test]
+    fn periodic_wraps() {
+        let c = Cart2d::new(3, 2, true);
+        assert_eq!(c.neighbor(0, -1, 0), Some(2));
+        assert_eq!(c.neighbor(0, 0, -1), Some(3));
+        assert_eq!(c.neighbor(5, 1, 1), Some(0)); // (2,1) + (1,1) → (0,0)
+    }
+
+    #[test]
+    fn neighbors8_center_rank_has_all() {
+        let c = Cart2d::new(3, 3, false);
+        let n = c.neighbors8(4);
+        assert!(n.iter().all(|x| x.is_some()));
+        // E, W, N, S order spot check.
+        assert_eq!(n[0], Some(5));
+        assert_eq!(n[1], Some(3));
+        assert_eq!(n[2], Some(7));
+        assert_eq!(n[3], Some(1));
+    }
+
+    #[test]
+    fn neighbors8_corner_rank_on_open_grid() {
+        let c = Cart2d::new(3, 3, false);
+        let n = c.neighbors8(0);
+        let present = n.iter().filter(|x| x.is_some()).count();
+        assert_eq!(present, 3); // E, N, NE
+    }
+
+    #[test]
+    fn block_range_covers_and_balances() {
+        let parts = 4;
+        let total = 10;
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for i in 0..parts {
+            let (off, len) = Cart2d::block_range(total, parts, i);
+            assert_eq!(off, prev_end);
+            prev_end = off + len;
+            covered += len;
+            assert!(len == 2 || len == 3);
+        }
+        assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn block_range_single_part() {
+        assert_eq!(Cart2d::block_range(7, 1, 0), (0, 7));
+    }
+}

@@ -1,0 +1,582 @@
+//! The rank-per-thread communicator.
+//!
+//! Semantics mirror the MPI subset SunwayLB uses:
+//!
+//! * `send` is buffered and never blocks (channels are unbounded) — this matches
+//!   the eager protocol of small/medium MPI messages and is what makes the
+//!   on-the-fly halo exchange's `isend` trivially non-blocking.
+//! * `recv(src, tag)` matches on *both* source and tag; out-of-order arrivals are
+//!   stashed in a per-rank unexpected-message queue, exactly like an MPI
+//!   implementation's unexpected queue.
+//! * `irecv` returns a [`RecvRequest`] completed by `wait` — enough to express
+//!   the paper's communication/computation overlap.
+//! * Collectives (`barrier`, `allreduce_sum`, `allreduce_max`, `gather_to_root`,
+//!   `broadcast`) are built from point-to-point messages over reserved tags.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::{Arc, Barrier};
+
+/// Message tag. User tags must stay below [`ReservedTags::RESERVED_BASE`].
+pub type Tag = u64;
+
+/// Namespace helpers for reserved (internal) tags.
+pub struct ReservedTags;
+
+impl ReservedTags {
+    /// First reserved tag; user tags must be `< RESERVED_BASE`.
+    pub const RESERVED_BASE: Tag = 1 << 60;
+    const REDUCE: Tag = Self::RESERVED_BASE;
+    const BCAST: Tag = Self::RESERVED_BASE + 1;
+    const GATHER: Tag = Self::RESERVED_BASE + 2;
+}
+
+/// Errors surfaced by communicator misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// Destination or source rank out of range.
+    RankOutOfRange {
+        /// Offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A user tag collided with the reserved range.
+    ReservedTag(Tag),
+    /// The peer ranks have all exited and the message can never arrive.
+    Disconnected,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            CommError::ReservedTag(t) => write!(f, "tag {t} lies in the reserved range"),
+            CommError::Disconnected => write!(f, "all peers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// An in-flight message: `f64` payload plus routing metadata.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// User or reserved tag.
+    pub tag: Tag,
+    /// Payload (population values, reduced scalars, …).
+    pub data: Vec<f64>,
+}
+
+/// Handle for a posted non-blocking receive; complete with [`Comm::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvRequest {
+    src: usize,
+    tag: Tag,
+}
+
+/// Per-rank communicator endpoint. Not `Sync`: each rank thread owns its own.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Message>>>,
+    rx: Receiver<Message>,
+    /// MPI-style unexpected-message queue.
+    stash: RefCell<Vec<Message>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<(), CommError> {
+        if rank >= self.size {
+            Err(CommError::RankOutOfRange { rank, size: self.size })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_tag(tag: Tag) -> Result<(), CommError> {
+        if tag >= ReservedTags::RESERVED_BASE {
+            Err(CommError::ReservedTag(tag))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn send_raw(&self, dst: usize, tag: Tag, data: Vec<f64>) -> Result<(), CommError> {
+        self.check_rank(dst)?;
+        self.senders[dst]
+            .send(Message { src: self.rank, tag, data })
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    fn recv_raw(&self, src: usize, tag: Tag) -> Result<Vec<f64>, CommError> {
+        self.check_rank(src)?;
+        // First look in the unexpected queue.
+        {
+            let mut stash = self.stash.borrow_mut();
+            if let Some(pos) = stash.iter().position(|m| m.src == src && m.tag == tag) {
+                // `remove`, not `swap_remove`: same-(src, tag) messages from
+                // successive steps must stay FIFO, or a fast neighbor's step
+                // t+1 strip could be consumed before its step t strip.
+                return Ok(stash.remove(pos).data);
+            }
+        }
+        // Then drain the channel, stashing mismatches.
+        loop {
+            let msg = self.rx.recv().map_err(|_| CommError::Disconnected)?;
+            if msg.src == src && msg.tag == tag {
+                return Ok(msg.data);
+            }
+            self.stash.borrow_mut().push(msg);
+        }
+    }
+
+    /// Buffered (non-blocking) send of an `f64` payload.
+    pub fn send(&self, dst: usize, tag: Tag, data: Vec<f64>) -> Result<(), CommError> {
+        Self::check_tag(tag)?;
+        self.send_raw(dst, tag, data)
+    }
+
+    /// Blocking receive matching `(src, tag)`.
+    pub fn recv(&self, src: usize, tag: Tag) -> Result<Vec<f64>, CommError> {
+        Self::check_tag(tag)?;
+        self.recv_raw(src, tag)
+    }
+
+    /// Post a non-blocking receive. The returned request is completed by
+    /// [`Comm::wait`]; matching follows `(src, tag)` like `recv`.
+    pub fn irecv(&self, src: usize, tag: Tag) -> Result<RecvRequest, CommError> {
+        Self::check_tag(tag)?;
+        self.check_rank(src)?;
+        Ok(RecvRequest { src, tag })
+    }
+
+    /// Complete a posted receive, blocking until the message arrives.
+    pub fn wait(&self, req: RecvRequest) -> Result<Vec<f64>, CommError> {
+        self.recv_raw(req.src, req.tag)
+    }
+
+    /// Non-blocking probe: `true` if a matching message is already available
+    /// (either stashed or deliverable without blocking).
+    pub fn probe(&self, src: usize, tag: Tag) -> Result<bool, CommError> {
+        self.check_rank(src)?;
+        if self
+            .stash
+            .borrow()
+            .iter()
+            .any(|m| m.src == src && m.tag == tag)
+        {
+            return Ok(true);
+        }
+        // Drain whatever is immediately available into the stash, then re-check.
+        while let Ok(msg) = self.rx.try_recv() {
+            self.stash.borrow_mut().push(msg);
+        }
+        Ok(self
+            .stash
+            .borrow()
+            .iter()
+            .any(|m| m.src == src && m.tag == tag))
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Element-wise sum across all ranks; every rank receives the result.
+    /// Implemented as reduce-to-root + broadcast (the shape of a small MPI).
+    pub fn allreduce_sum(&self, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        self.allreduce_with(data, |acc, x| *acc += x)
+    }
+
+    /// Element-wise max across all ranks; every rank receives the result.
+    pub fn allreduce_max(&self, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        self.allreduce_with(data, |acc, x| {
+            if x > *acc {
+                *acc = x
+            }
+        })
+    }
+
+    fn allreduce_with(
+        &self,
+        data: &[f64],
+        mut op: impl FnMut(&mut f64, f64),
+    ) -> Result<Vec<f64>, CommError> {
+        if self.size == 1 {
+            return Ok(data.to_vec());
+        }
+        if self.rank == 0 {
+            let mut acc = data.to_vec();
+            for _ in 1..self.size {
+                // Accept contributions in arrival order (any source).
+                let msg = self.recv_any(ReservedTags::REDUCE)?;
+                for (a, &x) in acc.iter_mut().zip(msg.data.iter()) {
+                    op(a, x);
+                }
+            }
+            for dst in 1..self.size {
+                self.send_raw(dst, ReservedTags::BCAST, acc.clone())?;
+            }
+            Ok(acc)
+        } else {
+            self.send_raw(0, ReservedTags::REDUCE, data.to_vec())?;
+            self.recv_raw(0, ReservedTags::BCAST)
+        }
+    }
+
+    /// Receive the next message carrying `tag` from any source.
+    fn recv_any(&self, tag: Tag) -> Result<Message, CommError> {
+        {
+            let mut stash = self.stash.borrow_mut();
+            if let Some(pos) = stash.iter().position(|m| m.tag == tag) {
+                // Order-preserving removal: see `recv_raw`.
+                return Ok(stash.remove(pos));
+            }
+        }
+        loop {
+            let msg = self.rx.recv().map_err(|_| CommError::Disconnected)?;
+            if msg.tag == tag {
+                return Ok(msg);
+            }
+            self.stash.borrow_mut().push(msg);
+        }
+    }
+
+    /// Gather every rank's payload at rank 0 (ordered by rank). Non-roots get
+    /// an empty vec.
+    pub fn gather_to_root(&self, data: &[f64]) -> Result<Vec<Vec<f64>>, CommError> {
+        if self.rank == 0 {
+            let mut out = vec![Vec::new(); self.size];
+            out[0] = data.to_vec();
+            for _ in 1..self.size {
+                let msg = self.recv_any(ReservedTags::GATHER)?;
+                out[msg.src] = msg.data;
+            }
+            Ok(out)
+        } else {
+            self.send_raw(0, ReservedTags::GATHER, data.to_vec())?;
+            Ok(Vec::new())
+        }
+    }
+
+    /// Broadcast rank 0's payload to everyone.
+    pub fn broadcast(&self, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        if self.size == 1 {
+            return Ok(data.to_vec());
+        }
+        if self.rank == 0 {
+            for dst in 1..self.size {
+                self.send_raw(dst, ReservedTags::BCAST, data.to_vec())?;
+            }
+            Ok(data.to_vec())
+        } else {
+            self.recv_raw(0, ReservedTags::BCAST)
+        }
+    }
+}
+
+/// A world of `size` rank threads.
+pub struct World {
+    size: usize,
+}
+
+impl World {
+    /// Create a world with `size` ranks (≥ 1).
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "world size must be at least 1");
+        Self { size }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every rank concurrently and return the per-rank results,
+    /// ordered by rank. Panics in any rank propagate (fail-fast, like an MPI
+    /// abort).
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        let size = self.size;
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let barrier = Arc::new(Barrier::new(size));
+
+        let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let comm = Comm {
+                    rank,
+                    size,
+                    senders: Arc::clone(&senders),
+                    rx,
+                    stash: RefCell::new(Vec::new()),
+                    barrier: Arc::clone(&barrier),
+                };
+                let f = &f;
+                handles.push(scope.spawn(move |_| f(comm)));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                results[rank] = Some(h.join().expect("rank thread panicked"));
+            }
+        })
+        .expect("world scope failed");
+        results.into_iter().map(|r| r.expect("missing rank result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world_runs() {
+        let out = World::new(1).run(|c| {
+            assert_eq!(c.rank(), 0);
+            assert_eq!(c.size(), 1);
+            c.allreduce_sum(&[2.0]).unwrap()[0]
+        });
+        assert_eq!(out, vec![2.0]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0, 2.0, 3.0]).unwrap();
+                c.recv(1, 8).unwrap()
+            } else {
+                let got = c.recv(0, 7).unwrap();
+                c.send(0, 8, got.iter().map(|x| x * 10.0).collect()).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first. The
+        // unexpected-queue must hold the tag-2 message meanwhile.
+        let out = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 2, vec![222.0]).unwrap();
+                c.send(1, 1, vec![111.0]).unwrap();
+                vec![]
+            } else {
+                let first = c.recv(0, 1).unwrap();
+                let second = c.recv(0, 2).unwrap();
+                vec![first[0], second[0]]
+            }
+        });
+        assert_eq!(out[1], vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn source_matching_with_multiple_peers() {
+        let out = World::new(3).run(|c| match c.rank() {
+            0 => {
+                // Receive from rank 2 first even though rank 1's message may
+                // arrive earlier.
+                let a = c.recv(2, 5).unwrap();
+                let b = c.recv(1, 5).unwrap();
+                vec![a[0], b[0]]
+            }
+            r => {
+                c.send(0, 5, vec![r as f64]).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn irecv_wait_completes() {
+        let out = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                let req = c.irecv(1, 3).unwrap();
+                // Do "work" before waiting — the overlap pattern.
+                let x: f64 = (0..100).map(|i| i as f64).sum();
+                let data = c.wait(req).unwrap();
+                vec![data[0] + x * 0.0]
+            } else {
+                c.send(0, 3, vec![42.0]).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![42.0]);
+    }
+
+    #[test]
+    fn probe_sees_pending_message() {
+        let out = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 4, vec![5.0]).unwrap();
+                c.barrier();
+                true
+            } else {
+                c.barrier(); // ensure the message is in flight
+                // Spin briefly until the probe sees it (delivery is async).
+                let mut seen = false;
+                for _ in 0..1000 {
+                    if c.probe(0, 4).unwrap() {
+                        seen = true;
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                assert!(seen, "probe never saw the message");
+                let d = c.recv(0, 4).unwrap();
+                assert_eq!(d, vec![5.0]);
+                seen
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let out = World::new(4).run(|c| {
+            let r = c.rank() as f64;
+            let sum = c.allreduce_sum(&[r, 1.0]).unwrap();
+            let max = c.allreduce_max(&[r]).unwrap();
+            (sum, max)
+        });
+        for (sum, max) in &out {
+            assert_eq!(sum, &vec![6.0, 4.0]);
+            assert_eq!(max, &vec![3.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = World::new(3).run(|c| c.gather_to_root(&[c.rank() as f64 * 2.0]).unwrap());
+        assert_eq!(out[0], vec![vec![0.0], vec![2.0], vec![4.0]]);
+        assert!(out[1].is_empty());
+        assert!(out[2].is_empty());
+    }
+
+    #[test]
+    fn broadcast_distributes_root_payload() {
+        let out = World::new(3).run(|c| {
+            let data = if c.rank() == 0 { vec![9.0, 8.0] } else { vec![] };
+            c.broadcast(&data).unwrap()
+        });
+        for d in &out {
+            assert_eq!(d, &vec![9.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn reserved_tags_are_rejected() {
+        World::new(1).run(|c| {
+            let e = c.send(0, ReservedTags::RESERVED_BASE, vec![]).unwrap_err();
+            assert!(matches!(e, CommError::ReservedTag(_)));
+            let e = c.recv(0, ReservedTags::RESERVED_BASE + 5).unwrap_err();
+            assert!(matches!(e, CommError::ReservedTag(_)));
+        });
+    }
+
+    #[test]
+    fn out_of_range_ranks_are_rejected() {
+        World::new(2).run(|c| {
+            let e = c.send(5, 1, vec![]).unwrap_err();
+            assert_eq!(e, CommError::RankOutOfRange { rank: 5, size: 2 });
+            let e = c.irecv(9, 1).unwrap_err();
+            assert_eq!(e, CommError::RankOutOfRange { rank: 9, size: 2 });
+        });
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        World::new(4).run(|c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must see all 4 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn same_key_messages_stay_fifo_through_the_stash() {
+        // Regression test: rank 0 sends three messages on tag 9 interleaved
+        // with tag-8 traffic; rank 1 first receives tag 8 (stashing the tag-9
+        // messages), then drains tag 9 — which must come back in send order.
+        // A `swap_remove`-based stash broke this and desynchronized the halo
+        // exchange once ranks drifted a step apart.
+        let out = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 9, vec![1.0]).unwrap();
+                c.send(1, 9, vec![2.0]).unwrap();
+                c.send(1, 8, vec![0.0]).unwrap();
+                c.send(1, 9, vec![3.0]).unwrap();
+                vec![]
+            } else {
+                let _ = c.recv(0, 8).unwrap(); // forces the tag-9s into the stash
+                let a = c.recv(0, 9).unwrap()[0];
+                let b = c.recv(0, 9).unwrap()[0];
+                let d = c.recv(0, 9).unwrap()[0];
+                vec![a, b, d]
+            }
+        });
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn heavy_traffic_multi_neighbor_exchange() {
+        // Every rank sends to every other rank; all messages must be matched
+        // correctly by (src, tag).
+        let n = 5;
+        let out = World::new(n).run(|c| {
+            for dst in 0..n {
+                if dst != c.rank() {
+                    c.send(dst, 10 + c.rank() as u64, vec![c.rank() as f64; 8])
+                        .unwrap();
+                }
+            }
+            let mut sum = 0.0;
+            for src in 0..n {
+                if src != c.rank() {
+                    let d = c.recv(src, 10 + src as u64).unwrap();
+                    assert_eq!(d.len(), 8);
+                    sum += d[0];
+                }
+            }
+            sum
+        });
+        let expect: f64 = (0..n).map(|r| r as f64).sum();
+        for (rank, s) in out.iter().enumerate() {
+            assert_eq!(*s, expect - rank as f64);
+        }
+    }
+}

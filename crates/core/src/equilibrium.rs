@@ -1,0 +1,154 @@
+//! The discrete Maxwell–Boltzmann equilibrium of the LBGK model (Qian et al. 1992).
+//!
+//! ```text
+//! f_q^eq = w_q ρ [ 1 + 3 (c_q·u) + 9/2 (c_q·u)² − 3/2 u² ]
+//! ```
+//!
+//! (with lattice sound speed `c_s² = 1/3`, so `1/c_s² = 3`, `1/(2c_s⁴) = 4.5`,
+//! `1/(2c_s²) = 1.5`).
+
+use crate::lattice::Lattice;
+use crate::Scalar;
+
+/// Floating point operations per equilibrium evaluation of a single direction.
+///
+/// Counted from the expression below: one dot product (`2D−1` flops with D≈3 → 5),
+/// plus 6 multiplies/adds to assemble the polynomial. Used by the sustained-Flops
+/// accounting in `swlb-arch::perf`.
+pub const FLOPS_PER_EQUILIBRIUM: usize = 11;
+
+/// Equilibrium population for direction `q` at density `rho` and velocity `u`.
+///
+/// `usq15` must be `1.5 · (u·u)` — hoisting it lets callers amortize the velocity
+/// norm across all `Q` directions (one of the "pre-computation of high-overhead
+/// operations" tricks in the paper's GPU section).
+#[inline(always)]
+pub fn equilibrium_dir<L: Lattice>(q: usize, rho: Scalar, u: [Scalar; 3], usq15: Scalar) -> Scalar {
+    let c = L::C[q];
+    let cu = c[0] as Scalar * u[0] + c[1] as Scalar * u[1] + c[2] as Scalar * u[2];
+    L::W[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - usq15)
+}
+
+/// Full equilibrium vector for `(rho, u)` written into `out` (length `Q`).
+#[inline]
+pub fn equilibrium<L: Lattice>(rho: Scalar, u: [Scalar; 3], out: &mut [Scalar]) {
+    debug_assert_eq!(out.len(), L::Q);
+    let usq15 = 1.5 * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+    for q in 0..L::Q {
+        out[q] = equilibrium_dir::<L>(q, rho, u, usq15);
+    }
+}
+
+/// Compute density and momentum (zeroth and first moments) of a population vector.
+///
+/// Returns `(rho, j)` with `j = Σ_q f_q c_q`; the velocity is `u = j / rho`.
+#[inline(always)]
+pub fn moments<L: Lattice>(f: &[Scalar]) -> (Scalar, [Scalar; 3]) {
+    debug_assert_eq!(f.len(), L::Q);
+    let mut rho = 0.0;
+    let mut j = [0.0; 3];
+    for q in 0..L::Q {
+        let fq = f[q];
+        rho += fq;
+        let c = L::C[q];
+        j[0] += fq * c[0] as Scalar;
+        j[1] += fq * c[1] as Scalar;
+        j[2] += fq * c[2] as Scalar;
+    }
+    (rho, j)
+}
+
+/// Velocity from `(rho, j)`, guarding against division by a vanished density.
+#[inline(always)]
+pub fn velocity(rho: Scalar, j: [Scalar; 3]) -> [Scalar; 3] {
+    if rho.abs() < 1e-300 {
+        [0.0; 3]
+    } else {
+        let inv = 1.0 / rho;
+        [j[0] * inv, j[1] * inv, j[2] * inv]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{D2Q9, D3Q15, D3Q19, D3Q27, Lattice};
+
+    fn check_moments_recovered<L: Lattice>(rho: Scalar, u: [Scalar; 3]) {
+        let mut feq = vec![0.0; L::Q];
+        equilibrium::<L>(rho, u, &mut feq);
+        let (r, j) = moments::<L>(&feq);
+        assert!((r - rho).abs() < 1e-12, "{}: rho {r} != {rho}", L::NAME);
+        for a in 0..L::D {
+            assert!(
+                (j[a] - rho * u[a]).abs() < 1e-12,
+                "{}: j[{a}] = {} != {}",
+                L::NAME,
+                j[a],
+                rho * u[a]
+            );
+        }
+    }
+
+    #[test]
+    fn equilibrium_reproduces_density_and_momentum() {
+        check_moments_recovered::<D2Q9>(1.0, [0.05, -0.02, 0.0]);
+        check_moments_recovered::<D3Q15>(0.9, [0.01, 0.03, -0.04]);
+        check_moments_recovered::<D3Q19>(1.1, [0.02, -0.01, 0.05]);
+        check_moments_recovered::<D3Q27>(1.0, [-0.03, 0.02, 0.01]);
+    }
+
+    #[test]
+    fn equilibrium_at_rest_equals_weights_times_rho() {
+        let mut feq = vec![0.0; D3Q19::Q];
+        equilibrium::<D3Q19>(2.0, [0.0; 3], &mut feq);
+        for q in 0..D3Q19::Q {
+            assert!((feq[q] - 2.0 * D3Q19::W[q]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn second_moment_of_equilibrium_is_isotropic_plus_advective() {
+        // Σ_q feq_q c_a c_b = rho cs² δ_ab + rho u_a u_b  (the Navier–Stokes
+        // pressure + momentum-flux tensor), exact for the quadratic equilibrium.
+        let rho = 1.2;
+        let u = [0.04, -0.03, 0.02];
+        let mut feq = vec![0.0; D3Q19::Q];
+        equilibrium::<D3Q19>(rho, u, &mut feq);
+        for a in 0..3 {
+            for b in 0..3 {
+                let mut pi = 0.0;
+                for q in 0..D3Q19::Q {
+                    pi += feq[q] * (D3Q19::C[q][a] * D3Q19::C[q][b]) as Scalar;
+                }
+                let expect = rho * crate::CS2 * ((a == b) as usize as Scalar) + rho * u[a] * u[b];
+                assert!(
+                    (pi - expect).abs() < 1e-12,
+                    "Pi[{a}][{b}] = {pi}, expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_handles_zero_density() {
+        assert_eq!(velocity(0.0, [1.0, 2.0, 3.0]), [0.0; 3]);
+        let u = velocity(2.0, [1.0, 0.0, 0.0]);
+        assert!((u[0] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equilibrium_is_galilean_symmetric_under_velocity_reflection() {
+        // feq(q; u) == feq(opp(q); -u) because c_opp = -c.
+        let rho = 1.0;
+        let u = [0.06, -0.02, 0.03];
+        let nu = [-0.06, 0.02, -0.03];
+        let mut f_pos = vec![0.0; D3Q19::Q];
+        let mut f_neg = vec![0.0; D3Q19::Q];
+        equilibrium::<D3Q19>(rho, u, &mut f_pos);
+        equilibrium::<D3Q19>(rho, nu, &mut f_neg);
+        for q in 0..D3Q19::Q {
+            assert!((f_pos[q] - f_neg[D3Q19::OPP[q]]).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types shared across the core crate.
+
+use std::fmt;
+
+/// Result alias used by fallible core APIs.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced by the core solver layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A grid dimension was zero or inconsistent with the lattice dimensionality.
+    InvalidDims(String),
+    /// A relaxation parameter was outside the linear-stability range.
+    InvalidRelaxation(String),
+    /// A field of the wrong length was passed to an API expecting one entry per cell.
+    LengthMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the grid requires.
+        expected: usize,
+    },
+    /// The simulation blew up (NaN/Inf detected in the populations).
+    Diverged {
+        /// Time step at which divergence was first observed.
+        step: u64,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidDims(msg) => write!(f, "invalid grid dimensions: {msg}"),
+            CoreError::InvalidRelaxation(msg) => write!(f, "invalid relaxation: {msg}"),
+            CoreError::LengthMismatch { got, expected } => {
+                write!(f, "field length mismatch: got {got}, expected {expected}")
+            }
+            CoreError::Diverged { step } => {
+                write!(f, "simulation diverged (NaN/Inf) at step {step}")
+            }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::LengthMismatch { got: 3, expected: 9 };
+        assert!(e.to_string().contains("got 3"));
+        assert!(e.to_string().contains("expected 9"));
+        let e = CoreError::Diverged { step: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = CoreError::InvalidDims("nx=0".into());
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

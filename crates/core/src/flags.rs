@@ -1,0 +1,269 @@
+//! Per-node boundary flags and painting helpers.
+//!
+//! The [`FlagField`] is the output of the pre-processing stage: one [`NodeKind`]
+//! per lattice node. Painting helpers cover the cases the paper runs (box walls,
+//! moving lids, inflow/outflow planes, voxelized obstacle masks from the mesh
+//! generator).
+
+use crate::boundary::NodeKind;
+use crate::error::Result;
+use crate::geometry::GridDims;
+use crate::Scalar;
+
+/// Dense per-node boundary classification.
+#[derive(Debug, Clone)]
+pub struct FlagField {
+    dims: GridDims,
+    kinds: Vec<NodeKind>,
+}
+
+impl FlagField {
+    /// All-fluid field (periodic domain).
+    pub fn new(dims: GridDims) -> Self {
+        Self {
+            dims,
+            kinds: vec![NodeKind::Fluid; dims.cells()],
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Node kind at a linear cell index.
+    #[inline(always)]
+    pub fn kind(&self, cell: usize) -> NodeKind {
+        self.kinds[cell]
+    }
+
+    /// Node kind at `(x, y, z)`.
+    #[inline(always)]
+    pub fn kind_at(&self, x: usize, y: usize, z: usize) -> NodeKind {
+        self.kinds[self.dims.idx(x, y, z)]
+    }
+
+    /// Set the node kind at `(x, y, z)`.
+    pub fn set(&mut self, x: usize, y: usize, z: usize, kind: NodeKind) {
+        let i = self.dims.idx(x, y, z);
+        self.kinds[i] = kind;
+    }
+
+    /// Raw kinds slice (one entry per cell, memory order).
+    pub fn as_slice(&self) -> &[NodeKind] {
+        &self.kinds
+    }
+
+    /// Mark every outer-surface node as a solid wall.
+    ///
+    /// For 2-D grids (`nz == 1`) only the x/y borders are painted, leaving the
+    /// z direction conceptually periodic.
+    pub fn set_box_walls(&mut self) {
+        let d = self.dims;
+        for [x, y, z] in d.iter() {
+            if d.on_boundary(x, y, z) {
+                self.kinds[d.idx(x, y, z)] = NodeKind::Wall;
+            }
+        }
+    }
+
+    /// Paint the top row/plane (`y = ny − 1`) as a moving wall with velocity `u` —
+    /// the lid of the classic lid-driven cavity.
+    pub fn paint_lid(&mut self, u: [Scalar; 3]) {
+        let d = self.dims;
+        let y = d.ny - 1;
+        for x in 0..d.nx {
+            for z in 0..d.nz {
+                self.kinds[d.idx(x, y, z)] = NodeKind::MovingWall { u };
+            }
+        }
+    }
+
+    /// Paint the `x = 0` plane as a velocity inlet and `x = nx − 1` as an outlet —
+    /// the standard external-flow channel setup (cylinder, Suboff, urban wind).
+    pub fn paint_inflow_outflow_x(&mut self, rho: Scalar, u: [Scalar; 3]) {
+        let d = self.dims;
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                self.kinds[d.idx(0, y, z)] = NodeKind::Inlet { rho, u };
+                self.kinds[d.idx(d.nx - 1, y, z)] = NodeKind::Outlet { normal: [1, 0, 0] };
+            }
+        }
+    }
+
+    /// Paint the `x = 0` plane as a sharp NEBB velocity inlet and `x = nx − 1`
+    /// as a sharp NEBB pressure outlet — the high-accuracy variant of
+    /// [`FlagField::paint_inflow_outflow_x`] (see [`crate::nebb`]).
+    pub fn paint_nebb_inflow_outflow_x(&mut self, u: [Scalar; 3], rho_out: Scalar) {
+        let d = self.dims;
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                self.kinds[d.idx(0, y, z)] = NodeKind::VelocityNebb {
+                    u,
+                    normal: [-1, 0, 0],
+                };
+                self.kinds[d.idx(d.nx - 1, y, z)] = NodeKind::PressureNebb {
+                    rho: rho_out,
+                    normal: [1, 0, 0],
+                };
+            }
+        }
+    }
+
+    /// Paint `y = 0` and `y = ny − 1` planes as solid walls (channel side walls).
+    pub fn paint_channel_walls_y(&mut self) {
+        let d = self.dims;
+        for x in 0..d.nx {
+            for z in 0..d.nz {
+                self.kinds[d.idx(x, 0, z)] = NodeKind::Wall;
+                self.kinds[d.idx(x, d.ny - 1, z)] = NodeKind::Wall;
+            }
+        }
+    }
+
+    /// Paint `z = 0` as a solid ground plane (urban wind, terrain cases).
+    pub fn paint_ground_z(&mut self) {
+        let d = self.dims;
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                self.kinds[d.idx(x, y, 0)] = NodeKind::Wall;
+            }
+        }
+    }
+
+    /// Apply an obstacle mask (`true` = solid), e.g. from the voxelizer.
+    ///
+    /// Existing non-fluid paint is preserved where the mask is `false`.
+    pub fn apply_mask(&mut self, mask: &[bool]) -> Result<()> {
+        self.dims.check_len(mask)?;
+        for (k, &solid) in self.kinds.iter_mut().zip(mask.iter()) {
+            if solid {
+                *k = NodeKind::Wall;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes of each coarse class `(fluid, solid, inlet, outlet)`.
+    pub fn census(&self) -> FlagCensus {
+        let mut c = FlagCensus::default();
+        for k in &self.kinds {
+            match k {
+                NodeKind::Fluid => c.fluid += 1,
+                NodeKind::Wall | NodeKind::MovingWall { .. } => c.solid += 1,
+                NodeKind::Inlet { .. } | NodeKind::VelocityNebb { .. } => c.inlet += 1,
+                NodeKind::Outlet { .. } | NodeKind::PressureNebb { .. } => c.outlet += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Node counts by class; see [`FlagField::census`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlagCensus {
+    /// Bulk fluid nodes.
+    pub fluid: usize,
+    /// Solid nodes (static and moving walls).
+    pub solid: usize,
+    /// Inlet nodes.
+    pub inlet: usize,
+    /// Outlet nodes.
+    pub outlet: usize,
+}
+
+impl FlagCensus {
+    /// Total nodes accounted for.
+    pub fn total(&self) -> usize {
+        self.fluid + self.solid + self.inlet + self.outlet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_field_is_all_fluid() {
+        let f = FlagField::new(GridDims::new(3, 3, 3));
+        let c = f.census();
+        assert_eq!(c.fluid, 27);
+        assert_eq!(c.total(), 27);
+    }
+
+    #[test]
+    fn box_walls_2d_paint_only_xy_border() {
+        let mut f = FlagField::new(GridDims::new2d(4, 4));
+        f.set_box_walls();
+        let c = f.census();
+        // 4x4 grid: 12 border cells, 4 interior.
+        assert_eq!(c.solid, 12);
+        assert_eq!(c.fluid, 4);
+        assert!(f.kind_at(1, 1, 0).is_fluid());
+        assert!(f.kind_at(0, 2, 0).is_solid());
+    }
+
+    #[test]
+    fn box_walls_3d_paint_all_faces() {
+        let mut f = FlagField::new(GridDims::new(4, 4, 4));
+        f.set_box_walls();
+        let c = f.census();
+        // 4³ = 64 cells, interior 2³ = 8.
+        assert_eq!(c.fluid, 8);
+        assert_eq!(c.solid, 56);
+        assert!(f.kind_at(2, 2, 0).is_solid());
+        assert!(f.kind_at(2, 2, 3).is_solid());
+    }
+
+    #[test]
+    fn lid_overrides_top_wall() {
+        let mut f = FlagField::new(GridDims::new2d(4, 4));
+        f.set_box_walls();
+        f.paint_lid([0.1, 0.0, 0.0]);
+        match f.kind_at(2, 3, 0) {
+            NodeKind::MovingWall { u } => assert_eq!(u, [0.1, 0.0, 0.0]),
+            other => panic!("expected moving wall, got {other:?}"),
+        }
+        // Bottom wall untouched.
+        assert_eq!(f.kind_at(2, 0, 0), NodeKind::Wall);
+    }
+
+    #[test]
+    fn inflow_outflow_painting() {
+        let mut f = FlagField::new(GridDims::new(5, 3, 2));
+        f.paint_inflow_outflow_x(1.0, [0.05, 0.0, 0.0]);
+        let c = f.census();
+        assert_eq!(c.inlet, 3 * 2);
+        assert_eq!(c.outlet, 3 * 2);
+        match f.kind_at(4, 1, 1) {
+            NodeKind::Outlet { normal } => assert_eq!(normal, [1, 0, 0]),
+            other => panic!("expected outlet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mask_application_and_length_check() {
+        let dims = GridDims::new2d(3, 3);
+        let mut f = FlagField::new(dims);
+        let mut mask = vec![false; 9];
+        mask[dims.idx(1, 1, 0)] = true;
+        f.apply_mask(&mask).unwrap();
+        assert!(f.kind_at(1, 1, 0).is_solid());
+        assert!(f.kind_at(0, 0, 0).is_fluid());
+        assert!(f.apply_mask(&[false; 8]).is_err());
+    }
+
+    #[test]
+    fn ground_and_channel_walls() {
+        let mut f = FlagField::new(GridDims::new(3, 3, 3));
+        f.paint_ground_z();
+        assert!(f.kind_at(1, 1, 0).is_solid());
+        assert!(f.kind_at(1, 1, 1).is_fluid());
+
+        let mut g = FlagField::new(GridDims::new(3, 4, 2));
+        g.paint_channel_walls_y();
+        assert!(g.kind_at(1, 0, 1).is_solid());
+        assert!(g.kind_at(1, 3, 0).is_solid());
+        assert!(g.kind_at(1, 1, 0).is_fluid());
+    }
+}

@@ -1,0 +1,708 @@
+//! The fused streaming+collision kernel (the paper's production kernel).
+//!
+//! SunwayLB uses the **pull scheme** (Wellein et al., ref. \[40\]): one loop over the
+//! domain in which every cell gathers its incoming populations from the previous
+//! time level (`src`), applies boundary rules inline, collides, and stores the
+//! post-collision state to the next time level (`dst`). With the A-B buffer pair
+//! this is race-free and needs no synchronization between streaming and collision
+//! — the property the paper exploits to fuse the memory-bound propagation with the
+//! compute-bound collision (§IV-C.3, ~30 % gain on Sunway).
+//!
+//! Two implementations are provided:
+//!
+//! * [`fused_step_range`] — the generic reference kernel, valid for every lattice,
+//!   layout and boundary condition. All other execution paths in the workspace
+//!   (split kernels, push scheme, the CPE-cluster emulator in `swlb-arch`, the
+//!   distributed engine in `swlb-sim`) are tested for exact agreement with it.
+//! * [`fused_step_d3q19_interior`] — a hand-specialized D3Q19/SoA kernel with
+//!   hoisted neighbor offsets and a fully unrolled direction loop, the portable
+//!   analog of the paper's assembly-level optimization stage (manual unroll +
+//!   instruction reordering). It handles interior cells only; callers finish the
+//!   boundary shell with the generic kernel.
+
+use crate::boundary::NodeKind;
+use crate::collision::{collide, CollisionKind};
+use crate::equilibrium::{equilibrium, moments};
+use crate::flags::FlagField;
+use crate::lattice::{Lattice, D3Q19};
+use crate::layout::{PopField, SoaField};
+use crate::Scalar;
+use std::ops::Range;
+
+/// Largest `Q` across the supported lattices; sizes the per-cell stack buffer.
+pub const MAX_Q: usize = 32;
+
+/// Gather the incoming populations of cell `(x, y, z)` from `src` into `f`,
+/// applying bounce-back rules against solid neighbors. Periodic wrap is the
+/// default at domain edges.
+#[inline(always)]
+pub fn gather_pull<L: Lattice, F: PopField<L>>(
+    flags: &FlagField,
+    src: &F,
+    x: usize,
+    y: usize,
+    z: usize,
+    f: &mut [Scalar],
+) {
+    let dims = flags.dims();
+    let this = dims.idx(x, y, z);
+    for q in 0..L::Q {
+        let c = L::C[q];
+        let [nx, ny, nz] = dims.neighbor_periodic(x, y, z, [-c[0], -c[1], -c[2]]);
+        let n = dims.idx(nx, ny, nz);
+        f[q] = match flags.kind(n) {
+            NodeKind::Wall => src.get(this, L::OPP[q]),
+            NodeKind::MovingWall { u } => {
+                // Halfway bounce-back with wall-momentum correction
+                // (Ladd): f_q = f*_opp(q) + 6 w_q ρ₀ (c_q · u_w), ρ₀ = 1.
+                let cu =
+                    c[0] as Scalar * u[0] + c[1] as Scalar * u[1] + c[2] as Scalar * u[2];
+                src.get(this, L::OPP[q]) + 6.0 * L::W[q] * cu
+            }
+            _ => src.get(n, q),
+        };
+    }
+}
+
+/// Write the post-step state of a non-fluid cell directly into `dst`.
+///
+/// * solid cells copy through (their populations are inert but kept deterministic
+///   so that checkpoints and equivalence tests are exact),
+/// * inlets are reset to their imposed equilibrium,
+/// * outlets copy the full population vector of their interior neighbor
+///   (zero-gradient closure).
+#[inline]
+pub fn apply_non_fluid<L: Lattice, F: PopField<L>>(
+    flags: &FlagField,
+    src: &F,
+    dst: &mut F,
+    x: usize,
+    y: usize,
+    z: usize,
+    kind: NodeKind,
+) {
+    let dims = flags.dims();
+    let this = dims.idx(x, y, z);
+    match kind {
+        NodeKind::Wall | NodeKind::MovingWall { .. } => {
+            for q in 0..L::Q {
+                dst.set(this, q, src.get(this, q));
+            }
+        }
+        NodeKind::Inlet { rho, u } => {
+            let mut feq = [0.0; MAX_Q];
+            equilibrium::<L>(rho, u, &mut feq[..L::Q]);
+            dst.store_cell(this, &feq[..L::Q]);
+        }
+        NodeKind::Outlet { normal } => {
+            let m = dims
+                .neighbor_checked(x, y, z, [-normal[0], -normal[1], -normal[2]])
+                .map(|[a, b, c]| dims.idx(a, b, c))
+                .unwrap_or(this);
+            for q in 0..L::Q {
+                dst.set(this, q, src.get(m, q));
+            }
+        }
+        NodeKind::Fluid | NodeKind::VelocityNebb { .. } | NodeKind::PressureNebb { .. } => {
+            unreachable!("apply_non_fluid called on a streaming cell")
+        }
+    }
+}
+
+/// Reconstruct the unknown populations of a NEBB boundary cell in place (no-op
+/// for other kinds). Called between gather and collision.
+#[inline(always)]
+pub fn reconstruct_nebb<L: Lattice>(f: &mut [Scalar], kind: NodeKind) {
+    match kind {
+        NodeKind::VelocityNebb { u, normal } => {
+            crate::nebb::reconstruct_velocity::<L>(f, u, normal);
+        }
+        NodeKind::PressureNebb { rho, normal } => {
+            crate::nebb::reconstruct_pressure::<L>(f, rho, normal);
+        }
+        _ => {}
+    }
+}
+
+/// One fused stream+collide step over the y-slab `ys` (generic reference kernel).
+///
+/// `src` must hold the complete post-collision state of the previous step; `dst`
+/// receives the new state. Slabs with disjoint `ys` touch disjoint `dst` cells,
+/// which is what makes the multithreaded driver in [`crate::parallel`] sound.
+pub fn fused_step_range<L: Lattice, F: PopField<L>>(
+    flags: &FlagField,
+    src: &F,
+    dst: &mut F,
+    collision: &CollisionKind,
+    ys: Range<usize>,
+) {
+    let dims = flags.dims();
+    debug_assert!(ys.end <= dims.ny);
+    let mut f = [0.0; MAX_Q];
+    for y in ys {
+        for x in 0..dims.nx {
+            for z in 0..dims.nz {
+                let this = dims.idx(x, y, z);
+                let kind = flags.kind(this);
+                if kind.is_fluid() || kind.is_nebb() {
+                    gather_pull::<L, F>(flags, src, x, y, z, &mut f[..L::Q]);
+                    reconstruct_nebb::<L>(&mut f[..L::Q], kind);
+                    collide::<L>(&mut f[..L::Q], collision);
+                    dst.store_cell(this, &f[..L::Q]);
+                } else {
+                    apply_non_fluid::<L, F>(flags, src, dst, x, y, z, kind);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: fused step over the whole domain.
+pub fn fused_step<L: Lattice, F: PopField<L>>(
+    flags: &FlagField,
+    src: &F,
+    dst: &mut F,
+    collision: &CollisionKind,
+) {
+    fused_step_range::<L, F>(flags, src, dst, collision, 0..flags.dims().ny);
+}
+
+/// Hand-optimized fused kernel for **interior** D3Q19/SoA cells of the y-slab `ys`.
+///
+/// Interior means `1 ≤ x < nx−1`, `1 ≤ y < ny−1`, `1 ≤ z < nz−1` *and* all 18
+/// neighbors are fluid; the caller is responsible for running the generic kernel
+/// on everything else (see [`fused_step_optimized`]). Under those guarantees each
+/// neighbor is a constant linear offset, the direction loop is fully unrolled, and
+/// no flag checks or wraps happen in the hot loop — the Rust analog of the paper's
+/// manually scheduled assembly kernel.
+pub fn fused_step_d3q19_interior(
+    flags: &FlagField,
+    src: &SoaField<D3Q19>,
+    dst: &mut SoaField<D3Q19>,
+    omega: Scalar,
+    ys: Range<usize>,
+    interior_mask: &[bool],
+) {
+    let dims = flags.dims();
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    if nx < 3 || ny < 3 || nz < 3 {
+        return; // no interior at all; generic path covers everything
+    }
+    let cells = dims.cells();
+    debug_assert_eq!(interior_mask.len(), cells);
+
+    // Per-direction linear offset of the *pull source* (x − c_q).
+    let mut off = [0isize; 19];
+    for q in 0..19 {
+        let c = D3Q19::C[q];
+        off[q] = -((c[1] as isize * nx as isize + c[0] as isize) * nz as isize + c[2] as isize);
+    }
+
+    let sraw = src.raw();
+    let draw = dst.raw_mut();
+
+    let y0 = ys.start.max(1);
+    let y1 = ys.end.min(ny - 1);
+    let mut f = [0.0f64; 19];
+    for y in y0..y1 {
+        for x in 1..nx - 1 {
+            let base = (y * nx + x) * nz;
+            for z in 1..nz - 1 {
+                let this = base + z;
+                if !interior_mask[this] {
+                    continue;
+                }
+                // Gather: plane q starts at q·cells; source offset is constant.
+                // The unrolled form keeps all 19 loads independent so the
+                // compiler can software-pipeline them (the paper's L0/L1
+                // dual-pipeline scheduling, in spirit).
+                macro_rules! pull {
+                    ($q:literal) => {
+                        f[$q] = sraw[($q * cells) as usize
+                            + (this as isize + off[$q]) as usize];
+                    };
+                }
+                pull!(0);
+                pull!(1);
+                pull!(2);
+                pull!(3);
+                pull!(4);
+                pull!(5);
+                pull!(6);
+                pull!(7);
+                pull!(8);
+                pull!(9);
+                pull!(10);
+                pull!(11);
+                pull!(12);
+                pull!(13);
+                pull!(14);
+                pull!(15);
+                pull!(16);
+                pull!(17);
+                pull!(18);
+
+                // Moments, unrolled against the D3Q19 velocity table.
+                let rho = f[0]
+                    + f[1]
+                    + f[2]
+                    + f[3]
+                    + f[4]
+                    + f[5]
+                    + f[6]
+                    + f[7]
+                    + f[8]
+                    + f[9]
+                    + f[10]
+                    + f[11]
+                    + f[12]
+                    + f[13]
+                    + f[14]
+                    + f[15]
+                    + f[16]
+                    + f[17]
+                    + f[18];
+                let jx = f[1] - f[2] + f[7] - f[8] + f[9] - f[10] + f[11] - f[12] + f[13] - f[14];
+                let jy = f[3] - f[4] + f[7] - f[8] - f[9] + f[10] + f[15] - f[16] + f[17] - f[18];
+                let jz = f[5] - f[6] + f[11] - f[12] - f[13] + f[14] + f[15] - f[16] - f[17] + f[18];
+                let inv_rho = 1.0 / rho;
+                let ux = jx * inv_rho;
+                let uy = jy * inv_rho;
+                let uz = jz * inv_rho;
+                let usq15 = 1.5 * (ux * ux + uy * uy + uz * uz);
+
+                // Collision with precomputed weight constants.
+                const W0: f64 = 1.0 / 3.0;
+                const WA: f64 = 1.0 / 18.0;
+                const WE: f64 = 1.0 / 36.0;
+                macro_rules! relax {
+                    ($q:literal, $w:expr, $cu:expr) => {{
+                        let cu = $cu;
+                        let feq = $w * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - usq15);
+                        f[$q] -= omega * (f[$q] - feq);
+                    }};
+                }
+                relax!(0, W0, 0.0);
+                relax!(1, WA, ux);
+                relax!(2, WA, -ux);
+                relax!(3, WA, uy);
+                relax!(4, WA, -uy);
+                relax!(5, WA, uz);
+                relax!(6, WA, -uz);
+                relax!(7, WE, ux + uy);
+                relax!(8, WE, -ux - uy);
+                relax!(9, WE, ux - uy);
+                relax!(10, WE, -ux + uy);
+                relax!(11, WE, ux + uz);
+                relax!(12, WE, -ux - uz);
+                relax!(13, WE, ux - uz);
+                relax!(14, WE, -ux + uz);
+                relax!(15, WE, uy + uz);
+                relax!(16, WE, -uy - uz);
+                relax!(17, WE, uy - uz);
+                relax!(18, WE, -uy + uz);
+
+                // Scatter back to the SoA planes.
+                macro_rules! store {
+                    ($q:literal) => {
+                        draw[$q * cells + this] = f[$q];
+                    };
+                }
+                store!(0);
+                store!(1);
+                store!(2);
+                store!(3);
+                store!(4);
+                store!(5);
+                store!(6);
+                store!(7);
+                store!(8);
+                store!(9);
+                store!(10);
+                store!(11);
+                store!(12);
+                store!(13);
+                store!(14);
+                store!(15);
+                store!(16);
+                store!(17);
+                store!(18);
+            }
+        }
+    }
+}
+
+/// Precompute the interior-fast-path mask for [`fused_step_d3q19_interior`]:
+/// `true` where the cell is fluid, geometrically interior, and all 18 pull
+/// sources are fluid too.
+pub fn interior_mask<L: Lattice>(flags: &FlagField) -> Vec<bool> {
+    let dims = flags.dims();
+    let mut mask = vec![false; dims.cells()];
+    if dims.nx < 3 || dims.ny < 3 || dims.nz < 3 {
+        return mask;
+    }
+    for y in 1..dims.ny - 1 {
+        for x in 1..dims.nx - 1 {
+            for z in 1..dims.nz - 1 {
+                let this = dims.idx(x, y, z);
+                if !flags.kind(this).is_fluid() {
+                    continue;
+                }
+                let mut ok = true;
+                for q in 1..L::Q {
+                    let c = L::C[q];
+                    let [a, b, d] = dims.neighbor_periodic(x, y, z, [-c[0], -c[1], -c[2]]);
+                    if !flags.kind(dims.idx(a, b, d)).is_fluid() {
+                        ok = false;
+                        break;
+                    }
+                }
+                mask[this] = ok;
+            }
+        }
+    }
+    mask
+}
+
+/// Full fused step that runs the optimized interior kernel where possible and the
+/// generic kernel everywhere else. Exactly equivalent to [`fused_step`]; only
+/// valid for constant-ω BGK (the optimized kernel does not implement LES).
+pub fn fused_step_optimized(
+    flags: &FlagField,
+    src: &SoaField<D3Q19>,
+    dst: &mut SoaField<D3Q19>,
+    omega: Scalar,
+    mask: &[bool],
+    ys: Range<usize>,
+) {
+    let dims = flags.dims();
+    fused_step_d3q19_interior(flags, src, dst, omega, ys.clone(), mask);
+    // Finish every cell the fast path skipped.
+    let collision = CollisionKind::Bgk(crate::collision::BgkParams::from_tau(1.0 / omega));
+    let mut f = [0.0; MAX_Q];
+    for y in ys {
+        for x in 0..dims.nx {
+            for z in 0..dims.nz {
+                let this = dims.idx(x, y, z);
+                if mask[this] {
+                    continue;
+                }
+                let kind = flags.kind(this);
+                if kind.is_fluid() || kind.is_nebb() {
+                    gather_pull::<D3Q19, _>(flags, src, x, y, z, &mut f[..19]);
+                    reconstruct_nebb::<D3Q19>(&mut f[..19], kind);
+                    collide::<D3Q19>(&mut f[..19], &collision);
+                    dst.store_cell(this, &f[..19]);
+                } else {
+                    apply_non_fluid::<D3Q19, _>(flags, src, dst, x, y, z, kind);
+                }
+            }
+        }
+    }
+}
+
+/// Compute `(rho, u)` of a cell directly from a population field.
+#[inline]
+pub fn cell_moments<L: Lattice, F: PopField<L>>(field: &F, cell: usize) -> (Scalar, [Scalar; 3]) {
+    let mut f = [0.0; MAX_Q];
+    field.load_cell(cell, &mut f[..L::Q]);
+    let (rho, j) = moments::<L>(&f[..L::Q]);
+    (rho, crate::equilibrium::velocity(rho, j))
+}
+
+/// Initialize every non-solid cell of `field` to `f_eq(rho, u)`.
+pub fn initialize_equilibrium<L: Lattice, F: PopField<L>>(
+    flags: &FlagField,
+    field: &mut F,
+    rho: Scalar,
+    u: [Scalar; 3],
+) {
+    let mut feq = [0.0; MAX_Q];
+    equilibrium::<L>(rho, u, &mut feq[..L::Q]);
+    for cell in 0..field.cells() {
+        if !flags.kind(cell).is_solid() {
+            field.store_cell(cell, &feq[..L::Q]);
+        } else {
+            // Deterministic inert state for solids.
+            for q in 0..L::Q {
+                field.set(cell, q, L::W[q] * rho);
+            }
+        }
+    }
+}
+
+/// Initialize with a position-dependent velocity field (e.g. Taylor–Green).
+pub fn initialize_with<L: Lattice, F: PopField<L>>(
+    flags: &FlagField,
+    field: &mut F,
+    mut state: impl FnMut(usize, usize, usize) -> (Scalar, [Scalar; 3]),
+) {
+    let dims = flags.dims();
+    let mut feq = [0.0; MAX_Q];
+    for [x, y, z] in dims.iter() {
+        let cell = dims.idx(x, y, z);
+        let (rho, u) = state(x, y, z);
+        if !flags.kind(cell).is_solid() {
+            equilibrium::<L>(rho, u, &mut feq[..L::Q]);
+            field.store_cell(cell, &feq[..L::Q]);
+        } else {
+            for q in 0..L::Q {
+                field.set(cell, q, L::W[q] * rho);
+            }
+        }
+    }
+}
+
+/// Count flop-relevant (fluid) cells — the "lattice updates" of GLUPS accounting.
+pub fn active_cells(flags: &FlagField) -> usize {
+    flags.census().fluid
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::BgkParams;
+    use crate::geometry::GridDims;
+    use crate::lattice::D2Q9;
+    use crate::layout::AosField;
+
+    fn setup_random_field<L: Lattice, F: PopField<L>>(dims: GridDims, seed: u64) -> F {
+        let mut field = F::new(dims);
+        let mut s = seed;
+        let mut next = move || {
+            // xorshift64*
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as Scalar / (1u64 << 53) as Scalar
+        };
+        for cell in 0..field.cells() {
+            for q in 0..L::Q {
+                field.set(cell, q, 0.02 + 0.05 * next());
+            }
+        }
+        field
+    }
+
+    #[test]
+    fn fused_step_preserves_mass_on_periodic_domain() {
+        let dims = GridDims::new(6, 5, 4);
+        let flags = FlagField::new(dims);
+        let src: SoaField<D3Q19> = setup_random_field(dims, 7);
+        let mut dst = SoaField::<D3Q19>::new(dims);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        fused_step(&flags, &src, &mut dst, &coll);
+
+        let total = |f: &SoaField<D3Q19>| -> Scalar {
+            (0..f.cells()).map(|c| cell_moments::<D3Q19, _>(f, c).0).sum()
+        };
+        assert!((total(&src) - total(&dst)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fused_step_preserves_momentum_on_periodic_domain() {
+        let dims = GridDims::new(4, 4, 4);
+        let flags = FlagField::new(dims);
+        let src: SoaField<D3Q19> = setup_random_field(dims, 99);
+        let mut dst = SoaField::<D3Q19>::new(dims);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.7));
+        fused_step(&flags, &src, &mut dst, &coll);
+
+        let mom = |f: &SoaField<D3Q19>| -> [Scalar; 3] {
+            let mut m = [0.0; 3];
+            let mut buf = [0.0; MAX_Q];
+            for c in 0..f.cells() {
+                f.load_cell(c, &mut buf[..19]);
+                let (_, j) = moments::<D3Q19>(&buf[..19]);
+                for a in 0..3 {
+                    m[a] += j[a];
+                }
+            }
+            m
+        };
+        let (m0, m1) = (mom(&src), mom(&dst));
+        for a in 0..3 {
+            assert!((m0[a] - m1[a]).abs() < 1e-10, "axis {a}: {} vs {}", m0[a], m1[a]);
+        }
+    }
+
+    #[test]
+    fn soa_and_aos_produce_identical_states() {
+        let dims = GridDims::new(5, 4, 3);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.9));
+
+        let soa_src: SoaField<D3Q19> = setup_random_field(dims, 5);
+        let mut aos_src = AosField::<D3Q19>::new(dims);
+        for c in 0..dims.cells() {
+            for q in 0..19 {
+                aos_src.set(c, q, soa_src.get(c, q));
+            }
+        }
+        let mut soa_dst = SoaField::<D3Q19>::new(dims);
+        let mut aos_dst = AosField::<D3Q19>::new(dims);
+        fused_step(&flags, &soa_src, &mut soa_dst, &coll);
+        fused_step(&flags, &aos_src, &mut aos_dst, &coll);
+        for c in 0..dims.cells() {
+            for q in 0..19 {
+                assert_eq!(soa_dst.get(c, q), aos_dst.get(c, q), "cell {c} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_kernel_matches_generic_exactly() {
+        let dims = GridDims::new(8, 7, 6);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        // Add an off-center obstacle to exercise the mask boundary.
+        flags.set(3, 3, 3, NodeKind::Wall);
+        flags.set(4, 3, 3, NodeKind::Wall);
+
+        let tau = 0.85;
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(tau));
+        let src: SoaField<D3Q19> = setup_random_field(dims, 21);
+        let mask = interior_mask::<D3Q19>(&flags);
+
+        let mut ref_dst = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut ref_dst, &coll);
+
+        let mut opt_dst = SoaField::<D3Q19>::new(dims);
+        fused_step_optimized(&flags, &src, &mut opt_dst, 1.0 / tau, &mask, 0..dims.ny);
+
+        for c in 0..dims.cells() {
+            for q in 0..19 {
+                let (r, o) = (ref_dst.get(c, q), opt_dst.get(c, q));
+                assert!(
+                    (r - o).abs() < 1e-14,
+                    "cell {c} q {q}: generic {r} vs optimized {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_mask_excludes_obstacle_neighbors() {
+        let dims = GridDims::new(7, 7, 7);
+        let mut flags = FlagField::new(dims);
+        flags.set(3, 3, 3, NodeKind::Wall);
+        let mask = interior_mask::<D3Q19>(&flags);
+        // The wall itself and any cell that pulls from it are excluded.
+        assert!(!mask[dims.idx(3, 3, 3)]);
+        assert!(!mask[dims.idx(4, 3, 3)]);
+        assert!(!mask[dims.idx(3, 4, 3)]);
+        // A far-away interior cell is included.
+        assert!(mask[dims.idx(1, 1, 1)]);
+        // Geometric boundary is excluded even on an all-fluid grid.
+        assert!(!mask[dims.idx(0, 3, 3)]);
+    }
+
+    #[test]
+    fn inlet_cells_hold_imposed_equilibrium_after_step() {
+        let dims = GridDims::new(6, 4, 3);
+        let mut flags = FlagField::new(dims);
+        let u_in = [0.07, 0.0, 0.0];
+        flags.paint_inflow_outflow_x(1.0, u_in);
+        let src: SoaField<D3Q19> = setup_random_field(dims, 3);
+        let mut dst = SoaField::<D3Q19>::new(dims);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        fused_step(&flags, &src, &mut dst, &coll);
+
+        let (rho, u) = cell_moments::<D3Q19, _>(&dst, dims.idx(0, 2, 1));
+        assert!((rho - 1.0).abs() < 1e-12);
+        assert!((u[0] - 0.07).abs() < 1e-12);
+        assert!(u[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlet_cells_copy_interior_neighbor() {
+        let dims = GridDims::new(6, 4, 3);
+        let mut flags = FlagField::new(dims);
+        flags.paint_inflow_outflow_x(1.0, [0.05, 0.0, 0.0]);
+        let src: SoaField<D3Q19> = setup_random_field(dims, 11);
+        let mut dst = SoaField::<D3Q19>::new(dims);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        fused_step(&flags, &src, &mut dst, &coll);
+
+        let out = dims.idx(5, 1, 1);
+        let nb = dims.idx(4, 1, 1);
+        for q in 0..19 {
+            assert_eq!(dst.get(out, q), src.get(nb, q));
+        }
+    }
+
+    #[test]
+    fn moving_wall_injects_momentum() {
+        // A sealed 2-D cavity with a moving lid must develop net x-momentum.
+        let dims = GridDims::new2d(8, 8);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        flags.paint_lid([0.1, 0.0, 0.0]);
+        let mut src = SoaField::<D2Q9>::new(dims);
+        initialize_equilibrium::<D2Q9, _>(&flags, &mut src, 1.0, [0.0; 3]);
+        let mut dst = SoaField::<D2Q9>::new(dims);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        for _ in 0..10 {
+            fused_step(&flags, &src, &mut dst, &coll);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let mut jx = 0.0;
+        for c in 0..dims.cells() {
+            if flags.kind(c).is_fluid() {
+                let (rho, u) = cell_moments::<D2Q9, _>(&src, c);
+                jx += rho * u[0];
+            }
+        }
+        assert!(jx > 1e-6, "lid failed to drag fluid: jx = {jx}");
+    }
+
+    #[test]
+    fn static_walls_keep_fluid_at_rest() {
+        // Equilibrium fluid at rest in a sealed box stays exactly at rest.
+        let dims = GridDims::new(6, 6, 6);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        let mut src = SoaField::<D3Q19>::new(dims);
+        initialize_equilibrium::<D3Q19, _>(&flags, &mut src, 1.0, [0.0; 3]);
+        let mut dst = SoaField::<D3Q19>::new(dims);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.6));
+        for _ in 0..5 {
+            fused_step(&flags, &src, &mut dst, &coll);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        for c in 0..dims.cells() {
+            if flags.kind(c).is_fluid() {
+                let (rho, u) = cell_moments::<D3Q19, _>(&src, c);
+                assert!((rho - 1.0).abs() < 1e-12);
+                for a in 0..3 {
+                    assert!(u[a].abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slab_union_equals_full_step() {
+        let dims = GridDims::new(5, 6, 4);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        let src: SoaField<D3Q19> = setup_random_field(dims, 17);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.75));
+
+        let mut whole = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut whole, &coll);
+
+        let mut pieces = SoaField::<D3Q19>::new(dims);
+        fused_step_range(&flags, &src, &mut pieces, &coll, 0..2);
+        fused_step_range(&flags, &src, &mut pieces, &coll, 2..5);
+        fused_step_range(&flags, &src, &mut pieces, &coll, 5..6);
+
+        for c in 0..dims.cells() {
+            for q in 0..19 {
+                assert_eq!(whole.get(c, q), pieces.get(c, q));
+            }
+        }
+    }
+}

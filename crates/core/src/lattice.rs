@@ -1,0 +1,414 @@
+//! Lattice descriptors (DnQm velocity sets).
+//!
+//! The paper's production runs use **D3Q19** (Fig. 3 of the paper); D2Q9 is provided
+//! for 2-D validation cases, and D3Q15 / D3Q27 round out the usual cubic family so
+//! that accuracy/bandwidth trade-offs can be studied (the bytes-per-cell-update of
+//! the performance model scale with `Q`).
+//!
+//! A descriptor is a zero-sized type implementing [`Lattice`]: it exposes the
+//! discrete velocities `c_q`, the quadrature weights `w_q` and the opposite-direction
+//! permutation used by bounce-back. Velocities are stored as `[i32; 3]` even for 2-D
+//! models (with `c_z = 0`) so that all generic kernels can be written once.
+
+use crate::Scalar;
+
+/// A discrete velocity set.
+///
+/// Implementors must satisfy the standard lattice Boltzmann quadrature constraints
+/// (checked exhaustively by this module's tests):
+///
+/// * `Σ_q w_q = 1`
+/// * `Σ_q w_q c_q = 0`
+/// * `Σ_q w_q c_qα c_qβ = c_s² δ_αβ` with `c_s² = 1/3`
+/// * `c_{opp(q)} = -c_q`
+pub trait Lattice: Copy + Send + Sync + 'static {
+    /// Spatial dimensionality (2 or 3).
+    const D: usize;
+    /// Number of discrete velocities.
+    const Q: usize;
+    /// Human-readable name, e.g. `"D3Q19"`.
+    const NAME: &'static str;
+    /// Discrete velocity vectors; `C[q]` is the displacement of direction `q`.
+    const C: &'static [[i32; 3]];
+    /// Quadrature weights.
+    const W: &'static [Scalar];
+    /// Opposite-direction permutation: `C[OPP[q]] == -C[q]`.
+    const OPP: &'static [usize];
+
+    /// Bytes loaded + stored per lattice-cell update in the paper's accounting.
+    ///
+    /// The paper (§IV-C.3) counts **380 B/LUP for D3Q19** in double precision,
+    /// i.e. `2.5 · Q · 8` bytes: one read of each population, one write, and a
+    /// half-weight charge for the write-allocate traffic of the store stream.
+    /// We use the same formula for all lattices so the roofline model stays
+    /// consistent across velocity sets.
+    fn bytes_per_lup() -> usize {
+        // 2.5 * Q * sizeof(f64), computed in integer arithmetic.
+        Self::Q * 8 * 5 / 2
+    }
+}
+
+macro_rules! declare_lattice {
+    ($(#[$doc:meta])* $name:ident, d = $d:expr, q = $q:expr, c = $c:expr, w = $w:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct $name;
+
+        impl $name {
+            const C_ARR: [[i32; 3]; $q] = $c;
+            const W_ARR: [Scalar; $q] = $w;
+            const OPP_ARR: [usize; $q] = opposites(&Self::C_ARR);
+        }
+
+        impl Lattice for $name {
+            const D: usize = $d;
+            const Q: usize = $q;
+            const NAME: &'static str = stringify!($name);
+            const C: &'static [[i32; 3]] = &Self::C_ARR;
+            const W: &'static [Scalar] = &Self::W_ARR;
+            const OPP: &'static [usize] = &Self::OPP_ARR;
+        }
+    };
+}
+
+/// Compute the opposite-direction permutation at compile time.
+const fn opposites<const Q: usize>(c: &[[i32; 3]; Q]) -> [usize; Q] {
+    let mut opp = [usize::MAX; Q];
+    let mut q = 0;
+    while q < Q {
+        let mut r = 0;
+        while r < Q {
+            if c[r][0] == -c[q][0] && c[r][1] == -c[q][1] && c[r][2] == -c[q][2] {
+                opp[q] = r;
+            }
+            r += 1;
+        }
+        // A malformed velocity set (missing opposite) fails loudly at compile time.
+        assert!(opp[q] != usize::MAX, "velocity set is not symmetric");
+        q += 1;
+    }
+    opp
+}
+
+declare_lattice!(
+    /// The standard 2-D nine-velocity lattice.
+    ///
+    /// Used by the 2-D validation cases (lid-driven cavity, Poiseuille/Couette
+    /// channels, Taylor–Green). Weights: rest 4/9, axis 1/9, diagonal 1/36.
+    D2Q9,
+    d = 2,
+    q = 9,
+    c = [
+        [0, 0, 0],
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [1, 1, 0],
+        [-1, -1, 0],
+        [1, -1, 0],
+        [-1, 1, 0],
+    ],
+    w = [
+        4.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+    ]
+);
+
+declare_lattice!(
+    /// The 3-D fifteen-velocity lattice (rest + 6 axis + 8 corners).
+    ///
+    /// Cheaper than D3Q19 per cell but less isotropic; included for
+    /// bandwidth-vs-accuracy studies. Weights: rest 2/9, axis 1/9, corner 1/72.
+    D3Q15,
+    d = 3,
+    q = 15,
+    c = [
+        [0, 0, 0],
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [0, 0, 1],
+        [0, 0, -1],
+        [1, 1, 1],
+        [-1, -1, -1],
+        [1, 1, -1],
+        [-1, -1, 1],
+        [1, -1, 1],
+        [-1, 1, -1],
+        [1, -1, -1],
+        [-1, 1, 1],
+    ],
+    w = [
+        2.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 72.0,
+        1.0 / 72.0,
+        1.0 / 72.0,
+        1.0 / 72.0,
+        1.0 / 72.0,
+        1.0 / 72.0,
+        1.0 / 72.0,
+        1.0 / 72.0,
+    ]
+);
+
+declare_lattice!(
+    /// The 3-D nineteen-velocity lattice used by SunwayLB's production runs
+    /// (rest + 6 axis + 12 edge diagonals; Fig. 3 of the paper).
+    ///
+    /// Weights: rest 1/3, axis 1/18, edge 1/36. In double precision this is
+    /// `19 × 8 = 152` bytes of populations per cell and the paper's 380 B/LUP.
+    D3Q19,
+    d = 3,
+    q = 19,
+    c = [
+        [0, 0, 0],
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [0, 0, 1],
+        [0, 0, -1],
+        [1, 1, 0],
+        [-1, -1, 0],
+        [1, -1, 0],
+        [-1, 1, 0],
+        [1, 0, 1],
+        [-1, 0, -1],
+        [1, 0, -1],
+        [-1, 0, 1],
+        [0, 1, 1],
+        [0, -1, -1],
+        [0, 1, -1],
+        [0, -1, 1],
+    ],
+    w = [
+        1.0 / 3.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+    ]
+);
+
+declare_lattice!(
+    /// The full 3-D twenty-seven-velocity lattice (rest + 6 axis + 12 edges +
+    /// 8 corners).
+    ///
+    /// Most isotropic of the cubic family, ~42 % more memory traffic than D3Q19.
+    /// Weights: rest 8/27, axis 2/27, edge 1/54, corner 1/216.
+    D3Q27,
+    d = 3,
+    q = 27,
+    c = [
+        [0, 0, 0],
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [0, 0, 1],
+        [0, 0, -1],
+        [1, 1, 0],
+        [-1, -1, 0],
+        [1, -1, 0],
+        [-1, 1, 0],
+        [1, 0, 1],
+        [-1, 0, -1],
+        [1, 0, -1],
+        [-1, 0, 1],
+        [0, 1, 1],
+        [0, -1, -1],
+        [0, 1, -1],
+        [0, -1, 1],
+        [1, 1, 1],
+        [-1, -1, -1],
+        [1, 1, -1],
+        [-1, -1, 1],
+        [1, -1, 1],
+        [-1, 1, -1],
+        [1, -1, -1],
+        [-1, 1, 1],
+    ],
+    w = [
+        8.0 / 27.0,
+        2.0 / 27.0,
+        2.0 / 27.0,
+        2.0 / 27.0,
+        2.0 / 27.0,
+        2.0 / 27.0,
+        2.0 / 27.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 54.0,
+        1.0 / 216.0,
+        1.0 / 216.0,
+        1.0 / 216.0,
+        1.0 / 216.0,
+        1.0 / 216.0,
+        1.0 / 216.0,
+        1.0 / 216.0,
+        1.0 / 216.0,
+    ]
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CS2;
+
+    fn check_quadrature<L: Lattice>() {
+        // Zeroth moment: weights sum to one.
+        let sum: Scalar = L::W.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-14, "{}: Σw = {sum}", L::NAME);
+
+        // First moment: Σ w c = 0.
+        for a in 0..3 {
+            let m: Scalar = (0..L::Q).map(|q| L::W[q] * L::C[q][a] as Scalar).sum();
+            assert!(m.abs() < 1e-14, "{}: Σ w c_{a} = {m}", L::NAME);
+        }
+
+        // Second moment: Σ w c_a c_b = cs² δ_ab (restricted to active dims).
+        for a in 0..L::D {
+            for b in 0..L::D {
+                let m: Scalar = (0..L::Q)
+                    .map(|q| L::W[q] * (L::C[q][a] * L::C[q][b]) as Scalar)
+                    .sum();
+                let expect = if a == b { CS2 } else { 0.0 };
+                assert!(
+                    (m - expect).abs() < 1e-14,
+                    "{}: Σ w c_{a} c_{b} = {m}, expected {expect}",
+                    L::NAME
+                );
+            }
+        }
+
+        // Third moment vanishes by symmetry: Σ w c_a c_b c_c = 0.
+        for a in 0..L::D {
+            for b in 0..L::D {
+                for c in 0..L::D {
+                    let m: Scalar = (0..L::Q)
+                        .map(|q| L::W[q] * (L::C[q][a] * L::C[q][b] * L::C[q][c]) as Scalar)
+                        .sum();
+                    assert!(m.abs() < 1e-14, "{}: odd third moment {m}", L::NAME);
+                }
+            }
+        }
+    }
+
+    fn check_opposites<L: Lattice>() {
+        for q in 0..L::Q {
+            let o = L::OPP[q];
+            for a in 0..3 {
+                assert_eq!(L::C[o][a], -L::C[q][a], "{}: opp({q}) = {o}", L::NAME);
+            }
+            // The permutation is an involution.
+            assert_eq!(L::OPP[o], q);
+        }
+    }
+
+    fn check_unique_velocities<L: Lattice>() {
+        for p in 0..L::Q {
+            for q in (p + 1)..L::Q {
+                assert_ne!(L::C[p], L::C[q], "{}: duplicate velocity {p}/{q}", L::NAME);
+            }
+        }
+    }
+
+    #[test]
+    fn d2q9_is_a_valid_lattice() {
+        check_quadrature::<D2Q9>();
+        check_opposites::<D2Q9>();
+        check_unique_velocities::<D2Q9>();
+        assert_eq!(D2Q9::Q, 9);
+        assert_eq!(D2Q9::D, 2);
+        // 2-D model must have no z motion at all.
+        assert!(D2Q9::C.iter().all(|c| c[2] == 0));
+    }
+
+    #[test]
+    fn d3q15_is_a_valid_lattice() {
+        check_quadrature::<D3Q15>();
+        check_opposites::<D3Q15>();
+        check_unique_velocities::<D3Q15>();
+        assert_eq!(D3Q15::Q, 15);
+    }
+
+    #[test]
+    fn d3q19_is_a_valid_lattice() {
+        check_quadrature::<D3Q19>();
+        check_opposites::<D3Q19>();
+        check_unique_velocities::<D3Q19>();
+        assert_eq!(D3Q19::Q, 19);
+        // D3Q19 has no corner velocities (|c|² ≤ 2).
+        assert!(D3Q19::C
+            .iter()
+            .all(|c| c[0] * c[0] + c[1] * c[1] + c[2] * c[2] <= 2));
+    }
+
+    #[test]
+    fn d3q27_is_a_valid_lattice() {
+        check_quadrature::<D3Q27>();
+        check_opposites::<D3Q27>();
+        check_unique_velocities::<D3Q27>();
+        assert_eq!(D3Q27::Q, 27);
+    }
+
+    #[test]
+    fn rest_velocity_is_direction_zero() {
+        assert_eq!(D2Q9::C[0], [0, 0, 0]);
+        assert_eq!(D3Q15::C[0], [0, 0, 0]);
+        assert_eq!(D3Q19::C[0], [0, 0, 0]);
+        assert_eq!(D3Q27::C[0], [0, 0, 0]);
+        assert_eq!(D3Q19::OPP[0], 0);
+    }
+
+    #[test]
+    fn bytes_per_lup_matches_paper_for_d3q19() {
+        // §IV-C.3: "a total amount of 380 bytes ... to update one fluid cell".
+        assert_eq!(D3Q19::bytes_per_lup(), 380);
+    }
+
+    #[test]
+    fn bytes_per_lup_scales_with_q() {
+        assert_eq!(D2Q9::bytes_per_lup(), 180);
+        assert_eq!(D3Q15::bytes_per_lup(), 300);
+        assert_eq!(D3Q27::bytes_per_lup(), 540);
+    }
+}

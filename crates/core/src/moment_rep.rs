@@ -1,0 +1,397 @@
+//! Moment-representation (regularized) LBM storage and kernel.
+//!
+//! The paper's related-work section highlights Gounley et al.'s moment
+//! representation (ref. \[37\]): instead of storing all `Q` populations per
+//! cell, store only the **hydrodynamic moments** — density, momentum, and the
+//! six independent components of the non-equilibrium stress — and reconstruct
+//! populations on the fly through the regularization
+//!
+//! ```text
+//! f_q ≈ f_q^eq(ρ, u) + w_q / (2 c_s⁴) · Q_q : Π_neq ,   Q_q = c_q c_q − c_s² I
+//! ```
+//!
+//! For D3Q19 that is **10 values per cell instead of 19** — a 1.9× reduction of
+//! the memory traffic that the roofline says bounds performance. The price:
+//! the ghost (non-hydrodynamic) moments are projected out every step, making
+//! this a *different* (regularized) scheme rather than a bit-equal rewrite —
+//! slightly more dissipative at the grid scale, often more stable.
+//!
+//! Supported boundaries: periodic wrap, [`NodeKind::Wall`] and
+//! [`NodeKind::MovingWall`] (the kernel reconstructs the bounced population
+//! from the cell's own moments). Open boundaries would need their own
+//! moment-space closures and are out of scope here.
+
+use crate::boundary::NodeKind;
+use crate::equilibrium::{equilibrium_dir, moments, velocity};
+use crate::flags::FlagField;
+use crate::geometry::GridDims;
+use crate::lattice::Lattice;
+use crate::Scalar;
+use crate::CS2;
+
+/// Number of stored moments: ρ, j (3), Π_neq (6, symmetric).
+pub const NMOM: usize = 10;
+
+/// Symmetric-tensor component order: xx, yy, zz, xy, xz, yz.
+const SYM: [(usize, usize); 6] = [(0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2)];
+
+/// SoA storage of the 10 hydrodynamic moments per cell.
+#[derive(Debug, Clone)]
+pub struct MomentField {
+    dims: GridDims,
+    /// `data[k · cells + cell]`, k in ρ, jx, jy, jz, Π_xx, Π_yy, Π_zz, Π_xy, Π_xz, Π_yz.
+    data: Vec<Scalar>,
+}
+
+impl MomentField {
+    /// Zeroed field.
+    pub fn new(dims: GridDims) -> Self {
+        Self {
+            dims,
+            data: vec![0.0; dims.cells() * NMOM],
+        }
+    }
+
+    /// Grid dims.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    #[inline(always)]
+    fn get(&self, cell: usize, k: usize) -> Scalar {
+        self.data[k * self.dims.cells() + cell]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, cell: usize, k: usize, v: Scalar) {
+        let n = self.dims.cells();
+        self.data[k * n + cell] = v;
+    }
+
+    /// Load a cell's `(ρ, j, Π_neq)` state.
+    #[inline]
+    pub fn load(&self, cell: usize) -> (Scalar, [Scalar; 3], [Scalar; 6]) {
+        let rho = self.get(cell, 0);
+        let j = [self.get(cell, 1), self.get(cell, 2), self.get(cell, 3)];
+        let mut pi = [0.0; 6];
+        for (k, p) in pi.iter_mut().enumerate() {
+            *p = self.get(cell, 4 + k);
+        }
+        (rho, j, pi)
+    }
+
+    /// Store a cell's `(ρ, j, Π_neq)` state.
+    #[inline]
+    pub fn store(&mut self, cell: usize, rho: Scalar, j: [Scalar; 3], pi: [Scalar; 6]) {
+        self.set(cell, 0, rho);
+        for a in 0..3 {
+            self.set(cell, 1 + a, j[a]);
+        }
+        for (k, p) in pi.iter().enumerate() {
+            self.set(cell, 4 + k, *p);
+        }
+    }
+
+    /// Initialize every cell to `(rho, u)` at equilibrium (Π_neq = 0).
+    pub fn initialize_uniform(&mut self, rho: Scalar, u: [Scalar; 3]) {
+        for cell in 0..self.dims.cells() {
+            self.store(cell, rho, [rho * u[0], rho * u[1], rho * u[2]], [0.0; 6]);
+        }
+    }
+
+    /// Initialize with a position-dependent state at equilibrium.
+    pub fn initialize_with(
+        &mut self,
+        mut state: impl FnMut(usize, usize, usize) -> (Scalar, [Scalar; 3]),
+    ) {
+        let dims = self.dims;
+        for [x, y, z] in dims.iter() {
+            let (rho, u) = state(x, y, z);
+            self.store(
+                dims.idx(x, y, z),
+                rho,
+                [rho * u[0], rho * u[1], rho * u[2]],
+                [0.0; 6],
+            );
+        }
+    }
+
+    /// Bytes of state per cell (the data-motion argument: 10×8 = 80 B vs the
+    /// 19×8 = 152 B of population storage).
+    pub fn bytes_per_cell() -> usize {
+        NMOM * 8
+    }
+}
+
+/// Reconstruct population `q` from a cell's moments (regularized form).
+#[inline(always)]
+fn reconstruct<L: Lattice>(
+    q: usize,
+    rho: Scalar,
+    u: [Scalar; 3],
+    usq15: Scalar,
+    pi: &[Scalar; 6],
+) -> Scalar {
+    let c = L::C[q];
+    let feq = equilibrium_dir::<L>(q, rho, u, usq15);
+    // Q_q : Π = Σ_ab (c_a c_b − cs² δ_ab) Π_ab, symmetric off-diagonals ×2.
+    let mut qpi = 0.0;
+    for (k, &(a, b)) in SYM.iter().enumerate() {
+        let cc = (c[a] * c[b]) as Scalar - if a == b { CS2 } else { 0.0 };
+        let w = if a == b { 1.0 } else { 2.0 };
+        qpi += w * cc * pi[k];
+    }
+    feq + L::W[q] * qpi / (2.0 * CS2 * CS2)
+}
+
+/// One regularized stream+collide step in moment space: read neighbor moments
+/// from `src`, write post-collision moments to `dst`.
+pub fn moment_step<L: Lattice>(
+    flags: &FlagField,
+    src: &MomentField,
+    dst: &mut MomentField,
+    omega: Scalar,
+) {
+    let dims = flags.dims();
+    assert_eq!(src.dims(), dims);
+    let mut f = [0.0; crate::kernels::MAX_Q];
+    for [x, y, z] in dims.iter() {
+        let this = dims.idx(x, y, z);
+        match flags.kind(this) {
+            NodeKind::Fluid => {}
+            NodeKind::Wall | NodeKind::MovingWall { .. } => {
+                // Solid cells: copy through for determinism.
+                let (r, j, pi) = src.load(this);
+                dst.store(this, r, j, pi);
+                continue;
+            }
+            other => panic!("moment_step does not support {:?} nodes", other.tag()),
+        }
+
+        // Own-cell reconstruction context (for bounce-back links).
+        let (rho_c, j_c, pi_c) = src.load(this);
+        let u_c = velocity(rho_c, j_c);
+        let usq15_c = 1.5 * (u_c[0] * u_c[0] + u_c[1] * u_c[1] + u_c[2] * u_c[2]);
+
+        for q in 0..L::Q {
+            let c = L::C[q];
+            let [nx, ny, nz] = dims.neighbor_periodic(x, y, z, [-c[0], -c[1], -c[2]]);
+            let n = dims.idx(nx, ny, nz);
+            f[q] = match flags.kind(n) {
+                NodeKind::Wall => {
+                    reconstruct::<L>(L::OPP[q], rho_c, u_c, usq15_c, &pi_c)
+                }
+                NodeKind::MovingWall { u } => {
+                    let cu = c[0] as Scalar * u[0]
+                        + c[1] as Scalar * u[1]
+                        + c[2] as Scalar * u[2];
+                    reconstruct::<L>(L::OPP[q], rho_c, u_c, usq15_c, &pi_c)
+                        + 6.0 * L::W[q] * cu
+                }
+                _ => {
+                    let (rho_n, j_n, pi_n) = src.load(n);
+                    let u_n = velocity(rho_n, j_n);
+                    let usq15_n =
+                        1.5 * (u_n[0] * u_n[0] + u_n[1] * u_n[1] + u_n[2] * u_n[2]);
+                    reconstruct::<L>(q, rho_n, u_n, usq15_n, &pi_n)
+                }
+            };
+        }
+
+        // Moments of the incoming state.
+        let (rho, j) = moments::<L>(&f[..L::Q]);
+        let u = velocity(rho, j);
+        let usq15 = 1.5 * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+        // Non-equilibrium second moment, then relax it by (1 − ω). Components
+        // involving an inactive axis (c ≡ 0 on 2-D lattices) carry no stress:
+        // their population moment is identically zero, not ρ c_s².
+        let mut pi = [0.0; 6];
+        for (k, &(a, b)) in SYM.iter().enumerate() {
+            if a >= L::D || b >= L::D {
+                continue;
+            }
+            let mut m2 = 0.0;
+            for q in 0..L::Q {
+                m2 += f[q] * (L::C[q][a] * L::C[q][b]) as Scalar;
+            }
+            let m2_eq = rho * CS2 * ((a == b) as usize as Scalar) + rho * u[a] * u[b];
+            pi[k] = (1.0 - omega) * (m2 - m2_eq);
+        }
+        let _ = usq15;
+        dst.store(this, rho, j, pi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::{BgkParams, CollisionKind};
+    use crate::kernels::{fused_step, initialize_with};
+    use crate::lattice::{D2Q9, D3Q19};
+    use crate::layout::{PopField, SoaField};
+
+    #[test]
+    fn storage_is_10_values_per_cell() {
+        assert_eq!(NMOM, 10);
+        assert_eq!(MomentField::bytes_per_cell(), 80);
+        // The data-motion claim: ~1.9x less state than D3Q19 populations.
+        let ratio = (19.0 * 8.0) / MomentField::bytes_per_cell() as f64;
+        assert!(ratio > 1.85 && ratio < 1.95);
+    }
+
+    #[test]
+    fn uniform_flow_is_a_steady_state() {
+        let dims = GridDims::new(5, 4, 3);
+        let flags = FlagField::new(dims);
+        let mut src = MomentField::new(dims);
+        src.initialize_uniform(1.0, [0.04, -0.01, 0.02]);
+        let mut dst = MomentField::new(dims);
+        for _ in 0..5 {
+            moment_step::<D3Q19>(&flags, &src, &mut dst, 1.25);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        for cell in 0..dims.cells() {
+            let (rho, j, pi) = src.load(cell);
+            assert!((rho - 1.0).abs() < 1e-12);
+            assert!((j[0] - 0.04).abs() < 1e-12);
+            assert!((j[1] + 0.01).abs() < 1e-12);
+            for p in pi {
+                assert!(p.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mass_and_momentum_conserved_on_periodic_domain() {
+        let dims = GridDims::new(6, 5, 4);
+        let flags = FlagField::new(dims);
+        let mut src = MomentField::new(dims);
+        src.initialize_with(|x, y, z| {
+            let v = 0.01 * ((x * 3 + y * 5 + z * 7) % 11) as Scalar;
+            (1.0 + v, [0.02 - v * 0.2, v * 0.1, -0.01])
+        });
+        let total = |f: &MomentField| {
+            let mut mass = 0.0;
+            let mut mom = [0.0; 3];
+            for cell in 0..dims.cells() {
+                let (r, j, _) = f.load(cell);
+                mass += r;
+                for a in 0..3 {
+                    mom[a] += j[a];
+                }
+            }
+            (mass, mom)
+        };
+        let (m0, p0) = total(&src);
+        let mut dst = MomentField::new(dims);
+        for _ in 0..10 {
+            moment_step::<D3Q19>(&flags, &src, &mut dst, 1.0 / 0.8);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let (m1, p1) = total(&src);
+        assert!((m0 - m1).abs() < 1e-9, "mass {m0} -> {m1}");
+        for a in 0..3 {
+            assert!((p0[a] - p1[a]).abs() < 1e-9, "momentum axis {a}");
+        }
+    }
+
+    #[test]
+    fn taylor_green_decay_matches_the_population_kernel() {
+        // The regularized scheme carries the same hydrodynamics: its TG decay
+        // rate must match the standard kernel's within a small tolerance.
+        let n = 32usize;
+        let tau = 0.8;
+        let u0 = 0.02;
+        let steps = 120;
+        let dims = GridDims::new2d(n, n);
+        let flags = FlagField::new(dims);
+        let k = std::f64::consts::TAU / n as Scalar;
+        let state = |x: usize, y: usize, _z: usize| {
+            let (xs, ys) = (x as Scalar * k, y as Scalar * k);
+            (
+                1.0,
+                [u0 * xs.sin() * ys.cos(), -u0 * xs.cos() * ys.sin(), 0.0],
+            )
+        };
+
+        // Moment kernel.
+        let mut msrc = MomentField::new(dims);
+        msrc.initialize_with(state);
+        let mut mdst = MomentField::new(dims);
+        let energy_m = |f: &MomentField| -> Scalar {
+            (0..dims.cells())
+                .map(|c| {
+                    let (r, j, _) = f.load(c);
+                    let u = velocity(r, j);
+                    0.5 * r * (u[0] * u[0] + u[1] * u[1])
+                })
+                .sum()
+        };
+        let e0_m = energy_m(&msrc);
+        for _ in 0..steps {
+            moment_step::<D2Q9>(&flags, &msrc, &mut mdst, 1.0 / tau);
+            std::mem::swap(&mut msrc, &mut mdst);
+        }
+        let decay_m = (energy_m(&msrc) / e0_m).ln();
+
+        // Population kernel.
+        let mut psrc = SoaField::<D2Q9>::new(dims);
+        initialize_with::<D2Q9, _>(&flags, &mut psrc, state);
+        let mut pdst = SoaField::<D2Q9>::new(dims);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(tau));
+        let flags2 = flags.clone();
+        let energy_p = |f: &SoaField<D2Q9>| -> Scalar {
+            crate::macroscopic::MacroFields::compute::<D2Q9, _>(&flags2, f)
+                .kinetic_energy(&flags2)
+        };
+        let e0_p = energy_p(&psrc);
+        for _ in 0..steps {
+            fused_step(&flags, &psrc, &mut pdst, &coll);
+            std::mem::swap(&mut psrc, &mut pdst);
+        }
+        let decay_p = (energy_p(&psrc) / e0_p).ln();
+
+        let rel = (decay_m - decay_p).abs() / decay_p.abs();
+        assert!(
+            rel < 0.05,
+            "decay mismatch: moment {decay_m:.5} vs population {decay_p:.5} ({rel:.3})"
+        );
+    }
+
+    #[test]
+    fn sealed_cavity_with_lid_stays_finite_and_conservative() {
+        let dims = GridDims::new2d(16, 16);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        flags.paint_lid([0.05, 0.0, 0.0]);
+        let mut src = MomentField::new(dims);
+        src.initialize_uniform(1.0, [0.0; 3]);
+        let mut dst = MomentField::new(dims);
+        for _ in 0..200 {
+            moment_step::<D2Q9>(&flags, &src, &mut dst, 1.0 / 0.7);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let mut jx = 0.0;
+        for cell in 0..dims.cells() {
+            let (r, j, _) = src.load(cell);
+            assert!(r.is_finite() && j.iter().all(|v| v.is_finite()));
+            if flags.kind(cell).is_fluid() {
+                jx += j[0];
+            }
+        }
+        assert!(jx > 1e-6, "lid failed to drag fluid in moment space: {jx}");
+    }
+
+    #[test]
+    fn open_boundaries_are_rejected() {
+        let dims = GridDims::new2d(4, 4);
+        let mut flags = FlagField::new(dims);
+        flags.paint_inflow_outflow_x(1.0, [0.05, 0.0, 0.0]);
+        let src = MomentField::new(dims);
+        let mut dst = MomentField::new(dims);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            moment_step::<D2Q9>(&flags, &src, &mut dst, 1.0);
+        }));
+        assert!(r.is_err(), "inlet nodes must be rejected by the moment kernel");
+    }
+}

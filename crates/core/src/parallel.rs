@@ -1,0 +1,313 @@
+//! Shared-memory parallel execution of the fused kernel.
+//!
+//! On the Sunway machines fine-grained parallelism belongs to the CPE cluster
+//! (emulated in `swlb-arch`); on an ordinary multicore host the natural analog is
+//! a thread per y-slab. The pull scheme makes this easy to reason about: a step
+//! reads only from `src` and writes only to `dst`, and slabs with disjoint y-ranges
+//! write disjoint `dst` cells, so the only unsafe code needed is a `Send + Sync`
+//! raw-pointer wrapper around the destination buffer.
+//!
+//! Threads are spawned per step with `crossbeam::scope`; at the grid sizes where
+//! parallelism pays (≥ a few hundred thousand cells per step) the spawn cost is
+//! noise, and the design stays dead-simple and panic-safe.
+
+use crate::boundary::NodeKind;
+use crate::collision::{collide, CollisionKind};
+use crate::equilibrium::equilibrium;
+use crate::flags::FlagField;
+use crate::kernels::{gather_pull, MAX_Q};
+use crate::lattice::Lattice;
+use crate::layout::PopField;
+use crate::Scalar;
+
+/// A `Send + Sync` writer over a population field's raw storage.
+///
+/// # Safety contract
+/// Constructed from a uniquely-borrowed field; concurrent users must write
+/// disjoint `(cell, q)` index sets. The parallel driver below guarantees this by
+/// assigning disjoint y-slabs.
+struct SharedWriter {
+    ptr: *mut Scalar,
+    len: usize,
+}
+
+// SAFETY: the pointer refers to a buffer whose unique borrow is held (and not
+// otherwise used) for the lifetime of the scope; disjointness of writes is
+// guaranteed by the slab partition.
+unsafe impl Send for SharedWriter {}
+unsafe impl Sync for SharedWriter {}
+
+impl SharedWriter {
+    /// # Safety
+    /// `index < len` and no other thread writes the same index concurrently.
+    #[inline(always)]
+    unsafe fn write(&self, index: usize, v: Scalar) {
+        debug_assert!(index < self.len);
+        unsafe { *self.ptr.add(index) = v };
+    }
+}
+
+/// Thread-count configuration for the parallel driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Use exactly `threads` worker threads (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Use the machine's available parallelism.
+    pub fn auto() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Partition `0..ny` into at most `threads` contiguous, balanced slabs.
+    pub fn slabs(&self, ny: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.threads.min(ny).max(1);
+        let base = ny / n;
+        let extra = ny % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let len = base + usize::from(i < extra);
+            out.push(start..start + len);
+            start += len;
+        }
+        out
+    }
+
+    /// One fused stream+collide step executed by all worker threads.
+    ///
+    /// Produces exactly the same `dst` state as [`crate::kernels::fused_step`]
+    /// (verified by tests and property tests), independent of thread count.
+    pub fn fused_step<L: Lattice, F: PopField<L>>(
+        &self,
+        flags: &FlagField,
+        src: &F,
+        dst: &mut F,
+        collision: &CollisionKind,
+    ) {
+        let dims = flags.dims();
+        let slabs = self.slabs(dims.ny);
+        if slabs.len() <= 1 {
+            crate::kernels::fused_step(flags, src, dst, collision);
+            return;
+        }
+        // `index_of` must not depend on &mut-ness; capture the mapping up front.
+        let raw = dst.raw_mut();
+        let writer = SharedWriter {
+            ptr: raw.as_mut_ptr(),
+            len: raw.len(),
+        };
+        let writer = &writer;
+        // A fresh clone-free handle to compute layout offsets: the layout mapping
+        // is a pure function of dims, so we use `src` (same dims) for it.
+        crossbeam::scope(|scope| {
+            for ys in slabs {
+                scope.spawn(move |_| {
+                    step_slab::<L, F>(flags, src, writer, collision, ys);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Per-thread body: fused step over one y-slab, writing through the shared writer.
+fn step_slab<L: Lattice, F: PopField<L>>(
+    flags: &FlagField,
+    src: &F,
+    writer: &SharedWriter,
+    collision: &CollisionKind,
+    ys: std::ops::Range<usize>,
+) {
+    let dims = flags.dims();
+    let mut f = [0.0; MAX_Q];
+    for y in ys {
+        for x in 0..dims.nx {
+            for z in 0..dims.nz {
+                let this = dims.idx(x, y, z);
+                let kind = flags.kind(this);
+                match kind {
+                    NodeKind::Fluid
+                    | NodeKind::VelocityNebb { .. }
+                    | NodeKind::PressureNebb { .. } => {
+                        gather_pull::<L, F>(flags, src, x, y, z, &mut f[..L::Q]);
+                        crate::kernels::reconstruct_nebb::<L>(&mut f[..L::Q], kind);
+                        collide::<L>(&mut f[..L::Q], collision);
+                        for q in 0..L::Q {
+                            // SAFETY: (this, q) is inside this thread's slab.
+                            unsafe { writer.write(src.index_of(this, q), f[q]) };
+                        }
+                    }
+                    NodeKind::Wall | NodeKind::MovingWall { .. } => {
+                        for q in 0..L::Q {
+                            unsafe {
+                                writer.write(src.index_of(this, q), src.get(this, q))
+                            };
+                        }
+                    }
+                    NodeKind::Inlet { rho, u } => {
+                        equilibrium::<L>(rho, u, &mut f[..L::Q]);
+                        for q in 0..L::Q {
+                            unsafe { writer.write(src.index_of(this, q), f[q]) };
+                        }
+                    }
+                    NodeKind::Outlet { normal } => {
+                        let m = dims
+                            .neighbor_checked(x, y, z, [-normal[0], -normal[1], -normal[2]])
+                            .map(|[a, b, c]| dims.idx(a, b, c))
+                            .unwrap_or(this);
+                        for q in 0..L::Q {
+                            unsafe {
+                                writer.write(src.index_of(this, q), src.get(m, q))
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::BgkParams;
+    use crate::geometry::GridDims;
+    use crate::kernels::fused_step;
+    use crate::lattice::{D2Q9, D3Q19};
+    use crate::layout::{AosField, SoaField};
+
+    fn random_field<L: Lattice, F: PopField<L>>(dims: GridDims, seed: u64) -> F {
+        let mut field = F::new(dims);
+        let mut s = seed.max(1);
+        for cell in 0..field.cells() {
+            for q in 0..L::Q {
+                s ^= s >> 12;
+                s ^= s << 25;
+                s ^= s >> 27;
+                let r = (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as Scalar
+                    / (1u64 << 53) as Scalar;
+                field.set(cell, q, 0.02 + 0.05 * r);
+            }
+        }
+        field
+    }
+
+    #[test]
+    fn slab_partition_is_balanced_and_covers() {
+        let pool = ThreadPool::new(4);
+        let slabs = pool.slabs(10);
+        assert_eq!(slabs.len(), 4);
+        let total: usize = slabs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(slabs[0], 0..3);
+        assert_eq!(slabs.last().unwrap().end, 10);
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = slabs.iter().map(|r| r.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn more_threads_than_rows_degrades_gracefully() {
+        let pool = ThreadPool::new(16);
+        let slabs = pool.slabs(3);
+        assert_eq!(slabs.len(), 3);
+        assert!(slabs.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly_soa() {
+        let dims = GridDims::new(9, 11, 5);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        flags.set(4, 5, 2, NodeKind::Wall);
+        let src: SoaField<D3Q19> = random_field(dims, 42);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+
+        let mut serial = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut serial, &coll);
+
+        for threads in [1, 2, 3, 8] {
+            let mut par = SoaField::<D3Q19>::new(dims);
+            ThreadPool::new(threads).fused_step(&flags, &src, &mut par, &coll);
+            for c in 0..dims.cells() {
+                for q in 0..19 {
+                    assert_eq!(
+                        serial.get(c, q),
+                        par.get(c, q),
+                        "threads={threads} cell={c} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly_aos_with_io_boundaries() {
+        let dims = GridDims::new(8, 6, 4);
+        let mut flags = FlagField::new(dims);
+        flags.paint_channel_walls_y();
+        flags.paint_inflow_outflow_x(1.0, [0.03, 0.0, 0.0]);
+        let src: AosField<D3Q19> = random_field(dims, 7);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.65));
+
+        let mut serial = AosField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut serial, &coll);
+        let mut par = AosField::<D3Q19>::new(dims);
+        ThreadPool::new(4).fused_step(&flags, &src, &mut par, &coll);
+        for c in 0..dims.cells() {
+            for q in 0..19 {
+                assert_eq!(serial.get(c, q), par.get(c, q));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_2d_with_moving_lid() {
+        let dims = GridDims::new2d(16, 16);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        flags.paint_lid([0.1, 0.0, 0.0]);
+        let src: SoaField<D2Q9> = random_field(dims, 3);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.9));
+
+        let mut serial = SoaField::<D2Q9>::new(dims);
+        fused_step(&flags, &src, &mut serial, &coll);
+        let mut par = SoaField::<D2Q9>::new(dims);
+        ThreadPool::new(3).fused_step(&flags, &src, &mut par, &coll);
+        for c in 0..dims.cells() {
+            for q in 0..9 {
+                assert_eq!(serial.get(c, q), par.get(c, q));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_pool_reports_at_least_one_thread() {
+        assert!(ThreadPool::auto().threads() >= 1);
+        assert!(ThreadPool::default().threads() >= 1);
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Property-based tests of the core invariants (proptest).
+//!
+//! These are the machine-checked versions of the claims the rest of the
+//! workspace builds on: conservation laws of the collision operators,
+//! permutation property of streaming, layout- and schedule-independence of the
+//! fused kernel, and exactness of the parallel driver.
+
+use proptest::prelude::*;
+use swlb_core::collision::{
+    collide_bgk, collide_smagorinsky, BgkParams, CollisionKind, SmagorinskyParams,
+};
+use swlb_core::equilibrium::{equilibrium, moments};
+use swlb_core::flags::FlagField;
+use swlb_core::geometry::GridDims;
+use swlb_core::kernels::{fused_step, interior_mask, fused_step_optimized};
+use swlb_core::lattice::{D2Q9, D3Q19, Lattice};
+use swlb_core::layout::{AosField, PopField, SoaField};
+use swlb_core::parallel::ThreadPool;
+use swlb_core::prelude::NodeKind;
+use swlb_core::stream::{collide_step, propagate_step, split_step};
+use swlb_core::Scalar;
+
+/// Strategy: a physically plausible population vector (positive, O(w_q)).
+fn pops<L: Lattice>() -> impl Strategy<Value = Vec<Scalar>> {
+    prop::collection::vec(0.001f64..0.5, L::Q)
+}
+
+/// Strategy: small grid dims.
+fn small_dims_3d() -> impl Strategy<Value = GridDims> {
+    (2usize..6, 2usize..6, 2usize..6).prop_map(|(x, y, z)| GridDims::new(x, y, z))
+}
+
+/// Build a field from a flat vector of per-(cell, q) values.
+fn field_from<L: Lattice, F: PopField<L>>(dims: GridDims, vals: &[Scalar]) -> F {
+    let mut f = F::new(dims);
+    for cell in 0..dims.cells() {
+        for q in 0..L::Q {
+            f.set(cell, q, vals[(cell * L::Q + q) % vals.len()] + 0.01);
+        }
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bgk_conserves_mass_momentum_d3q19(f in pops::<D3Q19>(), tau in 0.51f64..2.0) {
+        let mut g = f.clone();
+        collide_bgk::<D3Q19>(&mut g, 1.0 / tau);
+        let (r0, j0) = moments::<D3Q19>(&f);
+        let (r1, j1) = moments::<D3Q19>(&g);
+        prop_assert!((r0 - r1).abs() < 1e-11 * r0.abs().max(1.0));
+        for a in 0..3 {
+            prop_assert!((j0[a] - j1[a]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn bgk_conserves_mass_momentum_d2q9(f in pops::<D2Q9>(), tau in 0.51f64..2.0) {
+        let mut g = f.clone();
+        collide_bgk::<D2Q9>(&mut g, 1.0 / tau);
+        let (r0, j0) = moments::<D2Q9>(&f);
+        let (r1, j1) = moments::<D2Q9>(&g);
+        prop_assert!((r0 - r1).abs() < 1e-11 * r0.abs().max(1.0));
+        for a in 0..2 {
+            prop_assert!((j0[a] - j1[a]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn smagorinsky_conserves_mass_momentum(
+        f in pops::<D3Q19>(),
+        tau in 0.55f64..2.0,
+        cs in 0.05f64..0.3,
+    ) {
+        let p = SmagorinskyParams::new(BgkParams::from_tau(tau), cs).unwrap();
+        let mut g = f.clone();
+        collide_smagorinsky::<D3Q19>(&mut g, &p);
+        let (r0, j0) = moments::<D3Q19>(&f);
+        let (r1, j1) = moments::<D3Q19>(&g);
+        prop_assert!((r0 - r1).abs() < 1e-10 * r0.abs().max(1.0));
+        for a in 0..3 {
+            prop_assert!((j0[a] - j1[a]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn equilibrium_moments_roundtrip(
+        rho in 0.5f64..2.0,
+        ux in -0.15f64..0.15,
+        uy in -0.15f64..0.15,
+        uz in -0.15f64..0.15,
+    ) {
+        let mut feq = vec![0.0; D3Q19::Q];
+        equilibrium::<D3Q19>(rho, [ux, uy, uz], &mut feq);
+        let (r, j) = moments::<D3Q19>(&feq);
+        prop_assert!((r - rho).abs() < 1e-12);
+        prop_assert!((j[0] - rho * ux).abs() < 1e-12);
+        prop_assert!((j[1] - rho * uy).abs() < 1e-12);
+        prop_assert!((j[2] - rho * uz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_is_a_permutation_per_direction(
+        dims in small_dims_3d(),
+        vals in prop::collection::vec(0.0f64..1.0, 64),
+    ) {
+        let flags = FlagField::new(dims);
+        let src: SoaField<D3Q19> = field_from(dims, &vals);
+        let mut dst = SoaField::<D3Q19>::new(dims);
+        propagate_step(&flags, &src, &mut dst);
+        for q in 0..D3Q19::Q {
+            let mut a: Vec<Scalar> = (0..dims.cells()).map(|c| src.get(c, q)).collect();
+            let mut b: Vec<Scalar> = (0..dims.cells()).map(|c| dst.get(c, q)).collect();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fused_equals_split_with_random_obstacles(
+        dims in small_dims_3d(),
+        vals in prop::collection::vec(0.0f64..1.0, 64),
+        obstacle_bits in prop::collection::vec(prop::bool::weighted(0.2), 216),
+        tau in 0.55f64..1.6,
+    ) {
+        let mut flags = FlagField::new(dims);
+        // Scatter obstacles (never fully solid: keep cell 0 fluid).
+        for c in 1..dims.cells() {
+            if obstacle_bits[c % obstacle_bits.len()] {
+                let [x, y, z] = dims.coords(c);
+                flags.set(x, y, z, NodeKind::Wall);
+            }
+        }
+        let src: SoaField<D3Q19> = field_from(dims, &vals);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(tau));
+        let mut a = SoaField::<D3Q19>::new(dims);
+        let mut b = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut a, &coll);
+        split_step(&flags, &src, &mut b, &coll);
+        for c in 0..dims.cells() {
+            for q in 0..D3Q19::Q {
+                prop_assert!((a.get(c, q) - b.get(c, q)).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn soa_equals_aos(
+        dims in small_dims_3d(),
+        vals in prop::collection::vec(0.0f64..1.0, 64),
+        tau in 0.55f64..1.6,
+    ) {
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        let soa: SoaField<D3Q19> = field_from(dims, &vals);
+        let aos: AosField<D3Q19> = field_from(dims, &vals);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(tau));
+        let mut da = SoaField::<D3Q19>::new(dims);
+        let mut db = AosField::<D3Q19>::new(dims);
+        fused_step(&flags, &soa, &mut da, &coll);
+        fused_step(&flags, &aos, &mut db, &coll);
+        for c in 0..dims.cells() {
+            for q in 0..D3Q19::Q {
+                prop_assert_eq!(da.get(c, q), db.get(c, q));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_any_thread_count(
+        dims in small_dims_3d(),
+        vals in prop::collection::vec(0.0f64..1.0, 64),
+        threads in 1usize..9,
+        tau in 0.55f64..1.6,
+    ) {
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        let src: SoaField<D3Q19> = field_from(dims, &vals);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(tau));
+        let mut serial = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut serial, &coll);
+        let mut par = SoaField::<D3Q19>::new(dims);
+        ThreadPool::new(threads).fused_step(&flags, &src, &mut par, &coll);
+        for c in 0..dims.cells() {
+            for q in 0..D3Q19::Q {
+                prop_assert_eq!(serial.get(c, q), par.get(c, q));
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_equals_generic_on_random_geometry(
+        vals in prop::collection::vec(0.0f64..1.0, 64),
+        obstacle_bits in prop::collection::vec(prop::bool::weighted(0.15), 125),
+        tau in 0.55f64..1.6,
+    ) {
+        let dims = GridDims::new(6, 6, 6);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        for c in 0..dims.cells() {
+            let [x, y, z] = dims.coords(c);
+            if !dims.on_boundary(x, y, z) && obstacle_bits[c % obstacle_bits.len()] {
+                flags.set(x, y, z, NodeKind::Wall);
+            }
+        }
+        let src: SoaField<D3Q19> = field_from(dims, &vals);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(tau));
+        let mask = interior_mask::<D3Q19>(&flags);
+
+        let mut reference = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut reference, &coll);
+        let mut optimized = SoaField::<D3Q19>::new(dims);
+        fused_step_optimized(&flags, &src, &mut optimized, 1.0 / tau, &mask, 0..dims.ny);
+        for c in 0..dims.cells() {
+            for q in 0..D3Q19::Q {
+                prop_assert!((reference.get(c, q) - optimized.get(c, q)).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn collide_step_is_idempotent_at_tau_one(
+        dims in small_dims_3d(),
+        vals in prop::collection::vec(0.0f64..1.0, 64),
+    ) {
+        // ω = 1 projects onto equilibrium; a second collision is then a no-op.
+        let flags = FlagField::new(dims);
+        let mut f: SoaField<D3Q19> = field_from(dims, &vals);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(1.0));
+        collide_step(&flags, &mut f, &coll);
+        let once = f.clone();
+        collide_step(&flags, &mut f, &coll);
+        for c in 0..dims.cells() {
+            for q in 0..D3Q19::Q {
+                prop_assert!((once.get(c, q) - f.get(c, q)).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_idx_coords_roundtrip(
+        nx in 1usize..20, ny in 1usize..20, nz in 1usize..20,
+    ) {
+        let d = GridDims::new(nx, ny, nz);
+        // Sample a handful of linear indices.
+        for i in [0, d.cells() / 3, d.cells() / 2, d.cells() - 1] {
+            let [x, y, z] = d.coords(i);
+            prop_assert_eq!(d.idx(x, y, z), i);
+        }
+    }
+}

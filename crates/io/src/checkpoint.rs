@@ -1,0 +1,253 @@
+//! Versioned binary checkpoint/restart codec.
+//!
+//! The paper's I/O layer includes "a checkpoint and restart controller which
+//! enables fast recover from system-level or hardware fault" (§IV-B) — on
+//! month-long production runs this is a first-class feature, not a convenience.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   8 B   "SWLBCKPT"
+//! version u32   format version (currently 1)
+//! step    u64   completed time steps
+//! nx,ny,nz u32  grid dims
+//! q       u32   populations per cell
+//! len     u64   population payload length (f64 count) = cells · q
+//! data    len × f64
+//! crc     u32   CRC-32 of everything above
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"SWLBCKPT";
+const VERSION: u32 = 1;
+
+/// Errors produced by checkpoint reading.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Bad magic, version, length, or CRC.
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// An in-memory checkpoint of solver state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Completed time steps at capture.
+    pub step: u64,
+    /// Grid dims.
+    pub dims: (u32, u32, u32),
+    /// Populations per cell (`Q`).
+    pub q: u32,
+    /// Raw population payload (layout-defined by the producer; SoA for the
+    /// production solver), length `cells · q`.
+    pub data: Vec<f64>,
+}
+
+/// CRC-32 (IEEE 802.3, reflected) — implemented locally to stay inside the
+/// offline dependency set.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Small table generated at first use.
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, e) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                }
+                *e = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Serialize a checkpoint.
+pub fn write_checkpoint(w: &mut impl Write, ck: &Checkpoint) -> io::Result<()> {
+    let mut body = Vec::with_capacity(44 + ck.data.len() * 8);
+    body.extend_from_slice(MAGIC);
+    body.extend_from_slice(&VERSION.to_le_bytes());
+    body.extend_from_slice(&ck.step.to_le_bytes());
+    body.extend_from_slice(&ck.dims.0.to_le_bytes());
+    body.extend_from_slice(&ck.dims.1.to_le_bytes());
+    body.extend_from_slice(&ck.dims.2.to_le_bytes());
+    body.extend_from_slice(&ck.q.to_le_bytes());
+    body.extend_from_slice(&(ck.data.len() as u64).to_le_bytes());
+    for v in &ck.data {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    let crc = crc32(&body);
+    w.write_all(&body)?;
+    w.write_all(&crc.to_le_bytes())
+}
+
+/// Deserialize and verify a checkpoint.
+pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError> {
+    let mut body = Vec::new();
+    r.read_to_end(&mut body)?;
+    if body.len() < 44 + 4 {
+        return Err(CheckpointError::Corrupt(format!(
+            "file too short: {} B",
+            body.len()
+        )));
+    }
+    let (payload, crc_bytes) = body.split_at(body.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let computed = crc32(payload);
+    if stored_crc != computed {
+        return Err(CheckpointError::Corrupt(format!(
+            "CRC mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
+        )));
+    }
+    if &payload[..8] != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(payload[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(payload[o..o + 8].try_into().unwrap());
+    let version = u32_at(8);
+    if version != VERSION {
+        return Err(CheckpointError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let step = u64_at(12);
+    let dims = (u32_at(20), u32_at(24), u32_at(28));
+    let q = u32_at(32);
+    let len = u64_at(36) as usize;
+    let expected = dims.0 as usize * dims.1 as usize * dims.2 as usize * q as usize;
+    if len != expected {
+        return Err(CheckpointError::Corrupt(format!(
+            "payload length {len} does not match {}x{}x{}x{q} = {expected}",
+            dims.0, dims.1, dims.2
+        )));
+    }
+    if payload.len() != 44 + len * 8 {
+        return Err(CheckpointError::Corrupt(format!(
+            "file length {} does not match header (expect {})",
+            payload.len() + 4,
+            44 + len * 8 + 4
+        )));
+    }
+    let mut data = Vec::with_capacity(len);
+    for i in 0..len {
+        let o = 44 + i * 8;
+        data.push(f64::from_le_bytes(payload[o..o + 8].try_into().unwrap()));
+    }
+    Ok(Checkpoint { step, dims, q, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            step: 1234,
+            dims: (3, 2, 2),
+            q: 19,
+            data: (0..3 * 2 * 2 * 19).map(|i| i as f64 * 0.5).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        let back = read_checkpoint(&mut buf.as_slice()).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        match read_checkpoint(&mut buf.as_slice()) {
+            Err(CheckpointError::Corrupt(m)) => assert!(m.contains("CRC")),
+            other => panic!("expected CRC error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(read_checkpoint(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        buf[0] = b'X';
+        // CRC catches it first; either way it must fail.
+        assert!(read_checkpoint(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn header_payload_mismatch_is_detected() {
+        // Hand-craft a header whose len disagrees with dims.
+        let mut ck = sample();
+        ck.data.push(1.0); // one extra value
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        match read_checkpoint(&mut buf.as_slice()) {
+            Err(CheckpointError::Corrupt(m)) => assert!(m.contains("does not match")),
+            other => panic!("expected mismatch error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" → 0xCBF43926 (the standard check value).
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn empty_grid_roundtrip() {
+        let ck = Checkpoint {
+            step: 0,
+            dims: (1, 1, 1),
+            q: 9,
+            data: vec![0.25; 9],
+        };
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        assert_eq!(read_checkpoint(&mut buf.as_slice()).unwrap(), ck);
+    }
+}

@@ -1,0 +1,267 @@
+//! Group-I/O container format.
+//!
+//! At 160,000 processes, one-file-per-rank output melts the metadata servers
+//! and single-file-per-step contended writes melt the OSTs; SunwayLB's I/O
+//! layer therefore offers "group I/O" (§IV-B): ranks are organized in groups,
+//! each group aggregates its members' chunks at a leader, and the leader
+//! writes **one container file per group**. This module implements that
+//! container: a self-describing indexed archive of per-rank byte chunks.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic    8 B   "SWLBGRP1"
+//! count    u32   number of chunks
+//! index    count × { rank u32, offset u64, len u64 }
+//! payload  concatenated chunks
+//! crc      u32   CRC-32 of everything above
+//! ```
+
+use crate::checkpoint::crc32;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"SWLBGRP1";
+
+/// Errors from group-file parsing.
+#[derive(Debug)]
+pub enum GroupFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural corruption.
+    Corrupt(String),
+}
+
+impl fmt::Display for GroupFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupFileError::Io(e) => write!(f, "group file I/O error: {e}"),
+            GroupFileError::Corrupt(m) => write!(f, "corrupt group file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GroupFileError {}
+
+impl From<io::Error> for GroupFileError {
+    fn from(e: io::Error) -> Self {
+        GroupFileError::Io(e)
+    }
+}
+
+/// An in-memory group container: per-rank byte chunks, ordered by rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupFile {
+    chunks: BTreeMap<u32, Vec<u8>>,
+}
+
+impl GroupFile {
+    /// Empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) rank `rank`'s chunk.
+    pub fn insert(&mut self, rank: u32, data: Vec<u8>) {
+        self.chunks.insert(rank, data);
+    }
+
+    /// Chunk of `rank`, if present.
+    pub fn chunk(&self, rank: u32) -> Option<&[u8]> {
+        self.chunks.get(&rank).map(|v| v.as_slice())
+    }
+
+    /// Ranks present, ascending.
+    pub fn ranks(&self) -> Vec<u32> {
+        self.chunks.keys().copied().collect()
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Serialize the container.
+    pub fn write(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        let index_len = self.chunks.len() * 20;
+        let mut offset = (8 + 4 + index_len) as u64;
+        for (rank, data) in &self.chunks {
+            body.extend_from_slice(&rank.to_le_bytes());
+            body.extend_from_slice(&offset.to_le_bytes());
+            body.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            offset += data.len() as u64;
+        }
+        for data in self.chunks.values() {
+            body.extend_from_slice(data);
+        }
+        let crc = crc32(&body);
+        w.write_all(&body)?;
+        w.write_all(&crc.to_le_bytes())
+    }
+
+    /// Deserialize and verify a container.
+    pub fn read(r: &mut impl Read) -> Result<Self, GroupFileError> {
+        let mut body = Vec::new();
+        r.read_to_end(&mut body)?;
+        if body.len() < 16 {
+            return Err(GroupFileError::Corrupt(format!(
+                "file too short: {} B",
+                body.len()
+            )));
+        }
+        let (payload, crc_bytes) = body.split_at(body.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(GroupFileError::Corrupt(format!(
+                "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
+        if &payload[..8] != MAGIC {
+            return Err(GroupFileError::Corrupt("bad magic".into()));
+        }
+        let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+        let index_end = 12 + count * 20;
+        if payload.len() < index_end {
+            return Err(GroupFileError::Corrupt("truncated index".into()));
+        }
+        let mut chunks = BTreeMap::new();
+        for i in 0..count {
+            let o = 12 + i * 20;
+            let rank = u32::from_le_bytes(payload[o..o + 4].try_into().unwrap());
+            let offset = u64::from_le_bytes(payload[o + 4..o + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(payload[o + 12..o + 20].try_into().unwrap()) as usize;
+            if offset + len > payload.len() {
+                return Err(GroupFileError::Corrupt(format!(
+                    "chunk for rank {rank} overruns the file"
+                )));
+            }
+            if chunks.insert(rank, payload[offset..offset + len].to_vec()).is_some() {
+                return Err(GroupFileError::Corrupt(format!(
+                    "duplicate chunk for rank {rank}"
+                )));
+            }
+        }
+        Ok(Self { chunks })
+    }
+}
+
+/// Group-membership arithmetic: ranks are divided into contiguous groups of
+/// `group_size`; the lowest rank of each group is its **leader** (the writer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoGroups {
+    /// Ranks per group (≥ 1).
+    pub group_size: usize,
+}
+
+impl IoGroups {
+    /// Create with the given group size.
+    pub fn new(group_size: usize) -> Self {
+        assert!(group_size >= 1);
+        Self { group_size }
+    }
+
+    /// Group index of `rank`.
+    pub fn group_of(&self, rank: usize) -> usize {
+        rank / self.group_size
+    }
+
+    /// Leader rank of `rank`'s group.
+    pub fn leader_of(&self, rank: usize) -> usize {
+        self.group_of(rank) * self.group_size
+    }
+
+    /// Whether `rank` is a leader.
+    pub fn is_leader(&self, rank: usize) -> bool {
+        rank.is_multiple_of(self.group_size)
+    }
+
+    /// Members of `rank`'s group in a world of `size` ranks.
+    pub fn members_of(&self, rank: usize, size: usize) -> std::ops::Range<usize> {
+        let lo = self.leader_of(rank);
+        lo..(lo + self.group_size).min(size)
+    }
+
+    /// Number of groups (= files) in a world of `size` ranks.
+    pub fn group_count(&self, size: usize) -> usize {
+        size.div_ceil(self.group_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_chunks() {
+        let mut g = GroupFile::new();
+        g.insert(3, vec![1, 2, 3]);
+        g.insert(0, vec![9; 100]);
+        g.insert(7, vec![]);
+        let mut buf = Vec::new();
+        g.write(&mut buf).unwrap();
+        let back = GroupFile::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.ranks(), vec![0, 3, 7]);
+        assert_eq!(back.chunk(3).unwrap(), &[1, 2, 3]);
+        assert_eq!(back.chunk(7).unwrap(), &[] as &[u8]);
+        assert!(back.chunk(1).is_none());
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let g = GroupFile::new();
+        let mut buf = Vec::new();
+        g.write(&mut buf).unwrap();
+        let back = GroupFile::read(&mut buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut g = GroupFile::new();
+        g.insert(0, vec![5; 64]);
+        let mut buf = Vec::new();
+        g.write(&mut buf).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x10;
+        assert!(matches!(
+            GroupFile::read(&mut buf.as_slice()),
+            Err(GroupFileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut g = GroupFile::new();
+        g.insert(0, vec![5; 64]);
+        let mut buf = Vec::new();
+        g.write(&mut buf).unwrap();
+        buf.truncate(20);
+        assert!(GroupFile::read(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn group_arithmetic() {
+        let g = IoGroups::new(4);
+        assert_eq!(g.group_of(0), 0);
+        assert_eq!(g.group_of(5), 1);
+        assert_eq!(g.leader_of(6), 4);
+        assert!(g.is_leader(8));
+        assert!(!g.is_leader(9));
+        assert_eq!(g.members_of(5, 10), 4..8);
+        // Ragged final group.
+        assert_eq!(g.members_of(9, 10), 8..10);
+        assert_eq!(g.group_count(10), 3);
+        assert_eq!(IoGroups::new(1).group_count(7), 7);
+    }
+}

@@ -1,0 +1,183 @@
+//! PPM image output with scalar-field colormaps.
+//!
+//! The paper's post-processing module generates "image files in the format of
+//! PPM" (§IV-B). We write binary PPM (P6) and provide two colormaps: a
+//! viridis-like perceptual ramp (default) and the classic jet, both mapping a
+//! scalar field through its `[min, max]` range.
+
+use std::io::{self, Write};
+
+/// An 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PpmImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major RGB bytes (`3 · width · height`).
+    pub rgb: Vec<u8>,
+}
+
+impl PpmImage {
+    /// Blank (black) image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            rgb: vec![0; 3 * width * height],
+        }
+    }
+
+    /// Build from a scalar field (row-major, `width · height` values) through a
+    /// colormap. NaNs render black. A degenerate range renders the low color.
+    pub fn from_scalar(
+        width: usize,
+        height: usize,
+        field: &[f64],
+        colormap: impl Fn(f64) -> [u8; 3],
+    ) -> Self {
+        assert_eq!(field.len(), width * height, "field size mismatch");
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in field {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        let mut img = Self::new(width, height);
+        for (i, &v) in field.iter().enumerate() {
+            let c = if v.is_finite() {
+                colormap(((v - lo) / span).clamp(0.0, 1.0))
+            } else {
+                [0, 0, 0]
+            };
+            img.rgb[3 * i..3 * i + 3].copy_from_slice(&c);
+        }
+        img
+    }
+
+    /// Set one pixel.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        let i = 3 * (y * self.width + x);
+        self.rgb[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Get one pixel.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = 3 * (y * self.width + x);
+        [self.rgb[i], self.rgb[i + 1], self.rgb[i + 2]]
+    }
+}
+
+/// Write the image as binary PPM (P6).
+pub fn write_ppm(w: &mut impl Write, img: &PpmImage) -> io::Result<()> {
+    writeln!(w, "P6")?;
+    writeln!(w, "{} {}", img.width, img.height)?;
+    writeln!(w, "255")?;
+    w.write_all(&img.rgb)
+}
+
+/// A viridis-like perceptual colormap (piecewise-linear approximation of the
+/// matplotlib ramp): dark purple → teal → yellow.
+pub fn colormap_viridis_like(t: f64) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    const STOPS: [(f64, [f64; 3]); 5] = [
+        (0.00, [68.0, 1.0, 84.0]),
+        (0.25, [59.0, 82.0, 139.0]),
+        (0.50, [33.0, 145.0, 140.0]),
+        (0.75, [94.0, 201.0, 98.0]),
+        (1.00, [253.0, 231.0, 37.0]),
+    ];
+    for win in STOPS.windows(2) {
+        let (t0, c0) = win[0];
+        let (t1, c1) = win[1];
+        if t <= t1 {
+            let f = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+            return [
+                (c0[0] + f * (c1[0] - c0[0])) as u8,
+                (c0[1] + f * (c1[1] - c0[1])) as u8,
+                (c0[2] + f * (c1[2] - c0[2])) as u8,
+            ];
+        }
+    }
+    [253, 231, 37]
+}
+
+/// The classic jet colormap: blue → cyan → yellow → red.
+pub fn colormap_jet(t: f64) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    let r = (1.5 - (4.0 * t - 3.0).abs()).clamp(0.0, 1.0);
+    let g = (1.5 - (4.0 * t - 2.0).abs()).clamp(0.0, 1.0);
+    let b = (1.5 - (4.0 * t - 1.0).abs()).clamp(0.0, 1.0);
+    [(r * 255.0) as u8, (g * 255.0) as u8, (b * 255.0) as u8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_header_and_payload() {
+        let mut img = PpmImage::new(2, 2);
+        img.set(0, 0, [255, 0, 0]);
+        img.set(1, 1, [0, 0, 255]);
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, &img).unwrap();
+        let text = String::from_utf8_lossy(&buf[..11]);
+        assert!(text.starts_with("P6\n2 2\n255"));
+        assert_eq!(buf.len(), 11 + 12);
+        assert_eq!(img.get(0, 0), [255, 0, 0]);
+        assert_eq!(img.get(1, 1), [0, 0, 255]);
+    }
+
+    #[test]
+    fn scalar_mapping_normalizes_range() {
+        let field = vec![0.0, 5.0, 10.0, 10.0];
+        let img = PpmImage::from_scalar(2, 2, &field, colormap_viridis_like);
+        // Lowest value maps to the dark end, highest to the bright end.
+        assert_eq!(img.get(0, 0), colormap_viridis_like(0.0));
+        assert_eq!(img.get(0, 1), colormap_viridis_like(1.0));
+        assert_eq!(img.get(1, 0), colormap_viridis_like(0.5));
+    }
+
+    #[test]
+    fn nan_pixels_render_black() {
+        let field = vec![0.0, f64::NAN, 1.0, 0.5];
+        let img = PpmImage::from_scalar(2, 2, &field, colormap_jet);
+        assert_eq!(img.get(1, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn constant_field_does_not_divide_by_zero() {
+        let field = vec![3.0; 4];
+        let img = PpmImage::from_scalar(2, 2, &field, colormap_viridis_like);
+        assert_eq!(img.get(0, 0), colormap_viridis_like(0.0));
+    }
+
+    #[test]
+    fn colormaps_hit_their_anchors() {
+        assert_eq!(colormap_viridis_like(0.0), [68, 1, 84]);
+        assert_eq!(colormap_viridis_like(1.0), [253, 231, 37]);
+        // Jet: t=0 is blue-dominant, t=1 red-dominant.
+        let lo = colormap_jet(0.0);
+        let hi = colormap_jet(1.0);
+        assert!(lo[2] > lo[0]);
+        assert!(hi[0] > hi[2]);
+        // Out-of-range input clamps.
+        assert_eq!(colormap_jet(-5.0), colormap_jet(0.0));
+        assert_eq!(colormap_jet(7.0), colormap_jet(1.0));
+    }
+
+    #[test]
+    fn colormap_is_monotone_in_brightness_viridis() {
+        // Perceptual ramp: total brightness increases with t.
+        let lum = |c: [u8; 3]| 0.2126 * c[0] as f64 + 0.7152 * c[1] as f64 + 0.0722 * c[2] as f64;
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let l = lum(colormap_viridis_like(i as f64 / 20.0));
+            assert!(l >= prev - 1.0, "brightness dip at {i}");
+            prev = l;
+        }
+    }
+}

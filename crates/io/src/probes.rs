@@ -1,0 +1,135 @@
+//! Time-series probe logging (CSV).
+//!
+//! Validation cases track observables over time — drag/lift coefficients for
+//! the cylinder, kinetic-energy decay for Taylor–Green, probe-point velocities
+//! for the urban case. [`ProbeLog`] accumulates named columns and writes CSV
+//! that any plotting tool ingests.
+
+use std::io::{self, Write};
+
+/// An append-only table of named time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeLog {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl ProbeLog {
+    /// Create with the given column names (first column is typically `step`).
+    pub fn new(columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "probe log needs at least one column");
+        Self {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of recorded rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row; its length must match the column count.
+    pub fn push(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row has {} values for {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row.to_vec());
+    }
+
+    /// One column's values.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let i = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| r[i]).collect())
+    }
+
+    /// Last recorded row.
+    pub fn last(&self) -> Option<&[f64]> {
+        self.rows.last().map(|r| r.as_slice())
+    }
+
+    /// Mean of one column over the trailing `n` rows (for quasi-steady
+    /// observables like drag coefficients).
+    pub fn tail_mean(&self, name: &str, n: usize) -> Option<f64> {
+        let col = self.column(name)?;
+        if col.is_empty() {
+            return None;
+        }
+        let tail = &col[col.len().saturating_sub(n)..];
+        Some(tail.iter().sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Write as CSV with a header row.
+    pub fn write_csv(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            writeln!(w, "{}", line.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_column_extraction() {
+        let mut log = ProbeLog::new(&["step", "cd", "cl"]);
+        log.push(&[0.0, 1.2, 0.1]);
+        log.push(&[1.0, 1.1, -0.1]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.column("cd").unwrap(), vec![1.2, 1.1]);
+        assert_eq!(log.column("missing"), None);
+        assert_eq!(log.last().unwrap()[0], 1.0);
+    }
+
+    #[test]
+    fn tail_mean_averages_trailing_rows() {
+        let mut log = ProbeLog::new(&["v"]);
+        for i in 0..10 {
+            log.push(&[i as f64]);
+        }
+        // Last 4 values: 6, 7, 8, 9 → mean 7.5.
+        assert_eq!(log.tail_mean("v", 4).unwrap(), 7.5);
+        // n larger than the table means all rows.
+        assert_eq!(log.tail_mean("v", 100).unwrap(), 4.5);
+        assert!(ProbeLog::new(&["v"]).tail_mean("v", 3).is_none());
+    }
+
+    #[test]
+    fn csv_output_has_header_and_rows() {
+        let mut log = ProbeLog::new(&["step", "e"]);
+        log.push(&[0.0, 0.5]);
+        log.push(&[1.0, 0.25]);
+        let mut buf = Vec::new();
+        log.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "step,e");
+        assert_eq!(lines[1], "0,0.5");
+        assert_eq!(lines[2], "1,0.25");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 values for 2 columns")]
+    fn wrong_row_length_panics() {
+        let mut log = ProbeLog::new(&["a", "b"]);
+        log.push(&[1.0]);
+    }
+}

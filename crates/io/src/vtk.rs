@@ -1,0 +1,106 @@
+//! Legacy-VTK structured-points output.
+//!
+//! The paper's post-processing supports "data analysis and visualization tools
+//! such as ParaView and Tecplot" (§IV-B). The legacy VTK `STRUCTURED_POINTS`
+//! dialect is the simplest interchange both tools read; we emit ASCII scalars
+//! (robust, diff-able) for any number of named cell fields.
+
+use std::io::{self, Write};
+use swlb_core::geometry::GridDims;
+
+/// Write one or more scalar fields over the lattice as a legacy-VTK
+/// structured-points dataset.
+///
+/// Each `(name, field)` pair must have one value per cell in the memory order
+/// of [`GridDims`] (z fastest); the writer re-orders to VTK's x-fastest
+/// convention.
+pub fn write_vtk_scalars(
+    w: &mut impl Write,
+    title: &str,
+    dims: GridDims,
+    fields: &[(&str, &[f64])],
+) -> io::Result<()> {
+    for (name, field) in fields {
+        assert_eq!(
+            field.len(),
+            dims.cells(),
+            "field '{name}' has {} values for {} cells",
+            field.len(),
+            dims.cells()
+        );
+    }
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "{title}")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET STRUCTURED_POINTS")?;
+    writeln!(w, "DIMENSIONS {} {} {}", dims.nx, dims.ny, dims.nz)?;
+    writeln!(w, "ORIGIN 0 0 0")?;
+    writeln!(w, "SPACING 1 1 1")?;
+    writeln!(w, "POINT_DATA {}", dims.cells())?;
+    for (name, field) in fields {
+        writeln!(w, "SCALARS {name} double 1")?;
+        writeln!(w, "LOOKUP_TABLE default")?;
+        // VTK expects x fastest, then y, then z.
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                for x in 0..dims.nx {
+                    writeln!(w, "{}", field[dims.idx(x, y, z)])?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_ordering() {
+        let dims = GridDims::new(2, 2, 2);
+        let mut field = vec![0.0; 8];
+        for (i, v) in field.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let mut buf = Vec::new();
+        write_vtk_scalars(&mut buf, "test", dims, &[("speed", &field)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("DIMENSIONS 2 2 2"));
+        assert!(text.contains("POINT_DATA 8"));
+        assert!(text.contains("SCALARS speed double 1"));
+        // First data value is cell (0,0,0); second must be (1,0,0) = memory
+        // index idx(1,0,0) = nz = 2.
+        let data: Vec<f64> = text
+            .lines()
+            .skip_while(|l| !l.starts_with("LOOKUP_TABLE"))
+            .skip(1)
+            .map(|l| l.parse().unwrap())
+            .collect();
+        assert_eq!(data[0], 0.0);
+        assert_eq!(data[1], dims.idx(1, 0, 0) as f64);
+        assert_eq!(data[2], dims.idx(0, 1, 0) as f64);
+        assert_eq!(data[4], dims.idx(0, 0, 1) as f64);
+    }
+
+    #[test]
+    fn multiple_fields_are_emitted() {
+        let dims = GridDims::new2d(2, 2);
+        let a = vec![1.0; 4];
+        let b = vec![2.0; 4];
+        let mut buf = Vec::new();
+        write_vtk_scalars(&mut buf, "multi", dims, &[("rho", &a), ("p", &b)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("SCALARS rho double 1"));
+        assert!(text.contains("SCALARS p double 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "has 3 values")]
+    fn wrong_field_length_panics() {
+        let dims = GridDims::new2d(2, 2);
+        let short = vec![0.0; 3];
+        let mut buf = Vec::new();
+        let _ = write_vtk_scalars(&mut buf, "bad", dims, &[("x", &short)]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the I/O layer: checkpoints round-trip for arbitrary
+//! content and detect arbitrary corruption; images and probe logs behave for
+//! arbitrary field values.
+
+use proptest::prelude::*;
+use swlb_io::{
+    colormap_jet, colormap_viridis_like, read_checkpoint, write_checkpoint, Checkpoint,
+    PpmImage, ProbeLog,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn checkpoint_roundtrips_arbitrary_state(
+        step in 0u64..u64::MAX / 2,
+        nx in 1u32..6, ny in 1u32..6, nz in 1u32..4,
+        q in prop::sample::select(vec![9u32, 15, 19, 27]),
+        seed in 0u64..1_000_000,
+    ) {
+        let len = (nx * ny * nz * q) as usize;
+        let data: Vec<f64> = (0..len)
+            .map(|i| ((seed as f64 + i as f64) * 0.37).sin() * 1e3)
+            .collect();
+        let ck = Checkpoint { step, dims: (nx, ny, nz), q, data };
+        let mut bytes = Vec::new();
+        write_checkpoint(&mut bytes, &ck).unwrap();
+        let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn checkpoint_detects_any_single_byte_corruption(
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let ck = Checkpoint {
+            step: 7,
+            dims: (2, 2, 2),
+            q: 9,
+            data: (0..72).map(|i| i as f64).collect(),
+        };
+        let mut bytes = Vec::new();
+        write_checkpoint(&mut bytes, &ck).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        // Any single-byte change must fail (CRC-32 catches all 1-byte errors).
+        prop_assert!(read_checkpoint(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn ppm_from_arbitrary_field_is_well_formed(
+        vals in prop::collection::vec(-1e6f64..1e6, 12),
+    ) {
+        let img = PpmImage::from_scalar(4, 3, &vals, colormap_viridis_like);
+        prop_assert_eq!(img.rgb.len(), 36);
+        // The extremes of the field map to the colormap anchors.
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let idx = vals.iter().position(|&v| v == lo).unwrap();
+        prop_assert_eq!(img.get(idx % 4, idx / 4), colormap_viridis_like(0.0));
+    }
+
+    #[test]
+    fn colormaps_always_return_valid_rgb(t in -10.0f64..10.0) {
+        // Clamping: out-of-range t never panics and matches the boundary color.
+        let v = colormap_viridis_like(t);
+        let j = colormap_jet(t);
+        if t <= 0.0 {
+            prop_assert_eq!(v, colormap_viridis_like(0.0));
+            prop_assert_eq!(j, colormap_jet(0.0));
+        }
+        if t >= 1.0 {
+            prop_assert_eq!(v, colormap_viridis_like(1.0));
+            prop_assert_eq!(j, colormap_jet(1.0));
+        }
+    }
+
+    #[test]
+    fn probe_log_columns_roundtrip(
+        rows in prop::collection::vec((0.0f64..1e6, -1e3f64..1e3), 1..40),
+    ) {
+        let mut log = ProbeLog::new(&["t", "v"]);
+        for (t, v) in &rows {
+            log.push(&[*t, *v]);
+        }
+        let t_col = log.column("t").unwrap();
+        let v_col = log.column("v").unwrap();
+        prop_assert_eq!(t_col.len(), rows.len());
+        for (i, (t, v)) in rows.iter().enumerate() {
+            prop_assert_eq!(t_col[i], *t);
+            prop_assert_eq!(v_col[i], *v);
+        }
+        // CSV line count = header + rows.
+        let mut csv = Vec::new();
+        log.write_csv(&mut csv).unwrap();
+        prop_assert_eq!(
+            String::from_utf8(csv).unwrap().lines().count(),
+            rows.len() + 1
+        );
+    }
+
+    #[test]
+    fn tail_mean_is_bounded_by_extremes(
+        vals in prop::collection::vec(-100.0f64..100.0, 1..30),
+        n in 1usize..40,
+    ) {
+        let mut log = ProbeLog::new(&["v"]);
+        for v in &vals {
+            log.push(&[*v]);
+        }
+        let mean = log.tail_mean("v", n).unwrap();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! # swlb-mesh — pre-processing: geometry → lattice masks
+//!
+//! SunwayLB's pre-processing module (paper §IV-B, Fig. 4) accepts three kinds of
+//! geometry input — CAD geometries as STL, terrain files from GIS software, and
+//! outlines described directly in the framework — and turns them into boundary
+//! flags on the Cartesian lattice. This crate reproduces that pipeline:
+//!
+//! * [`stl`] — ASCII and binary STL reading and writing;
+//! * [`voxel`] — watertight-mesh voxelization by z-column parity counting;
+//! * [`primitives`] — analytic shapes (sphere, cylinder, box) and the
+//!   DARPA Suboff hull profile used by the paper's §V-B experiment;
+//! * [`terrain`] — heightmap (GIS-style) terrain masks;
+//! * [`urban`] — the procedural urban-block generator standing in for the
+//!   paper's Shanghai GIS data (§V-C).
+//!
+//! All generators produce a `Vec<bool>` obstacle mask in the memory order of
+//! `swlb_core::geometry::GridDims`, consumed by `FlagField::apply_mask`.
+
+// Indexed loops mirror the stencil mathematics throughout this workspace and
+// are kept deliberately as the clearer idiom for this domain.
+#![allow(clippy::needless_range_loop)]
+
+pub mod primitives;
+pub mod stl;
+pub mod terrain;
+pub mod urban;
+pub mod voxel;
+
+pub use primitives::{box_mask, cylinder_z_mask, sphere_mask, suboff_mask, SuboffHull};
+pub use stl::{read_stl, read_stl_bytes, write_stl_ascii, write_stl_binary, StlError, Triangle};
+pub use terrain::Heightmap;
+pub use urban::{UrbanParams, UrbanScene};
+pub use voxel::voxelize;

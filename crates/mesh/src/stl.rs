@@ -1,0 +1,312 @@
+//! STL triangle-mesh reading and writing (ASCII and binary).
+//!
+//! The paper's mesh generator "supports … geometries from CAD tools with stl
+//! format" (§IV-B). STL is a triangle soup: no topology, just facets with a
+//! normal — both the `solid …` ASCII dialect and the 80-byte-header binary
+//! dialect are implemented, with auto-detection on read.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// One triangle: three vertices (the normal is recomputed on write).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// Vertices in counter-clockwise order (outward normal by right-hand rule).
+    pub v: [[f32; 3]; 3],
+}
+
+impl Triangle {
+    /// Construct from three vertices.
+    pub fn new(a: [f32; 3], b: [f32; 3], c: [f32; 3]) -> Self {
+        Self { v: [a, b, c] }
+    }
+
+    /// Geometric (unnormalized) normal via the cross product.
+    pub fn normal(&self) -> [f32; 3] {
+        let [a, b, c] = self.v;
+        let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+        let w = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+        [
+            u[1] * w[2] - u[2] * w[1],
+            u[2] * w[0] - u[0] * w[2],
+            u[0] * w[1] - u[1] * w[0],
+        ]
+    }
+
+    /// Axis-aligned bounding box `(min, max)`.
+    pub fn aabb(&self) -> ([f32; 3], [f32; 3]) {
+        let mut lo = self.v[0];
+        let mut hi = self.v[0];
+        for p in &self.v[1..] {
+            for a in 0..3 {
+                lo[a] = lo[a].min(p[a]);
+                hi[a] = hi[a].max(p[a]);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// STL parsing errors.
+#[derive(Debug)]
+pub enum StlError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the file.
+    Malformed(String),
+}
+
+impl fmt::Display for StlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StlError::Io(e) => write!(f, "STL I/O error: {e}"),
+            StlError::Malformed(m) => write!(f, "malformed STL: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StlError {}
+
+impl From<io::Error> for StlError {
+    fn from(e: io::Error) -> Self {
+        StlError::Io(e)
+    }
+}
+
+/// Read an STL file, auto-detecting ASCII vs binary.
+pub fn read_stl(path: &Path) -> Result<Vec<Triangle>, StlError> {
+    let bytes = std::fs::read(path)?;
+    read_stl_bytes(&bytes)
+}
+
+/// Read STL content from a byte buffer, auto-detecting the dialect.
+pub fn read_stl_bytes(bytes: &[u8]) -> Result<Vec<Triangle>, StlError> {
+    // ASCII files start with "solid" AND parse as text; binary files may also
+    // start with "solid" in the comment header, so verify with the facet count.
+    let looks_ascii = bytes.starts_with(b"solid")
+        && std::str::from_utf8(bytes)
+            .map(|s| s.contains("facet"))
+            .unwrap_or(false);
+    if looks_ascii {
+        read_ascii(bytes)
+    } else {
+        read_binary(bytes)
+    }
+}
+
+fn read_ascii(bytes: &[u8]) -> Result<Vec<Triangle>, StlError> {
+    let reader = BufReader::new(bytes);
+    let mut tris = Vec::new();
+    let mut verts: Vec<[f32; 3]> = Vec::with_capacity(3);
+    for line in reader.lines() {
+        let line = line?;
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("vertex") => {
+                let mut p = [0f32; 3];
+                for c in &mut p {
+                    *c = it
+                        .next()
+                        .ok_or_else(|| StlError::Malformed("short vertex line".into()))?
+                        .parse()
+                        .map_err(|e| StlError::Malformed(format!("bad float: {e}")))?;
+                }
+                verts.push(p);
+                if verts.len() == 3 {
+                    tris.push(Triangle { v: [verts[0], verts[1], verts[2]] });
+                    verts.clear();
+                }
+            }
+            Some("endfacet") if !verts.is_empty() => {
+                return Err(StlError::Malformed(format!(
+                    "facet closed with {} vertices",
+                    verts.len()
+                )));
+            }
+            _ => {}
+        }
+    }
+    if !verts.is_empty() {
+        return Err(StlError::Malformed("dangling vertices at EOF".into()));
+    }
+    Ok(tris)
+}
+
+fn read_binary(bytes: &[u8]) -> Result<Vec<Triangle>, StlError> {
+    if bytes.len() < 84 {
+        return Err(StlError::Malformed(format!(
+            "binary STL needs ≥ 84 bytes, got {}",
+            bytes.len()
+        )));
+    }
+    let mut cur = &bytes[80..];
+    let mut count_bytes = [0u8; 4];
+    cur.read_exact(&mut count_bytes)?;
+    let count = u32::from_le_bytes(count_bytes) as usize;
+    let expect = 84 + count * 50;
+    if bytes.len() < expect {
+        return Err(StlError::Malformed(format!(
+            "binary STL truncated: header promises {count} facets ({expect} B), file has {} B",
+            bytes.len()
+        )));
+    }
+    let mut tris = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut rec = [0u8; 50];
+        cur.read_exact(&mut rec)?;
+        let f32_at = |o: usize| {
+            f32::from_le_bytes([rec[o], rec[o + 1], rec[o + 2], rec[o + 3]])
+        };
+        // Skip the 12-byte normal; read the three vertices.
+        let mut v = [[0f32; 3]; 3];
+        for (i, vert) in v.iter_mut().enumerate() {
+            for a in 0..3 {
+                vert[a] = f32_at(12 + i * 12 + a * 4);
+            }
+        }
+        tris.push(Triangle { v });
+    }
+    Ok(tris)
+}
+
+/// Write triangles as ASCII STL.
+pub fn write_stl_ascii(w: &mut impl Write, name: &str, tris: &[Triangle]) -> io::Result<()> {
+    writeln!(w, "solid {name}")?;
+    for t in tris {
+        let n = t.normal();
+        let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt().max(1e-30);
+        writeln!(w, "  facet normal {} {} {}", n[0] / len, n[1] / len, n[2] / len)?;
+        writeln!(w, "    outer loop")?;
+        for p in &t.v {
+            writeln!(w, "      vertex {} {} {}", p[0], p[1], p[2])?;
+        }
+        writeln!(w, "    endloop")?;
+        writeln!(w, "  endfacet")?;
+    }
+    writeln!(w, "endsolid {name}")
+}
+
+/// Write triangles as binary STL.
+pub fn write_stl_binary(w: &mut impl Write, tris: &[Triangle]) -> io::Result<()> {
+    let mut header = [0u8; 80];
+    let tag = b"swlb-mesh binary stl";
+    header[..tag.len()].copy_from_slice(tag);
+    w.write_all(&header)?;
+    w.write_all(&(tris.len() as u32).to_le_bytes())?;
+    for t in tris {
+        let n = t.normal();
+        for c in n {
+            w.write_all(&c.to_le_bytes())?;
+        }
+        for p in &t.v {
+            for c in p {
+                w.write_all(&c.to_le_bytes())?;
+            }
+        }
+        w.write_all(&0u16.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tetra() -> Vec<Triangle> {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 0.0, 0.0];
+        let c = [0.0, 1.0, 0.0];
+        let d = [0.0, 0.0, 1.0];
+        vec![
+            Triangle::new(a, c, b),
+            Triangle::new(a, b, d),
+            Triangle::new(a, d, c),
+            Triangle::new(b, c, d),
+        ]
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let tris = unit_tetra();
+        let mut buf = Vec::new();
+        write_stl_ascii(&mut buf, "tetra", &tris).unwrap();
+        let back = read_stl_bytes(&buf).unwrap();
+        assert_eq!(back.len(), 4);
+        for (t, u) in tris.iter().zip(back.iter()) {
+            for i in 0..3 {
+                for a in 0..3 {
+                    assert!((t.v[i][a] - u.v[i][a]).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let tris = unit_tetra();
+        let mut buf = Vec::new();
+        write_stl_binary(&mut buf, &tris).unwrap();
+        let back = read_stl_bytes(&buf).unwrap();
+        assert_eq!(back.len(), 4);
+        for (t, u) in tris.iter().zip(back.iter()) {
+            assert_eq!(t.v, u.v);
+        }
+    }
+
+    #[test]
+    fn binary_with_solid_prefix_in_header_is_detected() {
+        // Some exporters put "solid" into the binary header; detection must not
+        // be fooled because the body is not parseable ASCII.
+        let tris = unit_tetra();
+        let mut buf = Vec::new();
+        write_stl_binary(&mut buf, &tris).unwrap();
+        buf[..5].copy_from_slice(b"solid");
+        let back = read_stl_bytes(&buf).unwrap();
+        assert_eq!(back.len(), 4);
+    }
+
+    #[test]
+    fn truncated_binary_is_rejected() {
+        let tris = unit_tetra();
+        let mut buf = Vec::new();
+        write_stl_binary(&mut buf, &tris).unwrap();
+        buf.truncate(100);
+        assert!(matches!(read_stl_bytes(&buf), Err(StlError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_ascii_is_rejected() {
+        let text = b"solid x\n facet normal 0 0 1\n outer loop\n vertex 0 0\n".to_vec();
+        assert!(read_stl_bytes(&text).is_err());
+    }
+
+    #[test]
+    fn normals_point_outward_for_ccw_winding() {
+        let t = Triangle::new([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let n = t.normal();
+        assert!(n[2] > 0.0);
+    }
+
+    #[test]
+    fn aabb_covers_vertices() {
+        let t = Triangle::new([0.0, -1.0, 2.0], [3.0, 0.5, -1.0], [1.0, 2.0, 0.0]);
+        let (lo, hi) = t.aabb();
+        assert_eq!(lo, [0.0, -1.0, -1.0]);
+        assert_eq!(hi, [3.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn file_roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join("swlb_stl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tetra.stl");
+        let tris = unit_tetra();
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_stl_binary(&mut f, &tris).unwrap();
+        drop(f);
+        let back = read_stl(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

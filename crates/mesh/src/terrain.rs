@@ -1,0 +1,198 @@
+//! GIS-style terrain heightmaps.
+//!
+//! The paper's mesh generator ingests "terrain files from GIS software"
+//! (§IV-B). We implement the equivalent: a rectangular grid of ground heights,
+//! loadable from a simple ASCII grid format (`ncols`, `nrows`, then row-major
+//! values — the core of the ESRI ASCII-grid dialect) or synthesized
+//! procedurally, and rasterized to a lattice mask (`true` below ground).
+
+use swlb_core::geometry::GridDims;
+
+/// A rectangular ground-height field (heights in lattice cells).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heightmap {
+    ncols: usize,
+    nrows: usize,
+    /// Row-major heights: `h[row * ncols + col]`.
+    h: Vec<f64>,
+}
+
+impl Heightmap {
+    /// Build from explicit data. `h.len()` must be `ncols · nrows`.
+    pub fn new(ncols: usize, nrows: usize, h: Vec<f64>) -> Self {
+        assert!(ncols > 0 && nrows > 0, "heightmap extents must be nonzero");
+        assert_eq!(h.len(), ncols * nrows, "heightmap data length mismatch");
+        Self { ncols, nrows, h }
+    }
+
+    /// Grid extents `(ncols, nrows)`.
+    pub fn extents(&self) -> (usize, usize) {
+        (self.ncols, self.nrows)
+    }
+
+    /// Parse the ASCII grid dialect:
+    ///
+    /// ```text
+    /// ncols 4
+    /// nrows 2
+    /// 1.0 2.0 3.0 4.0
+    /// 2.0 3.0 4.0 5.0
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut ncols = None;
+        let mut nrows = None;
+        let mut values = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace().peekable();
+            match it.peek().copied() {
+                Some("ncols") => {
+                    it.next();
+                    ncols = Some(
+                        it.next()
+                            .ok_or("ncols missing value")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad ncols: {e}"))?,
+                    );
+                }
+                Some("nrows") => {
+                    it.next();
+                    nrows = Some(
+                        it.next()
+                            .ok_or("nrows missing value")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad nrows: {e}"))?,
+                    );
+                }
+                _ => {
+                    for tok in it {
+                        values.push(tok.parse::<f64>().map_err(|e| format!("bad value: {e}"))?);
+                    }
+                }
+            }
+        }
+        let (nc, nr) = (
+            ncols.ok_or("missing ncols header")?,
+            nrows.ok_or("missing nrows header")?,
+        );
+        if values.len() != nc * nr {
+            return Err(format!(
+                "expected {} values ({nc}×{nr}), got {}",
+                nc * nr,
+                values.len()
+            ));
+        }
+        Ok(Self::new(nc, nr, values))
+    }
+
+    /// Synthetic rolling terrain: superposed sinusoidal ridges — a stand-in for
+    /// real GIS data that exercises exactly the same code path.
+    pub fn rolling(ncols: usize, nrows: usize, base: f64, amplitude: f64) -> Self {
+        let mut h = Vec::with_capacity(ncols * nrows);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let u = c as f64 / ncols.max(1) as f64 * std::f64::consts::TAU;
+                let v = r as f64 / nrows.max(1) as f64 * std::f64::consts::TAU;
+                h.push(base + amplitude * (0.6 * (2.0 * u).sin() + 0.4 * (3.0 * v).cos()).abs());
+            }
+        }
+        Self::new(ncols, nrows, h)
+    }
+
+    /// Ground height under lattice column `(x, y)` (nearest-sample lookup,
+    /// clamped at the edges).
+    pub fn height_at(&self, x: usize, y: usize, dims: GridDims) -> f64 {
+        let c = x * self.ncols / dims.nx.max(1);
+        let r = y * self.nrows / dims.ny.max(1);
+        self.h[r.min(self.nrows - 1) * self.ncols + c.min(self.ncols - 1)]
+    }
+
+    /// Rasterize to a lattice mask: cell `(x, y, z)` is solid iff
+    /// `z < height(x, y)`.
+    pub fn to_mask(&self, dims: GridDims) -> Vec<bool> {
+        let mut mask = vec![false; dims.cells()];
+        for y in 0..dims.ny {
+            for x in 0..dims.nx {
+                let h = self.height_at(x, y, dims);
+                let top = h.max(0.0).min(dims.nz as f64) as usize;
+                for z in 0..top {
+                    mask[dims.idx(x, y, z)] = true;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Highest point of the terrain.
+    pub fn max_height(&self) -> f64 {
+        self.h.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ascii_grid() {
+        let text = "# demo\nncols 3\nnrows 2\n1 2 3\n4 5 6\n";
+        let hm = Heightmap::parse(text).unwrap();
+        assert_eq!(hm.extents(), (3, 2));
+        assert_eq!(hm.max_height(), 6.0);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Heightmap::parse("nrows 2\n1 2\n").is_err()); // missing ncols
+        assert!(Heightmap::parse("ncols 2\nnrows 2\n1 2 3\n").is_err()); // short data
+        assert!(Heightmap::parse("ncols 2\nnrows 1\n1 x\n").is_err()); // bad float
+    }
+
+    #[test]
+    fn mask_fills_below_ground() {
+        let hm = Heightmap::new(2, 2, vec![1.0, 3.0, 0.0, 2.0]);
+        let dims = GridDims::new(2, 2, 4);
+        let mask = hm.to_mask(dims);
+        // Column (0,0): height 1 → z=0 solid only.
+        assert!(mask[dims.idx(0, 0, 0)]);
+        assert!(!mask[dims.idx(0, 0, 1)]);
+        // Column (1,0): height 3 → z=0..2 solid.
+        assert!(mask[dims.idx(1, 0, 2)]);
+        assert!(!mask[dims.idx(1, 0, 3)]);
+        // Column (0,1): height 0 → nothing solid.
+        assert!(!mask[dims.idx(0, 1, 0)]);
+    }
+
+    #[test]
+    fn heights_clamp_at_grid_top() {
+        let hm = Heightmap::new(1, 1, vec![99.0]);
+        let dims = GridDims::new(2, 2, 3);
+        let mask = hm.to_mask(dims);
+        assert!(mask.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rolling_terrain_is_bounded_and_varied() {
+        let hm = Heightmap::rolling(32, 32, 2.0, 5.0);
+        assert!(hm.max_height() >= 2.0);
+        assert!(hm.max_height() <= 7.0 + 1e-9);
+        // Not flat.
+        let (nc, nr) = hm.extents();
+        let dims = GridDims::new(nc, nr, 10);
+        let a = hm.height_at(0, 0, dims);
+        let different = (0..nc).any(|x| (hm.height_at(x, 7, dims) - a).abs() > 1e-6);
+        assert!(different);
+    }
+
+    #[test]
+    fn nearest_sample_scales_to_lattice() {
+        let hm = Heightmap::new(2, 1, vec![1.0, 4.0]);
+        let dims = GridDims::new(8, 1, 6);
+        // Left half of the lattice maps to sample 0, right half to sample 1.
+        assert_eq!(hm.height_at(1, 0, dims), 1.0);
+        assert_eq!(hm.height_at(6, 0, dims), 4.0);
+    }
+}

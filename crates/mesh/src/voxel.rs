@@ -1,0 +1,173 @@
+//! Triangle-mesh voxelization by z-column **winding-number** counting.
+//!
+//! For every lattice column `(x, y)` we cast a ray along +z through the triangle
+//! soup and record each crossing with the *orientation* of the pierced facet
+//! (±1 from the sign of its projected area). A cell is inside when the summed
+//! orientation of the crossings below it is nonzero. Compared with plain parity
+//! counting this cancels tangential grazings — e.g. where a slanted face meets
+//! a base plane at the same height, the +1/−1 pair annihilates instead of
+//! flooding the column — while duplicate hits on shared edges of coplanar
+//! facets (same sign, same height) are deduplicated. `O(columns · triangles)`
+//! with an AABB pre-filter; the standard scan-conversion of LBM pre-processors.
+
+use crate::stl::Triangle;
+use swlb_core::geometry::GridDims;
+
+/// Map a triangle mesh onto a lattice mask (`true` = solid).
+///
+/// `origin` is the physical position of cell `(0,0,0)`'s center and `dx` the
+/// cell pitch; the mesh is in the same physical units.
+pub fn voxelize(dims: GridDims, origin: [f32; 3], dx: f32, tris: &[Triangle]) -> Vec<bool> {
+    assert!(dx > 0.0, "cell pitch must be positive");
+    let mut mask = vec![false; dims.cells()];
+    if tris.is_empty() {
+        return mask;
+    }
+
+    // Per-column signed crossings (z, facet orientation).
+    for y in 0..dims.ny {
+        let py = origin[1] + y as f32 * dx;
+        for x in 0..dims.nx {
+            let px = origin[0] + x as f32 * dx;
+            let mut crossings: Vec<(f32, i32)> = Vec::new();
+            for t in tris {
+                let (lo, hi) = t.aabb();
+                if px < lo[0] || px > hi[0] || py < lo[1] || py > hi[1] {
+                    continue;
+                }
+                if let Some(hit) = ray_z_intersection(t, px, py) {
+                    crossings.push(hit);
+                }
+            }
+            if crossings.is_empty() {
+                continue;
+            }
+            crossings.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+            });
+            // Deduplicate same-orientation hits on shared edges of coplanar
+            // facets; opposite orientations at the same height must survive so
+            // they cancel in the winding sum.
+            crossings.dedup_by(|a, b| (a.0 - b.0).abs() < dx * 1e-4 && a.1 == b.1);
+            for z in 0..dims.nz {
+                let pz = origin[2] + z as f32 * dx;
+                let winding: i32 = crossings
+                    .iter()
+                    .filter(|&&(c, _)| c <= pz)
+                    .map(|&(_, s)| s)
+                    .sum();
+                if winding != 0 {
+                    mask[dims.idx(x, y, z)] = true;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Intersection of the vertical line `(px, py)` with the triangle, if the
+/// point lies inside the triangle's xy projection: returns `(z, orientation)`
+/// where orientation is the sign of the facet's projected (signed) area —
+/// +1 for upward-facing facets, −1 for downward-facing ones.
+fn ray_z_intersection(t: &Triangle, px: f32, py: f32) -> Option<(f32, i32)> {
+    let [a, b, c] = t.v;
+    // 2-D barycentric coordinates in the xy plane.
+    let v0 = [b[0] - a[0], b[1] - a[1]];
+    let v1 = [c[0] - a[0], c[1] - a[1]];
+    let v2 = [px - a[0], py - a[1]];
+    let den = v0[0] * v1[1] - v1[0] * v0[1];
+    if den.abs() < 1e-12 {
+        return None; // degenerate in projection (vertical facet)
+    }
+    let inv = 1.0 / den;
+    let u = (v2[0] * v1[1] - v1[0] * v2[1]) * inv;
+    let v = (v0[0] * v2[1] - v2[0] * v0[1]) * inv;
+    // Half-open edge rule to avoid double counting on shared edges.
+    if u < 0.0 || v < 0.0 || u + v > 1.0 {
+        return None;
+    }
+    let z = a[2] + u * (b[2] - a[2]) + v * (c[2] - a[2]);
+    Some((z, if den > 0.0 { 1 } else { -1 }))
+}
+
+/// Fraction of `mask` cells that are solid.
+pub fn solid_fraction(mask: &[bool]) -> f64 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    mask.iter().filter(|&&s| s).count() as f64 / mask.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::cube_triangles;
+
+    #[test]
+    fn empty_mesh_gives_empty_mask() {
+        let dims = GridDims::new(4, 4, 4);
+        let mask = voxelize(dims, [0.0; 3], 1.0, &[]);
+        assert!(mask.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn unit_cube_fills_expected_cells() {
+        // Cube spanning [2, 6) in all axes on a 8³ grid with dx = 1: cell
+        // centers 2..6 are inside (x=2,3,4,5), outside elsewhere.
+        let tris = cube_triangles([2.0, 2.0, 2.0], [6.0, 6.0, 6.0]);
+        let dims = GridDims::new(8, 8, 8);
+        let mask = voxelize(dims, [0.5; 3], 1.0, &tris);
+        // Center of cell i is 0.5 + i.
+        let inside = |i: usize| (2.0..6.0).contains(&(0.5 + i as f32));
+        for [x, y, z] in dims.iter() {
+            let expect = inside(x) && inside(y) && inside(z);
+            assert_eq!(
+                mask[dims.idx(x, y, z)],
+                expect,
+                "cell ({x},{y},{z}) center {}",
+                0.5 + z as f32
+            );
+        }
+    }
+
+    #[test]
+    fn solid_fraction_matches_volume_ratio() {
+        let tris = cube_triangles([0.0, 0.0, 0.0], [5.0, 5.0, 5.0]);
+        let dims = GridDims::new(10, 10, 10);
+        let mask = voxelize(dims, [0.5; 3], 1.0, &tris);
+        let f = solid_fraction(&mask);
+        // 5³/10³ = 0.125 exactly at these alignments.
+        assert!((f - 0.125).abs() < 0.02, "fraction = {f}");
+    }
+
+    #[test]
+    fn column_outside_mesh_stays_fluid() {
+        let tris = cube_triangles([10.0, 10.0, 0.0], [12.0, 12.0, 2.0]);
+        let dims = GridDims::new(4, 4, 4);
+        let mask = voxelize(dims, [0.0; 3], 1.0, &tris);
+        assert!(mask.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn voxelized_tetrahedron_is_nonempty_and_bounded() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [7.0, 1.0, 1.0];
+        let c = [1.0, 7.0, 1.0];
+        let d = [1.0, 1.0, 7.0];
+        let tris = vec![
+            Triangle::new(a, c, b),
+            Triangle::new(a, b, d),
+            Triangle::new(a, d, c),
+            Triangle::new(b, c, d),
+        ];
+        let dims = GridDims::new(8, 8, 8);
+        let mask = voxelize(dims, [0.5; 3], 1.0, &tris);
+        let f = solid_fraction(&mask);
+        // Tetra volume = 36; grid volume 512 → ~7 %.
+        assert!(f > 0.02 && f < 0.15, "fraction = {f}");
+        // The centroid cell is inside.
+        assert!(mask[dims.idx(2, 2, 2)]);
+        // A far corner is outside.
+        assert!(!mask[dims.idx(7, 7, 7)]);
+    }
+}

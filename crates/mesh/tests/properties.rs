@@ -1,0 +1,197 @@
+//! Property-based tests of the pre-processing pipeline: voxelization must
+//! agree with analytic inside-tests, STL must round-trip, masks must respect
+//! their defining geometry for arbitrary parameters.
+
+use proptest::prelude::*;
+use swlb_core::geometry::GridDims;
+use swlb_mesh::primitives::cube_triangles;
+use swlb_mesh::{
+    box_mask, cylinder_z_mask, read_stl_bytes, sphere_mask, suboff_mask, voxelize,
+    write_stl_ascii, write_stl_binary, Heightmap, SuboffHull, Triangle,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn voxelized_cube_matches_analytic_box(
+        lo in 0.5f32..3.0,
+        size in 1.0f32..5.0,
+    ) {
+        let hi = lo + size;
+        let tris = cube_triangles([lo; 3], [hi; 3]);
+        let dims = GridDims::new(10, 10, 10);
+        let mask = voxelize(dims, [0.5; 3], 1.0, &tris);
+        for [x, y, z] in dims.iter() {
+            let p = |i: usize| 0.5 + i as f32;
+            let inside =
+                p(x) > lo && p(x) < hi && p(y) > lo && p(y) < hi && p(z) > lo && p(z) < hi;
+            // Cells whose center is strictly inside must be solid; strictly
+            // outside (by over half a cell) must be fluid. Surface cells may
+            // go either way.
+            let margin = 0.51;
+            let well_inside = p(x) > lo + margin && p(x) < hi - margin
+                && p(y) > lo + margin && p(y) < hi - margin
+                && p(z) > lo + margin && p(z) < hi - margin;
+            let well_outside = p(x) < lo - margin || p(x) > hi + margin
+                || p(y) < lo - margin || p(y) > hi + margin
+                || p(z) < lo - margin || p(z) > hi + margin;
+            if well_inside {
+                prop_assert!(mask[dims.idx(x, y, z)], "({x},{y},{z}) should be solid");
+            }
+            if well_outside {
+                prop_assert!(!mask[dims.idx(x, y, z)], "({x},{y},{z}) should be fluid");
+            }
+            let _ = inside;
+        }
+    }
+
+    #[test]
+    fn stl_binary_roundtrip_arbitrary_triangles(
+        coords in prop::collection::vec(-100.0f32..100.0, 9..90),
+    ) {
+        let tris: Vec<Triangle> = coords
+            .chunks_exact(9)
+            .map(|c| Triangle::new(
+                [c[0], c[1], c[2]],
+                [c[3], c[4], c[5]],
+                [c[6], c[7], c[8]],
+            ))
+            .collect();
+        let mut buf = Vec::new();
+        write_stl_binary(&mut buf, &tris).unwrap();
+        let back = read_stl_bytes(&buf).unwrap();
+        prop_assert_eq!(back.len(), tris.len());
+        for (a, b) in tris.iter().zip(back.iter()) {
+            prop_assert_eq!(a.v, b.v);
+        }
+    }
+
+    #[test]
+    fn stl_ascii_roundtrip_within_f32_print_precision(
+        coords in prop::collection::vec(-10.0f32..10.0, 9..45),
+    ) {
+        let tris: Vec<Triangle> = coords
+            .chunks_exact(9)
+            .map(|c| Triangle::new(
+                [c[0], c[1], c[2]],
+                [c[3], c[4], c[5]],
+                [c[6], c[7], c[8]],
+            ))
+            .collect();
+        let mut buf = Vec::new();
+        write_stl_ascii(&mut buf, "prop", &tris).unwrap();
+        let back = read_stl_bytes(&buf).unwrap();
+        prop_assert_eq!(back.len(), tris.len());
+        for (a, b) in tris.iter().zip(back.iter()) {
+            for i in 0..3 {
+                for k in 0..3 {
+                    prop_assert!((a.v[i][k] - b.v[i][k]).abs() <= 1e-4 * a.v[i][k].abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_mask_is_point_symmetric(r in 0.5f64..4.0) {
+        let dims = GridDims::new(11, 11, 11);
+        let mask = sphere_mask(dims, [5.0, 5.0, 5.0], r);
+        for [x, y, z] in dims.iter() {
+            let m = mask[dims.idx(x, y, z)];
+            let m2 = mask[dims.idx(10 - x, 10 - y, 10 - z)];
+            prop_assert_eq!(m, m2);
+        }
+    }
+
+    #[test]
+    fn cylinder_mask_is_z_invariant(cx in 2.0f64..8.0, cy in 2.0f64..8.0, r in 0.5f64..3.0) {
+        let dims = GridDims::new(10, 10, 4);
+        let mask = cylinder_z_mask(dims, cx, cy, r);
+        for y in 0..10 {
+            for x in 0..10 {
+                let base = mask[dims.idx(x, y, 0)];
+                for z in 1..4 {
+                    prop_assert_eq!(mask[dims.idx(x, y, z)], base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_mask_cell_count_is_exact(
+        x0 in 0usize..4, y0 in 0usize..4, z0 in 0usize..4,
+        w in 0usize..4, h in 0usize..4, d in 0usize..4,
+    ) {
+        let dims = GridDims::new(8, 8, 8);
+        let hi = [(x0 + w).min(7), (y0 + h).min(7), (z0 + d).min(7)];
+        let mask = box_mask(dims, [x0, y0, z0], hi);
+        let count = mask.iter().filter(|&&s| s).count();
+        let expect = (hi[0] - x0 + 1) * (hi[1] - y0 + 1) * (hi[2] - z0 + 1);
+        prop_assert_eq!(count, expect);
+    }
+
+    #[test]
+    fn suboff_radius_profile_is_bounded_and_continuous(len in 20.0f64..200.0) {
+        let hull = SuboffHull::with_length(len);
+        let n = 400;
+        let mut prev = hull.radius_at(len * 0.02);
+        for i in 9..=n {
+            // Skip the first 2 % of the hull: the elliptical bow has a √-type
+            // profile whose slope is unbounded at the very tip, so pointwise
+            // continuity bounds only apply away from it.
+            let s = len * i as f64 / n as f64;
+            let r = hull.radius_at(s);
+            prop_assert!(r >= 0.0 && r <= hull.radius + 1e-12);
+            prop_assert!(
+                (r - prev).abs() <= hull.radius * 0.08,
+                "jump at s={s}: {prev} -> {r}"
+            );
+            prev = r;
+        }
+        // The bow rises monotonically from the tip.
+        let bow = 1.016 / 4.356 * len;
+        let mut last = 0.0;
+        for i in 0..=50 {
+            let r = hull.radius_at(bow * i as f64 / 50.0);
+            prop_assert!(r >= last - 1e-12, "bow not monotone at sample {i}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn suboff_mask_is_axisymmetric(len in 20.0f64..40.0) {
+        let dims = GridDims::new(48, 13, 13);
+        let hull = SuboffHull::with_length(len);
+        let mask = suboff_mask(dims, hull, 4.0, 6.0, 6.0);
+        for [x, y, z] in dims.iter() {
+            // Reflect through the axis plane y -> 12-y, z -> 12-z.
+            let m = mask[dims.idx(x, y, z)];
+            prop_assert_eq!(m, mask[dims.idx(x, 12 - y, z)]);
+            prop_assert_eq!(m, mask[dims.idx(x, y, 12 - z)]);
+        }
+    }
+
+    #[test]
+    fn heightmap_mask_is_monotone_in_z(
+        heights in prop::collection::vec(0.0f64..8.0, 9),
+    ) {
+        let hm = Heightmap::new(3, 3, heights);
+        let dims = GridDims::new(6, 6, 8);
+        let mask = hm.to_mask(dims);
+        // If (x, y, z) is fluid then everything above it must be fluid too.
+        for y in 0..6 {
+            for x in 0..6 {
+                let mut seen_fluid = false;
+                for z in 0..8 {
+                    let solid = mask[dims.idx(x, y, z)];
+                    if seen_fluid {
+                        prop_assert!(!solid, "solid above fluid at ({x},{y},{z})");
+                    }
+                    if !solid {
+                        seen_fluid = true;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulation case configuration.
+//!
+//! A small `key = value` configuration format (comments with `#`) so the
+//! example binaries and the bench harness can be driven without recompiling —
+//! the role the paper's pre-processing input deck plays.
+
+use swlb_core::collision::BgkParams;
+use swlb_core::error::{CoreError, Result};
+use swlb_core::geometry::GridDims;
+use swlb_core::Scalar;
+
+/// A complete case description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseConfig {
+    /// Case name (used in output file names).
+    pub name: String,
+    /// Grid cells along x.
+    pub nx: usize,
+    /// Grid cells along y.
+    pub ny: usize,
+    /// Grid cells along z (1 for 2-D).
+    pub nz: usize,
+    /// Relaxation time τ.
+    pub tau: Scalar,
+    /// Characteristic lattice velocity (inlet / lid).
+    pub u_lattice: Scalar,
+    /// Time steps to run.
+    pub steps: u64,
+    /// Emit output every this many steps (0 = only at the end).
+    pub output_every: u64,
+    /// Number of ranks for distributed runs.
+    pub ranks: usize,
+}
+
+impl Default for CaseConfig {
+    fn default() -> Self {
+        Self {
+            name: "case".into(),
+            nx: 64,
+            ny: 64,
+            nz: 1,
+            tau: 0.8,
+            u_lattice: 0.05,
+            steps: 1000,
+            output_every: 0,
+            ranks: 1,
+        }
+    }
+}
+
+impl CaseConfig {
+    /// Grid dims.
+    pub fn dims(&self) -> GridDims {
+        GridDims::new(self.nx, self.ny, self.nz)
+    }
+
+    /// BGK parameters; errors if τ is unstable.
+    pub fn bgk(&self) -> Result<BgkParams> {
+        BgkParams::try_from_tau(self.tau)
+    }
+
+    /// Validate the whole configuration.
+    pub fn validate(&self) -> Result<()> {
+        GridDims::try_new(self.nx, self.ny, self.nz)?;
+        self.bgk()?;
+        if !(self.u_lattice > 0.0 && self.u_lattice < 0.3) {
+            return Err(CoreError::InvalidConfig(format!(
+                "u_lattice {} outside the low-Mach range (0, 0.3)",
+                self.u_lattice
+            )));
+        }
+        if self.ranks == 0 {
+            return Err(CoreError::InvalidConfig("ranks must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Parse `key = value` lines over the defaults. Unknown keys error (they
+    /// are almost always typos).
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut cfg = Self::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                CoreError::InvalidConfig(format!("line {}: expected key = value", lineno + 1))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |e: &dyn std::fmt::Display| {
+                CoreError::InvalidConfig(format!("line {}: {key}: {e}", lineno + 1))
+            };
+            match key {
+                "name" => cfg.name = value.to_string(),
+                "nx" => cfg.nx = value.parse().map_err(|e| bad(&e))?,
+                "ny" => cfg.ny = value.parse().map_err(|e| bad(&e))?,
+                "nz" => cfg.nz = value.parse().map_err(|e| bad(&e))?,
+                "tau" => cfg.tau = value.parse().map_err(|e| bad(&e))?,
+                "u_lattice" => cfg.u_lattice = value.parse().map_err(|e| bad(&e))?,
+                "steps" => cfg.steps = value.parse().map_err(|e| bad(&e))?,
+                "output_every" => cfg.output_every = value.parse().map_err(|e| bad(&e))?,
+                "ranks" => cfg.ranks = value.parse().map_err(|e| bad(&e))?,
+                other => {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "line {}: unknown key '{other}'",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        CaseConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn parse_overrides_defaults() {
+        let cfg = CaseConfig::parse(
+            "# demo case\nname = cavity\nnx = 128\nny=96\ntau = 0.9 # stable\nsteps = 50\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.name, "cavity");
+        assert_eq!(cfg.nx, 128);
+        assert_eq!(cfg.ny, 96);
+        assert_eq!(cfg.nz, 1);
+        assert!((cfg.tau - 0.9).abs() < 1e-15);
+        assert_eq!(cfg.steps, 50);
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let err = CaseConfig::parse("nxx = 12\n").unwrap_err();
+        assert!(err.to_string().contains("unknown key"));
+    }
+
+    #[test]
+    fn invalid_physics_is_rejected() {
+        assert!(CaseConfig::parse("tau = 0.4\n").is_err());
+        assert!(CaseConfig::parse("u_lattice = 0.9\n").is_err());
+        assert!(CaseConfig::parse("nx = 0\n").is_err());
+        assert!(CaseConfig::parse("ranks = 0\n").is_err());
+    }
+
+    #[test]
+    fn missing_equals_is_reported_with_line() {
+        let err = CaseConfig::parse("nx = 4\nbogus line\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Distributed group I/O: aggregate per-rank output at group leaders.
+//!
+//! The communication half of the paper's group-I/O mode (§IV-B): ranks are
+//! organized in contiguous groups, members ship their output chunk to the
+//! group leader, and each leader assembles one [`GroupFile`] container —
+//! turning `P` file writes into `P / group_size`.
+
+use swlb_comm::{Comm, CommError};
+use swlb_io::{GroupFile, IoGroups};
+
+/// Reserved user tag for group-I/O traffic (stays well below the
+/// communicator's reserved range).
+const GROUP_IO_TAG: u64 = 900;
+
+/// Aggregate `chunk` across this rank's I/O group.
+///
+/// Leaders return `Some(GroupFile)` holding every member's chunk (including
+/// their own), ready to be written to disk; members return `None` after
+/// shipping their chunk to the leader.
+pub fn aggregate_group(
+    comm: &Comm,
+    groups: IoGroups,
+    chunk: &[u8],
+) -> Result<Option<GroupFile>, CommError> {
+    let rank = comm.rank();
+    // Chunks travel as f64 payloads over the communicator; pack bytes 1:1.
+    // (Lossless: every u8 value is exactly representable.)
+    let payload: Vec<f64> = chunk.iter().map(|&b| b as f64).collect();
+    if groups.is_leader(rank) {
+        let mut file = GroupFile::new();
+        file.insert(rank as u32, chunk.to_vec());
+        for member in groups.members_of(rank, comm.size()) {
+            if member == rank {
+                continue;
+            }
+            let data = comm.recv(member, GROUP_IO_TAG)?;
+            file.insert(member as u32, data.iter().map(|&v| v as u8).collect());
+        }
+        Ok(Some(file))
+    } else {
+        comm.send(groups.leader_of(rank), GROUP_IO_TAG, payload)?;
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swlb_comm::World;
+
+    #[test]
+    fn leaders_collect_their_whole_group() {
+        let groups = IoGroups::new(3);
+        let out = World::new(8).run(|comm| {
+            let chunk = vec![comm.rank() as u8; comm.rank() + 1];
+            aggregate_group(&comm, groups, &chunk).unwrap()
+        });
+        // Groups: {0,1,2} led by 0, {3,4,5} led by 3, {6,7} led by 6.
+        for (rank, result) in out.iter().enumerate() {
+            if groups.is_leader(rank) {
+                let file = result.as_ref().expect("leader has a file");
+                let members = groups.members_of(rank, 8);
+                assert_eq!(file.len(), members.len());
+                for m in members {
+                    let c = file.chunk(m as u32).expect("member chunk present");
+                    assert_eq!(c, vec![m as u8; m + 1].as_slice());
+                }
+            } else {
+                assert!(result.is_none(), "member {rank} should not hold a file");
+            }
+        }
+    }
+
+    #[test]
+    fn group_size_one_means_every_rank_writes_itself() {
+        let groups = IoGroups::new(1);
+        let out = World::new(4).run(|comm| {
+            aggregate_group(&comm, groups, &[comm.rank() as u8]).unwrap()
+        });
+        for (rank, result) in out.iter().enumerate() {
+            let file = result.as_ref().unwrap();
+            assert_eq!(file.len(), 1);
+            assert_eq!(file.chunk(rank as u32).unwrap(), &[rank as u8]);
+        }
+    }
+
+    #[test]
+    fn aggregated_file_roundtrips_through_the_container_format() {
+        let groups = IoGroups::new(4);
+        let out = World::new(4).run(|comm| {
+            let chunk: Vec<u8> = (0..50).map(|i| (i * (comm.rank() + 1)) as u8).collect();
+            aggregate_group(&comm, groups, &chunk).unwrap()
+        });
+        let file = out[0].as_ref().unwrap();
+        let mut buf = Vec::new();
+        file.write(&mut buf).unwrap();
+        let back = GroupFile::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(&back, file);
+    }
+}

@@ -1,0 +1,145 @@
+//! 2-D domain partitioning with full-z pencils (paper §IV-C.1).
+//!
+//! The paper rejects 1-D decomposition (not enough parallelism for 160,000
+//! processes when x/y are ~10³) and 3-D decomposition (more complex
+//! communication), settling on 2-D over (x, y) with each subdomain keeping the
+//! whole z axis. [`Partition2d`] maps ranks to subdomains and builds each
+//! rank's local flag field (interior + one halo ring) from the global one.
+
+use swlb_comm::Cart2d;
+use swlb_core::flags::FlagField;
+use swlb_core::geometry::GridDims;
+
+/// A 2-D block partition of a global grid over a cartesian rank layout.
+#[derive(Debug, Clone, Copy)]
+pub struct Partition2d {
+    /// Rank topology (always periodic: the global domain edge uses the same
+    /// wrap convention as the single-domain reference kernel).
+    pub cart: Cart2d,
+    /// Global grid.
+    pub global: GridDims,
+}
+
+impl Partition2d {
+    /// Partition `global` over `nranks` ranks in a balanced near-square layout.
+    ///
+    /// # Panics
+    /// Panics if any rank would receive an empty subdomain.
+    pub fn new(global: GridDims, nranks: usize) -> Self {
+        let cart = Cart2d::balanced(nranks, true);
+        assert!(
+            cart.px <= global.nx && cart.py <= global.ny,
+            "{} ranks ({}x{}) cannot tile a {}x{} xy footprint",
+            nranks,
+            cart.px,
+            cart.py,
+            global.nx,
+            global.ny
+        );
+        Self { cart, global }
+    }
+
+    /// Global (offset, extent) of `rank`'s interior along x and y:
+    /// `((x0, lnx), (y0, lny))`.
+    pub fn owned(&self, rank: usize) -> ((usize, usize), (usize, usize)) {
+        let (cx, cy) = self.cart.coords(rank);
+        (
+            Cart2d::block_range(self.global.nx, self.cart.px, cx),
+            Cart2d::block_range(self.global.ny, self.cart.py, cy),
+        )
+    }
+
+    /// Local grid dims of `rank` *including* the one-cell xy halo ring.
+    pub fn local_dims(&self, rank: usize) -> GridDims {
+        let ((_, lnx), (_, lny)) = self.owned(rank);
+        GridDims::new(lnx + 2, lny + 2, self.global.nz)
+    }
+
+    /// Build `rank`'s local flag field: interior cells copy the global flags;
+    /// the halo ring copies the (periodically wrapped) global neighbors' flags,
+    /// so boundary rules at subdomain edges match the single-domain reference
+    /// exactly.
+    pub fn local_flags(&self, rank: usize, global_flags: &FlagField) -> FlagField {
+        assert_eq!(global_flags.dims(), self.global);
+        let ((x0, _), (y0, _)) = self.owned(rank);
+        let local = self.local_dims(rank);
+        let mut flags = FlagField::new(local);
+        for ly in 0..local.ny {
+            // Local interior cell (1,1) corresponds to global (x0, y0).
+            let gy = (y0 + self.global.ny + ly - 1) % self.global.ny;
+            for lx in 0..local.nx {
+                let gx = (x0 + self.global.nx + lx - 1) % self.global.nx;
+                for z in 0..local.nz {
+                    flags.set(lx, ly, z, global_flags.kind_at(gx, gy, z));
+                }
+            }
+        }
+        flags
+    }
+
+    /// Translate a local interior coordinate to the global coordinate.
+    pub fn to_global(&self, rank: usize, lx: usize, ly: usize) -> (usize, usize) {
+        let ((x0, lnx), (y0, lny)) = self.owned(rank);
+        debug_assert!((1..=lnx).contains(&lx) && (1..=lny).contains(&ly));
+        (x0 + lx - 1, y0 + ly - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swlb_core::boundary::NodeKind;
+
+    #[test]
+    fn owned_ranges_tile_the_domain() {
+        let p = Partition2d::new(GridDims::new(10, 9, 4), 6); // 3x2 layout
+        let mut covered = [false; 10 * 9];
+        for rank in 0..6 {
+            let ((x0, lnx), (y0, lny)) = p.owned(rank);
+            for y in y0..y0 + lny {
+                for x in x0..x0 + lnx {
+                    assert!(!covered[y * 10 + x], "cell ({x},{y}) covered twice");
+                    covered[y * 10 + x] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn local_dims_add_halo_ring() {
+        let p = Partition2d::new(GridDims::new(8, 8, 5), 4);
+        let d = p.local_dims(0);
+        assert_eq!((d.nx, d.ny, d.nz), (6, 6, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot tile")]
+    fn too_many_ranks_panics() {
+        Partition2d::new(GridDims::new(2, 2, 4), 16);
+    }
+
+    #[test]
+    fn local_flags_sample_global_with_wrap() {
+        let global = GridDims::new(6, 6, 2);
+        let mut gf = FlagField::new(global);
+        gf.set(0, 0, 0, NodeKind::Wall);
+        gf.set(5, 5, 1, NodeKind::Wall);
+        let p = Partition2d::new(global, 4); // 2x2, each 3x3
+        // Rank 0 owns x 0..3, y 0..3; its west halo column wraps to gx = 5.
+        let lf = p.local_flags(0, &gf);
+        assert!(lf.kind_at(1, 1, 0).is_solid()); // global (0,0,0)
+        assert!(lf.kind_at(0, 0, 1).is_solid()); // halo corner wraps to (5,5,1)
+        assert!(lf.kind_at(2, 2, 0).is_fluid());
+    }
+
+    #[test]
+    fn to_global_roundtrip() {
+        let p = Partition2d::new(GridDims::new(10, 10, 1), 4);
+        for rank in 0..4 {
+            let ((x0, lnx), (y0, lny)) = p.owned(rank);
+            assert_eq!(p.to_global(rank, 1, 1), (x0, y0));
+            assert_eq!(p.to_global(rank, lnx, lny), (x0 + lnx - 1, y0 + lny - 1));
+        }
+    }
+}

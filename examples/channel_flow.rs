@@ -1,0 +1,71 @@
+//! Pressure-driven 3-D channel flow (Poiseuille): boundary-condition
+//! validation with a known profile shape.
+//!
+//! A D3Q19 duct with a velocity inlet, zero-gradient outlet and bounce-back
+//! walls on y. Far from the inlet the streamwise profile relaxes toward the
+//! parabolic Poiseuille shape; we fit the profile and report its deviation from
+//! the parabola, plus the distributed engine's wall friction.
+//!
+//! Run with: `cargo run --release --example channel_flow`
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the profile math
+
+use swlb_core::prelude::*;
+use swlb_core::solver::ExecMode;
+use swlb_io::write_vtk_scalars;
+use swlb_sim::forces::momentum_exchange_force;
+
+fn main() {
+    let (nx, ny, nz) = (160usize, 41usize, 3usize);
+    let u_in: Scalar = 0.04;
+    let tau: Scalar = 0.9;
+    let dims = GridDims::new(nx, ny, nz);
+    println!("channel flow: {nx}x{ny}x{nz}, tau = {tau}, inlet u = {u_in}");
+
+    let mut solver = Solver::<D3Q19>::new(dims, BgkParams::from_tau(tau))
+        .with_mode(ExecMode::Parallel)
+        .with_pool(ThreadPool::auto());
+    solver.flags_mut().paint_channel_walls_y();
+    solver
+        .flags_mut()
+        .paint_inflow_outflow_x(1.0, [u_in, 0.0, 0.0]);
+    solver.initialize_uniform(1.0, [u_in, 0.0, 0.0]);
+
+    solver
+        .run_checked(8000, 1000)
+        .expect("channel flow diverged");
+
+    // Extract the streamwise profile u_x(y) at 3/4 of the channel length.
+    let m = solver.macroscopic();
+    let xs = 3 * nx / 4;
+    let z = nz / 2;
+    let profile: Vec<Scalar> = (0..ny).map(|y| m.u[dims.idx(xs, y, z)][0]).collect();
+
+    // Fit a parabola u(y) = a (y - y0)(2h - (y - y0)) through the fluid part
+    // (bounce-back walls sit half a cell outside the first/last fluid nodes).
+    let h = (ny - 2) as Scalar / 2.0; // half-width in cells
+    let umax = profile.iter().cloned().fold(0.0, Scalar::max);
+    let mut sum_sq = 0.0;
+    let mut count = 0;
+    println!("{:>4} {:>10} {:>10}", "y", "u_x", "parabola");
+    for y in 1..ny - 1 {
+        let s = y as Scalar - 0.5; // distance from the wall plane
+        let para = umax * (s * (2.0 * h - s)) / (h * h);
+        if y % 5 == 0 {
+            println!("{y:>4} {:>10.6} {:>10.6}", profile[y], para);
+        }
+        sum_sq += (profile[y] - para) * (profile[y] - para);
+        count += 1;
+    }
+    let rms = (sum_sq / count as Scalar).sqrt() / umax;
+    println!("profile RMS deviation from parabola: {:.2} % of u_max", rms * 100.0);
+    println!("centerline/inlet velocity ratio: {:.3} (plug flow→Poiseuille develops >1)", umax / u_in);
+
+    // Wall friction opposes the flow.
+    let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.populations());
+    println!("wall friction force F_x = {:.4e} (positive: the fluid drags the walls downstream)", f[0]);
+
+    let speed = m.velocity_magnitude();
+    let mut out = std::fs::File::create("channel_speed.vtk").unwrap();
+    write_vtk_scalars(&mut out, "channel flow", dims, &[("speed", &speed)]).unwrap();
+    println!("wrote channel_speed.vtk");
+}

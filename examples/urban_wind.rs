@@ -1,0 +1,122 @@
+//! Wind flow over a procedural urban area — the workstation analog of the
+//! paper's flagship application (§V-C, Fig. 19: 1 km² of Shanghai at 0.1 m,
+//! 271 G cells, 10.4 M cores). Same physics and code path, laptop-sized mesh.
+//!
+//! A D3Q19 domain with a ground plane, procedurally generated city blocks,
+//! a velocity inlet (the paper's 8 m/s wind), Smagorinsky LES closure, and a
+//! **distributed run over 4 ranks** through the on-the-fly halo-exchange
+//! engine. Emits velocity-contour PPMs at several heights (Fig. 19(3)) and the
+//! Q-criterion volume (Fig. 19(1)).
+//!
+//! Run with: `cargo run --release --example urban_wind`
+
+use std::io::Write as _;
+use swlb_core::collision::{CollisionKind, SmagorinskyParams};
+use swlb_core::macroscopic::MacroFields;
+use swlb_core::post::q_criterion;
+use swlb_core::prelude::*;
+use swlb_comm::World;
+use swlb_io::{colormap_viridis_like, write_ppm, write_vtk_scalars, PpmImage};
+use swlb_mesh::{UrbanParams, UrbanScene};
+use swlb_sim::{DistributedSolver, ExchangeMode};
+
+fn main() {
+    let dims = GridDims::new(96, 72, 40);
+    let u_wind: Scalar = 0.06; // ≈ 8 m/s in the paper's physical units
+    let tau: Scalar = 0.53;
+    let ranks = 4;
+
+    // Synthesize the city (deterministic seed → reproducible figure).
+    let scene = UrbanScene::generate(
+        dims,
+        UrbanParams {
+            block_pitch: 16,
+            street_width: 5,
+            min_height: 5,
+            max_height: 26,
+            occupancy: 0.8,
+            seed: 2019,
+        },
+    );
+    println!(
+        "urban wind: {}x{}x{} grid, {} buildings, tallest {} cells, plan density {:.2}",
+        dims.nx,
+        dims.ny,
+        dims.nz,
+        scene.buildings.len(),
+        scene.max_height(),
+        scene.plan_density(dims)
+    );
+
+    // Global boundary conditions: ground + buildings solid, x inflow/outflow.
+    let mut flags = FlagField::new(dims);
+    flags.paint_ground_z();
+    flags.apply_mask(&scene.to_mask(dims)).unwrap();
+    flags.paint_inflow_outflow_x(1.0, [u_wind, 0.0, 0.0]);
+
+    let collision = CollisionKind::SmagorinskyLes(
+        SmagorinskyParams::new(BgkParams::from_tau(tau), 0.16).unwrap(),
+    );
+
+    let steps = 1200u64;
+    let flags_ref = &flags;
+    println!("running {steps} steps on {ranks} ranks (on-the-fly halo exchange, LES)...");
+    let t0 = std::time::Instant::now();
+    let results = World::new(ranks).run(|comm| {
+        let mut s = DistributedSolver::<D3Q19>::new(
+            &comm,
+            dims,
+            flags_ref,
+            collision,
+            ExchangeMode::OnTheFly,
+        );
+        s.initialize_uniform(1.0, [u_wind, 0.0, 0.0]);
+        s.run(steps).unwrap();
+        s.gather_populations().unwrap()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let field = results[0].as_ref().expect("rank 0 gathers the field");
+    println!(
+        "done in {elapsed:.1} s — {:.2} MLUPS aggregate",
+        dims.cells() as f64 * steps as f64 / elapsed / 1e6
+    );
+
+    let m = MacroFields::compute::<D3Q19, _>(&flags, field);
+    assert!(!m.has_non_finite(), "LES run diverged");
+
+    // Velocity contours at several heights (the paper's Fig. 19(3)).
+    for (tag, z) in [("ground", 2usize), ("mid", 14), ("high", 34)] {
+        let slice = m.slice_xy_speed(z.min(dims.nz - 1));
+        let img = PpmImage::from_scalar(dims.nx, dims.ny, &slice, colormap_viridis_like);
+        let path = format!("urban_speed_z{tag}.ppm");
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_ppm(&mut f, &img).unwrap();
+        f.flush().ok();
+        println!("wrote {path}");
+    }
+
+    // Q-criterion volume (Fig. 19(1)) — the affected region should extend well
+    // above the tallest building, as the paper observes (80 m building → 160 m
+    // disturbed region).
+    let q = q_criterion(&m);
+    let tallest = scene.max_height();
+    let mut top_active = 0usize;
+    for z in tallest..dims.nz {
+        let active = (0..dims.nx * dims.ny).any(|i| {
+            let [x, y] = [i % dims.nx, i / dims.nx];
+            q[dims.idx(x, y, z)].abs() > 1e-7
+        });
+        if active {
+            top_active = z;
+        }
+    }
+    println!(
+        "tallest building {tallest} cells; vortical activity reaches z = {top_active} \
+         ({}x the building height)",
+        top_active as f64 / tallest as f64
+    );
+
+    let mut f = std::fs::File::create("urban_q.vtk").unwrap();
+    write_vtk_scalars(&mut f, "urban Q-criterion", dims, &[("q_criterion", &q)]).unwrap();
+    println!("wrote urban_q.vtk");
+}

@@ -1,0 +1,206 @@
+//! Checkpoint/restart integration: solver state survives the round trip
+//! exactly, restarts continue bit-identically, and corruption is detected.
+
+use swlb_core::prelude::*;
+use swlb_io::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointError};
+
+fn make_solver() -> Solver<D2Q9> {
+    let dims = GridDims::new2d(24, 24);
+    let mut s = Solver::<D2Q9>::new(dims, BgkParams::from_tau(0.7));
+    s.flags_mut().set_box_walls();
+    s.flags_mut().paint_lid([0.06, 0.0, 0.0]);
+    s.initialize_uniform(1.0, [0.0; 3]);
+    s
+}
+
+fn capture(s: &Solver<D2Q9>) -> Checkpoint {
+    let d = s.dims();
+    Checkpoint {
+        step: s.step_count(),
+        dims: (d.nx as u32, d.ny as u32, d.nz as u32),
+        q: 9,
+        data: s.populations().raw().to_vec(),
+    }
+}
+
+fn restore(s: &mut Solver<D2Q9>, ck: &Checkpoint) {
+    assert_eq!(ck.dims.0 as usize, s.dims().nx);
+    assert_eq!(ck.dims.1 as usize, s.dims().ny);
+    s.populations_mut().raw_mut().copy_from_slice(&ck.data);
+}
+
+#[test]
+fn restart_continues_bit_identically() {
+    // Run 40 steps straight through.
+    let mut straight = make_solver();
+    straight.run(40);
+
+    // Run 15, checkpoint through the binary codec, restore, run 25 more.
+    let mut first = make_solver();
+    first.run(15);
+    let ck = capture(&first);
+    let mut bytes = Vec::new();
+    write_checkpoint(&mut bytes, &ck).unwrap();
+    let restored_ck = read_checkpoint(&mut bytes.as_slice()).unwrap();
+    assert_eq!(restored_ck.step, 15);
+
+    let mut resumed = make_solver();
+    restore(&mut resumed, &restored_ck);
+    resumed.run(25);
+
+    let (a, b) = (straight.populations(), resumed.populations());
+    for cell in 0..straight.dims().cells() {
+        for q in 0..9 {
+            assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_through_a_file_on_disk() {
+    let mut s = make_solver();
+    s.run(7);
+    let ck = capture(&s);
+
+    let dir = std::env::temp_dir().join("swlb_ckpt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("state.swlb");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_checkpoint(&mut f, &ck).unwrap();
+    }
+    let mut f = std::fs::File::open(&path).unwrap();
+    let back = read_checkpoint(&mut f).unwrap();
+    assert_eq!(back, ck);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_checkpoint_refuses_to_restore() {
+    let mut s = make_solver();
+    s.run(3);
+    let ck = capture(&s);
+    let mut bytes = Vec::new();
+    write_checkpoint(&mut bytes, &ck).unwrap();
+    // Flip one population bit in the middle of the payload.
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 1;
+    match read_checkpoint(&mut bytes.as_slice()) {
+        Err(CheckpointError::Corrupt(_)) => {}
+        other => panic!("corruption not detected: {other:?}"),
+    }
+}
+
+#[test]
+fn distributed_checkpoint_restart_continues_bit_identically() {
+    // The paper's checkpoint/restart controller operates on multi-process
+    // runs: gather → write → (crash) → read → scatter → continue. The resumed
+    // trajectory must equal the uninterrupted one bit-for-bit.
+    use swlb_comm::World;
+    use swlb_core::collision::CollisionKind;
+    use swlb_core::layout::PopField;
+    use swlb_sim::{DistributedSolver, ExchangeMode};
+
+    let global = GridDims::new2d(16, 12);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+    flags.paint_lid([0.05, 0.0, 0.0]);
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+    let flags_ref = &flags;
+
+    // Uninterrupted 20-step run.
+    let straight = World::new(4).run(|comm| {
+        let mut s = DistributedSolver::<D2Q9>::new(
+            &comm,
+            global,
+            flags_ref,
+            coll,
+            ExchangeMode::OnTheFly,
+        );
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.run(20).unwrap();
+        s.gather_populations().unwrap()
+    });
+
+    // First 8 steps, checkpoint through the binary codec on rank 0.
+    let ckpt_bytes = World::new(4).run(|comm| {
+        let mut s = DistributedSolver::<D2Q9>::new(
+            &comm,
+            global,
+            flags_ref,
+            coll,
+            ExchangeMode::OnTheFly,
+        );
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.run(8).unwrap();
+        let gathered = s.gather_populations().unwrap();
+        gathered.map(|field| {
+            let ck = Checkpoint {
+                step: s.step_count(),
+                dims: (global.nx as u32, global.ny as u32, global.nz as u32),
+                q: 9,
+                data: field.raw().to_vec(),
+            };
+            let mut bytes = Vec::new();
+            write_checkpoint(&mut bytes, &ck).unwrap();
+            bytes
+        })
+    });
+    let bytes = ckpt_bytes[0].clone().expect("rank 0 wrote the checkpoint");
+
+    // Fresh world: restore and run the remaining 12 steps.
+    let bytes_ref = &bytes;
+    let resumed = World::new(4).run(|comm| {
+        let mut s = DistributedSolver::<D2Q9>::new(
+            &comm,
+            global,
+            flags_ref,
+            coll,
+            ExchangeMode::OnTheFly,
+        );
+        s.initialize_uniform(1.0, [0.0; 3]);
+        let (global_field, step) = if comm.rank() == 0 {
+            let ck = read_checkpoint(&mut bytes_ref.as_slice()).unwrap();
+            assert_eq!(ck.step, 8);
+            let mut field = swlb_core::layout::SoaField::<D2Q9>::new(global);
+            field.raw_mut().copy_from_slice(&ck.data);
+            (Some(field), ck.step)
+        } else {
+            (None, 8)
+        };
+        s.scatter_populations(global_field.as_ref(), step).unwrap();
+        assert_eq!(s.step_count(), 8);
+        s.run(12).unwrap();
+        s.gather_populations().unwrap()
+    });
+
+    let (a, b) = (
+        straight[0].as_ref().unwrap(),
+        resumed[0].as_ref().unwrap(),
+    );
+    for cell in 0..global.cells() {
+        for q in 0..9 {
+            assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_of_3d_solver_roundtrips() {
+    let dims = GridDims::new(8, 8, 8);
+    let mut s = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.8));
+    s.flags_mut().set_box_walls();
+    s.initialize_uniform(1.0, [0.01, 0.0, 0.0]);
+    s.run(5);
+    let ck = Checkpoint {
+        step: s.step_count(),
+        dims: (8, 8, 8),
+        q: 19,
+        data: s.populations().raw().to_vec(),
+    };
+    let mut bytes = Vec::new();
+    write_checkpoint(&mut bytes, &ck).unwrap();
+    let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
+    assert_eq!(back.data.len(), 8 * 8 * 8 * 19);
+    assert_eq!(back, ck);
+}
