@@ -13,10 +13,11 @@
 //! * Collectives (`barrier`, `allreduce_sum`, `allreduce_max`, `gather_to_root`,
 //!   `broadcast`) are built from point-to-point messages over reserved tags.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::cell::RefCell;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// Message tag. User tags must stay below [`ReservedTags::RESERVED_BASE`].
 pub type Tag = u64;
@@ -46,6 +47,25 @@ pub enum CommError {
     ReservedTag(Tag),
     /// The peer ranks have all exited and the message can never arrive.
     Disconnected,
+    /// A receive deadline expired with no matching message. `attempts` counts
+    /// how many times the operation was tried before escalating (the transport
+    /// reports 1; retrying layers overwrite it with their final count).
+    Timeout {
+        /// Peer rank the receive was matching.
+        rank: usize,
+        /// Tag the receive was matching.
+        tag: Tag,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A message arrived but failed its integrity check (payload checksum or
+    /// framing). Produced by checksummed protocols layered on the transport.
+    Corrupt {
+        /// Peer rank the message came from.
+        rank: usize,
+        /// Tag the message carried.
+        tag: Tag,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -56,6 +76,13 @@ impl fmt::Display for CommError {
             }
             CommError::ReservedTag(t) => write!(f, "tag {t} lies in the reserved range"),
             CommError::Disconnected => write!(f, "all peers disconnected"),
+            CommError::Timeout { rank, tag, attempts } => write!(
+                f,
+                "receive from rank {rank} tag {tag} timed out after {attempts} attempt(s)"
+            ),
+            CommError::Corrupt { rank, tag } => {
+                write!(f, "message from rank {rank} tag {tag} failed its integrity check")
+            }
         }
     }
 }
@@ -89,6 +116,9 @@ pub struct Comm {
     /// MPI-style unexpected-message queue.
     stash: RefCell<Vec<Message>>,
     barrier: Arc<Barrier>,
+    /// Deadline applied to every blocking receive, including the receives
+    /// inside collectives. `None` blocks forever (the historical behavior).
+    op_timeout: Cell<Option<Duration>>,
 }
 
 impl Comm {
@@ -125,17 +155,25 @@ impl Comm {
             .map_err(|_| CommError::Disconnected)
     }
 
+    fn take_stashed(&self, src: usize, tag: Tag) -> Option<Vec<f64>> {
+        let mut stash = self.stash.borrow_mut();
+        // `remove`, not `swap_remove`: same-(src, tag) messages from
+        // successive steps must stay FIFO, or a fast neighbor's step
+        // t+1 strip could be consumed before its step t strip.
+        stash
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+            .map(|pos| stash.remove(pos).data)
+    }
+
     fn recv_raw(&self, src: usize, tag: Tag) -> Result<Vec<f64>, CommError> {
         self.check_rank(src)?;
         // First look in the unexpected queue.
-        {
-            let mut stash = self.stash.borrow_mut();
-            if let Some(pos) = stash.iter().position(|m| m.src == src && m.tag == tag) {
-                // `remove`, not `swap_remove`: same-(src, tag) messages from
-                // successive steps must stay FIFO, or a fast neighbor's step
-                // t+1 strip could be consumed before its step t strip.
-                return Ok(stash.remove(pos).data);
-            }
+        if let Some(data) = self.take_stashed(src, tag) {
+            return Ok(data);
+        }
+        if let Some(timeout) = self.op_timeout.get() {
+            return self.recv_until(src, tag, Instant::now() + timeout);
         }
         // Then drain the channel, stashing mismatches.
         loop {
@@ -144,6 +182,24 @@ impl Comm {
                 return Ok(msg.data);
             }
             self.stash.borrow_mut().push(msg);
+        }
+    }
+
+    /// Channel-draining receive that gives up at `deadline`.
+    fn recv_until(&self, src: usize, tag: Tag, deadline: Instant) -> Result<Vec<f64>, CommError> {
+        loop {
+            match self.rx.recv_deadline(deadline) {
+                Ok(msg) => {
+                    if msg.src == src && msg.tag == tag {
+                        return Ok(msg.data);
+                    }
+                    self.stash.borrow_mut().push(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout { rank: src, tag, attempts: 1 })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+            }
         }
     }
 
@@ -157,6 +213,36 @@ impl Comm {
     pub fn recv(&self, src: usize, tag: Tag) -> Result<Vec<f64>, CommError> {
         Self::check_tag(tag)?;
         self.recv_raw(src, tag)
+    }
+
+    /// Blocking receive with an explicit per-call deadline, overriding any
+    /// communicator-wide [`Comm::set_op_timeout`]. Returns
+    /// [`CommError::Timeout`] if no matching message arrives in time.
+    pub fn recv_deadline(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
+        Self::check_tag(tag)?;
+        self.check_rank(src)?;
+        if let Some(data) = self.take_stashed(src, tag) {
+            return Ok(data);
+        }
+        self.recv_until(src, tag, Instant::now() + timeout)
+    }
+
+    /// Apply (or with `None` clear) a deadline to every subsequent blocking
+    /// receive, including the receives inside collectives. A timed-out
+    /// operation returns [`CommError::Timeout`] instead of hanging — the knob
+    /// that makes collectives survivable when a peer rank has died.
+    pub fn set_op_timeout(&self, timeout: Option<Duration>) {
+        self.op_timeout.set(timeout);
+    }
+
+    /// The currently configured operation deadline, if any.
+    pub fn op_timeout(&self) -> Option<Duration> {
+        self.op_timeout.get()
     }
 
     /// Post a non-blocking receive. The returned request is completed by
@@ -225,10 +311,14 @@ impl Comm {
         }
         if self.rank == 0 {
             let mut acc = data.to_vec();
-            for _ in 1..self.size {
-                // Accept contributions in arrival order (any source).
-                let msg = self.recv_any(ReservedTags::REDUCE)?;
-                for (a, &x) in acc.iter_mut().zip(msg.data.iter()) {
+            // Fold in rank order, not arrival order: per-(src, tag) FIFO then
+            // guarantees successive reduction rounds cannot mix (a fast rank's
+            // round-k+1 contribution can never be consumed as round k), and
+            // floating-point reductions become bit-reproducible across runs.
+            for src in 1..self.size {
+                let data = self.recv_raw(src, ReservedTags::REDUCE)?;
+                debug_assert_eq!(data.len(), acc.len(), "reduce contribution length mismatch");
+                for (a, &x) in acc.iter_mut().zip(data.iter()) {
                     op(a, x);
                 }
             }
@@ -242,33 +332,18 @@ impl Comm {
         }
     }
 
-    /// Receive the next message carrying `tag` from any source.
-    fn recv_any(&self, tag: Tag) -> Result<Message, CommError> {
-        {
-            let mut stash = self.stash.borrow_mut();
-            if let Some(pos) = stash.iter().position(|m| m.tag == tag) {
-                // Order-preserving removal: see `recv_raw`.
-                return Ok(stash.remove(pos));
-            }
-        }
-        loop {
-            let msg = self.rx.recv().map_err(|_| CommError::Disconnected)?;
-            if msg.tag == tag {
-                return Ok(msg);
-            }
-            self.stash.borrow_mut().push(msg);
-        }
-    }
-
     /// Gather every rank's payload at rank 0 (ordered by rank). Non-roots get
     /// an empty vec.
     pub fn gather_to_root(&self, data: &[f64]) -> Result<Vec<Vec<f64>>, CommError> {
         if self.rank == 0 {
             let mut out = vec![Vec::new(); self.size];
             out[0] = data.to_vec();
-            for _ in 1..self.size {
-                let msg = self.recv_any(ReservedTags::GATHER)?;
-                out[msg.src] = msg.data;
+            // Receive in rank order (see allreduce_with): a gather is not a
+            // synchronization point for non-roots, so a fast rank's *next*
+            // gather payload may already be queued — any-source matching
+            // would consume it in place of a slow rank's current one.
+            for src in 1..self.size {
+                out[src] = self.recv_raw(src, ReservedTags::GATHER)?;
             }
             Ok(out)
         } else {
@@ -340,6 +415,7 @@ impl World {
                     rx,
                     stash: RefCell::new(Vec::new()),
                     barrier: Arc::clone(&barrier),
+                    op_timeout: Cell::new(None),
                 };
                 let f = &f;
                 handles.push(scope.spawn(move |_| f(comm)));
@@ -550,6 +626,68 @@ mod tests {
             }
         });
         assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_with_typed_error() {
+        World::new(2).run(|c| {
+            if c.rank() == 0 {
+                let e = c.recv_deadline(1, 7, Duration::from_millis(10)).unwrap_err();
+                assert_eq!(e, CommError::Timeout { rank: 1, tag: 7, attempts: 1 });
+            }
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn recv_deadline_delivers_delayed_message() {
+        let out = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.recv_deadline(1, 3, Duration::from_secs(5)).unwrap()
+            } else {
+                std::thread::sleep(Duration::from_millis(20));
+                c.send(0, 3, vec![7.0]).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![7.0]);
+    }
+
+    #[test]
+    fn recv_deadline_finds_stashed_message_instantly() {
+        let out = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                // Force tag 9 into the stash by receiving tag 8 first.
+                let _ = c.recv(1, 8).unwrap();
+                c.recv_deadline(1, 9, Duration::ZERO).unwrap()
+            } else {
+                c.send(0, 9, vec![4.0]).unwrap();
+                c.send(0, 8, vec![0.0]).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![4.0]);
+    }
+
+    #[test]
+    fn op_timeout_unblocks_point_to_point_and_collectives() {
+        // Rank 1 exits without participating; with an op timeout set, rank 0's
+        // recv and allreduce must surface Timeout instead of hanging forever.
+        let out = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.set_op_timeout(Some(Duration::from_millis(10)));
+                let p2p = c.recv(1, 5).unwrap_err();
+                assert_eq!(p2p, CommError::Timeout { rank: 1, tag: 5, attempts: 1 });
+                let coll = c.allreduce_sum(&[1.0]).unwrap_err();
+                assert!(matches!(coll, CommError::Timeout { rank: 1, .. }));
+                c.set_op_timeout(None);
+                assert_eq!(c.op_timeout(), None);
+                true
+            } else {
+                true
+            }
+        });
+        assert!(out.iter().all(|&b| b));
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The [`Communicator`] trait: the message-passing surface the distributed
+//! engine is written against.
+//!
+//! [`Comm`](crate::Comm) is the real transport; [`ChaosComm`](crate::ChaosComm)
+//! wraps it with deterministic fault injection. Making the engine generic over
+//! this trait means resilience tests exercise the *production* solver code
+//! path — no special-casing, no test-only forks of the halo exchange.
+
+use crate::comm::{Comm, CommError, RecvRequest, Tag};
+use std::time::Duration;
+
+/// MPI-flavoured communicator operations used by the distributed solver.
+///
+/// Semantics match [`Comm`]'s inherent methods; see their docs for the
+/// matching rules (FIFO per `(src, tag)`, unexpected-message stash, reserved
+/// collective tags).
+pub trait Communicator {
+    /// This rank's id in `0..size`.
+    fn rank(&self) -> usize;
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+    /// Buffered (non-blocking) send of an `f64` payload.
+    fn send(&self, dst: usize, tag: Tag, data: Vec<f64>) -> Result<(), CommError>;
+    /// Blocking receive matching `(src, tag)`.
+    fn recv(&self, src: usize, tag: Tag) -> Result<Vec<f64>, CommError>;
+    /// Blocking receive with a per-call deadline; [`CommError::Timeout`] on
+    /// expiry.
+    fn recv_deadline(&self, src: usize, tag: Tag, timeout: Duration)
+        -> Result<Vec<f64>, CommError>;
+    /// Post a non-blocking receive completed by [`Communicator::wait`].
+    fn irecv(&self, src: usize, tag: Tag) -> Result<RecvRequest, CommError>;
+    /// Complete a posted receive.
+    fn wait(&self, req: RecvRequest) -> Result<Vec<f64>, CommError>;
+    /// Non-blocking probe for a matching message.
+    fn probe(&self, src: usize, tag: Tag) -> Result<bool, CommError>;
+    /// Synchronize all ranks. Unsafe to call when a rank may have died; the
+    /// resilient paths use deadline-aware collectives instead.
+    fn barrier(&self);
+    /// Element-wise sum across all ranks; every rank receives the result.
+    fn allreduce_sum(&self, data: &[f64]) -> Result<Vec<f64>, CommError>;
+    /// Element-wise max across all ranks; every rank receives the result.
+    fn allreduce_max(&self, data: &[f64]) -> Result<Vec<f64>, CommError>;
+    /// Gather every rank's payload at rank 0 (ordered by rank).
+    fn gather_to_root(&self, data: &[f64]) -> Result<Vec<Vec<f64>>, CommError>;
+    /// Broadcast rank 0's payload to everyone.
+    fn broadcast(&self, data: &[f64]) -> Result<Vec<f64>, CommError>;
+    /// Apply (or clear) a deadline to every subsequent blocking receive.
+    fn set_op_timeout(&self, timeout: Option<Duration>);
+    /// The currently configured operation deadline.
+    fn op_timeout(&self) -> Option<Duration>;
+    /// Hook invoked by the engine at the start of logical step `step`.
+    ///
+    /// The production transport ignores it; fault-injecting wrappers use it to
+    /// trigger step-scheduled faults (rank kill / stall) without the engine
+    /// special-casing them.
+    fn notify_step(&self, step: u64) {
+        let _ = step;
+    }
+}
+
+impl Communicator for Comm {
+    fn rank(&self) -> usize {
+        Comm::rank(self)
+    }
+    fn size(&self) -> usize {
+        Comm::size(self)
+    }
+    fn send(&self, dst: usize, tag: Tag, data: Vec<f64>) -> Result<(), CommError> {
+        Comm::send(self, dst, tag, data)
+    }
+    fn recv(&self, src: usize, tag: Tag) -> Result<Vec<f64>, CommError> {
+        Comm::recv(self, src, tag)
+    }
+    fn recv_deadline(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
+        Comm::recv_deadline(self, src, tag, timeout)
+    }
+    fn irecv(&self, src: usize, tag: Tag) -> Result<RecvRequest, CommError> {
+        Comm::irecv(self, src, tag)
+    }
+    fn wait(&self, req: RecvRequest) -> Result<Vec<f64>, CommError> {
+        Comm::wait(self, req)
+    }
+    fn probe(&self, src: usize, tag: Tag) -> Result<bool, CommError> {
+        Comm::probe(self, src, tag)
+    }
+    fn barrier(&self) {
+        Comm::barrier(self)
+    }
+    fn allreduce_sum(&self, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        Comm::allreduce_sum(self, data)
+    }
+    fn allreduce_max(&self, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        Comm::allreduce_max(self, data)
+    }
+    fn gather_to_root(&self, data: &[f64]) -> Result<Vec<Vec<f64>>, CommError> {
+        Comm::gather_to_root(self, data)
+    }
+    fn broadcast(&self, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        Comm::broadcast(self, data)
+    }
+    fn set_op_timeout(&self, timeout: Option<Duration>) {
+        Comm::set_op_timeout(self, timeout)
+    }
+    fn op_timeout(&self) -> Option<Duration> {
+        Comm::op_timeout(self)
+    }
+}

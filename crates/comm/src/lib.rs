@@ -19,8 +19,12 @@
 
 pub mod cart;
 pub mod comm;
+pub mod communicator;
+pub mod fault;
 pub mod netmodel;
 
 pub use cart::Cart2d;
 pub use comm::{Comm, CommError, Message, RecvRequest, Tag, World};
+pub use communicator::Communicator;
+pub use fault::{ChaosComm, FaultAction, FaultEvent, FaultPlan, FaultRecord, FaultSpec};
 pub use netmodel::{CollectiveKind, NetworkModel};

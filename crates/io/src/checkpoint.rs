@@ -63,31 +63,60 @@ pub struct Checkpoint {
     pub data: Vec<f64>,
 }
 
-/// CRC-32 (IEEE 802.3, reflected) — implemented locally to stay inside the
-/// offline dependency set.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    // Small table generated at first use.
-    fn table() -> &'static [u32; 256] {
-        use std::sync::OnceLock;
-        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-        TABLE.get_or_init(|| {
-            let mut t = [0u32; 256];
-            for (i, e) in t.iter_mut().enumerate() {
-                let mut c = i as u32;
-                for _ in 0..8 {
-                    c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
-                }
-                *e = c;
+// Small table generated at first use.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
             }
-            t
-        })
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 (IEEE 802.3, reflected) — implemented locally to stay
+/// inside the offline dependency set. Used for checkpoint files and for the
+/// per-message halo payload checksums in the resilient exchange.
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
     }
-    let t = table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+
+    /// Feed `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = crc_table();
+        for &b in bytes {
+            self.0 = t[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
     }
-    crc ^ 0xFFFF_FFFF
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
 }
 
 /// Serialize a checkpoint.
@@ -164,6 +193,118 @@ pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError>
     Ok(Checkpoint { step, dims, q, data })
 }
 
+/// An on-disk checkpoint directory with atomic writes and bounded retention.
+///
+/// Saves are crash-safe: the file is written to a temporary name, fsynced,
+/// then renamed into place — a reader (or a restarted run) never observes a
+/// half-written checkpoint under a final name. The newest `retain` checkpoints
+/// are kept; older ones are pruned after each successful save, so a corrupted
+/// latest file still leaves earlier restart candidates on disk.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: std::path::PathBuf,
+    retain: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory keeping the newest
+    /// `retain` (≥ 1) checkpoints.
+    pub fn new(dir: impl Into<std::path::PathBuf>, retain: usize) -> io::Result<Self> {
+        assert!(retain >= 1, "retention must keep at least one checkpoint");
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, retain })
+    }
+
+    /// The directory checkpoints live in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Final file name for a given step.
+    pub fn path_for(&self, step: u64) -> std::path::PathBuf {
+        self.dir.join(format!("ckpt-{step:012}.swlb"))
+    }
+
+    fn step_of(path: &std::path::Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let stem = name.strip_prefix("ckpt-")?.strip_suffix(".swlb")?;
+        stem.parse().ok()
+    }
+
+    /// Atomically persist `ck`: write `*.tmp`, fsync, rename into place, then
+    /// prune beyond the retention window. Returns the final path.
+    pub fn save(&self, ck: &Checkpoint) -> Result<std::path::PathBuf, CheckpointError> {
+        let final_path = self.path_for(ck.step);
+        let tmp_path = final_path.with_extension("swlb.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            write_checkpoint(&mut f, ck)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        // Best-effort directory fsync so the rename itself is durable.
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// All checkpoints on disk, ordered by step ascending.
+    pub fn list(&self) -> io::Result<Vec<(u64, std::path::PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(step) = Self::step_of(&path) {
+                out.push((step, path));
+            }
+        }
+        out.sort_by_key(|(step, _)| *step);
+        Ok(out)
+    }
+
+    /// The newest checkpoint on disk (by step), if any. Existence only — the
+    /// file is not validated; use [`CheckpointStore::load_latest_valid`] to
+    /// also survive corruption.
+    pub fn latest(&self) -> io::Result<Option<(u64, std::path::PathBuf)>> {
+        Ok(self.list()?.pop())
+    }
+
+    /// Read and verify the checkpoint for `step`.
+    pub fn load(&self, step: u64) -> Result<Checkpoint, CheckpointError> {
+        let mut f = std::fs::File::open(self.path_for(step))?;
+        read_checkpoint(&mut f)
+    }
+
+    /// Load the newest checkpoint that passes verification, skipping (and
+    /// reporting) corrupt ones. `Ok(None)` if no valid checkpoint exists.
+    pub fn load_latest_valid(
+        &self,
+    ) -> Result<Option<(Checkpoint, Vec<std::path::PathBuf>)>, CheckpointError> {
+        let mut skipped = Vec::new();
+        for (_, path) in self.list()?.into_iter().rev() {
+            let mut f = std::fs::File::open(&path)?;
+            match read_checkpoint(&mut f) {
+                Ok(ck) => return Ok(Some((ck, skipped))),
+                Err(CheckpointError::Corrupt(_)) => skipped.push(path),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        let list = self.list()?;
+        if list.len() > self.retain {
+            for (_, path) in &list[..list.len() - self.retain] {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +377,107 @@ mod tests {
         // "123456789" → 0xCBF43926 (the standard check value).
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    fn temp_store(retain: usize) -> CheckpointStore {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "swlb-ckpt-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir, retain).unwrap()
+    }
+
+    fn at_step(step: u64) -> Checkpoint {
+        Checkpoint { step, ..sample() }
+    }
+
+    #[test]
+    fn store_saves_atomically_and_reports_latest() {
+        let store = temp_store(3);
+        assert!(store.latest().unwrap().is_none());
+        store.save(&at_step(10)).unwrap();
+        store.save(&at_step(20)).unwrap();
+        let (step, path) = store.latest().unwrap().unwrap();
+        assert_eq!(step, 20);
+        assert!(path.ends_with("ckpt-000000000020.swlb"));
+        assert_eq!(store.load(10).unwrap().step, 10);
+        // No temp droppings left behind.
+        let stray: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().path().extension().is_some_and(|x| x == "tmp")
+            })
+            .collect();
+        assert!(stray.is_empty(), "temp files must not survive a save");
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn store_prunes_beyond_retention() {
+        let store = temp_store(2);
+        for step in [1, 2, 3, 4] {
+            store.save(&at_step(step)).unwrap();
+        }
+        let steps: Vec<u64> = store.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(steps, vec![3, 4]);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn load_latest_valid_skips_corrupt_newest() {
+        let store = temp_store(3);
+        store.save(&at_step(5)).unwrap();
+        let newest = store.save(&at_step(9)).unwrap();
+        // Corrupt the newest file in place.
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&newest, bytes).unwrap();
+        let (ck, skipped) = store.load_latest_valid().unwrap().expect("older file is valid");
+        assert_eq!(ck.step, 5);
+        assert_eq!(skipped, vec![newest]);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn load_latest_valid_is_none_when_all_corrupt() {
+        let store = temp_store(2);
+        let p = store.save(&at_step(1)).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&p, bytes).unwrap();
+        assert!(store.load_latest_valid().unwrap().is_none());
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn streaming_crc_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn truncated_file_reports_corrupt_not_raw_io() {
+        // A file cut mid-payload must surface as Corrupt with a clear message,
+        // never as a raw unexpected-EOF I/O error.
+        let ck = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        for keep in [0, 10, 43, buf.len() / 2, buf.len() - 1] {
+            let mut cut = buf.clone();
+            cut.truncate(keep);
+            match read_checkpoint(&mut cut.as_slice()) {
+                Err(CheckpointError::Corrupt(_)) => {}
+                other => panic!("truncation to {keep} B: expected Corrupt, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::process::ExitCode;
 use swlb_core::post::vorticity_z;
 use swlb_core::prelude::*;
 use swlb_core::solver::ExecMode;
+use swlb_core::stability;
 use swlb_io::{colormap_viridis_like, write_ppm, write_vtk_scalars, PpmImage, ProbeLog};
 use swlb_mesh::cylinder_z_mask;
 use swlb_sim::forces::momentum_exchange_force;
@@ -52,6 +53,10 @@ fn main() -> ExitCode {
         cfg.name = case.clone();
     }
 
+    if !preflight(&cfg) {
+        return ExitCode::FAILURE;
+    }
+
     match case.as_str() {
         "cavity" => run_cavity(&cfg),
         "channel" => run_channel(&cfg),
@@ -60,6 +65,32 @@ fn main() -> ExitCode {
         _ => return usage(),
     }
     ExitCode::SUCCESS
+}
+
+/// Vet the case before burning cycles on it (§IV-B pre-processing): Critical
+/// findings abort the launch, Warnings are printed and the run continues.
+fn preflight(cfg: &CaseConfig) -> bool {
+    let params = match cfg.bgk() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("preflight [CRITICAL]: {e}");
+            return false;
+        }
+    };
+    let report = stability::analyze(params, cfg.u_lattice);
+    for f in &report.findings {
+        match f.severity {
+            stability::Severity::Critical => eprintln!("preflight [CRITICAL]: {}", f.message),
+            stability::Severity::Warning => eprintln!("preflight [warning]: {}", f.message),
+            stability::Severity::Ok => {}
+        }
+    }
+    if report.is_launchable() {
+        true
+    } else {
+        eprintln!("preflight: critical findings — aborting (fix the case parameters above)");
+        false
+    }
 }
 
 fn write_outputs(name: &str, solver: &Solver<D2Q9>, log: Option<&ProbeLog>) {

@@ -17,7 +17,7 @@
 
 use crate::partition::Partition2d;
 use swlb_comm::cart::NEIGHBOR_OFFSETS;
-use swlb_comm::{Comm, CommError};
+use swlb_comm::{Comm, CommError, Communicator, Tag};
 use swlb_core::collision::{collide, CollisionKind};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
@@ -26,7 +26,9 @@ use swlb_core::lattice::Lattice;
 use swlb_core::layout::{AbBuffers, PopField, SoaField};
 use swlb_core::macroscopic::MacroFields;
 use swlb_core::Scalar;
+use swlb_io::checkpoint::Crc32;
 use std::ops::Range;
+use std::time::Duration;
 
 /// Halo-exchange schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,9 +45,106 @@ fn opposite_dir(d: usize) -> usize {
     d ^ 1
 }
 
+/// Retry/backoff policy for halo receives.
+///
+/// Each halo receive waits up to `timeout_for(attempt)` — the base timeout
+/// doubled per attempt and capped — and is retried until `max_attempts`, at
+/// which point the failure escalates as [`CommError::Timeout`] (message never
+/// arrived) or [`CommError::Corrupt`] (every copy that arrived failed its
+/// checksum). Retrying heals delayed and duplicated messages in place; dropped
+/// or corrupted ones escalate to the recovery layer, which rolls back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloRetry {
+    /// Deadline for the first attempt.
+    pub base_timeout: Duration,
+    /// Upper bound on any single attempt's deadline.
+    pub max_backoff: Duration,
+    /// Attempts before escalating (≥ 1).
+    pub max_attempts: u32,
+}
+
+impl Default for HaloRetry {
+    /// Patient defaults for production runs: ~30 s of total waiting before a
+    /// halo failure escalates.
+    fn default() -> Self {
+        HaloRetry {
+            base_timeout: Duration::from_secs(1),
+            max_backoff: Duration::from_secs(8),
+            max_attempts: 6,
+        }
+    }
+}
+
+impl HaloRetry {
+    /// Tight deadlines for fault-injection tests (milliseconds, not seconds).
+    pub fn snappy() -> Self {
+        HaloRetry {
+            base_timeout: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(400),
+            max_attempts: 4,
+        }
+    }
+
+    fn timeout_for(&self, attempt: u32) -> Duration {
+        let mult = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_timeout
+            .checked_mul(mult)
+            .map_or(self.max_backoff, |d| d.min(self.max_backoff))
+    }
+}
+
+/// Halo frame header length: `[epoch, step, crc]` prepended to the payload.
+const FRAME_HEADER: usize = 3;
+
+/// CRC-32 over everything in the frame except the checksum slot itself.
+fn frame_crc(frame: &[f64]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(&frame[0].to_le_bytes());
+    c.update(&frame[1].to_le_bytes());
+    for x in &frame[FRAME_HEADER..] {
+        c.update(&x.to_le_bytes());
+    }
+    c.finish()
+}
+
+/// Verdict on a received halo frame.
+enum FrameCheck {
+    /// Checksum good, epoch and step match: consume the payload.
+    Valid,
+    /// Pre-rollback epoch or an already-consumed step (a duplicate): discard
+    /// silently and keep waiting.
+    Stale,
+    /// Checksum failure — the payload was damaged in flight.
+    Corrupt,
+    /// A step *ahead* of the expected one: the expected message was lost and
+    /// can never arrive (per-channel FIFO), so waiting is pointless.
+    Gap,
+}
+
+fn check_frame(data: &[f64], epoch: u64, step: u64) -> FrameCheck {
+    if data.len() < FRAME_HEADER {
+        return FrameCheck::Corrupt;
+    }
+    if frame_crc(data) as f64 != data[2] {
+        return FrameCheck::Corrupt;
+    }
+    let (e, s) = (data[0] as u64, data[1] as u64);
+    if e != epoch || s < step {
+        return FrameCheck::Stale;
+    }
+    if s > step {
+        return FrameCheck::Gap;
+    }
+    FrameCheck::Valid
+}
+
 /// One rank's share of a distributed LBM simulation.
-pub struct DistributedSolver<'c, L: Lattice> {
-    comm: &'c Comm,
+///
+/// Generic over the [`Communicator`] so the identical solver code runs on the
+/// production transport ([`Comm`], the default) and under fault injection
+/// ([`ChaosComm`](swlb_comm::ChaosComm)).
+pub struct DistributedSolver<'c, L: Lattice, C: Communicator = Comm> {
+    comm: &'c C,
     part: Partition2d,
     flags: FlagField,
     bufs: AbBuffers<SoaField<L>>,
@@ -54,12 +153,16 @@ pub struct DistributedSolver<'c, L: Lattice> {
     lnx: usize,
     lny: usize,
     step: u64,
+    /// Restart generation: bumped on rollback so in-flight pre-rollback halo
+    /// frames are recognized as stale and discarded.
+    epoch: u64,
+    retry: HaloRetry,
 }
 
-impl<'c, L: Lattice> DistributedSolver<'c, L> {
+impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
     /// Build this rank's solver from the global problem description.
     pub fn new(
-        comm: &'c Comm,
+        comm: &'c C,
         global: GridDims,
         global_flags: &FlagField,
         collision: CollisionKind,
@@ -79,12 +182,43 @@ impl<'c, L: Lattice> DistributedSolver<'c, L> {
             lnx,
             lny,
             step: 0,
+            epoch: 0,
+            retry: HaloRetry::default(),
         }
+    }
+
+    /// Replace the halo retry/backoff policy.
+    pub fn set_halo_retry(&mut self, retry: HaloRetry) {
+        assert!(retry.max_attempts >= 1, "halo retry needs at least one attempt");
+        self.retry = retry;
+    }
+
+    /// The active halo retry/backoff policy.
+    pub fn halo_retry(&self) -> HaloRetry {
+        self.retry
+    }
+
+    /// Current restart generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Enter the next restart generation. Called by the recovery layer after a
+    /// rollback, on every rank, so halo frames sent before the rollback are
+    /// discarded as stale rather than consumed as fresh data.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Rank id.
     pub fn rank(&self) -> usize {
         self.comm.rank()
+    }
+
+    /// The communicator this rank runs on (used by the recovery layer for its
+    /// status reductions and rollback collectives).
+    pub fn comm(&self) -> &'c C {
+        self.comm
     }
 
     /// Completed steps.
@@ -183,6 +317,17 @@ impl<'c, L: Lattice> DistributedSolver<'c, L> {
         assert!(it.next().is_none(), "halo message too long");
     }
 
+    /// Wrap a halo payload in the `[epoch, step, crc]` frame.
+    fn frame(&self, payload: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(payload.len() + FRAME_HEADER);
+        out.push(self.epoch as f64);
+        out.push(self.step as f64);
+        out.push(0.0); // checksum slot, filled below
+        out.extend_from_slice(payload);
+        out[2] = frame_crc(&out) as f64;
+        out
+    }
+
     /// Post all 8 halo sends of the current state.
     fn post_sends(&self) -> Result<(), CommError> {
         for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
@@ -195,9 +340,56 @@ impl<'c, L: Lattice> DistributedSolver<'c, L> {
                 Self::send_range(*dx, self.lnx),
                 Self::send_range(*dy, self.lny),
             );
-            self.comm.send(dst, d as u64, payload)?;
+            self.comm.send(dst, d as u64, self.frame(&payload))?;
         }
         Ok(())
+    }
+
+    /// Receive one halo frame for the current `(epoch, step)`, retrying with
+    /// capped exponential backoff. Delayed messages are healed by waiting
+    /// longer; duplicates and pre-rollback stragglers are discarded; dropped
+    /// or corrupted messages exhaust the attempts and escalate as
+    /// [`CommError::Timeout`] / [`CommError::Corrupt`] for the recovery layer.
+    fn recv_framed(&self, src: usize, tag: Tag) -> Result<Vec<f64>, CommError> {
+        let retry = self.retry;
+        let mut attempts: u32 = 0;
+        let mut saw_corrupt = false;
+        loop {
+            let mut data = match self.comm.recv_deadline(src, tag, retry.timeout_for(attempts)) {
+                Ok(d) => d,
+                Err(CommError::Timeout { .. }) => {
+                    attempts += 1;
+                    if attempts >= retry.max_attempts {
+                        return if saw_corrupt {
+                            Err(CommError::Corrupt { rank: src, tag })
+                        } else {
+                            Err(CommError::Timeout { rank: src, tag, attempts })
+                        };
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match check_frame(&data, self.epoch, self.step) {
+                FrameCheck::Valid => {
+                    data.drain(..FRAME_HEADER);
+                    return Ok(data);
+                }
+                // Stale frames are bounded by what was actually in flight, so
+                // discarding them without charging an attempt cannot loop.
+                FrameCheck::Stale => continue,
+                FrameCheck::Corrupt => {
+                    saw_corrupt = true;
+                    attempts += 1;
+                    if attempts >= retry.max_attempts {
+                        return Err(CommError::Corrupt { rank: src, tag });
+                    }
+                }
+                FrameCheck::Gap => {
+                    return Err(CommError::Timeout { rank: src, tag, attempts: attempts + 1 })
+                }
+            }
+        }
     }
 
     /// Receive all 8 halo strips into the current state's ring.
@@ -208,7 +400,7 @@ impl<'c, L: Lattice> DistributedSolver<'c, L> {
                 .cart
                 .neighbor(self.comm.rank(), *dx, *dy)
                 .expect("periodic topology always has neighbors");
-            let data = self.comm.recv(src_rank, opposite_dir(d) as u64)?;
+            let data = self.recv_framed(src_rank, opposite_dir(d) as u64)?;
             self.unpack(
                 Self::recv_range(*dx, self.lnx),
                 Self::recv_range(*dy, self.lny),
@@ -245,6 +437,7 @@ impl<'c, L: Lattice> DistributedSolver<'c, L> {
 
     /// Advance one time step.
     pub fn step(&mut self) -> Result<(), CommError> {
+        self.comm.notify_step(self.step);
         self.post_sends()?;
         match self.mode {
             ExchangeMode::Sequential => {
@@ -300,8 +493,10 @@ impl<'c, L: Lattice> DistributedSolver<'c, L> {
         self.bufs.src_mut()
     }
 
-    /// Global fluid mass (allreduce over interior cells).
-    pub fn global_mass(&self) -> Result<Scalar, CommError> {
+    /// This rank's fluid mass over interior cells (no communication). A NaN or
+    /// Inf anywhere in the interior poisons the sum, which is what lets the
+    /// recovery layer detect divergence from one reduced scalar.
+    pub fn local_mass(&self) -> Scalar {
         let dims = self.flags.dims();
         let src = self.bufs.src();
         let mut mass = 0.0;
@@ -317,7 +512,12 @@ impl<'c, L: Lattice> DistributedSolver<'c, L> {
                 }
             }
         }
-        Ok(self.comm.allreduce_sum(&[mass])?[0])
+        mass
+    }
+
+    /// Global fluid mass (allreduce over interior cells).
+    pub fn global_mass(&self) -> Result<Scalar, CommError> {
+        Ok(self.comm.allreduce_sum(&[self.local_mass()])?[0])
     }
 
     /// Scatter a global population field from rank 0 to every rank's interior

@@ -5,7 +5,7 @@
 //! group leader, and each leader assembles one [`GroupFile`] container —
 //! turning `P` file writes into `P / group_size`.
 
-use swlb_comm::{Comm, CommError};
+use swlb_comm::{CommError, Communicator};
 use swlb_io::{GroupFile, IoGroups};
 
 /// Reserved user tag for group-I/O traffic (stays well below the
@@ -17,8 +17,8 @@ const GROUP_IO_TAG: u64 = 900;
 /// Leaders return `Some(GroupFile)` holding every member's chunk (including
 /// their own), ready to be written to disk; members return `None` after
 /// shipping their chunk to the leader.
-pub fn aggregate_group(
-    comm: &Comm,
+pub fn aggregate_group<C: Communicator>(
+    comm: &C,
     groups: IoGroups,
     chunk: &[u8],
 ) -> Result<Option<GroupFile>, CommError> {

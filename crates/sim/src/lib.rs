@@ -26,9 +26,13 @@ pub mod engine;
 pub mod forces;
 pub mod group_io;
 pub mod partition;
+pub mod resilience;
 
 pub use config::CaseConfig;
-pub use engine::{DistributedSolver, ExchangeMode};
+pub use engine::{DistributedSolver, ExchangeMode, HaloRetry};
 pub use forces::momentum_exchange_force;
 pub use group_io::aggregate_group;
 pub use partition::Partition2d;
+pub use resilience::{
+    run_with_recovery, run_with_recovery_instrumented, RecoveryPolicy, RecoveryReport, SimError,
+};

@@ -1,0 +1,464 @@
+//! Checkpoint-rollback recovery for distributed runs.
+//!
+//! [`run_with_recovery`] drives a [`DistributedSolver`] to a target step count
+//! while surviving transient faults: dropped, delayed, duplicated or corrupted
+//! halo messages and numerical divergence (NaN/Inf or global-mass drift). The
+//! protocol per step:
+//!
+//! 1. attempt the step (the engine's halo retry heals delays in place);
+//! 2. every rank contributes `[fail_flag, local_mass]` to one status
+//!    allreduce. The reduced pair is simultaneously the *failure agreement*
+//!    (any rank's failure makes the sum positive) and the *divergence guard*
+//!    (a NaN or Inf anywhere poisons the mass sum; drift beyond tolerance is
+//!    visible in the reduced value). Because every rank sees the same reduced
+//!    values, every rank reaches the same verdict — no extra voting round.
+//! 3. on a clean verdict, periodically checkpoint (gather → atomic write on
+//!    rank 0 via [`CheckpointStore`]);
+//! 4. on a failed verdict, roll back: rank 0 loads the newest *valid*
+//!    checkpoint (skipping corrupt files), broadcasts its step, every rank
+//!    bumps the halo epoch (so pre-rollback frames in flight are discarded as
+//!    stale) and re-scatters the state, then the run resumes.
+//!
+//! Restarts are capped by [`RecoveryPolicy::max_restarts`]; exhaustion returns
+//! the typed [`SimError::RestartsExhausted`] instead of looping. Rank death is
+//! not recoverable by rollback: the dead rank's operations return
+//! [`CommError::Disconnected`] immediately, and the survivors' status
+//! reduction times out (the run sets a communicator-wide op deadline), so
+//! every rank fails fast with a typed error instead of hanging — the paper's
+//! month-long-run requirement (§IV-B) is "never wedge a 160,000-core job".
+//!
+//! No step of this protocol uses a barrier: barriers cannot time out, and a
+//! dead rank would wedge every survivor in one.
+
+use crate::engine::DistributedSolver;
+use std::fmt;
+use std::time::Duration;
+use swlb_comm::{CommError, Communicator};
+use swlb_core::error::CoreError;
+use swlb_core::lattice::Lattice;
+use swlb_core::layout::{PopField, SoaField};
+use swlb_io::checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
+
+/// When to checkpoint, how often to retry, how long to wait.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Checkpoint every this many completed steps (≥ 1). A checkpoint is also
+    /// written at entry so a rollback target always exists.
+    pub checkpoint_every: u64,
+    /// Rollback-restarts allowed before giving up. `0` = fail fast on the
+    /// first fault.
+    pub max_restarts: u32,
+    /// Base pause before a restart; doubled per consecutive restart, capped at
+    /// 8× (gives in-flight stragglers time to drain before the replay).
+    pub backoff: Duration,
+    /// Relative global-mass drift (vs. the mass at entry) treated as
+    /// divergence. `INFINITY` disables the drift guard (inflow/outflow cases
+    /// legitimately change mass); NaN/Inf detection is always active.
+    pub mass_drift_tol: f64,
+    /// Deadline for the status reduction and rollback collectives. Must
+    /// comfortably exceed one step's compute plus the halo retry budget;
+    /// expiry means a peer is dead or wedged and the run fails fast.
+    pub status_timeout: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            checkpoint_every: 50,
+            max_restarts: 3,
+            backoff: Duration::from_millis(10),
+            mass_drift_tol: f64::INFINITY,
+            status_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    fn backoff_for(&self, restart: u32) -> Duration {
+        let mult = 1u32.checked_shl(restart.saturating_sub(1)).unwrap_or(u32::MAX).min(8);
+        self.backoff.saturating_mul(mult)
+    }
+}
+
+/// Errors surfaced by a recovered (or unrecoverable) distributed run.
+#[derive(Debug)]
+pub enum SimError {
+    /// Communication failure (timeout, corruption, disconnected peer).
+    Comm(CommError),
+    /// Checkpoint storage failure.
+    Checkpoint(CheckpointError),
+    /// Numerical failure promoted to the distributed level
+    /// ([`CoreError::Diverged`] carries the step).
+    Core(CoreError),
+    /// A peer rank reported failure in the status reduction while this rank
+    /// was healthy.
+    PeerFault {
+        /// Step at which the peer's failure was agreed.
+        step: u64,
+    },
+    /// The restart budget ran out; `last` is the fault that exhausted it.
+    RestartsExhausted {
+        /// Restarts performed before giving up.
+        restarts: u32,
+        /// The final triggering fault.
+        last: Box<SimError>,
+    },
+    /// Rollback was required but no valid checkpoint could be loaded.
+    NoValidCheckpoint,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Comm(e) => write!(f, "communication failure: {e}"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            SimError::Core(e) => write!(f, "numerical failure: {e}"),
+            SimError::PeerFault { step } => write!(f, "peer rank failed at step {step}"),
+            SimError::RestartsExhausted { restarts, last } => {
+                write!(f, "gave up after {restarts} restart(s); last fault: {last}")
+            }
+            SimError::NoValidCheckpoint => write!(f, "no valid checkpoint to roll back to"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CommError> for SimError {
+    fn from(e: CommError) -> Self {
+        SimError::Comm(e)
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
+    }
+}
+
+/// What a recovered run went through to finish.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Completed steps at exit (the target, on success).
+    pub steps_completed: u64,
+    /// Rollback-restarts performed.
+    pub restarts: u32,
+    /// Steps recomputed because of rollbacks.
+    pub wasted_steps: u64,
+    /// Checkpoints written by this rank (only rank 0 writes).
+    pub checkpoints_written: u64,
+    /// Human-readable description of each fault that forced a rollback.
+    pub faults_recovered: Vec<String>,
+    /// Global mass at exit.
+    pub final_mass: f64,
+}
+
+/// Capture the global state as a [`Checkpoint`] (collective; `Some` on rank 0).
+fn capture<L: Lattice, C: Communicator>(
+    solver: &DistributedSolver<'_, L, C>,
+) -> Result<Option<Checkpoint>, CommError> {
+    let global = solver.partition().global;
+    let field = solver.gather_populations()?;
+    Ok(field.map(|f| Checkpoint {
+        step: solver.step_count(),
+        dims: (global.nx as u32, global.ny as u32, global.nz as u32),
+        q: L::Q as u32,
+        data: f.raw().to_vec(),
+    }))
+}
+
+/// Roll every rank back to the newest valid checkpoint (collective).
+fn rollback<L: Lattice, C: Communicator>(
+    solver: &mut DistributedSolver<'_, L, C>,
+    store: &CheckpointStore,
+) -> Result<u64, SimError> {
+    let global = solver.partition().global;
+    let (field, ck_step) = if solver.rank() == 0 {
+        let (ck, skipped) = store.load_latest_valid()?.ok_or(SimError::NoValidCheckpoint)?;
+        for path in skipped {
+            eprintln!("[recovery] skipping corrupt checkpoint {}", path.display());
+        }
+        let mut f = SoaField::<L>::new(global);
+        f.raw_mut().copy_from_slice(&ck.data);
+        (Some(f), ck.step)
+    } else {
+        (None, 0)
+    };
+    // Every rank must learn the rollback step; a dead rank 0 makes this time
+    // out (op deadline is set), never hang.
+    let step = solver.comm().broadcast(&[ck_step as f64])?[0] as u64;
+    // New halo epoch first: frames sent before the rollback must read as stale.
+    solver.bump_epoch();
+    solver.scatter_populations(field.as_ref(), step)?;
+    Ok(step)
+}
+
+/// Drive `solver` to `total_steps` completed steps under `policy`, writing
+/// checkpoints into `store` and rolling back on faults. Collective: every rank
+/// calls it with the same arguments (each rank may point `store` at its own
+/// directory; only rank 0 writes).
+pub fn run_with_recovery<L: Lattice, C: Communicator>(
+    solver: &mut DistributedSolver<'_, L, C>,
+    total_steps: u64,
+    policy: &RecoveryPolicy,
+    store: &CheckpointStore,
+) -> Result<RecoveryReport, SimError> {
+    run_with_recovery_instrumented(solver, total_steps, policy, store, |_| {})
+}
+
+/// [`run_with_recovery`] with a per-step instrumentation hook, called after
+/// every locally successful step *before* the health check. Production code
+/// passes a no-op; fault-injection tests use it to poison state (e.g. write a
+/// NaN) at a chosen step and watch the guard catch it.
+pub fn run_with_recovery_instrumented<L: Lattice, C: Communicator>(
+    solver: &mut DistributedSolver<'_, L, C>,
+    total_steps: u64,
+    policy: &RecoveryPolicy,
+    store: &CheckpointStore,
+    mut on_step: impl FnMut(&mut DistributedSolver<'_, L, C>),
+) -> Result<RecoveryReport, SimError> {
+    assert!(policy.checkpoint_every >= 1, "checkpoint_every must be at least 1");
+    let comm = solver.comm();
+    let prev_timeout = comm.op_timeout();
+    comm.set_op_timeout(Some(policy.status_timeout));
+    let result = run_inner(solver, total_steps, policy, store, &mut on_step);
+    solver.comm().set_op_timeout(prev_timeout);
+    result
+}
+
+fn run_inner<L: Lattice, C: Communicator>(
+    solver: &mut DistributedSolver<'_, L, C>,
+    total_steps: u64,
+    policy: &RecoveryPolicy,
+    store: &CheckpointStore,
+    on_step: &mut impl FnMut(&mut DistributedSolver<'_, L, C>),
+) -> Result<RecoveryReport, SimError> {
+    let mut report = RecoveryReport::default();
+
+    // Reference mass for the drift guard, agreed once at entry.
+    let mass0 = solver.comm().allreduce_sum(&[solver.local_mass()])?[0];
+    if !mass0.is_finite() {
+        return Err(SimError::Core(CoreError::Diverged { step: solver.step_count() }));
+    }
+
+    // Entry checkpoint: a rollback target must exist before the first fault.
+    save_checkpoint(solver, store, &mut report)?;
+
+    let mut mass = mass0;
+    while solver.step_count() < total_steps {
+        let attempted = solver.step_count();
+        let local_err: Option<SimError> = match solver.step() {
+            Ok(()) => {
+                on_step(solver);
+                None
+            }
+            // A dead transport cannot reach the status reduction either;
+            // fail fast instead of voting.
+            Err(CommError::Disconnected) => return Err(CommError::Disconnected.into()),
+            Err(e) => Some(e.into()),
+        };
+
+        // Status agreement + divergence guard in one reduction.
+        let local_mass = if local_err.is_some() { 0.0 } else { solver.local_mass() };
+        let fail_flag = if local_err.is_some() { 1.0 } else { 0.0 };
+        let status = solver.comm().allreduce_sum(&[fail_flag, local_mass])?;
+        let (fail_sum, mass_sum) = (status[0], status[1]);
+
+        let diverged = !mass_sum.is_finite()
+            || (mass_sum - mass0).abs() > policy.mass_drift_tol * mass0.abs();
+        if fail_sum == 0.0 && !diverged {
+            mass = mass_sum;
+            if solver.step_count().is_multiple_of(policy.checkpoint_every) {
+                save_checkpoint(solver, store, &mut report)?;
+            }
+            continue;
+        }
+
+        // Unanimous verdict: something failed this step. Identify the fault
+        // (for the report / the final error) and roll back.
+        let fault: SimError = match local_err {
+            Some(e) => e,
+            None if diverged => {
+                SimError::Core(CoreError::Diverged { step: attempted })
+            }
+            None => SimError::PeerFault { step: attempted },
+        };
+        if report.restarts >= policy.max_restarts {
+            return Err(SimError::RestartsExhausted {
+                restarts: report.restarts,
+                last: Box::new(fault),
+            });
+        }
+        report.restarts += 1;
+        report.faults_recovered.push(format!("step {attempted}: {fault}"));
+        std::thread::sleep(policy.backoff_for(report.restarts));
+        // Every step completed past the checkpoint — including the one whose
+        // result the verdict just discarded — is recomputed.
+        let reached = solver.step_count();
+        let resumed_at = rollback(solver, store)?;
+        report.wasted_steps += reached - resumed_at;
+    }
+
+    report.steps_completed = solver.step_count();
+    report.final_mass = mass;
+    Ok(report)
+}
+
+fn save_checkpoint<L: Lattice, C: Communicator>(
+    solver: &DistributedSolver<'_, L, C>,
+    store: &CheckpointStore,
+    report: &mut RecoveryReport,
+) -> Result<(), SimError> {
+    if let Some(ck) = capture(solver)? {
+        store.save(&ck)?;
+        report.checkpoints_written += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DistributedSolver, ExchangeMode, HaloRetry};
+    use swlb_comm::World;
+    use swlb_core::collision::{BgkParams, CollisionKind};
+    use swlb_core::flags::FlagField;
+    use swlb_core::geometry::GridDims;
+    use swlb_core::lattice::D2Q9;
+
+    fn temp_store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("swlb-recovery-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir, 3).unwrap()
+    }
+
+    fn case() -> (GridDims, FlagField, CollisionKind) {
+        let global = GridDims::new2d(12, 12);
+        let mut flags = FlagField::new(global);
+        flags.set_box_walls();
+        flags.paint_lid([0.05, 0.0, 0.0]);
+        (global, flags, CollisionKind::Bgk(BgkParams::from_tau(0.8)))
+    }
+
+    #[test]
+    fn fault_free_recovered_run_matches_plain_run() {
+        let (global, flags, coll) = case();
+        let flags_ref = &flags;
+        let plain = World::new(4).run(|comm| {
+            let mut s =
+                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::OnTheFly);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(20).unwrap();
+            s.gather_populations().unwrap()
+        });
+        let store = temp_store("clean");
+        let store_ref = &store;
+        let recovered = World::new(4).run(|comm| {
+            let mut s =
+                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::OnTheFly);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            let policy = RecoveryPolicy { checkpoint_every: 5, ..Default::default() };
+            let report = run_with_recovery(&mut s, 20, &policy, store_ref).unwrap();
+            assert_eq!(report.steps_completed, 20);
+            assert_eq!(report.restarts, 0);
+            assert_eq!(report.wasted_steps, 0);
+            if comm.rank() == 0 {
+                // Entry + steps 5, 10, 15, 20.
+                assert_eq!(report.checkpoints_written, 5);
+            }
+            s.gather_populations().unwrap()
+        });
+        let (a, b) = (plain[0].as_ref().unwrap(), recovered[0].as_ref().unwrap());
+        for cell in 0..global.cells() {
+            for q in 0..9 {
+                assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
+            }
+        }
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn injected_divergence_rolls_back_and_still_matches() {
+        let (global, flags, coll) = case();
+        let flags_ref = &flags;
+        let plain = World::new(2).run(|comm| {
+            let mut s =
+                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(12).unwrap();
+            s.gather_populations().unwrap()
+        });
+        let store = temp_store("nan");
+        let store_ref = &store;
+        let out = World::new(2).run(|comm| {
+            let mut s =
+                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.set_halo_retry(HaloRetry::snappy());
+            let policy = RecoveryPolicy {
+                checkpoint_every: 4,
+                status_timeout: Duration::from_secs(10),
+                ..Default::default()
+            };
+            // Poison one population on rank 1 after step 7 completes — once.
+            let mut injected = false;
+            let report = run_with_recovery_instrumented(&mut s, 12, &policy, store_ref, |s| {
+                if !injected && s.rank() == 1 && s.step_count() == 7 {
+                    injected = true;
+                    let dims = s.local_flags().dims();
+                    let cell = dims.idx(2, 2, 0);
+                    s.local_populations_mut().set(cell, 0, f64::NAN);
+                }
+            })
+            .unwrap();
+            assert_eq!(report.steps_completed, 12);
+            assert_eq!(report.restarts, 1, "exactly one rollback expected");
+            // Rolled back from the failed step-7 attempt to the step-4 ckpt.
+            assert_eq!(report.wasted_steps, 3);
+            assert!(report.faults_recovered[0].contains("diverged"),
+                "fault description: {:?}", report.faults_recovered);
+            s.gather_populations().unwrap()
+        });
+        let (a, b) = (plain[0].as_ref().unwrap(), out[0].as_ref().unwrap());
+        for cell in 0..global.cells() {
+            for q in 0..9 {
+                assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
+            }
+        }
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn zero_restart_budget_fails_fast_with_typed_error() {
+        let (global, flags, coll) = case();
+        let flags_ref = &flags;
+        let store = temp_store("budget");
+        let store_ref = &store;
+        let errs = World::new(2).run(|comm| {
+            let mut s =
+                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            let policy = RecoveryPolicy {
+                checkpoint_every: 4,
+                max_restarts: 0,
+                status_timeout: Duration::from_secs(10),
+                ..Default::default()
+            };
+            let mut injected = false;
+            let err = run_with_recovery_instrumented(&mut s, 12, &policy, store_ref, |s| {
+                if !injected && s.rank() == 0 && s.step_count() == 3 {
+                    injected = true;
+                    let dims = s.local_flags().dims();
+                    // (2, 2) is interior fluid on every rank (never a wall or
+                    // halo cell), so the poison is visible to the mass guard.
+                    let cell = dims.idx(2, 2, 0);
+                    s.local_populations_mut().set(cell, 0, f64::INFINITY);
+                }
+            })
+            .unwrap_err();
+            matches!(err, SimError::RestartsExhausted { restarts: 0, .. })
+        });
+        assert!(errs.iter().all(|&ok| ok), "both ranks must fail fast with the typed error");
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+}

@@ -1,0 +1,26 @@
+# Developer entry points. `just --list` to see them all.
+
+# Build everything in release mode.
+build:
+    cargo build --release --workspace
+
+# The full test suite.
+test:
+    cargo test --workspace -q
+
+# Lints as CI runs them.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# The chaos/resilience suite: fault injection, retry healing, rollback
+# recovery (deterministic seeds — failures reproduce exactly).
+chaos:
+    cargo test -q -p swlb-sim --release --test chaos_recovery
+
+# Regenerate every paper figure/table harness.
+figures:
+    for bin in fig08_kernel_speedup roofline_table fig13_weak_taihulight \
+               fig14_strong_taihulight fig15_weak_newsunway fig16_strong_newsunway \
+               fig11_gpu_opt fig17_gpu_strong fusion_dma_table ablation_blocking \
+               ablation_schedule related_work_table; do \
+        cargo run --release -p swlb-bench --bin $bin; done

@@ -1,0 +1,269 @@
+//! Chaos acceptance suite: self-healing distributed runs under injected
+//! faults.
+//!
+//! Every test drives the production [`DistributedSolver`] through a
+//! [`ChaosComm`] wrapper — the solver code under test is byte-for-byte the
+//! code production runs. Fault schedules are deterministic in their seed and
+//! message identity, so any failure here reproduces exactly from the plan in
+//! the test body.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use swlb_comm::{ChaosComm, CommError, Communicator, FaultAction, FaultPlan, World};
+use swlb_core::collision::{BgkParams, CollisionKind};
+use swlb_core::flags::FlagField;
+use swlb_core::geometry::GridDims;
+use swlb_core::lattice::D2Q9;
+use swlb_core::layout::{PopField, SoaField};
+use swlb_io::CheckpointStore;
+use swlb_sim::{
+    run_with_recovery, run_with_recovery_instrumented, DistributedSolver, ExchangeMode,
+    HaloRetry, RecoveryPolicy, SimError,
+};
+
+fn case() -> (GridDims, FlagField, CollisionKind) {
+    let global = GridDims::new2d(12, 12);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+    flags.paint_lid([0.05, 0.0, 0.0]);
+    (global, flags, CollisionKind::Bgk(BgkParams::from_tau(0.8)))
+}
+
+fn temp_store(tag: &str) -> CheckpointStore {
+    let dir = std::env::temp_dir().join(format!("swlb-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointStore::new(dir, 3).unwrap()
+}
+
+/// Fault-free reference trajectory on `ranks` ranks.
+fn reference(ranks: usize, steps: u64, mode: ExchangeMode) -> SoaField<D2Q9> {
+    let (global, flags, coll) = case();
+    let flags_ref = &flags;
+    let out = World::new(ranks).run(|comm| {
+        let mut s = DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, mode);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.run(steps).unwrap();
+        s.gather_populations().unwrap()
+    });
+    out.into_iter().next().unwrap().unwrap()
+}
+
+fn assert_fields_identical(a: &SoaField<D2Q9>, b: &SoaField<D2Q9>, cells: usize) {
+    for cell in 0..cells {
+        for q in 0..9 {
+            assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
+        }
+    }
+}
+
+/// The headline acceptance run: a dropped, a corrupted, a delayed and a
+/// duplicated halo message plus one mid-run divergence, all in one 24-step
+/// 4-rank run. Retry heals the delay and the duplicate in place; the drop,
+/// the corruption and the divergence each force a checkpoint rollback. The
+/// final populations must match the fault-free trajectory bit-for-bit.
+#[test]
+fn chaos_run_heals_and_matches_fault_free_trajectory() {
+    let (global, flags, coll) = case();
+    let clean = reference(4, 24, ExchangeMode::OnTheFly);
+
+    // Halo tags send exactly once per step, so seq == step until a rollback
+    // replays steps (each replayed send consumes a fresh seq). The schedule
+    // below interleaves healable and rollback-forcing faults:
+    //   seq 2 duplicate / seq 4 delay  — healed by the retry loop, no restart;
+    //   seq 9 drop                     — restart #1, rollback to the step-6
+    //                                    checkpoint (step ↦ seq + 4 afterward);
+    //   seq 16 corrupt (= step 12)     — restart #2, rollback to step 12;
+    //   NaN at step 15 (hook below)    — restart #3, rollback to step 12.
+    let plan = Arc::new(
+        FaultPlan::new(0xC0FFEE)
+            .duplicate_message(0, 1, 2)
+            .delay_message(3, 4, 4, Duration::from_millis(100))
+            .drop_message(1, 0, 9)
+            .corrupt_message(2, 2, 16),
+    );
+    let store = temp_store("acceptance");
+    let (flags_ref, store_ref) = (&flags, &store);
+    let out = World::new(4).run_chaos(&plan, |comm| {
+        let mut s =
+            DistributedSolver::<D2Q9, ChaosComm>::new(&comm, global, flags_ref, coll, ExchangeMode::OnTheFly);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.set_halo_retry(HaloRetry::snappy());
+        let policy = RecoveryPolicy {
+            checkpoint_every: 6,
+            backoff: Duration::from_millis(1),
+            status_timeout: Duration::from_secs(10),
+            ..Default::default()
+        };
+        let mut injected = false;
+        let report = run_with_recovery_instrumented(&mut s, 24, &policy, store_ref, |s| {
+            if !injected && s.rank() == 0 && s.step_count() == 15 {
+                injected = true;
+                let dims = s.local_flags().dims();
+                let cell = dims.idx(2, 2, 0);
+                s.local_populations_mut().set(cell, 0, f64::NAN);
+            }
+        })
+        .unwrap();
+        assert_eq!(report.steps_completed, 24);
+        assert_eq!(report.restarts, 3, "drop + corrupt + divergence each roll back");
+        assert_eq!(report.faults_recovered.len(), 3, "{:?}", report.faults_recovered);
+        s.gather_populations().unwrap()
+    });
+
+    // The plan actually fired every scheduled message fault.
+    assert_eq!(plan.count_message_faults(|a| *a == FaultAction::Drop), 1);
+    assert_eq!(plan.count_message_faults(|a| *a == FaultAction::Duplicate), 1);
+    assert_eq!(plan.count_message_faults(|a| matches!(a, FaultAction::Delay(_))), 1);
+    assert_eq!(plan.count_message_faults(|a| matches!(a, FaultAction::CorruptBit { .. })), 1);
+
+    let healed = out.into_iter().next().unwrap().unwrap();
+    assert_fields_identical(&clean, &healed, global.cells());
+    std::fs::remove_dir_all(store.dir()).unwrap();
+}
+
+/// With `max_restarts = 0` the same kind of fault must fail fast with the
+/// typed escalation on every rank — not hang, not panic.
+#[test]
+fn chaos_with_zero_restart_budget_fails_fast_typed() {
+    let (global, flags, coll) = case();
+    let plan = Arc::new(FaultPlan::new(7).drop_message(1, 0, 3));
+    let store = temp_store("budget");
+    let (flags_ref, store_ref) = (&flags, &store);
+    let errs = World::new(2).run_chaos(&plan, |comm| {
+        let mut s =
+            DistributedSolver::<D2Q9, ChaosComm>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.set_halo_retry(HaloRetry::snappy());
+        let policy = RecoveryPolicy {
+            checkpoint_every: 4,
+            max_restarts: 0,
+            status_timeout: Duration::from_secs(10),
+            ..Default::default()
+        };
+        run_with_recovery(&mut s, 8, &policy, store_ref).unwrap_err()
+    });
+    for (rank, err) in errs.iter().enumerate() {
+        assert!(
+            matches!(err, SimError::RestartsExhausted { restarts: 0, .. }),
+            "rank {rank}: expected RestartsExhausted, got {err}"
+        );
+    }
+    std::fs::remove_dir_all(store.dir()).unwrap();
+}
+
+/// Regression: a rank killed mid-run surfaces `Disconnected` out of
+/// `DistributedSolver::run`, and its peers escalate a typed halo failure
+/// instead of blocking forever on the silent neighbor.
+#[test]
+fn killed_rank_surfaces_disconnected_instead_of_hanging() {
+    let (global, flags, coll) = case();
+    let plan = Arc::new(FaultPlan::new(3).kill_rank(1, 5));
+    let flags_ref = &flags;
+    let errs = World::new(2).run_chaos(&plan, |comm| {
+        let mut s =
+            DistributedSolver::<D2Q9, ChaosComm>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.set_halo_retry(HaloRetry::snappy());
+        (comm.rank(), s.run(20).unwrap_err())
+    });
+    for (rank, err) in &errs {
+        match rank {
+            1 => assert_eq!(*err, CommError::Disconnected, "killed rank"),
+            // The survivor sees either an exhausted halo retry (peer silent)
+            // or a dead channel (peer's endpoint already dropped), depending
+            // on shutdown timing; both are typed and both arrive promptly.
+            _ => assert!(
+                matches!(err, CommError::Timeout { rank: 1, .. } | CommError::Disconnected),
+                "survivor rank {rank}: {err}"
+            ),
+        }
+    }
+    assert!(plan.records().iter().any(|r| r.rank == 1), "kill was logged");
+}
+
+/// Same kill under the recovery loop: the dead rank's error passes straight
+/// through (a dead transport cannot vote in the status reduction), and the
+/// survivor's status reduction times out instead of wedging.
+#[test]
+fn killed_rank_under_recovery_fails_fast_on_every_rank() {
+    let (global, flags, coll) = case();
+    let plan = Arc::new(FaultPlan::new(3).kill_rank(1, 5));
+    let store = temp_store("kill");
+    let (flags_ref, store_ref) = (&flags, &store);
+    let errs = World::new(2).run_chaos(&plan, |comm| {
+        let mut s =
+            DistributedSolver::<D2Q9, ChaosComm>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.set_halo_retry(HaloRetry::snappy());
+        let policy = RecoveryPolicy {
+            checkpoint_every: 4,
+            status_timeout: Duration::from_secs(1),
+            ..Default::default()
+        };
+        (comm.rank(), run_with_recovery(&mut s, 20, &policy, store_ref).unwrap_err())
+    });
+    for (rank, err) in &errs {
+        match rank {
+            1 => assert!(
+                matches!(err, SimError::Comm(CommError::Disconnected)),
+                "killed rank got {err}"
+            ),
+            _ => assert!(
+                matches!(err, SimError::Comm(_)),
+                "survivor rank {rank} must get a typed comm error, got {err}"
+            ),
+        }
+    }
+    std::fs::remove_dir_all(store.dir()).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Any *single* injected message fault — whatever kind, sender, direction
+    // or step — leaves the recovered trajectory bit-identical to the
+    // fault-free one: healable faults heal in place, fatal ones roll back.
+    #[test]
+    fn any_single_fault_recovers_to_fault_free_fields(
+        kind in 0usize..4,
+        rank in 0usize..2,
+        tag in 0u64..8,
+        step in 1u64..10,
+    ) {
+        let (global, flags, coll) = case();
+        let clean = reference(2, 12, ExchangeMode::Sequential);
+        let plan = FaultPlan::new(0xFEED);
+        // With a single fault there is no rollback before it fires, so the
+        // per-(rank, tag) seq equals the step.
+        let plan = Arc::new(match kind {
+            0 => plan.drop_message(rank, tag, step),
+            1 => plan.corrupt_message(rank, tag, step),
+            2 => plan.delay_message(rank, tag, step, Duration::from_millis(60)),
+            _ => plan.duplicate_message(rank, tag, step),
+        });
+        let store = temp_store(&format!("prop-{kind}-{rank}-{tag}-{step}"));
+        let (flags_ref, store_ref) = (&flags, &store);
+        let out = World::new(2).run_chaos(&plan, |comm| {
+            let mut s = DistributedSolver::<D2Q9, ChaosComm>::new(
+                &comm, global, flags_ref, coll, ExchangeMode::Sequential,
+            );
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.set_halo_retry(HaloRetry::snappy());
+            let policy = RecoveryPolicy {
+                checkpoint_every: 4,
+                backoff: Duration::from_millis(1),
+                status_timeout: Duration::from_secs(10),
+                ..Default::default()
+            };
+            let report = run_with_recovery(&mut s, 12, &policy, store_ref).unwrap();
+            prop_assert_eq!(report.steps_completed, 12);
+            s.gather_populations().unwrap()
+        });
+        prop_assert_eq!(plan.records().len(), 1, "the scheduled fault fired once");
+        let healed = out.into_iter().next().unwrap().unwrap();
+        assert_fields_identical(&clean, &healed, global.cells());
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+}

@@ -186,6 +186,57 @@ fn distributed_checkpoint_restart_continues_bit_identically() {
 }
 
 #[test]
+fn restart_from_store_skips_corrupted_newest_checkpoint() {
+    // The recovery controller's restart path: a run checkpoints periodically
+    // into a store, crashes, and the newest checkpoint file turns out damaged
+    // (torn write, bad disk). `load_latest_valid` must fall back to the newest
+    // checkpoint that passes its CRC, and the resumed trajectory from there
+    // must still match the uninterrupted one bit-for-bit.
+    use swlb_io::CheckpointStore;
+
+    let mut straight = make_solver();
+    straight.run(30);
+
+    let dir = std::env::temp_dir().join(format!("swlb_ckpt_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir, 4).unwrap();
+    let mut s = make_solver();
+    for _ in 0..3 {
+        s.run(10);
+        store.save(&capture(&s)).unwrap();
+    }
+
+    // Damage the newest checkpoint (step 30): flip a payload bit on disk.
+    let (newest_step, newest) = store.latest().unwrap().expect("store has checkpoints");
+    assert_eq!(newest_step, 30);
+    assert_eq!(newest, store.path_for(30));
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 1;
+    std::fs::write(&newest, bytes).unwrap();
+    match store.load(30) {
+        Err(CheckpointError::Corrupt(_)) => {}
+        other => panic!("damaged file not flagged: {other:?}"),
+    }
+
+    // Restart: fall back to step 20 and replay the last 10 steps.
+    let (ck, skipped) = store.load_latest_valid().unwrap().expect("a valid checkpoint survives");
+    assert_eq!(ck.step, 20);
+    assert_eq!(skipped, vec![store.path_for(30)]);
+    let mut resumed = make_solver();
+    restore(&mut resumed, &ck);
+    resumed.run(10);
+
+    let (a, b) = (straight.populations(), resumed.populations());
+    for cell in 0..straight.dims().cells() {
+        for q in 0..9 {
+            assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn checkpoint_of_3d_solver_roundtrips() {
     let dims = GridDims::new(8, 8, 8);
     let mut s = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.8));
