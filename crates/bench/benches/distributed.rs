@@ -13,7 +13,9 @@ use swlb_sim::{DistributedSolver, ExchangeMode};
 fn run_steps(global: GridDims, flags: &FlagField, ranks: usize, mode: ExchangeMode, steps: u64) {
     let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
     World::new(ranks).run(|comm| {
-        let mut s = DistributedSolver::<D3Q19>::new(&comm, global, flags, coll, mode);
+        let mut s = DistributedSolver::<D3Q19>::builder(&comm, global, flags, coll)
+            .exchange(mode)
+            .build();
         s.initialize_uniform(1.0, [0.02, 0.0, 0.0]);
         s.run(steps).unwrap();
     });

@@ -89,6 +89,21 @@ impl fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+impl From<CommError> for swlb_obs::SwlbError {
+    fn from(e: CommError) -> Self {
+        use swlb_obs::SwlbError as E;
+        match e {
+            CommError::RankOutOfRange { rank, size } => E::RankOutOfRange { rank, size },
+            CommError::ReservedTag(t) => E::ReservedTag(t),
+            CommError::Disconnected => E::Disconnected,
+            CommError::Timeout { rank, tag, attempts } => {
+                E::CommTimeout { rank, tag, attempts }
+            }
+            CommError::Corrupt { rank, tag } => E::CommCorrupt { rank, tag },
+        }
+    }
+}
+
 /// An in-flight message: `f64` payload plus routing metadata.
 #[derive(Debug, Clone)]
 pub struct Message {

@@ -1,6 +1,14 @@
 //! Error types shared across the core crate.
+//!
+//! [`CoreError`] stays the fine-grained error of the numerics layer; it
+//! converts losslessly into the workspace-wide [`SwlbError`] (defined in
+//! `swlb-obs`, the crate everything depends on), which is what the top-level
+//! drivers — `Solver::run_checked`, `DistributedSolver::run`,
+//! `run_with_recovery` — return.
 
 use std::fmt;
+
+pub use swlb_obs::{SwlbError, SwlbResult};
 
 /// Result alias used by fallible core APIs.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -46,6 +54,20 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+impl From<CoreError> for SwlbError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::InvalidDims(m) => SwlbError::InvalidDims(m),
+            CoreError::InvalidRelaxation(m) => SwlbError::InvalidRelaxation(m),
+            CoreError::LengthMismatch { got, expected } => {
+                SwlbError::LengthMismatch { got, expected }
+            }
+            CoreError::Diverged { step } => SwlbError::Diverged { step },
+            CoreError::InvalidConfig(m) => SwlbError::InvalidConfig(m),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +86,17 @@ mod tests {
         let a = CoreError::InvalidDims("nx=0".into());
         let b = a.clone();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn core_errors_convert_to_workspace_errors() {
+        assert_eq!(
+            SwlbError::from(CoreError::Diverged { step: 7 }),
+            SwlbError::Diverged { step: 7 }
+        );
+        assert_eq!(
+            SwlbError::from(CoreError::LengthMismatch { got: 1, expected: 2 }),
+            SwlbError::LengthMismatch { got: 1, expected: 2 }
+        );
     }
 }

@@ -21,7 +21,7 @@
 //!
 //! // 2-D lid-driven cavity on a 32x32 grid.
 //! let dims = GridDims::new2d(32, 32);
-//! let mut solver = Solver::<D2Q9>::new(dims, BgkParams::from_tau(0.8));
+//! let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8)).build();
 //! solver.flags_mut().set_box_walls();
 //! solver.flags_mut().paint_lid([0.05, 0.0, 0.0]);
 //! solver.initialize_uniform(1.0, [0.0; 3]);
@@ -79,7 +79,8 @@ pub mod prelude {
     pub use crate::layout::{AosField, Layout, PopField, SoaField};
     pub use crate::macroscopic::MacroFields;
     pub use crate::parallel::ThreadPool;
-    pub use crate::solver::{Solver, StepStats};
+    pub use crate::solver::{ExecMode, Solver, SolverBuilder, StepStats};
     pub use crate::units::UnitConverter;
     pub use crate::Scalar;
+    pub use swlb_obs::{Recorder, SwlbError, SwlbResult};
 }

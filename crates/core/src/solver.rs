@@ -6,9 +6,13 @@
 //! fast path. It is the unit the distributed engine (`swlb-sim`) instantiates per
 //! rank, and the reference implementation the architecture emulator
 //! (`swlb-arch`) is validated against.
+//!
+//! Construction goes through [`SolverBuilder`] (one path for dims, collision,
+//! execution mode, thread pool and observability recorder); the historical
+//! `Solver::new` + `with_*` chain survives as thin deprecated wrappers.
 
 use crate::collision::{BgkParams, CollisionKind};
-use crate::error::{CoreError, Result};
+use crate::error::CoreError;
 use crate::flags::FlagField;
 use crate::geometry::GridDims;
 use crate::kernels::{
@@ -20,6 +24,8 @@ use crate::layout::{AbBuffers, PopField, SoaField};
 use crate::macroscopic::MacroFields;
 use crate::parallel::ThreadPool;
 use crate::Scalar;
+use std::marker::PhantomData;
+use swlb_obs::{Counter, Gauge, Phase, Recorder, SwlbError};
 
 /// Execution strategy for a time step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +52,91 @@ pub struct StepStats {
     pub kinetic_energy: Scalar,
 }
 
+/// The single construction path for [`Solver`]: dims and BGK parameters up
+/// front, everything else optional with sensible defaults.
+///
+/// ```
+/// use swlb_core::prelude::*;
+/// use swlb_core::solver::ExecMode;
+///
+/// let solver = Solver::<D2Q9>::builder(GridDims::new2d(16, 16), BgkParams::from_tau(0.8))
+///     .mode(ExecMode::Parallel)
+///     .pool(ThreadPool::new(4))
+///     .build();
+/// assert_eq!(solver.step_count(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolverBuilder<L: Lattice> {
+    dims: GridDims,
+    collision: CollisionKind,
+    mode: ExecMode,
+    pool: ThreadPool,
+    recorder: Recorder,
+    _lattice: PhantomData<L>,
+}
+
+impl<L: Lattice> SolverBuilder<L> {
+    /// Start a builder for a `dims` grid with BGK collision `params`.
+    pub fn new(dims: GridDims, params: BgkParams) -> Self {
+        SolverBuilder {
+            dims,
+            collision: CollisionKind::Bgk(params),
+            mode: ExecMode::Serial,
+            pool: ThreadPool::new(1),
+            recorder: Recorder::disabled(),
+            _lattice: PhantomData,
+        }
+    }
+
+    /// Replace the collision operator (overrides the BGK params given to
+    /// [`SolverBuilder::new`]).
+    pub fn collision(mut self, collision: CollisionKind) -> Self {
+        self.collision = collision;
+        self
+    }
+
+    /// Select the execution mode (default [`ExecMode::Serial`]).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Thread pool for [`ExecMode::Parallel`] (default: one thread).
+    pub fn pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Attach an observability recorder (default: disabled — the instrumented
+    /// step path then costs nothing).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Build the solver (all-fluid periodic flag field; paint boundaries via
+    /// [`Solver::flags_mut`] afterwards).
+    pub fn build(self) -> Solver<L> {
+        let obs_mlups = self.recorder.gauge("mlups");
+        let obs_steps = self.recorder.counter("steps");
+        Solver {
+            dims: self.dims,
+            flags: FlagField::new(self.dims),
+            buffers: AbBuffers::new(SoaField::new(self.dims), SoaField::new(self.dims)),
+            collision: self.collision,
+            pool: self.pool,
+            mode: self.mode,
+            step: 0,
+            mask: None,
+            mask_dirty: true,
+            active: 0,
+            recorder: self.recorder,
+            obs_mlups,
+            obs_steps,
+        }
+    }
+}
+
 /// A single-box LBM solver with SoA storage and A-B buffering.
 #[derive(Debug, Clone)]
 pub struct Solver<L: Lattice> {
@@ -58,37 +149,41 @@ pub struct Solver<L: Lattice> {
     step: u64,
     mask: Option<Vec<bool>>,
     mask_dirty: bool,
+    /// Fluid-cell count, cached alongside the mask (MLUPS accounting).
+    active: usize,
+    recorder: Recorder,
+    obs_mlups: Gauge,
+    obs_steps: Counter,
 }
 
 impl<L: Lattice> Solver<L> {
+    /// Start a [`SolverBuilder`] — the single construction path.
+    pub fn builder(dims: GridDims, params: BgkParams) -> SolverBuilder<L> {
+        SolverBuilder::new(dims, params)
+    }
+
     /// New solver with an all-fluid (periodic) flag field and BGK collision.
+    #[deprecated(since = "0.2.0", note = "use `Solver::builder(dims, params).build()`")]
     pub fn new(dims: GridDims, params: BgkParams) -> Self {
-        Self {
-            dims,
-            flags: FlagField::new(dims),
-            buffers: AbBuffers::new(SoaField::new(dims), SoaField::new(dims)),
-            collision: CollisionKind::Bgk(params),
-            pool: ThreadPool::new(1),
-            mode: ExecMode::Serial,
-            step: 0,
-            mask: None,
-            mask_dirty: true,
-        }
+        SolverBuilder::new(dims, params).build()
     }
 
     /// Replace the collision operator.
+    #[deprecated(since = "0.2.0", note = "use `SolverBuilder::collision`")]
     pub fn with_collision(mut self, collision: CollisionKind) -> Self {
         self.collision = collision;
         self
     }
 
     /// Select the execution mode.
+    #[deprecated(since = "0.2.0", note = "use `SolverBuilder::mode`")]
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
         self
     }
 
     /// Use the given thread pool for `ExecMode::Parallel`.
+    #[deprecated(since = "0.2.0", note = "use `SolverBuilder::pool`")]
     pub fn with_pool(mut self, pool: ThreadPool) -> Self {
         self.pool = pool;
         self
@@ -102,6 +197,12 @@ impl<L: Lattice> Solver<L> {
     /// Collision configuration.
     pub fn collision(&self) -> &CollisionKind {
         &self.collision
+    }
+
+    /// The observability recorder this solver reports into (disabled unless
+    /// one was attached at construction).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Completed step count.
@@ -149,6 +250,7 @@ impl<L: Lattice> Solver<L> {
     fn ensure_mask(&mut self) {
         if self.mask_dirty {
             self.mask = Some(interior_mask::<L>(&self.flags));
+            self.active = kernels::active_cells(&self.flags);
             self.mask_dirty = false;
         }
     }
@@ -156,6 +258,9 @@ impl<L: Lattice> Solver<L> {
     /// Advance one time step.
     pub fn step(&mut self) {
         self.ensure_mask();
+        // `now()` is `None` for a disabled recorder: the instrumented path
+        // then takes no clock reading and touches no atomic.
+        let t0 = self.recorder.now();
         let flags = &self.flags;
         let collision = self.collision;
         match self.mode {
@@ -190,8 +295,16 @@ impl<L: Lattice> Solver<L> {
                 fused_step::<L, _>(flags, src, dst, &collision);
             }
         }
+        if let Some(t0) = t0 {
+            let ns = (t0.elapsed().as_nanos() as u64).max(1);
+            self.recorder.record_phase_ns(Phase::CollideStream, ns);
+            self.obs_steps.inc();
+            // MLUPS = cells / seconds / 1e6 = cells · 1000 / ns.
+            self.obs_mlups.set(self.active as f64 * 1e3 / ns as f64);
+        }
         self.buffers.flip();
         self.step += 1;
+        self.recorder.maybe_flush(self.step);
     }
 
     /// Advance `n` steps.
@@ -202,14 +315,14 @@ impl<L: Lattice> Solver<L> {
     }
 
     /// Advance `n` steps, checking for divergence every `check_every` steps.
-    pub fn run_checked(&mut self, n: u64, check_every: u64) -> Result<()> {
+    pub fn run_checked(&mut self, n: u64, check_every: u64) -> Result<(), SwlbError> {
         let every = check_every.max(1);
         for i in 0..n {
             self.step();
             if (i + 1) % every == 0 || i + 1 == n {
                 let m = self.macroscopic();
                 if m.has_non_finite() {
-                    return Err(CoreError::Diverged { step: self.step });
+                    return Err(CoreError::Diverged { step: self.step }.into());
                 }
             }
         }
@@ -250,10 +363,12 @@ impl<L: Lattice> Solver<L> {
 mod tests {
     use super::*;
     use crate::lattice::{D2Q9, D3Q19};
+    use swlb_obs::MemorySink;
 
     #[test]
     fn solver_runs_and_counts_steps() {
-        let mut s = Solver::<D2Q9>::new(GridDims::new2d(8, 8), BgkParams::from_tau(0.8));
+        let mut s = Solver::<D2Q9>::builder(GridDims::new2d(8, 8), BgkParams::from_tau(0.8))
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.run(5);
         assert_eq!(s.step_count(), 5);
@@ -261,13 +376,40 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_construct_working_solvers() {
+        // The legacy chain must keep behaving identically to the builder.
+        let dims = GridDims::new(6, 6, 6);
+        let tau = 0.7;
+        let mut old = Solver::<D3Q19>::new(dims, BgkParams::from_tau(tau))
+            .with_mode(ExecMode::Parallel)
+            .with_pool(ThreadPool::new(2));
+        let mut new = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(tau))
+            .mode(ExecMode::Parallel)
+            .pool(ThreadPool::new(2))
+            .build();
+        for s in [&mut old, &mut new] {
+            s.flags_mut().set_box_walls();
+            s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(4);
+        }
+        for cell in 0..dims.cells() {
+            for q in 0..19 {
+                assert_eq!(old.populations().get(cell, q), new.populations().get(cell, q));
+            }
+        }
+    }
+
+    #[test]
     fn serial_parallel_and_optimized_agree() {
         let dims = GridDims::new(8, 8, 8);
         let tau = 0.7;
         let make = |mode| {
-            let mut s = Solver::<D3Q19>::new(dims, BgkParams::from_tau(tau))
-                .with_mode(mode)
-                .with_pool(ThreadPool::new(4));
+            let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(tau))
+                .mode(mode)
+                .pool(ThreadPool::new(4))
+                .build();
             s.flags_mut().set_box_walls();
             s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
             s.initialize_uniform(1.0, [0.0; 3]);
@@ -295,8 +437,9 @@ mod tests {
 
     #[test]
     fn optimized_mode_falls_back_for_non_d3q19() {
-        let mut s = Solver::<D2Q9>::new(GridDims::new2d(6, 6), BgkParams::from_tau(0.8))
-            .with_mode(ExecMode::Optimized);
+        let mut s = Solver::<D2Q9>::builder(GridDims::new2d(6, 6), BgkParams::from_tau(0.8))
+            .mode(ExecMode::Optimized)
+            .build();
         s.flags_mut().set_box_walls();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.run(3); // must not panic
@@ -305,7 +448,8 @@ mod tests {
 
     #[test]
     fn mass_is_conserved_in_sealed_cavity() {
-        let mut s = Solver::<D2Q9>::new(GridDims::new2d(12, 12), BgkParams::from_tau(0.9));
+        let mut s =
+            Solver::<D2Q9>::builder(GridDims::new2d(12, 12), BgkParams::from_tau(0.9)).build();
         s.flags_mut().set_box_walls();
         s.flags_mut().paint_lid([0.08, 0.0, 0.0]);
         s.initialize_uniform(1.0, [0.0; 3]);
@@ -318,13 +462,14 @@ mod tests {
     #[test]
     fn run_checked_reports_divergence() {
         // Force instability: tau barely above 0.5 with a violent lid.
-        let mut s = Solver::<D2Q9>::new(GridDims::new2d(16, 16), BgkParams::from_tau(0.501));
+        let mut s =
+            Solver::<D2Q9>::builder(GridDims::new2d(16, 16), BgkParams::from_tau(0.501)).build();
         s.flags_mut().set_box_walls();
         s.flags_mut().paint_lid([0.8, 0.0, 0.0]); // wildly super-stable limit
         s.initialize_uniform(1.0, [0.0; 3]);
         let r = s.run_checked(2000, 10);
         match r {
-            Err(CoreError::Diverged { step }) => assert!(step > 0),
+            Err(SwlbError::Diverged { step }) => assert!(step > 0),
             Ok(()) => {
                 // Some parameter sets survive; the stats must then be finite.
                 assert!(!s.macroscopic().has_non_finite());
@@ -336,8 +481,9 @@ mod tests {
     #[test]
     fn flags_mut_invalidates_fast_path_mask() {
         let dims = GridDims::new(6, 6, 6);
-        let mut s = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.8))
-            .with_mode(ExecMode::Optimized);
+        let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.8))
+            .mode(ExecMode::Optimized)
+            .build();
         s.flags_mut().set_box_walls();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.run(2);
@@ -354,7 +500,9 @@ mod tests {
         let dims = GridDims::new(6, 6, 6);
         let tau = 0.8;
         let run = |coll: CollisionKind| {
-            let mut s = Solver::<D3Q19>::new(dims, BgkParams::from_tau(tau)).with_collision(coll);
+            let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(tau))
+                .collision(coll)
+                .build();
             s.flags_mut().set_box_walls();
             s.flags_mut().paint_lid([0.04, 0.0, 0.0]);
             s.initialize_uniform(1.0, [0.0; 3]);
@@ -377,9 +525,10 @@ mod tests {
     fn parallel_solver_handles_nebb_boundaries() {
         let dims = GridDims::new(10, 8, 3);
         let make = |mode: ExecMode| {
-            let mut s = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.9))
-                .with_mode(mode)
-                .with_pool(ThreadPool::new(3));
+            let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.9))
+                .mode(mode)
+                .pool(ThreadPool::new(3))
+                .build();
             s.flags_mut().paint_channel_walls_y();
             s.flags_mut().paint_nebb_inflow_outflow_x([0.03, 0.0, 0.0], 1.0);
             s.initialize_uniform(1.0, [0.03, 0.0, 0.0]);
@@ -407,9 +556,9 @@ mod tests {
         let dims = GridDims::new2d(6, 6);
         let params = BgkParams::from_tau(0.8);
         let fx = 1e-4;
-        let mut s = Solver::<D2Q9>::new(dims, params).with_collision(
-            CollisionKind::BgkForced { params, force: [fx, 0.0, 0.0] },
-        );
+        let mut s = Solver::<D2Q9>::builder(dims, params)
+            .collision(CollisionKind::BgkForced { params, force: [fx, 0.0, 0.0] })
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         let flags = s.flags().clone();
         s.run(10);
@@ -424,11 +573,33 @@ mod tests {
 
     #[test]
     fn mlups_accounting() {
-        let mut s = Solver::<D2Q9>::new(GridDims::new2d(10, 10), BgkParams::from_tau(0.8));
+        let mut s =
+            Solver::<D2Q9>::builder(GridDims::new2d(10, 10), BgkParams::from_tau(0.8)).build();
         s.flags_mut().set_box_walls();
         let fluid = s.active_cells();
         assert_eq!(fluid, 8 * 8);
         assert!((s.mlups(1.0) - fluid as f64 / 1e6).abs() < 1e-12);
         assert_eq!(s.mlups(0.0), 0.0);
+    }
+
+    #[test]
+    fn recorder_observes_steps_phases_and_mlups() {
+        let rec = Recorder::enabled();
+        let (sink, log) = MemorySink::new();
+        rec.add_sink(Box::new(sink));
+        rec.set_flush_every(4);
+        let mut s = Solver::<D2Q9>::builder(GridDims::new2d(16, 16), BgkParams::from_tau(0.8))
+            .recorder(rec.clone())
+            .build();
+        s.flags_mut().set_box_walls();
+        s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.run(8);
+        let snap = rec.snapshot(8).unwrap();
+        assert_eq!(snap.counter("steps"), Some(8));
+        assert!(snap.phase_ns(Phase::CollideStream) > 0, "phase timer must accumulate");
+        assert!(snap.gauge("mlups").unwrap() > 0.0, "MLUPS gauge must be set");
+        // Auto-flush fired at steps 4 and 8.
+        assert_eq!(log.lock().unwrap().len(), 2);
     }
 }

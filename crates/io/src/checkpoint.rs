@@ -49,6 +49,15 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+impl From<CheckpointError> for swlb_obs::SwlbError {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(e) => swlb_obs::SwlbError::Io(e.to_string()),
+            CheckpointError::Corrupt(m) => swlb_obs::SwlbError::CorruptData(m),
+        }
+    }
+}
+
 /// An in-memory checkpoint of solver state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -204,6 +213,7 @@ pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError>
 pub struct CheckpointStore {
     dir: std::path::PathBuf,
     retain: usize,
+    recorder: swlb_obs::Recorder,
 }
 
 impl CheckpointStore {
@@ -213,7 +223,14 @@ impl CheckpointStore {
         assert!(retain >= 1, "retention must keep at least one checkpoint");
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore { dir, retain })
+        Ok(CheckpointStore { dir, retain, recorder: swlb_obs::Recorder::disabled() })
+    }
+
+    /// Report save traffic (`checkpoint.saves`, `checkpoint.bytes_written`,
+    /// `checkpoint.fsync_ns`) into `recorder`.
+    pub fn with_recorder(mut self, recorder: swlb_obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The directory checkpoints live in.
@@ -240,7 +257,13 @@ impl CheckpointStore {
         {
             let mut f = std::fs::File::create(&tmp_path)?;
             write_checkpoint(&mut f, ck)?;
+            let t_sync = self.recorder.now();
             f.sync_all()?;
+            if let Some(t) = t_sync {
+                self.recorder
+                    .counter("checkpoint.fsync_ns")
+                    .add(t.elapsed().as_nanos() as u64);
+            }
         }
         std::fs::rename(&tmp_path, &final_path)?;
         // Best-effort directory fsync so the rename itself is durable.
@@ -248,6 +271,11 @@ impl CheckpointStore {
             let _ = d.sync_all();
         }
         self.prune()?;
+        // Header (44 B) + payload + trailing CRC (4 B) — the on-disk footprint.
+        self.recorder
+            .counter("checkpoint.bytes_written")
+            .add(48 + ck.data.len() as u64 * 8);
+        self.recorder.counter("checkpoint.saves").inc();
         Ok(final_path)
     }
 

@@ -30,4 +30,4 @@ pub use primitives::{box_mask, cylinder_z_mask, sphere_mask, suboff_mask, Suboff
 pub use stl::{read_stl, read_stl_bytes, write_stl_ascii, write_stl_binary, StlError, Triangle};
 pub use terrain::Heightmap;
 pub use urban::{UrbanParams, UrbanScene};
-pub use voxel::voxelize;
+pub use voxel::{voxelize, voxelize_instrumented};

@@ -12,20 +12,40 @@
 
 use crate::stl::Triangle;
 use swlb_core::geometry::GridDims;
+use swlb_obs::Recorder;
 
 /// Map a triangle mesh onto a lattice mask (`true` = solid).
 ///
 /// `origin` is the physical position of cell `(0,0,0)`'s center and `dx` the
 /// cell pitch; the mesh is in the same physical units.
 pub fn voxelize(dims: GridDims, origin: [f32; 3], dx: f32, tris: &[Triangle]) -> Vec<bool> {
+    voxelize_instrumented(dims, origin, dx, tris, &Recorder::disabled())
+}
+
+/// [`voxelize`] with pre-processing metrics reported through `recorder`:
+/// `voxelize.ns` (wall time), `voxelize.columns_hit` (columns with at least
+/// one crossing), `voxelize.ray_tests` (AABB-surviving ray/triangle tests)
+/// and `voxelize.solid_cells`. Statistics accumulate in locals and post once
+/// at the end, so the inner loops carry no atomics even when enabled.
+pub fn voxelize_instrumented(
+    dims: GridDims,
+    origin: [f32; 3],
+    dx: f32,
+    tris: &[Triangle],
+    recorder: &Recorder,
+) -> Vec<bool> {
     assert!(dx > 0.0, "cell pitch must be positive");
+    let t0 = recorder.now();
     let mut mask = vec![false; dims.cells()];
-    if tris.is_empty() {
-        return mask;
-    }
+    let mut columns_hit = 0u64;
+    let mut ray_tests = 0u64;
+    let mut solid_cells = 0u64;
 
     // Per-column signed crossings (z, facet orientation).
     for y in 0..dims.ny {
+        if tris.is_empty() {
+            break;
+        }
         let py = origin[1] + y as f32 * dx;
         for x in 0..dims.nx {
             let px = origin[0] + x as f32 * dx;
@@ -35,6 +55,7 @@ pub fn voxelize(dims: GridDims, origin: [f32; 3], dx: f32, tris: &[Triangle]) ->
                 if px < lo[0] || px > hi[0] || py < lo[1] || py > hi[1] {
                     continue;
                 }
+                ray_tests += 1;
                 if let Some(hit) = ray_z_intersection(t, px, py) {
                     crossings.push(hit);
                 }
@@ -42,6 +63,7 @@ pub fn voxelize(dims: GridDims, origin: [f32; 3], dx: f32, tris: &[Triangle]) ->
             if crossings.is_empty() {
                 continue;
             }
+            columns_hit += 1;
             crossings.sort_by(|a, b| {
                 a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
             });
@@ -58,9 +80,16 @@ pub fn voxelize(dims: GridDims, origin: [f32; 3], dx: f32, tris: &[Triangle]) ->
                     .sum();
                 if winding != 0 {
                     mask[dims.idx(x, y, z)] = true;
+                    solid_cells += 1;
                 }
             }
         }
+    }
+    if let Some(t0) = t0 {
+        recorder.counter("voxelize.ns").add(t0.elapsed().as_nanos() as u64);
+        recorder.counter("voxelize.columns_hit").add(columns_hit);
+        recorder.counter("voxelize.ray_tests").add(ray_tests);
+        recorder.counter("voxelize.solid_cells").add(solid_cells);
     }
     mask
 }
@@ -146,6 +175,25 @@ mod tests {
         let dims = GridDims::new(4, 4, 4);
         let mask = voxelize(dims, [0.0; 3], 1.0, &tris);
         assert!(mask.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn instrumented_voxelize_reports_counters_and_matches_plain() {
+        let tris = cube_triangles([2.0, 2.0, 2.0], [6.0, 6.0, 6.0]);
+        let dims = GridDims::new(8, 8, 8);
+        let plain = voxelize(dims, [0.5; 3], 1.0, &tris);
+
+        let rec = Recorder::enabled();
+        let instrumented = voxelize_instrumented(dims, [0.5; 3], 1.0, &tris, &rec);
+        assert_eq!(plain, instrumented, "instrumentation must not change the mask");
+
+        let snap = rec.snapshot(0).unwrap();
+        let solid = plain.iter().filter(|&&s| s).count() as u64;
+        assert_eq!(snap.counter("voxelize.solid_cells"), Some(solid));
+        // The cube covers a 4×4 block of columns.
+        assert_eq!(snap.counter("voxelize.columns_hit"), Some(16));
+        assert!(snap.counter("voxelize.ray_tests").unwrap() >= 16);
+        assert!(snap.counter("voxelize.ns").unwrap() > 0);
     }
 
     #[test]

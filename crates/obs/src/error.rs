@@ -1,0 +1,168 @@
+//! The workspace-wide error type.
+//!
+//! Every layer of the stack used to surface its own error enum — `CoreError`
+//! in `swlb-core`, `CommError` in `swlb-comm`, `CheckpointError` in `swlb-io`,
+//! `SimError` in `swlb-sim` — which forced callers driving a full distributed
+//! run to juggle four `Result` flavours. [`SwlbError`] unifies them: it lives
+//! in this zero-dependency crate (the one everything else depends on), and the
+//! producing crates provide `From` conversions for their local error types, so
+//! `?` works across layer boundaries and `run_checked`,
+//! `DistributedSolver::run` and `run_with_recovery` all return one type.
+//!
+//! Variants keep the structured payloads recovery logic matches on (attempt
+//! counts, rank/tag pairs, restart budgets) rather than collapsing everything
+//! to strings.
+
+use std::fmt;
+
+/// Result alias over the workspace error.
+pub type SwlbResult<T> = std::result::Result<T, SwlbError>;
+
+/// Unified error for the whole SunwayLB-RS workspace.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SwlbError {
+    /// A grid dimension was zero or inconsistent with the lattice.
+    InvalidDims(String),
+    /// A relaxation parameter was outside the linear-stability range.
+    InvalidRelaxation(String),
+    /// A per-cell field of the wrong length was supplied.
+    LengthMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the grid requires.
+        expected: usize,
+    },
+    /// The simulation blew up (NaN/Inf in the populations).
+    Diverged {
+        /// Time step at which divergence was first observed.
+        step: u64,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+    /// Destination or source rank out of range.
+    RankOutOfRange {
+        /// Offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A user tag collided with the communicator's reserved range.
+    ReservedTag(u64),
+    /// The peer ranks have all exited; the message can never arrive.
+    Disconnected,
+    /// A receive deadline expired with no matching message.
+    CommTimeout {
+        /// Peer rank the receive was matching.
+        rank: usize,
+        /// Tag the receive was matching.
+        tag: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A message arrived but failed its integrity check.
+    CommCorrupt {
+        /// Peer rank the message came from.
+        rank: usize,
+        /// Tag the message carried.
+        tag: u64,
+    },
+    /// Filesystem / stream I/O failure (message-only: `io::Error` is neither
+    /// `Clone` nor `PartialEq`).
+    Io(String),
+    /// Stored data failed validation (bad magic, CRC, framing, length).
+    CorruptData(String),
+    /// A peer rank reported failure in the status reduction while this rank
+    /// was healthy.
+    PeerFault {
+        /// Step at which the peer's failure was agreed.
+        step: u64,
+    },
+    /// The rollback-restart budget ran out; `last` is the fault that
+    /// exhausted it.
+    RestartsExhausted {
+        /// Restarts performed before giving up.
+        restarts: u32,
+        /// The final triggering fault.
+        last: Box<SwlbError>,
+    },
+    /// Rollback was required but no valid checkpoint could be loaded.
+    NoValidCheckpoint,
+}
+
+impl fmt::Display for SwlbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwlbError::InvalidDims(msg) => write!(f, "invalid grid dimensions: {msg}"),
+            SwlbError::InvalidRelaxation(msg) => write!(f, "invalid relaxation: {msg}"),
+            SwlbError::LengthMismatch { got, expected } => {
+                write!(f, "field length mismatch: got {got}, expected {expected}")
+            }
+            SwlbError::Diverged { step } => {
+                write!(f, "simulation diverged (NaN/Inf) at step {step}")
+            }
+            SwlbError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SwlbError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            SwlbError::ReservedTag(t) => write!(f, "tag {t} lies in the reserved range"),
+            SwlbError::Disconnected => write!(f, "all peers disconnected"),
+            SwlbError::CommTimeout { rank, tag, attempts } => write!(
+                f,
+                "receive from rank {rank} tag {tag} timed out after {attempts} attempt(s)"
+            ),
+            SwlbError::CommCorrupt { rank, tag } => {
+                write!(f, "message from rank {rank} tag {tag} failed its integrity check")
+            }
+            SwlbError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SwlbError::CorruptData(msg) => write!(f, "corrupt data: {msg}"),
+            SwlbError::PeerFault { step } => write!(f, "peer rank failed at step {step}"),
+            SwlbError::RestartsExhausted { restarts, last } => {
+                write!(f, "gave up after {restarts} restart(s); last fault: {last}")
+            }
+            SwlbError::NoValidCheckpoint => write!(f, "no valid checkpoint to roll back to"),
+        }
+    }
+}
+
+impl std::error::Error for SwlbError {}
+
+impl From<std::io::Error> for SwlbError {
+    fn from(e: std::io::Error) -> Self {
+        SwlbError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_structured_payloads_readable() {
+        let e = SwlbError::CommTimeout { rank: 3, tag: 7, attempts: 4 };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("tag 7") && s.contains("4 attempt"));
+        let e = SwlbError::RestartsExhausted {
+            restarts: 2,
+            last: Box::new(SwlbError::Diverged { step: 99 }),
+        };
+        assert!(e.to_string().contains("2 restart(s)"));
+        assert!(e.to_string().contains("step 99"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = SwlbError::PeerFault { step: 5 };
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, SwlbError::NoValidCheckpoint);
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        match SwlbError::from(io) {
+            SwlbError::Io(m) => assert!(m.contains("missing")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

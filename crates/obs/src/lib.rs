@@ -1,0 +1,34 @@
+//! # swlb-obs — observability substrate
+//!
+//! SunwayLB's performance story (kernel-fusion speedups, MLUPS rooflines,
+//! weak/strong scaling) is reproduced analytically by `swlb-arch`; this crate
+//! is the *measurement* side of that loop: a zero-dependency metrics/tracing
+//! facade the live solvers are instrumented against, so measured per-phase
+//! timings can be diffed against the modeled ones (see
+//! `docs/OBSERVABILITY.md`).
+//!
+//! Pieces:
+//!
+//! * [`Recorder`] — the facade. Enabled recorders share atomic metric storage
+//!   across clones; the disabled recorder (the default everywhere) compiles to
+//!   no-ops: no clock reads, no allocation, no atomics.
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — cacheable handles for hot paths.
+//! * [`Phase`] — the fixed per-step phase taxonomy (`collide_stream`,
+//!   `halo_pack` / `halo_exchange` / `halo_unpack`, `boundary`, `checkpoint`,
+//!   `rollback`) timed by [`Recorder::phase`] guards.
+//! * [`JsonlSink`] / [`SummarySink`] — the two export formats (`metrics.jsonl`
+//!   records and periodic human-readable digests).
+//! * [`SwlbError`] — the workspace-unified error type (see [`error`]).
+//!
+//! This crate deliberately depends on nothing (not even the workspace shims)
+//! so every other crate — including `swlb-core` — can depend on it.
+
+pub mod error;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+
+pub use error::{SwlbError, SwlbResult};
+pub use metrics::{exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use recorder::{Phase, PhaseGuard, PhaseSnapshot, Recorder, Snapshot, PHASES, PHASE_COUNT};
+pub use sink::{JsonlSink, MemorySink, Sink, SummarySink};

@@ -1,0 +1,245 @@
+//! Metric primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! All three are cheap cloneable handles around atomics, safe to update from
+//! any thread without locking. A handle obtained from a *disabled*
+//! [`Recorder`](crate::Recorder) carries no storage at all: every operation is
+//! a no-op that the optimizer removes, so instrumented hot paths cost nothing
+//! when observability is off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op counter (what a disabled recorder hands out).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op counter).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins `f64` gauge (bits stored in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a no-op gauge).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared storage of a histogram: bucket upper bounds plus counts, a running
+/// sum, and the observation count.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Upper bounds (inclusive) of the finite buckets, strictly increasing.
+    pub(crate) bounds: Vec<f64>,
+    /// One count per finite bucket plus a final overflow bucket.
+    pub(crate) counts: Vec<AtomicU64>,
+    /// Sum of all observed values (f64 bits, CAS-accumulated).
+    pub(crate) sum_bits: AtomicU64,
+    /// Number of observations.
+    pub(crate) count: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A no-op histogram.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Point-in-time copy of the bucket state (empty for a no-op handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map(|h| h.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one longer than `bounds` (last entry = overflow).
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// `n` exponentially spaced bucket bounds starting at `start`, each `factor`
+/// times the previous — the usual shape for latency histograms.
+pub fn exponential_buckets(start: f64, factor: f64, n: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && n > 0, "degenerate bucket spec");
+    let mut out = Vec::with_capacity(n);
+    let mut b = start;
+    for _ in 0..n {
+        out.push(b);
+        b *= factor;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let c = Counter(Some(Arc::new(AtomicU64::new(0))));
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 6, "clones share storage");
+        let noop = Counter::noop();
+        noop.inc();
+        assert_eq!(noop.get(), 0);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let g = Gauge(Some(Arc::new(AtomicU64::new(0))));
+        g.set(1.5);
+        g.set(-3.25);
+        assert_eq!(g.get(), -3.25);
+        Gauge::noop().set(9.0); // must not panic, must not store
+        assert_eq!(Gauge::noop().get(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let h = Histogram(Some(Arc::new(HistogramCore::new(&[1.0, 10.0, 100.0]))));
+        for v in [0.5, 1.0, 5.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // <=1: {0.5, 1.0}; <=10: {5.0}; <=100: {50.0}; overflow: {500.0}.
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 556.5).abs() < 1e-12);
+        assert!((s.mean() - 111.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_buckets_grow_geometrically() {
+        assert_eq!(exponential_buckets(1.0, 10.0, 4), vec![1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        HistogramCore::new(&[5.0, 1.0]);
+    }
+}

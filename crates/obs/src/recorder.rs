@@ -1,0 +1,581 @@
+//! The [`Recorder`]: the facade hot paths are instrumented against.
+//!
+//! A recorder is either *enabled* (an `Arc` around shared metric storage) or
+//! *disabled* (`None`). Disabled is the default everywhere in the workspace:
+//! every operation short-circuits on one branch, takes no clock reading,
+//! performs no allocation and touches no atomic — the instrumented solver
+//! path costs nothing when observability is off (asserted by the
+//! zero-allocation test in `tests/obs_integration.rs`).
+//!
+//! Hot paths cache the handles ([`Counter`], [`Gauge`], [`Histogram`]) once at
+//! construction; per-step work is then a handful of relaxed atomic operations
+//! plus, for phase timing, two monotonic clock reads.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCore, HistogramSnapshot};
+use crate::sink::Sink;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The fixed solver phases the per-step timer distinguishes.
+///
+/// These mirror the decomposition the paper's performance model uses
+/// (compute vs. halo exchange vs. I/O): measured per-phase nanoseconds are
+/// directly comparable against the `swlb-arch` analytic stage times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Fused streaming + collision over owned cells.
+    CollideStream,
+    /// Packing halo strips into send buffers (incl. framing + send).
+    HaloPack,
+    /// Waiting for / receiving halo frames from neighbors.
+    HaloExchange,
+    /// Scattering received halo payloads into the ring.
+    HaloUnpack,
+    /// Boundary-ring computation of the overlapped schedule.
+    Boundary,
+    /// Checkpoint capture + write.
+    Checkpoint,
+    /// Rollback: load, broadcast, re-scatter.
+    Rollback,
+}
+
+/// Number of distinct [`Phase`] values.
+pub const PHASE_COUNT: usize = 7;
+
+/// All phases, in stable (export) order.
+pub const PHASES: [Phase; PHASE_COUNT] = [
+    Phase::CollideStream,
+    Phase::HaloPack,
+    Phase::HaloExchange,
+    Phase::HaloUnpack,
+    Phase::Boundary,
+    Phase::Checkpoint,
+    Phase::Rollback,
+];
+
+impl Phase {
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::CollideStream => "collide_stream",
+            Phase::HaloPack => "halo_pack",
+            Phase::HaloExchange => "halo_exchange",
+            Phase::HaloUnpack => "halo_unpack",
+            Phase::Boundary => "boundary",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Rollback => "rollback",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::CollideStream => 0,
+            Phase::HaloPack => 1,
+            Phase::HaloExchange => 2,
+            Phase::HaloUnpack => 3,
+            Phase::Boundary => 4,
+            Phase::Checkpoint => 5,
+            Phase::Rollback => 6,
+        }
+    }
+}
+
+#[derive(Default)]
+struct PhaseCell {
+    total_ns: AtomicU64,
+    calls: AtomicU64,
+}
+
+struct Inner {
+    start: Instant,
+    phases: [PhaseCell; PHASE_COUNT],
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    /// Auto-flush period in steps (0 = manual flushing only).
+    flush_every: AtomicU64,
+}
+
+/// Cheap cloneable handle to (possibly absent) metric storage.
+///
+/// Clones share storage: a solver, its recovery driver and its checkpoint
+/// store can all hold the same recorder and contribute to one export stream.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Recorder(disabled)"),
+            Some(i) => write!(
+                f,
+                "Recorder(enabled, {} counters, {} gauges, {} histograms)",
+                i.counters.lock().unwrap().len(),
+                i.gauges.lock().unwrap().len(),
+                i.histograms.lock().unwrap().len(),
+            ),
+        }
+    }
+}
+
+/// RAII phase timer: started by [`Recorder::phase`], records elapsed
+/// nanoseconds on drop. Inert (no clock read) for a disabled recorder.
+pub struct PhaseGuard<'a> {
+    state: Option<(&'a Inner, Phase, Instant)>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((inner, phase, t0)) = self.state.take() {
+            let cell = &inner.phases[phase.index()];
+            cell.total_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            cell.calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with empty metric storage and no sinks.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                phases: Default::default(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                sinks: Mutex::new(Vec::new()),
+                flush_every: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// The no-op recorder (also what [`Recorder::default`] returns).
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder stores anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A clock reading, or `None` when disabled — the pattern for timing a
+    /// region whose elapsed value is also needed (e.g. the MLUPS gauge):
+    ///
+    /// ```
+    /// # use swlb_obs::{Recorder, Phase};
+    /// # let rec = Recorder::enabled();
+    /// if let Some(t0) = rec.now() {
+    ///     /* ... hot region ... */
+    ///     let ns = t0.elapsed().as_nanos() as u64;
+    ///     rec.record_phase_ns(Phase::CollideStream, ns);
+    /// }
+    /// ```
+    #[inline]
+    pub fn now(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Start an RAII timer for `phase`.
+    #[inline]
+    pub fn phase(&self, phase: Phase) -> PhaseGuard<'_> {
+        PhaseGuard {
+            state: self.inner.as_deref().map(|i| (i, phase, Instant::now())),
+        }
+    }
+
+    /// Directly credit `ns` nanoseconds (one call) to `phase`.
+    #[inline]
+    pub fn record_phase_ns(&self, phase: Phase, ns: u64) {
+        if let Some(i) = &self.inner {
+            let cell = &i.phases[phase.index()];
+            cell.total_ns.fetch_add(ns, Ordering::Relaxed);
+            cell.calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total nanoseconds credited to `phase` so far.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.phases[phase.index()].total_ns.load(Ordering::Relaxed))
+    }
+
+    /// Register (or fetch) the counter `name`. Handles are stable: all callers
+    /// asking for the same name share storage.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(i) => {
+                let mut map = i.counters.lock().unwrap();
+                Counter(Some(
+                    map.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                        .clone(),
+                ))
+            }
+        }
+    }
+
+    /// Register (or fetch) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::noop(),
+            Some(i) => {
+                let mut map = i.gauges.lock().unwrap();
+                Gauge(Some(
+                    map.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits())))
+                        .clone(),
+                ))
+            }
+        }
+    }
+
+    /// Register (or fetch) the histogram `name` with the given finite bucket
+    /// upper bounds (an overflow bucket is added automatically). The bounds of
+    /// the first registration win.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        match &self.inner {
+            None => Histogram::noop(),
+            Some(i) => {
+                let mut map = i.histograms.lock().unwrap();
+                Histogram(Some(
+                    map.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(HistogramCore::new(bounds)))
+                        .clone(),
+                ))
+            }
+        }
+    }
+
+    /// Attach a sink; it receives every subsequent flush.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        if let Some(i) = &self.inner {
+            i.sinks.lock().unwrap().push(sink);
+        }
+    }
+
+    /// Auto-flush every `steps` completed steps (0 disables auto-flush).
+    pub fn set_flush_every(&self, steps: u64) {
+        if let Some(i) = &self.inner {
+            i.flush_every.store(steps, Ordering::Relaxed);
+        }
+    }
+
+    /// Called by step loops: flushes when `step` crosses the auto-flush
+    /// period. One relaxed load when enabled; a no-op when disabled.
+    #[inline]
+    pub fn maybe_flush(&self, step: u64) {
+        if let Some(i) = &self.inner {
+            let every = i.flush_every.load(Ordering::Relaxed);
+            if every != 0 && step.is_multiple_of(every) {
+                self.flush(step);
+            }
+        }
+    }
+
+    /// Snapshot all metrics and hand the snapshot to every sink.
+    pub fn flush(&self, step: u64) {
+        if let Some(snap) = self.snapshot(step) {
+            if let Some(i) = &self.inner {
+                for sink in i.sinks.lock().unwrap().iter_mut() {
+                    sink.record(&snap);
+                }
+            }
+        }
+    }
+
+    /// Point-in-time copy of every metric (`None` when disabled).
+    pub fn snapshot(&self, step: u64) -> Option<Snapshot> {
+        let i = self.inner.as_ref()?;
+        Some(Snapshot {
+            step,
+            wall_s: i.start.elapsed().as_secs_f64(),
+            phases: PHASES
+                .iter()
+                .map(|p| {
+                    let cell = &i.phases[p.index()];
+                    PhaseSnapshot {
+                        name: p.name(),
+                        total_ns: cell.total_ns.load(Ordering::Relaxed),
+                        calls: cell.calls.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+            counters: i
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: i
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: i
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        })
+    }
+}
+
+/// One phase's accumulated time in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Stable phase name (see [`Phase::name`]).
+    pub name: &'static str,
+    /// Total nanoseconds credited.
+    pub total_ns: u64,
+    /// Number of credited intervals.
+    pub calls: u64,
+}
+
+/// Point-in-time copy of every metric a recorder holds; what sinks consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Step count supplied by the flusher.
+    pub step: u64,
+    /// Seconds since the recorder was created.
+    pub wall_s: f64,
+    /// Per-phase accumulated time, in [`PHASES`] order.
+    pub phases: Vec<PhaseSnapshot>,
+    /// Counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Total nanoseconds credited to the named phase.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.phases
+            .iter()
+            .find(|p| p.name == phase.name())
+            .map_or(0, |p| p.total_ns)
+    }
+
+    /// Serialize as one JSON line (the `metrics.jsonl` record format — see
+    /// `docs/OBSERVABILITY.md` for the schema).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"step\":{},\"wall_s\":{}",
+            self.step,
+            fmt_f64(self.wall_s)
+        ));
+        s.push_str(",\"phases\":{");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"ns\":{},\"calls\":{}}}",
+                p.name, p.total_ns, p.calls
+            ));
+        }
+        s.push_str("},\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{v}", json_string(k)));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{}", json_string(k), fmt_f64(*v)));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{{\"bounds\":[", json_string(k)));
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&fmt_f64(*b));
+            }
+            s.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&c.to_string());
+            }
+            s.push_str(&format!("],\"sum\":{},\"count\":{}}}", fmt_f64(h.sum), h.count));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// JSON-format a finite f64 (JSON has no NaN/Inf; clamp those to null).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".into();
+    }
+    // `{}` on f64 always produces a valid JSON number (e.g. "0", "1.5").
+    format!("{v}")
+}
+
+/// Minimal JSON string escaping for metric names.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        assert!(rec.now().is_none());
+        rec.counter("x").inc();
+        rec.gauge("y").set(3.0);
+        rec.histogram("z", &[1.0]).record(0.5);
+        rec.record_phase_ns(Phase::CollideStream, 100);
+        drop(rec.phase(Phase::Boundary));
+        rec.flush(10);
+        assert!(rec.snapshot(10).is_none());
+        assert_eq!(rec.phase_ns(Phase::CollideStream), 0);
+    }
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let rec = Recorder::enabled();
+        let a = rec.counter("halo.retries");
+        let b = rec.counter("halo.retries");
+        a.add(2);
+        b.inc();
+        assert_eq!(rec.counter("halo.retries").get(), 3);
+    }
+
+    #[test]
+    fn phase_guard_accumulates_time_and_calls() {
+        let rec = Recorder::enabled();
+        for _ in 0..3 {
+            let _g = rec.phase(Phase::HaloExchange);
+            std::hint::black_box(17u64);
+        }
+        let snap = rec.snapshot(1).unwrap();
+        let p = snap.phases.iter().find(|p| p.name == "halo_exchange").unwrap();
+        assert_eq!(p.calls, 3);
+        rec.record_phase_ns(Phase::HaloExchange, 1_000_000);
+        assert!(rec.phase_ns(Phase::HaloExchange) >= 1_000_000);
+    }
+
+    #[test]
+    fn auto_flush_fires_on_period() {
+        let rec = Recorder::enabled();
+        let (sink, log) = MemorySink::new();
+        rec.add_sink(Box::new(sink));
+        rec.set_flush_every(5);
+        for step in 1..=12u64 {
+            rec.maybe_flush(step);
+        }
+        let log = log.lock().unwrap();
+        let steps: Vec<u64> = log.iter().map(|s| s.step).collect();
+        assert_eq!(steps, vec![5, 10]);
+    }
+
+    #[test]
+    fn jsonl_schema_snapshot() {
+        // A hand-built snapshot pins the exact export schema; the integration
+        // suite checks real runs against the same shape.
+        let snap = Snapshot {
+            step: 40,
+            wall_s: 1.5,
+            phases: vec![PhaseSnapshot { name: "collide_stream", total_ns: 900, calls: 40 }],
+            counters: vec![("halo.retries".into(), 2)],
+            gauges: vec![("mlups".into(), 12.5)],
+            histograms: vec![(
+                "halo.latency_us".into(),
+                HistogramSnapshot {
+                    bounds: vec![10.0, 100.0],
+                    counts: vec![3, 1, 0],
+                    sum: 75.0,
+                    count: 4,
+                },
+            )],
+        };
+        assert_eq!(
+            snap.to_jsonl(),
+            "{\"step\":40,\"wall_s\":1.5,\
+             \"phases\":{\"collide_stream\":{\"ns\":900,\"calls\":40}},\
+             \"counters\":{\"halo.retries\":2},\
+             \"gauges\":{\"mlups\":12.5},\
+             \"histograms\":{\"halo.latency_us\":{\"bounds\":[10,100],\
+             \"counts\":[3,1,0],\"sum\":75,\"count\":4}}}"
+        );
+    }
+
+    #[test]
+    fn snapshot_lookups() {
+        let rec = Recorder::enabled();
+        rec.counter("a").add(7);
+        rec.gauge("b").set(2.5);
+        let snap = rec.snapshot(3).unwrap();
+        assert_eq!(snap.counter("a"), Some(7));
+        assert_eq!(snap.gauge("b"), Some(2.5));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.phase_ns(Phase::Rollback), 0);
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+}

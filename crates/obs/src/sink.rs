@@ -1,0 +1,123 @@
+//! Metric sinks: where flushed [`Snapshot`]s go.
+//!
+//! Two production sinks — a human-readable periodic summary and a JSONL
+//! exporter — plus an in-memory sink for tests and exit summaries.
+
+use crate::recorder::Snapshot;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Consumes flushed snapshots. Implementations run under the recorder's sink
+/// lock, so they may keep mutable state without further synchronization.
+pub trait Sink: Send {
+    /// Handle one flushed snapshot.
+    fn record(&mut self, snap: &Snapshot);
+}
+
+/// Appends one JSON line per flush to a file (the `metrics.jsonl` format;
+/// schema in `docs/OBSERVABILITY.md`).
+pub struct JsonlSink {
+    w: BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink {
+            w: BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, snap: &Snapshot) {
+        // Metric export must never take the simulation down: swallow I/O
+        // errors after reporting them once per flush.
+        if let Err(e) = writeln!(self.w, "{}", snap.to_jsonl()).and_then(|()| self.w.flush()) {
+            eprintln!("[obs] metrics export failed: {e}");
+        }
+    }
+}
+
+/// Prints a one-line human-readable digest of each flush to stderr.
+pub struct SummarySink;
+
+impl Sink for SummarySink {
+    fn record(&mut self, snap: &Snapshot) {
+        let mut line = format!("[obs] step {:>8}  wall {:>8.2}s", snap.step, snap.wall_s);
+        if let Some(mlups) = snap.gauge("mlups") {
+            line.push_str(&format!("  {mlups:>8.1} MLUPS"));
+        }
+        for p in &snap.phases {
+            if p.calls > 0 {
+                line.push_str(&format!(
+                    "  {} {:.3}s/{}",
+                    p.name,
+                    p.total_ns as f64 / 1e9,
+                    p.calls
+                ));
+            }
+        }
+        for (name, v) in &snap.counters {
+            if *v > 0 {
+                line.push_str(&format!("  {name}={v}"));
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Collects snapshots into a shared vector — for tests and exit summaries.
+pub struct MemorySink {
+    log: Arc<Mutex<Vec<Snapshot>>>,
+}
+
+impl MemorySink {
+    /// New sink plus the shared handle its snapshots land in.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> (Self, Arc<Mutex<Vec<Snapshot>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        (MemorySink { log: log.clone() }, log)
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, snap: &Snapshot) {
+        self.log.lock().unwrap().push(snap.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_flush() {
+        let path = std::env::temp_dir().join(format!("swlb-obs-sink-{}.jsonl", std::process::id()));
+        let rec = Recorder::enabled();
+        rec.counter("steps").add(10);
+        rec.add_sink(Box::new(JsonlSink::create(&path).unwrap()));
+        rec.flush(10);
+        rec.counter("steps").add(10);
+        rec.flush(20);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"step\":10,"));
+        assert!(lines[1].starts_with("{\"step\":20,"));
+        assert!(lines[1].contains("\"steps\":20"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let rec = Recorder::enabled();
+        let (sink, log) = MemorySink::new();
+        rec.add_sink(Box::new(sink));
+        rec.flush(1);
+        rec.flush(2);
+        assert_eq!(log.lock().unwrap().len(), 2);
+    }
+}

@@ -6,34 +6,103 @@
 //! (PPM slice, VTK volume, probe CSV) in the working directory.
 //!
 //! ```text
-//! swlb <cavity|channel|cylinder|taylor-green> [config-file]
+//! swlb <cavity|channel|cylinder|taylor-green> [config-file] [flags]
 //! swlb cavity                      # defaults
 //! swlb cylinder my_cylinder.cfg    # with overrides (nx, ny, tau, steps, ...)
+//! swlb cavity --metrics metrics.jsonl --metrics-every 50
 //! ```
+//!
+//! Flags:
+//!
+//! * `--metrics <path>` — enable the observability recorder and stream JSONL
+//!   snapshots (step, wall time, per-phase ns, MLUPS, fault counters) to
+//!   `<path>`; see `docs/OBSERVABILITY.md` for the schema.
+//! * `--metrics-every <steps>` — snapshot cadence (default 100).
+//! * `--quiet` — suppress progress chatter; the final summary line and the
+//!   preflight verdict still print.
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 use swlb_core::post::vorticity_z;
 use swlb_core::prelude::*;
-use swlb_core::solver::ExecMode;
 use swlb_core::stability;
 use swlb_io::{colormap_viridis_like, write_ppm, write_vtk_scalars, PpmImage, ProbeLog};
 use swlb_mesh::cylinder_z_mask;
+use swlb_obs::{JsonlSink, Recorder, SummarySink};
 use swlb_sim::forces::momentum_exchange_force;
 use swlb_sim::CaseConfig;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: swlb <cavity|channel|cylinder|taylor-green> [config-file]");
+    eprintln!(
+        "usage: swlb <cavity|channel|cylinder|taylor-green> [config-file] \
+         [--metrics <path>] [--metrics-every <steps>] [--quiet]"
+    );
     eprintln!("config keys: name nx ny nz tau u_lattice steps output_every ranks");
     ExitCode::FAILURE
 }
 
+/// Everything a case run needs besides its physics: the recorder (disabled
+/// unless `--metrics` was given) and the chatter switch.
+struct RunCtx {
+    recorder: Recorder,
+    quiet: bool,
+}
+
+impl RunCtx {
+    fn say(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.quiet {
+            println!("{msg}");
+        }
+    }
+}
+
+macro_rules! say {
+    ($ctx:expr, $($arg:tt)*) => { $ctx.say(format_args!($($arg)*)) };
+}
+
 fn main() -> ExitCode {
+    let mut case = None;
+    let mut config_path = None;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_every: u64 = 100;
+    let mut quiet = false;
+
     let mut args = std::env::args().skip(1);
-    let Some(case) = args.next() else {
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics" => match args.next() {
+                Some(p) => metrics_path = Some(p),
+                None => {
+                    eprintln!("error: --metrics needs a file path");
+                    return usage();
+                }
+            },
+            "--metrics-every" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => metrics_every = n,
+                _ => {
+                    eprintln!("error: --metrics-every needs a positive integer");
+                    return usage();
+                }
+            },
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                return usage();
+            }
+            positional if case.is_none() => case = Some(positional.to_string()),
+            positional if config_path.is_none() => config_path = Some(positional.to_string()),
+            extra => {
+                eprintln!("error: unexpected argument {extra}");
+                return usage();
+            }
+        }
+    }
+    let Some(case) = case else {
         return usage();
     };
-    let mut cfg = match args.next() {
+
+    let mut cfg = match config_path {
         Some(path) => match std::fs::read_to_string(&path) {
             Ok(text) => match CaseConfig::parse(&text) {
                 Ok(c) => c,
@@ -57,11 +126,31 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let recorder = match &metrics_path {
+        Some(path) => {
+            let rec = Recorder::enabled();
+            match JsonlSink::create(path) {
+                Ok(sink) => rec.add_sink(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("error: cannot open metrics file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !quiet {
+                rec.add_sink(Box::new(SummarySink));
+            }
+            rec.set_flush_every(metrics_every);
+            rec
+        }
+        None => Recorder::disabled(),
+    };
+    let ctx = RunCtx { recorder, quiet };
+
     match case.as_str() {
-        "cavity" => run_cavity(&cfg),
-        "channel" => run_channel(&cfg),
-        "cylinder" => run_cylinder(&cfg),
-        "taylor-green" => run_taylor_green(&cfg),
+        "cavity" => run_cavity(&cfg, &ctx),
+        "channel" => run_channel(&cfg, &ctx),
+        "cylinder" => run_cylinder(&cfg, &ctx),
+        "taylor-green" => run_taylor_green(&cfg, &ctx),
         _ => return usage(),
     }
     ExitCode::SUCCESS
@@ -93,7 +182,32 @@ fn preflight(cfg: &CaseConfig) -> bool {
     }
 }
 
-fn write_outputs(name: &str, solver: &Solver<D2Q9>, log: Option<&ProbeLog>) {
+/// The always-printed exit line: throughput plus the fault/recovery totals an
+/// operator triages a long run by.
+fn exit_summary(ctx: &RunCtx, steps: u64, active_cells: usize, wall_s: f64) {
+    ctx.recorder.flush(steps);
+    let (retries, rollbacks) = ctx
+        .recorder
+        .snapshot(steps)
+        .map(|s| {
+            (
+                s.counter("halo.retries").unwrap_or(0),
+                s.counter("recovery.rollbacks").unwrap_or(0),
+            )
+        })
+        .unwrap_or((0, 0));
+    let mlups = if wall_s > 0.0 {
+        active_cells as f64 * steps as f64 / wall_s / 1e6
+    } else {
+        0.0
+    };
+    println!(
+        "summary: steps={steps} wall={wall_s:.3}s mlups={mlups:.2} \
+         halo_retries={retries} rollbacks={rollbacks}"
+    );
+}
+
+fn write_outputs(ctx: &RunCtx, name: &str, solver: &Solver<D2Q9>, log: Option<&ProbeLog>) {
     let dims = solver.dims();
     let m = solver.macroscopic();
     let speed = m.slice_xy_speed(0);
@@ -117,53 +231,65 @@ fn write_outputs(name: &str, solver: &Solver<D2Q9>, log: Option<&ProbeLog>) {
         log.write_csv(&mut f).expect("write csv");
         outputs.push(csv);
     }
-    println!("wrote {}", outputs.join(", "));
+    say!(ctx, "wrote {}", outputs.join(", "));
 }
 
-fn run_cavity(cfg: &CaseConfig) {
-    println!("case: lid-driven cavity ({}x{}, tau {})", cfg.nx, cfg.ny, cfg.tau);
-    let mut solver = Solver::<D2Q9>::new(
-        GridDims::new2d(cfg.nx, cfg.ny),
-        cfg.bgk().expect("valid tau"),
-    )
-    .with_mode(ExecMode::Parallel)
-    .with_pool(ThreadPool::auto());
+fn run_cavity(cfg: &CaseConfig, ctx: &RunCtx) {
+    say!(ctx, "case: lid-driven cavity ({}x{}, tau {})", cfg.nx, cfg.ny, cfg.tau);
+    let mut solver =
+        Solver::<D2Q9>::builder(GridDims::new2d(cfg.nx, cfg.ny), cfg.bgk().expect("valid tau"))
+            .mode(ExecMode::Parallel)
+            .pool(ThreadPool::auto())
+            .recorder(ctx.recorder.clone())
+            .build();
     solver.flags_mut().set_box_walls();
     solver.flags_mut().paint_lid([cfg.u_lattice, 0.0, 0.0]);
     solver.initialize_uniform(1.0, [0.0; 3]);
+    let t0 = Instant::now();
     solver
         .run_checked(cfg.steps, 500)
         .expect("diverged: reduce u_lattice or raise tau");
+    let wall = t0.elapsed().as_secs_f64();
     let s = solver.stats();
-    println!("step {}: mass {:.4}, max |u| {:.4}", s.step, s.mass, s.max_velocity);
-    write_outputs(&cfg.name, &solver, None);
+    say!(ctx, "step {}: mass {:.4}, max |u| {:.4}", s.step, s.mass, s.max_velocity);
+    write_outputs(ctx, &cfg.name, &solver, None);
+    exit_summary(ctx, s.step, solver.active_cells(), wall);
 }
 
-fn run_channel(cfg: &CaseConfig) {
-    println!("case: channel flow ({}x{}, tau {})", cfg.nx, cfg.ny, cfg.tau);
-    let mut solver = Solver::<D2Q9>::new(
-        GridDims::new2d(cfg.nx, cfg.ny),
-        cfg.bgk().expect("valid tau"),
-    );
+fn run_channel(cfg: &CaseConfig, ctx: &RunCtx) {
+    say!(ctx, "case: channel flow ({}x{}, tau {})", cfg.nx, cfg.ny, cfg.tau);
+    let mut solver =
+        Solver::<D2Q9>::builder(GridDims::new2d(cfg.nx, cfg.ny), cfg.bgk().expect("valid tau"))
+            .recorder(ctx.recorder.clone())
+            .build();
     solver.flags_mut().paint_channel_walls_y();
     solver
         .flags_mut()
         .paint_inflow_outflow_x(1.0, [cfg.u_lattice, 0.0, 0.0]);
     solver.initialize_uniform(1.0, [cfg.u_lattice, 0.0, 0.0]);
+    let t0 = Instant::now();
     solver.run_checked(cfg.steps, 500).expect("diverged");
+    let wall = t0.elapsed().as_secs_f64();
     let s = solver.stats();
-    println!("step {}: max |u| {:.4}", s.step, s.max_velocity);
-    write_outputs(&cfg.name, &solver, None);
+    say!(ctx, "step {}: max |u| {:.4}", s.step, s.max_velocity);
+    write_outputs(ctx, &cfg.name, &solver, None);
+    exit_summary(ctx, s.step, solver.active_cells(), wall);
 }
 
-fn run_cylinder(cfg: &CaseConfig) {
+fn run_cylinder(cfg: &CaseConfig, ctx: &RunCtx) {
     let dims = GridDims::new2d(cfg.nx.max(120), cfg.ny.max(60));
     let d = dims.ny as f64 / 6.0;
-    println!(
+    say!(
+        ctx,
         "case: flow past cylinder ({}x{}, D {:.0}, tau {})",
-        dims.nx, dims.ny, d, cfg.tau
+        dims.nx,
+        dims.ny,
+        d,
+        cfg.tau
     );
-    let mut solver = Solver::<D2Q9>::new(dims, cfg.bgk().expect("valid tau"));
+    let mut solver = Solver::<D2Q9>::builder(dims, cfg.bgk().expect("valid tau"))
+        .recorder(ctx.recorder.clone())
+        .build();
     solver.flags_mut().paint_channel_walls_y();
     solver
         .flags_mut()
@@ -173,6 +299,7 @@ fn run_cylinder(cfg: &CaseConfig) {
     solver.initialize_uniform(1.0, [cfg.u_lattice, 0.0, 0.0]);
 
     let mut log = ProbeLog::new(&["step", "fx", "fy"]);
+    let t0 = Instant::now();
     for s in 0..cfg.steps {
         solver.step();
         if s % 20 == 0 {
@@ -180,22 +307,27 @@ fn run_cylinder(cfg: &CaseConfig) {
             log.push(&[s as f64, f[0], f[1]]);
         }
     }
-    println!(
+    let wall = t0.elapsed().as_secs_f64();
+    say!(
+        ctx,
         "step {}: drag(tail) {:.4e}",
         solver.step_count(),
         log.tail_mean("fx", 20).unwrap_or(0.0)
     );
-    write_outputs(&cfg.name, &solver, Some(&log));
+    write_outputs(ctx, &cfg.name, &solver, Some(&log));
+    exit_summary(ctx, solver.step_count(), solver.active_cells(), wall);
 }
 
-fn run_taylor_green(cfg: &CaseConfig) {
+fn run_taylor_green(cfg: &CaseConfig, ctx: &RunCtx) {
     let n = cfg.nx;
-    println!("case: Taylor-Green vortex ({n}x{n}, tau {})", cfg.tau);
+    say!(ctx, "case: Taylor-Green vortex ({n}x{n}, tau {})", cfg.tau);
     let params = cfg.bgk().expect("valid tau");
     let nu = params.viscosity();
     let k = std::f64::consts::TAU / n as Scalar;
     let u0 = cfg.u_lattice;
-    let mut solver = Solver::<D2Q9>::new(GridDims::new2d(n, n), params);
+    let mut solver = Solver::<D2Q9>::builder(GridDims::new2d(n, n), params)
+        .recorder(ctx.recorder.clone())
+        .build();
     solver.initialize_field(|x, y, _| {
         let (xs, ys) = (x as Scalar * k, y as Scalar * k);
         (
@@ -205,12 +337,16 @@ fn run_taylor_green(cfg: &CaseConfig) {
     });
     let flags = FlagField::new(solver.dims());
     let e0 = solver.macroscopic().kinetic_energy(&flags);
+    let t0 = Instant::now();
     solver.run(cfg.steps);
+    let wall = t0.elapsed().as_secs_f64();
     let e1 = solver.macroscopic().kinetic_energy(&flags);
     let nu_measured = -(e1 / e0).ln() / (4.0 * k * k * cfg.steps as Scalar);
-    println!(
+    say!(
+        ctx,
         "viscosity: configured {nu:.6}, measured {nu_measured:.6} ({:+.2}%)",
         (nu_measured - nu) / nu * 100.0
     );
-    write_outputs(&cfg.name, &solver, None);
+    write_outputs(ctx, &cfg.name, &solver, None);
+    exit_summary(ctx, solver.step_count(), solver.active_cells(), wall);
 }

@@ -27,6 +27,7 @@ use swlb_core::layout::{AbBuffers, PopField, SoaField};
 use swlb_core::macroscopic::MacroFields;
 use swlb_core::Scalar;
 use swlb_io::checkpoint::Crc32;
+use swlb_obs::{exponential_buckets, Counter, Gauge, Histogram, Phase, Recorder, SwlbError};
 use std::ops::Range;
 use std::time::Duration;
 
@@ -157,10 +158,135 @@ pub struct DistributedSolver<'c, L: Lattice, C: Communicator = Comm> {
     /// frames are recognized as stale and discarded.
     epoch: u64,
     retry: HaloRetry,
+    /// Interior fluid-cell count (MLUPS accounting for this rank).
+    active: usize,
+    recorder: Recorder,
+    obs_mlups: Gauge,
+    obs_steps: Counter,
+    obs_retries: Counter,
+    obs_timeouts: Counter,
+    obs_corrupt: Counter,
+    obs_halo_us: Histogram,
+}
+
+/// The single construction path for [`DistributedSolver`]: communicator,
+/// global problem and collision up front; exchange schedule, halo retry policy
+/// and observability recorder optional.
+///
+/// The default exchange mode is [`ExchangeMode::OnTheFly`] — the
+/// communication/computation overlap the paper's pipelined schedule uses
+/// (Fig. 6(2)); pick [`ExchangeMode::Sequential`] explicitly for the
+/// exchange-first baseline.
+pub struct DistributedSolverBuilder<'c, 'f, L: Lattice, C: Communicator = Comm> {
+    comm: &'c C,
+    global: GridDims,
+    global_flags: &'f FlagField,
+    collision: CollisionKind,
+    mode: ExchangeMode,
+    retry: HaloRetry,
+    recorder: Recorder,
+    _lattice: std::marker::PhantomData<L>,
+}
+
+impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C> {
+    /// Start a builder for this rank's share of the global problem.
+    pub fn new(
+        comm: &'c C,
+        global: GridDims,
+        global_flags: &'f FlagField,
+        collision: CollisionKind,
+    ) -> Self {
+        DistributedSolverBuilder {
+            comm,
+            global,
+            global_flags,
+            collision,
+            mode: ExchangeMode::OnTheFly,
+            retry: HaloRetry::default(),
+            recorder: Recorder::disabled(),
+            _lattice: std::marker::PhantomData,
+        }
+    }
+
+    /// Select the halo-exchange schedule (default [`ExchangeMode::OnTheFly`]).
+    pub fn exchange(mut self, mode: ExchangeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replace the halo retry/backoff policy (default [`HaloRetry::default`]).
+    pub fn halo_retry(mut self, retry: HaloRetry) -> Self {
+        assert!(retry.max_attempts >= 1, "halo retry needs at least one attempt");
+        self.retry = retry;
+        self
+    }
+
+    /// Attach an observability recorder (default: disabled).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Build this rank's solver.
+    pub fn build(self) -> DistributedSolver<'c, L, C> {
+        let comm = self.comm;
+        let part = Partition2d::new(self.global, comm.size());
+        let ((_, lnx), (_, lny)) = part.owned(comm.rank());
+        let flags = part.local_flags(comm.rank(), self.global_flags);
+        let local = part.local_dims(comm.rank());
+        // Interior fluid cells of this rank (halo ring excluded).
+        let mut active = 0;
+        for y in 1..=lny {
+            for x in 1..=lnx {
+                for z in 0..local.nz {
+                    if flags.kind(local.idx(x, y, z)).is_fluid() {
+                        active += 1;
+                    }
+                }
+            }
+        }
+        let recorder = self.recorder;
+        DistributedSolver {
+            comm,
+            part,
+            flags,
+            bufs: AbBuffers::new(SoaField::new(local), SoaField::new(local)),
+            collision: self.collision,
+            mode: self.mode,
+            lnx,
+            lny,
+            step: 0,
+            epoch: 0,
+            retry: self.retry,
+            active,
+            obs_mlups: recorder.gauge("mlups"),
+            obs_steps: recorder.counter("steps"),
+            obs_retries: recorder.counter("halo.retries"),
+            obs_timeouts: recorder.counter("halo.timeouts"),
+            obs_corrupt: recorder.counter("halo.corrupt"),
+            obs_halo_us: recorder
+                .histogram("halo.latency_us", &exponential_buckets(10.0, 4.0, 8)),
+            recorder,
+        }
+    }
 }
 
 impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
+    /// Start a [`DistributedSolverBuilder`] — the single construction path.
+    pub fn builder<'f>(
+        comm: &'c C,
+        global: GridDims,
+        global_flags: &'f FlagField,
+        collision: CollisionKind,
+    ) -> DistributedSolverBuilder<'c, 'f, L, C> {
+        DistributedSolverBuilder::new(comm, global, global_flags, collision)
+    }
+
     /// Build this rank's solver from the global problem description.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DistributedSolver::builder(comm, global, flags, collision).exchange(mode).build()`"
+    )]
     pub fn new(
         comm: &'c C,
         global: GridDims,
@@ -168,23 +294,14 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         collision: CollisionKind,
         mode: ExchangeMode,
     ) -> Self {
-        let part = Partition2d::new(global, comm.size());
-        let ((_, lnx), (_, lny)) = part.owned(comm.rank());
-        let flags = part.local_flags(comm.rank(), global_flags);
-        let local = part.local_dims(comm.rank());
-        Self {
-            comm,
-            part,
-            flags,
-            bufs: AbBuffers::new(SoaField::new(local), SoaField::new(local)),
-            collision,
-            mode,
-            lnx,
-            lny,
-            step: 0,
-            epoch: 0,
-            retry: HaloRetry::default(),
-        }
+        DistributedSolverBuilder::new(comm, global, global_flags, collision)
+            .exchange(mode)
+            .build()
+    }
+
+    /// The observability recorder this rank reports into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Replace the halo retry/backoff policy.
@@ -359,10 +476,13 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 Ok(d) => d,
                 Err(CommError::Timeout { .. }) => {
                     attempts += 1;
+                    self.obs_retries.inc();
                     if attempts >= retry.max_attempts {
                         return if saw_corrupt {
+                            self.obs_corrupt.inc();
                             Err(CommError::Corrupt { rank: src, tag })
                         } else {
+                            self.obs_timeouts.inc();
                             Err(CommError::Timeout { rank: src, tag, attempts })
                         };
                     }
@@ -381,11 +501,14 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 FrameCheck::Corrupt => {
                     saw_corrupt = true;
                     attempts += 1;
+                    self.obs_retries.inc();
                     if attempts >= retry.max_attempts {
+                        self.obs_corrupt.inc();
                         return Err(CommError::Corrupt { rank: src, tag });
                     }
                 }
                 FrameCheck::Gap => {
+                    self.obs_timeouts.inc();
                     return Err(CommError::Timeout { rank: src, tag, attempts: attempts + 1 })
                 }
             }
@@ -400,7 +523,15 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 .cart
                 .neighbor(self.comm.rank(), *dx, *dy)
                 .expect("periodic topology always has neighbors");
+            let t_recv = self.recorder.now();
             let data = self.recv_framed(src_rank, opposite_dir(d) as u64)?;
+            if let Some(t) = t_recv {
+                let ns = t.elapsed().as_nanos() as u64;
+                self.recorder.record_phase_ns(Phase::HaloExchange, ns);
+                self.obs_halo_us.record(ns as f64 / 1e3);
+            }
+            let rec = self.recorder.clone();
+            let _unpack = rec.phase(Phase::HaloUnpack);
             self.unpack(
                 Self::recv_range(*dx, self.lnx),
                 Self::recv_range(*dy, self.lny),
@@ -437,20 +568,29 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
 
     /// Advance one time step.
     pub fn step(&mut self) -> Result<(), CommError> {
+        // Cheap handle clone so phase guards don't hold a borrow of `self`.
+        let rec = self.recorder.clone();
+        let t_step = rec.now();
         self.comm.notify_step(self.step);
-        self.post_sends()?;
+        {
+            let _pack = rec.phase(Phase::HaloPack);
+            self.post_sends()?;
+        }
         match self.mode {
             ExchangeMode::Sequential => {
                 self.recv_halos()?;
+                let _cs = rec.phase(Phase::CollideStream);
                 self.step_rect(1..self.lnx + 1, 1..self.lny + 1);
             }
             ExchangeMode::OnTheFly => {
                 // Inner cells touch no halo: compute them while messages fly.
                 if self.lnx > 2 && self.lny > 2 {
+                    let _cs = rec.phase(Phase::CollideStream);
                     self.step_rect(2..self.lnx, 2..self.lny);
                 }
                 self.recv_halos()?;
                 // Boundary ring (the four strips, corners included once).
+                let _bd = rec.phase(Phase::Boundary);
                 let (lnx, lny) = (self.lnx, self.lny);
                 self.step_rect(1..lnx + 1, 1..2); // south row
                 if lny > 1 {
@@ -466,11 +606,18 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         }
         self.bufs.flip();
         self.step += 1;
+        if let Some(t) = t_step {
+            let ns = (t.elapsed().as_nanos() as u64).max(1);
+            self.obs_steps.inc();
+            // Per-rank MLUPS = interior fluid cells · 1000 / step-ns.
+            self.obs_mlups.set(self.active as f64 * 1e3 / ns as f64);
+        }
+        self.recorder.maybe_flush(self.step);
         Ok(())
     }
 
-    /// Advance `n` steps.
-    pub fn run(&mut self, n: u64) -> Result<(), CommError> {
+    /// Advance `n` steps, surfacing any halo failure as the workspace error.
+    pub fn run(&mut self, n: u64) -> Result<(), SwlbError> {
         for _ in 0..n {
             self.step()?;
         }
@@ -628,7 +775,9 @@ mod tests {
 
         let flags_ref = &flags;
         let out = World::new(nranks).run(|comm| {
-            let mut s = DistributedSolver::<L>::new(&comm, global, flags_ref, coll, mode);
+            let mut s = DistributedSolver::<L>::builder(&comm, global, flags_ref, coll)
+                .exchange(mode)
+                .build();
             s.initialize_with(init);
             s.run(steps).unwrap();
             s.gather_populations().unwrap()
@@ -725,8 +874,9 @@ mod tests {
 
         let run = |mode: ExchangeMode| {
             World::new(4).run(|comm| {
-                let mut s =
-                    DistributedSolver::<D3Q19>::new(&comm, global, flags_ref, coll, mode);
+                let mut s = DistributedSolver::<D3Q19>::builder(&comm, global, flags_ref, coll)
+                    .exchange(mode)
+                    .build();
                 s.initialize_uniform(1.0, [0.0; 3]);
                 s.run(6).unwrap();
                 s.gather_populations().unwrap()
@@ -751,13 +901,9 @@ mod tests {
         let coll = CollisionKind::Bgk(BgkParams::from_tau(0.9));
         let flags_ref = &flags;
         let masses = World::new(4).run(|comm| {
-            let mut s = DistributedSolver::<D2Q9>::new(
-                &comm,
-                global,
-                flags_ref,
-                coll,
-                ExchangeMode::OnTheFly,
-            );
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::OnTheFly)
+                .build();
             s.initialize_uniform(1.0, [0.0; 3]);
             let m0 = s.global_mass().unwrap();
             s.run(20).unwrap();

@@ -29,10 +29,24 @@ pub mod partition;
 pub mod resilience;
 
 pub use config::CaseConfig;
-pub use engine::{DistributedSolver, ExchangeMode, HaloRetry};
+pub use engine::{DistributedSolver, DistributedSolverBuilder, ExchangeMode, HaloRetry};
 pub use forces::momentum_exchange_force;
 pub use group_io::aggregate_group;
 pub use partition::Partition2d;
 pub use resilience::{
-    run_with_recovery, run_with_recovery_instrumented, RecoveryPolicy, RecoveryReport, SimError,
+    run_with_recovery, run_with_recovery_instrumented, RecoveryPolicy, RecoveryReport,
 };
+
+/// Convenient re-exports for driving a distributed run: both solver builders
+/// (shared-memory [`swlb_core::solver::SolverBuilder`] and distributed
+/// [`DistributedSolverBuilder`]), the recovery layer, and the observability
+/// facade.
+pub mod prelude {
+    pub use crate::engine::{DistributedSolver, DistributedSolverBuilder, ExchangeMode, HaloRetry};
+    pub use crate::partition::Partition2d;
+    pub use crate::resilience::{
+        run_with_recovery, run_with_recovery_instrumented, RecoveryPolicy, RecoveryReport,
+    };
+    pub use swlb_core::solver::{ExecMode, Solver, SolverBuilder};
+    pub use swlb_obs::{JsonlSink, Phase, Recorder, SummarySink, SwlbError, SwlbResult};
+}

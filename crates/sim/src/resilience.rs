@@ -20,24 +20,30 @@
 //!    stale) and re-scatters the state, then the run resumes.
 //!
 //! Restarts are capped by [`RecoveryPolicy::max_restarts`]; exhaustion returns
-//! the typed [`SimError::RestartsExhausted`] instead of looping. Rank death is
+//! the typed [`SwlbError::RestartsExhausted`] instead of looping. Rank death is
 //! not recoverable by rollback: the dead rank's operations return
-//! [`CommError::Disconnected`] immediately, and the survivors' status
+//! [`SwlbError::Disconnected`] immediately, and the survivors' status
 //! reduction times out (the run sets a communicator-wide op deadline), so
 //! every rank fails fast with a typed error instead of hanging — the paper's
 //! month-long-run requirement (§IV-B) is "never wedge a 160,000-core job".
 //!
 //! No step of this protocol uses a barrier: barriers cannot time out, and a
 //! dead rank would wedge every survivor in one.
+//!
+//! All fallible entry points return the workspace-wide [`SwlbError`] (see
+//! `swlb-obs`), so callers mix checkpoint, communication and numerical
+//! failures under one `?`. If the solver carries an enabled
+//! [`Recorder`](swlb_obs::Recorder), the recovery loop reports
+//! `recovery.rollbacks` / `recovery.wasted_steps` counters and times the
+//! `checkpoint` / `rollback` phases.
 
 use crate::engine::DistributedSolver;
-use std::fmt;
 use std::time::Duration;
 use swlb_comm::{CommError, Communicator};
-use swlb_core::error::CoreError;
 use swlb_core::lattice::Lattice;
 use swlb_core::layout::{PopField, SoaField};
-use swlb_io::checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
+use swlb_io::checkpoint::{Checkpoint, CheckpointStore};
+use swlb_obs::{Phase, SwlbError};
 
 /// When to checkpoint, how often to retry, how long to wait.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,62 +86,6 @@ impl RecoveryPolicy {
     }
 }
 
-/// Errors surfaced by a recovered (or unrecoverable) distributed run.
-#[derive(Debug)]
-pub enum SimError {
-    /// Communication failure (timeout, corruption, disconnected peer).
-    Comm(CommError),
-    /// Checkpoint storage failure.
-    Checkpoint(CheckpointError),
-    /// Numerical failure promoted to the distributed level
-    /// ([`CoreError::Diverged`] carries the step).
-    Core(CoreError),
-    /// A peer rank reported failure in the status reduction while this rank
-    /// was healthy.
-    PeerFault {
-        /// Step at which the peer's failure was agreed.
-        step: u64,
-    },
-    /// The restart budget ran out; `last` is the fault that exhausted it.
-    RestartsExhausted {
-        /// Restarts performed before giving up.
-        restarts: u32,
-        /// The final triggering fault.
-        last: Box<SimError>,
-    },
-    /// Rollback was required but no valid checkpoint could be loaded.
-    NoValidCheckpoint,
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::Comm(e) => write!(f, "communication failure: {e}"),
-            SimError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
-            SimError::Core(e) => write!(f, "numerical failure: {e}"),
-            SimError::PeerFault { step } => write!(f, "peer rank failed at step {step}"),
-            SimError::RestartsExhausted { restarts, last } => {
-                write!(f, "gave up after {restarts} restart(s); last fault: {last}")
-            }
-            SimError::NoValidCheckpoint => write!(f, "no valid checkpoint to roll back to"),
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
-
-impl From<CommError> for SimError {
-    fn from(e: CommError) -> Self {
-        SimError::Comm(e)
-    }
-}
-
-impl From<CheckpointError> for SimError {
-    fn from(e: CheckpointError) -> Self {
-        SimError::Checkpoint(e)
-    }
-}
-
 /// What a recovered run went through to finish.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
@@ -171,10 +121,10 @@ fn capture<L: Lattice, C: Communicator>(
 fn rollback<L: Lattice, C: Communicator>(
     solver: &mut DistributedSolver<'_, L, C>,
     store: &CheckpointStore,
-) -> Result<u64, SimError> {
+) -> Result<u64, SwlbError> {
     let global = solver.partition().global;
     let (field, ck_step) = if solver.rank() == 0 {
-        let (ck, skipped) = store.load_latest_valid()?.ok_or(SimError::NoValidCheckpoint)?;
+        let (ck, skipped) = store.load_latest_valid()?.ok_or(SwlbError::NoValidCheckpoint)?;
         for path in skipped {
             eprintln!("[recovery] skipping corrupt checkpoint {}", path.display());
         }
@@ -202,7 +152,7 @@ pub fn run_with_recovery<L: Lattice, C: Communicator>(
     total_steps: u64,
     policy: &RecoveryPolicy,
     store: &CheckpointStore,
-) -> Result<RecoveryReport, SimError> {
+) -> Result<RecoveryReport, SwlbError> {
     run_with_recovery_instrumented(solver, total_steps, policy, store, |_| {})
 }
 
@@ -216,7 +166,7 @@ pub fn run_with_recovery_instrumented<L: Lattice, C: Communicator>(
     policy: &RecoveryPolicy,
     store: &CheckpointStore,
     mut on_step: impl FnMut(&mut DistributedSolver<'_, L, C>),
-) -> Result<RecoveryReport, SimError> {
+) -> Result<RecoveryReport, SwlbError> {
     assert!(policy.checkpoint_every >= 1, "checkpoint_every must be at least 1");
     let comm = solver.comm();
     let prev_timeout = comm.op_timeout();
@@ -232,13 +182,16 @@ fn run_inner<L: Lattice, C: Communicator>(
     policy: &RecoveryPolicy,
     store: &CheckpointStore,
     on_step: &mut impl FnMut(&mut DistributedSolver<'_, L, C>),
-) -> Result<RecoveryReport, SimError> {
+) -> Result<RecoveryReport, SwlbError> {
     let mut report = RecoveryReport::default();
+    let recorder = solver.recorder().clone();
+    let obs_rollbacks = recorder.counter("recovery.rollbacks");
+    let obs_wasted = recorder.counter("recovery.wasted_steps");
 
     // Reference mass for the drift guard, agreed once at entry.
     let mass0 = solver.comm().allreduce_sum(&[solver.local_mass()])?[0];
     if !mass0.is_finite() {
-        return Err(SimError::Core(CoreError::Diverged { step: solver.step_count() }));
+        return Err(SwlbError::Diverged { step: solver.step_count() });
     }
 
     // Entry checkpoint: a rollback target must exist before the first fault.
@@ -247,7 +200,7 @@ fn run_inner<L: Lattice, C: Communicator>(
     let mut mass = mass0;
     while solver.step_count() < total_steps {
         let attempted = solver.step_count();
-        let local_err: Option<SimError> = match solver.step() {
+        let local_err: Option<SwlbError> = match solver.step() {
             Ok(()) => {
                 on_step(solver);
                 None
@@ -276,15 +229,13 @@ fn run_inner<L: Lattice, C: Communicator>(
 
         // Unanimous verdict: something failed this step. Identify the fault
         // (for the report / the final error) and roll back.
-        let fault: SimError = match local_err {
+        let fault: SwlbError = match local_err {
             Some(e) => e,
-            None if diverged => {
-                SimError::Core(CoreError::Diverged { step: attempted })
-            }
-            None => SimError::PeerFault { step: attempted },
+            None if diverged => SwlbError::Diverged { step: attempted },
+            None => SwlbError::PeerFault { step: attempted },
         };
         if report.restarts >= policy.max_restarts {
-            return Err(SimError::RestartsExhausted {
+            return Err(SwlbError::RestartsExhausted {
                 restarts: report.restarts,
                 last: Box::new(fault),
             });
@@ -295,8 +246,13 @@ fn run_inner<L: Lattice, C: Communicator>(
         // Every step completed past the checkpoint — including the one whose
         // result the verdict just discarded — is recomputed.
         let reached = solver.step_count();
-        let resumed_at = rollback(solver, store)?;
+        let resumed_at = {
+            let _g = recorder.phase(Phase::Rollback);
+            rollback(solver, store)?
+        };
+        obs_rollbacks.inc();
         report.wasted_steps += reached - resumed_at;
+        obs_wasted.add(reached - resumed_at);
     }
 
     report.steps_completed = solver.step_count();
@@ -308,10 +264,12 @@ fn save_checkpoint<L: Lattice, C: Communicator>(
     solver: &DistributedSolver<'_, L, C>,
     store: &CheckpointStore,
     report: &mut RecoveryReport,
-) -> Result<(), SimError> {
+) -> Result<(), SwlbError> {
+    let _g = solver.recorder().phase(Phase::Checkpoint);
     if let Some(ck) = capture(solver)? {
         store.save(&ck)?;
         report.checkpoints_written += 1;
+        solver.recorder().counter("recovery.checkpoints").inc();
     }
     Ok(())
 }
@@ -345,8 +303,9 @@ mod tests {
         let (global, flags, coll) = case();
         let flags_ref = &flags;
         let plain = World::new(4).run(|comm| {
-            let mut s =
-                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::OnTheFly);
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::OnTheFly)
+                .build();
             s.initialize_uniform(1.0, [0.0; 3]);
             s.run(20).unwrap();
             s.gather_populations().unwrap()
@@ -354,8 +313,9 @@ mod tests {
         let store = temp_store("clean");
         let store_ref = &store;
         let recovered = World::new(4).run(|comm| {
-            let mut s =
-                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::OnTheFly);
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::OnTheFly)
+                .build();
             s.initialize_uniform(1.0, [0.0; 3]);
             let policy = RecoveryPolicy { checkpoint_every: 5, ..Default::default() };
             let report = run_with_recovery(&mut s, 20, &policy, store_ref).unwrap();
@@ -382,8 +342,9 @@ mod tests {
         let (global, flags, coll) = case();
         let flags_ref = &flags;
         let plain = World::new(2).run(|comm| {
-            let mut s =
-                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .build();
             s.initialize_uniform(1.0, [0.0; 3]);
             s.run(12).unwrap();
             s.gather_populations().unwrap()
@@ -391,10 +352,11 @@ mod tests {
         let store = temp_store("nan");
         let store_ref = &store;
         let out = World::new(2).run(|comm| {
-            let mut s =
-                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .halo_retry(HaloRetry::snappy())
+                .build();
             s.initialize_uniform(1.0, [0.0; 3]);
-            s.set_halo_retry(HaloRetry::snappy());
             let policy = RecoveryPolicy {
                 checkpoint_every: 4,
                 status_timeout: Duration::from_secs(10),
@@ -435,8 +397,9 @@ mod tests {
         let store = temp_store("budget");
         let store_ref = &store;
         let errs = World::new(2).run(|comm| {
-            let mut s =
-                DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .build();
             s.initialize_uniform(1.0, [0.0; 3]);
             let policy = RecoveryPolicy {
                 checkpoint_every: 4,
@@ -456,9 +419,52 @@ mod tests {
                 }
             })
             .unwrap_err();
-            matches!(err, SimError::RestartsExhausted { restarts: 0, .. })
+            matches!(err, SwlbError::RestartsExhausted { restarts: 0, .. })
         });
         assert!(errs.iter().all(|&ok| ok), "both ranks must fail fast with the typed error");
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn recovery_counters_match_report() {
+        let (global, flags, coll) = case();
+        let flags_ref = &flags;
+        let store = temp_store("obs");
+        let store_ref = &store;
+        let out = World::new(2).run(|comm| {
+            let rec = swlb_obs::Recorder::enabled();
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .recorder(rec.clone())
+                .build();
+            s.initialize_uniform(1.0, [0.0; 3]);
+            let policy = RecoveryPolicy {
+                checkpoint_every: 4,
+                status_timeout: Duration::from_secs(10),
+                ..Default::default()
+            };
+            let mut injected = false;
+            let report = run_with_recovery_instrumented(&mut s, 10, &policy, store_ref, |s| {
+                if !injected && s.rank() == 0 && s.step_count() == 6 {
+                    injected = true;
+                    let dims = s.local_flags().dims();
+                    let cell = dims.idx(2, 2, 0);
+                    s.local_populations_mut().set(cell, 0, f64::NAN);
+                }
+            })
+            .unwrap();
+            let snap = rec.snapshot(report.steps_completed).unwrap();
+            (report, snap)
+        });
+        for (report, snap) in out {
+            assert_eq!(snap.counter("recovery.rollbacks"), Some(report.restarts as u64));
+            assert_eq!(snap.counter("recovery.wasted_steps"), Some(report.wasted_steps));
+            assert_eq!(
+                snap.counter("recovery.checkpoints").unwrap_or(0),
+                report.checkpoints_written
+            );
+            assert!(report.restarts >= 1, "the injected NaN must force a rollback");
+        }
         std::fs::remove_dir_all(store.dir()).unwrap();
     }
 }

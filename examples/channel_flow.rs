@@ -21,9 +21,10 @@ fn main() {
     let dims = GridDims::new(nx, ny, nz);
     println!("channel flow: {nx}x{ny}x{nz}, tau = {tau}, inlet u = {u_in}");
 
-    let mut solver = Solver::<D3Q19>::new(dims, BgkParams::from_tau(tau))
-        .with_mode(ExecMode::Parallel)
-        .with_pool(ThreadPool::auto());
+    let mut solver = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(tau))
+        .mode(ExecMode::Parallel)
+        .pool(ThreadPool::auto())
+        .build();
     solver.flags_mut().paint_channel_walls_y();
     solver
         .flags_mut()

@@ -43,10 +43,11 @@ fn main() {
     // moments relax faster, damping the acoustic standing waves a confined
     // impulsively-started channel otherwise rings with for ~10⁵ steps.
     let mrt = CollisionKind::MrtD3Q19(MrtParams::standard(params.tau));
-    let mut solver = Solver::<D3Q19>::new(dims, params)
-        .with_collision(mrt)
-        .with_mode(ExecMode::Parallel)
-        .with_pool(ThreadPool::auto());
+    let mut solver = Solver::<D3Q19>::builder(dims, params)
+        .collision(mrt)
+        .mode(ExecMode::Parallel)
+        .pool(ThreadPool::auto())
+        .build();
     solver.flags_mut().paint_channel_walls_y();
     solver
         .flags_mut()

@@ -39,9 +39,10 @@ fn main() {
         dims.nx, dims.ny, cfg.tau, cfg.u_lattice
     );
 
-    let mut solver = Solver::<D2Q9>::new(dims, BgkParams::from_tau(cfg.tau))
-        .with_mode(ExecMode::Parallel)
-        .with_pool(ThreadPool::auto());
+    let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(cfg.tau))
+        .mode(ExecMode::Parallel)
+        .pool(ThreadPool::auto())
+        .build();
     solver.flags_mut().set_box_walls();
     solver.flags_mut().paint_lid(lid);
     solver.initialize_uniform(1.0, [0.0; 3]);

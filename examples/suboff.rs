@@ -33,9 +33,10 @@ fn main() {
     let wetted: usize = mask.iter().filter(|&&s| s).count();
     println!("hull occupies {wetted} cells");
 
-    let mut solver = Solver::<D3Q19>::new(dims, params)
-        .with_mode(ExecMode::Parallel)
-        .with_pool(ThreadPool::auto());
+    let mut solver = Solver::<D3Q19>::builder(dims, params)
+        .mode(ExecMode::Parallel)
+        .pool(ThreadPool::auto())
+        .build();
     solver
         .flags_mut()
         .paint_inflow_outflow_x(1.0, [u_in, 0.0, 0.0]);

@@ -22,7 +22,7 @@ fn main() {
     let k = std::f64::consts::TAU / n as Scalar;
     println!("Taylor-Green vortex: {n}x{n}, tau = {tau}, nu = {nu:.6}");
 
-    let mut solver = Solver::<D2Q9>::new(dims, params);
+    let mut solver = Solver::<D2Q9>::builder(dims, params).build();
     solver.initialize_field(|x, y, _| {
         let (xs, ys) = (x as Scalar * k, y as Scalar * k);
         let u = [

@@ -63,13 +63,9 @@ fn main() {
     println!("running {steps} steps on {ranks} ranks (on-the-fly halo exchange, LES)...");
     let t0 = std::time::Instant::now();
     let results = World::new(ranks).run(|comm| {
-        let mut s = DistributedSolver::<D3Q19>::new(
-            &comm,
-            dims,
-            flags_ref,
-            collision,
-            ExchangeMode::OnTheFly,
-        );
+        let mut s = DistributedSolver::<D3Q19>::builder(&comm, dims, flags_ref, collision)
+            .exchange(ExchangeMode::OnTheFly)
+            .build();
         s.initialize_uniform(1.0, [u_wind, 0.0, 0.0]);
         s.run(steps).unwrap();
         s.gather_populations().unwrap()

@@ -17,6 +17,13 @@ lint:
 chaos:
     cargo test -q -p swlb-sim --release --test chaos_recovery
 
+# Observability guarantees: zero-alloc disabled path, JSONL schema,
+# counters-vs-report agreement; then measured vs modeled MLUPS side by side.
+obs:
+    cargo test -q -p swlb-obs
+    cargo test -q -p swlb-sim --release --test obs_integration
+    cargo run --release -p swlb-bench --bin obs_measured_vs_model
+
 # Regenerate every paper figure/table harness.
 figures:
     for bin in fig08_kernel_speedup roofline_table fig13_weak_taihulight \

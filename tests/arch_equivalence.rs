@@ -20,10 +20,9 @@ fn run_reference(
     tau: f64,
     steps: usize,
 ) -> SoaField<D3Q19> {
-    let mut s =
-        Solver::<D3Q19>::new(dims, BgkParams::from_tau(tau)).with_collision(CollisionKind::Bgk(
-            BgkParams::from_tau(tau),
-        ));
+    let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(tau))
+        .collision(CollisionKind::Bgk(BgkParams::from_tau(tau)))
+        .build();
     *s.flags_mut() = flags.clone();
     s.initialize_field(|x, y, z| {
         let v = 0.006 * ((x * 3 + y * 7 + z * 5) % 17) as f64;

@@ -11,16 +11,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
-use swlb_comm::{ChaosComm, CommError, Communicator, FaultAction, FaultPlan, World};
+use swlb_comm::{ChaosComm, Communicator, FaultAction, FaultPlan, World};
 use swlb_core::collision::{BgkParams, CollisionKind};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
 use swlb_core::lattice::D2Q9;
 use swlb_core::layout::{PopField, SoaField};
 use swlb_io::CheckpointStore;
+use swlb_sim::prelude::SwlbError;
 use swlb_sim::{
     run_with_recovery, run_with_recovery_instrumented, DistributedSolver, ExchangeMode,
-    HaloRetry, RecoveryPolicy, SimError,
+    HaloRetry, RecoveryPolicy,
 };
 
 fn case() -> (GridDims, FlagField, CollisionKind) {
@@ -42,7 +43,9 @@ fn reference(ranks: usize, steps: u64, mode: ExchangeMode) -> SoaField<D2Q9> {
     let (global, flags, coll) = case();
     let flags_ref = &flags;
     let out = World::new(ranks).run(|comm| {
-        let mut s = DistributedSolver::<D2Q9>::new(&comm, global, flags_ref, coll, mode);
+        let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+            .exchange(mode)
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.run(steps).unwrap();
         s.gather_populations().unwrap()
@@ -86,8 +89,9 @@ fn chaos_run_heals_and_matches_fault_free_trajectory() {
     let store = temp_store("acceptance");
     let (flags_ref, store_ref) = (&flags, &store);
     let out = World::new(4).run_chaos(&plan, |comm| {
-        let mut s =
-            DistributedSolver::<D2Q9, ChaosComm>::new(&comm, global, flags_ref, coll, ExchangeMode::OnTheFly);
+        let mut s = DistributedSolver::<D2Q9, ChaosComm>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::OnTheFly)
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.set_halo_retry(HaloRetry::snappy());
         let policy = RecoveryPolicy {
@@ -132,8 +136,9 @@ fn chaos_with_zero_restart_budget_fails_fast_typed() {
     let store = temp_store("budget");
     let (flags_ref, store_ref) = (&flags, &store);
     let errs = World::new(2).run_chaos(&plan, |comm| {
-        let mut s =
-            DistributedSolver::<D2Q9, ChaosComm>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+        let mut s = DistributedSolver::<D2Q9, ChaosComm>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::Sequential)
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.set_halo_retry(HaloRetry::snappy());
         let policy = RecoveryPolicy {
@@ -146,7 +151,7 @@ fn chaos_with_zero_restart_budget_fails_fast_typed() {
     });
     for (rank, err) in errs.iter().enumerate() {
         assert!(
-            matches!(err, SimError::RestartsExhausted { restarts: 0, .. }),
+            matches!(err, SwlbError::RestartsExhausted { restarts: 0, .. }),
             "rank {rank}: expected RestartsExhausted, got {err}"
         );
     }
@@ -162,20 +167,21 @@ fn killed_rank_surfaces_disconnected_instead_of_hanging() {
     let plan = Arc::new(FaultPlan::new(3).kill_rank(1, 5));
     let flags_ref = &flags;
     let errs = World::new(2).run_chaos(&plan, |comm| {
-        let mut s =
-            DistributedSolver::<D2Q9, ChaosComm>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+        let mut s = DistributedSolver::<D2Q9, ChaosComm>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::Sequential)
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.set_halo_retry(HaloRetry::snappy());
         (comm.rank(), s.run(20).unwrap_err())
     });
     for (rank, err) in &errs {
         match rank {
-            1 => assert_eq!(*err, CommError::Disconnected, "killed rank"),
+            1 => assert_eq!(*err, SwlbError::Disconnected, "killed rank"),
             // The survivor sees either an exhausted halo retry (peer silent)
             // or a dead channel (peer's endpoint already dropped), depending
             // on shutdown timing; both are typed and both arrive promptly.
             _ => assert!(
-                matches!(err, CommError::Timeout { rank: 1, .. } | CommError::Disconnected),
+                matches!(err, SwlbError::CommTimeout { rank: 1, .. } | SwlbError::Disconnected),
                 "survivor rank {rank}: {err}"
             ),
         }
@@ -193,8 +199,9 @@ fn killed_rank_under_recovery_fails_fast_on_every_rank() {
     let store = temp_store("kill");
     let (flags_ref, store_ref) = (&flags, &store);
     let errs = World::new(2).run_chaos(&plan, |comm| {
-        let mut s =
-            DistributedSolver::<D2Q9, ChaosComm>::new(&comm, global, flags_ref, coll, ExchangeMode::Sequential);
+        let mut s = DistributedSolver::<D2Q9, ChaosComm>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::Sequential)
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.set_halo_retry(HaloRetry::snappy());
         let policy = RecoveryPolicy {
@@ -207,11 +214,14 @@ fn killed_rank_under_recovery_fails_fast_on_every_rank() {
     for (rank, err) in &errs {
         match rank {
             1 => assert!(
-                matches!(err, SimError::Comm(CommError::Disconnected)),
+                matches!(err, SwlbError::Disconnected),
                 "killed rank got {err}"
             ),
             _ => assert!(
-                matches!(err, SimError::Comm(_)),
+                matches!(
+                    err,
+                    SwlbError::CommTimeout { .. } | SwlbError::CommCorrupt { .. } | SwlbError::Disconnected
+                ),
                 "survivor rank {rank} must get a typed comm error, got {err}"
             ),
         }
@@ -246,9 +256,9 @@ proptest! {
         let store = temp_store(&format!("prop-{kind}-{rank}-{tag}-{step}"));
         let (flags_ref, store_ref) = (&flags, &store);
         let out = World::new(2).run_chaos(&plan, |comm| {
-            let mut s = DistributedSolver::<D2Q9, ChaosComm>::new(
-                &comm, global, flags_ref, coll, ExchangeMode::Sequential,
-            );
+            let mut s = DistributedSolver::<D2Q9, ChaosComm>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .build();
             s.initialize_uniform(1.0, [0.0; 3]);
             s.set_halo_retry(HaloRetry::snappy());
             let policy = RecoveryPolicy {

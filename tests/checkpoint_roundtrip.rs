@@ -6,7 +6,7 @@ use swlb_io::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointError};
 
 fn make_solver() -> Solver<D2Q9> {
     let dims = GridDims::new2d(24, 24);
-    let mut s = Solver::<D2Q9>::new(dims, BgkParams::from_tau(0.7));
+    let mut s = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.7)).build();
     s.flags_mut().set_box_walls();
     s.flags_mut().paint_lid([0.06, 0.0, 0.0]);
     s.initialize_uniform(1.0, [0.0; 3]);
@@ -110,13 +110,9 @@ fn distributed_checkpoint_restart_continues_bit_identically() {
 
     // Uninterrupted 20-step run.
     let straight = World::new(4).run(|comm| {
-        let mut s = DistributedSolver::<D2Q9>::new(
-            &comm,
-            global,
-            flags_ref,
-            coll,
-            ExchangeMode::OnTheFly,
-        );
+        let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::OnTheFly)
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.run(20).unwrap();
         s.gather_populations().unwrap()
@@ -124,13 +120,9 @@ fn distributed_checkpoint_restart_continues_bit_identically() {
 
     // First 8 steps, checkpoint through the binary codec on rank 0.
     let ckpt_bytes = World::new(4).run(|comm| {
-        let mut s = DistributedSolver::<D2Q9>::new(
-            &comm,
-            global,
-            flags_ref,
-            coll,
-            ExchangeMode::OnTheFly,
-        );
+        let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::OnTheFly)
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         s.run(8).unwrap();
         let gathered = s.gather_populations().unwrap();
@@ -151,13 +143,9 @@ fn distributed_checkpoint_restart_continues_bit_identically() {
     // Fresh world: restore and run the remaining 12 steps.
     let bytes_ref = &bytes;
     let resumed = World::new(4).run(|comm| {
-        let mut s = DistributedSolver::<D2Q9>::new(
-            &comm,
-            global,
-            flags_ref,
-            coll,
-            ExchangeMode::OnTheFly,
-        );
+        let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::OnTheFly)
+            .build();
         s.initialize_uniform(1.0, [0.0; 3]);
         let (global_field, step) = if comm.rank() == 0 {
             let ck = read_checkpoint(&mut bytes_ref.as_slice()).unwrap();
@@ -239,7 +227,7 @@ fn restart_from_store_skips_corrupted_newest_checkpoint() {
 #[test]
 fn checkpoint_of_3d_solver_roundtrips() {
     let dims = GridDims::new(8, 8, 8);
-    let mut s = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.8));
+    let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.8)).build();
     s.flags_mut().set_box_walls();
     s.initialize_uniform(1.0, [0.01, 0.0, 0.0]);
     s.run(5);

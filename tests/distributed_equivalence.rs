@@ -21,7 +21,9 @@ fn reference<L: Lattice>(
     steps: u64,
     init: impl Fn(usize, usize, usize) -> (Scalar, [Scalar; 3]) + Copy,
 ) -> SoaField<L> {
-    let mut s = Solver::<L>::new(global, BgkParams::from_tau(0.8)).with_collision(coll);
+    let mut s = Solver::<L>::builder(global, BgkParams::from_tau(0.8))
+        .collision(coll)
+        .build();
     *s.flags_mut() = flags.clone();
     s.initialize_field(init);
     s.run(steps);
@@ -43,7 +45,9 @@ fn compare<L: Lattice>(
     let want = reference::<L>(global, &flags, coll, steps, init);
     let flags_ref = &flags;
     let got = World::new(ranks).run(|comm| {
-        let mut s = DistributedSolver::<L>::new(&comm, global, flags_ref, coll, mode);
+        let mut s = DistributedSolver::<L>::builder(&comm, global, flags_ref, coll)
+            .exchange(mode)
+            .build();
         s.initialize_with(init);
         s.run(steps).unwrap();
         s.gather_populations().unwrap()
@@ -130,13 +134,9 @@ fn macroscopic_gather_matches_local_sums() {
     let coll = CollisionKind::Bgk(BgkParams::from_tau(0.9));
     let flags_ref = &flags;
     let out = World::new(4).run(|comm| {
-        let mut s = DistributedSolver::<D2Q9>::new(
-            &comm,
-            global,
-            flags_ref,
-            coll,
-            ExchangeMode::Sequential,
-        );
+        let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::Sequential)
+            .build();
         s.initialize_uniform(1.0, [0.01, 0.0, 0.0]);
         s.run(5).unwrap();
         let mass = s.global_mass().unwrap();

@@ -30,7 +30,7 @@ fn stl_to_simulation_pipeline() {
     let mask = voxelize(dims, [0.5, 0.5, 0.5], 1.0, &loaded);
     assert!(mask.iter().any(|&s| s), "voxelizer produced an empty mask");
 
-    let mut solver = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.8));
+    let mut solver = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.8)).build();
     solver.flags_mut().paint_inflow_outflow_x(1.0, [0.04, 0.0, 0.0]);
     solver.flags_mut().apply_mask(&mask).unwrap();
     solver.initialize_uniform(1.0, [0.04, 0.0, 0.0]);
@@ -57,7 +57,7 @@ fn terrain_to_simulation_pipeline() {
     let mask = hm.to_mask(dims);
     assert!(mask.iter().any(|&s| s));
 
-    let mut solver = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.9));
+    let mut solver = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.9)).build();
     solver.flags_mut().paint_ground_z();
     solver.flags_mut().paint_inflow_outflow_x(1.0, [0.03, 0.0, 0.0]);
     solver.flags_mut().apply_mask(&mask).unwrap();
@@ -87,11 +87,11 @@ fn urban_les_with_full_postprocessing() {
             seed: 7,
         },
     );
-    let mut solver = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.55)).with_collision(
-        CollisionKind::SmagorinskyLes(
+    let mut solver = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.55))
+        .collision(CollisionKind::SmagorinskyLes(
             SmagorinskyParams::new(BgkParams::from_tau(0.55), 0.17).unwrap(),
-        ),
-    );
+        ))
+        .build();
     solver.flags_mut().paint_ground_z();
     solver.flags_mut().apply_mask(&scene.to_mask(dims)).unwrap();
     solver.flags_mut().paint_inflow_outflow_x(1.0, [0.05, 0.0, 0.0]);
@@ -133,7 +133,7 @@ fn suboff_drag_is_physical() {
     let dims = GridDims::new(48, 16, 16);
     let hull = SuboffHull::with_length(28.0);
     let mask = suboff_mask(dims, hull, 8.0, 8.0, 8.0);
-    let mut solver = Solver::<D3Q19>::new(dims, BgkParams::from_tau(0.75));
+    let mut solver = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.75)).build();
     solver.flags_mut().paint_inflow_outflow_x(1.0, [0.04, 0.0, 0.0]);
     solver.flags_mut().apply_mask(&mask).unwrap();
     solver.initialize_uniform(1.0, [0.04, 0.0, 0.0]);

@@ -19,7 +19,7 @@ fn taylor_green_decay_recovers_configured_viscosity() {
     let nu = params.viscosity();
     let k = std::f64::consts::TAU / n as Scalar;
 
-    let mut solver = Solver::<D2Q9>::new(dims, params);
+    let mut solver = Solver::<D2Q9>::builder(dims, params).build();
     solver.initialize_field(|x, y, _| {
         let (xs, ys) = (x as Scalar * k, y as Scalar * k);
         let u = [u0 * xs.sin() * ys.cos(), -u0 * xs.cos() * ys.sin(), 0.0];
@@ -47,7 +47,7 @@ fn couette_flow_has_linear_profile() {
     let (nx, ny) = (8usize, 33usize);
     let u_lid = 0.05;
     let dims = GridDims::new2d(nx, ny);
-    let mut solver = Solver::<D2Q9>::new(dims, BgkParams::from_tau(1.0));
+    let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(1.0)).build();
     // Walls top (moving) and bottom (static); x periodic.
     for x in 0..nx {
         solver.flags_mut().set(x, 0, 0, NodeKind::Wall);
@@ -84,9 +84,10 @@ fn cavity_develops_primary_vortex_with_correct_rotation() {
     let n = 48usize;
     let u_lid = 0.08;
     let dims = GridDims::new2d(n, n);
-    let mut solver = Solver::<D2Q9>::new(dims, BgkParams::from_tau(0.6))
-        .with_mode(ExecMode::Parallel)
-        .with_pool(ThreadPool::new(4));
+    let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.6))
+        .mode(ExecMode::Parallel)
+        .pool(ThreadPool::new(4))
+        .build();
     solver.flags_mut().set_box_walls();
     solver.flags_mut().paint_lid([u_lid, 0.0, 0.0]);
     solver.initialize_uniform(1.0, [0.0; 3]);
@@ -106,7 +107,7 @@ fn channel_flow_profile_is_parabolic_downstream() {
     let (nx, ny) = (120usize, 31usize);
     let u_in = 0.04;
     let dims = GridDims::new2d(nx, ny);
-    let mut solver = Solver::<D2Q9>::new(dims, BgkParams::from_tau(1.0));
+    let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(1.0)).build();
     solver.flags_mut().paint_channel_walls_y();
     solver
         .flags_mut()
@@ -154,7 +155,7 @@ fn smagorinsky_les_is_stable_and_conservative_at_low_tau() {
     let les = CollisionKind::SmagorinskyLes(
         SmagorinskyParams::new(BgkParams::from_tau(0.51), 0.16).unwrap(),
     );
-    let mut solver = Solver::<D2Q9>::new(dims, BgkParams::from_tau(0.51)).with_collision(les);
+    let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.51)).collision(les).build();
     solver.flags_mut().set_box_walls();
     solver.flags_mut().paint_lid([0.12, 0.0, 0.0]);
     solver.initialize_uniform(1.0, [0.0; 3]);
@@ -173,7 +174,7 @@ fn nebb_inlet_delivers_the_imposed_flux() {
     let (nx, ny) = (80usize, 25usize);
     let u_in = 0.04;
     let dims = GridDims::new2d(nx, ny);
-    let mut solver = Solver::<D2Q9>::new(dims, BgkParams::from_tau(1.0));
+    let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(1.0)).build();
     solver.flags_mut().paint_channel_walls_y();
     solver.flags_mut().paint_nebb_inflow_outflow_x([u_in, 0.0, 0.0], 1.0);
     // Re-seal the corners (walls take precedence at the duct corners).
@@ -218,9 +219,9 @@ fn body_force_driven_poiseuille_matches_analytic_amplitude() {
     let fx = 1.0e-6;
 
     let dims = GridDims::new2d(nx, ny);
-    let mut solver = Solver::<D2Q9>::new(dims, params).with_collision(
-        CollisionKind::BgkForced { params, force: [fx, 0.0, 0.0] },
-    );
+    let mut solver = Solver::<D2Q9>::builder(dims, params)
+        .collision(CollisionKind::BgkForced { params, force: [fx, 0.0, 0.0] })
+        .build();
     // Walls top and bottom; periodic in x.
     for x in 0..nx {
         solver.flags_mut().set(x, 0, 0, NodeKind::Wall);
@@ -255,7 +256,7 @@ fn body_force_driven_poiseuille_matches_analytic_amplitude() {
 fn uniform_flow_is_exact_steady_state_on_all_lattices() {
     fn check<L: Lattice>() {
         let dims = GridDims::new(6, 5, 4);
-        let mut solver = Solver::<L>::new(dims, BgkParams::from_tau(0.7));
+        let mut solver = Solver::<L>::builder(dims, BgkParams::from_tau(0.7)).build();
         solver.initialize_uniform(1.0, [0.04, -0.02, 0.01]);
         solver.run(10);
         let m = solver.macroscopic();
