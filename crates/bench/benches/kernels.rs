@@ -37,7 +37,20 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| fused_step(&flags, &src, &mut dst, &coll))
     });
     group.bench_function("fused_optimized", |b| {
-        b.iter(|| fused_step_optimized(&flags, &src, &mut dst, 1.25, &mask, 0..dims.ny))
+        b.iter(|| fused_step_optimized(&flags, &src, &mut dst, &coll, &mask, 0..dims.ny, 0))
+    });
+    group.bench_function("fused_optimized_tiled", |b| {
+        b.iter(|| {
+            fused_step_optimized(
+                &flags,
+                &src,
+                &mut dst,
+                &coll,
+                &mask,
+                0..dims.ny,
+                swlb_core::parallel::DEFAULT_TILE_Z,
+            )
+        })
     });
     group.bench_function("split_two_pass", |b| {
         b.iter(|| split_step(&flags, &src, &mut dst, &coll))
@@ -59,9 +72,7 @@ fn bench_kernels(c: &mut Criterion) {
         let mut msrc = swlb_core::moment_rep::MomentField::new(dims);
         msrc.initialize_uniform(1.0, [0.02, 0.0, 0.0]);
         let mut mdst = swlb_core::moment_rep::MomentField::new(dims);
-        b.iter(|| {
-            swlb_core::moment_rep::moment_step::<D3Q19>(&flags, &msrc, &mut mdst, 1.25)
-        })
+        b.iter(|| swlb_core::moment_rep::moment_step::<D3Q19>(&flags, &msrc, &mut mdst, 1.25))
     });
     group.finish();
 }

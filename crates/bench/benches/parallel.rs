@@ -19,15 +19,21 @@ fn bench_threads(c: &mut Criterion) {
     let mut dst = SoaField::<D3Q19>::new(dims);
     let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
 
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mask = swlb_core::kernels::interior_mask::<D3Q19>(&flags);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut group = c.benchmark_group("thread_scaling_96x96x64");
     group.throughput(Throughput::Elements(dims.cells() as u64));
     group.sample_size(10);
     let mut t = 1;
     while t <= max {
         let pool = ThreadPool::new(t);
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
-            b.iter(|| pool.fused_step(&flags, &src, &mut dst, &coll))
+        group.bench_with_input(BenchmarkId::new("generic", t), &t, |b, _| {
+            b.iter(|| pool.fused_step(&flags, &src, &mut dst, &coll, None))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized_blocked", t), &t, |b, _| {
+            b.iter(|| pool.fused_step(&flags, &src, &mut dst, &coll, Some(&mask)))
         });
         t *= 2;
     }

@@ -3,9 +3,17 @@
 //! Everything in Figs. 13–17 above one node is modeled; this harness *measures*
 //! the actual Rust kernels on the machine running it: single-thread MLUPS per
 //! kernel variant (the paper's Fig. 8 in miniature: generic vs hand-optimized,
-//! split vs fused, SoA vs AoS) and thread strong/weak scaling of the fused
-//! kernel — so the repository reports at least one set of honest measured
-//! numbers next to every modeled one.
+//! split vs fused, SoA vs AoS) and a threads × z-tile sweep of the unified
+//! pooled dispatch on a lid-driven cavity — the host mirror of the paper's
+//! 64×3×70 CPE blocking study — so the repository reports at least one set of
+//! honest measured numbers next to every modeled one.
+//!
+//! The sweep is written to `BENCH_pr3.json` (override with `--json <path>`).
+//! Flags:
+//!
+//! * `--quick`      small grid + single iteration (CI smoke).
+//! * `--json P`     write the sweep to `P` instead of `BENCH_pr3.json`.
+//! * `--validate P` check that `P` holds a well-formed sweep, then exit.
 
 use swlb_bench::{header, row, time_per_call};
 use swlb_core::collision::{BgkParams, CollisionKind};
@@ -14,33 +22,142 @@ use swlb_core::geometry::GridDims;
 use swlb_core::kernels::{fused_step, fused_step_optimized, interior_mask};
 use swlb_core::lattice::D3Q19;
 use swlb_core::layout::{AosField, PopField, SoaField};
-use swlb_core::parallel::ThreadPool;
+use swlb_core::parallel::{ThreadPool, DEFAULT_TILE_Z};
 use swlb_core::stream::split_step;
 
-fn init<F: PopField<D3Q19>>(dims: GridDims) -> F {
-    let flags = FlagField::new(dims);
+fn init<F: PopField<D3Q19>>(flags: &FlagField, dims: GridDims) -> F {
     let mut f = F::new(dims);
-    swlb_core::kernels::initialize_with::<D3Q19, _>(&flags, &mut f, |x, y, z| {
+    swlb_core::kernels::initialize_with::<D3Q19, _>(flags, &mut f, |x, y, z| {
         (1.0 + 0.001 * ((x + y + z) % 7) as f64, [0.02, 0.0, 0.0])
     });
     f
 }
 
+/// One measured sweep configuration.
+struct SweepPoint {
+    threads: usize,
+    tile_z: usize,
+    seconds_per_step: f64,
+    mlups: f64,
+}
+
+/// Hand-rolled JSON (no serde in the dependency set): flat schema, two levels.
+fn sweep_json(grid: GridDims, iters: u32, serial_mlups: f64, points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pr3_unified_dispatch\",\n");
+    out.push_str(&format!(
+        "  \"grid\": [{}, {}, {}],\n",
+        grid.nx, grid.ny, grid.nz
+    ));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!("  \"serial_generic_mlups\": {serial_mlups:.3},\n"));
+    out.push_str("  \"configs\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"tile_z\": {}, \"seconds_per_step\": {:.6}, \"mlups\": {:.3}}}{}\n",
+            p.threads,
+            p.tile_z,
+            p.seconds_per_step,
+            p.mlups,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Schema check for a sweep file, tolerant of formatting: every required key
+/// must appear, the config list must be non-empty, and every `mlups` value
+/// must parse as a positive number.
+fn validate_sweep(text: &str) -> Result<usize, String> {
+    for key in [
+        "\"bench\"",
+        "\"grid\"",
+        "\"iters\"",
+        "\"serial_generic_mlups\"",
+        "\"configs\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    if !text.contains("pr3_unified_dispatch") {
+        return Err("wrong bench id (want pr3_unified_dispatch)".into());
+    }
+    let mut configs = 0usize;
+    for chunk in text.split("\"mlups\":").skip(1) {
+        let num: String = chunk
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        let v: f64 = num
+            .parse()
+            .map_err(|_| format!("unparsable mlups value: {num:?}"))?;
+        if v.is_nan() || v <= 0.0 {
+            return Err(format!("non-positive mlups value: {v}"));
+        }
+        configs += 1;
+    }
+    if configs == 0 {
+        return Err("no configs with an mlups field".into());
+    }
+    Ok(configs)
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(path) = flag_value("--validate") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate_sweep(&text) {
+            Ok(n) => {
+                println!("{path}: valid sweep with {n} configurations");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID sweep: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let json_path = flag_value("--json").unwrap_or_else(|| "BENCH_pr3.json".into());
+
     header(
         "Host-native measured kernel performance (D3Q19, f64)",
         "anchors the model; mirrors the paper's Fig. 8 ablations on this CPU",
     );
-    let dims = GridDims::new(96, 96, 96);
+    let n = if quick { 48 } else { 96 };
+    let dims = GridDims::new(n, n, n);
     let cells = dims.cells() as f64;
     let flags = FlagField::new(dims);
     let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
-    let iters = 3;
+    let iters = if quick { 1 } else { 3 };
 
-    println!("grid: {}x{}x{} = {:.1}M cells\n", dims.nx, dims.ny, dims.nz, cells / 1e6);
-    row(&["kernel".into(), "s/step".into(), "MLUPS".into(), "vs fused".into(), "".into()]);
+    println!(
+        "grid: {}x{}x{} = {:.1}M cells\n",
+        dims.nx,
+        dims.ny,
+        dims.nz,
+        cells / 1e6
+    );
+    row(&[
+        "kernel".into(),
+        "s/step".into(),
+        "MLUPS".into(),
+        "vs fused".into(),
+        "".into(),
+    ]);
 
-    let src: SoaField<D3Q19> = init(dims);
+    let src: SoaField<D3Q19> = init(&flags, dims);
     let mut dst = SoaField::<D3Q19>::new(dims);
     let t_fused = time_per_call(iters, || fused_step(&flags, &src, &mut dst, &coll));
     row(&[
@@ -62,7 +179,7 @@ fn main() {
 
     let mask = interior_mask::<D3Q19>(&flags);
     let t_opt = time_per_call(iters, || {
-        fused_step_optimized(&flags, &src, &mut dst, 1.25, &mask, 0..dims.ny)
+        fused_step_optimized(&flags, &src, &mut dst, &coll, &mask, 0..dims.ny, 0)
     });
     row(&[
         "fused hand-optimized".into(),
@@ -72,7 +189,26 @@ fn main() {
         "".into(),
     ]);
 
-    let aos: AosField<D3Q19> = init(dims);
+    let t_tiled = time_per_call(iters, || {
+        fused_step_optimized(
+            &flags,
+            &src,
+            &mut dst,
+            &coll,
+            &mask,
+            0..dims.ny,
+            DEFAULT_TILE_Z,
+        )
+    });
+    row(&[
+        format!("hand-optimized, tile_z={DEFAULT_TILE_Z}"),
+        format!("{t_tiled:.3}"),
+        format!("{:.1}", cells / t_tiled / 1e6),
+        format!("{:.2}x", t_fused / t_tiled),
+        "".into(),
+    ]);
+
+    let aos: AosField<D3Q19> = init(&flags, dims);
     let mut aos_dst = AosField::<D3Q19>::new(dims);
     let t_aos = time_per_call(iters, || fused_step(&flags, &aos, &mut aos_dst, &coll));
     row(&[
@@ -83,32 +219,86 @@ fn main() {
         "".into(),
     ]);
 
-    println!("\nthread scaling of the fused kernel (strong, same grid):");
-    row(&["threads".into(), "s/step".into(), "MLUPS".into(), "efficiency".into(), "".into()]);
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut t1 = 0.0;
-    let mut t_count = 1;
-    while t_count <= max_threads {
-        let pool = ThreadPool::new(t_count);
-        let t = time_per_call(iters, || pool.fused_step(&flags, &src, &mut dst, &coll));
-        if t_count == 1 {
-            t1 = t;
-        }
-        row(&[
-            format!("{t_count}"),
-            format!("{t:.3}"),
-            format!("{:.1}", cells / t / 1e6),
-            format!("{:.1}%", t1 / t / t_count as f64 * 100.0),
-            "".into(),
-        ]);
-        t_count *= 2;
+    // ── Unified dispatch sweep: threads × z-tile on a lid-driven cavity ──
+    // The host mirror of the paper's CPE blocking study: the pooled dispatch
+    // partitions y-slabs across threads and blocks z inside each slab
+    // (tile_z = 0 means "no blocking": one tile spanning the z extent).
+    let sn = if quick { 64 } else { 128 };
+    let sdims = GridDims::new(sn, sn, sn);
+    let scells = sdims.cells() as f64;
+    let mut sflags = FlagField::new(sdims);
+    sflags.set_box_walls();
+    sflags.paint_lid([0.05, 0.0, 0.0]);
+    let ssrc: SoaField<D3Q19> = init(&sflags, sdims);
+    let mut sdst = SoaField::<D3Q19>::new(sdims);
+    let smask = interior_mask::<D3Q19>(&sflags);
+
+    println!("\nunified dispatch sweep: {sn}^3 lid-driven cavity, threads x tile_z:");
+    let t_serial = time_per_call(iters, || fused_step(&sflags, &ssrc, &mut sdst, &coll));
+    let serial_mlups = scells / t_serial / 1e6;
+    println!("serial generic baseline: {t_serial:.3} s/step = {serial_mlups:.1} MLUPS");
+    row(&[
+        "threads".into(),
+        "tile_z".into(),
+        "s/step".into(),
+        "MLUPS".into(),
+        "vs serial".into(),
+    ]);
+
+    // Always sweep at least 1/2/4 threads so the dispatch overhead is measured
+    // even on small hosts; counts above the core count just timeshare (noted
+    // below), which still exercises the pool's slab stealing and blocking.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let max_threads = cores.max(4);
+    let mut thread_counts = vec![1usize];
+    while *thread_counts.last().unwrap() * 2 <= max_threads {
+        let next = thread_counts.last().unwrap() * 2;
+        thread_counts.push(next);
     }
+    if max_threads > cores {
+        println!("(host reports {cores} core(s): counts above that are oversubscribed)");
+    }
+    let tile_sizes: &[usize] = if quick {
+        &[0, DEFAULT_TILE_Z]
+    } else {
+        &[0, 8, 32, DEFAULT_TILE_Z]
+    };
+
+    let mut points = Vec::new();
+    for &threads in &thread_counts {
+        for &tile_z in tile_sizes {
+            let pool = ThreadPool::new(threads).with_tile_z(tile_z);
+            let t = time_per_call(iters, || {
+                pool.fused_step(&sflags, &ssrc, &mut sdst, &coll, Some(&smask))
+            });
+            let mlups = scells / t / 1e6;
+            row(&[
+                format!("{threads}"),
+                format!("{tile_z}"),
+                format!("{t:.3}"),
+                format!("{mlups:.1}"),
+                format!("{:.2}x", t_serial / t),
+            ]);
+            points.push(SweepPoint {
+                threads,
+                tile_z,
+                seconds_per_step: t,
+                mlups,
+            });
+        }
+    }
+
+    let json = sweep_json(sdims, iters as u32, serial_mlups, &points);
+    std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("\nsweep written to {json_path}");
 
     println!("\nroofline context for this host: the fused kernel moves ~380 B/LUP;");
     println!("measured MLUPS x 380 B = implied memory bandwidth actually sustained.");
-    let best = cells / t_opt / 1e6;
+    let best = points.iter().map(|p| p.mlups).fold(serial_mlups, f64::max);
     println!(
-        "hand-optimized kernel implies {:.1} GB/s sustained on this machine.",
+        "best configuration implies {:.1} GB/s sustained on this machine.",
         best * 1e6 * 380.0 / 1e9
     );
 }

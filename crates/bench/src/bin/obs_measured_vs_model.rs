@@ -20,7 +20,6 @@ use swlb_bench::{header, row};
 use swlb_core::collision::BgkParams;
 use swlb_core::geometry::GridDims;
 use swlb_core::lattice::D3Q19;
-use swlb_core::solver::ExecMode;
 use swlb_core::prelude::Solver;
 use swlb_sim::prelude::{Phase, Recorder};
 
@@ -37,7 +36,6 @@ fn main() {
 
     let rec = Recorder::enabled();
     let mut solver = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.8))
-        .mode(ExecMode::Optimized)
         .recorder(rec.clone())
         .build();
     solver.flags_mut().set_box_walls();
@@ -45,7 +43,7 @@ fn main() {
     solver.initialize_uniform(1.0, [0.0; 3]);
 
     println!(
-        "grid: {n}^3 = {:.2}M cells, {} active; ExecMode::Optimized, tau = 0.8\n",
+        "grid: {n}^3 = {:.2}M cells, {} active; unified optimized dispatch, tau = 0.8\n",
         dims.cells() as f64 / 1e6,
         solver.active_cells()
     );
@@ -60,17 +58,43 @@ fn main() {
     let wall = t0.elapsed().as_secs_f64();
     let kernel_s = (rec.phase_ns(Phase::CollideStream) - ns_before) as f64 / 1e9;
 
-    let snap = rec.snapshot(solver.step_count()).expect("recorder is enabled");
+    let snap = rec
+        .snapshot(solver.step_count())
+        .expect("recorder is enabled");
     let active = solver.active_cells() as f64;
     let measured_wall = active * steps as f64 / wall / 1e6;
     let measured_kernel = active * steps as f64 / kernel_s / 1e6;
     let gauge_last = snap.gauge("mlups").unwrap_or(0.0);
 
     println!("measured on this host (from the recorder's export stream):");
-    row(&["source".into(), "MLUPS".into(), "".into(), "".into(), "".into()]);
-    row(&["wall clock".into(), format!("{measured_wall:.1}"), "".into(), "".into(), "".into()]);
-    row(&["collide_stream phase".into(), format!("{measured_kernel:.1}"), "".into(), "".into(), "".into()]);
-    row(&["mlups gauge (last step)".into(), format!("{gauge_last:.1}"), "".into(), "".into(), "".into()]);
+    row(&[
+        "source".into(),
+        "MLUPS".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+    ]);
+    row(&[
+        "wall clock".into(),
+        format!("{measured_wall:.1}"),
+        "".into(),
+        "".into(),
+        "".into(),
+    ]);
+    row(&[
+        "collide_stream phase".into(),
+        format!("{measured_kernel:.1}"),
+        "".into(),
+        "".into(),
+        "".into(),
+    ]);
+    row(&[
+        "mlups gauge (last step)".into(),
+        format!("{gauge_last:.1}"),
+        "".into(),
+        "".into(),
+        "".into(),
+    ]);
     assert_eq!(
         snap.counter("steps"),
         Some(warmup + steps),
@@ -82,7 +106,13 @@ fn main() {
     let model = PerfModel::taihulight();
     let w = Workload::new(n, n, n);
     println!("\nmodeled, one Sunway TaihuLight core group, same 64^3 block:");
-    row(&["stage".into(), "s/step".into(), "MLUPS".into(), "vs roofline".into(), "".into()]);
+    row(&[
+        "stage".into(),
+        "s/step".into(),
+        "MLUPS".into(),
+        "vs roofline".into(),
+        "".into(),
+    ]);
     for stage in OptStage::LADDER {
         let t = model.stage_time(stage, &w, 1);
         let mlups = model.stage_mlups(stage, &w, 1);

@@ -16,7 +16,7 @@
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 /// Message tag. User tags must stay below [`ReservedTags::RESERVED_BASE`].
@@ -72,16 +72,26 @@ impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CommError::RankOutOfRange { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             CommError::ReservedTag(t) => write!(f, "tag {t} lies in the reserved range"),
             CommError::Disconnected => write!(f, "all peers disconnected"),
-            CommError::Timeout { rank, tag, attempts } => write!(
+            CommError::Timeout {
+                rank,
+                tag,
+                attempts,
+            } => write!(
                 f,
                 "receive from rank {rank} tag {tag} timed out after {attempts} attempt(s)"
             ),
             CommError::Corrupt { rank, tag } => {
-                write!(f, "message from rank {rank} tag {tag} failed its integrity check")
+                write!(
+                    f,
+                    "message from rank {rank} tag {tag} failed its integrity check"
+                )
             }
         }
     }
@@ -96,10 +106,62 @@ impl From<CommError> for swlb_obs::SwlbError {
             CommError::RankOutOfRange { rank, size } => E::RankOutOfRange { rank, size },
             CommError::ReservedTag(t) => E::ReservedTag(t),
             CommError::Disconnected => E::Disconnected,
-            CommError::Timeout { rank, tag, attempts } => {
-                E::CommTimeout { rank, tag, attempts }
-            }
+            CommError::Timeout {
+                rank,
+                tag,
+                attempts,
+            } => E::CommTimeout {
+                rank,
+                tag,
+                attempts,
+            },
             CommError::Corrupt { rank, tag } => E::CommCorrupt { rank, tag },
+        }
+    }
+}
+
+/// Freelist of payload buffers shared by every rank in a [`World`].
+///
+/// `send_buffered` takes a recycled `Vec` instead of allocating one per
+/// message, and the matching `*_buffered` receives return the delivered
+/// vector here once its contents have been copied out. After a warm-up
+/// period every buffer in flight has the capacity of the largest payload it
+/// ever carried, and the steady-state halo exchange stops touching the heap.
+pub(crate) struct BufferPool {
+    free: Mutex<Vec<Vec<f64>>>,
+}
+
+impl BufferPool {
+    /// Retention cap: enough for every (rank, direction) pairing of a modest
+    /// world to have a buffer in flight plus slack, while bounding the memory
+    /// a burst (e.g. a duplicate-heavy chaos run) can pin.
+    const MAX_RETAINED: usize = 64;
+
+    fn new() -> Self {
+        BufferPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Prefer a buffer that can already hold `min_capacity` elements: halo
+    /// traffic mixes payload sizes (edge strips vs corner cells), and reusing
+    /// a corner-sized buffer for an edge strip would reallocate every time.
+    /// A growth therefore only happens when no free buffer is big enough,
+    /// which permanently adds one more large buffer — the population
+    /// converges and the steady state stops allocating.
+    fn take(&self, min_capacity: usize) -> Vec<f64> {
+        let mut free = self.free.lock().unwrap();
+        if let Some(i) = free.iter().position(|b| b.capacity() >= min_capacity) {
+            return free.swap_remove(i);
+        }
+        free.pop().unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<f64>) {
+        buf.clear();
+        let mut free = self.free.lock().unwrap();
+        if free.len() < Self::MAX_RETAINED {
+            free.push(buf);
         }
     }
 }
@@ -134,6 +196,8 @@ pub struct Comm {
     /// Deadline applied to every blocking receive, including the receives
     /// inside collectives. `None` blocks forever (the historical behavior).
     op_timeout: Cell<Option<Duration>>,
+    /// World-wide payload freelist backing the `*_buffered` operations.
+    pool: Arc<BufferPool>,
 }
 
 impl Comm {
@@ -149,7 +213,10 @@ impl Comm {
 
     fn check_rank(&self, rank: usize) -> Result<(), CommError> {
         if rank >= self.size {
-            Err(CommError::RankOutOfRange { rank, size: self.size })
+            Err(CommError::RankOutOfRange {
+                rank,
+                size: self.size,
+            })
         } else {
             Ok(())
         }
@@ -166,7 +233,11 @@ impl Comm {
     fn send_raw(&self, dst: usize, tag: Tag, data: Vec<f64>) -> Result<(), CommError> {
         self.check_rank(dst)?;
         self.senders[dst]
-            .send(Message { src: self.rank, tag, data })
+            .send(Message {
+                src: self.rank,
+                tag,
+                data,
+            })
             .map_err(|_| CommError::Disconnected)
     }
 
@@ -211,7 +282,11 @@ impl Comm {
                     self.stash.borrow_mut().push(msg);
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(CommError::Timeout { rank: src, tag, attempts: 1 })
+                    return Err(CommError::Timeout {
+                        rank: src,
+                        tag,
+                        attempts: 1,
+                    })
                 }
                 Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
             }
@@ -245,6 +320,49 @@ impl Comm {
             return Ok(data);
         }
         self.recv_until(src, tag, Instant::now() + timeout)
+    }
+
+    /// Buffered send that draws its payload vector from the world's freelist
+    /// instead of requiring the caller to allocate one. Together with the
+    /// `*_buffered` receives this makes the steady-state halo exchange
+    /// allocation-free once buffer capacities have stabilized.
+    pub fn send_buffered(&self, dst: usize, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        Self::check_tag(tag)?;
+        let mut buf = self.pool.take(data.len());
+        buf.extend_from_slice(data);
+        self.send_raw(dst, tag, buf)
+    }
+
+    /// Blocking receive that copies the payload into `out` (cleared first)
+    /// and recycles the delivered vector into the world's freelist.
+    pub fn recv_buffered(&self, src: usize, tag: Tag, out: &mut Vec<f64>) -> Result<(), CommError> {
+        Self::check_tag(tag)?;
+        let data = self.recv_raw(src, tag)?;
+        out.clear();
+        out.extend_from_slice(&data);
+        self.pool.put(data);
+        Ok(())
+    }
+
+    /// [`Comm::recv_deadline`] into a caller-owned buffer; the delivered
+    /// vector is recycled into the world's freelist.
+    pub fn recv_deadline_buffered(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CommError> {
+        Self::check_tag(tag)?;
+        self.check_rank(src)?;
+        let data = match self.take_stashed(src, tag) {
+            Some(d) => d,
+            None => self.recv_until(src, tag, Instant::now() + timeout)?,
+        };
+        out.clear();
+        out.extend_from_slice(&data);
+        self.pool.put(data);
+        Ok(())
     }
 
     /// Apply (or with `None` clear) a deadline to every subsequent blocking
@@ -418,6 +536,7 @@ impl World {
         }
         let senders = Arc::new(senders);
         let barrier = Arc::new(Barrier::new(size));
+        let pool = Arc::new(BufferPool::new());
 
         let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
         crossbeam::scope(|scope| {
@@ -431,6 +550,7 @@ impl World {
                     stash: RefCell::new(Vec::new()),
                     barrier: Arc::clone(&barrier),
                     op_timeout: Cell::new(None),
+                    pool: Arc::clone(&pool),
                 };
                 let f = &f;
                 handles.push(scope.spawn(move |_| f(comm)));
@@ -440,7 +560,10 @@ impl World {
             }
         })
         .expect("world scope failed");
-        results.into_iter().map(|r| r.expect("missing rank result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("missing rank result"))
+            .collect()
     }
 }
 
@@ -466,7 +589,8 @@ mod tests {
                 c.recv(1, 8).unwrap()
             } else {
                 let got = c.recv(0, 7).unwrap();
-                c.send(0, 8, got.iter().map(|x| x * 10.0).collect()).unwrap();
+                c.send(0, 8, got.iter().map(|x| x * 10.0).collect())
+                    .unwrap();
                 vec![]
             }
         });
@@ -535,7 +659,7 @@ mod tests {
                 true
             } else {
                 c.barrier(); // ensure the message is in flight
-                // Spin briefly until the probe sees it (delivery is async).
+                             // Spin briefly until the probe sees it (delivery is async).
                 let mut seen = false;
                 for _ in 0..1000 {
                     if c.probe(0, 4).unwrap() {
@@ -578,7 +702,11 @@ mod tests {
     #[test]
     fn broadcast_distributes_root_payload() {
         let out = World::new(3).run(|c| {
-            let data = if c.rank() == 0 { vec![9.0, 8.0] } else { vec![] };
+            let data = if c.rank() == 0 {
+                vec![9.0, 8.0]
+            } else {
+                vec![]
+            };
             c.broadcast(&data).unwrap()
         });
         for d in &out {
@@ -647,8 +775,17 @@ mod tests {
     fn recv_deadline_times_out_with_typed_error() {
         World::new(2).run(|c| {
             if c.rank() == 0 {
-                let e = c.recv_deadline(1, 7, Duration::from_millis(10)).unwrap_err();
-                assert_eq!(e, CommError::Timeout { rank: 1, tag: 7, attempts: 1 });
+                let e = c
+                    .recv_deadline(1, 7, Duration::from_millis(10))
+                    .unwrap_err();
+                assert_eq!(
+                    e,
+                    CommError::Timeout {
+                        rank: 1,
+                        tag: 7,
+                        attempts: 1
+                    }
+                );
             }
             c.barrier();
         });
@@ -692,7 +829,14 @@ mod tests {
             if c.rank() == 0 {
                 c.set_op_timeout(Some(Duration::from_millis(10)));
                 let p2p = c.recv(1, 5).unwrap_err();
-                assert_eq!(p2p, CommError::Timeout { rank: 1, tag: 5, attempts: 1 });
+                assert_eq!(
+                    p2p,
+                    CommError::Timeout {
+                        rank: 1,
+                        tag: 5,
+                        attempts: 1
+                    }
+                );
                 let coll = c.allreduce_sum(&[1.0]).unwrap_err();
                 assert!(matches!(coll, CommError::Timeout { rank: 1, .. }));
                 c.set_op_timeout(None);
@@ -703,6 +847,36 @@ mod tests {
             }
         });
         assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn buffered_roundtrip_recycles_payloads() {
+        // Exercise send_buffered / recv_buffered / recv_deadline_buffered over
+        // several rounds: the same caller-owned `out` buffer is reused, and
+        // mixing buffered with unbuffered traffic must not confuse matching.
+        let out = World::new(2).run(|c| {
+            let mut buf = Vec::new();
+            if c.rank() == 0 {
+                for round in 0..8 {
+                    c.send_buffered(1, 7, &[round as f64, 1.0, 2.0]).unwrap();
+                    c.recv_buffered(1, 8, &mut buf).unwrap();
+                    assert_eq!(buf, vec![round as f64 * 10.0]);
+                }
+                c.send(1, 9, vec![99.0]).unwrap();
+                buf.clone()
+            } else {
+                for _ in 0..8 {
+                    c.recv_deadline_buffered(0, 7, Duration::from_secs(5), &mut buf)
+                        .unwrap();
+                    assert_eq!(buf.len(), 3);
+                    c.send_buffered(0, 8, &[buf[0] * 10.0]).unwrap();
+                }
+                // An unbuffered recv still sees buffered-era stash state.
+                c.recv(0, 9).unwrap()
+            }
+        });
+        assert_eq!(out[0], vec![70.0]);
+        assert_eq!(out[1], vec![99.0]);
     }
 
     #[test]

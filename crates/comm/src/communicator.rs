@@ -27,6 +27,37 @@ pub trait Communicator {
     /// expiry.
     fn recv_deadline(&self, src: usize, tag: Tag, timeout: Duration)
         -> Result<Vec<f64>, CommError>;
+    /// Buffered send from a borrowed slice. The default copies into a fresh
+    /// vector and routes through [`Communicator::send`], so wrappers that
+    /// intercept `send` (fault injection, tracing) see buffered traffic too;
+    /// transports override it to recycle payload buffers.
+    fn send_buffered(&self, dst: usize, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        self.send(dst, tag, data.to_vec())
+    }
+    /// Blocking receive into a caller-owned buffer (cleared first). Default
+    /// delegates to [`Communicator::recv`]; transports override it to recycle
+    /// the delivered vector.
+    fn recv_buffered(&self, src: usize, tag: Tag, out: &mut Vec<f64>) -> Result<(), CommError> {
+        let data = self.recv(src, tag)?;
+        out.clear();
+        out.extend_from_slice(&data);
+        Ok(())
+    }
+    /// [`Communicator::recv_deadline`] into a caller-owned buffer (cleared
+    /// first). Default delegates; transports override it to recycle the
+    /// delivered vector.
+    fn recv_deadline_buffered(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CommError> {
+        let data = self.recv_deadline(src, tag, timeout)?;
+        out.clear();
+        out.extend_from_slice(&data);
+        Ok(())
+    }
     /// Post a non-blocking receive completed by [`Communicator::wait`].
     fn irecv(&self, src: usize, tag: Tag) -> Result<RecvRequest, CommError>;
     /// Complete a posted receive.
@@ -78,6 +109,21 @@ impl Communicator for Comm {
         timeout: Duration,
     ) -> Result<Vec<f64>, CommError> {
         Comm::recv_deadline(self, src, tag, timeout)
+    }
+    fn send_buffered(&self, dst: usize, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        Comm::send_buffered(self, dst, tag, data)
+    }
+    fn recv_buffered(&self, src: usize, tag: Tag, out: &mut Vec<f64>) -> Result<(), CommError> {
+        Comm::recv_buffered(self, src, tag, out)
+    }
+    fn recv_deadline_buffered(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CommError> {
+        Comm::recv_deadline_buffered(self, src, tag, timeout, out)
     }
     fn irecv(&self, src: usize, tag: Tag) -> Result<RecvRequest, CommError> {
         Comm::irecv(self, src, tag)

@@ -55,8 +55,7 @@ pub fn gather_pull<L: Lattice, F: PopField<L>>(
             NodeKind::MovingWall { u } => {
                 // Halfway bounce-back with wall-momentum correction
                 // (Ladd): f_q = f*_opp(q) + 6 w_q ρ₀ (c_q · u_w), ρ₀ = 1.
-                let cu =
-                    c[0] as Scalar * u[0] + c[1] as Scalar * u[1] + c[2] as Scalar * u[2];
+                let cu = c[0] as Scalar * u[0] + c[1] as Scalar * u[1] + c[2] as Scalar * u[2];
                 src.get(this, L::OPP[q]) + 6.0 * L::W[q] * cu
             }
             _ => src.get(n, q),
@@ -157,6 +156,37 @@ pub fn fused_step_range<L: Lattice, F: PopField<L>>(
     }
 }
 
+/// [`fused_step_range`] restricted to the x range `xr` as well — the generic
+/// kernel over the rectangle `xr × ys` (full z depth).
+pub fn fused_step_rect<L: Lattice, F: PopField<L>>(
+    flags: &FlagField,
+    src: &F,
+    dst: &mut F,
+    collision: &CollisionKind,
+    xr: Range<usize>,
+    ys: Range<usize>,
+) {
+    let dims = flags.dims();
+    debug_assert!(ys.end <= dims.ny && xr.end <= dims.nx);
+    let mut f = [0.0; MAX_Q];
+    for y in ys {
+        for x in xr.clone() {
+            for z in 0..dims.nz {
+                let this = dims.idx(x, y, z);
+                let kind = flags.kind(this);
+                if kind.is_fluid() || kind.is_nebb() {
+                    gather_pull::<L, F>(flags, src, x, y, z, &mut f[..L::Q]);
+                    reconstruct_nebb::<L>(&mut f[..L::Q], kind);
+                    collide::<L>(&mut f[..L::Q], collision);
+                    dst.store_cell(this, &f[..L::Q]);
+                } else {
+                    apply_non_fluid::<L, F>(flags, src, dst, x, y, z, kind);
+                }
+            }
+        }
+    }
+}
+
 /// Convenience wrapper: fused step over the whole domain.
 pub fn fused_step<L: Lattice, F: PopField<L>>(
     flags: &FlagField,
@@ -175,12 +205,78 @@ pub fn fused_step<L: Lattice, F: PopField<L>>(
 /// neighbor is a constant linear offset, the direction loop is fully unrolled, and
 /// no flag checks or wraps happen in the hot loop — the Rust analog of the paper's
 /// manually scheduled assembly kernel.
+///
+/// Covers the whole x extent with no cache blocking; see
+/// [`fused_step_d3q19_interior_tiled`] for the rect/tiled variant.
 pub fn fused_step_d3q19_interior(
     flags: &FlagField,
     src: &SoaField<D3Q19>,
     dst: &mut SoaField<D3Q19>,
     omega: Scalar,
     ys: Range<usize>,
+    interior_mask: &[bool],
+) {
+    fused_step_d3q19_interior_tiled(
+        flags,
+        src,
+        dst,
+        omega,
+        0..flags.dims().nx,
+        ys,
+        0,
+        interior_mask,
+    );
+}
+
+/// [`fused_step_d3q19_interior`] restricted to the x range `xr` and blocked in
+/// z-tiles of `tile_z` cells (`0` disables tiling).
+///
+/// The z tiling is the CPU mirror of the paper's 64×3×70 CPE blocking: each
+/// (slab, tile) pass touches a bounded working set of the 19 SoA planes so the
+/// gathered source stays cache-resident across the x sweep. Per-cell updates
+/// are independent, so the traversal order change is bit-exact.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_step_d3q19_interior_tiled(
+    flags: &FlagField,
+    src: &SoaField<D3Q19>,
+    dst: &mut SoaField<D3Q19>,
+    omega: Scalar,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    interior_mask: &[bool],
+) {
+    // SAFETY: `&mut dst` proves exclusive access to the destination.
+    unsafe {
+        d3q19_interior_raw(
+            flags,
+            src.raw(),
+            dst.raw_mut().as_mut_ptr(),
+            omega,
+            xr,
+            ys,
+            tile_z,
+            interior_mask,
+        );
+    }
+}
+
+/// Raw-pointer core of the interior kernel, shared with the persistent worker
+/// pool in [`crate::parallel`] (workers write through a shared pointer; slabs
+/// with disjoint `ys` touch disjoint cells).
+///
+/// # Safety
+/// `draw` must point at `19 * cells` writable scalars and no other thread may
+/// write any cell in `xr × ys` concurrently.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn d3q19_interior_raw(
+    flags: &FlagField,
+    sraw: &[Scalar],
+    draw: *mut Scalar,
+    omega: Scalar,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
     interior_mask: &[bool],
 ) {
     let dims = flags.dims();
@@ -190,6 +286,7 @@ pub fn fused_step_d3q19_interior(
     }
     let cells = dims.cells();
     debug_assert_eq!(interior_mask.len(), cells);
+    debug_assert_eq!(sraw.len(), 19 * cells);
 
     // Per-direction linear offset of the *pull source* (x − c_q).
     let mut off = [0isize; 19];
@@ -198,137 +295,153 @@ pub fn fused_step_d3q19_interior(
         off[q] = -((c[1] as isize * nx as isize + c[0] as isize) * nz as isize + c[2] as isize);
     }
 
-    let sraw = src.raw();
-    let draw = dst.raw_mut();
-
     let y0 = ys.start.max(1);
     let y1 = ys.end.min(ny - 1);
+    let x0 = xr.start.max(1);
+    let x1 = xr.end.min(nx - 1);
+    let z0 = 1;
+    let z1 = nz - 1;
+    let tile = if tile_z == 0 { z1 - z0 } else { tile_z };
+
     let mut f = [0.0f64; 19];
-    for y in y0..y1 {
-        for x in 1..nx - 1 {
-            let base = (y * nx + x) * nz;
-            for z in 1..nz - 1 {
-                let this = base + z;
-                if !interior_mask[this] {
-                    continue;
-                }
-                // Gather: plane q starts at q·cells; source offset is constant.
-                // The unrolled form keeps all 19 loads independent so the
-                // compiler can software-pipeline them (the paper's L0/L1
-                // dual-pipeline scheduling, in spirit).
-                macro_rules! pull {
-                    ($q:literal) => {
-                        f[$q] = sraw[($q * cells) as usize
-                            + (this as isize + off[$q]) as usize];
+    let mut zt = z0;
+    while zt < z1 {
+        let zt_end = (zt + tile).min(z1);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let base = (y * nx + x) * nz;
+                for z in zt..zt_end {
+                    let this = base + z;
+                    if !interior_mask[this] {
+                        continue;
+                    }
+                    // Gather: plane q starts at q·cells; source offset is
+                    // constant. The unrolled form keeps all 19 loads
+                    // independent so the compiler can software-pipeline them
+                    // (the paper's L0/L1 dual-pipeline scheduling, in spirit).
+                    macro_rules! pull {
+                        ($q:literal) => {
+                            f[$q] =
+                                sraw[($q * cells) as usize + (this as isize + off[$q]) as usize];
+                        };
+                    }
+                    pull!(0);
+                    pull!(1);
+                    pull!(2);
+                    pull!(3);
+                    pull!(4);
+                    pull!(5);
+                    pull!(6);
+                    pull!(7);
+                    pull!(8);
+                    pull!(9);
+                    pull!(10);
+                    pull!(11);
+                    pull!(12);
+                    pull!(13);
+                    pull!(14);
+                    pull!(15);
+                    pull!(16);
+                    pull!(17);
+                    pull!(18);
+
+                    // Moments, unrolled against the D3Q19 velocity table.
+                    let rho = f[0]
+                        + f[1]
+                        + f[2]
+                        + f[3]
+                        + f[4]
+                        + f[5]
+                        + f[6]
+                        + f[7]
+                        + f[8]
+                        + f[9]
+                        + f[10]
+                        + f[11]
+                        + f[12]
+                        + f[13]
+                        + f[14]
+                        + f[15]
+                        + f[16]
+                        + f[17]
+                        + f[18];
+                    let jx =
+                        f[1] - f[2] + f[7] - f[8] + f[9] - f[10] + f[11] - f[12] + f[13] - f[14];
+                    let jy =
+                        f[3] - f[4] + f[7] - f[8] - f[9] + f[10] + f[15] - f[16] + f[17] - f[18];
+                    let jz =
+                        f[5] - f[6] + f[11] - f[12] - f[13] + f[14] + f[15] - f[16] - f[17] + f[18];
+                    // Mirror `equilibrium::velocity`'s vacuum guard so this path
+                    // is bit-exact against the generic kernel even on degenerate
+                    // (near-zero-density) states fed in by property tests.
+                    let (ux, uy, uz) = if rho.abs() < 1e-300 {
+                        (0.0, 0.0, 0.0)
+                    } else {
+                        let inv_rho = 1.0 / rho;
+                        (jx * inv_rho, jy * inv_rho, jz * inv_rho)
                     };
-                }
-                pull!(0);
-                pull!(1);
-                pull!(2);
-                pull!(3);
-                pull!(4);
-                pull!(5);
-                pull!(6);
-                pull!(7);
-                pull!(8);
-                pull!(9);
-                pull!(10);
-                pull!(11);
-                pull!(12);
-                pull!(13);
-                pull!(14);
-                pull!(15);
-                pull!(16);
-                pull!(17);
-                pull!(18);
+                    let usq15 = 1.5 * (ux * ux + uy * uy + uz * uz);
 
-                // Moments, unrolled against the D3Q19 velocity table.
-                let rho = f[0]
-                    + f[1]
-                    + f[2]
-                    + f[3]
-                    + f[4]
-                    + f[5]
-                    + f[6]
-                    + f[7]
-                    + f[8]
-                    + f[9]
-                    + f[10]
-                    + f[11]
-                    + f[12]
-                    + f[13]
-                    + f[14]
-                    + f[15]
-                    + f[16]
-                    + f[17]
-                    + f[18];
-                let jx = f[1] - f[2] + f[7] - f[8] + f[9] - f[10] + f[11] - f[12] + f[13] - f[14];
-                let jy = f[3] - f[4] + f[7] - f[8] - f[9] + f[10] + f[15] - f[16] + f[17] - f[18];
-                let jz = f[5] - f[6] + f[11] - f[12] - f[13] + f[14] + f[15] - f[16] - f[17] + f[18];
-                let inv_rho = 1.0 / rho;
-                let ux = jx * inv_rho;
-                let uy = jy * inv_rho;
-                let uz = jz * inv_rho;
-                let usq15 = 1.5 * (ux * ux + uy * uy + uz * uz);
+                    // Collision with precomputed weight constants.
+                    const W0: f64 = 1.0 / 3.0;
+                    const WA: f64 = 1.0 / 18.0;
+                    const WE: f64 = 1.0 / 36.0;
+                    macro_rules! relax {
+                        ($q:literal, $w:expr, $cu:expr) => {{
+                            let cu = $cu;
+                            let feq = $w * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - usq15);
+                            f[$q] -= omega * (f[$q] - feq);
+                        }};
+                    }
+                    relax!(0, W0, 0.0);
+                    relax!(1, WA, ux);
+                    relax!(2, WA, -ux);
+                    relax!(3, WA, uy);
+                    relax!(4, WA, -uy);
+                    relax!(5, WA, uz);
+                    relax!(6, WA, -uz);
+                    relax!(7, WE, ux + uy);
+                    relax!(8, WE, -ux - uy);
+                    relax!(9, WE, ux - uy);
+                    relax!(10, WE, -ux + uy);
+                    relax!(11, WE, ux + uz);
+                    relax!(12, WE, -ux - uz);
+                    relax!(13, WE, ux - uz);
+                    relax!(14, WE, -ux + uz);
+                    relax!(15, WE, uy + uz);
+                    relax!(16, WE, -uy - uz);
+                    relax!(17, WE, uy - uz);
+                    relax!(18, WE, -uy + uz);
 
-                // Collision with precomputed weight constants.
-                const W0: f64 = 1.0 / 3.0;
-                const WA: f64 = 1.0 / 18.0;
-                const WE: f64 = 1.0 / 36.0;
-                macro_rules! relax {
-                    ($q:literal, $w:expr, $cu:expr) => {{
-                        let cu = $cu;
-                        let feq = $w * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - usq15);
-                        f[$q] -= omega * (f[$q] - feq);
-                    }};
+                    // Scatter back to the SoA planes.
+                    macro_rules! store {
+                        ($q:literal) => {
+                            *draw.add($q * cells + this) = f[$q];
+                        };
+                    }
+                    store!(0);
+                    store!(1);
+                    store!(2);
+                    store!(3);
+                    store!(4);
+                    store!(5);
+                    store!(6);
+                    store!(7);
+                    store!(8);
+                    store!(9);
+                    store!(10);
+                    store!(11);
+                    store!(12);
+                    store!(13);
+                    store!(14);
+                    store!(15);
+                    store!(16);
+                    store!(17);
+                    store!(18);
                 }
-                relax!(0, W0, 0.0);
-                relax!(1, WA, ux);
-                relax!(2, WA, -ux);
-                relax!(3, WA, uy);
-                relax!(4, WA, -uy);
-                relax!(5, WA, uz);
-                relax!(6, WA, -uz);
-                relax!(7, WE, ux + uy);
-                relax!(8, WE, -ux - uy);
-                relax!(9, WE, ux - uy);
-                relax!(10, WE, -ux + uy);
-                relax!(11, WE, ux + uz);
-                relax!(12, WE, -ux - uz);
-                relax!(13, WE, ux - uz);
-                relax!(14, WE, -ux + uz);
-                relax!(15, WE, uy + uz);
-                relax!(16, WE, -uy - uz);
-                relax!(17, WE, uy - uz);
-                relax!(18, WE, -uy + uz);
-
-                // Scatter back to the SoA planes.
-                macro_rules! store {
-                    ($q:literal) => {
-                        draw[$q * cells + this] = f[$q];
-                    };
-                }
-                store!(0);
-                store!(1);
-                store!(2);
-                store!(3);
-                store!(4);
-                store!(5);
-                store!(6);
-                store!(7);
-                store!(8);
-                store!(9);
-                store!(10);
-                store!(11);
-                store!(12);
-                store!(13);
-                store!(14);
-                store!(15);
-                store!(16);
-                store!(17);
-                store!(18);
             }
         }
+        zt = zt_end;
     }
 }
 
@@ -365,23 +478,63 @@ pub fn interior_mask<L: Lattice>(flags: &FlagField) -> Vec<bool> {
 }
 
 /// Full fused step that runs the optimized interior kernel where possible and the
-/// generic kernel everywhere else. Exactly equivalent to [`fused_step`]; only
-/// valid for constant-ω BGK (the optimized kernel does not implement LES).
+/// generic kernel everywhere else. Exactly (bit-for-bit) equivalent to
+/// [`fused_step`].
+///
+/// The caller's `collision` is threaded through unchanged: plain constant-ω BGK
+/// takes the hand-optimized interior fast path (+ generic remainder with the
+/// *same* `CollisionKind` — no lossy ω→τ→ω reconstruction), while every other
+/// operator (LES, forced BGK, MRT) falls back to the generic kernel for the
+/// whole slab. `tile_z` blocks the interior sweep in z (`0` = no tiling); see
+/// [`fused_step_d3q19_interior_tiled`].
 pub fn fused_step_optimized(
     flags: &FlagField,
     src: &SoaField<D3Q19>,
     dst: &mut SoaField<D3Q19>,
-    omega: Scalar,
+    collision: &CollisionKind,
     mask: &[bool],
     ys: Range<usize>,
+    tile_z: usize,
 ) {
+    fused_step_optimized_rect(
+        flags,
+        src,
+        dst,
+        collision,
+        mask,
+        0..flags.dims().nx,
+        ys,
+        tile_z,
+    );
+}
+
+/// [`fused_step_optimized`] restricted to the x range `xr` (used by the
+/// distributed engine for the inner rectangle of a subdomain).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_step_optimized_rect(
+    flags: &FlagField,
+    src: &SoaField<D3Q19>,
+    dst: &mut SoaField<D3Q19>,
+    collision: &CollisionKind,
+    mask: &[bool],
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+) {
+    let omega = match collision {
+        CollisionKind::Bgk(p) => p.omega,
+        // Variable-ω / forced / moment-space operators have no hand-optimized
+        // interior kernel; run the generic reference kernel on the whole rect.
+        _ => {
+            return fused_step_rect::<D3Q19, _>(flags, src, dst, collision, xr, ys);
+        }
+    };
+    fused_step_d3q19_interior_tiled(flags, src, dst, omega, xr.clone(), ys.clone(), tile_z, mask);
+    // Finish every cell the fast path skipped, with the caller's collision.
     let dims = flags.dims();
-    fused_step_d3q19_interior(flags, src, dst, omega, ys.clone(), mask);
-    // Finish every cell the fast path skipped.
-    let collision = CollisionKind::Bgk(crate::collision::BgkParams::from_tau(1.0 / omega));
     let mut f = [0.0; MAX_Q];
     for y in ys {
-        for x in 0..dims.nx {
+        for x in xr.clone() {
             for z in 0..dims.nz {
                 let this = dims.idx(x, y, z);
                 if mask[this] {
@@ -391,7 +544,7 @@ pub fn fused_step_optimized(
                 if kind.is_fluid() || kind.is_nebb() {
                     gather_pull::<D3Q19, _>(flags, src, x, y, z, &mut f[..19]);
                     reconstruct_nebb::<D3Q19>(&mut f[..19], kind);
-                    collide::<D3Q19>(&mut f[..19], &collision);
+                    collide::<D3Q19>(&mut f[..19], collision);
                     dst.store_cell(this, &f[..19]);
                 } else {
                     apply_non_fluid::<D3Q19, _>(flags, src, dst, x, y, z, kind);
@@ -458,7 +611,6 @@ pub fn active_cells(flags: &FlagField) -> usize {
     flags.census().fluid
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,7 +647,9 @@ mod tests {
         fused_step(&flags, &src, &mut dst, &coll);
 
         let total = |f: &SoaField<D3Q19>| -> Scalar {
-            (0..f.cells()).map(|c| cell_moments::<D3Q19, _>(f, c).0).sum()
+            (0..f.cells())
+                .map(|c| cell_moments::<D3Q19, _>(f, c).0)
+                .sum()
         };
         assert!((total(&src) - total(&dst)).abs() < 1e-10);
     }
@@ -523,7 +677,12 @@ mod tests {
         };
         let (m0, m1) = (mom(&src), mom(&dst));
         for a in 0..3 {
-            assert!((m0[a] - m1[a]).abs() < 1e-10, "axis {a}: {} vs {}", m0[a], m1[a]);
+            assert!(
+                (m0[a] - m1[a]).abs() < 1e-10,
+                "axis {a}: {} vs {}",
+                m0[a],
+                m1[a]
+            );
         }
     }
 
@@ -569,16 +728,43 @@ mod tests {
         let mut ref_dst = SoaField::<D3Q19>::new(dims);
         fused_step(&flags, &src, &mut ref_dst, &coll);
 
-        let mut opt_dst = SoaField::<D3Q19>::new(dims);
-        fused_step_optimized(&flags, &src, &mut opt_dst, 1.0 / tau, &mask, 0..dims.ny);
+        // Every tile size must agree bit-for-bit: the collision kind is
+        // threaded through (no ω→τ→ω round-trip) and tiling only permutes
+        // independent per-cell updates.
+        for tile_z in [0, 1, 2, 3, 70] {
+            let mut opt_dst = SoaField::<D3Q19>::new(dims);
+            fused_step_optimized(&flags, &src, &mut opt_dst, &coll, &mask, 0..dims.ny, tile_z);
 
+            for c in 0..dims.cells() {
+                for q in 0..19 {
+                    let (r, o) = (ref_dst.get(c, q), opt_dst.get(c, q));
+                    assert_eq!(
+                        r, o,
+                        "tile_z {tile_z} cell {c} q {q}: generic {r} vs optimized {o}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_dispatch_falls_back_for_non_bgk_operators() {
+        let dims = GridDims::new(6, 6, 6);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        let src: SoaField<D3Q19> = setup_random_field(dims, 41);
+        let mask = interior_mask::<D3Q19>(&flags);
+        let coll = CollisionKind::SmagorinskyLes(
+            crate::collision::SmagorinskyParams::new(BgkParams::from_tau(0.8), 0.12).unwrap(),
+        );
+
+        let mut ref_dst = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut ref_dst, &coll);
+        let mut opt_dst = SoaField::<D3Q19>::new(dims);
+        fused_step_optimized(&flags, &src, &mut opt_dst, &coll, &mask, 0..dims.ny, 2);
         for c in 0..dims.cells() {
             for q in 0..19 {
-                let (r, o) = (ref_dst.get(c, q), opt_dst.get(c, q));
-                assert!(
-                    (r - o).abs() < 1e-14,
-                    "cell {c} q {q}: generic {r} vs optimized {o}"
-                );
+                assert_eq!(ref_dst.get(c, q), opt_dst.get(c, q), "cell {c} q {q}");
             }
         }
     }

@@ -33,7 +33,7 @@ impl Layout {
 }
 
 /// A population field: `Q` scalars per cell in some memory layout.
-pub trait PopField<L: Lattice>: Clone + Send + Sync {
+pub trait PopField<L: Lattice>: Clone + Send + Sync + 'static {
     /// Allocate a zero-initialized field for `dims`.
     fn new(dims: GridDims) -> Self;
 
@@ -240,7 +240,10 @@ pub struct AbBuffers<F> {
 impl<F> AbBuffers<F> {
     /// Build from two identically-sized fields; `a` holds the initial state.
     pub fn new(a: F, b: F) -> Self {
-        Self { bufs: [a, b], cur: 0 }
+        Self {
+            bufs: [a, b],
+            cur: 0,
+        }
     }
 
     /// The buffer holding the current state (the read side of the next step).

@@ -7,18 +7,40 @@
 //! write disjoint `dst` cells, so the only unsafe code needed is a `Send + Sync`
 //! raw-pointer wrapper around the destination buffer.
 //!
-//! Threads are spawned per step with `crossbeam::scope`; at the grid sizes where
-//! parallelism pays (≥ a few hundred thousand cells per step) the spawn cost is
-//! noise, and the design stays dead-simple and panic-safe.
+//! The pool is **persistent**: `threads − 1` workers are spawned once at
+//! construction and parked on a condvar between steps, and a step dispatches a
+//! plain `(fn, ctx)` pair — no per-step thread spawn, no boxed closures, no
+//! channel traffic — so a steady-state step performs zero heap allocations.
+//! Work is distributed by atomic slab stealing over a contiguous, balanced
+//! y-partition; the caller participates as worker 0.
+//!
+//! Each slab dispatches the hand-optimized D3Q19 interior kernel (with z-tile
+//! cache blocking, the CPU mirror of the paper's 64×3×70 CPE tiling) when the
+//! field is SoA/D3Q19, the collision is plain BGK, and the caller supplied an
+//! interior mask; everything else — other lattices, layouts and operators, and
+//! the non-interior remainder cells — runs the generic reference kernel.
+//! Results are bit-for-bit identical to [`crate::kernels::fused_step`]
+//! regardless of thread count or tile size (per-cell updates are independent).
 
 use crate::boundary::NodeKind;
 use crate::collision::{collide, CollisionKind};
 use crate::equilibrium::equilibrium;
 use crate::flags::FlagField;
-use crate::kernels::{gather_pull, MAX_Q};
-use crate::lattice::Lattice;
-use crate::layout::PopField;
+use crate::kernels::{d3q19_interior_raw, gather_pull, MAX_Q};
+use crate::lattice::{Lattice, D3Q19};
+use crate::layout::{PopField, SoaField};
 use crate::Scalar;
+use std::any::Any;
+use std::fmt;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Default z-tile extent: the paper's CPE blocking is 64×3×70 (x×y×z), so 70
+/// z-cells per tile is the direct mapping (see `docs/PERFORMANCE.md`).
+pub const DEFAULT_TILE_Z: usize = 70;
 
 /// A `Send + Sync` writer over a population field's raw storage.
 ///
@@ -32,7 +54,7 @@ struct SharedWriter {
 }
 
 // SAFETY: the pointer refers to a buffer whose unique borrow is held (and not
-// otherwise used) for the lifetime of the scope; disjointness of writes is
+// otherwise used) for the lifetime of the job; disjointness of writes is
 // guaranteed by the slab partition.
 unsafe impl Send for SharedWriter {}
 unsafe impl Sync for SharedWriter {}
@@ -47,17 +69,151 @@ impl SharedWriter {
     }
 }
 
-/// Thread-count configuration for the parallel driver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ThreadPool {
-    threads: usize,
+// ---------------------------------------------------------------------------
+// Persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// A type-erased job: workers call `func(ctx)` once per wake-up. The context
+/// points into the dispatching caller's stack; the dispatch protocol (the
+/// caller blocks until every worker has finished) keeps it alive.
+#[derive(Clone, Copy)]
+struct Job {
+    func: unsafe fn(*const ()),
+    ctx: *const (),
 }
 
+// SAFETY: `ctx` only ever points at a `StepCtx`, whose contents are Send+Sync
+// (shared references to field data plus the SharedWriter).
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Bumped once per dispatched job; workers run each generation exactly once.
+    generation: u64,
+    /// Workers still executing the current generation.
+    active: usize,
+    shutdown: bool,
+    panicked: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+struct PoolInner {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    if let Some(job) = st.job {
+                        seen = st.generation;
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        // The job body only touches per-slab state; a panic is recorded and
+        // re-raised on the dispatching thread so the pool stays usable.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.func)(job.ctx) }));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Thread-count + tile-size configuration and the persistent worker pool that
+/// executes fused steps.
+///
+/// Cloning is cheap and shares the underlying workers. Equality and `Debug`
+/// look at the configuration only.
+#[derive(Clone)]
+pub struct ThreadPool {
+    threads: usize,
+    tile_z: usize,
+    inner: Option<Arc<PoolInner>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("tile_z", &self.tile_z)
+            .finish()
+    }
+}
+
+impl PartialEq for ThreadPool {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads && self.tile_z == other.tile_z
+    }
+}
+
+impl Eq for ThreadPool {}
+
 impl ThreadPool {
-    /// Use exactly `threads` worker threads (≥ 1).
+    /// Use exactly `threads` worker threads (≥ 1). `threads − 1` persistent
+    /// workers are spawned immediately; the calling thread participates in
+    /// every step as the remaining worker.
     pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = (threads > 1).then(|| {
+            let shared = Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    job: None,
+                    generation: 0,
+                    active: 0,
+                    shutdown: false,
+                    panicked: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            });
+            let handles = (0..threads - 1)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(shared))
+                })
+                .collect();
+            Arc::new(PoolInner {
+                shared,
+                handles: Mutex::new(handles),
+            })
+        });
         Self {
-            threads: threads.max(1),
+            threads,
+            tile_z: DEFAULT_TILE_Z,
+            inner,
         }
     }
 
@@ -70,60 +226,139 @@ impl ThreadPool {
         )
     }
 
-    /// Number of worker threads.
+    /// Set the z-tile extent for the optimized interior kernel (`0` disables
+    /// tiling). Default: [`DEFAULT_TILE_Z`].
+    pub fn with_tile_z(mut self, tile_z: usize) -> Self {
+        self.tile_z = tile_z;
+        self
+    }
+
+    /// Number of worker threads (including the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// z-tile extent used by the optimized interior kernel.
+    pub fn tile_z(&self) -> usize {
+        self.tile_z
+    }
+
     /// Partition `0..ny` into at most `threads` contiguous, balanced slabs.
-    pub fn slabs(&self, ny: usize) -> Vec<std::ops::Range<usize>> {
+    pub fn slabs(&self, ny: usize) -> Vec<Range<usize>> {
         let n = self.threads.min(ny).max(1);
-        let base = ny / n;
-        let extra = ny % n;
-        let mut out = Vec::with_capacity(n);
-        let mut start = 0;
-        for i in 0..n {
-            let len = base + usize::from(i < extra);
-            out.push(start..start + len);
-            start += len;
-        }
-        out
+        (0..n).map(|i| slab_range(&(0..ny), i, n)).collect()
     }
 
     /// One fused stream+collide step executed by all worker threads.
     ///
     /// Produces exactly the same `dst` state as [`crate::kernels::fused_step`]
-    /// (verified by tests and property tests), independent of thread count.
+    /// (verified by tests and property tests), independent of thread count and
+    /// tile size. When `mask` is supplied, the field is SoA/D3Q19 and the
+    /// collision is plain BGK, interior cells run the hand-optimized kernel
+    /// (with z-tile blocking) and only the remainder takes the generic path;
+    /// otherwise the whole slab runs the generic kernel.
     pub fn fused_step<L: Lattice, F: PopField<L>>(
         &self,
         flags: &FlagField,
         src: &F,
         dst: &mut F,
         collision: &CollisionKind,
+        mask: Option<&[bool]>,
     ) {
         let dims = flags.dims();
-        let slabs = self.slabs(dims.ny);
-        if slabs.len() <= 1 {
-            crate::kernels::fused_step(flags, src, dst, collision);
+        self.step_rect::<L, F>(flags, src, dst, collision, 0..dims.nx, 0..dims.ny, mask);
+    }
+
+    /// [`ThreadPool::fused_step`] restricted to the rectangle `xr × yr` (full z
+    /// depth) — the entry point the distributed engine uses for the inner
+    /// rectangle of a subdomain.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_rect<L: Lattice, F: PopField<L>>(
+        &self,
+        flags: &FlagField,
+        src: &F,
+        dst: &mut F,
+        collision: &CollisionKind,
+        xr: Range<usize>,
+        yr: Range<usize>,
+        mask: Option<&[bool]>,
+    ) {
+        let ny = yr.end.saturating_sub(yr.start);
+        if ny == 0 || xr.end <= xr.start {
             return;
         }
-        // `index_of` must not depend on &mut-ness; capture the mapping up front.
+        // Fast-path eligibility: plain constant-ω BGK on an SoA/D3Q19 field
+        // with a caller-provided interior mask.
+        let fast = match (collision, mask) {
+            (CollisionKind::Bgk(p), Some(_)) => (src as &dyn Any)
+                .downcast_ref::<SoaField<D3Q19>>()
+                .map(|s| (s.raw(), p.omega)),
+            _ => None,
+        };
+        // The generic remainder skips fast-path cells only when the fast
+        // kernel actually ran; otherwise it must cover every cell.
+        let skip_mask = if fast.is_some() { mask } else { None };
+
         let raw = dst.raw_mut();
         let writer = SharedWriter {
             ptr: raw.as_mut_ptr(),
             len: raw.len(),
         };
-        let writer = &writer;
-        // A fresh clone-free handle to compute layout offsets: the layout mapping
-        // is a pure function of dims, so we use `src` (same dims) for it.
-        crossbeam::scope(|scope| {
-            for ys in slabs {
-                scope.spawn(move |_| {
-                    step_slab::<L, F>(flags, src, writer, collision, ys);
-                });
+        let n_slabs = self.threads.min(ny);
+        let ctx = StepCtx::<L, F> {
+            flags,
+            src,
+            writer,
+            collision,
+            fast_sraw: fast.map(|(s, _)| s),
+            omega: fast.map(|(_, o)| o).unwrap_or(0.0),
+            skip_mask,
+            xr,
+            yr,
+            tile_z: self.tile_z,
+            n_slabs,
+            next: AtomicUsize::new(0),
+            _lattice: std::marker::PhantomData,
+        };
+
+        match &self.inner {
+            None => unsafe { run_step_job::<L, F>(&ctx as *const StepCtx<L, F> as *const ()) },
+            Some(inner) => {
+                let workers = {
+                    let mut st = inner.shared.state.lock().unwrap();
+                    st.job = Some(Job {
+                        func: run_step_job::<L, F>,
+                        ctx: &ctx as *const StepCtx<L, F> as *const (),
+                    });
+                    st.generation += 1;
+                    st.active = self.threads - 1;
+                    st.active
+                };
+                if workers > 0 {
+                    inner.shared.work_cv.notify_all();
+                }
+                // Participate as worker 0. Even if this panics, we must wait
+                // for the workers before unwinding: the job context lives on
+                // this stack frame.
+                let mine = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    run_step_job::<L, F>(&ctx as *const StepCtx<L, F> as *const ())
+                }));
+                let panicked = {
+                    let mut st = inner.shared.state.lock().unwrap();
+                    while st.active > 0 {
+                        st = inner.shared.done_cv.wait(st).unwrap();
+                    }
+                    st.job = None;
+                    std::mem::replace(&mut st.panicked, false)
+                };
+                if let Err(payload) = mine {
+                    resume_unwind(payload);
+                }
+                if panicked {
+                    panic!("worker thread panicked");
+                }
             }
-        })
-        .expect("worker thread panicked");
+        }
     }
 }
 
@@ -133,20 +368,97 @@ impl Default for ThreadPool {
     }
 }
 
-/// Per-thread body: fused step over one y-slab, writing through the shared writer.
-fn step_slab<L: Lattice, F: PopField<L>>(
+/// Contiguous balanced slab `i` of `n` over `yr`.
+fn slab_range(yr: &Range<usize>, i: usize, n: usize) -> Range<usize> {
+    let ny = yr.end - yr.start;
+    let base = ny / n;
+    let extra = ny % n;
+    let start = yr.start + i * base + i.min(extra);
+    start..start + base + usize::from(i < extra)
+}
+
+/// The type-erased per-step context shared by all participants. Lives on the
+/// dispatching caller's stack for the duration of the step.
+struct StepCtx<'a, L: Lattice, F: PopField<L>> {
+    flags: &'a FlagField,
+    src: &'a F,
+    writer: SharedWriter,
+    collision: &'a CollisionKind,
+    /// `Some` ⇒ run the optimized D3Q19 interior kernel on masked cells.
+    fast_sraw: Option<&'a [Scalar]>,
+    omega: Scalar,
+    /// `Some` ⇒ the generic remainder skips cells the fast path covered.
+    skip_mask: Option<&'a [bool]>,
+    xr: Range<usize>,
+    yr: Range<usize>,
+    tile_z: usize,
+    n_slabs: usize,
+    next: AtomicUsize,
+    _lattice: std::marker::PhantomData<L>,
+}
+
+/// Job body: steal slabs until the partition is exhausted.
+///
+/// # Safety
+/// `ctx` must point at a live `StepCtx<L, F>` whose writer targets a buffer no
+/// other code touches during the job.
+unsafe fn run_step_job<L: Lattice, F: PopField<L>>(ctx: *const ()) {
+    let ctx = unsafe { &*(ctx as *const StepCtx<L, F>) };
+    loop {
+        let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+        if i >= ctx.n_slabs {
+            break;
+        }
+        let ys = slab_range(&ctx.yr, i, ctx.n_slabs);
+        if let (Some(sraw), Some(mask)) = (ctx.fast_sraw, ctx.skip_mask) {
+            // SAFETY: disjoint y-slabs ⇒ disjoint writes; writer length checked
+            // at construction.
+            unsafe {
+                d3q19_interior_raw(
+                    ctx.flags,
+                    sraw,
+                    ctx.writer.ptr,
+                    ctx.omega,
+                    ctx.xr.clone(),
+                    ys.clone(),
+                    ctx.tile_z,
+                    mask,
+                );
+            }
+        }
+        step_slab_rect::<L, F>(
+            ctx.flags,
+            ctx.src,
+            &ctx.writer,
+            ctx.collision,
+            ctx.xr.clone(),
+            ys,
+            ctx.skip_mask,
+        );
+    }
+}
+
+/// Per-thread generic body: fused step over one slab of the rectangle, writing
+/// through the shared writer. When `skip_mask` is given, cells flagged there
+/// were already produced by the optimized interior kernel and are skipped.
+fn step_slab_rect<L: Lattice, F: PopField<L>>(
     flags: &FlagField,
     src: &F,
     writer: &SharedWriter,
     collision: &CollisionKind,
-    ys: std::ops::Range<usize>,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    skip_mask: Option<&[bool]>,
 ) {
     let dims = flags.dims();
     let mut f = [0.0; MAX_Q];
     for y in ys {
-        for x in 0..dims.nx {
+        for x in xr.clone() {
             for z in 0..dims.nz {
                 let this = dims.idx(x, y, z);
+                if skip_mask.is_some_and(|m| m[this]) {
+                    continue;
+                }
                 let kind = flags.kind(this);
                 match kind {
                     NodeKind::Fluid
@@ -162,9 +474,7 @@ fn step_slab<L: Lattice, F: PopField<L>>(
                     }
                     NodeKind::Wall | NodeKind::MovingWall { .. } => {
                         for q in 0..L::Q {
-                            unsafe {
-                                writer.write(src.index_of(this, q), src.get(this, q))
-                            };
+                            unsafe { writer.write(src.index_of(this, q), src.get(this, q)) };
                         }
                     }
                     NodeKind::Inlet { rho, u } => {
@@ -179,9 +489,7 @@ fn step_slab<L: Lattice, F: PopField<L>>(
                             .map(|[a, b, c]| dims.idx(a, b, c))
                             .unwrap_or(this);
                         for q in 0..L::Q {
-                            unsafe {
-                                writer.write(src.index_of(this, q), src.get(m, q))
-                            };
+                            unsafe { writer.write(src.index_of(this, q), src.get(m, q)) };
                         }
                     }
                 }
@@ -195,7 +503,7 @@ mod tests {
     use super::*;
     use crate::collision::BgkParams;
     use crate::geometry::GridDims;
-    use crate::kernels::fused_step;
+    use crate::kernels::{fused_step, interior_mask};
     use crate::lattice::{D2Q9, D3Q19};
     use crate::layout::{AosField, SoaField};
 
@@ -207,8 +515,8 @@ mod tests {
                 s ^= s >> 12;
                 s ^= s << 25;
                 s ^= s >> 27;
-                let r = (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as Scalar
-                    / (1u64 << 53) as Scalar;
+                let r =
+                    (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as Scalar / (1u64 << 53) as Scalar;
                 field.set(cell, q, 0.02 + 0.05 * r);
             }
         }
@@ -251,7 +559,7 @@ mod tests {
 
         for threads in [1, 2, 3, 8] {
             let mut par = SoaField::<D3Q19>::new(dims);
-            ThreadPool::new(threads).fused_step(&flags, &src, &mut par, &coll);
+            ThreadPool::new(threads).fused_step(&flags, &src, &mut par, &coll, None);
             for c in 0..dims.cells() {
                 for q in 0..19 {
                     assert_eq!(
@@ -260,6 +568,74 @@ mod tests {
                         "threads={threads} cell={c} q={q}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_optimized_dispatch_matches_serial_exactly() {
+        let dims = GridDims::new(9, 11, 7);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        flags.set(4, 5, 3, NodeKind::Wall);
+        let src: SoaField<D3Q19> = random_field(dims, 99);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.7));
+        let mask = interior_mask::<D3Q19>(&flags);
+
+        let mut serial = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut serial, &coll);
+
+        for threads in [1, 2, 4] {
+            for tile_z in [0, 1, 3, 70] {
+                let mut par = SoaField::<D3Q19>::new(dims);
+                ThreadPool::new(threads).with_tile_z(tile_z).fused_step(
+                    &flags,
+                    &src,
+                    &mut par,
+                    &coll,
+                    Some(&mask),
+                );
+                for c in 0..dims.cells() {
+                    for q in 0..19 {
+                        assert_eq!(
+                            serial.get(c, q),
+                            par.get(c, q),
+                            "threads={threads} tile_z={tile_z} cell={c} q={q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rect_dispatch_composes_with_ring() {
+        // Computing the inner rectangle (pooled, masked) and the boundary ring
+        // (generic) separately must reproduce the full-domain step — the same
+        // decomposition the distributed engine uses.
+        let dims = GridDims::new(10, 9, 6);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        let src: SoaField<D3Q19> = random_field(dims, 5);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.75));
+        let mask = interior_mask::<D3Q19>(&flags);
+
+        let mut whole = SoaField::<D3Q19>::new(dims);
+        fused_step(&flags, &src, &mut whole, &coll);
+
+        let pool = ThreadPool::new(3).with_tile_z(2);
+        let mut pieces = SoaField::<D3Q19>::new(dims);
+        pool.step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 2..8, 2..7, Some(&mask));
+        // Ring strips (generic path), exactly once per remaining cell.
+        use crate::kernels::fused_step_rect;
+        fused_step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 0..10, 0..2);
+        fused_step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 0..10, 7..9);
+        fused_step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 0..2, 2..7);
+        fused_step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 8..10, 2..7);
+
+        for c in 0..dims.cells() {
+            for q in 0..19 {
+                assert_eq!(whole.get(c, q), pieces.get(c, q), "cell {c} q {q}");
             }
         }
     }
@@ -276,7 +652,7 @@ mod tests {
         let mut serial = AosField::<D3Q19>::new(dims);
         fused_step(&flags, &src, &mut serial, &coll);
         let mut par = AosField::<D3Q19>::new(dims);
-        ThreadPool::new(4).fused_step(&flags, &src, &mut par, &coll);
+        ThreadPool::new(4).fused_step(&flags, &src, &mut par, &coll, None);
         for c in 0..dims.cells() {
             for q in 0..19 {
                 assert_eq!(serial.get(c, q), par.get(c, q));
@@ -296,10 +672,40 @@ mod tests {
         let mut serial = SoaField::<D2Q9>::new(dims);
         fused_step(&flags, &src, &mut serial, &coll);
         let mut par = SoaField::<D2Q9>::new(dims);
-        ThreadPool::new(3).fused_step(&flags, &src, &mut par, &coll);
+        ThreadPool::new(3).fused_step(&flags, &src, &mut par, &coll, None);
         for c in 0..dims.cells() {
             for q in 0..9 {
                 assert_eq!(serial.get(c, q), par.get(c, q));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_steps_and_clones() {
+        let dims = GridDims::new(6, 8, 5);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        let mask = interior_mask::<D3Q19>(&flags);
+
+        let pool = ThreadPool::new(4);
+        let clone = pool.clone();
+        let mut a: SoaField<D3Q19> = random_field(dims, 11);
+        let mut b = SoaField::<D3Q19>::new(dims);
+        let mut serial_a = a.clone();
+        let mut serial_b = SoaField::<D3Q19>::new(dims);
+        for step in 0..6 {
+            // Alternate pool handle and masked/unmasked dispatch.
+            let p = if step % 2 == 0 { &pool } else { &clone };
+            let m = if step % 3 == 0 { Some(&mask[..]) } else { None };
+            p.fused_step(&flags, &a, &mut b, &coll, m);
+            std::mem::swap(&mut a, &mut b);
+            fused_step(&flags, &serial_a, &mut serial_b, &coll);
+            std::mem::swap(&mut serial_a, &mut serial_b);
+        }
+        for c in 0..dims.cells() {
+            for q in 0..19 {
+                assert_eq!(a.get(c, q), serial_a.get(c, q));
             }
         }
     }

@@ -12,8 +12,8 @@ use swlb_core::collision::{
 use swlb_core::equilibrium::{equilibrium, moments};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
-use swlb_core::kernels::{fused_step, interior_mask, fused_step_optimized};
-use swlb_core::lattice::{D2Q9, D3Q19, Lattice};
+use swlb_core::kernels::{fused_step, fused_step_optimized, interior_mask};
+use swlb_core::lattice::{Lattice, D2Q9, D3Q19};
 use swlb_core::layout::{AosField, PopField, SoaField};
 use swlb_core::parallel::ThreadPool;
 use swlb_core::prelude::NodeKind;
@@ -183,7 +183,7 @@ proptest! {
         let mut serial = SoaField::<D3Q19>::new(dims);
         fused_step(&flags, &src, &mut serial, &coll);
         let mut par = SoaField::<D3Q19>::new(dims);
-        ThreadPool::new(threads).fused_step(&flags, &src, &mut par, &coll);
+        ThreadPool::new(threads).fused_step(&flags, &src, &mut par, &coll, None);
         for c in 0..dims.cells() {
             for q in 0..D3Q19::Q {
                 prop_assert_eq!(serial.get(c, q), par.get(c, q));
@@ -196,6 +196,8 @@ proptest! {
         vals in prop::collection::vec(0.0f64..1.0, 64),
         obstacle_bits in prop::collection::vec(prop::bool::weighted(0.15), 125),
         tau in 0.55f64..1.6,
+        tile_z in 0usize..5,
+        threads in 1usize..5,
     ) {
         let dims = GridDims::new(6, 6, 6);
         let mut flags = FlagField::new(dims);
@@ -212,11 +214,25 @@ proptest! {
 
         let mut reference = SoaField::<D3Q19>::new(dims);
         fused_step(&flags, &src, &mut reference, &coll);
+
+        // The collision kind is threaded through (no ω→τ→ω round-trip), so
+        // serial optimized dispatch is bit-exact against the reference...
         let mut optimized = SoaField::<D3Q19>::new(dims);
-        fused_step_optimized(&flags, &src, &mut optimized, 1.0 / tau, &mask, 0..dims.ny);
+        fused_step_optimized(&flags, &src, &mut optimized, &coll, &mask, 0..dims.ny, tile_z);
         for c in 0..dims.cells() {
             for q in 0..D3Q19::Q {
-                prop_assert!((reference.get(c, q) - optimized.get(c, q)).abs() < 1e-13);
+                prop_assert_eq!(reference.get(c, q), optimized.get(c, q));
+            }
+        }
+
+        // ...and so is the pooled + z-blocked dispatch, for any thread count.
+        let mut pooled = SoaField::<D3Q19>::new(dims);
+        ThreadPool::new(threads)
+            .with_tile_z(tile_z)
+            .fused_step(&flags, &src, &mut pooled, &coll, Some(&mask));
+        for c in 0..dims.cells() {
+            for q in 0..D3Q19::Q {
+                prop_assert_eq!(reference.get(c, q), pooled.get(c, q));
             }
         }
     }

@@ -235,13 +235,20 @@ fn write_outputs(ctx: &RunCtx, name: &str, solver: &Solver<D2Q9>, log: Option<&P
 }
 
 fn run_cavity(cfg: &CaseConfig, ctx: &RunCtx) {
-    say!(ctx, "case: lid-driven cavity ({}x{}, tau {})", cfg.nx, cfg.ny, cfg.tau);
-    let mut solver =
-        Solver::<D2Q9>::builder(GridDims::new2d(cfg.nx, cfg.ny), cfg.bgk().expect("valid tau"))
-            .mode(ExecMode::Parallel)
-            .pool(ThreadPool::auto())
-            .recorder(ctx.recorder.clone())
-            .build();
+    say!(
+        ctx,
+        "case: lid-driven cavity ({}x{}, tau {})",
+        cfg.nx,
+        cfg.ny,
+        cfg.tau
+    );
+    let mut solver = Solver::<D2Q9>::builder(
+        GridDims::new2d(cfg.nx, cfg.ny),
+        cfg.bgk().expect("valid tau"),
+    )
+    .pool(ThreadPool::auto())
+    .recorder(ctx.recorder.clone())
+    .build();
     solver.flags_mut().set_box_walls();
     solver.flags_mut().paint_lid([cfg.u_lattice, 0.0, 0.0]);
     solver.initialize_uniform(1.0, [0.0; 3]);
@@ -251,17 +258,31 @@ fn run_cavity(cfg: &CaseConfig, ctx: &RunCtx) {
         .expect("diverged: reduce u_lattice or raise tau");
     let wall = t0.elapsed().as_secs_f64();
     let s = solver.stats();
-    say!(ctx, "step {}: mass {:.4}, max |u| {:.4}", s.step, s.mass, s.max_velocity);
+    say!(
+        ctx,
+        "step {}: mass {:.4}, max |u| {:.4}",
+        s.step,
+        s.mass,
+        s.max_velocity
+    );
     write_outputs(ctx, &cfg.name, &solver, None);
     exit_summary(ctx, s.step, solver.active_cells(), wall);
 }
 
 fn run_channel(cfg: &CaseConfig, ctx: &RunCtx) {
-    say!(ctx, "case: channel flow ({}x{}, tau {})", cfg.nx, cfg.ny, cfg.tau);
-    let mut solver =
-        Solver::<D2Q9>::builder(GridDims::new2d(cfg.nx, cfg.ny), cfg.bgk().expect("valid tau"))
-            .recorder(ctx.recorder.clone())
-            .build();
+    say!(
+        ctx,
+        "case: channel flow ({}x{}, tau {})",
+        cfg.nx,
+        cfg.ny,
+        cfg.tau
+    );
+    let mut solver = Solver::<D2Q9>::builder(
+        GridDims::new2d(cfg.nx, cfg.ny),
+        cfg.bgk().expect("valid tau"),
+    )
+    .recorder(ctx.recorder.clone())
+    .build();
     solver.flags_mut().paint_channel_walls_y();
     solver
         .flags_mut()
@@ -294,7 +315,12 @@ fn run_cylinder(cfg: &CaseConfig, ctx: &RunCtx) {
     solver
         .flags_mut()
         .paint_inflow_outflow_x(1.0, [cfg.u_lattice, 0.0, 0.0]);
-    let mask = cylinder_z_mask(dims, dims.nx as f64 / 4.0, dims.ny as f64 / 2.0 + 0.5, d / 2.0);
+    let mask = cylinder_z_mask(
+        dims,
+        dims.nx as f64 / 4.0,
+        dims.ny as f64 / 2.0 + 0.5,
+        d / 2.0,
+    );
     solver.flags_mut().apply_mask(&mask).unwrap();
     solver.initialize_uniform(1.0, [cfg.u_lattice, 0.0, 0.0]);
 

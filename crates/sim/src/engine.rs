@@ -16,20 +16,21 @@
 //! the CPE cluster (inner-domain computation), Fig. 6(2)/Fig. 9(2).
 
 use crate::partition::Partition2d;
+use std::ops::Range;
+use std::time::Duration;
 use swlb_comm::cart::NEIGHBOR_OFFSETS;
 use swlb_comm::{Comm, CommError, Communicator, Tag};
 use swlb_core::collision::{collide, CollisionKind};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
-use swlb_core::kernels::{apply_non_fluid, gather_pull, MAX_Q};
+use swlb_core::kernels::{apply_non_fluid, gather_pull, interior_mask, MAX_Q};
 use swlb_core::lattice::Lattice;
 use swlb_core::layout::{AbBuffers, PopField, SoaField};
 use swlb_core::macroscopic::MacroFields;
+use swlb_core::parallel::ThreadPool;
 use swlb_core::Scalar;
 use swlb_io::checkpoint::Crc32;
 use swlb_obs::{exponential_buckets, Counter, Gauge, Histogram, Phase, Recorder, SwlbError};
-use std::ops::Range;
-use std::time::Duration;
 
 /// Halo-exchange schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +154,16 @@ pub struct DistributedSolver<'c, L: Lattice, C: Communicator = Comm> {
     mode: ExchangeMode,
     lnx: usize,
     lny: usize,
+    /// Execution pipeline for the inner rectangle: the same pooled + z-blocked
+    /// dispatch the shared-memory [`Solver`](swlb_core::solver::Solver) uses.
+    pool: ThreadPool,
+    /// Interior-cell mask of the local grid (halo ring excluded), enabling the
+    /// hand-optimized D3Q19 kernel inside the pooled dispatch.
+    interior: Vec<bool>,
+    /// Reusable halo frame buffers: once capacities stabilize, the
+    /// steady-state step performs no heap allocation.
+    send_buf: Vec<f64>,
+    recv_buf: Vec<f64>,
     step: u64,
     /// Restart generation: bumped on rollback so in-flight pre-rollback halo
     /// frames are recognized as stale and discarded.
@@ -185,6 +196,7 @@ pub struct DistributedSolverBuilder<'c, 'f, L: Lattice, C: Communicator = Comm> 
     mode: ExchangeMode,
     retry: HaloRetry,
     recorder: Recorder,
+    pool: Option<ThreadPool>,
     _lattice: std::marker::PhantomData<L>,
 }
 
@@ -204,8 +216,18 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             mode: ExchangeMode::OnTheFly,
             retry: HaloRetry::default(),
             recorder: Recorder::disabled(),
+            pool: None,
             _lattice: std::marker::PhantomData,
         }
+    }
+
+    /// Run this rank's inner rectangle on the given thread pool (default: a
+    /// single-threaded pool). This is the second level of the paper's two-level
+    /// parallelism: ranks partition the domain, the pool's threads partition
+    /// each rank's inner rectangle into y-slabs with z-tile blocking.
+    pub fn pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Select the halo-exchange schedule (default [`ExchangeMode::OnTheFly`]).
@@ -216,7 +238,10 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
 
     /// Replace the halo retry/backoff policy (default [`HaloRetry::default`]).
     pub fn halo_retry(mut self, retry: HaloRetry) -> Self {
-        assert!(retry.max_attempts >= 1, "halo retry needs at least one attempt");
+        assert!(
+            retry.max_attempts >= 1,
+            "halo retry needs at least one attempt"
+        );
         self.retry = retry;
         self
     }
@@ -246,6 +271,7 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             }
         }
         let recorder = self.recorder;
+        let interior = interior_mask::<L>(&flags);
         DistributedSolver {
             comm,
             part,
@@ -255,6 +281,10 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             mode: self.mode,
             lnx,
             lny,
+            pool: self.pool.unwrap_or_else(|| ThreadPool::new(1)),
+            interior,
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
             step: 0,
             epoch: 0,
             retry: self.retry,
@@ -264,8 +294,7 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             obs_retries: recorder.counter("halo.retries"),
             obs_timeouts: recorder.counter("halo.timeouts"),
             obs_corrupt: recorder.counter("halo.corrupt"),
-            obs_halo_us: recorder
-                .histogram("halo.latency_us", &exponential_buckets(10.0, 4.0, 8)),
+            obs_halo_us: recorder.histogram("halo.latency_us", &exponential_buckets(10.0, 4.0, 8)),
             recorder,
         }
     }
@@ -306,7 +335,10 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
 
     /// Replace the halo retry/backoff policy.
     pub fn set_halo_retry(&mut self, retry: HaloRetry) {
-        assert!(retry.max_attempts >= 1, "halo retry needs at least one attempt");
+        assert!(
+            retry.max_attempts >= 1,
+            "halo retry needs at least one attempt"
+        );
         self.retry = retry;
     }
 
@@ -363,15 +395,11 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let global = part.global;
         let ((x0, _), (y0, _)) = part.owned(rank);
         let flags = self.flags.clone();
-        swlb_core::kernels::initialize_with::<L, _>(
-            &flags,
-            self.bufs.src_mut(),
-            |lx, ly, z| {
-                let gx = (x0 + global.nx + lx - 1) % global.nx;
-                let gy = (y0 + global.ny + ly - 1) % global.ny;
-                state(gx, gy, z)
-            },
-        );
+        swlb_core::kernels::initialize_with::<L, _>(&flags, self.bufs.src_mut(), |lx, ly, z| {
+            let gx = (x0 + global.nx + lx - 1) % global.nx;
+            let gy = (y0 + global.ny + ly - 1) % global.ny;
+            state(gx, gy, z)
+        });
         self.step = 0;
     }
 
@@ -399,11 +427,11 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         }
     }
 
-    fn pack(&self, xr: Range<usize>, yr: Range<usize>) -> Vec<f64> {
+    /// Append the strip `xr × yr` (full z) to `out` in halo wire order.
+    fn pack_into(&self, xr: Range<usize>, yr: Range<usize>, out: &mut Vec<f64>) {
         let dims = self.flags.dims();
         let src = self.bufs.src();
-        let mut out =
-            Vec::with_capacity(xr.len() * yr.len() * dims.nz * L::Q);
+        out.reserve(xr.len() * yr.len() * dims.nz * L::Q);
         for y in yr {
             for x in xr.clone() {
                 for z in 0..dims.nz {
@@ -414,6 +442,11 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 }
             }
         }
+    }
+
+    fn pack(&self, xr: Range<usize>, yr: Range<usize>) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.pack_into(xr, yr, &mut out);
         out
     }
 
@@ -434,32 +467,34 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         assert!(it.next().is_none(), "halo message too long");
     }
 
-    /// Wrap a halo payload in the `[epoch, step, crc]` frame.
-    fn frame(&self, payload: &[f64]) -> Vec<f64> {
-        let mut out = Vec::with_capacity(payload.len() + FRAME_HEADER);
-        out.push(self.epoch as f64);
-        out.push(self.step as f64);
-        out.push(0.0); // checksum slot, filled below
-        out.extend_from_slice(payload);
-        out[2] = frame_crc(&out) as f64;
-        out
-    }
-
-    /// Post all 8 halo sends of the current state.
-    fn post_sends(&self) -> Result<(), CommError> {
-        for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
-            let dst = self
-                .part
-                .cart
-                .neighbor(self.comm.rank(), *dx, *dy)
-                .expect("periodic topology always has neighbors");
-            let payload = self.pack(
-                Self::send_range(*dx, self.lnx),
-                Self::send_range(*dy, self.lny),
-            );
-            self.comm.send(dst, d as u64, self.frame(&payload))?;
-        }
-        Ok(())
+    /// Post all 8 halo sends of the current state. Each frame is built in
+    /// place in the reusable send buffer: `[epoch, step, crc]` header, then
+    /// the packed strip, then the checksum filled into its slot.
+    fn post_sends(&mut self) -> Result<(), CommError> {
+        let mut buf = std::mem::take(&mut self.send_buf);
+        let result = (|| {
+            for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+                let dst = self
+                    .part
+                    .cart
+                    .neighbor(self.comm.rank(), *dx, *dy)
+                    .expect("periodic topology always has neighbors");
+                buf.clear();
+                buf.push(self.epoch as f64);
+                buf.push(self.step as f64);
+                buf.push(0.0); // checksum slot, filled below
+                self.pack_into(
+                    Self::send_range(*dx, self.lnx),
+                    Self::send_range(*dy, self.lny),
+                    &mut buf,
+                );
+                buf[2] = frame_crc(&buf) as f64;
+                self.comm.send_buffered(dst, d as u64, &buf)?;
+            }
+            Ok(())
+        })();
+        self.send_buf = buf;
+        result
     }
 
     /// Receive one halo frame for the current `(epoch, step)`, retrying with
@@ -467,13 +502,18 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
     /// longer; duplicates and pre-rollback stragglers are discarded; dropped
     /// or corrupted messages exhaust the attempts and escalate as
     /// [`CommError::Timeout`] / [`CommError::Corrupt`] for the recovery layer.
-    fn recv_framed(&self, src: usize, tag: Tag) -> Result<Vec<f64>, CommError> {
+    /// On success the full frame (header included) is left in `buf`; the
+    /// payload is `buf[FRAME_HEADER..]`.
+    fn recv_framed_into(&self, src: usize, tag: Tag, buf: &mut Vec<f64>) -> Result<(), CommError> {
         let retry = self.retry;
         let mut attempts: u32 = 0;
         let mut saw_corrupt = false;
         loop {
-            let mut data = match self.comm.recv_deadline(src, tag, retry.timeout_for(attempts)) {
-                Ok(d) => d,
+            match self
+                .comm
+                .recv_deadline_buffered(src, tag, retry.timeout_for(attempts), buf)
+            {
+                Ok(()) => {}
                 Err(CommError::Timeout { .. }) => {
                     attempts += 1;
                     self.obs_retries.inc();
@@ -483,18 +523,19 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                             Err(CommError::Corrupt { rank: src, tag })
                         } else {
                             self.obs_timeouts.inc();
-                            Err(CommError::Timeout { rank: src, tag, attempts })
+                            Err(CommError::Timeout {
+                                rank: src,
+                                tag,
+                                attempts,
+                            })
                         };
                     }
                     continue;
                 }
                 Err(e) => return Err(e),
             };
-            match check_frame(&data, self.epoch, self.step) {
-                FrameCheck::Valid => {
-                    data.drain(..FRAME_HEADER);
-                    return Ok(data);
-                }
+            match check_frame(buf, self.epoch, self.step) {
+                FrameCheck::Valid => return Ok(()),
                 // Stale frames are bounded by what was actually in flight, so
                 // discarding them without charging an attempt cannot loop.
                 FrameCheck::Stale => continue,
@@ -509,7 +550,11 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 }
                 FrameCheck::Gap => {
                     self.obs_timeouts.inc();
-                    return Err(CommError::Timeout { rank: src, tag, attempts: attempts + 1 })
+                    return Err(CommError::Timeout {
+                        rank: src,
+                        tag,
+                        attempts: attempts + 1,
+                    });
                 }
             }
         }
@@ -517,28 +562,72 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
 
     /// Receive all 8 halo strips into the current state's ring.
     fn recv_halos(&mut self) -> Result<(), CommError> {
-        for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
-            let src_rank = self
-                .part
-                .cart
-                .neighbor(self.comm.rank(), *dx, *dy)
-                .expect("periodic topology always has neighbors");
-            let t_recv = self.recorder.now();
-            let data = self.recv_framed(src_rank, opposite_dir(d) as u64)?;
-            if let Some(t) = t_recv {
-                let ns = t.elapsed().as_nanos() as u64;
-                self.recorder.record_phase_ns(Phase::HaloExchange, ns);
-                self.obs_halo_us.record(ns as f64 / 1e3);
+        let mut buf = std::mem::take(&mut self.recv_buf);
+        let result = (|| {
+            for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+                let src_rank = self
+                    .part
+                    .cart
+                    .neighbor(self.comm.rank(), *dx, *dy)
+                    .expect("periodic topology always has neighbors");
+                let t_recv = self.recorder.now();
+                self.recv_framed_into(src_rank, opposite_dir(d) as u64, &mut buf)?;
+                if let Some(t) = t_recv {
+                    let ns = t.elapsed().as_nanos() as u64;
+                    self.recorder.record_phase_ns(Phase::HaloExchange, ns);
+                    self.obs_halo_us.record(ns as f64 / 1e3);
+                }
+                let rec = self.recorder.clone();
+                let _unpack = rec.phase(Phase::HaloUnpack);
+                self.unpack(
+                    Self::recv_range(*dx, self.lnx),
+                    Self::recv_range(*dy, self.lny),
+                    &buf[FRAME_HEADER..],
+                );
             }
-            let rec = self.recorder.clone();
-            let _unpack = rec.phase(Phase::HaloUnpack);
-            self.unpack(
-                Self::recv_range(*dx, self.lnx),
-                Self::recv_range(*dy, self.lny),
-                &data,
-            );
+            Ok(())
+        })();
+        self.recv_buf = buf;
+        result
+    }
+
+    /// Fused stream+collide over the inner rectangle `2..lnx × 2..lny` (the
+    /// cells that touch no halo), dispatched through the thread pool: y-slabs
+    /// across threads, z-tile blocking inside each slab, and the
+    /// hand-optimized D3Q19 kernel on interior BGK cells. Bit-identical to the
+    /// serial generic path — the pool only re-schedules independent per-cell
+    /// updates.
+    fn step_inner(&mut self) {
+        if self.lnx <= 2 || self.lny <= 2 {
+            return;
         }
-        Ok(())
+        let collision = self.collision;
+        let flags = &self.flags;
+        let pool = &self.pool;
+        let mask = self.interior.as_slice();
+        let (xr, yr) = (2..self.lnx, 2..self.lny);
+        let (src, dst) = self.bufs.pair_mut();
+        pool.step_rect::<L, _>(flags, src, dst, &collision, xr, yr, Some(mask));
+    }
+
+    /// Fused stream+collide over the boundary ring (the four strips adjacent
+    /// to the halo, corners included exactly once) on the generic serial path.
+    /// Together with [`DistributedSolver::step_inner`] this covers every
+    /// owned cell exactly once, including degenerate subdomains (`lnx ≤ 2` or
+    /// `lny ≤ 2`) where the inner rectangle is empty and the ring is the
+    /// whole subdomain.
+    fn step_ring(&mut self) {
+        let (lnx, lny) = (self.lnx, self.lny);
+        self.step_rect(1..lnx + 1, 1..2); // south row
+        if lny > 1 {
+            self.step_rect(1..lnx + 1, lny..lny + 1); // north row
+        }
+        if lny > 2 {
+            self.step_rect(1..2, 2..lny); // west column
+            if lnx > 1 {
+                self.step_rect(lnx..lnx + 1, 2..lny); // east column
+            }
+        }
     }
 
     /// Fused stream+collide over the rectangle `xr × yr` (local coords, full z).
@@ -576,32 +665,29 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             let _pack = rec.phase(Phase::HaloPack);
             self.post_sends()?;
         }
+        // Both schedules run the identical inner-rectangle (pooled, optimized)
+        // and boundary-ring (generic) kernels; they differ only in *when* the
+        // inner rectangle runs relative to the halo receives. That is what
+        // keeps them bit-identical.
         match self.mode {
             ExchangeMode::Sequential => {
                 self.recv_halos()?;
-                let _cs = rec.phase(Phase::CollideStream);
-                self.step_rect(1..self.lnx + 1, 1..self.lny + 1);
+                {
+                    let _cs = rec.phase(Phase::CollideStream);
+                    self.step_inner();
+                }
+                let _bd = rec.phase(Phase::Boundary);
+                self.step_ring();
             }
             ExchangeMode::OnTheFly => {
                 // Inner cells touch no halo: compute them while messages fly.
-                if self.lnx > 2 && self.lny > 2 {
+                {
                     let _cs = rec.phase(Phase::CollideStream);
-                    self.step_rect(2..self.lnx, 2..self.lny);
+                    self.step_inner();
                 }
                 self.recv_halos()?;
-                // Boundary ring (the four strips, corners included once).
                 let _bd = rec.phase(Phase::Boundary);
-                let (lnx, lny) = (self.lnx, self.lny);
-                self.step_rect(1..lnx + 1, 1..2); // south row
-                if lny > 1 {
-                    self.step_rect(1..lnx + 1, lny..lny + 1); // north row
-                }
-                if lny > 2 {
-                    self.step_rect(1..2, 2..lny); // west column
-                    if lnx > 1 {
-                        self.step_rect(lnx..lnx + 1, 2..lny); // east column
-                    }
-                }
+                self.step_ring();
             }
         }
         self.bufs.flip();
@@ -799,13 +885,7 @@ mod tests {
         let global = GridDims::new(6, 6, 3);
         let mut flags = FlagField::new(global);
         flags.set_box_walls();
-        check_distributed_matches_reference::<D3Q19>(
-            global,
-            flags,
-            1,
-            ExchangeMode::Sequential,
-            4,
-        );
+        check_distributed_matches_reference::<D3Q19>(global, flags, 1, ExchangeMode::Sequential, 4);
     }
 
     #[test]
@@ -814,13 +894,7 @@ mod tests {
         let mut flags = FlagField::new(global);
         flags.set_box_walls();
         flags.set(4, 4, 2, swlb_core::boundary::NodeKind::Wall);
-        check_distributed_matches_reference::<D3Q19>(
-            global,
-            flags,
-            4,
-            ExchangeMode::Sequential,
-            5,
-        );
+        check_distributed_matches_reference::<D3Q19>(global, flags, 4, ExchangeMode::Sequential, 5);
     }
 
     #[test]
@@ -829,13 +903,7 @@ mod tests {
         let mut flags = FlagField::new(global);
         flags.paint_channel_walls_y();
         flags.paint_inflow_outflow_x(1.0, [0.04, 0.0, 0.0]);
-        check_distributed_matches_reference::<D3Q19>(
-            global,
-            flags,
-            4,
-            ExchangeMode::OnTheFly,
-            5,
-        );
+        check_distributed_matches_reference::<D3Q19>(global, flags, 4, ExchangeMode::OnTheFly, 5);
     }
 
     #[test]

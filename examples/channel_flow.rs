@@ -10,7 +10,6 @@
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the profile math
 
 use swlb_core::prelude::*;
-use swlb_core::solver::ExecMode;
 use swlb_io::write_vtk_scalars;
 use swlb_sim::forces::momentum_exchange_force;
 
@@ -22,7 +21,6 @@ fn main() {
     println!("channel flow: {nx}x{ny}x{nz}, tau = {tau}, inlet u = {u_in}");
 
     let mut solver = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(tau))
-        .mode(ExecMode::Parallel)
         .pool(ThreadPool::auto())
         .build();
     solver.flags_mut().paint_channel_walls_y();
@@ -58,12 +56,21 @@ fn main() {
         count += 1;
     }
     let rms = (sum_sq / count as Scalar).sqrt() / umax;
-    println!("profile RMS deviation from parabola: {:.2} % of u_max", rms * 100.0);
-    println!("centerline/inlet velocity ratio: {:.3} (plug flow→Poiseuille develops >1)", umax / u_in);
+    println!(
+        "profile RMS deviation from parabola: {:.2} % of u_max",
+        rms * 100.0
+    );
+    println!(
+        "centerline/inlet velocity ratio: {:.3} (plug flow→Poiseuille develops >1)",
+        umax / u_in
+    );
 
     // Wall friction opposes the flow.
     let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.populations());
-    println!("wall friction force F_x = {:.4e} (positive: the fluid drags the walls downstream)", f[0]);
+    println!(
+        "wall friction force F_x = {:.4e} (positive: the fluid drags the walls downstream)",
+        f[0]
+    );
 
     let speed = m.velocity_magnitude();
     let mut out = std::fs::File::create("channel_speed.vtk").unwrap();

@@ -13,15 +13,14 @@
 //! Run with: `cargo run --release --example cylinder`
 
 use std::io::Write as _;
-use swlb_core::post::{q_criterion, vorticity_z};
 use swlb_core::mrt::MrtParams;
+use swlb_core::post::{q_criterion, vorticity_z};
 use swlb_core::prelude::*;
-use swlb_core::solver::ExecMode;
 use swlb_io::{colormap_jet, write_ppm, write_vtk_scalars, PpmImage, ProbeLog};
 use swlb_mesh::cylinder_z_mask;
 use swlb_sim::forces::{
-    cylinder_frontal_area, drag_coefficient, spectral_peak_frequency,
-    momentum_exchange_force, strouhal_number,
+    cylinder_frontal_area, drag_coefficient, momentum_exchange_force, spectral_peak_frequency,
+    strouhal_number,
 };
 
 fn main() {
@@ -45,7 +44,6 @@ fn main() {
     let mrt = CollisionKind::MrtD3Q19(MrtParams::standard(params.tau));
     let mut solver = Solver::<D3Q19>::builder(dims, params)
         .collision(mrt)
-        .mode(ExecMode::Parallel)
         .pool(ThreadPool::auto())
         .build();
     solver.flags_mut().paint_channel_walls_y();
@@ -136,7 +134,9 @@ fn main() {
         "drag coefficient  C_d = {cd:.3}  (Schafer-Turek confined reference ~3.2; unconfined ~1.4)"
     );
     if amp > 1e-3 {
-        println!("Strouhal number   St  = {st:.3}  (confined reference ~0.2-0.3, unconfined ~0.165)");
+        println!(
+            "Strouhal number   St  = {st:.3}  (confined reference ~0.2-0.3, unconfined ~0.165)"
+        );
     } else {
         println!(
             "lift oscillation amplitude {amp:.2e} — shedding not yet saturated; \

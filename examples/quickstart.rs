@@ -8,7 +8,6 @@
 
 use std::io::Write as _;
 use swlb_core::prelude::*;
-use swlb_core::solver::ExecMode;
 use swlb_io::{colormap_viridis_like, write_ppm, PpmImage};
 use swlb_sim::CaseConfig;
 
@@ -40,7 +39,6 @@ fn main() {
     );
 
     let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(cfg.tau))
-        .mode(ExecMode::Parallel)
         .pool(ThreadPool::auto())
         .build();
     solver.flags_mut().set_box_walls();
@@ -58,8 +56,7 @@ fn main() {
             .expect("simulation diverged — lower u_lattice or raise tau");
         done += n;
         let stats = solver.stats();
-        let delta = (stats.kinetic_energy - prev_energy).abs()
-            / stats.kinetic_energy.max(1e-30);
+        let delta = (stats.kinetic_energy - prev_energy).abs() / stats.kinetic_energy.max(1e-30);
         println!(
             "step {:>6}: mass {:.6}, max |u| {:.4}, E_k {:.6e} (delta {:.2e})",
             stats.step, stats.mass, stats.max_velocity, stats.kinetic_energy, delta

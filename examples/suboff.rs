@@ -11,7 +11,6 @@
 
 use swlb_core::post::q_criterion;
 use swlb_core::prelude::*;
-use swlb_core::solver::ExecMode;
 use swlb_io::{write_vtk_scalars, ProbeLog};
 use swlb_mesh::{suboff_mask, SuboffHull};
 use swlb_sim::forces::{drag_coefficient, momentum_exchange_force};
@@ -34,7 +33,6 @@ fn main() {
     println!("hull occupies {wetted} cells");
 
     let mut solver = Solver::<D3Q19>::builder(dims, params)
-        .mode(ExecMode::Parallel)
         .pool(ThreadPool::auto())
         .build();
     solver
@@ -75,7 +73,11 @@ fn main() {
         &mut f,
         "Suboff velocity/pressure/Q",
         dims,
-        &[("speed", &speed), ("pressure", &pressure), ("q_criterion", &q)],
+        &[
+            ("speed", &speed),
+            ("pressure", &pressure),
+            ("q_criterion", &q),
+        ],
     )
     .unwrap();
     let mut f = std::fs::File::create("suboff_forces.csv").unwrap();

@@ -24,6 +24,19 @@ obs:
     cargo test -q -p swlb-sim --release --test obs_integration
     cargo run --release -p swlb-bench --bin obs_measured_vs_model
 
+# Quick bench sanity: run the native threads x tile_z sweep in quick mode,
+# validate the emitted JSON schema, and run the cross-layer bit-exactness
+# suite for the unified dispatch pipeline.
+bench-smoke:
+    cargo run --release -p swlb-bench --bin native_scaling -- --quick --json /tmp/bench_pr3_smoke.json
+    cargo run --release -p swlb-bench --bin native_scaling -- --validate /tmp/bench_pr3_smoke.json
+    cargo test -q -p swlb-sim --release --test unified_dispatch
+
+# The full sweep behind docs/PERFORMANCE.md: 128^3 cavity, threads x tile_z,
+# rewrites BENCH_pr3.json in the repository root.
+bench-sweep:
+    cargo run --release -p swlb-bench --bin native_scaling -- --json BENCH_pr3.json
+
 # Regenerate every paper figure/table harness.
 figures:
     for bin in fig08_kernel_speedup roofline_table fig13_weak_taihulight \

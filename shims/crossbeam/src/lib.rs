@@ -6,22 +6,59 @@
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Channels (over `std::sync::mpsc`).
+/// Channels (a `Mutex<VecDeque>` + `Condvar` queue).
+///
+/// Unlike `std::sync::mpsc`, pushing onto the ring deque does not allocate
+/// once its capacity has grown to the high-water mark, which lets the
+/// distributed steady-state step stay allocation-free (see
+/// `tests/obs_integration.rs` in the workspace root).
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        /// Live `Sender` clones; 0 + empty queue ⇒ `Disconnected` on receive.
+        senders: usize,
+        /// The `Receiver` was dropped; sends fail immediately.
+        receiver_gone: bool,
+    }
+
+    struct Chan<T> {
+        state: Mutex<ChanState<T>>,
+        avail: Condvar,
+    }
+
     /// Sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Chan<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake any blocked receiver so it can observe disconnection.
+                self.0.avail.notify_all();
+            }
         }
     }
 
     /// Receiving half of an unbounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().unwrap().receiver_gone = true;
+        }
+    }
 
     /// The channel is disconnected (all receivers dropped).
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,45 +88,87 @@ pub mod channel {
 
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let chan = Arc::new(Chan {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_gone: false,
+            }),
+            avail: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
     }
 
     impl<T> Sender<T> {
-        /// Send a message; never blocks (the channel is unbounded).
+        /// Send a message; never blocks (the channel is unbounded). Only
+        /// allocates when the queue outgrows its high-water capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            let mut st = self.0.state.lock().unwrap();
+            if st.receiver_gone {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.0.avail.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
         /// Block until a message arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.avail.wait(st).unwrap();
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut st = self.0.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
         /// Block until a message arrives, the timeout passes, or every sender
         /// is dropped.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            self.recv_deadline(Instant::now() + timeout)
         }
 
         /// Like [`Receiver::recv_timeout`] with an absolute deadline.
         pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
-            let now = Instant::now();
-            let timeout = deadline.saturating_duration_since(now);
-            self.recv_timeout(timeout)
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, timed_out) = self
+                    .0
+                    .avail
+                    .wait_timeout(st, deadline.saturating_duration_since(now))
+                    .unwrap();
+                st = next;
+                if timed_out.timed_out() && st.queue.is_empty() && st.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
         }
     }
 }

@@ -88,6 +88,61 @@ fn disabled_recorder_step_makes_no_allocations() {
     assert_eq!(s.step_count(), 35);
 }
 
+/// Guarantee 1, distributed: with metrics off, the steady-state
+/// `DistributedSolver::step` — halo pack, framing, buffered send/receive,
+/// pooled inner-rectangle dispatch, boundary ring — performs zero heap
+/// allocations on the rank thread. The warm-up steps let every reusable
+/// buffer (frame buffers, the world's payload freelist, channel queues, the
+/// unexpected-message stash) reach its steady capacity.
+#[test]
+fn distributed_steady_state_step_makes_no_allocations() {
+    use swlb_core::lattice::D3Q19;
+    use swlb_core::parallel::ThreadPool;
+
+    let global = GridDims::new(8, 4, 4);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+    flags.paint_lid([0.04, 0.0, 0.0]);
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+
+    let flags_ref = &flags;
+    let out = World::new(2).run(|comm| {
+        let mut s = DistributedSolver::<D3Q19>::builder(&comm, global, flags_ref, coll)
+            .exchange(ExchangeMode::OnTheFly)
+            .pool(ThreadPool::new(2).with_tile_z(2))
+            .build();
+        assert!(!s.recorder().is_enabled());
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.run(30).unwrap();
+
+        // Every remaining allocation is a one-time capacity growth (a freelist
+        // or queue hitting a new concurrency high-water mark), monotone toward
+        // a finite ceiling — so keep warming until a full window is clean on
+        // EVERY rank. The break must be collective (allreduce over the window
+        // counts): a rank that stopped stepping alone would starve its
+        // neighbor's halo receives. The reduction itself allocates, but sits
+        // outside the measured window.
+        let mut allocs = u64::MAX;
+        for _ in 0..10 {
+            let before = thread_allocs();
+            s.run(20).unwrap();
+            allocs = thread_allocs() - before;
+            let worst = comm.allreduce_max(&[allocs as f64]).unwrap()[0];
+            if worst == 0.0 {
+                break;
+            }
+        }
+        allocs
+    });
+    for (rank, allocs) in out.iter().enumerate() {
+        assert_eq!(
+            *allocs, 0,
+            "rank {rank}: distributed stepping with metrics off must reach a \
+             zero-allocation steady state (20 consecutive allocation-free steps)"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // JSONL structural validation (no JSON parser in the dependency tree — a
 // brace/bracket balance walk that honors string escapes is enough to reject
@@ -117,7 +172,10 @@ fn assert_structurally_valid_json(line: &str) {
             ']' => depth_arr -= 1,
             _ => {}
         }
-        assert!(depth_obj >= 0 && depth_arr >= 0, "unbalanced close in {line}");
+        assert!(
+            depth_obj >= 0 && depth_arr >= 0,
+            "unbalanced close in {line}"
+        );
     }
     assert!(!in_str, "unterminated string in {line}");
     assert_eq!(depth_obj, 0, "unbalanced braces in {line}");
@@ -156,7 +214,10 @@ fn enabled_recorder_exports_valid_jsonl() {
     }
     assert!(lines[0].starts_with("{\"step\":8,"));
     assert!(lines[2].starts_with("{\"step\":24,"));
-    assert!(lines[2].contains("\"steps\":24"), "step counter reaches the run length");
+    assert!(
+        lines[2].contains("\"steps\":24"),
+        "step counter reaches the run length"
+    );
     std::fs::remove_file(&path).unwrap();
 }
 

@@ -2,9 +2,8 @@
 //! the evidence that this reproduction solves the same equations as SunwayLB.
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the profile math
 
-use swlb_core::prelude::*;
 use swlb_core::collision::{CollisionKind, SmagorinskyParams};
-use swlb_core::solver::ExecMode;
+use swlb_core::prelude::*;
 
 /// Taylor–Green vortex: kinetic energy decays as `exp(−4 ν k² t)` in 2-D.
 /// The measured viscosity must match `ν = (2τ−1)/6` (paper §IV-A) closely.
@@ -51,9 +50,14 @@ fn couette_flow_has_linear_profile() {
     // Walls top (moving) and bottom (static); x periodic.
     for x in 0..nx {
         solver.flags_mut().set(x, 0, 0, NodeKind::Wall);
-        solver
-            .flags_mut()
-            .set(x, ny - 1, 0, NodeKind::MovingWall { u: [u_lid, 0.0, 0.0] });
+        solver.flags_mut().set(
+            x,
+            ny - 1,
+            0,
+            NodeKind::MovingWall {
+                u: [u_lid, 0.0, 0.0],
+            },
+        );
     }
     solver.initialize_uniform(1.0, [0.0; 3]);
     solver.run(6000);
@@ -85,7 +89,6 @@ fn cavity_develops_primary_vortex_with_correct_rotation() {
     let u_lid = 0.08;
     let dims = GridDims::new2d(n, n);
     let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.6))
-        .mode(ExecMode::Parallel)
         .pool(ThreadPool::new(4))
         .build();
     solver.flags_mut().set_box_walls();
@@ -97,7 +100,10 @@ fn cavity_develops_primary_vortex_with_correct_rotation() {
     let upper = m.u[dims.idx(n / 2, 3 * n / 4, 0)][0];
     let lower = m.u[dims.idx(n / 2, n / 4, 0)][0];
     assert!(upper > 1e-4, "flow under the lid should follow it: {upper}");
-    assert!(lower < -1e-5, "return flow at the bottom should reverse: {lower}");
+    assert!(
+        lower < -1e-5,
+        "return flow at the bottom should reverse: {lower}"
+    );
 }
 
 /// Channel flow driven by an inlet relaxes toward a parabolic profile
@@ -155,12 +161,16 @@ fn smagorinsky_les_is_stable_and_conservative_at_low_tau() {
     let les = CollisionKind::SmagorinskyLes(
         SmagorinskyParams::new(BgkParams::from_tau(0.51), 0.16).unwrap(),
     );
-    let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.51)).collision(les).build();
+    let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.51))
+        .collision(les)
+        .build();
     solver.flags_mut().set_box_walls();
     solver.flags_mut().paint_lid([0.12, 0.0, 0.0]);
     solver.initialize_uniform(1.0, [0.0; 3]);
     let m0 = solver.stats().mass;
-    solver.run_checked(3000, 200).expect("LES run must stay finite");
+    solver
+        .run_checked(3000, 200)
+        .expect("LES run must stay finite");
     let s = solver.stats();
     assert!((s.mass - m0).abs() / m0 < 1e-10, "mass drift under LES");
     assert!(s.max_velocity < 0.6, "runaway velocity {}", s.max_velocity);
@@ -176,7 +186,9 @@ fn nebb_inlet_delivers_the_imposed_flux() {
     let dims = GridDims::new2d(nx, ny);
     let mut solver = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(1.0)).build();
     solver.flags_mut().paint_channel_walls_y();
-    solver.flags_mut().paint_nebb_inflow_outflow_x([u_in, 0.0, 0.0], 1.0);
+    solver
+        .flags_mut()
+        .paint_nebb_inflow_outflow_x([u_in, 0.0, 0.0], 1.0);
     // Re-seal the corners (walls take precedence at the duct corners).
     for x in [0, nx - 1] {
         solver.flags_mut().set(x, 0, 0, NodeKind::Wall);
@@ -220,7 +232,10 @@ fn body_force_driven_poiseuille_matches_analytic_amplitude() {
 
     let dims = GridDims::new2d(nx, ny);
     let mut solver = Solver::<D2Q9>::builder(dims, params)
-        .collision(CollisionKind::BgkForced { params, force: [fx, 0.0, 0.0] })
+        .collision(CollisionKind::BgkForced {
+            params,
+            force: [fx, 0.0, 0.0],
+        })
         .build();
     // Walls top and bottom; periodic in x.
     for x in 0..nx {
