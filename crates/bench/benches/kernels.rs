@@ -5,9 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use swlb_core::collision::{BgkParams, CollisionKind, SmagorinskyParams};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
-use swlb_core::kernels::{fused_step, fused_step_optimized, interior_mask};
+use swlb_core::kernels::{fused_step, fused_step_optimized, InteriorIndex};
 use swlb_core::lattice::D3Q19;
 use swlb_core::layout::{PopField, SoaField};
+use swlb_core::simd::{set_lane_policy, LanePolicy};
 use swlb_core::stream::{push_step, split_step};
 
 fn setup(dims: GridDims) -> (FlagField, SoaField<D3Q19>, SoaField<D3Q19>) {
@@ -27,7 +28,7 @@ fn bench_kernels(c: &mut Criterion) {
     let les = CollisionKind::SmagorinskyLes(
         SmagorinskyParams::new(BgkParams::from_tau(0.8), 0.16).unwrap(),
     );
-    let mask = interior_mask::<D3Q19>(&flags);
+    let interior = InteriorIndex::build::<D3Q19>(&flags);
 
     let mut group = c.benchmark_group("kernels_d3q19_64cubed");
     group.throughput(Throughput::Elements(dims.cells() as u64));
@@ -36,17 +37,22 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("fused_generic", |b| {
         b.iter(|| fused_step(&flags, &src, &mut dst, &coll))
     });
-    group.bench_function("fused_optimized", |b| {
-        b.iter(|| fused_step_optimized(&flags, &src, &mut dst, &coll, &mask, 0..dims.ny, 0))
+    group.bench_function("fused_optimized_scalar", |b| {
+        set_lane_policy(LanePolicy::ForceScalar);
+        b.iter(|| fused_step_optimized(&flags, &src, &mut dst, &coll, &interior, 0..dims.ny, 0));
+        set_lane_policy(LanePolicy::Auto);
     });
-    group.bench_function("fused_optimized_tiled", |b| {
+    group.bench_function("fused_optimized_simd", |b| {
+        b.iter(|| fused_step_optimized(&flags, &src, &mut dst, &coll, &interior, 0..dims.ny, 0))
+    });
+    group.bench_function("fused_optimized_simd_tiled", |b| {
         b.iter(|| {
             fused_step_optimized(
                 &flags,
                 &src,
                 &mut dst,
                 &coll,
-                &mask,
+                &interior,
                 0..dims.ny,
                 swlb_core::parallel::DEFAULT_TILE_Z,
             )

@@ -19,7 +19,7 @@ fn bench_threads(c: &mut Criterion) {
     let mut dst = SoaField::<D3Q19>::new(dims);
     let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
 
-    let mask = swlb_core::kernels::interior_mask::<D3Q19>(&flags);
+    let interior = swlb_core::kernels::InteriorIndex::build::<D3Q19>(&flags);
     let max = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -33,7 +33,7 @@ fn bench_threads(c: &mut Criterion) {
             b.iter(|| pool.fused_step(&flags, &src, &mut dst, &coll, None))
         });
         group.bench_with_input(BenchmarkId::new("optimized_blocked", t), &t, |b, _| {
-            b.iter(|| pool.fused_step(&flags, &src, &mut dst, &coll, Some(&mask)))
+            b.iter(|| pool.fused_step(&flags, &src, &mut dst, &coll, Some(&interior)))
         });
         t *= 2;
     }

@@ -3,26 +3,30 @@
 //! Everything in Figs. 13–17 above one node is modeled; this harness *measures*
 //! the actual Rust kernels on the machine running it: single-thread MLUPS per
 //! kernel variant (the paper's Fig. 8 in miniature: generic vs hand-optimized,
-//! split vs fused, SoA vs AoS) and a threads × z-tile sweep of the unified
-//! pooled dispatch on a lid-driven cavity — the host mirror of the paper's
-//! 64×3×70 CPE blocking study — so the repository reports at least one set of
-//! honest measured numbers next to every modeled one.
+//! split vs fused, SoA vs AoS, scalar vs SIMD) and a scalar-vs-SIMD thread
+//! sweep of the unified pooled dispatch on a lid-driven cavity — so the
+//! repository reports at least one set of honest measured numbers next to
+//! every modeled one.
 //!
-//! The sweep is written to `BENCH_pr3.json` (override with `--json <path>`).
-//! Flags:
+//! The sweep is written to `BENCH_pr4.json` (override with `--json <path>`),
+//! together with host metadata (CPU features, core counts, auto-selected
+//! kernel class) and the SIMD-vs-scalar acceptance numbers. Flags:
 //!
 //! * `--quick`      small grid + single iteration (CI smoke).
-//! * `--json P`     write the sweep to `P` instead of `BENCH_pr3.json`.
+//! * `--json P`     write the sweep to `P` instead of `BENCH_pr4.json`.
 //! * `--validate P` check that `P` holds a well-formed sweep, then exit.
 
 use swlb_bench::{header, row, time_per_call};
 use swlb_core::collision::{BgkParams, CollisionKind};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
-use swlb_core::kernels::{fused_step, fused_step_optimized, interior_mask};
+use swlb_core::kernels::{fused_step, fused_step_optimized, InteriorIndex};
 use swlb_core::lattice::D3Q19;
 use swlb_core::layout::{AosField, PopField, SoaField};
 use swlb_core::parallel::{ThreadPool, DEFAULT_TILE_Z};
+use swlb_core::simd::{
+    cpu_features, logical_cores, physical_cores, selected_kernel_class, set_lane_policy, LanePolicy,
+};
 use swlb_core::stream::split_step;
 
 fn init<F: PopField<D3Q19>>(flags: &FlagField, dims: GridDims) -> F {
@@ -35,6 +39,7 @@ fn init<F: PopField<D3Q19>>(flags: &FlagField, dims: GridDims) -> F {
 
 /// One measured sweep configuration.
 struct SweepPoint {
+    kernel: &'static str,
     threads: usize,
     tile_z: usize,
     seconds_per_step: f64,
@@ -42,20 +47,48 @@ struct SweepPoint {
 }
 
 /// Hand-rolled JSON (no serde in the dependency set): flat schema, two levels.
-fn sweep_json(grid: GridDims, iters: u32, serial_mlups: f64, points: &[SweepPoint]) -> String {
+#[allow(clippy::too_many_arguments)]
+fn sweep_json(
+    grid: GridDims,
+    iters: u32,
+    serial_mlups: f64,
+    scalar_mlups: f64,
+    simd_mlups: f64,
+    points: &[SweepPoint],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"pr3_unified_dispatch\",\n");
+    out.push_str("  \"bench\": \"pr4_simd_dispatch\",\n");
     out.push_str(&format!(
         "  \"grid\": [{}, {}, {}],\n",
         grid.nx, grid.ny, grid.nz
     ));
     out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str("  \"host\": {\n");
+    out.push_str(&format!("    \"cpu_features\": \"{}\",\n", cpu_features()));
+    out.push_str(&format!("    \"logical_cores\": {},\n", logical_cores()));
+    out.push_str(&format!("    \"physical_cores\": {},\n", physical_cores()));
+    out.push_str(&format!(
+        "    \"kernel_class\": \"{}\"\n",
+        selected_kernel_class().name()
+    ));
+    out.push_str("  },\n");
     out.push_str(&format!("  \"serial_generic_mlups\": {serial_mlups:.3},\n"));
+    out.push_str(&format!(
+        "  \"scalar_single_thread_mlups\": {scalar_mlups:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"simd_single_thread_mlups\": {simd_mlups:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"simd_vs_scalar_speedup\": {:.3},\n",
+        simd_mlups / scalar_mlups
+    ));
     out.push_str("  \"configs\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"tile_z\": {}, \"seconds_per_step\": {:.6}, \"mlups\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"threads\": {}, \"tile_z\": {}, \"seconds_per_step\": {:.6}, \"mlups\": {:.3}}}{}\n",
+            p.kernel,
             p.threads,
             p.tile_z,
             p.seconds_per_step,
@@ -68,22 +101,48 @@ fn sweep_json(grid: GridDims, iters: u32, serial_mlups: f64, points: &[SweepPoin
 }
 
 /// Schema check for a sweep file, tolerant of formatting: every required key
-/// must appear, the config list must be non-empty, and every `mlups` value
-/// must parse as a positive number.
+/// must appear (including the host-metadata and SIMD acceptance fields), the
+/// config list must be non-empty, and every `mlups` / `speedup` value must
+/// parse as a positive number.
 fn validate_sweep(text: &str) -> Result<usize, String> {
     for key in [
         "\"bench\"",
         "\"grid\"",
         "\"iters\"",
+        "\"host\"",
+        "\"cpu_features\"",
+        "\"logical_cores\"",
+        "\"physical_cores\"",
+        "\"kernel_class\"",
         "\"serial_generic_mlups\"",
+        "\"scalar_single_thread_mlups\"",
+        "\"simd_single_thread_mlups\"",
+        "\"simd_vs_scalar_speedup\"",
         "\"configs\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing key {key}"));
         }
     }
-    if !text.contains("pr3_unified_dispatch") {
-        return Err("wrong bench id (want pr3_unified_dispatch)".into());
+    if !text.contains("pr4_simd_dispatch") {
+        return Err("wrong bench id (want pr4_simd_dispatch)".into());
+    }
+    let parse_after = |key: &str| -> Result<f64, String> {
+        let chunk = text
+            .split(key)
+            .nth(1)
+            .ok_or_else(|| format!("missing key {key}"))?;
+        let num: String = chunk
+            .trim_start_matches(|c: char| c == ':' || c.is_whitespace())
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        num.parse()
+            .map_err(|_| format!("unparsable value after {key}: {num:?}"))
+    };
+    let speedup = parse_after("\"simd_vs_scalar_speedup\"")?;
+    if speedup.is_nan() || speedup <= 0.0 {
+        return Err(format!("non-positive simd_vs_scalar_speedup: {speedup}"));
     }
     let mut configs = 0usize;
     for chunk in text.split("\"mlups\":").skip(1) {
@@ -129,11 +188,18 @@ fn main() {
             }
         }
     }
-    let json_path = flag_value("--json").unwrap_or_else(|| "BENCH_pr3.json".into());
+    let json_path = flag_value("--json").unwrap_or_else(|| "BENCH_pr4.json".into());
 
     header(
         "Host-native measured kernel performance (D3Q19, f64)",
         "anchors the model; mirrors the paper's Fig. 8 ablations on this CPU",
+    );
+    println!(
+        "host: {} logical / {} physical core(s), features [{}], auto kernel class: {}\n",
+        logical_cores(),
+        physical_cores(),
+        cpu_features(),
+        selected_kernel_class().name()
     );
     let n = if quick { 48 } else { 96 };
     let dims = GridDims::new(n, n, n);
@@ -177,12 +243,13 @@ fn main() {
         "".into(),
     ]);
 
-    let mask = interior_mask::<D3Q19>(&flags);
+    let interior = InteriorIndex::build::<D3Q19>(&flags);
+    set_lane_policy(LanePolicy::ForceScalar);
     let t_opt = time_per_call(iters, || {
-        fused_step_optimized(&flags, &src, &mut dst, &coll, &mask, 0..dims.ny, 0)
+        fused_step_optimized(&flags, &src, &mut dst, &coll, &interior, 0..dims.ny, 0);
     });
     row(&[
-        "fused hand-optimized".into(),
+        "fused hand-optimized (scalar)".into(),
         format!("{t_opt:.3}"),
         format!("{:.1}", cells / t_opt / 1e6),
         format!("{:.2}x", t_fused / t_opt),
@@ -195,16 +262,28 @@ fn main() {
             &src,
             &mut dst,
             &coll,
-            &mask,
+            &interior,
             0..dims.ny,
             DEFAULT_TILE_Z,
-        )
+        );
     });
     row(&[
-        format!("hand-optimized, tile_z={DEFAULT_TILE_Z}"),
+        format!("scalar, tile_z={DEFAULT_TILE_Z}"),
         format!("{t_tiled:.3}"),
         format!("{:.1}", cells / t_tiled / 1e6),
         format!("{:.2}x", t_fused / t_tiled),
+        "".into(),
+    ]);
+
+    set_lane_policy(LanePolicy::Auto);
+    let t_simd = time_per_call(iters, || {
+        fused_step_optimized(&flags, &src, &mut dst, &coll, &interior, 0..dims.ny, 0);
+    });
+    row(&[
+        format!("fused {} lanes", selected_kernel_class().name()),
+        format!("{t_simd:.3}"),
+        format!("{:.1}", cells / t_simd / 1e6),
+        format!("{:.2}x", t_fused / t_simd),
         "".into(),
     ]);
 
@@ -219,10 +298,10 @@ fn main() {
         "".into(),
     ]);
 
-    // ── Unified dispatch sweep: threads × z-tile on a lid-driven cavity ──
-    // The host mirror of the paper's CPE blocking study: the pooled dispatch
-    // partitions y-slabs across threads and blocks z inside each slab
-    // (tile_z = 0 means "no blocking": one tile spanning the z extent).
+    // ── Scalar vs SIMD dispatch sweep: threads on a lid-driven cavity ──
+    // The host mirror of the paper's Fig. 8 vectorization rung: the pooled
+    // dispatch partitions y-slabs across threads, runs the interior over
+    // run-length runs, and the lane policy pins the kernel class per pass.
     let sn = if quick { 64 } else { 128 };
     let sdims = GridDims::new(sn, sn, sn);
     let scells = sdims.cells() as f64;
@@ -231,68 +310,80 @@ fn main() {
     sflags.paint_lid([0.05, 0.0, 0.0]);
     let ssrc: SoaField<D3Q19> = init(&sflags, sdims);
     let mut sdst = SoaField::<D3Q19>::new(sdims);
-    let smask = interior_mask::<D3Q19>(&sflags);
+    let sinterior = InteriorIndex::build::<D3Q19>(&sflags);
 
-    println!("\nunified dispatch sweep: {sn}^3 lid-driven cavity, threads x tile_z:");
+    println!("\nscalar vs SIMD dispatch sweep: {sn}^3 lid-driven cavity, kernel x threads:");
     let t_serial = time_per_call(iters, || fused_step(&sflags, &ssrc, &mut sdst, &coll));
     let serial_mlups = scells / t_serial / 1e6;
     println!("serial generic baseline: {t_serial:.3} s/step = {serial_mlups:.1} MLUPS");
     row(&[
+        "kernel".into(),
         "threads".into(),
-        "tile_z".into(),
         "s/step".into(),
         "MLUPS".into(),
         "vs serial".into(),
     ]);
 
-    // Always sweep at least 1/2/4 threads so the dispatch overhead is measured
-    // even on small hosts; counts above the core count just timeshare (noted
-    // below), which still exercises the pool's slab stealing and blocking.
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let max_threads = cores.max(4);
-    let mut thread_counts = vec![1usize];
-    while *thread_counts.last().unwrap() * 2 <= max_threads {
-        let next = thread_counts.last().unwrap() * 2;
-        thread_counts.push(next);
-    }
-    if max_threads > cores {
+    let cores = logical_cores();
+    let thread_counts = [1usize, 2, 4];
+    if *thread_counts.last().unwrap() > cores {
         println!("(host reports {cores} core(s): counts above that are oversubscribed)");
     }
-    let tile_sizes: &[usize] = if quick {
-        &[0, DEFAULT_TILE_Z]
-    } else {
-        &[0, 8, 32, DEFAULT_TILE_Z]
-    };
 
     let mut points = Vec::new();
-    for &threads in &thread_counts {
-        for &tile_z in tile_sizes {
-            let pool = ThreadPool::new(threads).with_tile_z(tile_z);
+    let mut scalar_1t = f64::NAN;
+    let mut simd_1t = f64::NAN;
+    for (kernel, policy) in [
+        ("scalar", LanePolicy::ForceScalar),
+        ("simd", LanePolicy::Auto),
+    ] {
+        set_lane_policy(policy);
+        for &threads in &thread_counts {
+            let pool = ThreadPool::new(threads).with_tile_z(DEFAULT_TILE_Z);
             let t = time_per_call(iters, || {
-                pool.fused_step(&sflags, &ssrc, &mut sdst, &coll, Some(&smask))
+                pool.fused_step(&sflags, &ssrc, &mut sdst, &coll, Some(&sinterior));
             });
             let mlups = scells / t / 1e6;
             row(&[
+                kernel.into(),
                 format!("{threads}"),
-                format!("{tile_z}"),
                 format!("{t:.3}"),
                 format!("{mlups:.1}"),
                 format!("{:.2}x", t_serial / t),
             ]);
+            if threads == 1 {
+                match kernel {
+                    "scalar" => scalar_1t = mlups,
+                    _ => simd_1t = mlups,
+                }
+            }
             points.push(SweepPoint {
+                kernel,
                 threads,
-                tile_z,
+                tile_z: DEFAULT_TILE_Z,
                 seconds_per_step: t,
                 mlups,
             });
         }
     }
+    set_lane_policy(LanePolicy::Auto);
+    println!(
+        "\nSIMD vs scalar single-thread: {:.1} vs {:.1} MLUPS = {:.2}x",
+        simd_1t,
+        scalar_1t,
+        simd_1t / scalar_1t
+    );
 
-    let json = sweep_json(sdims, iters as u32, serial_mlups, &points);
+    let json = sweep_json(
+        sdims,
+        iters as u32,
+        serial_mlups,
+        scalar_1t,
+        simd_1t,
+        &points,
+    );
     std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
-    println!("\nsweep written to {json_path}");
+    println!("sweep written to {json_path}");
 
     println!("\nroofline context for this host: the fused kernel moves ~380 B/LUP;");
     println!("measured MLUPS x 380 B = implied memory bandwidth actually sustained.");

@@ -21,19 +21,13 @@ use swlb_core::collision::BgkParams;
 use swlb_core::geometry::GridDims;
 use swlb_core::lattice::D3Q19;
 use swlb_core::prelude::Solver;
+use swlb_core::simd::{set_lane_policy, KernelClass, LanePolicy};
 use swlb_sim::prelude::{Phase, Recorder};
 
-fn main() {
-    header(
-        "Measured (swlb-obs) vs modeled (swlb-arch) MLUPS — 64^3 cavity, D3Q19",
-        "the paper's Fig. 8 ladder, judged against a live instrumented run",
-    );
-
-    let n = 64usize;
+/// One instrumented window under the current lane policy: (wall MLUPS,
+/// kernel-phase MLUPS, last mlups gauge, kernel class that served the steps).
+fn measured_window(n: usize, warmup: u64, steps: u64) -> (f64, f64, f64, KernelClass) {
     let dims = GridDims::new(n, n, n);
-    let warmup = 5u64;
-    let steps = 40u64;
-
     let rec = Recorder::enabled();
     let mut solver = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.8))
         .recorder(rec.clone())
@@ -42,15 +36,9 @@ fn main() {
     solver.flags_mut().paint_lid([0.05, 0.0, 0.0]);
     solver.initialize_uniform(1.0, [0.0; 3]);
 
-    println!(
-        "grid: {n}^3 = {:.2}M cells, {} active; unified optimized dispatch, tau = 0.8\n",
-        dims.cells() as f64 / 1e6,
-        solver.active_cells()
-    );
-
-    // Warm up (mask construction, caches), then measure a timed window. The
-    // recorder keeps accumulating across both; the wall-clock window is the
-    // honest external check on the recorder's own numbers.
+    // Warm up (interior-index construction, caches), then measure a timed
+    // window. The recorder keeps accumulating across both; the wall-clock
+    // window is the honest external check on the recorder's own numbers.
     solver.run(warmup);
     let ns_before = rec.phase_ns(Phase::CollideStream);
     let t0 = Instant::now();
@@ -61,45 +49,82 @@ fn main() {
     let snap = rec
         .snapshot(solver.step_count())
         .expect("recorder is enabled");
+    assert_eq!(
+        snap.counter("steps"),
+        Some(warmup + steps),
+        "recorder step counter must match the run length"
+    );
+    // The kernel_class gauge the solver exports must agree with its own state.
+    assert_eq!(
+        snap.gauge("kernel_class"),
+        Some(solver.last_kernel_class().as_gauge()),
+        "kernel_class gauge must reflect the dispatch"
+    );
     let active = solver.active_cells() as f64;
-    let measured_wall = active * steps as f64 / wall / 1e6;
-    let measured_kernel = active * steps as f64 / kernel_s / 1e6;
-    let gauge_last = snap.gauge("mlups").unwrap_or(0.0);
+    (
+        active * steps as f64 / wall / 1e6,
+        active * steps as f64 / kernel_s / 1e6,
+        snap.gauge("mlups").unwrap_or(0.0),
+        solver.last_kernel_class(),
+    )
+}
+
+fn main() {
+    header(
+        "Measured (swlb-obs) vs modeled (swlb-arch) MLUPS — 64^3 cavity, D3Q19",
+        "the paper's Fig. 8 ladder, judged against a live instrumented run",
+    );
+
+    let n = 64usize;
+    let warmup = 5u64;
+    let steps = 40u64;
+    println!(
+        "grid: {n}^3 = {:.2}M cells; unified optimized dispatch, tau = 0.8\n",
+        (n * n * n) as f64 / 1e6,
+    );
+
+    set_lane_policy(LanePolicy::ForceScalar);
+    let (_, scalar_kernel, _, scalar_class) = measured_window(n, warmup, steps);
+    set_lane_policy(LanePolicy::Auto);
+    let (measured_wall, measured_kernel, gauge_last, auto_class) =
+        measured_window(n, warmup, steps);
 
     println!("measured on this host (from the recorder's export stream):");
     row(&[
         "source".into(),
         "MLUPS".into(),
-        "".into(),
+        "kernel".into(),
         "".into(),
         "".into(),
     ]);
     row(&[
         "wall clock".into(),
         format!("{measured_wall:.1}"),
-        "".into(),
+        auto_class.name().into(),
         "".into(),
         "".into(),
     ]);
     row(&[
         "collide_stream phase".into(),
         format!("{measured_kernel:.1}"),
+        auto_class.name().into(),
         "".into(),
+        "".into(),
+    ]);
+    row(&[
+        "scalar lane pinned".into(),
+        format!("{scalar_kernel:.1}"),
+        scalar_class.name().into(),
         "".into(),
         "".into(),
     ]);
     row(&[
         "mlups gauge (last step)".into(),
         format!("{gauge_last:.1}"),
-        "".into(),
+        auto_class.name().into(),
         "".into(),
         "".into(),
     ]);
-    assert_eq!(
-        snap.counter("steps"),
-        Some(warmup + steps),
-        "recorder step counter must match the run length"
-    );
 
     // The model's ladder for the same-shape workload on one TaihuLight core
     // group (p = 1: no halo traffic, like the single-domain run above).
@@ -134,6 +159,30 @@ fn main() {
     );
     println!(
         "ratio host/CG-model at full optimization: {:.2}x",
+        measured_kernel / model.stage_mlups(OptStage::AssemblyOpt, &w, 1)
+    );
+
+    // The vectorization rung, measured vs modeled. `AssemblyOpt` is the
+    // model's unroll/reorder/vectorize stage; its gain over the previous rung
+    // is the paper's counterpart of this host's SIMD-over-scalar speedup.
+    let model_vec_gain = model.stage_mlups(OptStage::AssemblyOpt, &w, 1)
+        / model.stage_mlups(OptStage::OnTheFlyHalo, &w, 1);
+    println!(
+        "\nvectorization rung ({} lanes on this host):",
+        auto_class.name()
+    );
+    println!(
+        "  measured SIMD vs scalar kernel phase: {measured_kernel:.1} / {scalar_kernel:.1} = {:.2}x",
+        measured_kernel / scalar_kernel
+    );
+    println!(
+        "  modeled +assembly-opt stage over +on-the-fly halo: {:.2}x \
+         ({:.1} MLUPS at the vectorized stage)",
+        model_vec_gain,
+        model.stage_mlups(OptStage::AssemblyOpt, &w, 1)
+    );
+    println!(
+        "  measured SIMD vs modeled vectorized stage: {:.2}x",
         measured_kernel / model.stage_mlups(OptStage::AssemblyOpt, &w, 1)
     );
 }

@@ -49,6 +49,7 @@ pub mod mrt;
 pub mod nebb;
 pub mod parallel;
 pub mod post;
+pub mod simd;
 pub mod solver;
 pub mod stability;
 pub mod stream;
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use crate::layout::{AosField, Layout, PopField, SoaField};
     pub use crate::macroscopic::MacroFields;
     pub use crate::parallel::ThreadPool;
+    pub use crate::simd::{KernelClass, LanePolicy};
     pub use crate::solver::{ExecMode, Solver, SolverBuilder, StepStats};
     pub use crate::units::UnitConverter;
     pub use crate::Scalar;

@@ -14,21 +14,26 @@
 //! Work is distributed by atomic slab stealing over a contiguous, balanced
 //! y-partition; the caller participates as worker 0.
 //!
-//! Each slab dispatches the hand-optimized D3Q19 interior kernel (with z-tile
-//! cache blocking, the CPU mirror of the paper's 64×3×70 CPE tiling) when the
-//! field is SoA/D3Q19, the collision is plain BGK, and the caller supplied an
-//! interior mask; everything else — other lattices, layouts and operators, and
-//! the non-interior remainder cells — runs the generic reference kernel.
-//! Results are bit-for-bit identical to [`crate::kernels::fused_step`]
-//! regardless of thread count or tile size (per-cell updates are independent).
+//! Each slab dispatches the fastest eligible D3Q19 interior kernel (with
+//! z-tile cache blocking, the CPU mirror of the paper's 64×3×70 CPE tiling)
+//! when the field is SoA/D3Q19, the collision is plain BGK, and the caller
+//! supplied an interior index: the AVX2+FMA vectorized kernel over run-length
+//! interior runs when the CPU supports it, else the portable-lane or scalar
+//! kernel (see [`crate::simd`]). Everything else — other lattices, layouts and
+//! operators, and the non-interior remainder cells — runs the generic
+//! reference kernel. Results are bit-for-bit identical to
+//! [`crate::kernels::fused_step`] regardless of thread count or tile size on
+//! the scalar-semantics paths (per-cell updates are independent), and within
+//! 1e-12 under the AVX2+FMA lane.
 
 use crate::boundary::NodeKind;
 use crate::collision::{collide, CollisionKind};
 use crate::equilibrium::equilibrium;
 use crate::flags::FlagField;
-use crate::kernels::{d3q19_interior_raw, gather_pull, MAX_Q};
+use crate::kernels::{d3q19_interior_raw, gather_pull, InteriorIndex, InteriorRuns, MAX_Q};
 use crate::lattice::{Lattice, D3Q19};
 use crate::layout::{PopField, SoaField};
+use crate::simd::{FastPath, KernelClass};
 use crate::Scalar;
 use std::any::Any;
 use std::fmt;
@@ -249,13 +254,16 @@ impl ThreadPool {
         (0..n).map(|i| slab_range(&(0..ny), i, n)).collect()
     }
 
-    /// One fused stream+collide step executed by all worker threads.
+    /// One fused stream+collide step executed by all worker threads, returning
+    /// the [`KernelClass`] that served the interior cells.
     ///
-    /// Produces exactly the same `dst` state as [`crate::kernels::fused_step`]
+    /// Produces the same `dst` state as [`crate::kernels::fused_step`]
     /// (verified by tests and property tests), independent of thread count and
-    /// tile size. When `mask` is supplied, the field is SoA/D3Q19 and the
-    /// collision is plain BGK, interior cells run the hand-optimized kernel
-    /// (with z-tile blocking) and only the remainder takes the generic path;
+    /// tile size — bit-for-bit on the scalar-semantics paths, within 1e-12
+    /// under the AVX2+FMA lane. When `interior` is supplied, the field is
+    /// SoA/D3Q19 and the collision is plain BGK, interior cells run the
+    /// fastest eligible kernel (vectorized over interior runs, or scalar; with
+    /// z-tile blocking) and only the remainder takes the generic path;
     /// otherwise the whole slab runs the generic kernel.
     pub fn fused_step<L: Lattice, F: PopField<L>>(
         &self,
@@ -263,10 +271,10 @@ impl ThreadPool {
         src: &F,
         dst: &mut F,
         collision: &CollisionKind,
-        mask: Option<&[bool]>,
-    ) {
+        interior: Option<&InteriorIndex>,
+    ) -> KernelClass {
         let dims = flags.dims();
-        self.step_rect::<L, F>(flags, src, dst, collision, 0..dims.nx, 0..dims.ny, mask);
+        self.step_rect::<L, F>(flags, src, dst, collision, 0..dims.nx, 0..dims.ny, interior)
     }
 
     /// [`ThreadPool::fused_step`] restricted to the rectangle `xr × yr` (full z
@@ -281,15 +289,15 @@ impl ThreadPool {
         collision: &CollisionKind,
         xr: Range<usize>,
         yr: Range<usize>,
-        mask: Option<&[bool]>,
-    ) {
+        interior: Option<&InteriorIndex>,
+    ) -> KernelClass {
         let ny = yr.end.saturating_sub(yr.start);
         if ny == 0 || xr.end <= xr.start {
-            return;
+            return KernelClass::Generic;
         }
         // Fast-path eligibility: plain constant-ω BGK on an SoA/D3Q19 field
-        // with a caller-provided interior mask.
-        let fast = match (collision, mask) {
+        // with a caller-provided interior index.
+        let fast = match (collision, interior) {
             (CollisionKind::Bgk(p), Some(_)) => (src as &dyn Any)
                 .downcast_ref::<SoaField<D3Q19>>()
                 .map(|s| (s.raw(), p.omega)),
@@ -297,7 +305,18 @@ impl ThreadPool {
         };
         // The generic remainder skips fast-path cells only when the fast
         // kernel actually ran; otherwise it must cover every cell.
-        let skip_mask = if fast.is_some() { mask } else { None };
+        let (skip_mask, runs) = if fast.is_some() {
+            let ix = interior.expect("fast implies interior");
+            (Some(ix.mask()), Some(ix.runs()))
+        } else {
+            (None, None)
+        };
+        let (path, class) = crate::simd::select_fast_path();
+        let class = if fast.is_some() {
+            class
+        } else {
+            KernelClass::Generic
+        };
 
         let raw = dst.raw_mut();
         let writer = SharedWriter {
@@ -313,6 +332,8 @@ impl ThreadPool {
             fast_sraw: fast.map(|(s, _)| s),
             omega: fast.map(|(_, o)| o).unwrap_or(0.0),
             skip_mask,
+            runs,
+            path,
             xr,
             yr,
             tile_z: self.tile_z,
@@ -359,6 +380,7 @@ impl ThreadPool {
                 }
             }
         }
+        class
     }
 }
 
@@ -389,6 +411,10 @@ struct StepCtx<'a, L: Lattice, F: PopField<L>> {
     omega: Scalar,
     /// `Some` ⇒ the generic remainder skips cells the fast path covered.
     skip_mask: Option<&'a [bool]>,
+    /// Run-length interior view for the vectorized kernel (set iff fast path).
+    runs: Option<&'a InteriorRuns>,
+    /// Which interior kernel the fast path executes (resolved once per step).
+    path: FastPath,
     xr: Range<usize>,
     yr: Range<usize>,
     tile_z: usize,
@@ -412,18 +438,32 @@ unsafe fn run_step_job<L: Lattice, F: PopField<L>>(ctx: *const ()) {
         let ys = slab_range(&ctx.yr, i, ctx.n_slabs);
         if let (Some(sraw), Some(mask)) = (ctx.fast_sraw, ctx.skip_mask) {
             // SAFETY: disjoint y-slabs ⇒ disjoint writes; writer length checked
-            // at construction.
+            // at construction. Slabs never split a z-pencil, so the vectorized
+            // run iteration is identical for every thread count.
             unsafe {
-                d3q19_interior_raw(
-                    ctx.flags,
-                    sraw,
-                    ctx.writer.ptr,
-                    ctx.omega,
-                    ctx.xr.clone(),
-                    ys.clone(),
-                    ctx.tile_z,
-                    mask,
-                );
+                match ctx.path {
+                    FastPath::MaskScalar => d3q19_interior_raw(
+                        ctx.flags,
+                        sraw,
+                        ctx.writer.ptr,
+                        ctx.omega,
+                        ctx.xr.clone(),
+                        ys.clone(),
+                        ctx.tile_z,
+                        mask,
+                    ),
+                    FastPath::Portable | FastPath::Avx2 => crate::simd::d3q19_interior_simd(
+                        ctx.flags,
+                        sraw,
+                        ctx.writer.ptr,
+                        ctx.omega,
+                        ctx.xr.clone(),
+                        ys.clone(),
+                        ctx.tile_z,
+                        ctx.runs.expect("fast path implies runs"),
+                        ctx.path == FastPath::Portable,
+                    ),
+                }
             }
         }
         step_slab_rect::<L, F>(
@@ -503,7 +543,7 @@ mod tests {
     use super::*;
     use crate::collision::BgkParams;
     use crate::geometry::GridDims;
-    use crate::kernels::{fused_step, interior_mask};
+    use crate::kernels::fused_step;
     use crate::lattice::{D2Q9, D3Q19};
     use crate::layout::{AosField, SoaField};
 
@@ -573,36 +613,79 @@ mod tests {
     }
 
     #[test]
-    fn pooled_optimized_dispatch_matches_serial_exactly() {
+    fn pooled_optimized_dispatch_matches_serial() {
         let dims = GridDims::new(9, 11, 7);
         let mut flags = FlagField::new(dims);
         flags.set_box_walls();
         flags.set(4, 5, 3, NodeKind::Wall);
         let src: SoaField<D3Q19> = random_field(dims, 99);
         let coll = CollisionKind::Bgk(BgkParams::from_tau(0.7));
-        let mask = interior_mask::<D3Q19>(&flags);
+        let interior = InteriorIndex::build::<D3Q19>(&flags);
 
         let mut serial = SoaField::<D3Q19>::new(dims);
         fused_step(&flags, &src, &mut serial, &coll);
 
+        // Bit-exact on the scalar-semantics paths; 1e-12 under the AVX2 lane
+        // (tile clipping changes the vector/scalar chunk split between tile_z
+        // values, so FMA contraction shifts which cells see fused roundings).
+        let tol = crate::simd::dispatch_tolerance();
         for threads in [1, 2, 4] {
             for tile_z in [0, 1, 3, 70] {
                 let mut par = SoaField::<D3Q19>::new(dims);
-                ThreadPool::new(threads).with_tile_z(tile_z).fused_step(
+                let class = ThreadPool::new(threads).with_tile_z(tile_z).fused_step(
                     &flags,
                     &src,
                     &mut par,
                     &coll,
-                    Some(&mask),
+                    Some(&interior),
                 );
+                assert_ne!(class, KernelClass::Generic);
                 for c in 0..dims.cells() {
                     for q in 0..19 {
-                        assert_eq!(
-                            serial.get(c, q),
-                            par.get(c, q),
-                            "threads={threads} tile_z={tile_z} cell={c} q={q}"
+                        let (s, p) = (serial.get(c, q), par.get(c, q));
+                        assert!(
+                            (s - p).abs() <= tol,
+                            "threads={threads} tile_z={tile_z} cell={c} q={q}: {s} vs {p}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_dispatch_is_thread_count_invariant_bitwise() {
+        // Unlike tile_z, the thread count never changes results bitwise even
+        // under FMA: y-slabs never split a z-pencil, so the vector/scalar
+        // chunking of every run is identical for every slab partition.
+        let dims = GridDims::new(9, 11, 7);
+        let mut flags = FlagField::new(dims);
+        flags.set_box_walls();
+        flags.set(4, 5, 3, NodeKind::Wall);
+        let src: SoaField<D3Q19> = random_field(dims, 99);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.7));
+        let interior = InteriorIndex::build::<D3Q19>(&flags);
+
+        let mut one = SoaField::<D3Q19>::new(dims);
+        ThreadPool::new(1).with_tile_z(3).fused_step(
+            &flags,
+            &src,
+            &mut one,
+            &coll,
+            Some(&interior),
+        );
+        for threads in [2, 4, 8] {
+            let mut par = SoaField::<D3Q19>::new(dims);
+            ThreadPool::new(threads).with_tile_z(3).fused_step(
+                &flags,
+                &src,
+                &mut par,
+                &coll,
+                Some(&interior),
+            );
+            for c in 0..dims.cells() {
+                for q in 0..19 {
+                    assert_eq!(one.get(c, q), par.get(c, q), "threads={threads} cell={c}");
                 }
             }
         }
@@ -618,14 +701,22 @@ mod tests {
         flags.set_box_walls();
         let src: SoaField<D3Q19> = random_field(dims, 5);
         let coll = CollisionKind::Bgk(BgkParams::from_tau(0.75));
-        let mask = interior_mask::<D3Q19>(&flags);
+        let interior = InteriorIndex::build::<D3Q19>(&flags);
 
         let mut whole = SoaField::<D3Q19>::new(dims);
         fused_step(&flags, &src, &mut whole, &coll);
 
         let pool = ThreadPool::new(3).with_tile_z(2);
         let mut pieces = SoaField::<D3Q19>::new(dims);
-        pool.step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 2..8, 2..7, Some(&mask));
+        pool.step_rect::<D3Q19, _>(
+            &flags,
+            &src,
+            &mut pieces,
+            &coll,
+            2..8,
+            2..7,
+            Some(&interior),
+        );
         // Ring strips (generic path), exactly once per remaining cell.
         use crate::kernels::fused_step_rect;
         fused_step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 0..10, 0..2);
@@ -633,9 +724,11 @@ mod tests {
         fused_step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 0..2, 2..7);
         fused_step_rect::<D3Q19, _>(&flags, &src, &mut pieces, &coll, 8..10, 2..7);
 
+        let tol = crate::simd::dispatch_tolerance();
         for c in 0..dims.cells() {
             for q in 0..19 {
-                assert_eq!(whole.get(c, q), pieces.get(c, q), "cell {c} q {q}");
+                let (w, p) = (whole.get(c, q), pieces.get(c, q));
+                assert!((w - p).abs() <= tol, "cell {c} q {q}: {w} vs {p}");
             }
         }
     }
@@ -686,7 +779,7 @@ mod tests {
         let mut flags = FlagField::new(dims);
         flags.set_box_walls();
         let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
-        let mask = interior_mask::<D3Q19>(&flags);
+        let interior = InteriorIndex::build::<D3Q19>(&flags);
 
         let pool = ThreadPool::new(4);
         let clone = pool.clone();
@@ -695,17 +788,21 @@ mod tests {
         let mut serial_a = a.clone();
         let mut serial_b = SoaField::<D3Q19>::new(dims);
         for step in 0..6 {
-            // Alternate pool handle and masked/unmasked dispatch.
+            // Alternate pool handle and indexed/unindexed dispatch.
             let p = if step % 2 == 0 { &pool } else { &clone };
-            let m = if step % 3 == 0 { Some(&mask[..]) } else { None };
+            let m = if step % 3 == 0 { Some(&interior) } else { None };
             p.fused_step(&flags, &a, &mut b, &coll, m);
             std::mem::swap(&mut a, &mut b);
             fused_step(&flags, &serial_a, &mut serial_b, &coll);
             std::mem::swap(&mut serial_a, &mut serial_b);
         }
+        // Exact on scalar-semantics paths; the AVX2 lane's 1e-12 per-step
+        // deviation compounds over the 6 steps, so allow a small multiple.
+        let tol = crate::simd::dispatch_tolerance() * 100.0;
         for c in 0..dims.cells() {
             for q in 0..19 {
-                assert_eq!(a.get(c, q), serial_a.get(c, q));
+                let (x, s) = (a.get(c, q), serial_a.get(c, q));
+                assert!((x - s).abs() <= tol, "cell {c} q {q}: {x} vs {s}");
             }
         }
     }

@@ -1,0 +1,912 @@
+//! SIMD execution layer for the fused D3Q19 kernel (the paper's vectorization rung).
+//!
+//! SunwayLB's Fig. 8 optimization ladder gains a large share of its single-node
+//! speedup from explicit 256-bit vectorization of the fused propagation+collision
+//! kernel (the SW26010 vector unit is 4 × f64). This module is the host mirror:
+//! a fixed-width f64 [`Lane`] abstraction with
+//!
+//! * an AVX2+FMA lane (`std::arch` intrinsics behind `is_x86_feature_detected!`),
+//! * a portable `[f64; 4]` lane that compiles everywhere and carries exactly the
+//!   scalar kernel's rounding (every lane op is a separately rounded f64 op, so
+//!   the expression tree matches [`crate::kernels`]' scalar interior kernel
+//!   bit for bit),
+//!
+//! and the vectorized interior kernel [`d3q19_interior_simd`], which consumes
+//! precomputed run-length-encoded interior runs ([`crate::kernels::InteriorRuns`])
+//! instead of testing a per-cell `Vec<bool>` mask: the SoA layout is z-innermost
+//! (`idx = (y·nx + x)·nz + z`), so within a run all 19 pull-scheme gathers are
+//! plain contiguous (unaligned) 4-wide loads from a shifted line. Sub-lane
+//! remainders fall back to the shared scalar per-cell update, so coverage is
+//! identical to the mask-based scalar kernel.
+//!
+//! Dispatch policy (what [`select_fast_path`] resolves, reported per step via
+//! the `kernel_class` observability gauge):
+//!
+//! * AVX2+FMA detected at runtime → the AVX2 lane ([`KernelClass::Simd`]);
+//!   results agree with the scalar kernel within 1e-12 (FMA contracts
+//!   `a*b + c` into one rounding).
+//! * `SWLB_NO_SIMD=1` in the environment, or no AVX2+FMA → the portable lane
+//!   ([`KernelClass::Scalar`]); results are bit-exact against the scalar kernel.
+//! * Benchmarks force the legacy mask-based scalar kernel via
+//!   [`LanePolicy::ForceScalar`] for honest scalar baselines.
+//!
+//! The module also hosts the host-metadata helpers (`cpu_features`,
+//! `logical_cores`, `physical_cores`) that bench output and the CLI exit
+//! summary embed so performance anomalies are diagnosable from the JSON alone.
+
+use crate::flags::FlagField;
+use crate::kernels::InteriorRuns;
+use crate::lattice::{Lattice, D3Q19};
+use crate::Scalar;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Fixed lane width: 4 × f64, matching both AVX2 (256-bit) and the SW26010
+/// vector unit the paper targets.
+pub const LANES: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Kernel class + dispatch policy.
+// ---------------------------------------------------------------------------
+
+/// Which kernel implementation served a step — exported as the `kernel_class`
+/// observability gauge by `Solver` and `DistributedSolver`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Generic reference kernel (non-BGK collision, non-SoA layout, or a
+    /// lattice without a fast path).
+    Generic,
+    /// Scalar-semantics interior fast path: the mask-based hand-optimized
+    /// kernel or the portable lane (both bit-exact against the reference).
+    Scalar,
+    /// AVX2+FMA vectorized interior fast path (within 1e-12 of the reference).
+    Simd,
+}
+
+impl KernelClass {
+    /// Stable short name (used in bench JSON and the CLI exit summary).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelClass::Generic => "generic",
+            KernelClass::Scalar => "scalar",
+            KernelClass::Simd => "simd",
+        }
+    }
+
+    /// Numeric encoding for the `kernel_class` gauge (gauges are f64-only).
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            KernelClass::Generic => 0.0,
+            KernelClass::Scalar => 1.0,
+            KernelClass::Simd => 2.0,
+        }
+    }
+
+    /// Inverse of [`KernelClass::as_gauge`].
+    pub fn from_gauge(v: f64) -> Option<Self> {
+        match v as i64 {
+            0 => Some(KernelClass::Generic),
+            1 => Some(KernelClass::Scalar),
+            2 => Some(KernelClass::Simd),
+            _ => None,
+        }
+    }
+}
+
+/// Process-wide override of the interior fast-path lane selection.
+///
+/// `Auto` (the default) resolves from the environment and CPU; the `Force*`
+/// variants pin a specific implementation — benchmarks use `ForceScalar` for
+/// an honest scalar baseline, equivalence tests use `ForcePortable` to pin the
+/// bit-exact fallback lane without re-execing under `SWLB_NO_SIMD=1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LanePolicy {
+    /// Resolve from `SWLB_NO_SIMD` and runtime CPU feature detection.
+    Auto,
+    /// Always run the portable `[f64; 4]` lane (scalar-exact).
+    ForcePortable,
+    /// Always run the legacy mask-based scalar interior kernel.
+    ForceScalar,
+}
+
+static LANE_POLICY: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide lane policy (tests serialize on their own mutex; the
+/// policy is read once per dispatched step, so flipping it mid-run is safe).
+pub fn set_lane_policy(policy: LanePolicy) {
+    let v = match policy {
+        LanePolicy::Auto => 0,
+        LanePolicy::ForcePortable => 1,
+        LanePolicy::ForceScalar => 2,
+    };
+    LANE_POLICY.store(v, Ordering::Relaxed);
+}
+
+/// The active process-wide lane policy.
+pub fn lane_policy() -> LanePolicy {
+    match LANE_POLICY.load(Ordering::Relaxed) {
+        1 => LanePolicy::ForcePortable,
+        2 => LanePolicy::ForceScalar,
+        _ => LanePolicy::Auto,
+    }
+}
+
+/// `SWLB_NO_SIMD=1` disables the AVX2 lane for the whole process (read once;
+/// use [`set_lane_policy`] for in-process toggling in tests).
+pub fn no_simd_env() -> bool {
+    static NO_SIMD: OnceLock<bool> = OnceLock::new();
+    *NO_SIMD.get_or_init(|| {
+        std::env::var("SWLB_NO_SIMD")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// Whether the AVX2+FMA lane can run on this CPU (runtime detection; always
+/// `false` off x86_64).
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Concrete implementation choice for an *eligible* interior fast path
+/// (SoA + D3Q19 + plain BGK with an interior index supplied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FastPath {
+    /// AVX2+FMA lane over interior runs.
+    Avx2,
+    /// Portable `[f64; 4]` lane over interior runs (scalar-exact).
+    Portable,
+    /// Legacy mask-based scalar kernel ([`crate::kernels::fused_step_d3q19_interior_tiled`]).
+    MaskScalar,
+}
+
+/// Resolve the lane policy, environment and CPU into the fast path an eligible
+/// step will take, plus the [`KernelClass`] it reports.
+pub(crate) fn select_fast_path() -> (FastPath, KernelClass) {
+    match lane_policy() {
+        LanePolicy::ForceScalar => (FastPath::MaskScalar, KernelClass::Scalar),
+        LanePolicy::ForcePortable => (FastPath::Portable, KernelClass::Scalar),
+        LanePolicy::Auto => {
+            if !no_simd_env() && simd_available() {
+                (FastPath::Avx2, KernelClass::Simd)
+            } else {
+                (FastPath::Portable, KernelClass::Scalar)
+            }
+        }
+    }
+}
+
+/// The [`KernelClass`] an eligible D3Q19/BGK fast-path step reports under the
+/// current policy/environment/CPU.
+pub fn selected_kernel_class() -> KernelClass {
+    select_fast_path().1
+}
+
+/// Maximum absolute deviation from the scalar reference the active dispatch
+/// may introduce per comparison: `0.0` (bit-exact) unless the AVX2+FMA lane is
+/// selected, where FMA contraction reorders roundings (≤ 1e-12 over the short
+/// runs the equivalence tests pin).
+pub fn dispatch_tolerance() -> f64 {
+    if selected_kernel_class() == KernelClass::Simd {
+        1e-12
+    } else {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Lane abstraction.
+// ---------------------------------------------------------------------------
+
+/// A fixed-width vector of [`LANES`] f64 values.
+///
+/// The kernel body is written once against this trait; the portable lane gives
+/// it scalar-exact rounding (`mul_add` is two separately rounded ops), the
+/// AVX2 lane gives it FMA contraction and 4-wide arithmetic.
+pub trait Lane: Copy {
+    /// Implementation name (diagnostics).
+    const NAME: &'static str;
+
+    /// Load [`LANES`] consecutive f64 values (no alignment requirement).
+    ///
+    /// # Safety
+    /// `p` must be valid for reading `LANES` f64 values.
+    unsafe fn load(p: *const Scalar) -> Self;
+
+    /// Store [`LANES`] consecutive f64 values (no alignment requirement).
+    ///
+    /// # Safety
+    /// `p` must be valid for writing `LANES` f64 values.
+    unsafe fn store(self, p: *mut Scalar);
+
+    /// Broadcast one scalar into every element.
+    fn splat(v: Scalar) -> Self;
+
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+
+    /// `self * b + c` — fused (one rounding) on the AVX2 lane, two separately
+    /// rounded ops on the portable lane (matching scalar `a*b + c`).
+    fn mul_add(self, b: Self, c: Self) -> Self;
+
+    /// Elementwise negation (exact sign flip).
+    fn neg(self) -> Self;
+
+    /// `(jx/ρ, jy/ρ, jz/ρ)` via one reciprocal (`j · (1/ρ)`, matching the
+    /// scalar kernel), with the vacuum guard: elements where `|ρ| < 1e-300`
+    /// yield `+0.0`.
+    fn velocities(jx: Self, jy: Self, jz: Self, rho: Self) -> (Self, Self, Self);
+}
+
+/// Portable 4-wide lane: plain f64 arithmetic per element. Rust performs no
+/// floating-point contraction, so each op is one IEEE rounding — the same
+/// expression tree as the scalar kernel, hence bit-exact results.
+#[derive(Clone, Copy)]
+pub struct PortableLane([Scalar; LANES]);
+
+impl Lane for PortableLane {
+    const NAME: &'static str = "portable";
+
+    #[inline(always)]
+    unsafe fn load(p: *const Scalar) -> Self {
+        let mut v = [0.0; LANES];
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = unsafe { *p.add(i) };
+        }
+        PortableLane(v)
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, p: *mut Scalar) {
+        for (i, v) in self.0.iter().enumerate() {
+            unsafe { *p.add(i) = *v };
+        }
+    }
+
+    #[inline(always)]
+    fn splat(v: Scalar) -> Self {
+        PortableLane([v; LANES])
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        let mut r = self.0;
+        for i in 0..LANES {
+            r[i] += o.0[i];
+        }
+        PortableLane(r)
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        let mut r = self.0;
+        for i in 0..LANES {
+            r[i] -= o.0[i];
+        }
+        PortableLane(r)
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        let mut r = self.0;
+        for i in 0..LANES {
+            r[i] *= o.0[i];
+        }
+        PortableLane(r)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        // Deliberately NOT f64::mul_add: two roundings, like the scalar kernel.
+        let mut r = [0.0; LANES];
+        for i in 0..LANES {
+            r[i] = self.0[i] * b.0[i] + c.0[i];
+        }
+        PortableLane(r)
+    }
+
+    #[inline(always)]
+    fn neg(self) -> Self {
+        let mut r = self.0;
+        for v in &mut r {
+            *v = -*v;
+        }
+        PortableLane(r)
+    }
+
+    #[inline(always)]
+    fn velocities(jx: Self, jy: Self, jz: Self, rho: Self) -> (Self, Self, Self) {
+        let (mut ux, mut uy, mut uz) = ([0.0; LANES], [0.0; LANES], [0.0; LANES]);
+        for i in 0..LANES {
+            // Mirror `equilibrium::velocity`'s vacuum guard exactly.
+            if rho.0[i].abs() < 1e-300 {
+                ux[i] = 0.0;
+                uy[i] = 0.0;
+                uz[i] = 0.0;
+            } else {
+                let inv = 1.0 / rho.0[i];
+                ux[i] = jx.0[i] * inv;
+                uy[i] = jy.0[i] * inv;
+                uz[i] = jz.0[i] * inv;
+            }
+        }
+        (PortableLane(ux), PortableLane(uy), PortableLane(uz))
+    }
+}
+
+/// AVX2 + FMA 4 × f64 lane.
+///
+/// Only constructed behind a successful `is_x86_feature_detected!` check; the
+/// kernel instantiation is wrapped in a `#[target_feature(enable = "avx2,fma")]`
+/// function so every intrinsic inlines into a feature-enabled region.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{Lane, Scalar};
+    use std::arch::x86_64::*;
+
+    #[derive(Clone, Copy)]
+    pub struct Avx2Lane(__m256d);
+
+    impl Lane for Avx2Lane {
+        const NAME: &'static str = "avx2+fma";
+
+        #[inline(always)]
+        unsafe fn load(p: *const Scalar) -> Self {
+            Avx2Lane(unsafe { _mm256_loadu_pd(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut Scalar) {
+            unsafe { _mm256_storeu_pd(p, self.0) };
+        }
+
+        #[inline(always)]
+        fn splat(v: Scalar) -> Self {
+            Avx2Lane(unsafe { _mm256_set1_pd(v) })
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            Avx2Lane(unsafe { _mm256_add_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            Avx2Lane(unsafe { _mm256_sub_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            Avx2Lane(unsafe { _mm256_mul_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul_add(self, b: Self, c: Self) -> Self {
+            Avx2Lane(unsafe { _mm256_fmadd_pd(self.0, b.0, c.0) })
+        }
+
+        #[inline(always)]
+        fn neg(self) -> Self {
+            // Exact sign flip: xor with the sign-bit mask.
+            Avx2Lane(unsafe { _mm256_xor_pd(self.0, _mm256_set1_pd(-0.0)) })
+        }
+
+        #[inline(always)]
+        fn velocities(jx: Self, jy: Self, jz: Self, rho: Self) -> (Self, Self, Self) {
+            unsafe {
+                let abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fff_ffff_ffff_ffff));
+                let tiny = _mm256_set1_pd(1e-300);
+                // vacuum ⇒ lane is all-ones in `vac`, cleared by andnot below.
+                let vac = _mm256_cmp_pd::<_CMP_LT_OQ>(_mm256_and_pd(rho.0, abs_mask), tiny);
+                let inv = _mm256_div_pd(_mm256_set1_pd(1.0), rho.0);
+                let ux = _mm256_andnot_pd(vac, _mm256_mul_pd(jx.0, inv));
+                let uy = _mm256_andnot_pd(vac, _mm256_mul_pd(jy.0, inv));
+                let uz = _mm256_andnot_pd(vac, _mm256_mul_pd(jz.0, inv));
+                (Avx2Lane(ux), Avx2Lane(uy), Avx2Lane(uz))
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::Avx2Lane;
+
+// ---------------------------------------------------------------------------
+// The vectorized interior kernel.
+// ---------------------------------------------------------------------------
+
+/// One lane-wide fused update of [`LANES`] consecutive-z interior cells
+/// starting at linear index `this`. The body is the vector transliteration of
+/// the scalar `d3q19_cell_update` in [`crate::kernels`] — same expression
+/// tree, so the portable instantiation is bit-exact.
+///
+/// # Safety
+/// Cells `this .. this + LANES` must all be interior (per the interior mask),
+/// `sraw`/`draw` must cover `19 * cells` scalars, and no other thread may
+/// write these cells concurrently.
+#[inline(always)]
+unsafe fn lane_update<V: Lane>(
+    sraw: &[Scalar],
+    draw: *mut Scalar,
+    cells: usize,
+    off: &[isize; 19],
+    this: usize,
+    omega: Scalar,
+) {
+    let sp = sraw.as_ptr();
+    macro_rules! pull {
+        ($q:literal) => {
+            unsafe { V::load(sp.add(($q * cells as isize + this as isize + off[$q]) as usize)) }
+        };
+    }
+    let mut f0 = pull!(0);
+    let mut f1 = pull!(1);
+    let mut f2 = pull!(2);
+    let mut f3 = pull!(3);
+    let mut f4 = pull!(4);
+    let mut f5 = pull!(5);
+    let mut f6 = pull!(6);
+    let mut f7 = pull!(7);
+    let mut f8 = pull!(8);
+    let mut f9 = pull!(9);
+    let mut f10 = pull!(10);
+    let mut f11 = pull!(11);
+    let mut f12 = pull!(12);
+    let mut f13 = pull!(13);
+    let mut f14 = pull!(14);
+    let mut f15 = pull!(15);
+    let mut f16 = pull!(16);
+    let mut f17 = pull!(17);
+    let mut f18 = pull!(18);
+
+    // Moments: same left-associated reduction order as the scalar kernel.
+    let rho = f0
+        .add(f1)
+        .add(f2)
+        .add(f3)
+        .add(f4)
+        .add(f5)
+        .add(f6)
+        .add(f7)
+        .add(f8)
+        .add(f9)
+        .add(f10)
+        .add(f11)
+        .add(f12)
+        .add(f13)
+        .add(f14)
+        .add(f15)
+        .add(f16)
+        .add(f17)
+        .add(f18);
+    let jx = f1
+        .sub(f2)
+        .add(f7)
+        .sub(f8)
+        .add(f9)
+        .sub(f10)
+        .add(f11)
+        .sub(f12)
+        .add(f13)
+        .sub(f14);
+    let jy = f3
+        .sub(f4)
+        .add(f7)
+        .sub(f8)
+        .sub(f9)
+        .add(f10)
+        .add(f15)
+        .sub(f16)
+        .add(f17)
+        .sub(f18);
+    let jz = f5
+        .sub(f6)
+        .add(f11)
+        .sub(f12)
+        .sub(f13)
+        .add(f14)
+        .add(f15)
+        .sub(f16)
+        .sub(f17)
+        .add(f18);
+    let (ux, uy, uz) = V::velocities(jx, jy, jz, rho);
+    // usq15 = 1.5·(ux² + uy² + uz²), same reduction order as scalar.
+    let usq15 = {
+        let t = ux.mul(ux);
+        let t = uy.mul_add(uy, t);
+        let t = uz.mul_add(uz, t);
+        V::splat(1.5).mul(t)
+    };
+
+    const W0: Scalar = 1.0 / 3.0;
+    const WA: Scalar = 1.0 / 18.0;
+    const WE: Scalar = 1.0 / 36.0;
+    let one = V::splat(1.0);
+    let three = V::splat(3.0);
+    let four5 = V::splat(4.5);
+    let neg_omega = V::splat(-omega);
+    macro_rules! relax {
+        ($f:ident, $w:expr, $cu:expr) => {{
+            let cu = $cu;
+            // feq = (w·ρ) · ((1 + 3cu + 4.5cu²) − usq15): unfused this is the
+            // scalar tree exactly; under FMA two products contract.
+            let t = cu.mul_add(three, one);
+            let t = four5.mul(cu).mul_add(cu, t);
+            let t = t.sub(usq15);
+            let feq = V::splat($w).mul(rho).mul(t);
+            // f ← f − ω(f − feq) = (f − feq)·(−ω) + f (bit-equal unfused).
+            $f = $f.sub(feq).mul_add(neg_omega, $f);
+        }};
+    }
+    relax!(f0, W0, V::splat(0.0));
+    relax!(f1, WA, ux);
+    relax!(f2, WA, ux.neg());
+    relax!(f3, WA, uy);
+    relax!(f4, WA, uy.neg());
+    relax!(f5, WA, uz);
+    relax!(f6, WA, uz.neg());
+    relax!(f7, WE, ux.add(uy));
+    relax!(f8, WE, ux.neg().sub(uy));
+    relax!(f9, WE, ux.sub(uy));
+    relax!(f10, WE, ux.neg().add(uy));
+    relax!(f11, WE, ux.add(uz));
+    relax!(f12, WE, ux.neg().sub(uz));
+    relax!(f13, WE, ux.sub(uz));
+    relax!(f14, WE, ux.neg().add(uz));
+    relax!(f15, WE, uy.add(uz));
+    relax!(f16, WE, uy.neg().sub(uz));
+    relax!(f17, WE, uy.sub(uz));
+    relax!(f18, WE, uy.neg().add(uz));
+
+    macro_rules! store {
+        ($q:literal, $f:ident) => {
+            unsafe { $f.store(draw.add($q * cells + this)) };
+        };
+    }
+    store!(0, f0);
+    store!(1, f1);
+    store!(2, f2);
+    store!(3, f3);
+    store!(4, f4);
+    store!(5, f5);
+    store!(6, f6);
+    store!(7, f7);
+    store!(8, f8);
+    store!(9, f9);
+    store!(10, f10);
+    store!(11, f11);
+    store!(12, f12);
+    store!(13, f13);
+    store!(14, f14);
+    store!(15, f15);
+    store!(16, f16);
+    store!(17, f17);
+    store!(18, f18);
+}
+
+/// Shared loop nest: z-tiles × y × x pencils × interior runs, full lanes
+/// through [`lane_update`], sub-lane remainders through the scalar per-cell
+/// update — so every run cell is covered exactly once, matching the mask.
+///
+/// # Safety
+/// See [`d3q19_interior_simd`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn interior_runs_impl<V: Lane>(
+    flags: &FlagField,
+    sraw: &[Scalar],
+    draw: *mut Scalar,
+    omega: Scalar,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    runs: &InteriorRuns,
+) {
+    let dims = flags.dims();
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    if nx < 3 || ny < 3 || nz < 3 {
+        return; // no interior at all; generic path covers everything
+    }
+    let cells = dims.cells();
+    debug_assert_eq!(sraw.len(), 19 * cells);
+
+    let mut off = [0isize; 19];
+    for q in 0..19 {
+        let c = D3Q19::C[q];
+        off[q] = -((c[1] as isize * nx as isize + c[0] as isize) * nz as isize + c[2] as isize);
+    }
+
+    let y0 = ys.start.max(1);
+    let y1 = ys.end.min(ny - 1);
+    let x0 = xr.start.max(1);
+    let x1 = xr.end.min(nx - 1);
+    let z0 = 1;
+    let z1 = nz - 1;
+    let tile = if tile_z == 0 { z1 - z0 } else { tile_z };
+
+    let mut zt = z0;
+    while zt < z1 {
+        let zt_end = (zt + tile).min(z1);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let pencil = y * nx + x;
+                let base = pencil * nz;
+                for &(rz0, rz1) in runs.pencil(pencil) {
+                    let a = (rz0 as usize).max(zt);
+                    let b = (rz1 as usize).min(zt_end);
+                    let mut z = a;
+                    while z + LANES <= b {
+                        // SAFETY: the run certifies cells base+z .. base+z+LANES
+                        // interior; caller certifies buffers and exclusivity.
+                        unsafe { lane_update::<V>(sraw, draw, cells, &off, base + z, omega) };
+                        z += LANES;
+                    }
+                    while z < b {
+                        // SAFETY: as above, single interior cell.
+                        unsafe {
+                            crate::kernels::d3q19_cell_update(
+                                sraw,
+                                draw,
+                                cells,
+                                &off,
+                                base + z,
+                                omega,
+                            )
+                        };
+                        z += 1;
+                    }
+                }
+            }
+        }
+        zt = zt_end;
+    }
+}
+
+/// AVX2+FMA instantiation. The `target_feature` wrapper makes every intrinsic
+/// inline into one feature-enabled region (no per-op function calls).
+///
+/// # Safety
+/// CPU must support AVX2 and FMA (checked by the dispatcher), plus the
+/// contract of [`d3q19_interior_simd`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn interior_runs_avx2(
+    flags: &FlagField,
+    sraw: &[Scalar],
+    draw: *mut Scalar,
+    omega: Scalar,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    runs: &InteriorRuns,
+) {
+    unsafe { interior_runs_impl::<Avx2Lane>(flags, sraw, draw, omega, xr, ys, tile_z, runs) };
+}
+
+/// The vectorized fused D3Q19 interior kernel over run-length-encoded interior
+/// runs — the raw entry the unified dispatch (serial, pooled and distributed)
+/// shares. `portable = true` pins the bit-exact `[f64; 4]` fallback lane;
+/// `false` requires AVX2+FMA (callers go through [`select_fast_path`]).
+///
+/// # Safety
+/// `draw` must point at `19 * cells` writable scalars, `runs` must describe
+/// interior cells of `flags` (every run cell has all 18 pull sources in
+/// bounds), and no other thread may write any cell in `xr × ys` concurrently.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn d3q19_interior_simd(
+    flags: &FlagField,
+    sraw: &[Scalar],
+    draw: *mut Scalar,
+    omega: Scalar,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    runs: &InteriorRuns,
+    portable: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !portable {
+            debug_assert!(simd_available(), "AVX2 lane dispatched without support");
+            // SAFETY: caller contract + feature check above.
+            unsafe {
+                interior_runs_avx2(flags, sraw, draw, omega, xr, ys, tile_z, runs);
+            }
+            return;
+        }
+    }
+    let _ = portable;
+    // SAFETY: caller contract.
+    unsafe { interior_runs_impl::<PortableLane>(flags, sraw, draw, omega, xr, ys, tile_z, runs) };
+}
+
+// ---------------------------------------------------------------------------
+// Host metadata (bench JSON + CLI exit summary).
+// ---------------------------------------------------------------------------
+
+/// Detected CPU SIMD features as a stable `+`-joined list (e.g.
+/// `"sse2+sse4.2+avx+avx2+fma"`), `"none"` when nothing relevant is present.
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats: Vec<&str> = Vec::new();
+        macro_rules! probe {
+            ($name:tt) => {
+                if std::arch::is_x86_feature_detected!($name) {
+                    feats.push($name);
+                }
+            };
+        }
+        probe!("sse2");
+        probe!("sse4.2");
+        probe!("avx");
+        probe!("avx2");
+        probe!("fma");
+        probe!("avx512f");
+        if feats.is_empty() {
+            "none".into()
+        } else {
+            feats.join("+")
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "none".into()
+    }
+}
+
+/// Logical core count visible to this process.
+pub fn logical_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo` where available, else the logical count. Oversubscription
+/// (bench threads > this) is exactly the anomaly host metadata exists to
+/// explain.
+pub fn physical_cores() -> usize {
+    if let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") {
+        let mut pairs = std::collections::BTreeSet::new();
+        let (mut phys, mut core) = (None::<u64>, None::<u64>);
+        for line in text.lines().chain(std::iter::once("")) {
+            if line.trim().is_empty() {
+                if let (Some(p), Some(c)) = (phys, core) {
+                    pairs.insert((p, c));
+                }
+                phys = None;
+                core = None;
+                continue;
+            }
+            let mut kv = line.splitn(2, ':');
+            let key = kv.next().unwrap_or("").trim();
+            let val = kv.next().unwrap_or("").trim();
+            match key {
+                "physical id" => phys = val.parse().ok(),
+                "core id" => core = val.parse().ok(),
+                _ => {}
+            }
+        }
+        if !pairs.is_empty() {
+            return pairs.len();
+        }
+    }
+    logical_cores()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_class_gauge_roundtrips() {
+        for c in [KernelClass::Generic, KernelClass::Scalar, KernelClass::Simd] {
+            assert_eq!(KernelClass::from_gauge(c.as_gauge()), Some(c));
+        }
+        assert_eq!(KernelClass::from_gauge(7.0), None);
+        assert_eq!(KernelClass::Simd.name(), "simd");
+    }
+
+    #[test]
+    fn portable_lane_roundtrips_and_is_unfused() {
+        let src = [1.0, -2.5, 3.25, 1e-3];
+        let mut dst = [0.0; LANES];
+        unsafe {
+            let v = PortableLane::load(src.as_ptr());
+            v.store(dst.as_mut_ptr());
+        }
+        assert_eq!(src, dst);
+        // mul_add must round twice (no FMA): pick operands where it matters.
+        let a = 1.0 + 2f64.powi(-30);
+        let v = PortableLane::splat(a);
+        let r = v.mul_add(v, PortableLane::splat(-1.0));
+        let expect = a * a - 1.0; // two roundings
+        unsafe { r.store(dst.as_mut_ptr()) };
+        assert_eq!(dst[0], expect);
+        assert_ne!(dst[0], a.mul_add(a, -1.0), "portable lane must not fuse");
+    }
+
+    #[test]
+    fn portable_velocities_apply_vacuum_guard() {
+        let j = PortableLane::splat(0.5);
+        let rho = unsafe { PortableLane::load([2.0, 0.0, 1e-301, -4.0].as_ptr()) };
+        let (ux, _, _) = PortableLane::velocities(j, j, j, rho);
+        let mut out = [0.0; LANES];
+        unsafe { ux.store(out.as_mut_ptr()) };
+        assert_eq!(out[0], 0.5 * (1.0 / 2.0));
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 0.0);
+        assert_eq!(out[3], 0.5 * (1.0 / -4.0));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_lane_matches_portable_elementwise() {
+        if !simd_available() {
+            return;
+        }
+        let a = [1.5, -0.25, 3.0, 1e-10];
+        let b = [2.0, 4.0, -1.0, 7.5];
+        let mut out_a = [0.0; LANES];
+        let mut out_p = [0.0; LANES];
+        unsafe {
+            let (va, vb) = (Avx2Lane::load(a.as_ptr()), Avx2Lane::load(b.as_ptr()));
+            va.add(vb).mul(va.sub(vb)).neg().store(out_a.as_mut_ptr());
+            let (pa, pb) = (
+                PortableLane::load(a.as_ptr()),
+                PortableLane::load(b.as_ptr()),
+            );
+            pa.add(pb).mul(pa.sub(pb)).neg().store(out_p.as_mut_ptr());
+        }
+        // add/sub/mul/neg are single-rounding ops on both lanes: bit-equal.
+        assert_eq!(out_a, out_p);
+        let rho = unsafe { Avx2Lane::load([2.0, 0.0, 1e-301, -4.0].as_ptr()) };
+        let j = Avx2Lane::splat(0.5);
+        let (ux, _, _) = Avx2Lane::velocities(j, j, j, rho);
+        unsafe { ux.store(out_a.as_mut_ptr()) };
+        assert_eq!(out_a, [0.25, 0.0, 0.0, -0.125]);
+    }
+
+    #[test]
+    fn host_metadata_is_sane() {
+        assert!(logical_cores() >= 1);
+        assert!(physical_cores() >= 1);
+        assert!(!cpu_features().is_empty());
+    }
+
+    #[test]
+    fn policy_roundtrip_and_selection() {
+        let prev = lane_policy();
+        set_lane_policy(LanePolicy::ForceScalar);
+        assert_eq!(
+            select_fast_path(),
+            (FastPath::MaskScalar, KernelClass::Scalar)
+        );
+        set_lane_policy(LanePolicy::ForcePortable);
+        assert_eq!(
+            select_fast_path(),
+            (FastPath::Portable, KernelClass::Scalar)
+        );
+        assert_eq!(dispatch_tolerance(), 0.0);
+        set_lane_policy(LanePolicy::Auto);
+        let (path, class) = select_fast_path();
+        if simd_available() && !no_simd_env() {
+            assert_eq!((path, class), (FastPath::Avx2, KernelClass::Simd));
+            assert_eq!(dispatch_tolerance(), 1e-12);
+        } else {
+            assert_eq!((path, class), (FastPath::Portable, KernelClass::Scalar));
+        }
+        set_lane_policy(prev);
+    }
+}

@@ -12,7 +12,7 @@ use swlb_core::collision::{
 use swlb_core::equilibrium::{equilibrium, moments};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
-use swlb_core::kernels::{fused_step, fused_step_optimized, interior_mask};
+use swlb_core::kernels::{fused_step, fused_step_optimized, InteriorIndex};
 use swlb_core::lattice::{Lattice, D2Q9, D3Q19};
 use swlb_core::layout::{AosField, PopField, SoaField};
 use swlb_core::parallel::ThreadPool;
@@ -210,30 +210,77 @@ proptest! {
         }
         let src: SoaField<D3Q19> = field_from(dims, &vals);
         let coll = CollisionKind::Bgk(BgkParams::from_tau(tau));
-        let mask = interior_mask::<D3Q19>(&flags);
+        let interior = InteriorIndex::build::<D3Q19>(&flags);
 
         let mut reference = SoaField::<D3Q19>::new(dims);
         fused_step(&flags, &src, &mut reference, &coll);
 
         // The collision kind is threaded through (no ω→τ→ω round-trip), so
-        // serial optimized dispatch is bit-exact against the reference...
+        // serial optimized dispatch is bit-exact against the reference on
+        // scalar-semantics lanes; under auto-selected AVX2 the fused
+        // multiply-adds differ from the reference by rounding only.
+        let tol = swlb_core::simd::dispatch_tolerance();
         let mut optimized = SoaField::<D3Q19>::new(dims);
-        fused_step_optimized(&flags, &src, &mut optimized, &coll, &mask, 0..dims.ny, tile_z);
+        fused_step_optimized(&flags, &src, &mut optimized, &coll, &interior, 0..dims.ny, tile_z);
         for c in 0..dims.cells() {
             for q in 0..D3Q19::Q {
-                prop_assert_eq!(reference.get(c, q), optimized.get(c, q));
+                let (r, o) = (reference.get(c, q), optimized.get(c, q));
+                prop_assert!((r - o).abs() <= tol, "cell {} q {}: {} vs {}", c, q, r, o);
             }
         }
 
-        // ...and so is the pooled + z-blocked dispatch, for any thread count.
+        // ...and so does the pooled + z-blocked dispatch, for any thread count.
         let mut pooled = SoaField::<D3Q19>::new(dims);
         ThreadPool::new(threads)
             .with_tile_z(tile_z)
-            .fused_step(&flags, &src, &mut pooled, &coll, Some(&mask));
+            .fused_step(&flags, &src, &mut pooled, &coll, Some(&interior));
         for c in 0..dims.cells() {
             for q in 0..D3Q19::Q {
-                prop_assert_eq!(reference.get(c, q), pooled.get(c, q));
+                let (r, p) = (reference.get(c, q), pooled.get(c, q));
+                prop_assert!((r - p).abs() <= tol, "cell {} q {}: {} vs {}", c, q, r, p);
             }
+        }
+    }
+
+    #[test]
+    fn vector_dispatch_conserves_mass_and_momentum(
+        vals in prop::collection::vec(0.0f64..1.0, 64),
+        tau in 0.55f64..1.6,
+    ) {
+        // Periodic box, no walls: one fused step is a permutation (streaming)
+        // composed with a per-cell conservative collision, so total mass and
+        // momentum are invariant. The interior cells take whatever lane path
+        // the host auto-selects (AVX2, portable, or mask-scalar under
+        // SWLB_NO_SIMD=1), so this pins conservation on the vector kernel.
+        let dims = GridDims::new(7, 6, 9);
+        let flags = FlagField::new(dims);
+        let src: SoaField<D3Q19> = field_from(dims, &vals);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(tau));
+        let interior = InteriorIndex::build::<D3Q19>(&flags);
+        let mut dst = SoaField::<D3Q19>::new(dims);
+        fused_step_optimized(&flags, &src, &mut dst, &coll, &interior, 0..dims.ny, 0);
+        let sums = |f: &SoaField<D3Q19>| {
+            let mut m = 0.0;
+            let mut j = [0.0; 3];
+            for c in 0..dims.cells() {
+                for q in 0..D3Q19::Q {
+                    let v = f.get(c, q);
+                    m += v;
+                    for (a, ja) in j.iter_mut().enumerate() {
+                        *ja += v * D3Q19::C[q][a] as Scalar;
+                    }
+                }
+            }
+            (m, j)
+        };
+        let (m0, j0) = sums(&src);
+        let (m1, j1) = sums(&dst);
+        prop_assert!((m0 - m1).abs() <= 1e-10 * m0.max(1.0), "mass {} -> {}", m0, m1);
+        for a in 0..3 {
+            prop_assert!(
+                (j0[a] - j1[a]).abs() <= 1e-10 * (1.0 + j0[a].abs()),
+                "momentum[{}] {} -> {}", a, j0[a], j1[a]
+            );
         }
     }
 

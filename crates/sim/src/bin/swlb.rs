@@ -183,8 +183,16 @@ fn preflight(cfg: &CaseConfig) -> bool {
 }
 
 /// The always-printed exit line: throughput plus the fault/recovery totals an
-/// operator triages a long run by.
-fn exit_summary(ctx: &RunCtx, steps: u64, active_cells: usize, wall_s: f64) {
+/// operator triages a long run by, and the host/kernel metadata that makes a
+/// pasted summary self-describing (which kernel class served the run, on what
+/// CPU).
+fn exit_summary(
+    ctx: &RunCtx,
+    steps: u64,
+    active_cells: usize,
+    wall_s: f64,
+    kernel: swlb_core::simd::KernelClass,
+) {
     ctx.recorder.flush(steps);
     let (retries, rollbacks) = ctx
         .recorder
@@ -203,7 +211,12 @@ fn exit_summary(ctx: &RunCtx, steps: u64, active_cells: usize, wall_s: f64) {
     };
     println!(
         "summary: steps={steps} wall={wall_s:.3}s mlups={mlups:.2} \
-         halo_retries={retries} rollbacks={rollbacks}"
+         halo_retries={retries} rollbacks={rollbacks} \
+         kernel={} cores={}p/{}l features={}",
+        kernel.name(),
+        swlb_core::simd::physical_cores(),
+        swlb_core::simd::logical_cores(),
+        swlb_core::simd::cpu_features(),
     );
 }
 
@@ -266,7 +279,13 @@ fn run_cavity(cfg: &CaseConfig, ctx: &RunCtx) {
         s.max_velocity
     );
     write_outputs(ctx, &cfg.name, &solver, None);
-    exit_summary(ctx, s.step, solver.active_cells(), wall);
+    exit_summary(
+        ctx,
+        s.step,
+        solver.active_cells(),
+        wall,
+        solver.last_kernel_class(),
+    );
 }
 
 fn run_channel(cfg: &CaseConfig, ctx: &RunCtx) {
@@ -294,7 +313,13 @@ fn run_channel(cfg: &CaseConfig, ctx: &RunCtx) {
     let s = solver.stats();
     say!(ctx, "step {}: max |u| {:.4}", s.step, s.max_velocity);
     write_outputs(ctx, &cfg.name, &solver, None);
-    exit_summary(ctx, s.step, solver.active_cells(), wall);
+    exit_summary(
+        ctx,
+        s.step,
+        solver.active_cells(),
+        wall,
+        solver.last_kernel_class(),
+    );
 }
 
 fn run_cylinder(cfg: &CaseConfig, ctx: &RunCtx) {
@@ -341,7 +366,13 @@ fn run_cylinder(cfg: &CaseConfig, ctx: &RunCtx) {
         log.tail_mean("fx", 20).unwrap_or(0.0)
     );
     write_outputs(ctx, &cfg.name, &solver, Some(&log));
-    exit_summary(ctx, solver.step_count(), solver.active_cells(), wall);
+    exit_summary(
+        ctx,
+        solver.step_count(),
+        solver.active_cells(),
+        wall,
+        solver.last_kernel_class(),
+    );
 }
 
 fn run_taylor_green(cfg: &CaseConfig, ctx: &RunCtx) {
@@ -374,5 +405,11 @@ fn run_taylor_green(cfg: &CaseConfig, ctx: &RunCtx) {
         (nu_measured - nu) / nu * 100.0
     );
     write_outputs(ctx, &cfg.name, &solver, None);
-    exit_summary(ctx, solver.step_count(), solver.active_cells(), wall);
+    exit_summary(
+        ctx,
+        solver.step_count(),
+        solver.active_cells(),
+        wall,
+        solver.last_kernel_class(),
+    );
 }

@@ -23,11 +23,12 @@ use swlb_comm::{Comm, CommError, Communicator, Tag};
 use swlb_core::collision::{collide, CollisionKind};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
-use swlb_core::kernels::{apply_non_fluid, gather_pull, interior_mask, MAX_Q};
+use swlb_core::kernels::{apply_non_fluid, gather_pull, InteriorIndex, MAX_Q};
 use swlb_core::lattice::Lattice;
 use swlb_core::layout::{AbBuffers, PopField, SoaField};
 use swlb_core::macroscopic::MacroFields;
 use swlb_core::parallel::ThreadPool;
+use swlb_core::simd::KernelClass;
 use swlb_core::Scalar;
 use swlb_io::checkpoint::Crc32;
 use swlb_obs::{exponential_buckets, Counter, Gauge, Histogram, Phase, Recorder, SwlbError};
@@ -157,9 +158,16 @@ pub struct DistributedSolver<'c, L: Lattice, C: Communicator = Comm> {
     /// Execution pipeline for the inner rectangle: the same pooled + z-blocked
     /// dispatch the shared-memory [`Solver`](swlb_core::solver::Solver) uses.
     pool: ThreadPool,
-    /// Interior-cell mask of the local grid (halo ring excluded), enabling the
-    /// hand-optimized D3Q19 kernel inside the pooled dispatch.
-    interior: Vec<bool>,
+    /// Interior fast-path index of the local grid (per-cell mask + run-length
+    /// runs, halo ring excluded), enabling the vectorized / hand-optimized
+    /// D3Q19 kernels inside the pooled dispatch. Rebuilt lazily when the local
+    /// flags change (see [`DistributedSolver::local_flags_mut`]).
+    interior: InteriorIndex,
+    /// Set by [`DistributedSolver::local_flags_mut`]; the next step rebuilds
+    /// the interior index and the active-cell count before dispatch.
+    interior_dirty: bool,
+    /// Which kernel class served the most recent step's inner rectangle.
+    last_class: KernelClass,
     /// Reusable halo frame buffers: once capacities stabilize, the
     /// steady-state step performs no heap allocation.
     send_buf: Vec<f64>,
@@ -178,6 +186,23 @@ pub struct DistributedSolver<'c, L: Lattice, C: Communicator = Comm> {
     obs_timeouts: Counter,
     obs_corrupt: Counter,
     obs_halo_us: Histogram,
+    obs_kernel_class: Gauge,
+}
+
+/// Interior (halo-ring-excluded) fluid-cell count of a local grid.
+fn count_active(flags: &FlagField, lnx: usize, lny: usize) -> usize {
+    let local = flags.dims();
+    let mut active = 0;
+    for y in 1..=lny {
+        for x in 1..=lnx {
+            for z in 0..local.nz {
+                if flags.kind(local.idx(x, y, z)).is_fluid() {
+                    active += 1;
+                }
+            }
+        }
+    }
+    active
 }
 
 /// The single construction path for [`DistributedSolver`]: communicator,
@@ -259,19 +284,9 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
         let ((_, lnx), (_, lny)) = part.owned(comm.rank());
         let flags = part.local_flags(comm.rank(), self.global_flags);
         let local = part.local_dims(comm.rank());
-        // Interior fluid cells of this rank (halo ring excluded).
-        let mut active = 0;
-        for y in 1..=lny {
-            for x in 1..=lnx {
-                for z in 0..local.nz {
-                    if flags.kind(local.idx(x, y, z)).is_fluid() {
-                        active += 1;
-                    }
-                }
-            }
-        }
+        let active = count_active(&flags, lnx, lny);
         let recorder = self.recorder;
-        let interior = interior_mask::<L>(&flags);
+        let interior = InteriorIndex::build::<L>(&flags);
         DistributedSolver {
             comm,
             part,
@@ -283,6 +298,8 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             lny,
             pool: self.pool.unwrap_or_else(|| ThreadPool::new(1)),
             interior,
+            interior_dirty: false,
+            last_class: KernelClass::Generic,
             send_buf: Vec::new(),
             recv_buf: Vec::new(),
             step: 0,
@@ -295,6 +312,7 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             obs_timeouts: recorder.counter("halo.timeouts"),
             obs_corrupt: recorder.counter("halo.corrupt"),
             obs_halo_us: recorder.histogram("halo.latency_us", &exponential_buckets(10.0, 4.0, 8)),
+            obs_kernel_class: recorder.gauge("kernel_class"),
             recorder,
         }
     }
@@ -383,6 +401,29 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
     /// Local flags (with halo ring).
     pub fn local_flags(&self) -> &FlagField {
         &self.flags
+    }
+
+    /// Mutable access to the local flags (with halo ring). Marks the cached
+    /// interior fast-path index dirty; the next [`DistributedSolver::step`]
+    /// rebuilds it (and the active-cell count) before dispatch.
+    pub fn local_flags_mut(&mut self) -> &mut FlagField {
+        self.interior_dirty = true;
+        &mut self.flags
+    }
+
+    /// Which kernel class served the most recent step's inner rectangle
+    /// ([`KernelClass::Generic`] before the first step).
+    pub fn last_kernel_class(&self) -> KernelClass {
+        self.last_class
+    }
+
+    /// Rebuild the interior index and active-cell count if the flags changed.
+    fn ensure_interior(&mut self) {
+        if self.interior_dirty {
+            self.interior = InteriorIndex::build::<L>(&self.flags);
+            self.active = count_active(&self.flags, self.lnx, self.lny);
+            self.interior_dirty = false;
+        }
     }
 
     /// Initialize all local cells from a *global-coordinate* state function.
@@ -593,21 +634,23 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
 
     /// Fused stream+collide over the inner rectangle `2..lnx × 2..lny` (the
     /// cells that touch no halo), dispatched through the thread pool: y-slabs
-    /// across threads, z-tile blocking inside each slab, and the
-    /// hand-optimized D3Q19 kernel on interior BGK cells. Bit-identical to the
-    /// serial generic path — the pool only re-schedules independent per-cell
-    /// updates.
+    /// across threads, z-tile blocking inside each slab, and the vectorized
+    /// (or hand-optimized scalar) D3Q19 kernel on interior BGK run-length
+    /// runs. Matches the serial generic path bit-for-bit on scalar-semantics
+    /// lanes and within the FMA dispatch tolerance under AVX2.
     fn step_inner(&mut self) {
         if self.lnx <= 2 || self.lny <= 2 {
+            self.last_class = KernelClass::Generic;
             return;
         }
         let collision = self.collision;
         let flags = &self.flags;
         let pool = &self.pool;
-        let mask = self.interior.as_slice();
+        let interior = &self.interior;
         let (xr, yr) = (2..self.lnx, 2..self.lny);
         let (src, dst) = self.bufs.pair_mut();
-        pool.step_rect::<L, _>(flags, src, dst, &collision, xr, yr, Some(mask));
+        let class = pool.step_rect::<L, _>(flags, src, dst, &collision, xr, yr, Some(interior));
+        self.last_class = class;
     }
 
     /// Fused stream+collide over the boundary ring (the four strips adjacent
@@ -660,6 +703,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         // Cheap handle clone so phase guards don't hold a borrow of `self`.
         let rec = self.recorder.clone();
         let t_step = rec.now();
+        self.ensure_interior();
         self.comm.notify_step(self.step);
         {
             let _pack = rec.phase(Phase::HaloPack);
@@ -697,6 +741,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             self.obs_steps.inc();
             // Per-rank MLUPS = interior fluid cells · 1000 / step-ns.
             self.obs_mlups.set(self.active as f64 * 1e3 / ns as f64);
+            self.obs_kernel_class.set(self.last_class.as_gauge());
         }
         self.recorder.maybe_flush(self.step);
         Ok(())
@@ -869,11 +914,14 @@ mod tests {
             s.gather_populations().unwrap()
         });
         let gathered = out[0].as_ref().expect("rank 0 gathers");
+        // Exact when dispatch has scalar semantics; under auto-selected AVX2
+        // the fused multiply-adds differ from the serial reference by rounding.
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
         for cell in 0..global.cells() {
             for q in 0..L::Q {
                 let (r, g) = (reference.get(cell, q), gathered.get(cell, q));
                 assert!(
-                    (r - g).abs() < 1e-14,
+                    (r - g).abs() < tol,
                     "cell {cell} q {q}: reference {r}, distributed {g}"
                 );
             }
@@ -981,5 +1029,47 @@ mod tests {
         for (m0, m1) in masses {
             assert!((m0 - m1).abs() / m0 < 1e-12, "mass drift {m0} → {m1}");
         }
+    }
+
+    #[test]
+    fn flag_mutation_rebuilds_interior_index_and_reports_kernel_class() {
+        let global = GridDims::new(10, 10, 12);
+        let mut flags = FlagField::new(global);
+        flags.set_box_walls();
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        let flags_ref = &flags;
+        let out = World::new(1).run(|comm| {
+            let mut s = DistributedSolver::<D3Q19>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::OnTheFly)
+                .build();
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.step().unwrap();
+            let class_before = s.last_kernel_class();
+            let runs_before = s.interior.runs().run_count();
+            // Carve an obstacle out of the inner rectangle through the public
+            // mutator; the next step must pick it up (more runs, fewer active
+            // cells) without an explicit rebuild call.
+            // Mid-pencil in z: the excluded 1-neighborhood leaves interior
+            // cells on both sides, so the pencil splits into two runs.
+            s.local_flags_mut()
+                .set(5, 5, 5, swlb_core::boundary::NodeKind::Wall);
+            let active_before = s.active;
+            s.step().unwrap();
+            (
+                class_before,
+                runs_before,
+                s.interior.runs().run_count(),
+                active_before,
+                s.active,
+                s.last_kernel_class(),
+            )
+        });
+        let (class_before, runs_before, runs_after, active_before, active_after, class_after) =
+            out[0];
+        assert_eq!(class_before, swlb_core::simd::selected_kernel_class());
+        assert_ne!(class_before, KernelClass::Generic);
+        assert_eq!(class_after, class_before);
+        assert!(runs_after > runs_before, "wall must split a z-run");
+        assert_eq!(active_after, active_before - 1);
     }
 }

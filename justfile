@@ -24,18 +24,27 @@ obs:
     cargo test -q -p swlb-sim --release --test obs_integration
     cargo run --release -p swlb-bench --bin obs_measured_vs_model
 
-# Quick bench sanity: run the native threads x tile_z sweep in quick mode,
-# validate the emitted JSON schema, and run the cross-layer bit-exactness
-# suite for the unified dispatch pipeline.
+# Quick bench sanity: run the native scalar-vs-SIMD sweep in quick mode,
+# validate the emitted JSON schema (host metadata included), and run the
+# cross-layer equivalence suites for the unified dispatch pipeline.
 bench-smoke:
-    cargo run --release -p swlb-bench --bin native_scaling -- --quick --json /tmp/bench_pr3_smoke.json
-    cargo run --release -p swlb-bench --bin native_scaling -- --validate /tmp/bench_pr3_smoke.json
+    cargo run --release -p swlb-bench --bin native_scaling -- --quick --json /tmp/bench_pr4_smoke.json
+    cargo run --release -p swlb-bench --bin native_scaling -- --validate /tmp/bench_pr4_smoke.json
     cargo test -q -p swlb-sim --release --test unified_dispatch
+    cargo test -q -p swlb-sim --release --test simd_equivalence
 
-# The full sweep behind docs/PERFORMANCE.md: 128^3 cavity, threads x tile_z,
-# rewrites BENCH_pr3.json in the repository root.
+# The SIMD correctness contract, both ways: native dispatch (tolerance-based
+# under AVX2+FMA) and SWLB_NO_SIMD=1 (portable lane, bit-exact everywhere).
+simd-check:
+    cargo test -q -p swlb-sim --release --test simd_equivalence --test unified_dispatch
+    cargo test -q -p swlb-core --release
+    SWLB_NO_SIMD=1 cargo test -q -p swlb-sim --release --test simd_equivalence --test unified_dispatch
+    SWLB_NO_SIMD=1 cargo test -q -p swlb-core --release
+
+# The full sweep behind docs/PERFORMANCE.md: 128^3 cavity, scalar vs SIMD
+# across 1/2/4 threads, rewrites BENCH_pr4.json in the repository root.
 bench-sweep:
-    cargo run --release -p swlb-bench --bin native_scaling -- --json BENCH_pr3.json
+    cargo run --release -p swlb-bench --bin native_scaling -- --json BENCH_pr4.json
 
 # Regenerate every paper figure/table harness.
 figures:

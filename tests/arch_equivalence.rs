@@ -14,12 +14,7 @@ use swlb_core::layout::{PopField, SoaField};
 use swlb_core::prelude::Solver;
 use swlb_mesh::{cylinder_z_mask, sphere_mask};
 
-fn run_reference(
-    dims: GridDims,
-    flags: &FlagField,
-    tau: f64,
-    steps: usize,
-) -> SoaField<D3Q19> {
+fn run_reference(dims: GridDims, flags: &FlagField, tau: f64, steps: usize) -> SoaField<D3Q19> {
     let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(tau))
         .collision(CollisionKind::Bgk(BgkParams::from_tau(tau)))
         .build();
@@ -58,14 +53,20 @@ fn emulator_trajectory_matches_solver_on_cylinder_mesh() {
     let mut flags = FlagField::new(dims);
     flags.paint_channel_walls_y();
     flags.paint_inflow_outflow_x(1.0, [0.03, 0.0, 0.0]);
-    flags.apply_mask(&cylinder_z_mask(dims, 5.0, 5.0, 1.8)).unwrap();
+    flags
+        .apply_mask(&cylinder_z_mask(dims, 5.0, 5.0, 1.8))
+        .unwrap();
 
     let exec = CoreGroupExecutor::new(MachineSpec::taihulight()).with_cpes(8);
     let want = run_reference(dims, &flags, 0.8, 4);
     let got = run_emulated(dims, &flags, 0.8, 4, &exec);
+    // Exact when the solver dispatches with scalar semantics; under
+    // auto-selected AVX2 the solver's fused multiply-adds differ by rounding.
+    let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
     for cell in 0..dims.cells() {
         for q in 0..19 {
-            assert_eq!(want.get(cell, q), got.get(cell, q), "cell {cell} q {q}");
+            let (w, g) = (want.get(cell, q), got.get(cell, q));
+            assert!((w - g).abs() <= tol, "cell {cell} q {q}: {w} vs {g}");
         }
     }
 }
@@ -75,14 +76,18 @@ fn emulator_matches_on_the_pro_with_sphere_mesh() {
     let dims = GridDims::new(10, 12, 8);
     let mut flags = FlagField::new(dims);
     flags.set_box_walls();
-    flags.apply_mask(&sphere_mask(dims, [5.0, 6.0, 4.0], 2.0)).unwrap();
+    flags
+        .apply_mask(&sphere_mask(dims, [5.0, 6.0, 4.0], 2.0))
+        .unwrap();
 
     let exec = CoreGroupExecutor::new(MachineSpec::new_sunway()).with_cpes(6);
     let want = run_reference(dims, &flags, 0.7, 3);
     let got = run_emulated(dims, &flags, 0.7, 3, &exec);
+    let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
     for cell in 0..dims.cells() {
         for q in 0..19 {
-            assert_eq!(want.get(cell, q), got.get(cell, q));
+            let (w, g) = (want.get(cell, q), got.get(cell, q));
+            assert!((w - g).abs() <= tol, "cell {cell} q {q}: {w} vs {g}");
         }
     }
 }
@@ -96,9 +101,11 @@ fn emulator_matches_with_nebb_boundaries() {
     let exec = CoreGroupExecutor::new(MachineSpec::taihulight()).with_cpes(4);
     let want = run_reference(dims, &flags, 0.8, 4);
     let got = run_emulated(dims, &flags, 0.8, 4, &exec);
+    let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
     for cell in 0..dims.cells() {
         for q in 0..19 {
-            assert_eq!(want.get(cell, q), got.get(cell, q), "cell {cell} q {q}");
+            let (w, g) = (want.get(cell, q), got.get(cell, q));
+            assert!((w - g).abs() <= tol, "cell {cell} q {q}: {w} vs {g}");
         }
     }
 }
@@ -167,7 +174,10 @@ fn sharing_and_fusion_compose() {
     }
     assert!(bytes[0] < bytes[1], "sharing must cut DMA: {bytes:?}");
     assert!(bytes[1] < bytes[3], "fusion must cut DMA: {bytes:?}");
-    assert!(bytes[2] < bytes[3], "sharing helps split mode too: {bytes:?}");
+    assert!(
+        bytes[2] < bytes[3],
+        "sharing helps split mode too: {bytes:?}"
+    );
 }
 
 #[test]
@@ -175,9 +185,7 @@ fn ldm_pressure_stays_within_capacity_on_both_machines() {
     let dims = GridDims::new(10, 12, 40);
     let flags = FlagField::new(dims);
     let mut src = SoaField::<D3Q19>::new(dims);
-    swlb_core::kernels::initialize_with::<D3Q19, _>(&flags, &mut src, |_, _, _| {
-        (1.0, [0.0; 3])
-    });
+    swlb_core::kernels::initialize_with::<D3Q19, _>(&flags, &mut src, |_, _, _| (1.0, [0.0; 3]));
     for machine in [MachineSpec::taihulight(), MachineSpec::new_sunway()] {
         let exec = CoreGroupExecutor::new(machine).with_cpes(4);
         let mut dst = SoaField::<D3Q19>::new(dims);

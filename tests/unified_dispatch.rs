@@ -1,13 +1,16 @@
 //! Cross-layer equivalence of the unified execution pipeline.
 //!
-//! Every dispatch level must produce bit-identical populations: the serial
-//! generic kernel (the reference), the pooled + z-blocked shared-memory
-//! dispatch, and the distributed solver's inner-rectangle/boundary-ring split
-//! under both exchange schedules — for every combination of thread count,
-//! tile size, and rank count, including degenerate subdomains whose inner
-//! rectangle is empty. Parallelism and blocking only re-schedule independent
-//! per-cell updates; these tests pin that claim with `assert_eq!`, not
-//! tolerances.
+//! Every dispatch level must reproduce the serial generic reference: the
+//! pooled + z-blocked shared-memory dispatch and the distributed solver's
+//! inner-rectangle/boundary-ring split under both exchange schedules — for
+//! every combination of thread count, tile size, and rank count, including
+//! degenerate subdomains whose inner rectangle is empty. Parallelism and
+//! blocking only re-schedule independent per-cell updates, so paths with
+//! scalar semantics (generic fallback, `SWLB_NO_SIMD=1`, the portable lane)
+//! are compared with `assert_eq!`; when the host auto-selects the AVX2+FMA
+//! lane its fused multiply-adds legitimately differ from the scalar reference
+//! by rounding, and those comparisons use
+//! `swlb_core::simd::dispatch_tolerance()` instead.
 
 use swlb_comm::World;
 use swlb_core::collision::{BgkParams, CollisionKind, SmagorinskyParams};
@@ -65,26 +68,37 @@ fn distributed_run<L: Lattice>(
 }
 
 fn assert_fields_equal<L: Lattice>(a: &SoaField<L>, b: &SoaField<L>, what: &str) {
+    assert_fields_close(a, b, 0.0, what);
+}
+
+fn assert_fields_close<L: Lattice>(a: &SoaField<L>, b: &SoaField<L>, tol: f64, what: &str) {
     let cells = a.dims().cells();
     for cell in 0..cells {
         for q in 0..L::Q {
-            assert_eq!(a.get(cell, q), b.get(cell, q), "{what}: cell {cell} q {q}");
+            let (x, y) = (a.get(cell, q), b.get(cell, q));
+            assert!(
+                (x - y).abs() <= tol,
+                "{what}: cell {cell} q {q}: {x} vs {y}"
+            );
         }
     }
 }
 
 /// The full matrix: (exchange mode × threads × tile_z × rank count) against
-/// the serial generic reference, bit-for-bit.
+/// the serial generic reference. The z extent is deep enough (nz = 12) that
+/// interior z-runs reach full lane width, so on AVX2 hosts this matrix runs
+/// the vectorized kernel, not just its scalar tail.
 #[test]
-fn distributed_unified_dispatch_matches_serial_reference_exactly() {
-    let global = GridDims::new(12, 10, 6);
+fn distributed_unified_dispatch_matches_serial_reference() {
+    let global = GridDims::new(12, 10, 12);
     let mut flags = FlagField::new(global);
     flags.set_box_walls();
     flags.paint_lid([0.05, 0.0, 0.0]);
-    flags.set(6, 5, 3, swlb_core::boundary::NodeKind::Wall);
+    flags.set(6, 5, 6, swlb_core::boundary::NodeKind::Wall);
     let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
     let steps = 4;
     let reference = reference_run::<D3Q19>(global, &flags, &coll, steps);
+    let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
 
     for mode in [ExchangeMode::Sequential, ExchangeMode::OnTheFly] {
         for ranks in [1usize, 4] {
@@ -92,9 +106,10 @@ fn distributed_unified_dispatch_matches_serial_reference_exactly() {
                 let got = distributed_run::<D3Q19>(
                     global, &flags, coll, steps, ranks, mode, threads, tile_z,
                 );
-                assert_fields_equal(
+                assert_fields_close(
                     &reference,
                     &got,
+                    tol,
                     &format!("{mode:?} ranks={ranks} threads={threads} tile_z={tile_z}"),
                 );
             }
