@@ -21,9 +21,11 @@ pub mod cart;
 pub mod comm;
 pub mod communicator;
 pub mod fault;
+pub mod frame;
 pub mod netmodel;
 
 pub use cart::Cart2d;
+pub use frame::{body_crc, check_frame, frame_crc, seal_frame, FrameCheck, FRAME_HEADER};
 pub use comm::{Comm, CommError, Message, RecvRequest, Tag, World};
 pub use communicator::Communicator;
 pub use fault::{ChaosComm, FaultAction, FaultEvent, FaultPlan, FaultRecord, FaultSpec};

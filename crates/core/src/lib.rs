@@ -81,7 +81,7 @@ pub mod prelude {
     pub use crate::macroscopic::MacroFields;
     pub use crate::parallel::ThreadPool;
     pub use crate::simd::{KernelClass, LanePolicy};
-    pub use crate::solver::{ExecMode, Solver, SolverBuilder, StepStats};
+    pub use crate::solver::{Solver, SolverBuilder, StepStats};
     pub use crate::units::UnitConverter;
     pub use crate::Scalar;
     pub use swlb_obs::{Recorder, SwlbError, SwlbResult};

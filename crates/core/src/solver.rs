@@ -11,12 +11,11 @@
 //! engine (`swlb-sim`) instantiates per rank, and the reference implementation
 //! the architecture emulator (`swlb-arch`) is validated against.
 //!
-//! Construction goes through [`SolverBuilder`] (one path for dims, collision,
-//! thread pool, tile size and observability recorder); the historical
-//! `Solver::new` + `with_*` chain and the [`ExecMode`] selector survive as
-//! thin deprecated wrappers. Contradictory settings (e.g. `ExecMode::Serial`
-//! plus a multi-thread pool) are rejected by [`SolverBuilder::try_build`]
-//! instead of silently dropping one of them.
+//! Construction goes through [`SolverBuilder`] — the single path for dims,
+//! collision, thread pool, tile size and observability recorder. The
+//! historical `Solver::new` + `with_*` chain and the `ExecMode` selector were
+//! removed after every in-tree caller migrated; contradictory settings (e.g.
+//! `tile_z == 0`) are rejected by [`SolverBuilder::try_build`].
 
 use crate::collision::{BgkParams, CollisionKind};
 use crate::error::CoreError;
@@ -31,38 +30,6 @@ use crate::simd::KernelClass;
 use crate::Scalar;
 use std::marker::PhantomData;
 use swlb_obs::{Counter, Gauge, Phase, Recorder, SwlbError};
-
-/// Execution strategy for a time step.
-///
-/// **Deprecated.** Kernel dispatch is unified: the optimized interior fast
-/// path, the generic fallback and multithreading all live behind
-/// [`ThreadPool::fused_step`] and are selected per slab at runtime. The
-/// variants survive as aliases onto that pipeline — `Serial` means a
-/// single-thread pool, `Parallel` and `Optimized` mean "use the configured
-/// pool" — and combining `Serial` with a multi-thread pool is rejected by
-/// [`SolverBuilder::try_build`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecMode {
-    /// Single-threaded execution (alias for a 1-thread pool).
-    #[deprecated(
-        since = "0.3.0",
-        note = "dispatch is unified; omit the mode (1-thread pool is the default)"
-    )]
-    Serial,
-    /// Multithreaded execution (alias for the unified pooled path).
-    #[deprecated(
-        since = "0.3.0",
-        note = "dispatch is unified; configure threads via `SolverBuilder::pool`"
-    )]
-    Parallel,
-    /// Optimized-kernel execution (alias for the unified pooled path, which
-    /// always uses the fast interior kernel when the configuration allows).
-    #[deprecated(
-        since = "0.3.0",
-        note = "dispatch is unified; the fast path is selected automatically"
-    )]
-    Optimized,
-}
 
 /// Summary statistics of one (or the latest) time step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,7 +60,6 @@ pub struct StepStats {
 pub struct SolverBuilder<L: Lattice> {
     dims: GridDims,
     collision: CollisionKind,
-    mode: Option<ExecMode>,
     pool: Option<ThreadPool>,
     tile_z: Option<usize>,
     recorder: Recorder,
@@ -106,7 +72,6 @@ impl<L: Lattice> SolverBuilder<L> {
         SolverBuilder {
             dims,
             collision: CollisionKind::Bgk(params),
-            mode: None,
             pool: None,
             tile_z: None,
             recorder: Recorder::disabled(),
@@ -118,16 +83,6 @@ impl<L: Lattice> SolverBuilder<L> {
     /// [`SolverBuilder::new`]).
     pub fn collision(mut self, collision: CollisionKind) -> Self {
         self.collision = collision;
-        self
-    }
-
-    /// Select the execution mode.
-    #[deprecated(
-        since = "0.3.0",
-        note = "dispatch is unified; configure `pool`/`tile_z` instead"
-    )]
-    pub fn mode(mut self, mode: ExecMode) -> Self {
-        self.mode = Some(mode);
         self
     }
 
@@ -154,28 +109,12 @@ impl<L: Lattice> SolverBuilder<L> {
 
     /// Build the solver, rejecting contradictory settings.
     ///
-    /// Errors:
-    /// * a deprecated `ExecMode::Serial` combined with a multi-thread pool
-    ///   (the old builder silently ignored one of the two);
-    /// * `tile_z == 0` (use the default or a positive tile instead).
+    /// Errors: `tile_z == 0` (use the default or a positive tile instead).
     pub fn try_build(self) -> Result<Solver<L>, SwlbError> {
         if self.tile_z == Some(0) {
             return Err(SwlbError::InvalidConfig(
                 "tile_z must be >= 1 (omit it for the default blocking)".into(),
             ));
-        }
-        #[allow(deprecated)]
-        let serial = matches!(self.mode, Some(ExecMode::Serial));
-        if serial {
-            if let Some(p) = &self.pool {
-                if p.threads() > 1 {
-                    return Err(SwlbError::InvalidConfig(format!(
-                        "ExecMode::Serial contradicts a {}-thread pool; drop the mode \
-                         or use ThreadPool::new(1)",
-                        p.threads()
-                    )));
-                }
-            }
         }
         let mut pool = self.pool.unwrap_or_else(|| ThreadPool::new(1));
         if let Some(t) = self.tile_z {
@@ -243,40 +182,6 @@ impl<L: Lattice> Solver<L> {
         SolverBuilder::new(dims, params)
     }
 
-    /// New solver with an all-fluid (periodic) flag field and BGK collision.
-    #[deprecated(since = "0.2.0", note = "use `Solver::builder(dims, params).build()`")]
-    pub fn new(dims: GridDims, params: BgkParams) -> Self {
-        SolverBuilder::new(dims, params).build()
-    }
-
-    /// Replace the collision operator.
-    #[deprecated(since = "0.2.0", note = "use `SolverBuilder::collision`")]
-    pub fn with_collision(mut self, collision: CollisionKind) -> Self {
-        self.collision = collision;
-        self
-    }
-
-    /// Select the execution mode (deprecated alias: `Serial` swaps in a
-    /// 1-thread pool, everything else keeps the configured pool).
-    #[deprecated(
-        since = "0.2.0",
-        note = "dispatch is unified; configure the pool instead"
-    )]
-    pub fn with_mode(mut self, mode: ExecMode) -> Self {
-        #[allow(deprecated)]
-        if matches!(mode, ExecMode::Serial) && self.pool.threads() > 1 {
-            self.pool = ThreadPool::new(1).with_tile_z(self.pool.tile_z());
-        }
-        self
-    }
-
-    /// Use the given thread pool for `ExecMode::Parallel`.
-    #[deprecated(since = "0.2.0", note = "use `SolverBuilder::pool`")]
-    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
-        self.pool = pool;
-        self
-    }
-
     /// Grid dimensions.
     pub fn dims(&self) -> GridDims {
         self.dims
@@ -296,6 +201,14 @@ impl<L: Lattice> Solver<L> {
     /// Completed step count.
     pub fn step_count(&self) -> u64 {
         self.step
+    }
+
+    /// Overwrite the completed step count — the checkpoint-resume hook: after
+    /// restoring populations via [`Solver::populations_mut`], set the count to
+    /// the checkpointed step so accounting (stats, obs, slice budgets)
+    /// continues where the saved run left off.
+    pub fn set_step_count(&mut self, step: u64) {
+        self.step = step;
     }
 
     /// Immutable flag field.
@@ -450,31 +363,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_construct_working_solvers() {
-        // The legacy chain must keep behaving identically to the builder.
-        let dims = GridDims::new(6, 6, 6);
-        let tau = 0.7;
-        let mut old = Solver::<D3Q19>::new(dims, BgkParams::from_tau(tau))
-            .with_mode(ExecMode::Parallel)
-            .with_pool(ThreadPool::new(2));
-        let mut new = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(tau))
-            .pool(ThreadPool::new(2))
-            .build();
-        for s in [&mut old, &mut new] {
-            s.flags_mut().set_box_walls();
-            s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
-            s.initialize_uniform(1.0, [0.0; 3]);
-            s.run(4);
-        }
-        for cell in 0..dims.cells() {
-            for q in 0..19 {
-                assert_eq!(
-                    old.populations().get(cell, q),
-                    new.populations().get(cell, q)
-                );
-            }
-        }
+    fn set_step_count_resumes_accounting() {
+        let mut s =
+            Solver::<D2Q9>::builder(GridDims::new2d(8, 8), BgkParams::from_tau(0.8)).build();
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s.run(3);
+        s.set_step_count(120);
+        s.step();
+        assert_eq!(s.step_count(), 121);
+        assert_eq!(s.stats().step, 121);
     }
 
     #[test]
@@ -554,46 +451,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn builder_rejects_contradictory_settings() {
         let dims = GridDims::new2d(8, 8);
-        let err = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
-            .mode(ExecMode::Serial)
-            .pool(ThreadPool::new(4))
-            .try_build()
-            .unwrap_err();
-        assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
-
         let err = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
             .tile_z(0)
             .try_build()
             .unwrap_err();
         assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
 
-        // Serial + an explicit 1-thread pool is not a contradiction.
+        // A positive tile with any pool is fine.
         assert!(Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
-            .mode(ExecMode::Serial)
-            .pool(ThreadPool::new(1))
-            .try_build()
-            .is_ok());
-        // Parallel/Optimized modes map onto the unified path.
-        assert!(Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
-            .mode(ExecMode::Optimized)
+            .tile_z(2)
             .pool(ThreadPool::new(2))
             .try_build()
             .is_ok());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn optimized_mode_falls_back_for_non_d3q19() {
-        let mut s = Solver::<D2Q9>::builder(GridDims::new2d(6, 6), BgkParams::from_tau(0.8))
-            .mode(ExecMode::Optimized)
-            .build();
-        s.flags_mut().set_box_walls();
-        s.initialize_uniform(1.0, [0.0; 3]);
-        s.run(3); // must not panic
-        assert_eq!(s.step_count(), 3);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Round-trip coverage for the post-processing writers: a [`ProbeLog`]
+//! written as CSV and a scalar field written as legacy VTK must both be
+//! recoverable, bit-exact, by parsing the emitted text back. The inline unit
+//! tests check headers; these tests check that nothing is lost in between.
+
+use std::path::PathBuf;
+use swlb_core::geometry::GridDims;
+use swlb_io::{write_vtk_scalars, ProbeLog};
+
+fn scratch_file(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("swlb-io-rt-{}-{name}", std::process::id()))
+}
+
+/// Parse CSV text (as emitted by `write_csv`) back into a ProbeLog.
+fn parse_csv(text: &str) -> ProbeLog {
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next().expect("csv header").split(',').collect();
+    let mut log = ProbeLog::new(&header);
+    for line in lines {
+        let row: Vec<f64> = line
+            .split(',')
+            .map(|v| v.parse().expect("csv cell"))
+            .collect();
+        log.push(&row);
+    }
+    log
+}
+
+#[test]
+fn probe_log_survives_a_csv_roundtrip_through_disk() {
+    let mut log = ProbeLog::new(&["step", "cd", "cl", "e_k"]);
+    for i in 0..20 {
+        let t = i as f64;
+        // Deliberately awkward values: negatives, tiny, huge, non-dyadic.
+        log.push(&[t, 1.1 - 0.03 * t, (-1.0f64).powi(i) * 1e-12, 1e9 + t / 3.0]);
+    }
+
+    let path = scratch_file("probes.csv");
+    let mut f = std::fs::File::create(&path).unwrap();
+    log.write_csv(&mut f).unwrap();
+    drop(f);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // f64 Display emits the shortest representation that parses back to the
+    // same bits, so the round-trip must be exact, not approximate.
+    let back = parse_csv(&text);
+    assert_eq!(back, log);
+    assert_eq!(back.columns(), log.columns());
+    assert_eq!(back.tail_mean("cd", 5), log.tail_mean("cd", 5));
+    assert_eq!(back.column("e_k"), log.column("e_k"));
+}
+
+#[test]
+fn empty_probe_log_roundtrips_as_header_only() {
+    let log = ProbeLog::new(&["step", "v"]);
+    let mut buf = Vec::new();
+    log.write_csv(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text, "step,v\n");
+    let back = parse_csv(&text);
+    assert!(back.is_empty());
+    assert_eq!(back, log);
+}
+
+/// Parse the legacy-VTK text back: returns dims plus each named field
+/// re-ordered into [`GridDims`] memory order (z fastest).
+fn parse_vtk(text: &str) -> (GridDims, Vec<(String, Vec<f64>)>) {
+    let mut lines = text.lines().peekable();
+    let mut dims = None;
+    let mut fields = Vec::new();
+    while let Some(line) = lines.next() {
+        if let Some(rest) = line.strip_prefix("DIMENSIONS ") {
+            let d: Vec<usize> = rest.split(' ').map(|v| v.parse().unwrap()).collect();
+            dims = Some(GridDims::new(d[0], d[1], d[2]));
+        } else if let Some(rest) = line.strip_prefix("SCALARS ") {
+            let name = rest.split(' ').next().unwrap().to_string();
+            assert_eq!(lines.next(), Some("LOOKUP_TABLE default"));
+            let dims = dims.expect("SCALARS before DIMENSIONS");
+            let mut field = vec![0.0; dims.cells()];
+            // The writer emits x fastest; undo that back to memory order.
+            for z in 0..dims.nz {
+                for y in 0..dims.ny {
+                    for x in 0..dims.nx {
+                        field[dims.idx(x, y, z)] =
+                            lines.next().expect("data row").parse().unwrap();
+                    }
+                }
+            }
+            fields.push((name, field));
+        }
+    }
+    (dims.expect("no DIMENSIONS line"), fields)
+}
+
+#[test]
+fn vtk_scalars_survive_a_roundtrip_in_memory_order() {
+    let dims = GridDims::new(3, 4, 2);
+    let rho: Vec<f64> = (0..dims.cells()).map(|i| 1.0 + 0.01 * i as f64).collect();
+    let speed: Vec<f64> = (0..dims.cells())
+        .map(|i| (-1.0f64).powi(i as i32) * (i as f64).sqrt())
+        .collect();
+
+    let path = scratch_file("fields.vtk");
+    let mut f = std::fs::File::create(&path).unwrap();
+    write_vtk_scalars(
+        &mut f,
+        "roundtrip",
+        dims,
+        &[("rho", &rho), ("speed", &speed)],
+    )
+    .unwrap();
+    drop(f);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let (back_dims, back_fields) = parse_vtk(&text);
+    assert_eq!((back_dims.nx, back_dims.ny, back_dims.nz), (3, 4, 2));
+    assert_eq!(back_fields.len(), 2);
+    assert_eq!(back_fields[0], ("rho".to_string(), rho));
+    assert_eq!(back_fields[1], ("speed".to_string(), speed));
+}
+
+#[test]
+fn vtk_2d_grid_roundtrips_with_unit_z() {
+    let dims = GridDims::new2d(5, 3);
+    let field: Vec<f64> = (0..dims.cells()).map(|i| i as f64 / 7.0 - 1.0).collect();
+    let mut buf = Vec::new();
+    write_vtk_scalars(&mut buf, "slice", dims, &[("p", &field)]).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+
+    let (back_dims, back_fields) = parse_vtk(&text);
+    assert_eq!((back_dims.nx, back_dims.ny, back_dims.nz), (5, 3, 1));
+    assert_eq!(back_fields, vec![("p".to_string(), field)]);
+}

@@ -88,6 +88,12 @@ pub enum SwlbError {
     },
     /// Rollback was required but no valid checkpoint could be loaded.
     NoValidCheckpoint,
+    /// Admission control refused the request: the service is at capacity.
+    /// Back off and resubmit later.
+    Rejected {
+        /// The capacity (live-job bound) the request bounced off.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for SwlbError {
@@ -121,6 +127,9 @@ impl fmt::Display for SwlbError {
                 write!(f, "gave up after {restarts} restart(s); last fault: {last}")
             }
             SwlbError::NoValidCheckpoint => write!(f, "no valid checkpoint to roll back to"),
+            SwlbError::Rejected { capacity } => {
+                write!(f, "rejected: service at capacity ({capacity} live jobs)")
+            }
         }
     }
 }
@@ -155,6 +164,13 @@ mod tests {
         let a = SwlbError::PeerFault { step: 5 };
         assert_eq!(a.clone(), a);
         assert_ne!(a, SwlbError::NoValidCheckpoint);
+    }
+
+    #[test]
+    fn rejected_reports_capacity() {
+        let e = SwlbError::Rejected { capacity: 4 };
+        assert!(e.to_string().contains("capacity (4"));
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Shared data-integrity primitives.
+//!
+//! One CRC-32 (IEEE 802.3, reflected) implementation for the whole workspace,
+//! implemented locally to stay inside the offline dependency set. It lives in
+//! this zero-dependency base crate so every layer can use the *same* checksum:
+//! `swlb-io` for checkpoint files, `swlb-comm` for halo-frame and protocol-body
+//! checksums, `swlb-serve` for HTTP body integrity headers. (It started life in
+//! `swlb-io::checkpoint`, which still re-exports it for compatibility.)
+
+// Small table generated at first use.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 (IEEE 802.3, reflected).
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feed `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = crc_table();
+        for &b in bytes {
+            self.0 = t[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" → 0xCBF43926 (the standard check value).
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_crc_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+}

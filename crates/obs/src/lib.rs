@@ -24,11 +24,13 @@
 //! so every other crate — including `swlb-core` — can depend on it.
 
 pub mod error;
+pub mod integrity;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
 
 pub use error::{SwlbError, SwlbResult};
+pub use integrity::{crc32, Crc32};
 pub use metrics::{exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{Phase, PhaseGuard, PhaseSnapshot, Recorder, Snapshot, PHASES, PHASE_COUNT};
 pub use sink::{JsonlSink, MemorySink, Sink, SummarySink};

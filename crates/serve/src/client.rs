@@ -1,0 +1,153 @@
+//! Blocking client for the serve API — used by the `swlb` CLI subcommands
+//! and the integration tests. One connection per call, CRC-verified bodies.
+
+use crate::http;
+use crate::json::{self, Json};
+use crate::spec::JobSpec;
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use swlb_obs::SwlbError;
+
+/// A handle on a remote serve instance.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+}
+
+impl ServeClient {
+    /// Client for the service at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        ServeClient { addr: addr.into() }
+    }
+
+    /// Submit a job; returns its id, or [`SwlbError::Rejected`] on 429.
+    pub fn submit(&self, spec: &JobSpec) -> Result<u64, SwlbError> {
+        let body = spec.to_json().to_text();
+        let (status, resp) = http::roundtrip(&self.addr, "POST", "/v1/jobs", body.as_bytes())?;
+        let v = parse_body(&resp)?;
+        match status {
+            202 => v
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SwlbError::CorruptData("submit response missing id".into())),
+            429 => Err(SwlbError::Rejected {
+                capacity: v.get("capacity").and_then(Json::as_u64).unwrap_or(0) as usize,
+            }),
+            _ => Err(error_of(status, &v)),
+        }
+    }
+
+    /// Status object for one job.
+    pub fn status(&self, id: u64) -> Result<Json, SwlbError> {
+        self.get_json(&format!("/v1/jobs/{id}"))
+    }
+
+    /// Statuses of every job the service has seen.
+    pub fn list(&self) -> Result<Vec<Json>, SwlbError> {
+        match self.get_json("/v1/jobs")? {
+            Json::Arr(items) => Ok(items),
+            _ => Err(SwlbError::CorruptData("job list is not an array".into())),
+        }
+    }
+
+    /// Request cancellation; returns the job's (possibly updated) status.
+    pub fn cancel(&self, id: u64) -> Result<Json, SwlbError> {
+        self.post_json(&format!("/v1/jobs/{id}/cancel"))
+    }
+
+    /// Graceful drain; blocks until every job is terminal.
+    pub fn drain(&self) -> Result<Json, SwlbError> {
+        self.post_json("/v1/drain")
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> Result<Json, SwlbError> {
+        self.get_json("/v1/stats")
+    }
+
+    /// Stream a job's events from index `from`, invoking `on_event` per JSONL
+    /// line until the stream ends (job terminal or server stopping). Returns
+    /// the number of events seen. `on_event` returning `false` stops early.
+    pub fn watch_with(
+        &self,
+        id: u64,
+        from: usize,
+        mut on_event: impl FnMut(&str) -> bool,
+    ) -> Result<usize, SwlbError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        http::send_request(
+            &mut stream,
+            "GET",
+            &format!("/v1/jobs/{id}/events?from={from}"),
+            b"",
+        )?;
+        let mut reader = BufReader::new(stream);
+        let (status, _) = http::read_response_head(&mut reader)?;
+        if status != 200 {
+            let mut body = String::new();
+            use std::io::Read;
+            let _ = reader.read_to_string(&mut body);
+            let v = json::parse(&body).unwrap_or(Json::Null);
+            return Err(error_of(status, &v));
+        }
+        let mut seen = 0;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(seen); // server closed the stream
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            seen += 1;
+            if !on_event(line) {
+                return Ok(seen);
+            }
+        }
+    }
+
+    /// Collect a job's full event stream (blocks until the job is terminal).
+    pub fn watch(&self, id: u64, from: usize) -> Result<Vec<String>, SwlbError> {
+        let mut lines = Vec::new();
+        self.watch_with(id, from, |l| {
+            lines.push(l.to_string());
+            true
+        })?;
+        Ok(lines)
+    }
+
+    fn get_json(&self, target: &str) -> Result<Json, SwlbError> {
+        let (status, resp) = http::roundtrip(&self.addr, "GET", target, b"")?;
+        let v = parse_body(&resp)?;
+        if status == 200 {
+            Ok(v)
+        } else {
+            Err(error_of(status, &v))
+        }
+    }
+
+    fn post_json(&self, target: &str) -> Result<Json, SwlbError> {
+        let (status, resp) = http::roundtrip(&self.addr, "POST", target, b"")?;
+        let v = parse_body(&resp)?;
+        if status == 200 {
+            Ok(v)
+        } else {
+            Err(error_of(status, &v))
+        }
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, SwlbError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| SwlbError::CorruptData("response is not UTF-8".into()))?;
+    json::parse(text)
+}
+
+fn error_of(status: u16, v: &Json) -> SwlbError {
+    let msg = v
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown error");
+    SwlbError::Io(format!("HTTP {status}: {msg}"))
+}

@@ -1,0 +1,76 @@
+//! # swlb-serve — a multi-tenant simulation service
+//!
+//! The batch CLI runs one case per process; a shared machine wants one
+//! *resident* service that many users submit cases to. This crate provides
+//! it, with zero external dependencies — `std::net` sockets, a hand-rolled
+//! HTTP/1.1 subset, and a minimal JSON codec:
+//!
+//! * **Admission control** — a bounded live-job table; submissions beyond
+//!   capacity bounce with HTTP 429 / [`SwlbError::Rejected`] instead of
+//!   queueing unboundedly.
+//! * **Fair-share scheduling** — one scheduler thread time-slices jobs over
+//!   the shared compute [`ThreadPool`](swlb_core::parallel::ThreadPool) in
+//!   units of `slice_steps` solver steps, CFS-style: each job is charged
+//!   virtual runtime `slice / weight`, the smallest vruntime runs next, and
+//!   fresh arrivals start at the current virtual clock — so an interactive
+//!   job submitted mid-way through a long batch run waits at most one slice.
+//! * **Checkpoint-based preemption** — preemption happens only at slice
+//!   boundaries, by capturing the solver into the job's namespaced
+//!   [`CheckpointStore`](swlb_io::CheckpointStore) and rebuilding it on
+//!   resume; a preempted job loses no steps.
+//! * **Supervised execution** — a faulted job (NaN/Inf, including injected
+//!   chaos faults) rolls back to its last valid checkpoint under the
+//!   [`RecoveryPolicy`](swlb_sim::RecoveryPolicy) restart budget. The job
+//!   fails alone; the service keeps running.
+//! * **Graceful drain** — `POST /v1/drain` checkpoints every live job and
+//!   refuses new work, leaving the state directory resumable.
+//! * **Per-job observability** — each job gets its own
+//!   [`Recorder`](swlb_obs::Recorder) with a JSONL sink
+//!   (`jobs/job-<id>/metrics.jsonl`), plus server-level queue-depth,
+//!   wait-time and slice-latency metrics.
+//!
+//! [`SwlbError::Rejected`]: swlb_obs::SwlbError::Rejected
+//!
+//! ## Quick start
+//!
+//! ```
+//! use swlb_serve::{CaseKind, CaseSpec, JobSpec, LatticeKind, OutputKind,
+//!                  Priority, ServeClient, ServeConfig, Server};
+//!
+//! let dir = std::env::temp_dir().join("swlb-serve-doc");
+//! let server = Server::spawn(ServeConfig::new(&dir)).unwrap();
+//! let client = ServeClient::new(server.addr().to_string());
+//! let id = client.submit(&JobSpec {
+//!     name: "cavity-demo".into(),
+//!     case: CaseSpec {
+//!         case: CaseKind::Cavity,
+//!         lattice: LatticeKind::D2Q9,
+//!         nx: 16, ny: 16, nz: 1,
+//!         tau: 0.8, u_lattice: 0.05,
+//!     },
+//!     steps: 64,
+//!     priority: Priority::Interactive,
+//!     deadline_ms: None,
+//!     outputs: vec![OutputKind::Ppm],
+//!     chaos_nan_at_step: None,
+//! }).unwrap();
+//! let events = client.watch(id, 0).unwrap();           // blocks to terminal
+//! assert!(events.iter().any(|e| e.contains("completed")));
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod scheduler;
+pub mod server;
+pub mod spec;
+pub mod state;
+
+pub use client::ServeClient;
+pub use json::Json;
+pub use server::{ServeConfig, Server};
+pub use spec::{JobSpec, JobState, OutputKind, Priority};
+// Re-export the pieces a submission is made of, so client code doesn't need
+// a direct swlb-sim dependency.
+pub use swlb_sim::cases::{CaseKind, CaseSpec, LatticeKind};

@@ -1,0 +1,556 @@
+//! The cooperative fair-share scheduler.
+//!
+//! One scheduler thread owns the shared [`ThreadPool`] and time-slices jobs
+//! over it in units of `slice_steps` solver steps. Preemption is cooperative
+//! and happens only at slice boundaries: the running job's populations are
+//! captured into its namespaced [`CheckpointStore`], the solver is dropped,
+//! and the job re-enters the ready queue as `Preempted`; resuming rebuilds
+//! the solver from the job's [`CaseSpec`](swlb_sim::cases::CaseSpec) and
+//! restores the checkpoint. Faults (NaN/Inf at a slice boundary, including
+//! injected chaos faults) roll the job back to its last valid checkpoint
+//! under the [`RecoveryPolicy`] restart budget — a faulted job fails alone;
+//! the server keeps serving.
+
+use crate::json::Json;
+use crate::spec::{JobState, OutputKind};
+use crate::state::Shared;
+use std::sync::Arc;
+use std::time::Instant;
+use swlb_core::parallel::ThreadPool;
+use swlb_io::{colormap_viridis_like, write_ppm, write_vtk_scalars, CheckpointStore, PpmImage};
+use swlb_obs::{Recorder, SwlbError};
+use swlb_sim::cases::CaseSolver;
+use swlb_sim::RecoveryPolicy;
+
+/// Scheduler knobs (a subset of `ServeConfig` the loop needs).
+pub struct SchedConfig {
+    /// Steps per time slice.
+    pub slice_steps: u64,
+    /// The shared pool every job's solver runs on.
+    pub pool: ThreadPool,
+    /// Parent checkpoint store; jobs get `job-<id>` namespaces.
+    pub store: CheckpointStore,
+    /// Directory job outputs land in (`jobs/job-<id>/...`).
+    pub jobs_dir: std::path::PathBuf,
+    /// Rollback-retry supervision budget.
+    pub policy: RecoveryPolicy,
+    /// Server-level recorder (queue depth, slice/wait histograms).
+    pub recorder: Recorder,
+}
+
+/// The solver currently on the pool, with its bookkeeping.
+struct Running {
+    id: u64,
+    solver: CaseSolver,
+    /// Step at which the last checkpoint was written (u64::MAX = none yet).
+    last_ckpt: u64,
+}
+
+/// What to do with the running job after a slice, decided under the lock.
+enum Boundary {
+    /// Keep the pool: run the next slice immediately.
+    Continue,
+    /// Drain or stop was requested: leave the job `Running` and return to
+    /// the pick phase, which checkpoints it.
+    Yield,
+    Preempt,
+    Complete,
+    Cancel,
+    Rollback,
+    Fail(String),
+}
+
+/// Run the scheduler until `stopping` is set. Call on a dedicated thread.
+pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
+    let obs_depth = cfg.recorder.gauge("serve.queue_depth");
+    let obs_slices = cfg.recorder.counter("serve.slices");
+    let obs_preempts = cfg.recorder.counter("serve.preemptions");
+    let obs_wait = cfg.recorder.histogram(
+        "serve.wait_slices",
+        &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0],
+    );
+    let obs_slice_ms = cfg.recorder.histogram(
+        "serve.slice_ms",
+        &swlb_obs::exponential_buckets(1.0, 4.0, 8),
+    );
+    let mut cur: Option<Running> = None;
+
+    loop {
+        // ---- pick phase (under the lock) ------------------------------
+        let picked = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.stopping {
+                    if let Some(r) = cur.take() {
+                        // Belt and braces: stop without drain still persists
+                        // the in-flight job before dropping it.
+                        let _ = checkpoint(&cfg, &r);
+                    }
+                    return;
+                }
+                if st.draining {
+                    drain_all(&shared, &mut st, &cfg, &mut cur);
+                    // Everything is checkpointed; sleep until `stopping`.
+                    st = shared.sched_wake.wait(st).unwrap();
+                    continue;
+                }
+                obs_depth.set(st.queue_depth() as f64);
+                // Prefer the job whose solver we already hold when shares tie.
+                let next = match (st.pick_ready(), &cur) {
+                    (Some(i), Some(r)) => {
+                        let rid = r.id;
+                        if st.jobs[i].vruntime < st.jobs[rid as usize - 1].vruntime
+                            || !st.jobs[rid as usize - 1].state.is_live()
+                        {
+                            Some(i)
+                        } else if st.jobs[rid as usize - 1].state == JobState::Preempted {
+                            // Our cached job is still the best choice.
+                            Some(rid as usize - 1)
+                        } else {
+                            Some(i)
+                        }
+                    }
+                    (found, _) => found,
+                };
+                if let Some(i) = next {
+                    st.slice_seq += 1;
+                    let slice_no = st.slice_seq;
+                    let job = &mut st.jobs[i];
+                    let id = job.id;
+                    job.state = JobState::Running;
+                    if job.first_run_slice.is_none() {
+                        job.first_run_slice = Some(slice_no);
+                        let wait = job.wait_slices().unwrap_or(0);
+                        obs_wait.record(wait as f64);
+                        shared.push_event(
+                            &mut st,
+                            id,
+                            "started",
+                            vec![("slice", Json::num(slice_no as f64))],
+                        );
+                    }
+                    break id;
+                }
+                st = shared.sched_wake.wait(st).unwrap();
+            }
+        };
+
+        // ---- build/resume phase (no lock held: solver work is slow) ---
+        if cur.as_ref().map(|r| r.id) != Some(picked) {
+            if let Some(prev) = cur.take() {
+                // A different job was cached: it must already be checkpointed
+                // (preemption saves before requeueing), so just drop it.
+                drop(prev);
+            }
+            match build_or_resume(&shared, &cfg, picked) {
+                Ok(r) => cur = Some(r),
+                Err(e) => {
+                    let mut st = shared.state.lock().unwrap();
+                    if let Some(job) = st.job_mut(picked) {
+                        job.state = JobState::Failed;
+                        job.error = Some(e.to_string());
+                    }
+                    shared.push_event(
+                        &mut st,
+                        picked,
+                        "failed",
+                        vec![("error", Json::str(e.to_string()))],
+                    );
+                    shared.event_wake.notify_all();
+                    continue;
+                }
+            }
+        }
+        // ---- slice loop: keep the pool until a boundary event ---------
+        let mut release = false;
+        {
+            let r = cur.as_mut().unwrap();
+            loop {
+                let (steps_total, chaos_at, chaos_fired) = {
+                    let st = shared.state.lock().unwrap();
+                    let job = st.job(picked).unwrap();
+                    (job.spec.steps, job.spec.chaos_nan_at_step, job.chaos_fired)
+                };
+                let remaining = steps_total.saturating_sub(r.solver.step_count());
+                let slice = cfg.slice_steps.min(remaining).max(1);
+                let t0 = Instant::now();
+                let slice_result = r.solver.run_checked(slice, slice);
+                let wall = t0.elapsed().as_secs_f64();
+                obs_slices.inc();
+                obs_slice_ms.record(wall * 1e3);
+
+                // Periodic checkpoint inside long runs (the rollback target).
+                // Must happen before chaos injection below: a checkpoint taken
+                // at this boundary has to capture the still-healthy state, or
+                // every rollback would replay the fault.
+                let done = r.solver.step_count();
+                if slice_result.is_ok()
+                    && (r.last_ckpt == u64::MAX
+                        || done - r.last_ckpt >= cfg.policy.checkpoint_every)
+                    && done < steps_total
+                    && checkpoint(&cfg, r).is_ok()
+                {
+                    r.last_ckpt = done;
+                }
+
+                // Chaos injection fires after the slice that crosses its
+                // threshold, so the *next* boundary check trips —
+                // deterministic, once per job. While the poison is live the
+                // job must keep the pool: preempting (or draining) now would
+                // checkpoint the poisoned state and make rollback futile.
+                let mut just_poisoned = false;
+                if slice_result.is_ok() && !chaos_fired {
+                    if let Some(at) = chaos_at {
+                        if r.solver.step_count() >= at {
+                            just_poisoned = true;
+                            r.solver.poison_with_nan();
+                            let mut st = shared.state.lock().unwrap();
+                            if let Some(job) = st.job_mut(picked) {
+                                job.chaos_fired = true;
+                            }
+                            shared.push_event(&mut st, picked, "chaos_injected", vec![]);
+                        }
+                    }
+                }
+
+                // ---- boundary decision (under the lock) ---------------
+                let decision = {
+                    let mut st = shared.state.lock().unwrap();
+                    let kernel = r.solver.last_kernel_class().name();
+                    let idx = picked as usize - 1;
+                    {
+                        let job = &mut st.jobs[idx];
+                        job.kernel = Some(kernel);
+                        job.run_s += wall;
+                        job.vruntime += slice as f64 / job.spec.priority.weight() as f64;
+                    }
+                    match &slice_result {
+                        Err(e) => {
+                            let job = &mut st.jobs[idx];
+                            job.restarts += 1;
+                            if job.restarts > cfg.policy.max_restarts {
+                                Boundary::Fail(format!(
+                                    "restart budget exhausted after {} restart(s); last fault: {e}",
+                                    job.restarts - 1
+                                ))
+                            } else {
+                                Boundary::Rollback
+                            }
+                        }
+                        Ok(()) => {
+                            st.jobs[idx].steps_done = done;
+                            shared.push_event(
+                                &mut st,
+                                picked,
+                                "progress",
+                                vec![
+                                    ("steps", Json::num(done as f64)),
+                                    ("of", Json::num(steps_total as f64)),
+                                ],
+                            );
+                            if done >= steps_total {
+                                Boundary::Complete
+                            } else if st.jobs[idx].cancel_requested {
+                                Boundary::Cancel
+                            } else if (st.draining || st.stopping) && !just_poisoned {
+                                Boundary::Yield
+                            } else if st.should_preempt(idx) && !just_poisoned {
+                                Boundary::Preempt
+                            } else {
+                                Boundary::Continue
+                            }
+                        }
+                    }
+                };
+
+                // ---- act (I/O outside the lock where possible) --------
+                match decision {
+                    Boundary::Continue => continue,
+                    Boundary::Yield => break,
+                    Boundary::Preempt => {
+                        let ck = checkpoint(&cfg, r);
+                        let mut st = shared.state.lock().unwrap();
+                        match ck {
+                            Ok(step) => {
+                                let job = st.job_mut(picked).unwrap();
+                                job.state = JobState::Preempted;
+                                job.preemptions += 1;
+                                job.recorder.counter("job.preemptions").inc();
+                                obs_preempts.inc();
+                                shared.push_event(
+                                    &mut st,
+                                    picked,
+                                    "preempted",
+                                    vec![("at_step", Json::num(step as f64))],
+                                );
+                                // Keep the solver cached: if no one else wins
+                                // the next slice we resume without touching
+                                // disk. The cache is dropped when a different
+                                // job is picked.
+                                r.last_ckpt = step;
+                                drop(st);
+                                break;
+                            }
+                            Err(e) => {
+                                // Can't persist: keep running rather than
+                                // lose state.
+                                shared.push_event(
+                                    &mut st,
+                                    picked,
+                                    "checkpoint_error",
+                                    vec![("error", Json::str(e.to_string()))],
+                                );
+                                continue;
+                            }
+                        }
+                    }
+                    Boundary::Complete => {
+                        let outputs = write_outputs(&shared, &cfg, picked, &r.solver);
+                        let mut st = shared.state.lock().unwrap();
+                        let job = st.job_mut(picked).unwrap();
+                        job.state = JobState::Completed;
+                        job.recorder.flush(job.steps_done);
+                        let status = job.status_json();
+                        let mut extra = vec![("status", status)];
+                        if let Ok(files) = outputs {
+                            extra.push((
+                                "outputs",
+                                Json::Arr(files.into_iter().map(Json::str).collect()),
+                            ));
+                        }
+                        shared.push_event(&mut st, picked, "completed", extra);
+                        shared.event_wake.notify_all();
+                        shared.sched_wake.notify_all();
+                        release = true;
+                        break;
+                    }
+                    Boundary::Cancel => {
+                        let mut st = shared.state.lock().unwrap();
+                        let job = st.job_mut(picked).unwrap();
+                        job.state = JobState::Cancelled;
+                        job.recorder.flush(job.steps_done);
+                        shared.push_event(&mut st, picked, "cancelled", vec![]);
+                        shared.event_wake.notify_all();
+                        release = true;
+                        break;
+                    }
+                    Boundary::Rollback => {
+                        // Load the last valid checkpoint (or rebuild from
+                        // scratch — step 0 is always recoverable because the
+                        // spec is deterministic), then retry with backoff.
+                        let store = cfg.store.namespaced(&format!("job-{picked}"));
+                        let target = store
+                            .ok()
+                            .and_then(|s| s.load_latest_valid().ok().flatten())
+                            .map(|(ck, _)| ck);
+                        let to_step = target.as_ref().map_or(0, |ck| ck.step);
+                        match build_or_resume(&shared, &cfg, picked) {
+                            Ok(fresh) => {
+                                *r = fresh;
+                                let mut st = shared.state.lock().unwrap();
+                                let job = st.job_mut(picked).unwrap();
+                                job.rollbacks += 1;
+                                job.steps_done = to_step;
+                                job.recorder.counter("job.rollbacks").inc();
+                                let restarts = job.restarts;
+                                shared.push_event(
+                                    &mut st,
+                                    picked,
+                                    "rollback",
+                                    vec![
+                                        ("to_step", Json::num(to_step as f64)),
+                                        ("restarts", Json::num(restarts as f64)),
+                                    ],
+                                );
+                                drop(st);
+                                std::thread::sleep(cfg.policy.backoff);
+                                continue;
+                            }
+                            Err(e) => {
+                                let mut st = shared.state.lock().unwrap();
+                                let job = st.job_mut(picked).unwrap();
+                                job.state = JobState::Failed;
+                                job.error = Some(e.to_string());
+                                shared.push_event(
+                                    &mut st,
+                                    picked,
+                                    "failed",
+                                    vec![("error", Json::str(e.to_string()))],
+                                );
+                                shared.event_wake.notify_all();
+                                release = true;
+                                break;
+                            }
+                        }
+                    }
+                    Boundary::Fail(msg) => {
+                        let mut st = shared.state.lock().unwrap();
+                        let job = st.job_mut(picked).unwrap();
+                        job.state = JobState::Failed;
+                        job.error = Some(msg.clone());
+                        job.recorder.flush(job.steps_done);
+                        shared.push_event(
+                            &mut st,
+                            picked,
+                            "failed",
+                            vec![("error", Json::str(msg))],
+                        );
+                        shared.event_wake.notify_all();
+                        release = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if release {
+            cur = None;
+        }
+    }
+}
+
+/// Save the running job's populations into its namespaced store.
+/// Returns the checkpointed step.
+fn checkpoint(cfg: &SchedConfig, r: &Running) -> Result<u64, SwlbError> {
+    let store = cfg.store.namespaced(&format!("job-{}", r.id))?;
+    let ck = r.solver.capture();
+    store.save(&ck)?;
+    Ok(ck.step)
+}
+
+/// Build the job's solver on the shared pool; restore its latest valid
+/// checkpoint if one exists (resume after preemption or rollback).
+fn build_or_resume(
+    shared: &Shared,
+    cfg: &SchedConfig,
+    id: u64,
+) -> Result<Running, SwlbError> {
+    let (case, job_recorder, had_run) = {
+        let st = shared.state.lock().unwrap();
+        let job = st.job(id).ok_or(SwlbError::NoValidCheckpoint)?;
+        (job.spec.case.clone(), job.recorder.clone(), job.steps_done > 0)
+    };
+    let mut solver = case.build(cfg.pool.clone(), job_recorder)?;
+    let store = cfg.store.namespaced(&format!("job-{id}"))?;
+    let mut last_ckpt = u64::MAX;
+    if let Some((ck, _skipped)) = store.load_latest_valid()? {
+        solver.restore(&ck)?;
+        last_ckpt = ck.step;
+        let mut st = shared.state.lock().unwrap();
+        if let Some(job) = st.job_mut(id) {
+            job.resumes += 1;
+            job.recorder.counter("job.resumes").inc();
+            let at = ck.step;
+            shared.push_event(
+                &mut st,
+                id,
+                "resumed",
+                vec![("at_step", Json::num(at as f64))],
+            );
+        }
+    } else if had_run {
+        // Progress was recorded but no checkpoint survived: restart from 0
+        // (counts as a resume so the exactly-once accounting stays whole).
+        let mut st = shared.state.lock().unwrap();
+        if let Some(job) = st.job_mut(id) {
+            job.resumes += 1;
+            job.recorder.counter("job.resumes").inc();
+            shared.push_event(&mut st, id, "resumed", vec![("at_step", Json::num(0.0))]);
+        }
+    }
+    Ok(Running {
+        id,
+        solver,
+        last_ckpt,
+    })
+}
+
+/// Drain: checkpoint the in-flight job, mark every live job `Checkpointed`,
+/// flag the drain complete. Runs with the state lock held.
+fn drain_all(
+    shared: &Shared,
+    st: &mut crate::state::State,
+    cfg: &SchedConfig,
+    cur: &mut Option<Running>,
+) {
+    if st.drained {
+        return;
+    }
+    if let Some(r) = cur.take() {
+        let saved = checkpoint(cfg, &r);
+        let id = r.id;
+        if let Some(job) = st.job_mut(id) {
+            if job.state.is_live() {
+                job.state = JobState::Checkpointed;
+                job.recorder.flush(job.steps_done);
+            }
+        }
+        let step = saved.unwrap_or(0);
+        shared.push_event(
+            st,
+            id,
+            "checkpointed",
+            vec![("at_step", Json::num(step as f64))],
+        );
+    }
+    let live: Vec<u64> = st
+        .jobs
+        .iter()
+        .filter(|j| j.state.is_live())
+        .map(|j| j.id)
+        .collect();
+    for id in live {
+        if let Some(job) = st.job_mut(id) {
+            job.state = JobState::Checkpointed;
+            job.recorder.flush(job.steps_done);
+        }
+        let step = st.job(id).map_or(0, |j| j.steps_done);
+        shared.push_event(
+            st,
+            id,
+            "checkpointed",
+            vec![("at_step", Json::num(step as f64))],
+        );
+    }
+    st.drained = true;
+    shared.event_wake.notify_all();
+}
+
+/// Write the artifacts a completed job requested into its job directory.
+fn write_outputs(
+    shared: &Shared,
+    cfg: &SchedConfig,
+    id: u64,
+    solver: &CaseSolver,
+) -> std::io::Result<Vec<String>> {
+    let outputs = {
+        let st = shared.state.lock().unwrap();
+        st.job(id).map(|j| j.spec.outputs.clone()).unwrap_or_default()
+    };
+    if outputs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let dir = cfg.jobs_dir.join(format!("job-{id}"));
+    std::fs::create_dir_all(&dir)?;
+    let dims = solver.dims();
+    let mut written = Vec::new();
+    for kind in outputs {
+        match kind {
+            OutputKind::Ppm => {
+                let speed = solver.slice_speed();
+                let img = PpmImage::from_scalar(dims.nx, dims.ny, &speed, colormap_viridis_like);
+                let path = dir.join("speed.ppm");
+                let mut f = std::fs::File::create(&path)?;
+                write_ppm(&mut f, &img)?;
+                written.push(path.display().to_string());
+            }
+            OutputKind::Vtk => {
+                let rho = solver.rho();
+                let path = dir.join("fields.vtk");
+                let mut f = std::fs::File::create(&path)?;
+                write_vtk_scalars(&mut f, "swlb-serve job", dims, &[("rho", &rho)])?;
+                written.push(path.display().to_string());
+            }
+        }
+    }
+    Ok(written)
+}

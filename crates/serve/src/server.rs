@@ -1,0 +1,464 @@
+//! The resident service: TCP acceptor, HTTP routing, and lifecycle control.
+//!
+//! ```text
+//! POST /v1/jobs               submit a JobSpec          202 {"id":N} | 429
+//! GET  /v1/jobs               list all job statuses     200 [status...]
+//! GET  /v1/jobs/<id>          one job's status          200 | 404
+//! GET  /v1/jobs/<id>/events   NDJSON event stream       200 (?from=N)
+//! POST /v1/jobs/<id>/cancel   cancel at next boundary   200 | 404
+//! POST /v1/drain              checkpoint all, stop sched 200 {"drained":true}
+//! GET  /v1/stats              service counters          200
+//! ```
+//!
+//! One request per connection; every framed body carries an `x-swlb-crc32`
+//! integrity header. Connections are handled on short-lived threads; the
+//! scheduler owns the compute pool.
+
+use crate::http::{self, Request};
+use crate::json::Json;
+use crate::scheduler::{self, SchedConfig};
+use crate::spec::{JobSpec, JobState};
+use crate::state::Shared;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use swlb_core::parallel::ThreadPool;
+use swlb_io::CheckpointStore;
+use swlb_obs::{JsonlSink, Recorder, SwlbError};
+use swlb_sim::RecoveryPolicy;
+
+/// Service configuration.
+pub struct ServeConfig {
+    /// Bind address; use `127.0.0.1:0` to pick a free loopback port.
+    pub addr: String,
+    /// Admission bound on live (queued + running + preempted) jobs.
+    pub capacity: usize,
+    /// Solver steps per scheduler slice.
+    pub slice_steps: u64,
+    /// Worker threads in the shared compute pool.
+    pub threads: usize,
+    /// Root of the service's on-disk state (`jobs/`, `checkpoints/`).
+    pub base_dir: PathBuf,
+    /// Rollback-retry supervision for faulted jobs.
+    pub policy: RecoveryPolicy,
+    /// Checkpoints kept per job.
+    pub retain: usize,
+    /// Server-level recorder (queue depth, slice/wait histograms, admission
+    /// counters). Per-job recorders are created internally.
+    pub recorder: Recorder,
+}
+
+impl ServeConfig {
+    /// Loopback defaults rooted at `base_dir`.
+    pub fn new(base_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            capacity: 16,
+            slice_steps: 32,
+            threads: 2,
+            base_dir: base_dir.into(),
+            policy: RecoveryPolicy::default(),
+            retain: 2,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// A running service instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accepting: Arc<AtomicBool>,
+    jobs_dir: PathBuf,
+}
+
+impl Server {
+    /// Bind, spawn the scheduler and acceptor threads, and return the handle.
+    pub fn spawn(cfg: ServeConfig) -> Result<Server, SwlbError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let jobs_dir = cfg.base_dir.join("jobs");
+        std::fs::create_dir_all(&jobs_dir)?;
+        let store = CheckpointStore::new(cfg.base_dir.join("checkpoints"), cfg.retain)?;
+        let shared = Arc::new(Shared::new(cfg.capacity));
+        let pool = ThreadPool::new(cfg.threads);
+
+        let sched_cfg = SchedConfig {
+            slice_steps: cfg.slice_steps,
+            pool,
+            store,
+            jobs_dir: jobs_dir.clone(),
+            policy: cfg.policy,
+            recorder: cfg.recorder.clone(),
+        };
+        let sched_shared = shared.clone();
+        let scheduler =
+            std::thread::spawn(move || scheduler::run(sched_shared, sched_cfg));
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accepting = Arc::new(AtomicBool::new(true));
+        let acceptor = {
+            let shared = shared.clone();
+            let conns = conns.clone();
+            let accepting = accepting.clone();
+            let jobs_dir = jobs_dir.clone();
+            let recorder = cfg.recorder.clone();
+            let slice_steps = cfg.slice_steps;
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if !accepting.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let shared = shared.clone();
+                    let jobs_dir = jobs_dir.clone();
+                    let recorder = recorder.clone();
+                    let handle = std::thread::spawn(move || {
+                        handle_connection(stream, &shared, &jobs_dir, &recorder, slice_steps);
+                    });
+                    conns.lock().unwrap().push(handle);
+                }
+            })
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            scheduler: Some(scheduler),
+            conns,
+            accepting,
+            jobs_dir,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Directory per-job artifacts land in.
+    pub fn jobs_dir(&self) -> &std::path::Path {
+        &self.jobs_dir
+    }
+
+    /// Graceful drain: refuse new work, checkpoint every live job, and block
+    /// until the job table is fully terminal.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.draining = true;
+        self.shared.sched_wake.notify_all();
+        while !st.drained && !st.stopping {
+            let (guard, _) = self
+                .shared
+                .event_wake
+                .wait_timeout(st, Duration::from_millis(100))
+                .unwrap();
+            st = guard;
+            self.shared.sched_wake.notify_all();
+        }
+    }
+
+    /// Drain, then stop every thread and join them.
+    pub fn shutdown(mut self) {
+        self.drain();
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.stopping = true;
+        }
+        self.shared.sched_wake.notify_all();
+        self.shared.event_wake.notify_all();
+        self.accepting.store(false, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept() with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let stopping = self.shared.state.lock().unwrap().stopping;
+        if !stopping {
+            self.stop_threads();
+        }
+    }
+}
+
+/// Slices a watcher waits between event polls.
+const WATCH_POLL: Duration = Duration::from_millis(50);
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    jobs_dir: &std::path::Path,
+    recorder: &Recorder,
+    slice_steps: u64,
+) {
+    let req = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let body = error_json(&e);
+            let _ = http::write_response(&mut stream, 400, "application/json", body.as_bytes());
+            return;
+        }
+    };
+    let path = req.path().to_string();
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let out = match (req.method.as_str(), segs.as_slice()) {
+        ("POST", ["v1", "jobs"]) => submit(shared, &req, jobs_dir, recorder, slice_steps),
+        ("GET", ["v1", "jobs"]) => list(shared),
+        ("GET", ["v1", "jobs", id]) => status(shared, id),
+        ("GET", ["v1", "jobs", id, "events"]) => {
+            // Streaming path: takes over the connection entirely.
+            watch(&mut stream, shared, id, &req);
+            return;
+        }
+        ("POST", ["v1", "jobs", id, "cancel"]) => cancel(shared, id),
+        ("POST", ["v1", "drain"]) => drain(shared),
+        ("GET", ["v1", "stats"]) => stats(shared),
+        ("GET" | "POST", _) => (404, Json::obj([("error", Json::str("no such route"))])),
+        _ => (405, Json::obj([("error", Json::str("method not allowed"))])),
+    };
+    let (status, body) = out;
+    let _ = http::write_response(
+        &mut stream,
+        status,
+        "application/json",
+        body.to_text().as_bytes(),
+    );
+}
+
+fn error_json(e: &SwlbError) -> String {
+    Json::obj([("error", Json::str(e.to_string()))]).to_text()
+}
+
+fn submit(
+    shared: &Shared,
+    req: &Request,
+    jobs_dir: &std::path::Path,
+    server_recorder: &Recorder,
+    slice_steps: u64,
+) -> (u16, Json) {
+    let spec = match std::str::from_utf8(&req.body)
+        .map_err(|_| SwlbError::CorruptData("body is not UTF-8".into()))
+        .and_then(crate::json::parse)
+        .and_then(|v| JobSpec::from_json(&v))
+    {
+        Ok(s) => s,
+        Err(e) => return (400, Json::obj([("error", Json::str(e.to_string()))])),
+    };
+    let mut st = shared.state.lock().unwrap();
+    match st.admit(spec, Recorder::disabled()) {
+        Ok(id) => {
+            // Attach the job's JSONL recorder now that the id is known. The
+            // recorder lives in the JobRecord so preempt/resume cycles keep
+            // appending to one metrics stream instead of truncating it.
+            let dir = jobs_dir.join(format!("job-{id}"));
+            let recorder = match std::fs::create_dir_all(&dir)
+                .and_then(|()| JsonlSink::create(dir.join("metrics.jsonl")))
+            {
+                Ok(sink) => {
+                    let r = Recorder::enabled();
+                    r.add_sink(Box::new(sink));
+                    r.set_flush_every(slice_steps);
+                    r
+                }
+                Err(_) => Recorder::disabled(),
+            };
+            let job = st.job_mut(id).unwrap();
+            job.recorder = recorder;
+            server_recorder.counter("serve.submitted").inc();
+            shared.push_event(&mut st, id, "queued", vec![]);
+            shared.sched_wake.notify_all();
+            (202, Json::obj([("id", Json::num(id as f64))]))
+        }
+        Err(SwlbError::Rejected { capacity }) => {
+            server_recorder.counter("serve.rejected").inc();
+            let e = SwlbError::Rejected { capacity };
+            (
+                429,
+                Json::obj([
+                    ("error", Json::str(e.to_string())),
+                    ("capacity", Json::num(capacity as f64)),
+                ]),
+            )
+        }
+        Err(e) => (500, Json::obj([("error", Json::str(e.to_string()))])),
+    }
+}
+
+fn list(shared: &Shared) -> (u16, Json) {
+    let st = shared.state.lock().unwrap();
+    (
+        200,
+        Json::Arr(st.jobs.iter().map(|j| j.status_json()).collect()),
+    )
+}
+
+fn parse_id(seg: &str) -> Option<u64> {
+    seg.parse().ok().filter(|id| *id >= 1)
+}
+
+fn status(shared: &Shared, id_seg: &str) -> (u16, Json) {
+    let Some(id) = parse_id(id_seg) else {
+        return (400, Json::obj([("error", Json::str("bad job id"))]));
+    };
+    let st = shared.state.lock().unwrap();
+    match st.job(id) {
+        Some(j) => (200, j.status_json()),
+        None => (404, Json::obj([("error", Json::str("no such job"))])),
+    }
+}
+
+fn cancel(shared: &Shared, id_seg: &str) -> (u16, Json) {
+    let Some(id) = parse_id(id_seg) else {
+        return (400, Json::obj([("error", Json::str("bad job id"))]));
+    };
+    let mut st = shared.state.lock().unwrap();
+    let Some(job) = st.job_mut(id) else {
+        return (404, Json::obj([("error", Json::str("no such job"))]));
+    };
+    match job.state {
+        // Off the pool: cancel immediately.
+        JobState::Queued | JobState::Preempted => {
+            job.state = JobState::Cancelled;
+            job.recorder.flush(job.steps_done);
+            shared.push_event(&mut st, id, "cancelled", vec![]);
+            shared.event_wake.notify_all();
+        }
+        // On the pool: honoured at the next slice boundary.
+        JobState::Running => {
+            job.cancel_requested = true;
+        }
+        // Terminal states are left alone (idempotent cancel).
+        _ => {}
+    }
+    shared.sched_wake.notify_all();
+    let body = st.job(id).unwrap().status_json();
+    (200, body)
+}
+
+fn drain(shared: &Shared) -> (u16, Json) {
+    let mut st = shared.state.lock().unwrap();
+    st.draining = true;
+    shared.sched_wake.notify_all();
+    while !st.drained && !st.stopping {
+        let (guard, _) = shared
+            .event_wake
+            .wait_timeout(st, Duration::from_millis(100))
+            .unwrap();
+        st = guard;
+        shared.sched_wake.notify_all();
+    }
+    (
+        200,
+        Json::obj([
+            ("drained", Json::Bool(st.drained)),
+            ("jobs", Json::num(st.jobs.len() as f64)),
+        ]),
+    )
+}
+
+fn stats(shared: &Shared) -> (u16, Json) {
+    let st = shared.state.lock().unwrap();
+    (
+        200,
+        Json::obj([
+            ("jobs", Json::num(st.jobs.len() as f64)),
+            ("live", Json::num(st.live_count() as f64)),
+            ("queue_depth", Json::num(st.queue_depth() as f64)),
+            ("capacity", Json::num(st.capacity as f64)),
+            ("rejected", Json::num(st.rejected as f64)),
+            ("slices", Json::num(st.slice_seq as f64)),
+            ("draining", Json::Bool(st.draining)),
+            ("drained", Json::Bool(st.drained)),
+        ]),
+    )
+}
+
+/// Stream a job's events as NDJSON from `?from=N` (default 0) until the job
+/// reaches a terminal state (or the server stops / the client disconnects).
+fn watch(stream: &mut TcpStream, shared: &Shared, id_seg: &str, req: &Request) {
+    let Some(id) = parse_id(id_seg) else {
+        let _ = http::write_response(
+            stream,
+            400,
+            "application/json",
+            b"{\"error\":\"bad job id\"}",
+        );
+        return;
+    };
+    let mut from: usize = req
+        .query("from")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    {
+        let st = shared.state.lock().unwrap();
+        if st.job(id).is_none() {
+            let _ = http::write_response(
+                stream,
+                404,
+                "application/json",
+                b"{\"error\":\"no such job\"}",
+            );
+            return;
+        }
+    }
+    if http::write_stream_head(stream).is_err() {
+        return;
+    }
+    use std::io::Write;
+    loop {
+        let (lines, done) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                let job = match st.job(id) {
+                    Some(j) => j,
+                    None => return,
+                };
+                let fresh: Vec<String> = job.events.get(from..).unwrap_or_default().to_vec();
+                let terminal = job.state.is_terminal();
+                if !fresh.is_empty() || terminal || st.stopping {
+                    break (fresh, terminal || st.stopping);
+                }
+                let (guard, _) = shared.event_wake.wait_timeout(st, WATCH_POLL).unwrap();
+                st = guard;
+            }
+        };
+        from += lines.len();
+        for line in &lines {
+            if stream
+                .write_all(line.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .is_err()
+            {
+                return; // client went away
+            }
+        }
+        if stream.flush().is_err() {
+            return;
+        }
+        if done {
+            return;
+        }
+    }
+}

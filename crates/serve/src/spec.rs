@@ -1,0 +1,326 @@
+//! Job descriptions and lifecycle states — the wire schema of the service.
+
+use crate::json::Json;
+use swlb_sim::cases::{CaseKind, CaseSpec, LatticeKind};
+use swlb_obs::SwlbError;
+
+/// Scheduling class of a job.
+///
+/// The fair-share scheduler charges virtual runtime at `slice / weight`, so a
+/// 4× weight means interactive jobs accumulate share 4× slower and win ties —
+/// they get slices promptly without ever starving batch work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive: weight 4.
+    Interactive,
+    /// Throughput work: weight 1.
+    Batch,
+}
+
+impl Priority {
+    /// Fair-share weight.
+    pub fn weight(self) -> u64 {
+        match self {
+            Priority::Interactive => 4,
+            Priority::Batch => 1,
+        }
+    }
+
+    /// Canonical lowercase name (wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Post-processing artifacts a job can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// `fields.vtk` — density volume.
+    Vtk,
+    /// `speed.ppm` — z=0 speed slice image.
+    Ppm,
+}
+
+impl OutputKind {
+    /// Canonical lowercase name (wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            OutputKind::Vtk => "vtk",
+            OutputKind::Ppm => "ppm",
+        }
+    }
+
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "vtk" => Some(OutputKind::Vtk),
+            "ppm" => Some(OutputKind::Ppm),
+            _ => None,
+        }
+    }
+}
+
+/// A complete job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable label (also used in output file names).
+    pub name: String,
+    /// The physics: case family, lattice, grid, relaxation, driving velocity.
+    pub case: CaseSpec,
+    /// Total solver steps to run.
+    pub steps: u64,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Soft deadline in milliseconds (advisory; reported, not enforced).
+    pub deadline_ms: Option<u64>,
+    /// Artifacts to write on completion.
+    pub outputs: Vec<OutputKind>,
+    /// Fault injection: poison one population with NaN once the job has
+    /// completed this many steps (chaos testing of the rollback-retry
+    /// supervisor). `None` in production.
+    pub chaos_nan_at_step: Option<u64>,
+}
+
+impl JobSpec {
+    /// Validate the submission (physics bounds via [`CaseSpec::validate`],
+    /// plus service-level bounds).
+    pub fn validate(&self) -> Result<(), SwlbError> {
+        if self.name.is_empty() || self.name.len() > 64 {
+            return Err(SwlbError::InvalidConfig(
+                "job name must be 1..=64 characters".into(),
+            ));
+        }
+        if self.steps == 0 {
+            return Err(SwlbError::InvalidConfig("steps must be >= 1".into()));
+        }
+        self.case.validate()
+    }
+
+    /// Encode as a JSON object (the submit body).
+    pub fn to_json(&self) -> Json {
+        let mut m = vec![
+            ("name".to_string(), Json::str(self.name.clone())),
+            ("case".to_string(), Json::str(self.case.case.name())),
+            ("lattice".to_string(), Json::str(self.case.lattice.name())),
+            ("nx".to_string(), Json::num(self.case.nx as f64)),
+            ("ny".to_string(), Json::num(self.case.ny as f64)),
+            ("nz".to_string(), Json::num(self.case.nz as f64)),
+            ("tau".to_string(), Json::num(self.case.tau)),
+            ("u".to_string(), Json::num(self.case.u_lattice)),
+            ("steps".to_string(), Json::num(self.steps as f64)),
+            ("priority".to_string(), Json::str(self.priority.name())),
+            (
+                "outputs".to_string(),
+                Json::Arr(self.outputs.iter().map(|o| Json::str(o.name())).collect()),
+            ),
+        ];
+        if let Some(d) = self.deadline_ms {
+            m.push(("deadline_ms".to_string(), Json::num(d as f64)));
+        }
+        if let Some(c) = self.chaos_nan_at_step {
+            m.push(("chaos_nan_at_step".to_string(), Json::num(c as f64)));
+        }
+        Json::Obj(m)
+    }
+
+    /// Decode a submit body. Unknown keys are ignored (forward compatibility);
+    /// missing or ill-typed required keys are `CorruptData`.
+    pub fn from_json(v: &Json) -> Result<Self, SwlbError> {
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| SwlbError::CorruptData(format!("job spec missing {key:?}")))
+        };
+        let str_field = |key: &str| {
+            field(key)?.as_str().map(str::to_string).ok_or_else(|| {
+                SwlbError::CorruptData(format!("job spec key {key:?} must be a string"))
+            })
+        };
+        let u64_field = |key: &str| {
+            field(key)?.as_u64().ok_or_else(|| {
+                SwlbError::CorruptData(format!("job spec key {key:?} must be a non-negative integer"))
+            })
+        };
+        let f64_field = |key: &str| {
+            field(key)?.as_f64().ok_or_else(|| {
+                SwlbError::CorruptData(format!("job spec key {key:?} must be a number"))
+            })
+        };
+        let case_name = str_field("case")?;
+        let case = CaseKind::parse(&case_name)
+            .ok_or_else(|| SwlbError::CorruptData(format!("unknown case {case_name:?}")))?;
+        let lattice_name = str_field("lattice")?;
+        let lattice = LatticeKind::parse(&lattice_name)
+            .ok_or_else(|| SwlbError::CorruptData(format!("unknown lattice {lattice_name:?}")))?;
+        let priority_name = str_field("priority")?;
+        let priority = Priority::parse(&priority_name)
+            .ok_or_else(|| SwlbError::CorruptData(format!("unknown priority {priority_name:?}")))?;
+        let mut outputs = Vec::new();
+        if let Some(arr) = v.get("outputs").and_then(Json::as_arr) {
+            for o in arr {
+                let name = o.as_str().ok_or_else(|| {
+                    SwlbError::CorruptData("outputs entries must be strings".into())
+                })?;
+                outputs.push(OutputKind::parse(name).ok_or_else(|| {
+                    SwlbError::CorruptData(format!("unknown output kind {name:?}"))
+                })?);
+            }
+        }
+        let spec = JobSpec {
+            name: str_field("name")?,
+            case: CaseSpec {
+                case,
+                lattice,
+                nx: u64_field("nx")? as usize,
+                ny: u64_field("ny")? as usize,
+                nz: u64_field("nz")? as usize,
+                tau: f64_field("tau")?,
+                u_lattice: f64_field("u")?,
+            },
+            steps: u64_field("steps")?,
+            priority,
+            deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
+            outputs,
+            chaos_nan_at_step: v.get("chaos_nan_at_step").and_then(Json::as_u64),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Lifecycle of a job inside the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for its first slice.
+    Queued,
+    /// Currently holding the thread pool.
+    Running,
+    /// Time-sliced off the pool; checkpointed, waiting to resume.
+    Preempted,
+    /// Finished all steps; outputs written.
+    Completed,
+    /// Exhausted its restart budget (or failed validation mid-run).
+    Failed,
+    /// Cancelled by the client.
+    Cancelled,
+    /// Drained: checkpointed (or never started) at shutdown, resumable.
+    Checkpointed,
+}
+
+impl JobState {
+    /// Canonical lowercase name (wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Preempted => "preempted",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Checkpointed => "checkpointed",
+        }
+    }
+
+    /// Whether the job can never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled | JobState::Checkpointed
+        )
+    }
+
+    /// Whether the job is waiting for (or holding) compute.
+    pub fn is_live(self) -> bool {
+        !self.is_terminal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_spec() -> JobSpec {
+        JobSpec {
+            name: "cavity-16".into(),
+            case: CaseSpec {
+                case: CaseKind::Cavity,
+                lattice: LatticeKind::D3Q19,
+                nx: 16,
+                ny: 16,
+                nz: 16,
+                tau: 0.8,
+                u_lattice: 0.05,
+            },
+            steps: 200,
+            priority: Priority::Batch,
+            deadline_ms: Some(5000),
+            outputs: vec![OutputKind::Vtk, OutputKind::Ppm],
+            chaos_nan_at_step: None,
+        }
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let spec = sample_spec();
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+
+        let mut chaos = sample_spec();
+        chaos.chaos_nan_at_step = Some(64);
+        chaos.deadline_ms = None;
+        let back = JobSpec::from_json(&chaos.to_json()).unwrap();
+        assert_eq!(chaos, back);
+    }
+
+    #[test]
+    fn decode_rejects_bad_specs() {
+        let mut v = sample_spec().to_json();
+        // Unknown case name.
+        if let Json::Obj(m) = &mut v {
+            for (k, val) in m.iter_mut() {
+                if k == "case" {
+                    *val = Json::str("warp-drive");
+                }
+            }
+        }
+        assert!(JobSpec::from_json(&v).is_err());
+        // Missing required key.
+        let Json::Obj(mut m) = sample_spec().to_json() else {
+            unreachable!()
+        };
+        m.retain(|(k, _)| k != "steps");
+        assert!(JobSpec::from_json(&Json::Obj(m)).is_err());
+        // Physics bounds propagate.
+        let mut spec = sample_spec();
+        spec.case.tau = 0.3;
+        assert!(JobSpec::from_json(&spec.to_json()).is_err());
+    }
+
+    #[test]
+    fn priorities_and_states() {
+        assert!(Priority::Interactive.weight() > Priority::Batch.weight());
+        assert_eq!(Priority::parse("interactive"), Some(Priority::Interactive));
+        for s in [
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Checkpointed,
+        ] {
+            assert!(s.is_terminal());
+        }
+        for s in [JobState::Queued, JobState::Running, JobState::Preempted] {
+            assert!(s.is_live());
+        }
+    }
+}

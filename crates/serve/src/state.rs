@@ -1,0 +1,387 @@
+//! Shared service state: the job table, admission control and the fair-share
+//! ready queue.
+//!
+//! Everything the acceptor threads and the scheduler thread agree on lives
+//! behind one mutex in [`Shared`]; two condvars fan out wake-ups — one for
+//! the scheduler (new work, cancels, drain), one for event watchers
+//! (progress lines to stream).
+//!
+//! Scheduling is CFS-flavoured fair share: each job carries a virtual
+//! runtime charged `slice_steps / weight` per slice, the ready job with the
+//! smallest vruntime runs next, and a newly admitted job starts at the
+//! current virtual clock (the minimum vruntime over live jobs) — so a fresh
+//! interactive job outranks a long-running batch job at the very next slice
+//! boundary, bounding its queue wait to one slice.
+
+use crate::json::Json;
+use crate::spec::{JobSpec, JobState};
+use std::sync::{Condvar, Mutex};
+use swlb_obs::{Recorder, SwlbError};
+
+/// One job's full service-side record.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// Service-assigned id (dense, starting at 1).
+    pub id: u64,
+    /// The submission.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Fair-share virtual runtime (steps / weight).
+    pub vruntime: f64,
+    /// Admission order (FIFO tie-break).
+    pub seq: u64,
+    /// Global slice counter value at admission.
+    pub submit_slice: u64,
+    /// Global slice counter value when the first slice started.
+    pub first_run_slice: Option<u64>,
+    /// Completed solver steps.
+    pub steps_done: u64,
+    /// Rollback-restarts consumed.
+    pub restarts: u32,
+    /// Times this job was sliced off the pool (checkpoint written).
+    pub preemptions: u64,
+    /// Times this job was rebuilt from its checkpoint.
+    pub resumes: u64,
+    /// Times this job rolled back after a fault.
+    pub rollbacks: u64,
+    /// Whether the chaos fault (if configured) has fired already.
+    pub chaos_fired: bool,
+    /// Client asked for cancellation; honoured at the next slice boundary.
+    pub cancel_requested: bool,
+    /// Accumulated wall-clock seconds actually computing.
+    pub run_s: f64,
+    /// Kernel class that served the job's latest slice.
+    pub kernel: Option<&'static str>,
+    /// Terminal error message, if the job failed.
+    pub error: Option<String>,
+    /// Per-job observability recorder (JSONL sink attached at admission).
+    pub recorder: Recorder,
+    /// Serialized JSONL event lines, appended in order.
+    pub events: Vec<String>,
+}
+
+impl JobRecord {
+    /// Queue wait measured in slices (admission → first slice).
+    pub fn wait_slices(&self) -> Option<u64> {
+        self.first_run_slice
+            .map(|f| f.saturating_sub(self.submit_slice + 1))
+    }
+
+    /// The status object served by `GET /v1/jobs/<id>` and embedded in
+    /// terminal events.
+    pub fn status_json(&self) -> Json {
+        let mlups = if self.run_s > 0.0 {
+            let cells = self.spec.case.dims().cells() as f64;
+            cells * self.steps_done as f64 / self.run_s / 1e6
+        } else {
+            0.0
+        };
+        Json::obj([
+            ("id", Json::num(self.id as f64)),
+            ("name", Json::str(self.spec.name.clone())),
+            ("state", Json::str(self.state.name())),
+            ("priority", Json::str(self.spec.priority.name())),
+            ("steps", Json::num(self.spec.steps as f64)),
+            ("steps_done", Json::num(self.steps_done as f64)),
+            (
+                "wait_slices",
+                self.wait_slices()
+                    .map_or(Json::Null, |w| Json::num(w as f64)),
+            ),
+            ("preemptions", Json::num(self.preemptions as f64)),
+            ("resumes", Json::num(self.resumes as f64)),
+            ("rollbacks", Json::num(self.rollbacks as f64)),
+            ("restarts", Json::num(self.restarts as f64)),
+            ("mlups", Json::num(mlups)),
+            (
+                "kernel",
+                self.kernel.map_or(Json::Null, Json::str),
+            ),
+            (
+                "deadline_ms",
+                self.spec
+                    .deadline_ms
+                    .map_or(Json::Null, |d| Json::num(d as f64)),
+            ),
+            (
+                "error",
+                self.error
+                    .as_deref()
+                    .map_or(Json::Null, Json::str),
+            ),
+        ])
+    }
+}
+
+/// The mutex-guarded service state.
+#[derive(Debug)]
+pub struct State {
+    /// All jobs ever admitted, indexed by `id - 1`.
+    pub jobs: Vec<JobRecord>,
+    /// Live-job bound for admission control.
+    pub capacity: usize,
+    /// Monotone admission counter.
+    pub next_seq: u64,
+    /// Global slice counter (incremented when a slice starts).
+    pub slice_seq: u64,
+    /// Graceful drain requested: stop scheduling, checkpoint everything.
+    pub draining: bool,
+    /// Drain finished: every job is terminal.
+    pub drained: bool,
+    /// Hard stop: scheduler and acceptor exit.
+    pub stopping: bool,
+    /// Submissions bounced by admission control.
+    pub rejected: u64,
+}
+
+impl State {
+    /// Live (non-terminal) job count — the quantity admission bounds.
+    pub fn live_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.state.is_live()).count()
+    }
+
+    /// Jobs waiting for a slice (queued or preempted).
+    pub fn queue_depth(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Queued | JobState::Preempted))
+            .count()
+    }
+
+    /// The virtual clock: minimum vruntime over live jobs, or 0 with none.
+    /// New admissions start here so they never owe historical runtime.
+    pub fn vclock(&self) -> f64 {
+        let m = self
+            .jobs
+            .iter()
+            .filter(|j| j.state.is_live())
+            .map(|j| j.vruntime)
+            .fold(f64::INFINITY, f64::min);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Pick the next job to run: smallest vruntime among ready jobs, ties
+    /// broken by higher weight (interactive first), then admission order.
+    /// Returns the index into `jobs`.
+    pub fn pick_ready(&self) -> Option<usize> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| matches!(j.state, JobState::Queued | JobState::Preempted))
+            .min_by(|(_, a), (_, b)| {
+                a.vruntime
+                    .partial_cmp(&b.vruntime)
+                    .unwrap()
+                    .then(b.spec.priority.weight().cmp(&a.spec.priority.weight()))
+                    .then(a.seq.cmp(&b.seq))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Would `candidate_idx`'s record beat the currently running job `cur_idx`
+    /// at this boundary? Strict vruntime comparison: equal shares keep the
+    /// running job on the pool (avoids checkpoint thrash).
+    pub fn should_preempt(&self, cur_idx: usize) -> bool {
+        match self.pick_ready() {
+            Some(i) => self.jobs[i].vruntime < self.jobs[cur_idx].vruntime,
+            None => false,
+        }
+    }
+
+    /// Admit a job or bounce it with [`SwlbError::Rejected`].
+    pub fn admit(&mut self, spec: JobSpec, recorder: Recorder) -> Result<u64, SwlbError> {
+        if self.draining || self.stopping {
+            return Err(SwlbError::Rejected {
+                capacity: self.capacity,
+            });
+        }
+        if self.live_count() >= self.capacity {
+            self.rejected += 1;
+            return Err(SwlbError::Rejected {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.jobs.len() as u64 + 1;
+        let vruntime = self.vclock();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.jobs.push(JobRecord {
+            id,
+            spec,
+            state: JobState::Queued,
+            vruntime,
+            seq,
+            submit_slice: self.slice_seq,
+            first_run_slice: None,
+            steps_done: 0,
+            restarts: 0,
+            preemptions: 0,
+            resumes: 0,
+            rollbacks: 0,
+            chaos_fired: false,
+            cancel_requested: false,
+            run_s: 0.0,
+            kernel: None,
+            error: None,
+            recorder,
+            events: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Job record by id.
+    pub fn job(&self, id: u64) -> Option<&JobRecord> {
+        self.jobs.get(id.checked_sub(1)? as usize)
+    }
+
+    /// Mutable job record by id.
+    pub fn job_mut(&mut self, id: u64) -> Option<&mut JobRecord> {
+        self.jobs.get_mut(id.checked_sub(1)? as usize)
+    }
+}
+
+/// The shared handle every service thread holds.
+pub struct Shared {
+    /// The guarded state.
+    pub state: Mutex<State>,
+    /// Wakes the scheduler (new job, cancel, drain, stop).
+    pub sched_wake: Condvar,
+    /// Wakes event-stream watchers and drain waiters.
+    pub event_wake: Condvar,
+}
+
+impl Shared {
+    /// Fresh state with the given admission capacity.
+    pub fn new(capacity: usize) -> Self {
+        Shared {
+            state: Mutex::new(State {
+                jobs: Vec::new(),
+                capacity,
+                next_seq: 0,
+                slice_seq: 0,
+                draining: false,
+                drained: false,
+                stopping: false,
+                rejected: 0,
+            }),
+            sched_wake: Condvar::new(),
+            event_wake: Condvar::new(),
+        }
+    }
+
+    /// Append a serialized event line to a job and wake watchers. `extra`
+    /// fields are appended after the standard `event`/`id`/`step` triple.
+    pub fn push_event(
+        &self,
+        st: &mut State,
+        id: u64,
+        event: &str,
+        extra: Vec<(&'static str, Json)>,
+    ) {
+        let Some(job) = st.job_mut(id) else { return };
+        let mut fields = vec![
+            ("event", Json::str(event)),
+            ("id", Json::num(id as f64)),
+            ("step", Json::num(job.steps_done as f64)),
+        ];
+        fields.extend(extra);
+        let line = Json::obj(fields).to_text();
+        job.events.push(line);
+        self.event_wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{OutputKind, Priority};
+    use swlb_sim::cases::{CaseKind, CaseSpec, LatticeKind};
+
+    fn spec(priority: Priority) -> JobSpec {
+        JobSpec {
+            name: "j".into(),
+            case: CaseSpec {
+                case: CaseKind::Cavity,
+                lattice: LatticeKind::D2Q9,
+                nx: 8,
+                ny: 8,
+                nz: 1,
+                tau: 0.8,
+                u_lattice: 0.05,
+            },
+            steps: 100,
+            priority,
+            deadline_ms: None,
+            outputs: vec![OutputKind::Ppm],
+            chaos_nan_at_step: None,
+        }
+    }
+
+    #[test]
+    fn admission_bounces_at_capacity() {
+        let shared = Shared::new(2);
+        let mut st = shared.state.lock().unwrap();
+        st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        match st.admit(spec(Priority::Batch), Recorder::disabled()) {
+            Err(SwlbError::Rejected { capacity: 2 }) => {}
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert_eq!(st.rejected, 1);
+        // A terminal job frees a slot.
+        st.jobs[0].state = JobState::Completed;
+        assert!(st.admit(spec(Priority::Batch), Recorder::disabled()).is_ok());
+    }
+
+    #[test]
+    fn fresh_interactive_job_wins_next_slice() {
+        let shared = Shared::new(8);
+        let mut st = shared.state.lock().unwrap();
+        let batch = st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        // The batch job has been running a while: charged runtime.
+        st.job_mut(batch).unwrap().vruntime = 48.0;
+        let short = st
+            .admit(spec(Priority::Interactive), Recorder::disabled())
+            .unwrap();
+        // New arrival starts at the vclock (48.0 is the only live vruntime).
+        assert_eq!(st.job(short).unwrap().vruntime, 48.0);
+        // Equal vruntime: interactive weight breaks the tie.
+        assert_eq!(st.pick_ready(), Some(short as usize - 1));
+        // After the batch job is charged one more slice, preemption triggers.
+        st.job_mut(batch).unwrap().vruntime = 64.0;
+        assert!(st.should_preempt(batch as usize - 1));
+    }
+
+    #[test]
+    fn wait_accounting_counts_slices_between_submit_and_first_run() {
+        let shared = Shared::new(8);
+        let mut st = shared.state.lock().unwrap();
+        let id = st.admit(spec(Priority::Interactive), Recorder::disabled()).unwrap();
+        assert_eq!(st.job(id).unwrap().wait_slices(), None);
+        // One slice of someone else starts, then ours.
+        st.slice_seq += 1;
+        st.slice_seq += 1;
+        st.job_mut(id).unwrap().first_run_slice = Some(2);
+        assert_eq!(st.job(id).unwrap().wait_slices(), Some(1));
+    }
+
+    #[test]
+    fn events_append_and_carry_standard_fields() {
+        let shared = Shared::new(2);
+        let mut st = shared.state.lock().unwrap();
+        let id = st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        shared.push_event(&mut st, id, "queued", vec![]);
+        shared.push_event(&mut st, id, "started", vec![("slice", Json::num(1.0))]);
+        let ev = &st.job(id).unwrap().events;
+        assert_eq!(ev.len(), 2);
+        let parsed = crate::json::parse(&ev[1]).unwrap();
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("started"));
+        assert_eq!(parsed.get("id").and_then(Json::as_u64), Some(id));
+        assert_eq!(parsed.get("slice").and_then(Json::as_u64), Some(1));
+    }
+}

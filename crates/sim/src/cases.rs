@@ -1,0 +1,478 @@
+//! Reusable case construction: one validated description of "a simulation"
+//! that front-ends can build solvers from.
+//!
+//! The `swlb` CLI historically inlined its case setup (paint walls, paint lid,
+//! initialize, run); the serving layer (`swlb-serve`) needs the same setups
+//! driven programmatically — build a solver from a job's spec, slice it, drop
+//! it on preemption, and rebuild it later from a checkpoint. [`CaseSpec`] is
+//! that description and [`CaseSolver`] the lattice-erased solver it builds:
+//! the enum closes over the lattice type parameter so a scheduler can hold
+//! jobs of mixed lattices in one queue.
+
+use swlb_core::collision::BgkParams;
+use swlb_core::flags::FlagField;
+use swlb_core::geometry::GridDims;
+use swlb_core::lattice::{D2Q9, D3Q19};
+use swlb_core::layout::PopField;
+use swlb_core::parallel::ThreadPool;
+use swlb_core::simd::KernelClass;
+use swlb_core::solver::{Solver, StepStats};
+use swlb_core::Scalar;
+use swlb_io::Checkpoint;
+use swlb_obs::{Recorder, SwlbError};
+
+/// Lattice family a case runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatticeKind {
+    /// 2-D, 9 discrete velocities.
+    D2Q9,
+    /// 3-D, 19 discrete velocities (the paper's production lattice).
+    D3Q19,
+}
+
+impl LatticeKind {
+    /// Populations per cell.
+    pub fn q(self) -> u32 {
+        match self {
+            LatticeKind::D2Q9 => 9,
+            LatticeKind::D3Q19 => 19,
+        }
+    }
+
+    /// Canonical lowercase name (wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            LatticeKind::D2Q9 => "d2q9",
+            LatticeKind::D3Q19 => "d3q19",
+        }
+    }
+
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "d2q9" => Some(LatticeKind::D2Q9),
+            "d3q19" => Some(LatticeKind::D3Q19),
+            _ => None,
+        }
+    }
+}
+
+/// Built-in case families (the boundary/initialization recipes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    /// Lid-driven cavity: sealed box, moving lid.
+    Cavity,
+    /// Channel: y-walls, density inflow/outflow in x.
+    Channel,
+    /// Taylor–Green vortex: fully periodic decaying vortices.
+    TaylorGreen,
+}
+
+impl CaseKind {
+    /// Canonical lowercase name (wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseKind::Cavity => "cavity",
+            CaseKind::Channel => "channel",
+            CaseKind::TaylorGreen => "taylor-green",
+        }
+    }
+
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cavity" => Some(CaseKind::Cavity),
+            "channel" => Some(CaseKind::Channel),
+            "taylor-green" => Some(CaseKind::TaylorGreen),
+            _ => None,
+        }
+    }
+}
+
+/// Everything needed to (re)build a case solver, independent of any front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseSpec {
+    /// Boundary/initialization recipe.
+    pub case: CaseKind,
+    /// Lattice family.
+    pub lattice: LatticeKind,
+    /// Grid extent (nz is forced to 1 for 2-D lattices).
+    pub nx: usize,
+    /// Grid extent in y.
+    pub ny: usize,
+    /// Grid extent in z.
+    pub nz: usize,
+    /// BGK relaxation time.
+    pub tau: Scalar,
+    /// Driving velocity magnitude (lattice units).
+    pub u_lattice: Scalar,
+}
+
+/// Cell-count admission cap: a service must bound the memory one job can
+/// demand (a 256³ D3Q19 job is ~2.5 GiB of population storage per buffer).
+pub const MAX_CELLS: usize = 4 << 20;
+
+impl CaseSpec {
+    /// Effective grid dims (z collapsed for 2-D lattices).
+    pub fn dims(&self) -> GridDims {
+        match self.lattice {
+            LatticeKind::D2Q9 => GridDims::new2d(self.nx, self.ny),
+            LatticeKind::D3Q19 => GridDims::new(self.nx, self.ny, self.nz),
+        }
+    }
+
+    /// Validate physics and admission bounds without building anything.
+    pub fn validate(&self) -> Result<(), SwlbError> {
+        BgkParams::try_from_tau(self.tau)?;
+        let need_z = matches!(self.lattice, LatticeKind::D3Q19);
+        if self.nx < 3 || self.ny < 3 || (need_z && self.nz < 3) {
+            return Err(SwlbError::InvalidDims(format!(
+                "case grid {}x{}x{} too small (each extent must be >= 3)",
+                self.nx, self.ny, self.nz
+            )));
+        }
+        let cells = self.dims().cells();
+        if cells > MAX_CELLS {
+            return Err(SwlbError::InvalidConfig(format!(
+                "case has {cells} cells, above the admission cap of {MAX_CELLS}"
+            )));
+        }
+        if !(0.0..0.3).contains(&self.u_lattice.abs()) {
+            return Err(SwlbError::InvalidConfig(format!(
+                "u_lattice {} outside the low-Mach range |u| < 0.3",
+                self.u_lattice
+            )));
+        }
+        Ok(())
+    }
+
+    /// Build a painted, initialized solver running on `pool` and reporting
+    /// into `recorder`.
+    pub fn build(&self, pool: ThreadPool, recorder: Recorder) -> Result<CaseSolver, SwlbError> {
+        self.validate()?;
+        let params = BgkParams::try_from_tau(self.tau)?;
+        match self.lattice {
+            LatticeKind::D2Q9 => {
+                let mut s = Solver::<D2Q9>::builder(self.dims(), params)
+                    .pool(pool)
+                    .recorder(recorder)
+                    .try_build()?;
+                self.paint(&mut s);
+                Ok(CaseSolver::D2(s))
+            }
+            LatticeKind::D3Q19 => {
+                let mut s = Solver::<D3Q19>::builder(self.dims(), params)
+                    .pool(pool)
+                    .recorder(recorder)
+                    .try_build()?;
+                self.paint(&mut s);
+                Ok(CaseSolver::D3(s))
+            }
+        }
+    }
+
+    fn paint<L: swlb_core::lattice::Lattice>(&self, s: &mut Solver<L>) {
+        let u = self.u_lattice;
+        match self.case {
+            CaseKind::Cavity => {
+                s.flags_mut().set_box_walls();
+                s.flags_mut().paint_lid([u, 0.0, 0.0]);
+                s.initialize_uniform(1.0, [0.0; 3]);
+            }
+            CaseKind::Channel => {
+                s.flags_mut().paint_channel_walls_y();
+                s.flags_mut().paint_inflow_outflow_x(1.0, [u, 0.0, 0.0]);
+                s.initialize_uniform(1.0, [u, 0.0, 0.0]);
+            }
+            CaseKind::TaylorGreen => {
+                let k = std::f64::consts::TAU / self.nx as Scalar;
+                s.initialize_field(|x, y, _| {
+                    let (xs, ys) = (x as Scalar * k, y as Scalar * k);
+                    (
+                        1.0 - 0.75 * u * u * ((2.0 * xs).cos() + (2.0 * ys).cos()),
+                        [u * xs.sin() * ys.cos(), -u * xs.cos() * ys.sin(), 0.0],
+                    )
+                });
+            }
+        }
+    }
+}
+
+/// A lattice-erased case solver: the unit a job scheduler slices, checkpoints,
+/// drops, and rebuilds.
+pub enum CaseSolver {
+    /// 2-D solver.
+    D2(Solver<D2Q9>),
+    /// 3-D solver.
+    D3(Solver<D3Q19>),
+}
+
+impl CaseSolver {
+    /// Completed step count.
+    pub fn step_count(&self) -> u64 {
+        match self {
+            CaseSolver::D2(s) => s.step_count(),
+            CaseSolver::D3(s) => s.step_count(),
+        }
+    }
+
+    /// Grid dims.
+    pub fn dims(&self) -> GridDims {
+        match self {
+            CaseSolver::D2(s) => s.dims(),
+            CaseSolver::D3(s) => s.dims(),
+        }
+    }
+
+    /// Fluid-cell count (MLUPS accounting).
+    pub fn active_cells(&self) -> usize {
+        match self {
+            CaseSolver::D2(s) => s.active_cells(),
+            CaseSolver::D3(s) => s.active_cells(),
+        }
+    }
+
+    /// Kernel class that served the latest step.
+    pub fn last_kernel_class(&self) -> KernelClass {
+        match self {
+            CaseSolver::D2(s) => s.last_kernel_class(),
+            CaseSolver::D3(s) => s.last_kernel_class(),
+        }
+    }
+
+    /// Summary statistics of the current state.
+    pub fn stats(&self) -> StepStats {
+        match self {
+            CaseSolver::D2(s) => s.stats(),
+            CaseSolver::D3(s) => s.stats(),
+        }
+    }
+
+    /// The flag field (e.g. for force evaluation).
+    pub fn flags(&self) -> &FlagField {
+        match self {
+            CaseSolver::D2(s) => s.flags(),
+            CaseSolver::D3(s) => s.flags(),
+        }
+    }
+
+    /// Advance `n` steps with divergence checks every `check_every` steps.
+    pub fn run_checked(&mut self, n: u64, check_every: u64) -> Result<(), SwlbError> {
+        match self {
+            CaseSolver::D2(s) => s.run_checked(n, check_every),
+            CaseSolver::D3(s) => s.run_checked(n, check_every),
+        }
+    }
+
+    /// Whether the current state contains NaN/Inf.
+    pub fn has_non_finite(&self) -> bool {
+        match self {
+            CaseSolver::D2(s) => s.macroscopic().has_non_finite(),
+            CaseSolver::D3(s) => s.macroscopic().has_non_finite(),
+        }
+    }
+
+    /// Speed magnitude of the z=0 plane (slice outputs).
+    pub fn slice_speed(&self) -> Vec<Scalar> {
+        match self {
+            CaseSolver::D2(s) => s.macroscopic().slice_xy_speed(0),
+            CaseSolver::D3(s) => s.macroscopic().slice_xy_speed(0),
+        }
+    }
+
+    /// Density field (volume outputs).
+    pub fn rho(&self) -> Vec<Scalar> {
+        match self {
+            CaseSolver::D2(s) => s.macroscopic().rho.clone(),
+            CaseSolver::D3(s) => s.macroscopic().rho.clone(),
+        }
+    }
+
+    /// Capture the full population state as a [`Checkpoint`] — the
+    /// preemption primitive: save this, drop the solver, rebuild later from
+    /// the same [`CaseSpec`] and [`CaseSolver::restore`].
+    pub fn capture(&self) -> Checkpoint {
+        let dims = self.dims();
+        let (q, data) = match self {
+            CaseSolver::D2(s) => (9u32, s.populations().raw().to_vec()),
+            CaseSolver::D3(s) => (19u32, s.populations().raw().to_vec()),
+        };
+        Checkpoint {
+            step: self.step_count(),
+            dims: (dims.nx as u32, dims.ny as u32, dims.nz as u32),
+            q,
+            data,
+        }
+    }
+
+    /// Restore population state and step count from a checkpoint captured off
+    /// a solver built from the same spec.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), SwlbError> {
+        let dims = self.dims();
+        let want = (dims.nx as u32, dims.ny as u32, dims.nz as u32);
+        let q = match self {
+            CaseSolver::D2(_) => 9u32,
+            CaseSolver::D3(_) => 19u32,
+        };
+        if ck.dims != want || ck.q != q {
+            return Err(SwlbError::CorruptData(format!(
+                "checkpoint is {}x{}x{} q{}, solver wants {}x{}x{} q{}",
+                ck.dims.0, ck.dims.1, ck.dims.2, ck.q, want.0, want.1, want.2, q
+            )));
+        }
+        match self {
+            CaseSolver::D2(s) => {
+                let raw = s.populations_mut().raw_mut();
+                if ck.data.len() != raw.len() {
+                    return Err(SwlbError::LengthMismatch {
+                        got: ck.data.len(),
+                        expected: raw.len(),
+                    });
+                }
+                raw.copy_from_slice(&ck.data);
+                s.set_step_count(ck.step);
+            }
+            CaseSolver::D3(s) => {
+                let raw = s.populations_mut().raw_mut();
+                if ck.data.len() != raw.len() {
+                    return Err(SwlbError::LengthMismatch {
+                        got: ck.data.len(),
+                        expected: raw.len(),
+                    });
+                }
+                raw.copy_from_slice(&ck.data);
+                s.set_step_count(ck.step);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-injection hook: poison one interior population with NaN so the
+    /// next divergence check trips — the job-level analogue of ChaosComm's
+    /// corrupt-in-flight faults, used by chaos tests to exercise
+    /// rollback-retry supervision.
+    pub fn poison_with_nan(&mut self) {
+        let d = self.dims();
+        // Center cell: guaranteed interior fluid for every case family (walls
+        // only ever occupy the outermost shell).
+        let cell = d.idx(d.nx / 2, d.ny / 2, d.nz / 2);
+        match self {
+            CaseSolver::D2(s) => s.populations_mut().set(cell, 0, Scalar::NAN),
+            CaseSolver::D3(s) => s.populations_mut().set(cell, 0, Scalar::NAN),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CaseSpec {
+        CaseSpec {
+            case: CaseKind::Cavity,
+            lattice: LatticeKind::D3Q19,
+            nx: 8,
+            ny: 8,
+            nz: 8,
+            tau: 0.8,
+            u_lattice: 0.05,
+        }
+    }
+
+    #[test]
+    fn wire_names_roundtrip() {
+        for c in [CaseKind::Cavity, CaseKind::Channel, CaseKind::TaylorGreen] {
+            assert_eq!(CaseKind::parse(c.name()), Some(c));
+        }
+        for l in [LatticeKind::D2Q9, LatticeKind::D3Q19] {
+            assert_eq!(LatticeKind::parse(l.name()), Some(l));
+        }
+        assert_eq!(CaseKind::parse("vortex-street"), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut s = spec();
+        s.tau = 0.4; // below the linear-stability bound
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.nx = 2;
+        assert!(matches!(s.validate(), Err(SwlbError::InvalidDims(_))));
+        let mut s = spec();
+        s.u_lattice = 0.5;
+        assert!(matches!(s.validate(), Err(SwlbError::InvalidConfig(_))));
+        let mut s = spec();
+        (s.nx, s.ny, s.nz) = (1 << 12, 1 << 12, 4);
+        assert!(matches!(s.validate(), Err(SwlbError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn every_case_family_builds_and_steps() {
+        for case in [CaseKind::Cavity, CaseKind::Channel, CaseKind::TaylorGreen] {
+            for lattice in [LatticeKind::D2Q9, LatticeKind::D3Q19] {
+                let s = CaseSpec {
+                    case,
+                    lattice,
+                    nx: 8,
+                    ny: 8,
+                    nz: 6,
+                    tau: 0.8,
+                    u_lattice: 0.05,
+                };
+                let mut solver = s
+                    .build(ThreadPool::new(1), Recorder::disabled())
+                    .unwrap_or_else(|e| panic!("{case:?}/{lattice:?}: {e}"));
+                solver.run_checked(4, 2).unwrap();
+                assert_eq!(solver.step_count(), 4);
+                assert!(!solver.has_non_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn capture_restore_resumes_bit_exact() {
+        let pool = ThreadPool::new(1);
+        let mut a = spec().build(pool.clone(), Recorder::disabled()).unwrap();
+        a.run_checked(6, 6).unwrap();
+        let ck = a.capture();
+        assert_eq!(ck.step, 6);
+        // Keep running the original to step 10.
+        a.run_checked(4, 4).unwrap();
+
+        // Fresh solver, restored at step 6, run the same 4 steps.
+        let mut b = spec().build(pool, Recorder::disabled()).unwrap();
+        b.restore(&ck).unwrap();
+        assert_eq!(b.step_count(), 6);
+        b.run_checked(4, 4).unwrap();
+
+        let (CaseSolver::D3(sa), CaseSolver::D3(sb)) = (&a, &b) else {
+            panic!("expected D3 solvers");
+        };
+        assert_eq!(sa.populations().raw(), sb.populations().raw());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoint() {
+        let pool = ThreadPool::new(1);
+        let mut solver = spec().build(pool.clone(), Recorder::disabled()).unwrap();
+        let mut other = spec();
+        other.nx = 10;
+        let foreign = other.build(pool, Recorder::disabled()).unwrap().capture();
+        assert!(matches!(
+            solver.restore(&foreign),
+            Err(SwlbError::CorruptData(_))
+        ));
+    }
+
+    #[test]
+    fn poison_trips_divergence_check() {
+        let mut solver = spec().build(ThreadPool::new(1), Recorder::disabled()).unwrap();
+        solver.run_checked(2, 2).unwrap();
+        solver.poison_with_nan();
+        assert!(solver.has_non_finite());
+        assert!(matches!(
+            solver.run_checked(2, 1),
+            Err(SwlbError::Diverged { .. })
+        ));
+    }
+}

@@ -19,6 +19,7 @@ use crate::partition::Partition2d;
 use std::ops::Range;
 use std::time::Duration;
 use swlb_comm::cart::NEIGHBOR_OFFSETS;
+use swlb_comm::frame::{check_frame, seal_frame, FrameCheck, FRAME_HEADER};
 use swlb_comm::{Comm, CommError, Communicator, Tag};
 use swlb_core::collision::{collide, CollisionKind};
 use swlb_core::flags::FlagField;
@@ -30,7 +31,6 @@ use swlb_core::macroscopic::MacroFields;
 use swlb_core::parallel::ThreadPool;
 use swlb_core::simd::KernelClass;
 use swlb_core::Scalar;
-use swlb_io::checkpoint::Crc32;
 use swlb_obs::{exponential_buckets, Counter, Gauge, Histogram, Phase, Recorder, SwlbError};
 
 /// Halo-exchange schedule.
@@ -94,51 +94,6 @@ impl HaloRetry {
             .checked_mul(mult)
             .map_or(self.max_backoff, |d| d.min(self.max_backoff))
     }
-}
-
-/// Halo frame header length: `[epoch, step, crc]` prepended to the payload.
-const FRAME_HEADER: usize = 3;
-
-/// CRC-32 over everything in the frame except the checksum slot itself.
-fn frame_crc(frame: &[f64]) -> u32 {
-    let mut c = Crc32::new();
-    c.update(&frame[0].to_le_bytes());
-    c.update(&frame[1].to_le_bytes());
-    for x in &frame[FRAME_HEADER..] {
-        c.update(&x.to_le_bytes());
-    }
-    c.finish()
-}
-
-/// Verdict on a received halo frame.
-enum FrameCheck {
-    /// Checksum good, epoch and step match: consume the payload.
-    Valid,
-    /// Pre-rollback epoch or an already-consumed step (a duplicate): discard
-    /// silently and keep waiting.
-    Stale,
-    /// Checksum failure — the payload was damaged in flight.
-    Corrupt,
-    /// A step *ahead* of the expected one: the expected message was lost and
-    /// can never arrive (per-channel FIFO), so waiting is pointless.
-    Gap,
-}
-
-fn check_frame(data: &[f64], epoch: u64, step: u64) -> FrameCheck {
-    if data.len() < FRAME_HEADER {
-        return FrameCheck::Corrupt;
-    }
-    if frame_crc(data) as f64 != data[2] {
-        return FrameCheck::Corrupt;
-    }
-    let (e, s) = (data[0] as u64, data[1] as u64);
-    if e != epoch || s < step {
-        return FrameCheck::Stale;
-    }
-    if s > step {
-        return FrameCheck::Gap;
-    }
-    FrameCheck::Valid
 }
 
 /// One rank's share of a distributed LBM simulation.
@@ -329,23 +284,6 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         DistributedSolverBuilder::new(comm, global, global_flags, collision)
     }
 
-    /// Build this rank's solver from the global problem description.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DistributedSolver::builder(comm, global, flags, collision).exchange(mode).build()`"
-    )]
-    pub fn new(
-        comm: &'c C,
-        global: GridDims,
-        global_flags: &FlagField,
-        collision: CollisionKind,
-        mode: ExchangeMode,
-    ) -> Self {
-        DistributedSolverBuilder::new(comm, global, global_flags, collision)
-            .exchange(mode)
-            .build()
-    }
-
     /// The observability recorder this rank reports into.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
@@ -521,15 +459,13 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                     .neighbor(self.comm.rank(), *dx, *dy)
                     .expect("periodic topology always has neighbors");
                 buf.clear();
-                buf.push(self.epoch as f64);
-                buf.push(self.step as f64);
-                buf.push(0.0); // checksum slot, filled below
+                buf.resize(FRAME_HEADER, 0.0);
                 self.pack_into(
                     Self::send_range(*dx, self.lnx),
                     Self::send_range(*dy, self.lny),
                     &mut buf,
                 );
-                buf[2] = frame_crc(&buf) as f64;
+                seal_frame(&mut buf, self.epoch, self.step);
                 self.comm.send_buffered(dst, d as u64, &buf)?;
             }
             Ok(())

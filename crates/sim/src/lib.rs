@@ -21,6 +21,7 @@
 // are kept deliberately as the clearer idiom for this domain.
 #![allow(clippy::needless_range_loop)]
 
+pub mod cases;
 pub mod config;
 pub mod engine;
 pub mod forces;
@@ -28,6 +29,7 @@ pub mod group_io;
 pub mod partition;
 pub mod resilience;
 
+pub use cases::{CaseKind, CaseSolver, CaseSpec, LatticeKind};
 pub use config::CaseConfig;
 pub use engine::{DistributedSolver, DistributedSolverBuilder, ExchangeMode, HaloRetry};
 pub use forces::momentum_exchange_force;
@@ -47,6 +49,6 @@ pub mod prelude {
     pub use crate::resilience::{
         run_with_recovery, run_with_recovery_instrumented, RecoveryPolicy, RecoveryReport,
     };
-    pub use swlb_core::solver::{ExecMode, Solver, SolverBuilder};
+    pub use swlb_core::solver::{Solver, SolverBuilder};
     pub use swlb_obs::{JsonlSink, Phase, Recorder, SummarySink, SwlbError, SwlbResult};
 }

@@ -24,6 +24,13 @@ obs:
     cargo test -q -p swlb-sim --release --test obs_integration
     cargo run --release -p swlb-bench --bin obs_measured_vs_model
 
+# The serving acceptance suite (docs/SERVING.md): clippy-clean serve crate,
+# the loopback integration tests, and the heavier --ignored soak.
+serve-check:
+    cargo clippy -p swlb-serve --all-targets -- -D warnings
+    cargo test -q -p swlb-serve
+    cargo test -q -p swlb-serve --release --test serve_integration -- --ignored
+
 # Quick bench sanity: run the native scalar-vs-SIMD sweep in quick mode,
 # validate the emitted JSON schema (host metadata included), and run the
 # cross-layer equivalence suites for the unified dispatch pipeline.

@@ -1,0 +1,432 @@
+//! Integration suite for `swlb-serve` — the acceptance criteria of the
+//! multi-tenant service, exercised over a real loopback socket:
+//!
+//! * a mixed workload (long batch + short interactive, one job with an
+//!   injected chaos fault) completes with zero lost or duplicated jobs;
+//! * every short interactive job's queue wait is bounded by one time slice
+//!   while batch jobs are running (preemption proven by the longs'
+//!   checkpoint/resume counters);
+//! * graceful drain leaves every live job checkpointed and resumable —
+//!   verified by restoring a drained job's checkpoint into a fresh solver;
+//! * every job's `metrics.jsonl` parses and carries the snapshot schema.
+//!
+//! Plus admission backpressure (HTTP 429), cancellation, and an `--ignored`
+//! loopback soak.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use swlb_core::parallel::ThreadPool;
+use swlb_io::CheckpointStore;
+use swlb_obs::{Recorder, SwlbError};
+use swlb_serve::json::{self, Json};
+use swlb_serve::{
+    CaseKind, CaseSpec, JobSpec, LatticeKind, Priority, ServeClient, ServeConfig, Server,
+};
+use swlb_sim::RecoveryPolicy;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swlb-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cavity(nx: usize, ny: usize) -> CaseSpec {
+    CaseSpec {
+        case: CaseKind::Cavity,
+        lattice: LatticeKind::D2Q9,
+        nx,
+        ny,
+        nz: 1,
+        tau: 0.8,
+        u_lattice: 0.05,
+    }
+}
+
+fn job(name: &str, case: CaseSpec, steps: u64, priority: Priority) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        case,
+        steps,
+        priority,
+        deadline_ms: None,
+        outputs: vec![],
+        chaos_nan_at_step: None,
+    }
+}
+
+fn config(dir: &std::path::Path, capacity: usize, slice_steps: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(dir);
+    cfg.capacity = capacity;
+    cfg.slice_steps = slice_steps;
+    cfg.threads = 2;
+    cfg.policy = RecoveryPolicy {
+        checkpoint_every: 2 * slice_steps,
+        max_restarts: 3,
+        backoff: Duration::from_millis(1),
+        ..RecoveryPolicy::default()
+    };
+    cfg
+}
+
+/// Poll a job's status until `pred` holds; panics after `timeout`.
+fn wait_for(
+    client: &ServeClient,
+    id: u64,
+    timeout: Duration,
+    what: &str,
+    pred: impl Fn(&Json) -> bool,
+) -> Json {
+    let start = Instant::now();
+    loop {
+        let status = client.status(id).unwrap();
+        if pred(&status) {
+            return status;
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "job {id}: timed out waiting for {what}; last status: {}",
+            status.to_text()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn state_of(status: &Json) -> String {
+    status
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+fn num_of(status: &Json, key: &str) -> u64 {
+    status
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("status missing numeric {key:?}: {}", status.to_text()))
+}
+
+/// Acceptance (a), (b) and (d): mixed workload under chaos on one loopback
+/// server — two long batch jobs (one faulted mid-run) plus six short
+/// interactive jobs submitted while the longs grind. Everything completes,
+/// nothing is lost or duplicated, and no short job waits more than one slice.
+#[test]
+fn mixed_workload_completes_with_bounded_interactive_wait() {
+    let dir = unique_dir("mixed");
+    let server = Server::spawn(config(&dir, 16, 8)).unwrap();
+    let client = ServeClient::new(server.addr().to_string());
+
+    // Two long batch jobs; the second takes a NaN fault around step 100 and
+    // must survive it via rollback-retry.
+    let long_a = client
+        .submit(&job("long-a", cavity(24, 24), 640, Priority::Batch))
+        .unwrap();
+    let mut faulted = job("long-chaos", cavity(24, 24), 640, Priority::Batch);
+    faulted.chaos_nan_at_step = Some(100);
+    let long_b = client.submit(&faulted).unwrap();
+    assert_eq!((long_a, long_b), (1, 2), "ids are dense from 1");
+
+    // Let the batch work actually occupy the pool before interactive traffic.
+    wait_for(&client, long_a, Duration::from_secs(20), "first slice", |s| {
+        num_of(s, "steps_done") > 0
+    });
+
+    // Six short interactive jobs, one at a time, each watched to completion
+    // while the longs are (still) live.
+    let mut short_ids = Vec::new();
+    for i in 0..6 {
+        let id = client
+            .submit(&job(
+                &format!("short-{i}"),
+                cavity(16, 16),
+                24,
+                Priority::Interactive,
+            ))
+            .unwrap();
+        let events = client.watch(id, 0).unwrap();
+        assert!(
+            events.iter().any(|e| e.contains("\"event\":\"completed\"")),
+            "short job {id} did not complete: {events:?}"
+        );
+        short_ids.push(id);
+    }
+
+    // Wait out the longs.
+    for id in [long_a, long_b] {
+        let status = wait_for(&client, id, Duration::from_secs(60), "terminal state", |s| {
+            ["completed", "failed", "cancelled"].contains(&state_of(s).as_str())
+        });
+        assert_eq!(state_of(&status), "completed", "{}", status.to_text());
+    }
+
+    // (a) Zero lost or duplicated jobs: exactly the 8 submissions, dense ids,
+    // every one completed with every requested step done.
+    let all = client.list().unwrap();
+    assert_eq!(all.len(), 8);
+    let mut ids: Vec<u64> = all.iter().map(|s| num_of(s, "id")).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (1..=8).collect::<Vec<u64>>());
+    for status in &all {
+        assert_eq!(state_of(status), "completed", "{}", status.to_text());
+        assert_eq!(
+            num_of(status, "steps_done"),
+            num_of(status, "steps"),
+            "{}",
+            status.to_text()
+        );
+    }
+
+    // (b) Interactive latency bound: each short job waited at most one slice,
+    // even though two 640-step batch jobs were in the system.
+    for &id in &short_ids {
+        let status = client.status(id).unwrap();
+        let wait = num_of(&status, "wait_slices");
+        assert!(
+            wait <= 1,
+            "short job {id} waited {wait} slices: {}",
+            status.to_text()
+        );
+    }
+
+    // Preemption proof: the long jobs were sliced off the pool via checkpoint
+    // and later rebuilt from it — the counters that only move on a real
+    // checkpoint write / checkpoint read.
+    for id in [long_a, long_b] {
+        let status = client.status(id).unwrap();
+        assert!(
+            num_of(&status, "preemptions") >= 1,
+            "long job {id} was never preempted: {}",
+            status.to_text()
+        );
+        assert!(
+            num_of(&status, "resumes") >= 1,
+            "long job {id} never resumed from checkpoint: {}",
+            status.to_text()
+        );
+    }
+
+    // (d) Chaos survival: the faulted job rolled back and retried, and the
+    // service as a whole kept running (everything above already completed).
+    let status = client.status(long_b).unwrap();
+    assert!(num_of(&status, "rollbacks") >= 1, "{}", status.to_text());
+    assert!(num_of(&status, "restarts") >= 1, "{}", status.to_text());
+
+    // Per-job observability: every job has a metrics.jsonl whose lines parse
+    // and carry the snapshot schema.
+    for id in 1..=8u64 {
+        assert_metrics_schema(&dir, id);
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every line of `jobs/job-<id>/metrics.jsonl` must parse as a snapshot
+/// object: a `step`, non-negative `wall_s`, and the four sections. (`step`
+/// is *not* monotone across lines — a rollback legitimately rewinds it.)
+fn assert_metrics_schema(base: &std::path::Path, id: u64) {
+    let path = base
+        .join("jobs")
+        .join(format!("job-{id}"))
+        .join("metrics.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("job {id}: no metrics at {}: {e}", path.display()));
+    let mut lines = 0;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = json::parse(line)
+            .unwrap_or_else(|e| panic!("job {id}: bad metrics line {line:?}: {e:?}"));
+        v.get("step")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("job {id}: snapshot missing step: {line}"));
+        let wall = v.get("wall_s").and_then(Json::as_f64).unwrap();
+        assert!(wall >= 0.0);
+        for section in ["phases", "counters", "gauges", "histograms"] {
+            assert!(
+                matches!(v.get(section), Some(Json::Obj(_))),
+                "job {id}: snapshot missing {section}: {line}"
+            );
+        }
+        lines += 1;
+    }
+    assert!(lines > 0, "job {id}: metrics.jsonl is empty");
+}
+
+/// Acceptance (c): graceful drain checkpoints every live job, and the
+/// checkpoints actually restore into a fresh solver at the recorded step.
+#[test]
+fn drain_leaves_resumable_checkpoints() {
+    let dir = unique_dir("drain");
+    let server = Server::spawn(config(&dir, 8, 8)).unwrap();
+    let client = ServeClient::new(server.addr().to_string());
+
+    let ids: Vec<u64> = (0..2)
+        .map(|i| {
+            client
+                .submit(&job(
+                    &format!("drained-{i}"),
+                    cavity(16, 16),
+                    100_000,
+                    Priority::Batch,
+                ))
+                .unwrap()
+        })
+        .collect();
+    for &id in &ids {
+        wait_for(&client, id, Duration::from_secs(20), "progress", |s| {
+            num_of(s, "steps_done") > 0
+        });
+    }
+
+    let resp = client.drain().unwrap();
+    assert_eq!(resp.get("drained").and_then(Json::as_bool), Some(true));
+
+    // Both jobs are terminal-but-resumable, and admission is now closed.
+    for &id in &ids {
+        let status = client.status(id).unwrap();
+        assert_eq!(state_of(&status), "checkpointed", "{}", status.to_text());
+        assert!(num_of(&status, "steps_done") > 0);
+    }
+    match client.submit(&job("late", cavity(16, 16), 10, Priority::Interactive)) {
+        Err(SwlbError::Rejected { .. }) => {}
+        other => panic!("draining server accepted work: {other:?}"),
+    }
+
+    // Restore each drained job's latest checkpoint into a fresh solver and
+    // confirm it lands exactly where the service said it stopped.
+    let store = CheckpointStore::new(dir.join("checkpoints"), 2).unwrap();
+    for &id in &ids {
+        let steps_done = num_of(&client.status(id).unwrap(), "steps_done");
+        let (ck, _) = store
+            .namespaced(&format!("job-{id}"))
+            .unwrap()
+            .load_latest_valid()
+            .unwrap()
+            .unwrap_or_else(|| panic!("job {id}: drain left no valid checkpoint"));
+        assert_eq!(ck.step, steps_done, "job {id}: checkpoint lags status");
+        let mut solver = cavity(16, 16)
+            .build(ThreadPool::new(1), Recorder::disabled())
+            .unwrap();
+        solver.restore(&ck).unwrap();
+        assert_eq!(solver.step_count(), steps_done);
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Admission control: live jobs beyond capacity bounce with 429/Rejected and
+/// are counted, without disturbing the admitted jobs.
+#[test]
+fn admission_backpressure_rejects_beyond_capacity() {
+    let dir = unique_dir("admission");
+    let server = Server::spawn(config(&dir, 2, 8)).unwrap();
+    let client = ServeClient::new(server.addr().to_string());
+
+    for i in 0..2 {
+        client
+            .submit(&job(
+                &format!("occupant-{i}"),
+                cavity(16, 16),
+                100_000,
+                Priority::Batch,
+            ))
+            .unwrap();
+    }
+    match client.submit(&job("excess", cavity(16, 16), 10, Priority::Interactive)) {
+        Err(SwlbError::Rejected { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("rejected").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("live").and_then(Json::as_u64), Some(2));
+
+    // A slot frees once an occupant leaves.
+    client.cancel(1).unwrap();
+    wait_for(&client, 1, Duration::from_secs(20), "cancel", |s| {
+        state_of(s) == "cancelled"
+    });
+    client
+        .submit(&job("after-free", cavity(16, 16), 16, Priority::Interactive))
+        .unwrap();
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cancellation is honoured at the next slice boundary for a running job.
+#[test]
+fn cancel_stops_a_running_job_at_a_slice_boundary() {
+    let dir = unique_dir("cancel");
+    let server = Server::spawn(config(&dir, 4, 8)).unwrap();
+    let client = ServeClient::new(server.addr().to_string());
+
+    let id = client
+        .submit(&job("doomed", cavity(16, 16), 100_000, Priority::Batch))
+        .unwrap();
+    wait_for(&client, id, Duration::from_secs(20), "progress", |s| {
+        num_of(s, "steps_done") > 0
+    });
+    client.cancel(id).unwrap();
+    let status = wait_for(&client, id, Duration::from_secs(20), "cancelled", |s| {
+        state_of(s) == "cancelled"
+    });
+    let done = num_of(&status, "steps_done");
+    assert!(done > 0 && done < 100_000);
+    // The event stream ends with the cancellation.
+    let events = client.watch(id, 0).unwrap();
+    assert!(
+        events.iter().any(|e| e.contains("\"event\":\"cancelled\"")),
+        "{events:?}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Loopback soak: forty mixed jobs pushed through a capacity-8 table with
+/// submit-retry on backpressure. Slow — run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "soak test; run explicitly with --ignored"]
+fn soak_forty_jobs_through_bounded_table() {
+    let dir = unique_dir("soak");
+    let server = Server::spawn(config(&dir, 8, 8)).unwrap();
+    let client = ServeClient::new(server.addr().to_string());
+
+    let mut ids = Vec::new();
+    for i in 0..40u64 {
+        let (priority, steps) = if i % 3 == 0 {
+            (Priority::Batch, 160)
+        } else {
+            (Priority::Interactive, 24)
+        };
+        let mut spec = job(&format!("soak-{i}"), cavity(16, 16), steps, priority);
+        if i % 10 == 7 {
+            spec.chaos_nan_at_step = Some(steps / 2);
+        }
+        let id = loop {
+            match client.submit(&spec) {
+                Ok(id) => break id,
+                Err(SwlbError::Rejected { .. }) => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("submit failed: {e:?}"),
+            }
+        };
+        ids.push(id);
+    }
+
+    for &id in &ids {
+        let status = wait_for(&client, id, Duration::from_secs(120), "completion", |s| {
+            state_of(s) == "completed"
+        });
+        assert_eq!(num_of(&status, "steps_done"), num_of(&status, "steps"));
+    }
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 40, "duplicated or lost job ids: {ids:?}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
