@@ -94,6 +94,10 @@ pub enum SwlbError {
         /// The capacity (live-job bound) the request bounced off.
         capacity: usize,
     },
+    /// The service is degraded (e.g. its durability journal cannot persist
+    /// records) and refuses work it could not make crash-safe. Retry later;
+    /// unlike [`SwlbError::Rejected`] this is not a capacity signal.
+    Unavailable(String),
 }
 
 impl fmt::Display for SwlbError {
@@ -130,6 +134,7 @@ impl fmt::Display for SwlbError {
             SwlbError::Rejected { capacity } => {
                 write!(f, "rejected: service at capacity ({capacity} live jobs)")
             }
+            SwlbError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
         }
     }
 }

@@ -56,14 +56,16 @@ fn usage() -> ExitCode {
         "usage: swlb <cavity|channel|cylinder|taylor-green> [config-file] \
          [--metrics <path>] [--metrics-every <steps>] [--quiet]\n\
          \x20      swlb serve  [--addr HOST:PORT] [--dir PATH] [--capacity N] \
-         [--slice-steps N] [--threads N] [--metrics <path>]\n\
+         [--slice-steps N] [--threads N] [--metrics <path>] \
+         [--io-timeout-ms N] [--chaos-routes]\n\
          \x20      swlb submit [--addr HOST:PORT] [--name N] [--case C] [--lattice L] \
          [--nx N] [--ny N] [--nz N] [--tau T] [--u U] [--steps N] \
          [--priority P] [--output vtk|ppm] [--deadline-ms N] [--chaos-at STEP]\n\
          \x20      swlb status [--addr HOST:PORT] [job-id]\n\
          \x20      swlb watch  [--addr HOST:PORT] <job-id> [--from N]\n\
          \x20      swlb cancel [--addr HOST:PORT] <job-id>\n\
-         \x20      swlb drain  [--addr HOST:PORT]"
+         \x20      swlb drain  [--addr HOST:PORT]\n\
+         \x20      swlb stats  [--addr HOST:PORT]"
     );
     eprintln!("config keys: name nx ny nz tau u_lattice steps output_every ranks");
     ExitCode::FAILURE
@@ -97,6 +99,7 @@ fn main() -> ExitCode {
         Some("watch") => return cmd_watch(&args[1..]),
         Some("cancel") => return cmd_cancel(&args[1..]),
         Some("drain") => return cmd_drain(&args[1..]),
+        Some("stats") => return cmd_stats(&args[1..]),
         _ => {}
     }
     batch_main(&args)
@@ -160,6 +163,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         if let Some(v) = flag_value(args, "--threads")? {
             cfg.threads = v.parse().map_err(|_| "--threads needs an integer")?;
         }
+        if let Some(v) = flag_value(args, "--io-timeout-ms")? {
+            let ms: u64 = v.parse().map_err(|_| "--io-timeout-ms needs an integer")?;
+            cfg.io_timeout = if ms == 0 {
+                None
+            } else {
+                Some(std::time::Duration::from_millis(ms))
+            };
+        }
+        cfg.chaos_routes = args.iter().any(|a| a == "--chaos-routes");
         if let Some(path) = flag_value(args, "--metrics")? {
             let rec = Recorder::enabled();
             let sink = JsonlSink::create(&path).map_err(|e| format!("{path}: {e}"))?;
@@ -338,6 +350,20 @@ fn cmd_drain(args: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
     match ServeClient::new(addr).drain() {
+        Ok(v) => {
+            println!("{}", v.to_text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let addr = match addr_of(args) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    match ServeClient::new(addr).stats() {
         Ok(v) => {
             println!("{}", v.to_text());
             ExitCode::SUCCESS

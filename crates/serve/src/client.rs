@@ -149,5 +149,10 @@ fn error_of(status: u16, v: &Json) -> SwlbError {
         .get("error")
         .and_then(Json::as_str)
         .unwrap_or("unknown error");
-    SwlbError::Io(format!("HTTP {status}: {msg}"))
+    if status == 503 {
+        // The service is degraded (journal cannot persist); retry later.
+        SwlbError::Unavailable(msg.to_string())
+    } else {
+        SwlbError::Io(format!("HTTP {status}: {msg}"))
+    }
 }

@@ -1,0 +1,618 @@
+//! Typed job-lifecycle records over the [`swlb_io::journal`] write-ahead log,
+//! the replay fold that rebuilds the job table after a crash, and the
+//! degradation-aware writer the server threads share.
+//!
+//! Record schema (one JSON object per journal line):
+//!
+//! ```text
+//! {"rec":"admitted","id":N,"seq":N,"spec":{...}}   durable before 202
+//! {"rec":"started","id":N}
+//! {"rec":"checkpointed","id":N,"step":N}
+//! {"rec":"preempted","id":N,"step":N}
+//! {"rec":"drained","id":N,"step":N}                resumable across restarts
+//! {"rec":"completed","id":N}                       durable, terminal
+//! {"rec":"cancelled","id":N}                       durable, terminal
+//! {"rec":"faulted","id":N,"error":"..."}           durable, terminal
+//! ```
+//!
+//! Replay folds the record stream per job id: a job whose last word is
+//! terminal is restored terminal (reported once, never re-run); a job that
+//! was admitted but not terminal is re-admitted with its original id, spec
+//! and arrival order, and — if it ever ran — rebinds to its latest valid
+//! checkpoint on its first slice (corrupt generations are skipped by
+//! [`CheckpointStore::load_latest_valid`](swlb_io::CheckpointStore)).
+//!
+//! [`JournalHandle`] wraps the on-disk journal for the server: when the disk
+//! is full or slow it buffers records in memory (bounded), flips to degraded
+//! — admission then returns 503 — and drains the buffer once writes succeed
+//! again. A lifecycle record is never silently dropped until the bound is
+//! hit, and drops are counted.
+
+use crate::json::Json;
+use crate::spec::JobSpec;
+use std::collections::VecDeque;
+use swlb_io::journal::{Journal, ReplayReport};
+use swlb_obs::Recorder;
+
+/// One journaled lifecycle transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// Job accepted into the table. Written durably *before* the 202 reply.
+    Admitted {
+        /// Service-assigned id.
+        id: u64,
+        /// Arrival order (FIFO tie-break in the scheduler).
+        seq: u64,
+        /// The full submission, so replay can rebuild the solver.
+        spec: JobSpec,
+    },
+    /// First slice granted.
+    Started {
+        /// Job id.
+        id: u64,
+    },
+    /// A checkpoint for `step` is on disk (rollback/restart target).
+    Checkpointed {
+        /// Job id.
+        id: u64,
+        /// Completed steps captured by the checkpoint.
+        step: u64,
+    },
+    /// Sliced off the pool (checkpoint written first).
+    Preempted {
+        /// Job id.
+        id: u64,
+        /// Completed steps at preemption.
+        step: u64,
+    },
+    /// Graceful drain parked the job, resumable after restart.
+    Drained {
+        /// Job id.
+        id: u64,
+        /// Completed steps at drain.
+        step: u64,
+    },
+    /// Terminal: all steps done, outputs written.
+    Completed {
+        /// Job id.
+        id: u64,
+    },
+    /// Terminal: cancelled by the client.
+    Cancelled {
+        /// Job id.
+        id: u64,
+    },
+    /// Terminal: restart budget exhausted or unrecoverable build failure.
+    Faulted {
+        /// Job id.
+        id: u64,
+        /// The final error message.
+        error: String,
+    },
+}
+
+impl JobEvent {
+    /// Terminal records (and admissions) are fsynced before acknowledgement.
+    pub fn is_durable(&self) -> bool {
+        matches!(
+            self,
+            JobEvent::Admitted { .. }
+                | JobEvent::Completed { .. }
+                | JobEvent::Cancelled { .. }
+                | JobEvent::Faulted { .. }
+                | JobEvent::Drained { .. }
+        )
+    }
+
+    /// Encode as one JSON line (the journal payload).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            JobEvent::Admitted { id, seq, spec } => Json::obj([
+                ("rec", Json::str("admitted")),
+                ("id", Json::num(*id as f64)),
+                ("seq", Json::num(*seq as f64)),
+                ("spec", spec.to_json()),
+            ]),
+            JobEvent::Started { id } => Json::obj([
+                ("rec", Json::str("started")),
+                ("id", Json::num(*id as f64)),
+            ]),
+            JobEvent::Checkpointed { id, step } => Json::obj([
+                ("rec", Json::str("checkpointed")),
+                ("id", Json::num(*id as f64)),
+                ("step", Json::num(*step as f64)),
+            ]),
+            JobEvent::Preempted { id, step } => Json::obj([
+                ("rec", Json::str("preempted")),
+                ("id", Json::num(*id as f64)),
+                ("step", Json::num(*step as f64)),
+            ]),
+            JobEvent::Drained { id, step } => Json::obj([
+                ("rec", Json::str("drained")),
+                ("id", Json::num(*id as f64)),
+                ("step", Json::num(*step as f64)),
+            ]),
+            JobEvent::Completed { id } => Json::obj([
+                ("rec", Json::str("completed")),
+                ("id", Json::num(*id as f64)),
+            ]),
+            JobEvent::Cancelled { id } => Json::obj([
+                ("rec", Json::str("cancelled")),
+                ("id", Json::num(*id as f64)),
+            ]),
+            JobEvent::Faulted { id, error } => Json::obj([
+                ("rec", Json::str("faulted")),
+                ("id", Json::num(*id as f64)),
+                ("error", Json::str(error.clone())),
+            ]),
+        };
+        v.to_text()
+    }
+
+    /// Decode one journal payload; `None` if unparseable or unknown (skipped
+    /// by replay, counted as corrupt at the record layer).
+    pub fn parse(line: &str) -> Option<JobEvent> {
+        let v = crate::json::parse(line).ok()?;
+        let id = v.get("id").and_then(Json::as_u64)?;
+        let step = || v.get("step").and_then(Json::as_u64);
+        match v.get("rec").and_then(Json::as_str)? {
+            "admitted" => Some(JobEvent::Admitted {
+                id,
+                seq: v.get("seq").and_then(Json::as_u64)?,
+                spec: JobSpec::from_json(v.get("spec")?).ok()?,
+            }),
+            "started" => Some(JobEvent::Started { id }),
+            "checkpointed" => Some(JobEvent::Checkpointed { id, step: step()? }),
+            "preempted" => Some(JobEvent::Preempted { id, step: step()? }),
+            "drained" => Some(JobEvent::Drained { id, step: step()? }),
+            "completed" => Some(JobEvent::Completed { id }),
+            "cancelled" => Some(JobEvent::Cancelled { id }),
+            "faulted" => Some(JobEvent::Faulted {
+                id,
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A job's folded fate after replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayOutcome {
+    /// Never ran (or no progress survived): re-queue from step 0.
+    Queued,
+    /// Ran before the crash: re-queue and rebind to the latest valid
+    /// checkpoint (`last_step` is the newest journaled checkpoint step — the
+    /// on-disk store is still consulted, and may fall back a generation).
+    Resumable {
+        /// Newest journaled checkpoint step.
+        last_step: u64,
+    },
+    /// Terminal before the crash — restored as-is, never re-run.
+    Completed,
+    /// Terminal: cancelled.
+    Cancelled,
+    /// Terminal: faulted with this error.
+    Faulted(String),
+}
+
+/// One job rebuilt from the journal.
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// Original service-assigned id.
+    pub id: u64,
+    /// Original arrival order.
+    pub seq: u64,
+    /// The original submission.
+    pub spec: JobSpec,
+    /// Folded fate.
+    pub outcome: ReplayOutcome,
+}
+
+/// Fold raw journal payloads into per-job outcomes, ordered by original
+/// arrival (`seq`). Returns the jobs plus the count of records that framed
+/// correctly but failed to parse as job events (schema damage).
+pub fn fold_records(records: &[String]) -> (Vec<ReplayedJob>, u64) {
+    let mut jobs: Vec<ReplayedJob> = Vec::new();
+    let mut unparseable = 0u64;
+    fn find(id: u64, jobs: &[ReplayedJob]) -> Option<usize> {
+        jobs.iter().position(|j| j.id == id)
+    }
+    for line in records {
+        let Some(ev) = JobEvent::parse(line) else {
+            unparseable += 1;
+            continue;
+        };
+        match ev {
+            JobEvent::Admitted { id, seq, spec } => {
+                // Duplicate admission records (e.g. post-compaction overlap)
+                // keep the first occurrence.
+                if find(id, &jobs).is_none() {
+                    jobs.push(ReplayedJob {
+                        id,
+                        seq,
+                        spec,
+                        outcome: ReplayOutcome::Queued,
+                    });
+                }
+            }
+            JobEvent::Started { id } => {
+                // Started but no checkpoint yet: restart from 0 — still
+                // Queued, build_or_resume finds no checkpoint and rebuilds.
+                let _ = id;
+            }
+            JobEvent::Checkpointed { id, step }
+            | JobEvent::Preempted { id, step }
+            | JobEvent::Drained { id, step } => {
+                if let Some(i) = find(id, &jobs) {
+                    // Terminal outcomes are never demoted back to resumable.
+                    if matches!(
+                        jobs[i].outcome,
+                        ReplayOutcome::Queued | ReplayOutcome::Resumable { .. }
+                    ) {
+                        jobs[i].outcome = ReplayOutcome::Resumable { last_step: step };
+                    }
+                }
+            }
+            JobEvent::Completed { id } => {
+                if let Some(i) = find(id, &jobs) {
+                    jobs[i].outcome = ReplayOutcome::Completed;
+                }
+            }
+            JobEvent::Cancelled { id } => {
+                if let Some(i) = find(id, &jobs) {
+                    jobs[i].outcome = ReplayOutcome::Cancelled;
+                }
+            }
+            JobEvent::Faulted { id, error } => {
+                if let Some(i) = find(id, &jobs) {
+                    jobs[i].outcome = ReplayOutcome::Faulted(error);
+                }
+            }
+        }
+    }
+    jobs.sort_by_key(|j| j.seq);
+    (jobs, unparseable)
+}
+
+/// Re-encode a replayed job as its minimal compacted record set: the
+/// admission plus (if any) its latest materialized state.
+pub fn compacted_records(job: &ReplayedJob) -> Vec<String> {
+    let admitted = JobEvent::Admitted {
+        id: job.id,
+        seq: job.seq,
+        spec: job.spec.clone(),
+    };
+    let mut out = vec![admitted.to_line()];
+    let state = match &job.outcome {
+        ReplayOutcome::Queued => None,
+        ReplayOutcome::Resumable { last_step } => Some(JobEvent::Checkpointed {
+            id: job.id,
+            step: *last_step,
+        }),
+        ReplayOutcome::Completed => Some(JobEvent::Completed { id: job.id }),
+        ReplayOutcome::Cancelled => Some(JobEvent::Cancelled { id: job.id }),
+        ReplayOutcome::Faulted(e) => Some(JobEvent::Faulted {
+            id: job.id,
+            error: e.clone(),
+        }),
+    };
+    out.extend(state.map(|ev| ev.to_line()));
+    out
+}
+
+/// The journal writer the server threads share (behind the state mutex).
+///
+/// Failure domain: an I/O error on append or sync does not propagate — the
+/// record is kept in a bounded in-memory buffer, `degraded()` flips true
+/// (admission answers 503 until the disk recovers), and every subsequent
+/// append retries the buffered backlog first so the on-disk order matches
+/// the logical order.
+pub struct JournalHandle {
+    inner: Option<Journal>,
+    pending: VecDeque<(String, bool)>,
+    buffer_max: usize,
+    degraded: bool,
+    /// Chaos switch: force every disk write to fail (ENOSPC simulation).
+    fail_writes: bool,
+    recorder: Recorder,
+}
+
+impl std::fmt::Debug for JournalHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalHandle")
+            .field("enabled", &self.inner.is_some())
+            .field("pending", &self.pending.len())
+            .field("degraded", &self.degraded)
+            .finish()
+    }
+}
+
+impl JournalHandle {
+    /// A no-op handle (unit tests, ephemeral servers).
+    pub fn disabled() -> Self {
+        JournalHandle {
+            inner: None,
+            pending: VecDeque::new(),
+            buffer_max: 0,
+            degraded: false,
+            fail_writes: false,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Wrap an open journal. `buffer_max` bounds the in-memory backlog held
+    /// across disk outages; `recorder` receives the `journal.*` counters.
+    pub fn new(journal: Journal, buffer_max: usize, recorder: Recorder) -> Self {
+        JournalHandle {
+            inner: Some(journal.with_recorder(recorder.clone())),
+            pending: VecDeque::new(),
+            buffer_max: buffer_max.max(1),
+            degraded: false,
+            fail_writes: false,
+            recorder,
+        }
+    }
+
+    /// Whether records currently reach stable storage. Admission refuses
+    /// (503) while degraded: the service will not accept work it cannot make
+    /// crash-safe.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Records waiting in memory for the disk to recover.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Chaos hook: make every disk write fail (on) / recover (off), then
+    /// immediately re-attempt the backlog on recovery.
+    pub fn set_fail_writes(&mut self, fail: bool) {
+        self.fail_writes = fail;
+        if !fail {
+            self.drain();
+        }
+    }
+
+    /// Append a lifecycle record. Never panics and never blocks admission
+    /// correctness: on disk failure the record is buffered and the handle
+    /// degrades. Returns whether the record (and the whole backlog) reached
+    /// the disk.
+    pub fn append(&mut self, ev: &JobEvent) -> bool {
+        if self.inner.is_none() {
+            return true;
+        }
+        self.pending.push_back((ev.to_line(), ev.is_durable()));
+        while self.pending.len() > self.buffer_max {
+            self.pending.pop_front();
+            self.recorder.counter("journal.dropped").inc();
+        }
+        self.drain();
+        !self.degraded
+    }
+
+    /// Withdraw the most recently appended record if it has not reached the
+    /// disk. Admission uses this when it answers the failure with a refusal
+    /// (503): the client never got an acknowledgement, so the record must
+    /// not survive in the retry buffer and replay as a ghost job.
+    pub fn retract_last(&mut self) {
+        self.pending.pop_back();
+    }
+
+    /// Try to push the backlog to disk, preserving order.
+    fn drain(&mut self) {
+        let Some(journal) = self.inner.as_mut() else {
+            return;
+        };
+        while let Some((line, durable)) = self.pending.front() {
+            let failed = self.fail_writes
+                || journal.append(line, *durable).is_err();
+            if failed {
+                if !self.degraded {
+                    self.degraded = true;
+                    self.recorder.counter("journal.degraded").inc();
+                }
+                self.recorder.counter("journal.buffered").inc();
+                return;
+            }
+            self.pending.pop_front();
+        }
+        self.degraded = false;
+    }
+
+    /// Flush batched appends (shutdown path). Best-effort while degraded.
+    pub fn sync(&mut self) {
+        self.drain();
+        if let Some(j) = self.inner.as_mut() {
+            if !self.fail_writes {
+                let _ = j.sync();
+            }
+        }
+    }
+
+    /// Atomically rewrite the journal to `records` (startup compaction).
+    pub fn compact(&mut self, records: &[String]) {
+        if let Some(j) = self.inner.as_mut() {
+            if j.compact(records).is_err() {
+                self.degraded = true;
+                self.recorder.counter("journal.degraded").inc();
+            }
+        }
+    }
+}
+
+/// Replay an on-disk journal directory into jobs ready for table restore.
+/// Damage is counted, never fatal: `report` carries the frame-level skips,
+/// the second return the schema-level ones.
+pub fn replay_dir(
+    dir: &std::path::Path,
+) -> std::io::Result<(Vec<ReplayedJob>, ReplayReport, u64)> {
+    let (records, report) = Journal::replay(dir)?;
+    let (jobs, unparseable) = fold_records(&records);
+    Ok((jobs, report, unparseable))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{OutputKind, Priority};
+    use swlb_sim::cases::{CaseKind, CaseSpec, LatticeKind};
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            case: CaseSpec {
+                case: CaseKind::Cavity,
+                lattice: LatticeKind::D2Q9,
+                nx: 8,
+                ny: 8,
+                nz: 1,
+                tau: 0.8,
+                u_lattice: 0.05,
+            },
+            steps: 100,
+            priority: Priority::Batch,
+            deadline_ms: None,
+            outputs: vec![OutputKind::Ppm],
+            chaos_nan_at_step: None,
+        }
+    }
+
+    #[test]
+    fn event_lines_roundtrip() {
+        let events = [
+            JobEvent::Admitted {
+                id: 3,
+                seq: 2,
+                spec: spec("a"),
+            },
+            JobEvent::Started { id: 3 },
+            JobEvent::Checkpointed { id: 3, step: 64 },
+            JobEvent::Preempted { id: 3, step: 64 },
+            JobEvent::Drained { id: 3, step: 96 },
+            JobEvent::Completed { id: 3 },
+            JobEvent::Cancelled { id: 3 },
+            JobEvent::Faulted {
+                id: 3,
+                error: "restart budget exhausted".into(),
+            },
+        ];
+        for ev in events {
+            let line = ev.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(JobEvent::parse(&line), Some(ev));
+        }
+        assert_eq!(JobEvent::parse("{\"rec\":\"warp\",\"id\":1}"), None);
+        assert_eq!(JobEvent::parse("not json"), None);
+    }
+
+    #[test]
+    fn fold_reconstructs_outcomes_in_arrival_order() {
+        let lines = vec![
+            JobEvent::Admitted { id: 1, seq: 0, spec: spec("first") }.to_line(),
+            JobEvent::Admitted { id: 2, seq: 1, spec: spec("second") }.to_line(),
+            JobEvent::Admitted { id: 3, seq: 2, spec: spec("third") }.to_line(),
+            JobEvent::Started { id: 1 }.to_line(),
+            JobEvent::Checkpointed { id: 1, step: 32 }.to_line(),
+            JobEvent::Started { id: 2 }.to_line(),
+            JobEvent::Completed { id: 2 }.to_line(),
+            "garbage that frames fine but is not an event".to_string(),
+        ];
+        let (jobs, unparseable) = fold_records(&lines);
+        assert_eq!(unparseable, 1);
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].id, 1);
+        assert_eq!(jobs[0].outcome, ReplayOutcome::Resumable { last_step: 32 });
+        assert_eq!(jobs[1].outcome, ReplayOutcome::Completed);
+        assert_eq!(jobs[2].outcome, ReplayOutcome::Queued);
+        assert_eq!(jobs[2].spec.name, "third");
+    }
+
+    #[test]
+    fn terminal_outcomes_survive_late_progress_records() {
+        // A checkpointed record *after* completion (out-of-order tail from a
+        // duplicated segment) must not resurrect the job.
+        let lines = vec![
+            JobEvent::Admitted { id: 1, seq: 0, spec: spec("done") }.to_line(),
+            JobEvent::Completed { id: 1 }.to_line(),
+            JobEvent::Checkpointed { id: 1, step: 10 }.to_line(),
+        ];
+        let (jobs, _) = fold_records(&lines);
+        assert_eq!(jobs[0].outcome, ReplayOutcome::Completed);
+    }
+
+    #[test]
+    fn compacted_records_cover_every_outcome() {
+        let mk = |outcome| ReplayedJob {
+            id: 7,
+            seq: 4,
+            spec: spec("j"),
+            outcome,
+        };
+        for (outcome, want_lines) in [
+            (ReplayOutcome::Queued, 1),
+            (ReplayOutcome::Resumable { last_step: 9 }, 2),
+            (ReplayOutcome::Completed, 2),
+            (ReplayOutcome::Cancelled, 2),
+            (ReplayOutcome::Faulted("boom".into()), 2),
+        ] {
+            let job = mk(outcome.clone());
+            let recs = compacted_records(&job);
+            assert_eq!(recs.len(), want_lines, "{outcome:?}");
+            let (folded, 0) = fold_records(&recs) else {
+                panic!("compacted records must all parse")
+            };
+            assert_eq!(folded.len(), 1);
+            assert_eq!(folded[0].outcome, outcome);
+        }
+    }
+
+    #[test]
+    fn handle_buffers_and_degrades_on_disk_failure() {
+        let dir = std::env::temp_dir().join(format!(
+            "swlb-handle-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal =
+            Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
+        let mut h = JournalHandle::new(journal, 4, Recorder::disabled());
+        assert!(h.append(&JobEvent::Started { id: 1 }));
+        assert!(!h.degraded());
+
+        h.set_fail_writes(true);
+        assert!(!h.append(&JobEvent::Checkpointed { id: 1, step: 8 }));
+        assert!(h.degraded());
+        assert_eq!(h.buffered(), 1);
+        // The bound holds: pushing past buffer_max drops the oldest.
+        for step in 9..20 {
+            h.append(&JobEvent::Checkpointed { id: 1, step });
+        }
+        assert_eq!(h.buffered(), 4);
+
+        // Disk recovers: backlog drains, degradation clears, records land.
+        h.set_fail_writes(false);
+        assert!(!h.degraded());
+        assert_eq!(h.buffered(), 0);
+        h.sync();
+        let (records, report) = Journal::replay(&dir).unwrap();
+        assert_eq!(report.skipped(), 0);
+        // 1 started + the 4 newest checkpointed records that fit the buffer.
+        assert_eq!(records.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_handle_is_a_cheap_noop() {
+        let mut h = JournalHandle::disabled();
+        assert!(h.append(&JobEvent::Started { id: 1 }));
+        assert!(!h.degraded());
+        h.sync();
+        h.compact(&[]);
+    }
+}

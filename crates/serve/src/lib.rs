@@ -24,6 +24,16 @@
 //!   fails alone; the service keeps running.
 //! * **Graceful drain** — `POST /v1/drain` checkpoints every live job and
 //!   refuses new work, leaving the state directory resumable.
+//! * **Crash safety** — every job lifecycle transition is journaled
+//!   write-ahead ([`journal`], backed by
+//!   [`swlb_io::journal`]); on startup the journal is replayed, so a
+//!   `kill -9` loses no acknowledged job: queued jobs keep their ids and
+//!   arrival order, running jobs rebind to their latest valid checkpoint,
+//!   terminal jobs are reported exactly once. When the journal disk fails,
+//!   admission degrades to 503 ([`SwlbError::Unavailable`]) instead of
+//!   accepting work the service could lose.
+//!
+//! [`SwlbError::Unavailable`]: swlb_obs::SwlbError::Unavailable
 //! * **Per-job observability** — each job gets its own
 //!   [`Recorder`](swlb_obs::Recorder) with a JSONL sink
 //!   (`jobs/job-<id>/metrics.jsonl`), plus server-level queue-depth,
@@ -61,6 +71,7 @@
 
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod json;
 pub mod scheduler;
 pub mod server;
@@ -68,6 +79,7 @@ pub mod spec;
 pub mod state;
 
 pub use client::ServeClient;
+pub use journal::{JobEvent, JournalHandle, ReplayOutcome, ReplayedJob};
 pub use json::Json;
 pub use server::{ServeConfig, Server};
 pub use spec::{JobSpec, JobState, OutputKind, Priority};

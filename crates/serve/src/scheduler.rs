@@ -11,6 +11,7 @@
 //! under the [`RecoveryPolicy`] restart budget — a faulted job fails alone;
 //! the server keeps serving.
 
+use crate::journal::JobEvent;
 use crate::json::Json;
 use crate::spec::{JobState, OutputKind};
 use crate::state::Shared;
@@ -78,7 +79,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
     loop {
         // ---- pick phase (under the lock) ------------------------------
         let picked = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.lock_state();
             loop {
                 if st.stopping {
                     if let Some(r) = cur.take() {
@@ -86,30 +87,33 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                         // the in-flight job before dropping it.
                         let _ = checkpoint(&cfg, &r);
                     }
+                    st.journal.sync();
                     return;
                 }
                 if st.draining {
                     drain_all(&shared, &mut st, &cfg, &mut cur);
                     // Everything is checkpointed; sleep until `stopping`.
-                    st = shared.sched_wake.wait(st).unwrap();
+                    st = shared.wait_sched(st);
                     continue;
                 }
                 obs_depth.set(st.queue_depth() as f64);
                 // Prefer the job whose solver we already hold when shares tie.
                 let next = match (st.pick_ready(), &cur) {
-                    (Some(i), Some(r)) => {
-                        let rid = r.id;
-                        if st.jobs[i].vruntime < st.jobs[rid as usize - 1].vruntime
-                            || !st.jobs[rid as usize - 1].state.is_live()
-                        {
-                            Some(i)
-                        } else if st.jobs[rid as usize - 1].state == JobState::Preempted {
-                            // Our cached job is still the best choice.
-                            Some(rid as usize - 1)
-                        } else {
-                            Some(i)
+                    (Some(i), Some(r)) => match st.idx_of(r.id) {
+                        Some(ridx) => {
+                            if st.jobs[i].vruntime < st.jobs[ridx].vruntime
+                                || !st.jobs[ridx].state.is_live()
+                            {
+                                Some(i)
+                            } else if st.jobs[ridx].state == JobState::Preempted {
+                                // Our cached job is still the best choice.
+                                Some(ridx)
+                            } else {
+                                Some(i)
+                            }
                         }
-                    }
+                        None => Some(i),
+                    },
                     (found, _) => found,
                 };
                 if let Some(i) = next {
@@ -122,6 +126,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                         job.first_run_slice = Some(slice_no);
                         let wait = job.wait_slices().unwrap_or(0);
                         obs_wait.record(wait as f64);
+                        st.journal.append(&JobEvent::Started { id });
                         shared.push_event(
                             &mut st,
                             id,
@@ -131,7 +136,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                     }
                     break id;
                 }
-                st = shared.sched_wake.wait(st).unwrap();
+                st = shared.wait_sched(st);
             }
         };
 
@@ -145,11 +150,15 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
             match build_or_resume(&shared, &cfg, picked) {
                 Ok(r) => cur = Some(r),
                 Err(e) => {
-                    let mut st = shared.state.lock().unwrap();
+                    let mut st = shared.lock_state();
                     if let Some(job) = st.job_mut(picked) {
                         job.state = JobState::Failed;
                         job.error = Some(e.to_string());
                     }
+                    st.journal.append(&JobEvent::Faulted {
+                        id: picked,
+                        error: e.to_string(),
+                    });
                     shared.push_event(
                         &mut st,
                         picked,
@@ -167,7 +176,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
             let r = cur.as_mut().unwrap();
             loop {
                 let (steps_total, chaos_at, chaos_fired) = {
-                    let st = shared.state.lock().unwrap();
+                    let st = shared.lock_state();
                     let job = st.job(picked).unwrap();
                     (job.spec.steps, job.spec.chaos_nan_at_step, job.chaos_fired)
                 };
@@ -184,6 +193,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                 // at this boundary has to capture the still-healthy state, or
                 // every rollback would replay the fault.
                 let done = r.solver.step_count();
+                let mut ckpt_this_slice = None;
                 if slice_result.is_ok()
                     && (r.last_ckpt == u64::MAX
                         || done - r.last_ckpt >= cfg.policy.checkpoint_every)
@@ -191,6 +201,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                     && checkpoint(&cfg, r).is_ok()
                 {
                     r.last_ckpt = done;
+                    ckpt_this_slice = Some(done);
                 }
 
                 // Chaos injection fires after the slice that crosses its
@@ -204,7 +215,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                         if r.solver.step_count() >= at {
                             just_poisoned = true;
                             r.solver.poison_with_nan();
-                            let mut st = shared.state.lock().unwrap();
+                            let mut st = shared.lock_state();
                             if let Some(job) = st.job_mut(picked) {
                                 job.chaos_fired = true;
                             }
@@ -215,9 +226,12 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
 
                 // ---- boundary decision (under the lock) ---------------
                 let decision = {
-                    let mut st = shared.state.lock().unwrap();
+                    let mut st = shared.lock_state();
                     let kernel = r.solver.last_kernel_class().name();
-                    let idx = picked as usize - 1;
+                    let idx = st.idx_of(picked).expect("running job stays in the table");
+                    if let Some(step) = ckpt_this_slice {
+                        st.journal.append(&JobEvent::Checkpointed { id: picked, step });
+                    }
                     {
                         let job = &mut st.jobs[idx];
                         job.kernel = Some(kernel);
@@ -269,7 +283,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                     Boundary::Yield => break,
                     Boundary::Preempt => {
                         let ck = checkpoint(&cfg, r);
-                        let mut st = shared.state.lock().unwrap();
+                        let mut st = shared.lock_state();
                         match ck {
                             Ok(step) => {
                                 let job = st.job_mut(picked).unwrap();
@@ -277,6 +291,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                                 job.preemptions += 1;
                                 job.recorder.counter("job.preemptions").inc();
                                 obs_preempts.inc();
+                                st.journal.append(&JobEvent::Preempted { id: picked, step });
                                 shared.push_event(
                                     &mut st,
                                     picked,
@@ -306,7 +321,8 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                     }
                     Boundary::Complete => {
                         let outputs = write_outputs(&shared, &cfg, picked, &r.solver);
-                        let mut st = shared.state.lock().unwrap();
+                        let mut st = shared.lock_state();
+                        st.journal.append(&JobEvent::Completed { id: picked });
                         let job = st.job_mut(picked).unwrap();
                         job.state = JobState::Completed;
                         job.recorder.flush(job.steps_done);
@@ -325,7 +341,8 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                         break;
                     }
                     Boundary::Cancel => {
-                        let mut st = shared.state.lock().unwrap();
+                        let mut st = shared.lock_state();
+                        st.journal.append(&JobEvent::Cancelled { id: picked });
                         let job = st.job_mut(picked).unwrap();
                         job.state = JobState::Cancelled;
                         job.recorder.flush(job.steps_done);
@@ -347,7 +364,7 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                         match build_or_resume(&shared, &cfg, picked) {
                             Ok(fresh) => {
                                 *r = fresh;
-                                let mut st = shared.state.lock().unwrap();
+                                let mut st = shared.lock_state();
                                 let job = st.job_mut(picked).unwrap();
                                 job.rollbacks += 1;
                                 job.steps_done = to_step;
@@ -367,7 +384,11 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                                 continue;
                             }
                             Err(e) => {
-                                let mut st = shared.state.lock().unwrap();
+                                let mut st = shared.lock_state();
+                                st.journal.append(&JobEvent::Faulted {
+                                    id: picked,
+                                    error: e.to_string(),
+                                });
                                 let job = st.job_mut(picked).unwrap();
                                 job.state = JobState::Failed;
                                 job.error = Some(e.to_string());
@@ -384,7 +405,11 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                         }
                     }
                     Boundary::Fail(msg) => {
-                        let mut st = shared.state.lock().unwrap();
+                        let mut st = shared.lock_state();
+                        st.journal.append(&JobEvent::Faulted {
+                            id: picked,
+                            error: msg.clone(),
+                        });
                         let job = st.job_mut(picked).unwrap();
                         job.state = JobState::Failed;
                         job.error = Some(msg.clone());
@@ -425,7 +450,7 @@ fn build_or_resume(
     id: u64,
 ) -> Result<Running, SwlbError> {
     let (case, job_recorder, had_run) = {
-        let st = shared.state.lock().unwrap();
+        let st = shared.lock_state();
         let job = st.job(id).ok_or(SwlbError::NoValidCheckpoint)?;
         (job.spec.case.clone(), job.recorder.clone(), job.steps_done > 0)
     };
@@ -435,9 +460,12 @@ fn build_or_resume(
     if let Some((ck, _skipped)) = store.load_latest_valid()? {
         solver.restore(&ck)?;
         last_ckpt = ck.step;
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock_state();
         if let Some(job) = st.job_mut(id) {
             job.resumes += 1;
+            // After crash recovery the journaled step can be newer than the
+            // newest *valid* checkpoint; converge on what actually loaded.
+            job.steps_done = ck.step;
             job.recorder.counter("job.resumes").inc();
             let at = ck.step;
             shared.push_event(
@@ -450,7 +478,7 @@ fn build_or_resume(
     } else if had_run {
         // Progress was recorded but no checkpoint survived: restart from 0
         // (counts as a resume so the exactly-once accounting stays whole).
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock_state();
         if let Some(job) = st.job_mut(id) {
             job.resumes += 1;
             job.recorder.counter("job.resumes").inc();
@@ -485,6 +513,7 @@ fn drain_all(
             }
         }
         let step = saved.unwrap_or(0);
+        st.journal.append(&JobEvent::Drained { id, step });
         shared.push_event(
             st,
             id,
@@ -504,6 +533,7 @@ fn drain_all(
             job.recorder.flush(job.steps_done);
         }
         let step = st.job(id).map_or(0, |j| j.steps_done);
+        st.journal.append(&JobEvent::Drained { id, step });
         shared.push_event(
             st,
             id,
@@ -512,6 +542,7 @@ fn drain_all(
         );
     }
     st.drained = true;
+    st.journal.sync();
     shared.event_wake.notify_all();
 }
 
@@ -523,7 +554,7 @@ fn write_outputs(
     solver: &CaseSolver,
 ) -> std::io::Result<Vec<String>> {
     let outputs = {
-        let st = shared.state.lock().unwrap();
+        let st = shared.lock_state();
         st.job(id).map(|j| j.spec.outputs.clone()).unwrap_or_default()
     };
     if outputs.is_empty() {

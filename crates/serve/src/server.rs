@@ -1,20 +1,43 @@
 //! The resident service: TCP acceptor, HTTP routing, and lifecycle control.
 //!
 //! ```text
-//! POST /v1/jobs               submit a JobSpec          202 {"id":N} | 429
+//! POST /v1/jobs               submit a JobSpec          202 {"id":N} | 429 | 503
 //! GET  /v1/jobs               list all job statuses     200 [status...]
 //! GET  /v1/jobs/<id>          one job's status          200 | 404
 //! GET  /v1/jobs/<id>/events   NDJSON event stream       200 (?from=N)
 //! POST /v1/jobs/<id>/cancel   cancel at next boundary   200 | 404
 //! POST /v1/drain              checkpoint all, stop sched 200 {"drained":true}
 //! GET  /v1/stats              service counters          200
+//! POST /v1/chaos/panic        (chaos_routes) panic a handler under the lock
+//! POST /v1/chaos/journal-full (chaos_routes) ?mode=on|off: fail journal writes
 //! ```
 //!
 //! One request per connection; every framed body carries an `x-swlb-crc32`
 //! integrity header. Connections are handled on short-lived threads; the
 //! scheduler owns the compute pool.
+//!
+//! ## Crash safety
+//!
+//! Every job lifecycle transition is journaled write-ahead (see
+//! [`crate::journal`]); `Server::spawn` replays the journal from `base_dir`
+//! before accepting traffic, so a `kill -9` loses no acknowledged job:
+//! queued jobs come back with their original ids and arrival order, running
+//! jobs rebind to their latest valid checkpoint, terminal jobs stay terminal.
+//! After replay the journal is compacted to one admission plus one state
+//! record per job.
+//!
+//! ## Failure domains
+//!
+//! A connection handler panic poisons nothing permanently (poison-recovering
+//! locks, counted in `lock_recoveries`); a hung client hits per-connection
+//! read/write deadlines plus a watch-stream heartbeat, so drain cannot wait
+//! on a dead socket; a full or failing journal disk degrades admission to
+//! 503 ([`SwlbError::Unavailable`]) while already-admitted jobs keep
+//! running and their records buffer in memory (bounded) until the disk
+//! recovers.
 
 use crate::http::{self, Request};
+use crate::journal::{self, JournalHandle};
 use crate::json::Json;
 use crate::scheduler::{self, SchedConfig};
 use crate::spec::{JobSpec, JobState};
@@ -26,7 +49,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use swlb_core::parallel::ThreadPool;
-use swlb_io::CheckpointStore;
+use swlb_io::{CheckpointStore, Journal, JournalConfig};
 use swlb_obs::{JsonlSink, Recorder, SwlbError};
 use swlb_sim::RecoveryPolicy;
 
@@ -40,7 +63,8 @@ pub struct ServeConfig {
     pub slice_steps: u64,
     /// Worker threads in the shared compute pool.
     pub threads: usize,
-    /// Root of the service's on-disk state (`jobs/`, `checkpoints/`).
+    /// Root of the service's on-disk state (`jobs/`, `checkpoints/`,
+    /// `journal/`).
     pub base_dir: PathBuf,
     /// Rollback-retry supervision for faulted jobs.
     pub policy: RecoveryPolicy,
@@ -49,6 +73,14 @@ pub struct ServeConfig {
     /// Server-level recorder (queue depth, slice/wait histograms, admission
     /// counters). Per-job recorders are created internally.
     pub recorder: Recorder,
+    /// Per-connection read/write deadline; `None` disables socket timeouts.
+    pub io_timeout: Option<Duration>,
+    /// Lifecycle records buffered in memory while the journal disk is
+    /// unavailable; beyond this the oldest non-durable records are dropped
+    /// (counted in `journal.dropped`).
+    pub journal_buffer: usize,
+    /// Expose `POST /v1/chaos/*` fault-injection routes (tests only).
+    pub chaos_routes: bool,
 }
 
 impl ServeConfig {
@@ -63,8 +95,19 @@ impl ServeConfig {
             policy: RecoveryPolicy::default(),
             retain: 2,
             recorder: Recorder::disabled(),
+            io_timeout: Some(Duration::from_secs(10)),
+            journal_buffer: 1024,
+            chaos_routes: false,
         }
     }
+}
+
+/// Per-connection context shared by handler threads.
+struct ConnCtx {
+    jobs_dir: PathBuf,
+    recorder: Recorder,
+    slice_steps: u64,
+    chaos_routes: bool,
 }
 
 /// A running service instance.
@@ -79,7 +122,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind, spawn the scheduler and acceptor threads, and return the handle.
+    /// Replay the journal, bind, spawn the scheduler and acceptor threads,
+    /// and return the handle.
     pub fn spawn(cfg: ServeConfig) -> Result<Server, SwlbError> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -88,6 +132,58 @@ impl Server {
         let store = CheckpointStore::new(cfg.base_dir.join("checkpoints"), cfg.retain)?;
         let shared = Arc::new(Shared::new(cfg.capacity));
         let pool = ThreadPool::new(cfg.threads);
+
+        // ---- crash recovery: replay, restore, compact ------------------
+        let journal_dir = cfg.base_dir.join("journal");
+        let (replayed, report, unparseable) = journal::replay_dir(&journal_dir)?;
+        let corrupt = report.skipped() + unparseable;
+        if corrupt > 0 {
+            cfg.recorder.counter("journal.corrupt").add(corrupt);
+        }
+        let disk_journal = Journal::open(&journal_dir, JournalConfig::default())?
+            .with_recorder(cfg.recorder.clone());
+        let mut handle =
+            JournalHandle::new(disk_journal, cfg.journal_buffer, cfg.recorder.clone());
+        if !replayed.is_empty() {
+            // One admission + one state record per job; terminal history and
+            // superseded checkpoints are dropped atomically.
+            let compacted: Vec<String> = replayed
+                .iter()
+                .flat_map(journal::compacted_records)
+                .collect();
+            handle.compact(&compacted);
+            cfg.recorder
+                .counter("journal.replayed_jobs")
+                .add(replayed.len() as u64);
+        }
+        {
+            let mut st = shared.lock_state();
+            st.journal = handle;
+            for job in replayed {
+                let id = job.id;
+                let live = matches!(
+                    job.outcome,
+                    journal::ReplayOutcome::Queued
+                        | journal::ReplayOutcome::Resumable { .. }
+                );
+                // Live jobs get a fresh metrics stream; terminal jobs are
+                // history and never record again.
+                let recorder = if live {
+                    job_recorder(&jobs_dir, id, cfg.slice_steps)
+                } else {
+                    Recorder::disabled()
+                };
+                if st.restore(job, recorder) {
+                    let state_name = st.job(id).map(|j| j.state.name()).unwrap_or("?");
+                    shared.push_event(
+                        &mut st,
+                        id,
+                        "recovered",
+                        vec![("state", Json::str(state_name))],
+                    );
+                }
+            }
+        }
 
         let sched_cfg = SchedConfig {
             slice_steps: cfg.slice_steps,
@@ -103,26 +199,33 @@ impl Server {
 
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accepting = Arc::new(AtomicBool::new(true));
+        let ctx = Arc::new(ConnCtx {
+            jobs_dir: jobs_dir.clone(),
+            recorder: cfg.recorder.clone(),
+            slice_steps: cfg.slice_steps,
+            chaos_routes: cfg.chaos_routes,
+        });
+        let io_timeout = cfg.io_timeout;
         let acceptor = {
             let shared = shared.clone();
             let conns = conns.clone();
             let accepting = accepting.clone();
-            let jobs_dir = jobs_dir.clone();
-            let recorder = cfg.recorder.clone();
-            let slice_steps = cfg.slice_steps;
             std::thread::spawn(move || {
                 for conn in listener.incoming() {
                     if !accepting.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    // Deadlines bound how long a hung or dead client can pin
+                    // a handler thread (and thereby graceful drain).
+                    let _ = stream.set_read_timeout(io_timeout);
+                    let _ = stream.set_write_timeout(io_timeout);
                     let shared = shared.clone();
-                    let jobs_dir = jobs_dir.clone();
-                    let recorder = recorder.clone();
+                    let ctx = ctx.clone();
                     let handle = std::thread::spawn(move || {
-                        handle_connection(stream, &shared, &jobs_dir, &recorder, slice_steps);
+                        handle_connection(stream, &shared, &ctx);
                     });
-                    conns.lock().unwrap().push(handle);
+                    conns.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
                 }
             })
         };
@@ -148,19 +251,22 @@ impl Server {
         &self.jobs_dir
     }
 
+    /// Times the state mutex was recovered from poison (handler panics the
+    /// process absorbed).
+    pub fn lock_recoveries(&self) -> u64 {
+        self.shared.lock_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Graceful drain: refuse new work, checkpoint every live job, and block
     /// until the job table is fully terminal.
     pub fn drain(&self) {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.lock_state();
         st.draining = true;
         self.shared.sched_wake.notify_all();
         while !st.drained && !st.stopping {
-            let (guard, _) = self
+            st = self
                 .shared
-                .event_wake
-                .wait_timeout(st, Duration::from_millis(100))
-                .unwrap();
-            st = guard;
+                .wait_event_timeout(st, Duration::from_millis(100));
             self.shared.sched_wake.notify_all();
         }
     }
@@ -173,7 +279,7 @@ impl Server {
 
     fn stop_threads(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.lock_state();
             st.stopping = true;
         }
         self.shared.sched_wake.notify_all();
@@ -187,32 +293,50 @@ impl Server {
         if let Some(h) = self.scheduler.take() {
             let _ = h.join();
         }
-        let handles: Vec<_> = std::mem::take(&mut *self.conns.lock().unwrap());
+        let handles: Vec<_> = std::mem::take(
+            &mut *self.conns.lock().unwrap_or_else(|p| p.into_inner()),
+        );
         for h in handles {
             let _ = h.join();
         }
+        // Scheduler has exited; push any batched journal tail to disk.
+        self.shared.lock_state().journal.sync();
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        let stopping = self.shared.state.lock().unwrap().stopping;
+        let stopping = self.shared.lock_state().stopping;
         if !stopping {
             self.stop_threads();
         }
     }
 }
 
+/// Build a job's JSONL metrics recorder (admission and crash-recovery paths
+/// share this so the streams look identical).
+fn job_recorder(jobs_dir: &std::path::Path, id: u64, slice_steps: u64) -> Recorder {
+    let dir = jobs_dir.join(format!("job-{id}"));
+    match std::fs::create_dir_all(&dir)
+        .and_then(|()| JsonlSink::create(dir.join("metrics.jsonl")))
+    {
+        Ok(sink) => {
+            let r = Recorder::enabled();
+            r.add_sink(Box::new(sink));
+            r.set_flush_every(slice_steps);
+            r
+        }
+        Err(_) => Recorder::disabled(),
+    }
+}
+
 /// Slices a watcher waits between event polls.
 const WATCH_POLL: Duration = Duration::from_millis(50);
+/// Idle interval after which a watch stream emits an empty NDJSON line, so
+/// writes to a dead client fail fast instead of pinning the handler forever.
+const WATCH_HEARTBEAT: Duration = Duration::from_millis(500);
 
-fn handle_connection(
-    mut stream: TcpStream,
-    shared: &Shared,
-    jobs_dir: &std::path::Path,
-    recorder: &Recorder,
-    slice_steps: u64,
-) {
+fn handle_connection(mut stream: TcpStream, shared: &Shared, ctx: &ConnCtx) {
     let req = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(e) => {
@@ -224,7 +348,7 @@ fn handle_connection(
     let path = req.path().to_string();
     let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let out = match (req.method.as_str(), segs.as_slice()) {
-        ("POST", ["v1", "jobs"]) => submit(shared, &req, jobs_dir, recorder, slice_steps),
+        ("POST", ["v1", "jobs"]) => submit(shared, &req, ctx),
         ("GET", ["v1", "jobs"]) => list(shared),
         ("GET", ["v1", "jobs", id]) => status(shared, id),
         ("GET", ["v1", "jobs", id, "events"]) => {
@@ -234,7 +358,31 @@ fn handle_connection(
         }
         ("POST", ["v1", "jobs", id, "cancel"]) => cancel(shared, id),
         ("POST", ["v1", "drain"]) => drain(shared),
-        ("GET", ["v1", "stats"]) => stats(shared),
+        ("GET", ["v1", "stats"]) => stats(shared, ctx),
+        ("POST", ["v1", "chaos", "panic"]) if ctx.chaos_routes => {
+            // Answer first — the panic below kills this handler thread while
+            // it holds the state lock, exercising poison recovery for real.
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "application/json",
+                b"{\"panicking\":true}",
+            );
+            let _guard = shared.lock_state();
+            panic!("injected chaos panic while holding the state lock");
+        }
+        ("POST", ["v1", "chaos", "journal-full"]) if ctx.chaos_routes => {
+            let on = req.query("mode").map(|m| m != "off").unwrap_or(true);
+            let mut st = shared.lock_state();
+            st.journal.set_fail_writes(on);
+            (
+                200,
+                Json::obj([
+                    ("journal_fail_writes", Json::Bool(on)),
+                    ("degraded", Json::Bool(st.journal.degraded())),
+                ]),
+            )
+        }
         ("GET" | "POST", _) => (404, Json::obj([("error", Json::str("no such route"))])),
         _ => (405, Json::obj([("error", Json::str("method not allowed"))])),
     };
@@ -251,13 +399,7 @@ fn error_json(e: &SwlbError) -> String {
     Json::obj([("error", Json::str(e.to_string()))]).to_text()
 }
 
-fn submit(
-    shared: &Shared,
-    req: &Request,
-    jobs_dir: &std::path::Path,
-    server_recorder: &Recorder,
-    slice_steps: u64,
-) -> (u16, Json) {
+fn submit(shared: &Shared, req: &Request, ctx: &ConnCtx) -> (u16, Json) {
     let spec = match std::str::from_utf8(&req.body)
         .map_err(|_| SwlbError::CorruptData("body is not UTF-8".into()))
         .and_then(crate::json::parse)
@@ -266,33 +408,22 @@ fn submit(
         Ok(s) => s,
         Err(e) => return (400, Json::obj([("error", Json::str(e.to_string()))])),
     };
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.lock_state();
     match st.admit(spec, Recorder::disabled()) {
         Ok(id) => {
             // Attach the job's JSONL recorder now that the id is known. The
             // recorder lives in the JobRecord so preempt/resume cycles keep
             // appending to one metrics stream instead of truncating it.
-            let dir = jobs_dir.join(format!("job-{id}"));
-            let recorder = match std::fs::create_dir_all(&dir)
-                .and_then(|()| JsonlSink::create(dir.join("metrics.jsonl")))
-            {
-                Ok(sink) => {
-                    let r = Recorder::enabled();
-                    r.add_sink(Box::new(sink));
-                    r.set_flush_every(slice_steps);
-                    r
-                }
-                Err(_) => Recorder::disabled(),
-            };
+            let recorder = job_recorder(&ctx.jobs_dir, id, ctx.slice_steps);
             let job = st.job_mut(id).unwrap();
             job.recorder = recorder;
-            server_recorder.counter("serve.submitted").inc();
+            ctx.recorder.counter("serve.submitted").inc();
             shared.push_event(&mut st, id, "queued", vec![]);
             shared.sched_wake.notify_all();
             (202, Json::obj([("id", Json::num(id as f64))]))
         }
         Err(SwlbError::Rejected { capacity }) => {
-            server_recorder.counter("serve.rejected").inc();
+            ctx.recorder.counter("serve.rejected").inc();
             let e = SwlbError::Rejected { capacity };
             (
                 429,
@@ -302,12 +433,18 @@ fn submit(
                 ]),
             )
         }
+        Err(e @ SwlbError::Unavailable(_)) => {
+            // Journal cannot persist the admission: refusing is the safe
+            // degraded mode — never acknowledge work we could lose.
+            ctx.recorder.counter("serve.unavailable").inc();
+            (503, Json::obj([("error", Json::str(e.to_string()))]))
+        }
         Err(e) => (500, Json::obj([("error", Json::str(e.to_string()))])),
     }
 }
 
 fn list(shared: &Shared) -> (u16, Json) {
-    let st = shared.state.lock().unwrap();
+    let st = shared.lock_state();
     (
         200,
         Json::Arr(st.jobs.iter().map(|j| j.status_json()).collect()),
@@ -322,7 +459,7 @@ fn status(shared: &Shared, id_seg: &str) -> (u16, Json) {
     let Some(id) = parse_id(id_seg) else {
         return (400, Json::obj([("error", Json::str("bad job id"))]));
     };
-    let st = shared.state.lock().unwrap();
+    let st = shared.lock_state();
     match st.job(id) {
         Some(j) => (200, j.status_json()),
         None => (404, Json::obj([("error", Json::str("no such job"))])),
@@ -333,7 +470,7 @@ fn cancel(shared: &Shared, id_seg: &str) -> (u16, Json) {
     let Some(id) = parse_id(id_seg) else {
         return (400, Json::obj([("error", Json::str("bad job id"))]));
     };
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.lock_state();
     let Some(job) = st.job_mut(id) else {
         return (404, Json::obj([("error", Json::str("no such job"))]));
     };
@@ -342,6 +479,8 @@ fn cancel(shared: &Shared, id_seg: &str) -> (u16, Json) {
         JobState::Queued | JobState::Preempted => {
             job.state = JobState::Cancelled;
             job.recorder.flush(job.steps_done);
+            st.journal
+                .append(&crate::journal::JobEvent::Cancelled { id });
             shared.push_event(&mut st, id, "cancelled", vec![]);
             shared.event_wake.notify_all();
         }
@@ -358,15 +497,11 @@ fn cancel(shared: &Shared, id_seg: &str) -> (u16, Json) {
 }
 
 fn drain(shared: &Shared) -> (u16, Json) {
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.lock_state();
     st.draining = true;
     shared.sched_wake.notify_all();
     while !st.drained && !st.stopping {
-        let (guard, _) = shared
-            .event_wake
-            .wait_timeout(st, Duration::from_millis(100))
-            .unwrap();
-        st = guard;
+        st = shared.wait_event_timeout(st, Duration::from_millis(100));
         shared.sched_wake.notify_all();
     }
     (
@@ -378,8 +513,18 @@ fn drain(shared: &Shared) -> (u16, Json) {
     )
 }
 
-fn stats(shared: &Shared) -> (u16, Json) {
-    let st = shared.state.lock().unwrap();
+fn stats(shared: &Shared, ctx: &ConnCtx) -> (u16, Json) {
+    let st = shared.lock_state();
+    // Journal durability cost, amortized per admitted job (fsync batching
+    // plus the always-durable admission/terminal records).
+    let fsync_ns = ctx.recorder.counter("journal.fsync_ns").get();
+    let fsyncs = ctx.recorder.counter("journal.fsyncs").get();
+    let submitted = ctx.recorder.counter("serve.submitted").get();
+    let fsync_us_per_job = if submitted > 0 {
+        fsync_ns as f64 / 1e3 / submitted as f64
+    } else {
+        0.0
+    };
     (
         200,
         Json::obj([
@@ -391,12 +536,26 @@ fn stats(shared: &Shared) -> (u16, Json) {
             ("slices", Json::num(st.slice_seq as f64)),
             ("draining", Json::Bool(st.draining)),
             ("drained", Json::Bool(st.drained)),
+            ("journal_degraded", Json::Bool(st.journal.degraded())),
+            ("journal_buffered", Json::num(st.journal.buffered() as f64)),
+            (
+                "journal_corrupt",
+                Json::num(ctx.recorder.counter("journal.corrupt").get() as f64),
+            ),
+            ("journal_fsyncs", Json::num(fsyncs as f64)),
+            ("journal_fsync_us_per_job", Json::num(fsync_us_per_job)),
+            (
+                "lock_recoveries",
+                Json::num(shared.lock_recoveries.load(Ordering::Relaxed) as f64),
+            ),
         ]),
     )
 }
 
 /// Stream a job's events as NDJSON from `?from=N` (default 0) until the job
 /// reaches a terminal state (or the server stops / the client disconnects).
+/// Idle periods emit an empty-line heartbeat so a dead client is detected
+/// within the write deadline instead of pinning this thread until drain.
 fn watch(stream: &mut TcpStream, shared: &Shared, id_seg: &str, req: &Request) {
     let Some(id) = parse_id(id_seg) else {
         let _ = http::write_response(
@@ -412,7 +571,7 @@ fn watch(stream: &mut TcpStream, shared: &Shared, id_seg: &str, req: &Request) {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     {
-        let st = shared.state.lock().unwrap();
+        let st = shared.lock_state();
         if st.job(id).is_none() {
             let _ = http::write_response(
                 stream,
@@ -429,7 +588,8 @@ fn watch(stream: &mut TcpStream, shared: &Shared, id_seg: &str, req: &Request) {
     use std::io::Write;
     loop {
         let (lines, done) = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.lock_state();
+            let mut idle = Duration::from_millis(0);
             loop {
                 let job = match st.job(id) {
                     Some(j) => j,
@@ -440,11 +600,25 @@ fn watch(stream: &mut TcpStream, shared: &Shared, id_seg: &str, req: &Request) {
                 if !fresh.is_empty() || terminal || st.stopping {
                     break (fresh, terminal || st.stopping);
                 }
-                let (guard, _) = shared.event_wake.wait_timeout(st, WATCH_POLL).unwrap();
-                st = guard;
+                if idle >= WATCH_HEARTBEAT {
+                    break (Vec::new(), false);
+                }
+                st = shared.wait_event_timeout(st, WATCH_POLL);
+                idle += WATCH_POLL;
             }
         };
         from += lines.len();
+        if lines.is_empty() && !done {
+            // Heartbeat: an empty NDJSON line (clients skip blank lines).
+            if stream
+                .write_all(b"\n")
+                .and_then(|()| stream.flush())
+                .is_err()
+            {
+                return; // client went away
+            }
+            continue;
+        }
         for line in &lines {
             if stream
                 .write_all(line.as_bytes())

@@ -4,7 +4,10 @@
 //! Everything the acceptor threads and the scheduler thread agree on lives
 //! behind one mutex in [`Shared`]; two condvars fan out wake-ups — one for
 //! the scheduler (new work, cancels, drain), one for event watchers
-//! (progress lines to stream).
+//! (progress lines to stream). The durability journal also lives inside
+//! [`State`], so admitting a job and journaling the admission are one
+//! atomic step: there is no window where a client holds a 202 for a job the
+//! journal does not know about.
 //!
 //! Scheduling is CFS-flavoured fair share: each job carries a virtual
 //! runtime charged `slice_steps / weight` per slice, the ready job with the
@@ -12,16 +15,26 @@
 //! current virtual clock (the minimum vruntime over live jobs) — so a fresh
 //! interactive job outranks a long-running batch job at the very next slice
 //! boundary, bounding its queue wait to one slice.
+//!
+//! Locking is poison-recovering throughout: [`Shared::lock_state`] and the
+//! condvar wait helpers take the inner guard out of a poisoned mutex instead
+//! of propagating the panic, so one crashed connection handler degrades that
+//! connection only — the job table is made of plain values that are valid at
+//! every instruction boundary, never of half-applied multi-step invariants.
 
+use crate::journal::{JobEvent, JournalHandle, ReplayOutcome, ReplayedJob};
 use crate::json::Json;
 use crate::spec::{JobSpec, JobState};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 use swlb_obs::{Recorder, SwlbError};
 
 /// One job's full service-side record.
 #[derive(Debug)]
 pub struct JobRecord {
-    /// Service-assigned id (dense, starting at 1).
+    /// Service-assigned id (unique, increasing; gaps possible after crash
+    /// recovery drops a corrupt admission record).
     pub id: u64,
     /// The submission.
     pub spec: JobSpec,
@@ -59,6 +72,8 @@ pub struct JobRecord {
     pub recorder: Recorder,
     /// Serialized JSONL event lines, appended in order.
     pub events: Vec<String>,
+    /// Job was rebuilt from the journal after a restart.
+    pub recovered: bool,
 }
 
 impl JobRecord {
@@ -93,6 +108,7 @@ impl JobRecord {
             ("resumes", Json::num(self.resumes as f64)),
             ("rollbacks", Json::num(self.rollbacks as f64)),
             ("restarts", Json::num(self.restarts as f64)),
+            ("recovered", Json::Bool(self.recovered)),
             ("mlups", Json::num(mlups)),
             (
                 "kernel",
@@ -114,13 +130,42 @@ impl JobRecord {
     }
 }
 
+/// A blank record for `id`/`seq` in the given spec — shared by admission and
+/// journal-replay restore so the two paths cannot drift.
+fn blank_record(id: u64, seq: u64, spec: JobSpec, submit_slice: u64, recorder: Recorder) -> JobRecord {
+    JobRecord {
+        id,
+        spec,
+        state: JobState::Queued,
+        vruntime: 0.0,
+        seq,
+        submit_slice,
+        first_run_slice: None,
+        steps_done: 0,
+        restarts: 0,
+        preemptions: 0,
+        resumes: 0,
+        rollbacks: 0,
+        chaos_fired: false,
+        cancel_requested: false,
+        run_s: 0.0,
+        kernel: None,
+        error: None,
+        recorder,
+        events: Vec::new(),
+        recovered: false,
+    }
+}
+
 /// The mutex-guarded service state.
 #[derive(Debug)]
 pub struct State {
-    /// All jobs ever admitted, indexed by `id - 1`.
+    /// All jobs ever admitted, kept sorted by `id`.
     pub jobs: Vec<JobRecord>,
     /// Live-job bound for admission control.
     pub capacity: usize,
+    /// The id the next admission will receive.
+    pub next_id: u64,
     /// Monotone admission counter.
     pub next_seq: u64,
     /// Global slice counter (incremented when a slice starts).
@@ -133,6 +178,9 @@ pub struct State {
     pub stopping: bool,
     /// Submissions bounced by admission control.
     pub rejected: u64,
+    /// The write-ahead lifecycle journal. Living behind the same mutex as
+    /// the job table makes admit+journal one atomic step.
+    pub journal: JournalHandle,
 }
 
 impl State {
@@ -193,12 +241,19 @@ impl State {
         }
     }
 
-    /// Admit a job or bounce it with [`SwlbError::Rejected`].
+    /// Admit a job, journaling the admission durably *before* the record
+    /// enters the table; bounce with [`SwlbError::Rejected`] at capacity, or
+    /// [`SwlbError::Unavailable`] while the journal cannot persist records.
     pub fn admit(&mut self, spec: JobSpec, recorder: Recorder) -> Result<u64, SwlbError> {
         if self.draining || self.stopping {
             return Err(SwlbError::Rejected {
                 capacity: self.capacity,
             });
+        }
+        if self.journal.degraded() {
+            return Err(SwlbError::Unavailable(
+                "job journal cannot persist records; admission paused".into(),
+            ));
         }
         if self.live_count() >= self.capacity {
             self.rejected += 1;
@@ -206,42 +261,84 @@ impl State {
                 capacity: self.capacity,
             });
         }
-        let id = self.jobs.len() as u64 + 1;
-        let vruntime = self.vclock();
+        let id = self.next_id;
         let seq = self.next_seq;
-        self.next_seq += 1;
-        self.jobs.push(JobRecord {
+        // Write-ahead: the admission record must be durable before the job
+        // exists (and before the caller's 202). If the disk refuses, the job
+        // is never admitted — nothing to roll back.
+        let admitted = JobEvent::Admitted {
             id,
-            spec,
-            state: JobState::Queued,
-            vruntime,
             seq,
-            submit_slice: self.slice_seq,
-            first_run_slice: None,
-            steps_done: 0,
-            restarts: 0,
-            preemptions: 0,
-            resumes: 0,
-            rollbacks: 0,
-            chaos_fired: false,
-            cancel_requested: false,
-            run_s: 0.0,
-            kernel: None,
-            error: None,
-            recorder,
-            events: Vec::new(),
-        });
+            spec: spec.clone(),
+        };
+        if !self.journal.append(&admitted) {
+            // The client gets a refusal, so the unwritten record must not
+            // stay buffered: it would replay as a never-acknowledged job.
+            self.journal.retract_last();
+            return Err(SwlbError::Unavailable(
+                "job journal write failed; admission paused".into(),
+            ));
+        }
+        self.next_id += 1;
+        self.next_seq += 1;
+        let vruntime = self.vclock();
+        let mut rec = blank_record(id, seq, spec, self.slice_seq, recorder);
+        rec.vruntime = vruntime;
+        self.jobs.push(rec);
         Ok(id)
+    }
+
+    /// Restore one replayed job after a crash, preserving its original id
+    /// and arrival order. Returns `false` if the id already exists
+    /// (duplicate replay — ignored, exactly-once).
+    pub fn restore(&mut self, job: ReplayedJob, recorder: Recorder) -> bool {
+        let pos = match self.jobs.binary_search_by_key(&job.id, |j| j.id) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        self.next_id = self.next_id.max(job.id + 1);
+        self.next_seq = self.next_seq.max(job.seq + 1);
+        let steps_total = job.spec.steps;
+        let mut rec = blank_record(job.id, job.seq, job.spec, self.slice_seq, recorder);
+        rec.recovered = true;
+        match job.outcome {
+            ReplayOutcome::Queued => {}
+            ReplayOutcome::Resumable { last_step } => {
+                // Re-queued; the scheduler's build_or_resume rebinds to the
+                // latest *valid* on-disk checkpoint (which may be a
+                // generation older than this journaled step).
+                rec.steps_done = last_step;
+            }
+            ReplayOutcome::Completed => {
+                rec.state = JobState::Completed;
+                rec.steps_done = steps_total;
+            }
+            ReplayOutcome::Cancelled => rec.state = JobState::Cancelled,
+            ReplayOutcome::Faulted(e) => {
+                rec.state = JobState::Failed;
+                rec.error = Some(e);
+            }
+        }
+        self.jobs.insert(pos, rec);
+        true
+    }
+
+    /// Index of a job record by id (the table is sorted by id).
+    pub fn idx_of(&self, id: u64) -> Option<usize> {
+        self.jobs.binary_search_by_key(&id, |j| j.id).ok()
     }
 
     /// Job record by id.
     pub fn job(&self, id: u64) -> Option<&JobRecord> {
-        self.jobs.get(id.checked_sub(1)? as usize)
+        self.idx_of(id).map(|i| &self.jobs[i])
     }
 
     /// Mutable job record by id.
     pub fn job_mut(&mut self, id: u64) -> Option<&mut JobRecord> {
-        self.jobs.get_mut(id.checked_sub(1)? as usize)
+        match self.idx_of(id) {
+            Some(i) => self.jobs.get_mut(i),
+            None => None,
+        }
     }
 }
 
@@ -253,24 +350,68 @@ pub struct Shared {
     pub sched_wake: Condvar,
     /// Wakes event-stream watchers and drain waiters.
     pub event_wake: Condvar,
+    /// Times a poisoned state mutex was recovered (a handler panicked while
+    /// holding the lock and the next taker carried on). Surfaced in
+    /// `/v1/stats` so operators see panics that the process absorbed.
+    pub lock_recoveries: AtomicU64,
 }
 
 impl Shared {
-    /// Fresh state with the given admission capacity.
+    /// Fresh state with the given admission capacity (journal disabled until
+    /// the server installs one).
     pub fn new(capacity: usize) -> Self {
         Shared {
             state: Mutex::new(State {
                 jobs: Vec::new(),
                 capacity,
+                next_id: 1,
                 next_seq: 0,
                 slice_seq: 0,
                 draining: false,
                 drained: false,
                 stopping: false,
                 rejected: 0,
+                journal: JournalHandle::disabled(),
             }),
             sched_wake: Condvar::new(),
             event_wake: Condvar::new(),
+            lock_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the state, recovering from poison: a connection handler that
+    /// panicked while holding the lock must cost one connection, not the
+    /// process. Safe because `State` is plain data — every field is valid at
+    /// every instruction boundary; there are no multi-field invariants a
+    /// panic can leave half-applied mid-critical-section that later code
+    /// cannot tolerate.
+    pub fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Scheduler wait, poison-recovering like [`Shared::lock_state`].
+    pub fn wait_sched<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.sched_wake.wait(guard).unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Bounded event wait, poison-recovering like [`Shared::lock_state`].
+    pub fn wait_event_timeout<'a>(
+        &self,
+        guard: MutexGuard<'a, State>,
+        dur: Duration,
+    ) -> MutexGuard<'a, State> {
+        match self.event_wake.wait_timeout(guard, dur) {
+            Ok((g, _)) => g,
+            Err(poisoned) => {
+                self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+                poisoned.into_inner().0
+            }
         }
     }
 
@@ -325,7 +466,7 @@ mod tests {
     #[test]
     fn admission_bounces_at_capacity() {
         let shared = Shared::new(2);
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock_state();
         st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
         st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
         match st.admit(spec(Priority::Batch), Recorder::disabled()) {
@@ -341,7 +482,7 @@ mod tests {
     #[test]
     fn fresh_interactive_job_wins_next_slice() {
         let shared = Shared::new(8);
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock_state();
         let batch = st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
         // The batch job has been running a while: charged runtime.
         st.job_mut(batch).unwrap().vruntime = 48.0;
@@ -351,16 +492,16 @@ mod tests {
         // New arrival starts at the vclock (48.0 is the only live vruntime).
         assert_eq!(st.job(short).unwrap().vruntime, 48.0);
         // Equal vruntime: interactive weight breaks the tie.
-        assert_eq!(st.pick_ready(), Some(short as usize - 1));
+        assert_eq!(st.pick_ready(), st.idx_of(short));
         // After the batch job is charged one more slice, preemption triggers.
         st.job_mut(batch).unwrap().vruntime = 64.0;
-        assert!(st.should_preempt(batch as usize - 1));
+        assert!(st.should_preempt(st.idx_of(batch).unwrap()));
     }
 
     #[test]
     fn wait_accounting_counts_slices_between_submit_and_first_run() {
         let shared = Shared::new(8);
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock_state();
         let id = st.admit(spec(Priority::Interactive), Recorder::disabled()).unwrap();
         assert_eq!(st.job(id).unwrap().wait_slices(), None);
         // One slice of someone else starts, then ours.
@@ -373,7 +514,7 @@ mod tests {
     #[test]
     fn events_append_and_carry_standard_fields() {
         let shared = Shared::new(2);
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock_state();
         let id = st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
         shared.push_event(&mut st, id, "queued", vec![]);
         shared.push_event(&mut st, id, "started", vec![("slice", Json::num(1.0))]);
@@ -383,5 +524,96 @@ mod tests {
         assert_eq!(parsed.get("event").and_then(Json::as_str), Some("started"));
         assert_eq!(parsed.get("id").and_then(Json::as_u64), Some(id));
         assert_eq!(parsed.get("slice").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_tolerates_gaps() {
+        let shared = Shared::new(8);
+        let mut st = shared.lock_state();
+        // Replay with an id gap (id 2's admission record was corrupt).
+        assert!(st.restore(
+            ReplayedJob {
+                id: 3,
+                seq: 2,
+                spec: spec(Priority::Batch),
+                outcome: ReplayOutcome::Resumable { last_step: 50 },
+            },
+            Recorder::disabled(),
+        ));
+        assert!(st.restore(
+            ReplayedJob {
+                id: 1,
+                seq: 0,
+                spec: spec(Priority::Batch),
+                outcome: ReplayOutcome::Completed,
+            },
+            Recorder::disabled(),
+        ));
+        // Duplicate replay of an existing id is ignored (exactly-once).
+        assert!(!st.restore(
+            ReplayedJob {
+                id: 1,
+                seq: 0,
+                spec: spec(Priority::Batch),
+                outcome: ReplayOutcome::Queued,
+            },
+            Recorder::disabled(),
+        ));
+        // Table is sorted by id, id-keyed lookup works across the gap.
+        assert_eq!(st.jobs.len(), 2);
+        assert_eq!(st.jobs[0].id, 1);
+        assert_eq!(st.jobs[1].id, 3);
+        assert!(st.job(2).is_none());
+        assert_eq!(st.job(3).unwrap().steps_done, 50);
+        assert_eq!(st.job(3).unwrap().state, JobState::Queued);
+        assert!(st.job(3).unwrap().recovered);
+        assert_eq!(st.job(1).unwrap().state, JobState::Completed);
+        // The next fresh admission continues past the replayed ids.
+        let id = st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        assert_eq!(id, 4);
+        assert_eq!(st.job(4).unwrap().seq, 3);
+    }
+
+    #[test]
+    fn poisoned_state_lock_recovers() {
+        use std::sync::Arc;
+        let shared = Arc::new(Shared::new(2));
+        let s2 = shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = s2.lock_state();
+            panic!("injected panic while holding the state lock");
+        })
+        .join();
+        // The next taker recovers the guard instead of propagating.
+        let mut st = shared.lock_state();
+        assert_eq!(shared.lock_recoveries.load(Ordering::Relaxed), 1);
+        assert!(st.admit(spec(Priority::Batch), Recorder::disabled()).is_ok());
+    }
+
+    #[test]
+    fn admission_refuses_while_journal_degraded() {
+        let dir = std::env::temp_dir().join(format!(
+            "swlb-state-journal-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal =
+            swlb_io::Journal::open(&dir, swlb_io::JournalConfig::default()).unwrap();
+        let shared = Shared::new(4);
+        let mut st = shared.lock_state();
+        st.journal = JournalHandle::new(journal, 16, Recorder::disabled());
+        st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        st.journal.set_fail_writes(true);
+        match st.admit(spec(Priority::Batch), Recorder::disabled()) {
+            Err(SwlbError::Unavailable(_)) => {}
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        // The refused admission left no trace: no job, no id consumed.
+        assert_eq!(st.jobs.len(), 1);
+        assert_eq!(st.next_id, 2);
+        st.journal.set_fail_writes(false);
+        assert!(st.admit(spec(Priority::Batch), Recorder::disabled()).is_ok());
+        drop(st);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -31,6 +31,15 @@ serve-check:
     cargo test -q -p swlb-serve
     cargo test -q -p swlb-serve --release --test serve_integration -- --ignored
 
+# Crash-safety acceptance (docs/SERVING.md, "Durability & crash recovery"):
+# SIGKILL the real server binary mid-workload, restart on the same state
+# dir, and prove exactly-once job accounting — plus corrupt-journal replay,
+# corrupt-checkpoint fallback and the chaos-injected failure domains. The
+# second line is the heavier multi-cycle kill soak.
+crash-check:
+    cargo test -q -p swlb-serve --release --test serve_crash
+    cargo test -q -p swlb-serve --release --test serve_crash -- --ignored
+
 # Quick bench sanity: run the native scalar-vs-SIMD sweep in quick mode,
 # validate the emitted JSON schema (host metadata included), and run the
 # cross-layer equivalence suites for the unified dispatch pipeline.
