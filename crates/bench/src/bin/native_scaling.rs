@@ -8,13 +8,22 @@
 //! repository reports at least one set of honest measured numbers next to
 //! every modeled one.
 //!
-//! The sweep is written to `BENCH_pr4.json` (override with `--json <path>`),
-//! together with host metadata (CPU features, core counts, auto-selected
-//! kernel class) and the SIMD-vs-scalar acceptance numbers. Flags:
+//! Two measured artifacts come out of this binary, each with host metadata
+//! (CPU features, core counts, auto-selected kernel class):
 //!
-//! * `--quick`      small grid + single iteration (CI smoke).
-//! * `--json P`     write the sweep to `P` instead of `BENCH_pr4.json`.
-//! * `--validate P` check that `P` holds a well-formed sweep, then exit.
+//! * the scalar-vs-SIMD dispatch sweep, written to [`PR4_JSON`];
+//! * with `--pr6`, the AB-vs-AA storage-scheme sweep (scheme × grid ×
+//!   threads × SIMD lane, with distribution-storage footprint and estimated
+//!   bytes/LUP per configuration), written to [`PR6_JSON`].
+//!
+//! Flags:
+//!
+//! * `--quick` — small grids + single iteration (CI smoke).
+//! * `--pr6` — run the AB-vs-AA storage-scheme sweep instead of the
+//!   scalar-vs-SIMD dispatch sweep.
+//! * `--json P` — write the sweep to `P` instead of the mode's default.
+//! * `--validate P` — check that `P` holds a well-formed sweep of either
+//!   schema (auto-detected from its `bench` id), then exit.
 
 use swlb_bench::{header, row, time_per_call};
 use swlb_core::collision::{BgkParams, CollisionKind};
@@ -22,12 +31,21 @@ use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
 use swlb_core::kernels::{fused_step, fused_step_optimized, InteriorIndex};
 use swlb_core::lattice::D3Q19;
-use swlb_core::layout::{AosField, PopField, SoaField};
+use swlb_core::layout::{AosField, PopField, SoaField, StorageScheme};
 use swlb_core::parallel::{ThreadPool, DEFAULT_TILE_Z};
 use swlb_core::simd::{
-    cpu_features, logical_cores, physical_cores, selected_kernel_class, set_lane_policy, LanePolicy,
+    avx512_available, cpu_features, logical_cores, physical_cores, selected_kernel_class,
+    set_lane_policy, LanePolicy,
 };
+use swlb_core::solver::Solver;
 use swlb_core::stream::split_step;
+
+/// Default artifact of the scalar-vs-SIMD dispatch sweep. The single source
+/// of truth for the path: main() and the docs both refer here instead of
+/// repeating the literal.
+const PR4_JSON: &str = "BENCH_pr4.json";
+/// Default artifact of the AB-vs-AA storage-scheme sweep (`--pr6`).
+const PR6_JSON: &str = "BENCH_pr6.json";
 
 fn init<F: PopField<D3Q19>>(flags: &FlagField, dims: GridDims) -> F {
     let mut f = F::new(dims);
@@ -165,9 +183,278 @@ fn validate_sweep(text: &str) -> Result<usize, String> {
     Ok(configs)
 }
 
+/// Estimated main-memory traffic per lattice update, by scheme. AB's fused
+/// pull kernel reads 19 populations from the source grid and writes 19 into a
+/// *different* grid, whose cache lines must first be read in (write-allocate):
+/// 3 × 19 × 8 B. AA touches one grid: 19 reads + 19 writes to lines already
+/// resident from the read, 2 × 19 × 8 B.
+fn est_bytes_per_lup(scheme: StorageScheme) -> u64 {
+    match scheme {
+        StorageScheme::Ab => 3 * 19 * 8,
+        StorageScheme::Aa => 2 * 19 * 8,
+    }
+}
+
+/// Distribution-storage footprint in bytes: two full grids for AB, one for AA.
+fn footprint_bytes(dims: GridDims, scheme: StorageScheme) -> u64 {
+    let grids = match scheme {
+        StorageScheme::Ab => 2,
+        StorageScheme::Aa => 1,
+    };
+    dims.cells() as u64 * 19 * 8 * grids
+}
+
+/// One measured configuration of the AB-vs-AA storage-scheme sweep.
+struct SchemePoint {
+    scheme: StorageScheme,
+    n: usize,
+    threads: usize,
+    lane: &'static str,
+    seconds_per_step: f64,
+    mlups: f64,
+}
+
+/// Measure one (scheme, grid, threads) lid-driven-cavity configuration under
+/// the currently pinned lane policy.
+fn measure_scheme(n: usize, threads: usize, scheme: StorageScheme, iters: usize) -> (f64, f64) {
+    let dims = GridDims::new(n, n, n);
+    let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.8))
+        .pool(ThreadPool::new(threads).with_tile_z(DEFAULT_TILE_Z))
+        .storage(scheme)
+        .build();
+    s.flags_mut().set_box_walls();
+    s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
+    s.initialize_uniform(1.0, [0.0; 3]);
+    // Warm up a full odd/even AA cycle so the timed window mixes both step
+    // flavors the same way a long run does.
+    s.run(2);
+    let t = time_per_call(iters, || s.run(1));
+    (t, dims.cells() as f64 / t / 1e6)
+}
+
+/// Serialize the pr6 sweep (hand-rolled JSON, same dependency-free style as
+/// [`sweep_json`]).
+fn pr6_json(grids: &[usize], iters: usize, points: &[SchemePoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pr6_storage_schemes\",\n");
+    out.push_str(&format!(
+        "  \"grids\": [{}],\n",
+        grids
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str("  \"host\": {\n");
+    out.push_str(&format!("    \"cpu_features\": \"{}\",\n", cpu_features()));
+    out.push_str(&format!("    \"logical_cores\": {},\n", logical_cores()));
+    out.push_str(&format!("    \"physical_cores\": {},\n", physical_cores()));
+    out.push_str(&format!(
+        "    \"kernel_class\": \"{}\"\n",
+        selected_kernel_class().name()
+    ));
+    out.push_str("  },\n");
+
+    // Acceptance summary: at the largest grid and the widest available lane,
+    // how does AA compare against AB?
+    let big = *grids.iter().max().unwrap();
+    let lane = if avx512_available() { "avx512" } else { "avx2" };
+    let find = |scheme: StorageScheme, threads: usize| {
+        points
+            .iter()
+            .find(|p| p.scheme == scheme && p.n == big && p.threads == threads && p.lane == lane)
+            .map(|p| p.mlups)
+    };
+    let dims = GridDims::new(big, big, big);
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!("    \"grid\": {big},\n"));
+    out.push_str(&format!("    \"lane\": \"{lane}\",\n"));
+    out.push_str(&format!(
+        "    \"footprint_ratio_ab_over_aa\": {:.3},\n",
+        footprint_bytes(dims, StorageScheme::Ab) as f64
+            / footprint_bytes(dims, StorageScheme::Aa) as f64
+    ));
+    if let (Some(ab), Some(aa)) = (find(StorageScheme::Ab, 1), find(StorageScheme::Aa, 1)) {
+        out.push_str(&format!(
+            "    \"aa_vs_ab_speedup_1t\": {:.3},\n",
+            aa / ab
+        ));
+    }
+    if let (Some(ab), Some(aa)) = (find(StorageScheme::Ab, 4), find(StorageScheme::Aa, 4)) {
+        out.push_str(&format!(
+            "    \"aa_vs_ab_speedup_4t\": {:.3},\n",
+            aa / ab
+        ));
+    }
+    out.push_str(&format!(
+        "    \"est_bytes_per_lup_ratio\": {:.3}\n",
+        est_bytes_per_lup(StorageScheme::Ab) as f64 / est_bytes_per_lup(StorageScheme::Aa) as f64
+    ));
+    out.push_str("  },\n");
+
+    out.push_str("  \"configs\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let dims = GridDims::new(p.n, p.n, p.n);
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"n\": {}, \"threads\": {}, \"lane\": \"{}\", \
+             \"seconds_per_step\": {:.6}, \"mlups\": {:.3}, \"footprint_bytes\": {}, \
+             \"est_bytes_per_lup\": {}}}{}\n",
+            p.scheme.name(),
+            p.n,
+            p.threads,
+            p.lane,
+            p.seconds_per_step,
+            p.mlups,
+            footprint_bytes(dims, p.scheme),
+            est_bytes_per_lup(p.scheme),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Schema check for a pr6 storage-scheme sweep (same tolerance philosophy as
+/// [`validate_sweep`]): all required keys present, both schemes measured,
+/// every `mlups` positive, and the footprint summary showing AB = 2× AA.
+fn validate_pr6(text: &str) -> Result<usize, String> {
+    for key in [
+        "\"bench\"",
+        "\"grids\"",
+        "\"host\"",
+        "\"cpu_features\"",
+        "\"logical_cores\"",
+        "\"physical_cores\"",
+        "\"kernel_class\"",
+        "\"summary\"",
+        "\"footprint_ratio_ab_over_aa\"",
+        "\"est_bytes_per_lup_ratio\"",
+        "\"configs\"",
+        "\"footprint_bytes\"",
+        "\"est_bytes_per_lup\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    if !text.contains("pr6_storage_schemes") {
+        return Err("wrong bench id (want pr6_storage_schemes)".into());
+    }
+    for scheme in ["\"scheme\": \"ab\"", "\"scheme\": \"aa\""] {
+        if !text.contains(scheme) {
+            return Err(format!("no configs for {scheme}"));
+        }
+    }
+    let parse_after = |key: &str| -> Result<f64, String> {
+        let chunk = text
+            .split(key)
+            .nth(1)
+            .ok_or_else(|| format!("missing key {key}"))?;
+        let num: String = chunk
+            .trim_start_matches(|c: char| c == ':' || c.is_whitespace())
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        num.parse()
+            .map_err(|_| format!("unparsable value after {key}: {num:?}"))
+    };
+    let ratio = parse_after("\"footprint_ratio_ab_over_aa\"")?;
+    if !(1.99..=2.01).contains(&ratio) {
+        return Err(format!(
+            "AA must halve the AB footprint; ratio in file is {ratio}"
+        ));
+    }
+    let mut configs = 0usize;
+    for chunk in text.split("\"mlups\":").skip(1) {
+        let num: String = chunk
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        let v: f64 = num
+            .parse()
+            .map_err(|_| format!("unparsable mlups value: {num:?}"))?;
+        if v.is_nan() || v <= 0.0 {
+            return Err(format!("non-positive mlups value: {v}"));
+        }
+        configs += 1;
+    }
+    if configs == 0 {
+        return Err("no configs with an mlups field".into());
+    }
+    Ok(configs)
+}
+
+/// The `--pr6` mode: AB vs AA across grid × threads × SIMD lane.
+fn run_pr6(quick: bool, json_path: &str) {
+    header(
+        "AB vs AA storage schemes (D3Q19 lid-driven cavity, f64)",
+        "single-grid AA-pattern streaming: the memory-traffic lever for memory-bound LBM",
+    );
+    println!(
+        "host: {} logical / {} physical core(s), features [{}], auto kernel class: {}\n",
+        logical_cores(),
+        physical_cores(),
+        cpu_features(),
+        selected_kernel_class().name()
+    );
+    let grids: &[usize] = if quick { &[32, 48] } else { &[128, 256] };
+    let iters = if quick { 1 } else { 2 };
+    let thread_counts = [1usize, 2, 4];
+    let mut lanes = vec![("avx2", LanePolicy::ForceAvx2)];
+    if avx512_available() {
+        lanes.push(("avx512", LanePolicy::ForceAvx512));
+    } else {
+        println!("(no avx512f on this host: sweeping the avx2 lane only)");
+    }
+
+    row(&[
+        "scheme".into(),
+        "grid".into(),
+        "lane/threads".into(),
+        "MLUPS".into(),
+        "footprint".into(),
+    ]);
+    let mut points = Vec::new();
+    for &n in grids {
+        for scheme in [StorageScheme::Ab, StorageScheme::Aa] {
+            for &(lane, policy) in &lanes {
+                set_lane_policy(policy);
+                for &threads in &thread_counts {
+                    let (t, mlups) = measure_scheme(n, threads, scheme, iters);
+                    let fp = footprint_bytes(GridDims::new(n, n, n), scheme);
+                    row(&[
+                        scheme.name().into(),
+                        format!("{n}^3"),
+                        format!("{lane}/{threads}t"),
+                        format!("{mlups:.1}"),
+                        format!("{:.2} GiB", fp as f64 / (1u64 << 30) as f64),
+                    ]);
+                    points.push(SchemePoint {
+                        scheme,
+                        n,
+                        threads,
+                        lane,
+                        seconds_per_step: t,
+                        mlups,
+                    });
+                }
+            }
+        }
+    }
+    set_lane_policy(LanePolicy::Auto);
+
+    let json = pr6_json(grids, iters, &points);
+    std::fs::write(json_path, &json).unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("\nsweep written to {json_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let pr6 = args.iter().any(|a| a == "--pr6");
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -177,7 +464,12 @@ fn main() {
     if let Some(path) = flag_value("--validate") {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        match validate_sweep(&text) {
+        let result = if text.contains("pr6_storage_schemes") {
+            validate_pr6(&text)
+        } else {
+            validate_sweep(&text)
+        };
+        match result {
             Ok(n) => {
                 println!("{path}: valid sweep with {n} configurations");
                 return;
@@ -188,7 +480,12 @@ fn main() {
             }
         }
     }
-    let json_path = flag_value("--json").unwrap_or_else(|| "BENCH_pr4.json".into());
+    if pr6 {
+        let json_path = flag_value("--json").unwrap_or_else(|| PR6_JSON.into());
+        run_pr6(quick, &json_path);
+        return;
+    }
+    let json_path = flag_value("--json").unwrap_or_else(|| PR4_JSON.into());
 
     header(
         "Host-native measured kernel performance (D3Q19, f64)",

@@ -25,7 +25,7 @@ use crate::collision::{collide, CollisionKind};
 use crate::equilibrium::{equilibrium, moments};
 use crate::flags::FlagField;
 use crate::lattice::{Lattice, D3Q19};
-use crate::layout::{PopField, SoaField};
+use crate::layout::{AaParity, PopField, SoaField};
 use crate::simd::{FastPath, KernelClass};
 use crate::Scalar;
 use std::ops::Range;
@@ -375,6 +375,42 @@ pub(crate) unsafe fn d3q19_cell_update(
     pull!(17);
     pull!(18);
 
+    d3q19_collide_scalar(&mut f, omega);
+
+    // Scatter back to the SoA planes.
+    macro_rules! store {
+        ($q:literal) => {
+            *draw.add($q * cells + this) = f[$q];
+        };
+    }
+    store!(0);
+    store!(1);
+    store!(2);
+    store!(3);
+    store!(4);
+    store!(5);
+    store!(6);
+    store!(7);
+    store!(8);
+    store!(9);
+    store!(10);
+    store!(11);
+    store!(12);
+    store!(13);
+    store!(14);
+    store!(15);
+    store!(16);
+    store!(17);
+    store!(18);
+}
+
+/// The plain-BGK D3Q19 collision applied to one gathered population vector —
+/// the exact expression tree of the original fused scalar kernel, factored out
+/// so the AB and both AA-pattern scalar cell updates share it (and so the
+/// portable SIMD lane, which transliterates this tree op for op, stays
+/// bit-exact against every scalar caller).
+#[inline(always)]
+pub(crate) fn d3q19_collide_scalar(f: &mut [Scalar; 19], omega: Scalar) {
     // Moments, unrolled against the D3Q19 velocity table.
     let rho = f[0]
         + f[1]
@@ -439,32 +475,151 @@ pub(crate) unsafe fn d3q19_cell_update(
     relax!(16, WE, -uy - uz);
     relax!(17, WE, uy - uz);
     relax!(18, WE, -uy + uz);
+}
 
-    // Scatter back to the SoA planes.
-    macro_rules! store {
-        ($q:literal) => {
-            *draw.add($q * cells + this) = f[$q];
+/// AA-pattern *odd-step* update for one interior D3Q19 cell, operating on the
+/// single grid in place. In the `Reversed` state slot `(x, q)` holds
+/// `f*_{opp(q)}(x)`, and the previous even step left each neighbor's
+/// contribution reversed in place, so the pull for direction `q` reads plane
+/// `opp(q)` at `this + off[q]` (the `x - c_q` neighbor). After collision the
+/// scatter pushes `f*_q` to `(x + c_q, q)` — plane `q` at `this - off[q]` —
+/// leaving the lattice in the `Streamed` state. Interior-only: every
+/// neighbor must be fluid and in-bounds (no periodic wrap), exactly the
+/// [`interior_mask`] contract.
+///
+/// # Safety
+/// `this` must be an interior cell: `this + off[q]` and `this - off[q]` must
+/// be in-bounds for all `q`, and `raw` must point at `19 * cells` scalars.
+#[inline(always)]
+pub(crate) unsafe fn aa_odd_cell_update(
+    raw: *mut Scalar,
+    cells: usize,
+    off: &[isize; 19],
+    this: usize,
+    omega: Scalar,
+) {
+    let mut f = [0.0; 19];
+    macro_rules! pull {
+        ($q:literal, $opp:literal) => {
+            f[$q] = *raw.offset(($opp * cells + this) as isize + off[$q]);
         };
     }
-    store!(0);
-    store!(1);
-    store!(2);
-    store!(3);
-    store!(4);
-    store!(5);
-    store!(6);
-    store!(7);
-    store!(8);
-    store!(9);
-    store!(10);
-    store!(11);
-    store!(12);
-    store!(13);
-    store!(14);
-    store!(15);
-    store!(16);
-    store!(17);
-    store!(18);
+    pull!(0, 0);
+    pull!(1, 2);
+    pull!(2, 1);
+    pull!(3, 4);
+    pull!(4, 3);
+    pull!(5, 6);
+    pull!(6, 5);
+    pull!(7, 8);
+    pull!(8, 7);
+    pull!(9, 10);
+    pull!(10, 9);
+    pull!(11, 12);
+    pull!(12, 11);
+    pull!(13, 14);
+    pull!(14, 13);
+    pull!(15, 16);
+    pull!(16, 15);
+    pull!(17, 18);
+    pull!(18, 17);
+
+    d3q19_collide_scalar(&mut f, omega);
+
+    macro_rules! scatter {
+        ($q:literal) => {
+            *raw.offset(($q * cells + this) as isize - off[$q]) = f[$q];
+        };
+    }
+    scatter!(0);
+    scatter!(1);
+    scatter!(2);
+    scatter!(3);
+    scatter!(4);
+    scatter!(5);
+    scatter!(6);
+    scatter!(7);
+    scatter!(8);
+    scatter!(9);
+    scatter!(10);
+    scatter!(11);
+    scatter!(12);
+    scatter!(13);
+    scatter!(14);
+    scatter!(15);
+    scatter!(16);
+    scatter!(17);
+    scatter!(18);
+}
+
+/// AA-pattern *even-step* update for one interior D3Q19 cell. In the
+/// `Streamed` state slot `(y, q)` already holds the post-streaming
+/// `f_q(y)` (the odd step's scatter put it there), so the gather is purely
+/// local; the reversed store `(y, opp(q)) = f*_q` returns the lattice to the
+/// `Reversed` state without touching any neighbor. Cell-local by
+/// construction, so it is race-free under any partition.
+///
+/// # Safety
+/// `raw` must point at `19 * cells` scalars and `this < cells`.
+#[inline(always)]
+pub(crate) unsafe fn aa_even_cell_update(
+    raw: *mut Scalar,
+    cells: usize,
+    this: usize,
+    omega: Scalar,
+) {
+    let mut f = [0.0; 19];
+    macro_rules! pull {
+        ($q:literal) => {
+            f[$q] = *raw.add($q * cells + this);
+        };
+    }
+    pull!(0);
+    pull!(1);
+    pull!(2);
+    pull!(3);
+    pull!(4);
+    pull!(5);
+    pull!(6);
+    pull!(7);
+    pull!(8);
+    pull!(9);
+    pull!(10);
+    pull!(11);
+    pull!(12);
+    pull!(13);
+    pull!(14);
+    pull!(15);
+    pull!(16);
+    pull!(17);
+    pull!(18);
+
+    d3q19_collide_scalar(&mut f, omega);
+
+    macro_rules! store_rev {
+        ($q:literal, $opp:literal) => {
+            *raw.add($opp * cells + this) = f[$q];
+        };
+    }
+    store_rev!(0, 0);
+    store_rev!(1, 2);
+    store_rev!(2, 1);
+    store_rev!(3, 4);
+    store_rev!(4, 3);
+    store_rev!(5, 6);
+    store_rev!(6, 5);
+    store_rev!(7, 8);
+    store_rev!(8, 7);
+    store_rev!(9, 10);
+    store_rev!(10, 9);
+    store_rev!(11, 12);
+    store_rev!(12, 11);
+    store_rev!(13, 14);
+    store_rev!(14, 13);
+    store_rev!(15, 16);
+    store_rev!(16, 15);
+    store_rev!(17, 18);
+    store_rev!(18, 17);
 }
 
 /// Precompute the interior-fast-path mask for [`fused_step_d3q19_interior`]:
@@ -610,8 +765,16 @@ pub fn fused_step_d3q19_interior_simd(
         portable || crate::simd::simd_available(),
         "AVX2+FMA lane requested on a CPU without support"
     );
+    let path = if portable {
+        FastPath::Portable
+    } else if crate::simd::avx512_available() {
+        FastPath::Avx512
+    } else {
+        FastPath::Avx2
+    };
     // SAFETY: `&mut dst` proves exclusive access; `runs` came from this
-    // geometry's interior mask per the caller's contract.
+    // geometry's interior mask per the caller's contract; the hardware lane
+    // was feature-checked above.
     unsafe {
         crate::simd::d3q19_interior_simd(
             flags,
@@ -622,7 +785,7 @@ pub fn fused_step_d3q19_interior_simd(
             ys,
             tile_z,
             runs,
-            portable,
+            path,
         );
     }
 }
@@ -698,7 +861,7 @@ pub fn fused_step_optimized_rect(
                 tile_z,
                 interior.mask(),
             ),
-            FastPath::Portable | FastPath::Avx2 => crate::simd::d3q19_interior_simd(
+            _ => crate::simd::d3q19_interior_simd(
                 flags,
                 src.raw(),
                 draw,
@@ -707,7 +870,7 @@ pub fn fused_step_optimized_rect(
                 ys.clone(),
                 tile_z,
                 interior.runs(),
-                path == FastPath::Portable,
+                path,
             ),
         }
     }
@@ -735,6 +898,344 @@ pub fn fused_step_optimized_rect(
         }
     }
     class
+}
+
+/// Scalar AA-pattern interior driver — the [`FastPath::MaskScalar`] twin of
+/// [`d3q19_interior_raw`]: the same z-tiled loop nest and per-cell mask test,
+/// dispatching the odd or even in-place cell update by `parity`.
+///
+/// # Safety
+/// `raw` must point at `19 * cells` writable scalars; `interior_mask` must be
+/// the current [`interior_mask`] of `flags` (certifying in-bounds gathers *and*
+/// scatters); concurrent callers must cover disjoint cell sets (the AA
+/// slot-ownership discipline makes cross-slab scatters race-free).
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn aa_d3q19_interior_raw(
+    flags: &FlagField,
+    raw: *mut Scalar,
+    omega: Scalar,
+    parity: AaParity,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    interior_mask: &[bool],
+) {
+    let dims = flags.dims();
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    if nx < 3 || ny < 3 || nz < 3 {
+        return; // no interior at all; generic path covers everything
+    }
+    let cells = dims.cells();
+    debug_assert_eq!(interior_mask.len(), cells);
+
+    let mut off = [0isize; 19];
+    for q in 0..19 {
+        let c = D3Q19::C[q];
+        off[q] = -((c[1] as isize * nx as isize + c[0] as isize) * nz as isize + c[2] as isize);
+    }
+
+    let y0 = ys.start.max(1);
+    let y1 = ys.end.min(ny - 1);
+    let x0 = xr.start.max(1);
+    let x1 = xr.end.min(nx - 1);
+    let z0 = 1;
+    let z1 = nz - 1;
+    let tile = if tile_z == 0 { z1 - z0 } else { tile_z };
+
+    let mut zt = z0;
+    while zt < z1 {
+        let zt_end = (zt + tile).min(z1);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let base = (y * nx + x) * nz;
+                for z in zt..zt_end {
+                    let this = base + z;
+                    if !interior_mask[this] {
+                        continue;
+                    }
+                    // SAFETY: the mask certifies an interior cell (all 18
+                    // gather sources and scatter targets in bounds); the
+                    // caller certifies the buffer and cell-set disjointness.
+                    unsafe {
+                        match parity {
+                            AaParity::Reversed => {
+                                aa_odd_cell_update(raw, cells, &off, this, omega)
+                            }
+                            AaParity::Streamed => aa_even_cell_update(raw, cells, this, omega),
+                        }
+                    };
+                }
+            }
+        }
+        zt = zt_end;
+    }
+}
+
+/// Generic AA-pattern sweep over the rectangle `xr × ys` (full z depth) — the
+/// single-grid counterpart of [`fused_step_rect`], valid for every lattice and
+/// collision operator but only for Fluid/Wall/MovingWall node kinds (open
+/// boundaries need the two-grid AB scheme; builders reject the combination).
+///
+/// `parity` names the *current* state of the grid: `Reversed` runs the odd
+/// step (pull reversed neighbor slots, collide, scatter to neighbors — grid
+/// becomes `Streamed`); `Streamed` runs the even step (gather own slots /
+/// wall mailboxes, collide, store locally reversed — grid becomes
+/// `Reversed`). Cells where `skip_mask` is `true` are left untouched, which
+/// is how the optimized dispatch runs only the boundary-shell remainder.
+///
+/// Solid cells are never processed; their slots serve as bounce-back
+/// mailboxes and hold scheme-dependent (but always finite) values.
+///
+/// # Safety
+/// `raw` must point at `L::Q * cells` writable scalars laid out SoA
+/// (plane-major). Concurrent callers must cover disjoint cell sets; the AA
+/// slot-ownership discipline (each slot is read and written only by the one
+/// cell that owns it, gather-before-scatter) makes cross-slab odd-step
+/// scatters race-free under any partition or pass order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn aa_generic_rect<L: Lattice>(
+    flags: &FlagField,
+    raw: *mut Scalar,
+    collision: &CollisionKind,
+    parity: AaParity,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    skip_mask: Option<&[bool]>,
+) {
+    let dims = flags.dims();
+    debug_assert!(ys.end <= dims.ny && xr.end <= dims.nx);
+    let cells = dims.cells();
+    let mut f = [0.0; MAX_Q];
+    for y in ys {
+        for x in xr.clone() {
+            for z in 0..dims.nz {
+                let this = dims.idx(x, y, z);
+                if let Some(mask) = skip_mask {
+                    if mask[this] {
+                        continue;
+                    }
+                }
+                let kind = flags.kind(this);
+                match kind {
+                    NodeKind::Fluid => {}
+                    NodeKind::Wall | NodeKind::MovingWall { .. } => continue,
+                    other => panic!(
+                        "AA-pattern streaming supports Fluid/Wall/MovingWall only, \
+                         found {other:?} at ({x},{y},{z}); use StorageScheme::Ab \
+                         for open/NEBB boundaries"
+                    ),
+                }
+                match parity {
+                    AaParity::Reversed => {
+                        // Odd step: the reversed slot (x, q) holds f*_opp(q)(x),
+                        // so direction q's incoming population sits in plane
+                        // opp(q) of the upwind neighbor — or, against a wall,
+                        // bounced back in our own plane q.
+                        for q in 0..L::Q {
+                            let c = L::C[q];
+                            let [a, b, d] =
+                                dims.neighbor_periodic(x, y, z, [-c[0], -c[1], -c[2]]);
+                            let n = dims.idx(a, b, d);
+                            f[q] = match flags.kind(n) {
+                                NodeKind::Wall => *raw.add(q * cells + this),
+                                NodeKind::MovingWall { u } => {
+                                    let cu = c[0] as Scalar * u[0]
+                                        + c[1] as Scalar * u[1]
+                                        + c[2] as Scalar * u[2];
+                                    *raw.add(q * cells + this) + 6.0 * L::W[q] * cu
+                                }
+                                _ => *raw.add(L::OPP[q] * cells + n),
+                            };
+                        }
+                        collide::<L>(&mut f[..L::Q], collision);
+                        // Scatter unconditionally — writes into solid neighbors
+                        // are the bounce-back mailboxes the even step reads.
+                        for q in 0..L::Q {
+                            let c = L::C[q];
+                            let [a, b, d] = dims.neighbor_periodic(x, y, z, [c[0], c[1], c[2]]);
+                            let m = dims.idx(a, b, d);
+                            *raw.add(q * cells + m) = f[q];
+                        }
+                    }
+                    AaParity::Streamed => {
+                        // Even step: the odd scatter already streamed, so slot
+                        // (y, q) holds f_q(y) — except where the writer cell is
+                        // solid, in which case our own odd scatter parked
+                        // f*_opp(q)(y) in the wall's mailbox (n, opp(q)).
+                        for q in 0..L::Q {
+                            let c = L::C[q];
+                            let [a, b, d] =
+                                dims.neighbor_periodic(x, y, z, [-c[0], -c[1], -c[2]]);
+                            let n = dims.idx(a, b, d);
+                            f[q] = match flags.kind(n) {
+                                NodeKind::Wall => *raw.add(L::OPP[q] * cells + n),
+                                NodeKind::MovingWall { u } => {
+                                    let cu = c[0] as Scalar * u[0]
+                                        + c[1] as Scalar * u[1]
+                                        + c[2] as Scalar * u[2];
+                                    *raw.add(L::OPP[q] * cells + n) + 6.0 * L::W[q] * cu
+                                }
+                                _ => *raw.add(q * cells + this),
+                            };
+                        }
+                        collide::<L>(&mut f[..L::Q], collision);
+                        // Store locally reversed, returning to the Reversed state.
+                        for q in 0..L::Q {
+                            *raw.add(L::OPP[q] * cells + this) = f[q];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Safe wrapper over [`aa_generic_rect`]: one AA half-step of the flavor named
+/// by `parity` over the rectangle `xr × ys` of the single grid `field`.
+pub fn aa_step_rect<L: Lattice>(
+    flags: &FlagField,
+    field: &mut SoaField<L>,
+    collision: &CollisionKind,
+    parity: AaParity,
+    xr: Range<usize>,
+    ys: Range<usize>,
+) {
+    debug_assert_eq!(field.raw().len(), L::Q * flags.dims().cells());
+    // SAFETY: `&mut field` proves exclusive access to the grid.
+    unsafe {
+        aa_generic_rect::<L>(
+            flags,
+            field.raw_mut().as_mut_ptr(),
+            collision,
+            parity,
+            xr,
+            ys,
+            None,
+        );
+    }
+}
+
+/// AA-pattern counterpart of [`fused_step_optimized`]: one in-place AA
+/// half-step over the y-slab `ys`, fastest eligible interior kernel plus the
+/// generic AA sweep on the boundary shell. The grid's parity flips after this
+/// returns (the caller owns the parity bookkeeping).
+pub fn aa_fused_step_optimized(
+    flags: &FlagField,
+    field: &mut SoaField<D3Q19>,
+    collision: &CollisionKind,
+    interior: &InteriorIndex,
+    parity: AaParity,
+    ys: Range<usize>,
+    tile_z: usize,
+) -> KernelClass {
+    aa_fused_step_optimized_rect(
+        flags,
+        field,
+        collision,
+        interior,
+        parity,
+        0..flags.dims().nx,
+        ys,
+        tile_z,
+    )
+}
+
+/// [`aa_fused_step_optimized`] restricted to the x range `xr` (used by the
+/// distributed engine for the inner rectangle of a subdomain).
+#[allow(clippy::too_many_arguments)]
+pub fn aa_fused_step_optimized_rect(
+    flags: &FlagField,
+    field: &mut SoaField<D3Q19>,
+    collision: &CollisionKind,
+    interior: &InteriorIndex,
+    parity: AaParity,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+) -> KernelClass {
+    let raw = field.raw_mut().as_mut_ptr();
+    let omega = match collision {
+        CollisionKind::Bgk(p) => p.omega,
+        // No hand-optimized AA interior kernel for variable-ω / forced /
+        // moment-space operators; run the generic AA sweep on the whole rect.
+        _ => {
+            // SAFETY: `&mut field` proves exclusive access.
+            unsafe { aa_generic_rect::<D3Q19>(flags, raw, collision, parity, xr, ys, None) };
+            return KernelClass::Generic;
+        }
+    };
+    let (path, class) = crate::simd::select_fast_path();
+    // SAFETY: `&mut field` proves exclusive access; the interior index came
+    // from this geometry's flags; slot ownership makes the interior-then-
+    // remainder pass order race-free (each slot is read and written only by
+    // the single cell that owns it, which gathers before scattering).
+    unsafe {
+        match path {
+            FastPath::MaskScalar => aa_d3q19_interior_raw(
+                flags,
+                raw,
+                omega,
+                parity,
+                xr.clone(),
+                ys.clone(),
+                tile_z,
+                interior.mask(),
+            ),
+            _ => crate::simd::aa_d3q19_interior_simd(
+                flags,
+                raw,
+                omega,
+                parity,
+                xr.clone(),
+                ys.clone(),
+                tile_z,
+                interior.runs(),
+                path,
+            ),
+        }
+        // Finish every cell the fast path skipped, with the caller's collision.
+        aa_generic_rect::<D3Q19>(flags, raw, collision, parity, xr, ys, Some(interior.mask()));
+    }
+    class
+}
+
+/// Swap each direction plane `q` with its opposite `opp(q)` in place — the
+/// whole-grid slot reversal that converts between the canonical (AB-ordered)
+/// post-collision state and the AA `Reversed` state. An involution.
+pub fn reverse_planes<L: Lattice>(field: &mut SoaField<L>) {
+    let cells = field.dims().cells();
+    let raw = field.raw_mut();
+    for q in 0..L::Q {
+        let o = L::OPP[q];
+        if q < o {
+            let (lo, hi) = raw.split_at_mut(o * cells);
+            lo[q * cells..(q + 1) * cells].swap_with_slice(&mut hi[..cells]);
+        }
+    }
+}
+
+/// Canonicalize an AA grid in the `Streamed` state: slot `(y, q)` holds
+/// `f*_q(y − c_q)`, so the canonical post-collision value of cell `x` in
+/// direction `q` sits at `(x + c_q, q)` (periodic wrap; for a solid neighbor
+/// that slot is the mailbox the odd scatter parked it in — same formula).
+/// Solid cells' own canonical values are scheme-dependent mailbox leftovers
+/// (always finite, never fed back into the dynamics).
+pub fn canonicalize_streamed<L: Lattice>(grid: &SoaField<L>) -> SoaField<L> {
+    let dims = grid.dims();
+    let mut out = SoaField::<L>::new(dims);
+    for y in 0..dims.ny {
+        for x in 0..dims.nx {
+            for z in 0..dims.nz {
+                let this = dims.idx(x, y, z);
+                for q in 0..L::Q {
+                    let c = L::C[q];
+                    let [a, b, d] = dims.neighbor_periodic(x, y, z, [c[0], c[1], c[2]]);
+                    out.set(this, q, grid.get(dims.idx(a, b, d), q));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Compute `(rho, u)` of a cell directly from a population field.

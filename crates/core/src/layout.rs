@@ -1,5 +1,6 @@
 //! Population storage layouts: structure-of-arrays (SoA) and array-of-structures
-//! (AoS), plus the A-B (ping-pong) double buffer.
+//! (AoS), plus the streaming-scheme storage behind the solver: the classic A-B
+//! (ping-pong) double buffer and the single-grid AA-pattern.
 //!
 //! The paper motivates SoA explicitly (§IV-A/IV-C): with D3Q19, updating one cell
 //! touches 19 populations that live far apart under AoS, causing many small DMA
@@ -7,6 +8,13 @@
 //! of cells streams as one large DMA. We implement **both** layouts behind one trait
 //! so the claim is benchmarkable (`bench/benches/layouts.rs`) and so property tests
 //! can assert layout-independence of the physics.
+//!
+//! The [`StorageScheme`] selector extends the same argument to the streaming
+//! pattern itself: A-B keeps two full copies of the populations and every step
+//! streams one into the other, while the AA-pattern (Bailey et al.; see
+//! `docs/PERFORMANCE.md`) keeps a *single* grid and alternates two in-place step
+//! flavors, roughly halving both bytes moved per lattice update and resident
+//! footprint — the decisive lever once the fused kernel is memory-bound.
 
 use crate::geometry::GridDims;
 use crate::lattice::Lattice;
@@ -224,12 +232,166 @@ impl<L: Lattice> PopField<L> for AosField<L> {
     }
 }
 
+/// Streaming/storage scheme of a solver: how population state is laid out
+/// across time steps.
+///
+/// The wire names (`"ab"`/`"aa"`) are used by the serve job spec and CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageScheme {
+    /// Two full grids, ping-pong per step ([`AbBuffers`]). Supports every
+    /// lattice, layout, collision operator and boundary kind.
+    #[default]
+    Ab,
+    /// Single grid, AA-pattern in-place streaming: odd steps read pulled and
+    /// write scattered, even steps read and write locally with direction slots
+    /// reversed. Halves distribution-storage footprint and bytes/LUP; supports
+    /// SoA fields with Fluid/Wall/MovingWall nodes (no inlet/outlet/NEBB yet).
+    Aa,
+}
+
+impl StorageScheme {
+    /// Canonical lowercase name (wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageScheme::Ab => "ab",
+            StorageScheme::Aa => "aa",
+        }
+    }
+
+    /// Parse the wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ab" => Some(StorageScheme::Ab),
+            "aa" => Some(StorageScheme::Aa),
+            _ => None,
+        }
+    }
+}
+
+/// Which of the AA-pattern's two step flavors applies next, i.e. how the raw
+/// single-grid state must currently be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AaParity {
+    /// Post-collision populations stored with direction slots reversed:
+    /// `raw[cell][q] = f*_opp(q)(cell)`. This is the state after
+    /// initialization, after a restore, and after every even step; the next
+    /// step is an *odd* (pull + scatter) step.
+    #[default]
+    Reversed,
+    /// Streamed state: `raw[cell][q] = f*_q(cell − c_q)` — each slot holds the
+    /// population that has already streamed *into* this cell. Holds after every
+    /// odd step; the next step is an *even* (local permute) step.
+    Streamed,
+}
+
+impl AaParity {
+    /// The parity after one more step.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            AaParity::Reversed => AaParity::Streamed,
+            AaParity::Streamed => AaParity::Reversed,
+        }
+    }
+
+    /// Stable byte encoding for checkpoints (0 = reversed, 1 = streamed).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            AaParity::Reversed => 0,
+            AaParity::Streamed => 1,
+        }
+    }
+
+    /// Decode the checkpoint byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(AaParity::Reversed),
+            1 => Some(AaParity::Streamed),
+            _ => None,
+        }
+    }
+}
+
+/// Scheme-dispatched population storage: either an A-B pair or a single
+/// AA-pattern grid plus its parity. This is what `Solver` holds; kernels and
+/// drivers match on it once per step.
+#[derive(Debug, Clone)]
+pub enum Storage<F> {
+    /// Double-buffered (ping-pong) state.
+    #[allow(deprecated)]
+    Ab(AbBuffers<F>),
+    /// Single-grid AA-pattern state.
+    Aa {
+        /// The one and only population grid.
+        field: F,
+        /// How `field` must currently be interpreted / which step flavor is next.
+        parity: AaParity,
+    },
+}
+
+#[allow(deprecated)]
+impl<F> Storage<F> {
+    /// Build storage for `scheme`; `make` allocates one grid (called once for
+    /// AA, twice for AB).
+    pub fn with_scheme(scheme: StorageScheme, mut make: impl FnMut() -> F) -> Self {
+        match scheme {
+            StorageScheme::Ab => Storage::Ab(AbBuffers::new(make(), make())),
+            StorageScheme::Aa => Storage::Aa {
+                field: make(),
+                parity: AaParity::Reversed,
+            },
+        }
+    }
+
+    /// Which scheme this storage implements.
+    #[inline]
+    pub fn scheme(&self) -> StorageScheme {
+        match self {
+            Storage::Ab(_) => StorageScheme::Ab,
+            Storage::Aa { .. } => StorageScheme::Aa,
+        }
+    }
+
+    /// AA parity, if this is AA storage.
+    #[inline]
+    pub fn parity(&self) -> Option<AaParity> {
+        match self {
+            Storage::Ab(_) => None,
+            Storage::Aa { parity, .. } => Some(*parity),
+        }
+    }
+
+    /// The grid holding the current readable state (AB: the `src` buffer; AA:
+    /// the single grid, whose raw interpretation depends on [`Self::parity`]).
+    #[inline]
+    pub fn state(&self) -> &F {
+        match self {
+            Storage::Ab(b) => b.src(),
+            Storage::Aa { field, .. } => field,
+        }
+    }
+
+    /// Mutable access to the current state grid.
+    #[inline]
+    pub fn state_mut(&mut self) -> &mut F {
+        match self {
+            Storage::Ab(b) => b.src_mut(),
+            Storage::Aa { field, .. } => field,
+        }
+    }
+}
+
 /// The A-B (ping-pong) buffer pair of the paper's Fig. 7.
 ///
 /// Two full copies of the populations are kept; every time step reads from one and
 /// writes to the other, then the roles swap. This is what makes the fused
 /// streaming+collision kernel race-free: no cell ever reads a value written in the
 /// same step.
+#[deprecated(
+    since = "0.7.0",
+    note = "use the scheme-agnostic `Storage`/`StorageScheme` surface (`Solver::state()`, \
+            `SolverBuilder::storage(...)`) instead of AB-only buffer plumbing"
+)]
 #[derive(Debug, Clone)]
 pub struct AbBuffers<F> {
     bufs: [F; 2],
@@ -237,6 +399,7 @@ pub struct AbBuffers<F> {
     cur: usize,
 }
 
+#[allow(deprecated)]
 impl<F> AbBuffers<F> {
     /// Build from two identically-sized fields; `a` holds the initial state.
     pub fn new(a: F, b: F) -> Self {
@@ -363,6 +526,42 @@ mod tests {
     }
 
     #[test]
+    fn storage_scheme_names_roundtrip() {
+        for s in [StorageScheme::Ab, StorageScheme::Aa] {
+            assert_eq!(StorageScheme::parse(s.name()), Some(s));
+        }
+        assert_eq!(StorageScheme::parse("esoteric"), None);
+        assert_eq!(StorageScheme::default(), StorageScheme::Ab);
+    }
+
+    #[test]
+    fn aa_parity_flips_and_encodes() {
+        assert_eq!(AaParity::Reversed.flip(), AaParity::Streamed);
+        assert_eq!(AaParity::Streamed.flip(), AaParity::Reversed);
+        for p in [AaParity::Reversed, AaParity::Streamed] {
+            assert_eq!(AaParity::from_u8(p.as_u8()), Some(p));
+        }
+        assert_eq!(AaParity::from_u8(7), None);
+    }
+
+    #[test]
+    fn storage_dispatches_state_by_scheme() {
+        let dims = GridDims::new2d(2, 2);
+        let mut ab = Storage::with_scheme(StorageScheme::Ab, || SoaField::<D2Q9>::new(dims));
+        assert_eq!(ab.scheme(), StorageScheme::Ab);
+        assert_eq!(ab.parity(), None);
+        ab.state_mut().set(0, 0, 9.0);
+        assert_eq!(ab.state().get(0, 0), 9.0);
+
+        let mut aa = Storage::with_scheme(StorageScheme::Aa, || SoaField::<D2Q9>::new(dims));
+        assert_eq!(aa.scheme(), StorageScheme::Aa);
+        assert_eq!(aa.parity(), Some(AaParity::Reversed));
+        aa.state_mut().set(1, 2, 3.5);
+        assert_eq!(aa.state().get(1, 2), 3.5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn ab_buffers_flip_and_pair() {
         let dims = GridDims::new2d(2, 2);
         let a = SoaField::<D2Q9>::new(dims);

@@ -77,7 +77,7 @@ pub mod prelude {
     pub use crate::flags::FlagField;
     pub use crate::geometry::{GridDims, Idx3};
     pub use crate::lattice::{Lattice, D2Q9, D3Q15, D3Q19, D3Q27};
-    pub use crate::layout::{AosField, Layout, PopField, SoaField};
+    pub use crate::layout::{AaParity, AosField, Layout, PopField, SoaField, Storage, StorageScheme};
     pub use crate::macroscopic::MacroFields;
     pub use crate::parallel::ThreadPool;
     pub use crate::simd::{KernelClass, LanePolicy};

@@ -30,9 +30,12 @@ use crate::boundary::NodeKind;
 use crate::collision::{collide, CollisionKind};
 use crate::equilibrium::equilibrium;
 use crate::flags::FlagField;
-use crate::kernels::{d3q19_interior_raw, gather_pull, InteriorIndex, InteriorRuns, MAX_Q};
+use crate::kernels::{
+    aa_d3q19_interior_raw, aa_generic_rect, d3q19_interior_raw, gather_pull, InteriorIndex,
+    InteriorRuns, MAX_Q,
+};
 use crate::lattice::{Lattice, D3Q19};
-use crate::layout::{PopField, SoaField};
+use crate::layout::{AaParity, PopField, SoaField};
 use crate::simd::{FastPath, KernelClass};
 use crate::Scalar;
 use std::any::Any;
@@ -382,6 +385,129 @@ impl ThreadPool {
         }
         class
     }
+
+    /// One in-place AA-pattern half-step executed by all worker threads,
+    /// returning the [`KernelClass`] that served the interior cells.
+    ///
+    /// `parity` names the grid's *current* state (the caller flips it after
+    /// this returns). The AA slot-ownership discipline — every slot is read
+    /// and written only by the single cell that owns it, which gathers before
+    /// scattering — makes the odd step's cross-slab scatters race-free for any
+    /// slab partition, so the same atomic slab-stealing driver as
+    /// [`ThreadPool::fused_step`] applies unchanged. Thread count and tile
+    /// size never change the result (bit-for-bit on scalar-semantics paths,
+    /// within 1e-12 under FMA lanes).
+    pub fn aa_fused_step<L: Lattice>(
+        &self,
+        flags: &FlagField,
+        field: &mut SoaField<L>,
+        collision: &CollisionKind,
+        parity: AaParity,
+        interior: Option<&InteriorIndex>,
+    ) -> KernelClass {
+        let dims = flags.dims();
+        self.aa_step_rect::<L>(flags, field, collision, parity, 0..dims.nx, 0..dims.ny, interior)
+    }
+
+    /// [`ThreadPool::aa_fused_step`] restricted to the rectangle `xr × yr`
+    /// (full z depth) — the entry point the distributed engine uses for the
+    /// inner rectangle of a subdomain.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aa_step_rect<L: Lattice>(
+        &self,
+        flags: &FlagField,
+        field: &mut SoaField<L>,
+        collision: &CollisionKind,
+        parity: AaParity,
+        xr: Range<usize>,
+        yr: Range<usize>,
+        interior: Option<&InteriorIndex>,
+    ) -> KernelClass {
+        let ny = yr.end.saturating_sub(yr.start);
+        if ny == 0 || xr.end <= xr.start {
+            return KernelClass::Generic;
+        }
+        // Fast-path eligibility mirrors `step_rect`: plain constant-ω BGK on a
+        // D3Q19 grid with a caller-provided interior index.
+        let omega = match collision {
+            CollisionKind::Bgk(p) => p.omega,
+            _ => 0.0,
+        };
+        let fast = matches!(collision, CollisionKind::Bgk(_))
+            && interior.is_some()
+            && std::any::TypeId::of::<L>() == std::any::TypeId::of::<D3Q19>();
+        let (skip_mask, runs) = if fast {
+            let ix = interior.expect("fast implies interior");
+            (Some(ix.mask()), Some(ix.runs()))
+        } else {
+            (None, None)
+        };
+        let (path, class) = crate::simd::select_fast_path();
+        let class = if fast { class } else { KernelClass::Generic };
+
+        let raw = field.raw_mut();
+        let grid = SharedWriter {
+            ptr: raw.as_mut_ptr(),
+            len: raw.len(),
+        };
+        let n_slabs = self.threads.min(ny);
+        let ctx = AaStepCtx::<L> {
+            flags,
+            grid,
+            collision,
+            parity,
+            fast,
+            omega,
+            skip_mask,
+            runs,
+            path,
+            xr,
+            yr,
+            tile_z: self.tile_z,
+            n_slabs,
+            next: AtomicUsize::new(0),
+            _lattice: std::marker::PhantomData,
+        };
+
+        match &self.inner {
+            None => unsafe { run_aa_step_job::<L>(&ctx as *const AaStepCtx<L> as *const ()) },
+            Some(inner) => {
+                let workers = {
+                    let mut st = inner.shared.state.lock().unwrap();
+                    st.job = Some(Job {
+                        func: run_aa_step_job::<L>,
+                        ctx: &ctx as *const AaStepCtx<L> as *const (),
+                    });
+                    st.generation += 1;
+                    st.active = self.threads - 1;
+                    st.active
+                };
+                if workers > 0 {
+                    inner.shared.work_cv.notify_all();
+                }
+                // Participate as worker 0; wait for the workers even on panic
+                // (the job context lives on this stack frame).
+                let mine = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    run_aa_step_job::<L>(&ctx as *const AaStepCtx<L> as *const ())
+                }));
+                let panicked = {
+                    let mut st = inner.shared.state.lock().unwrap();
+                    while st.active > 0 {
+                        st = inner.shared.done_cv.wait(st).unwrap();
+                    }
+                    st.job = None;
+                    std::mem::replace(&mut st.panicked, false)
+                };
+                if let Err(payload) = mine {
+                    resume_unwind(payload);
+                }
+                if panicked {
+                    panic!("worker thread panicked");
+                }
+            }
+        }
+        class
+    }
 }
 
 impl Default for ThreadPool {
@@ -452,7 +578,7 @@ unsafe fn run_step_job<L: Lattice, F: PopField<L>>(ctx: *const ()) {
                         ctx.tile_z,
                         mask,
                     ),
-                    FastPath::Portable | FastPath::Avx2 => crate::simd::d3q19_interior_simd(
+                    _ => crate::simd::d3q19_interior_simd(
                         ctx.flags,
                         sraw,
                         ctx.writer.ptr,
@@ -461,7 +587,7 @@ unsafe fn run_step_job<L: Lattice, F: PopField<L>>(ctx: *const ()) {
                         ys.clone(),
                         ctx.tile_z,
                         ctx.runs.expect("fast path implies runs"),
-                        ctx.path == FastPath::Portable,
+                        ctx.path,
                     ),
                 }
             }
@@ -475,6 +601,92 @@ unsafe fn run_step_job<L: Lattice, F: PopField<L>>(ctx: *const ()) {
             ys,
             ctx.skip_mask,
         );
+    }
+}
+
+/// The type-erased per-step context of the in-place AA driver. Lives on the
+/// dispatching caller's stack for the duration of the step.
+struct AaStepCtx<'a, L: Lattice> {
+    flags: &'a FlagField,
+    /// The single grid, shared read+write: the AA slot-ownership discipline
+    /// guarantees no two threads ever touch the same slot.
+    grid: SharedWriter,
+    collision: &'a CollisionKind,
+    /// The grid's current state (selects the odd or even step flavor).
+    parity: AaParity,
+    /// `true` ⇒ run the optimized D3Q19 AA interior kernel on masked cells.
+    fast: bool,
+    omega: Scalar,
+    /// `Some` ⇒ the generic remainder skips cells the fast path covered.
+    skip_mask: Option<&'a [bool]>,
+    /// Run-length interior view for the vectorized kernel (set iff fast path).
+    runs: Option<&'a InteriorRuns>,
+    path: FastPath,
+    xr: Range<usize>,
+    yr: Range<usize>,
+    tile_z: usize,
+    n_slabs: usize,
+    next: AtomicUsize,
+    _lattice: std::marker::PhantomData<L>,
+}
+
+/// AA job body: steal slabs until the partition is exhausted.
+///
+/// # Safety
+/// `ctx` must point at a live `AaStepCtx<L>` whose grid no other code touches
+/// during the job.
+unsafe fn run_aa_step_job<L: Lattice>(ctx: *const ()) {
+    let ctx = unsafe { &*(ctx as *const AaStepCtx<L>) };
+    loop {
+        let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+        if i >= ctx.n_slabs {
+            break;
+        }
+        let ys = slab_range(&ctx.yr, i, ctx.n_slabs);
+        if ctx.fast {
+            // SAFETY: slot ownership ⇒ disjoint slot access across slabs even
+            // for cross-slab odd scatters; grid length checked at construction.
+            // Slabs never split a z-pencil, so the vectorized run iteration is
+            // identical for every thread count.
+            unsafe {
+                match ctx.path {
+                    FastPath::MaskScalar => aa_d3q19_interior_raw(
+                        ctx.flags,
+                        ctx.grid.ptr,
+                        ctx.omega,
+                        ctx.parity,
+                        ctx.xr.clone(),
+                        ys.clone(),
+                        ctx.tile_z,
+                        ctx.skip_mask.expect("fast path implies mask"),
+                    ),
+                    _ => crate::simd::aa_d3q19_interior_simd(
+                        ctx.flags,
+                        ctx.grid.ptr,
+                        ctx.omega,
+                        ctx.parity,
+                        ctx.xr.clone(),
+                        ys.clone(),
+                        ctx.tile_z,
+                        ctx.runs.expect("fast path implies runs"),
+                        ctx.path,
+                    ),
+                }
+            }
+        }
+        // SAFETY: as above — each cell is processed exactly once across all
+        // slabs and passes, and every slot has a single owning cell.
+        unsafe {
+            aa_generic_rect::<L>(
+                ctx.flags,
+                ctx.grid.ptr,
+                ctx.collision,
+                ctx.parity,
+                ctx.xr.clone(),
+                ys,
+                ctx.skip_mask,
+            )
+        };
     }
 }
 

@@ -15,20 +15,30 @@
 //! precomputed run-length-encoded interior runs ([`crate::kernels::InteriorRuns`])
 //! instead of testing a per-cell `Vec<bool>` mask: the SoA layout is z-innermost
 //! (`idx = (y·nx + x)·nz + z`), so within a run all 19 pull-scheme gathers are
-//! plain contiguous (unaligned) 4-wide loads from a shifted line. Sub-lane
+//! plain contiguous (unaligned) lane-wide loads from a shifted line. Sub-lane
 //! remainders fall back to the shared scalar per-cell update, so coverage is
-//! identical to the mask-based scalar kernel.
+//! identical to the mask-based scalar kernel. The same lanes also drive the
+//! AA-pattern single-grid interior kernels ([`aa_d3q19_interior_simd`]): the odd
+//! flavor pulls from reversed slots and scatters, the even flavor is a purely
+//! local load/collide/reversed-store permute.
+//!
+//! Lane widths: the AVX2 lane and the default portable lane are 4 × f64
+//! ([`LANES`]); an 8 × f64 AVX-512F lane (plus a bit-exact `[f64; 8]` portable
+//! twin for pinning its chunking without the hardware) rides behind the same
+//! [`Lane`] trait via its associated `WIDTH`.
 //!
 //! Dispatch policy (what [`select_fast_path`] resolves, reported per step via
 //! the `kernel_class` observability gauge):
 //!
-//! * AVX2+FMA detected at runtime → the AVX2 lane ([`KernelClass::Simd`]);
-//!   results agree with the scalar kernel within 1e-12 (FMA contracts
+//! * AVX-512F detected at runtime → the 8-wide AVX-512 lane
+//!   ([`KernelClass::Simd`]); else AVX2+FMA detected → the AVX2 lane (also
+//!   `Simd`). Both agree with the scalar kernel within 1e-12 (FMA contracts
 //!   `a*b + c` into one rounding).
-//! * `SWLB_NO_SIMD=1` in the environment, or no AVX2+FMA → the portable lane
+//! * `SWLB_NO_SIMD=1` in the environment, or no vector unit → the portable lane
 //!   ([`KernelClass::Scalar`]); results are bit-exact against the scalar kernel.
 //! * Benchmarks force the legacy mask-based scalar kernel via
-//!   [`LanePolicy::ForceScalar`] for honest scalar baselines.
+//!   [`LanePolicy::ForceScalar`] for honest scalar baselines; equivalence runs
+//!   pin specific lanes via `ForcePortable`/`ForceAvx2`/`ForceAvx512`.
 //!
 //! The module also hosts the host-metadata helpers (`cpu_features`,
 //! `logical_cores`, `physical_cores`) that bench output and the CLI exit
@@ -37,13 +47,15 @@
 use crate::flags::FlagField;
 use crate::kernels::InteriorRuns;
 use crate::lattice::{Lattice, D3Q19};
+use crate::layout::AaParity;
 use crate::Scalar;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
-/// Fixed lane width: 4 × f64, matching both AVX2 (256-bit) and the SW26010
-/// vector unit the paper targets.
+/// Baseline lane width: 4 × f64, matching both AVX2 (256-bit) and the SW26010
+/// vector unit the paper targets. The AVX-512 lane is 8 wide; kernels read the
+/// width off [`Lane::WIDTH`], not this constant.
 pub const LANES: usize = 4;
 
 // ---------------------------------------------------------------------------
@@ -108,6 +120,12 @@ pub enum LanePolicy {
     ForcePortable,
     /// Always run the legacy mask-based scalar interior kernel.
     ForceScalar,
+    /// Pin the 4-wide AVX2+FMA lane even when AVX-512F is available (falls back
+    /// to the portable 4-wide lane on CPUs without AVX2+FMA).
+    ForceAvx2,
+    /// Pin the 8-wide AVX-512F lane (falls back to the *8-wide* portable lane
+    /// on CPUs without AVX-512F, preserving the 8-wide chunk split bit-exactly).
+    ForceAvx512,
 }
 
 static LANE_POLICY: AtomicU8 = AtomicU8::new(0);
@@ -119,6 +137,8 @@ pub fn set_lane_policy(policy: LanePolicy) {
         LanePolicy::Auto => 0,
         LanePolicy::ForcePortable => 1,
         LanePolicy::ForceScalar => 2,
+        LanePolicy::ForceAvx2 => 3,
+        LanePolicy::ForceAvx512 => 4,
     };
     LANE_POLICY.store(v, Ordering::Relaxed);
 }
@@ -128,6 +148,8 @@ pub fn lane_policy() -> LanePolicy {
     match LANE_POLICY.load(Ordering::Relaxed) {
         1 => LanePolicy::ForcePortable,
         2 => LanePolicy::ForceScalar,
+        3 => LanePolicy::ForceAvx2,
+        4 => LanePolicy::ForceAvx512,
         _ => LanePolicy::Auto,
     }
 }
@@ -156,14 +178,32 @@ pub fn simd_available() -> bool {
     }
 }
 
+/// Whether the 8-wide AVX-512F lane can run on this CPU (runtime detection;
+/// always `false` off x86_64).
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// Concrete implementation choice for an *eligible* interior fast path
 /// (SoA + D3Q19 + plain BGK with an interior index supplied).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum FastPath {
+    /// 8-wide AVX-512F lane over interior runs.
+    Avx512,
     /// AVX2+FMA lane over interior runs.
     Avx2,
     /// Portable `[f64; 4]` lane over interior runs (scalar-exact).
     Portable,
+    /// Portable `[f64; 8]` lane over interior runs (scalar-exact, 8-wide
+    /// chunking — the software twin of the AVX-512 lane).
+    Portable8,
     /// Legacy mask-based scalar kernel ([`crate::kernels::fused_step_d3q19_interior_tiled`]).
     MaskScalar,
 }
@@ -174,8 +214,24 @@ pub(crate) fn select_fast_path() -> (FastPath, KernelClass) {
     match lane_policy() {
         LanePolicy::ForceScalar => (FastPath::MaskScalar, KernelClass::Scalar),
         LanePolicy::ForcePortable => (FastPath::Portable, KernelClass::Scalar),
-        LanePolicy::Auto => {
+        LanePolicy::ForceAvx2 => {
             if !no_simd_env() && simd_available() {
+                (FastPath::Avx2, KernelClass::Simd)
+            } else {
+                (FastPath::Portable, KernelClass::Scalar)
+            }
+        }
+        LanePolicy::ForceAvx512 => {
+            if !no_simd_env() && avx512_available() {
+                (FastPath::Avx512, KernelClass::Simd)
+            } else {
+                (FastPath::Portable8, KernelClass::Scalar)
+            }
+        }
+        LanePolicy::Auto => {
+            if !no_simd_env() && avx512_available() {
+                (FastPath::Avx512, KernelClass::Simd)
+            } else if !no_simd_env() && simd_available() {
                 (FastPath::Avx2, KernelClass::Simd)
             } else {
                 (FastPath::Portable, KernelClass::Scalar)
@@ -191,9 +247,9 @@ pub fn selected_kernel_class() -> KernelClass {
 }
 
 /// Maximum absolute deviation from the scalar reference the active dispatch
-/// may introduce per comparison: `0.0` (bit-exact) unless the AVX2+FMA lane is
-/// selected, where FMA contraction reorders roundings (≤ 1e-12 over the short
-/// runs the equivalence tests pin).
+/// may introduce per comparison: `0.0` (bit-exact) unless an FMA-contracting
+/// vector lane (AVX2+FMA or AVX-512F) is selected, where fused roundings
+/// deviate (≤ 1e-12 over the short runs the equivalence tests pin).
 pub fn dispatch_tolerance() -> f64 {
     if selected_kernel_class() == KernelClass::Simd {
         1e-12
@@ -206,25 +262,28 @@ pub fn dispatch_tolerance() -> f64 {
 // The Lane abstraction.
 // ---------------------------------------------------------------------------
 
-/// A fixed-width vector of [`LANES`] f64 values.
+/// A fixed-width vector of [`Lane::WIDTH`] f64 values.
 ///
-/// The kernel body is written once against this trait; the portable lane gives
+/// The kernel body is written once against this trait; the portable lanes give
 /// it scalar-exact rounding (`mul_add` is two separately rounded ops), the
-/// AVX2 lane gives it FMA contraction and 4-wide arithmetic.
+/// AVX2/AVX-512 lanes give it FMA contraction and 4-/8-wide arithmetic.
 pub trait Lane: Copy {
     /// Implementation name (diagnostics).
     const NAME: &'static str;
 
-    /// Load [`LANES`] consecutive f64 values (no alignment requirement).
+    /// Number of f64 elements per vector.
+    const WIDTH: usize;
+
+    /// Load [`Lane::WIDTH`] consecutive f64 values (no alignment requirement).
     ///
     /// # Safety
-    /// `p` must be valid for reading `LANES` f64 values.
+    /// `p` must be valid for reading `WIDTH` f64 values.
     unsafe fn load(p: *const Scalar) -> Self;
 
-    /// Store [`LANES`] consecutive f64 values (no alignment requirement).
+    /// Store [`Lane::WIDTH`] consecutive f64 values (no alignment requirement).
     ///
     /// # Safety
-    /// `p` must be valid for writing `LANES` f64 values.
+    /// `p` must be valid for writing `WIDTH` f64 values.
     unsafe fn store(self, p: *mut Scalar);
 
     /// Broadcast one scalar into every element.
@@ -247,101 +306,124 @@ pub trait Lane: Copy {
     fn velocities(jx: Self, jy: Self, jz: Self, rho: Self) -> (Self, Self, Self);
 }
 
-/// Portable 4-wide lane: plain f64 arithmetic per element. Rust performs no
-/// floating-point contraction, so each op is one IEEE rounding — the same
-/// expression tree as the scalar kernel, hence bit-exact results.
-#[derive(Clone, Copy)]
-pub struct PortableLane([Scalar; LANES]);
+/// Defines a portable `[f64; N]` lane: plain f64 arithmetic per element. Rust
+/// performs no floating-point contraction, so each op is one IEEE rounding —
+/// the same expression tree as the scalar kernel, hence bit-exact results.
+macro_rules! portable_lane {
+    ($(#[$doc:meta])* $name:ident, $width:expr, $label:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy)]
+        pub struct $name([Scalar; $width]);
 
-impl Lane for PortableLane {
-    const NAME: &'static str = "portable";
+        impl Lane for $name {
+            const NAME: &'static str = $label;
+            const WIDTH: usize = $width;
 
-    #[inline(always)]
-    unsafe fn load(p: *const Scalar) -> Self {
-        let mut v = [0.0; LANES];
-        for (i, slot) in v.iter_mut().enumerate() {
-            *slot = unsafe { *p.add(i) };
-        }
-        PortableLane(v)
-    }
+            #[inline(always)]
+            unsafe fn load(p: *const Scalar) -> Self {
+                let mut v = [0.0; $width];
+                for (i, slot) in v.iter_mut().enumerate() {
+                    *slot = unsafe { *p.add(i) };
+                }
+                $name(v)
+            }
 
-    #[inline(always)]
-    unsafe fn store(self, p: *mut Scalar) {
-        for (i, v) in self.0.iter().enumerate() {
-            unsafe { *p.add(i) = *v };
-        }
-    }
+            #[inline(always)]
+            unsafe fn store(self, p: *mut Scalar) {
+                for (i, v) in self.0.iter().enumerate() {
+                    unsafe { *p.add(i) = *v };
+                }
+            }
 
-    #[inline(always)]
-    fn splat(v: Scalar) -> Self {
-        PortableLane([v; LANES])
-    }
+            #[inline(always)]
+            fn splat(v: Scalar) -> Self {
+                $name([v; $width])
+            }
 
-    #[inline(always)]
-    fn add(self, o: Self) -> Self {
-        let mut r = self.0;
-        for i in 0..LANES {
-            r[i] += o.0[i];
-        }
-        PortableLane(r)
-    }
+            #[inline(always)]
+            fn add(self, o: Self) -> Self {
+                let mut r = self.0;
+                for i in 0..$width {
+                    r[i] += o.0[i];
+                }
+                $name(r)
+            }
 
-    #[inline(always)]
-    fn sub(self, o: Self) -> Self {
-        let mut r = self.0;
-        for i in 0..LANES {
-            r[i] -= o.0[i];
-        }
-        PortableLane(r)
-    }
+            #[inline(always)]
+            fn sub(self, o: Self) -> Self {
+                let mut r = self.0;
+                for i in 0..$width {
+                    r[i] -= o.0[i];
+                }
+                $name(r)
+            }
 
-    #[inline(always)]
-    fn mul(self, o: Self) -> Self {
-        let mut r = self.0;
-        for i in 0..LANES {
-            r[i] *= o.0[i];
-        }
-        PortableLane(r)
-    }
+            #[inline(always)]
+            fn mul(self, o: Self) -> Self {
+                let mut r = self.0;
+                for i in 0..$width {
+                    r[i] *= o.0[i];
+                }
+                $name(r)
+            }
 
-    #[inline(always)]
-    fn mul_add(self, b: Self, c: Self) -> Self {
-        // Deliberately NOT f64::mul_add: two roundings, like the scalar kernel.
-        let mut r = [0.0; LANES];
-        for i in 0..LANES {
-            r[i] = self.0[i] * b.0[i] + c.0[i];
-        }
-        PortableLane(r)
-    }
+            #[inline(always)]
+            fn mul_add(self, b: Self, c: Self) -> Self {
+                // Deliberately NOT f64::mul_add: two roundings, like scalar.
+                let mut r = [0.0; $width];
+                for i in 0..$width {
+                    r[i] = self.0[i] * b.0[i] + c.0[i];
+                }
+                $name(r)
+            }
 
-    #[inline(always)]
-    fn neg(self) -> Self {
-        let mut r = self.0;
-        for v in &mut r {
-            *v = -*v;
-        }
-        PortableLane(r)
-    }
+            #[inline(always)]
+            fn neg(self) -> Self {
+                let mut r = self.0;
+                for v in &mut r {
+                    *v = -*v;
+                }
+                $name(r)
+            }
 
-    #[inline(always)]
-    fn velocities(jx: Self, jy: Self, jz: Self, rho: Self) -> (Self, Self, Self) {
-        let (mut ux, mut uy, mut uz) = ([0.0; LANES], [0.0; LANES], [0.0; LANES]);
-        for i in 0..LANES {
-            // Mirror `equilibrium::velocity`'s vacuum guard exactly.
-            if rho.0[i].abs() < 1e-300 {
-                ux[i] = 0.0;
-                uy[i] = 0.0;
-                uz[i] = 0.0;
-            } else {
-                let inv = 1.0 / rho.0[i];
-                ux[i] = jx.0[i] * inv;
-                uy[i] = jy.0[i] * inv;
-                uz[i] = jz.0[i] * inv;
+            #[inline(always)]
+            fn velocities(jx: Self, jy: Self, jz: Self, rho: Self) -> (Self, Self, Self) {
+                let (mut ux, mut uy, mut uz) = ([0.0; $width], [0.0; $width], [0.0; $width]);
+                for i in 0..$width {
+                    // Mirror `equilibrium::velocity`'s vacuum guard exactly.
+                    if rho.0[i].abs() < 1e-300 {
+                        ux[i] = 0.0;
+                        uy[i] = 0.0;
+                        uz[i] = 0.0;
+                    } else {
+                        let inv = 1.0 / rho.0[i];
+                        ux[i] = jx.0[i] * inv;
+                        uy[i] = jy.0[i] * inv;
+                        uz[i] = jz.0[i] * inv;
+                    }
+                }
+                ($name(ux), $name(uy), $name(uz))
             }
         }
-        (PortableLane(ux), PortableLane(uy), PortableLane(uz))
-    }
+    };
 }
+
+portable_lane!(
+    /// Portable 4-wide lane (scalar-exact rounding; the `SWLB_NO_SIMD` and
+    /// no-AVX2 fallback).
+    PortableLane,
+    LANES,
+    "portable"
+);
+portable_lane!(
+    /// Portable 8-wide lane: the software twin of the AVX-512 lane. Same
+    /// scalar-exact rounding as [`PortableLane`], but 8-wide chunking, so
+    /// `ForceAvx512`-pinned runs reproduce the AVX-512 vector/scalar chunk
+    /// split bit-exactly on hardware without AVX-512F.
+    Portable8Lane,
+    8,
+    "portable8"
+);
 
 /// AVX2 + FMA 4 × f64 lane.
 ///
@@ -358,6 +440,7 @@ mod avx2 {
 
     impl Lane for Avx2Lane {
         const NAME: &'static str = "avx2+fma";
+        const WIDTH: usize = 4;
 
         #[inline(always)]
         unsafe fn load(p: *const Scalar) -> Self {
@@ -420,104 +503,160 @@ mod avx2 {
 #[cfg(target_arch = "x86_64")]
 use avx2::Avx2Lane;
 
+/// AVX-512F 8 × f64 lane.
+///
+/// Only constructed behind a successful `is_x86_feature_detected!("avx512f")`
+/// check; kernel instantiations are wrapped in `#[target_feature(enable =
+/// "avx512f")]` functions so every intrinsic inlines into a feature-enabled
+/// region. Sign/abs manipulation goes through the 512-bit integer domain
+/// (`_mm512_xor_si512`/`_mm512_and_si512`), which is plain AVX-512F — the
+/// floating-point bitwise ops (`_mm512_xor_pd` …) would require AVX-512DQ.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::{Lane, Scalar};
+    use std::arch::x86_64::*;
+
+    #[derive(Clone, Copy)]
+    pub struct Avx512Lane(__m512d);
+
+    impl Lane for Avx512Lane {
+        const NAME: &'static str = "avx512f";
+        const WIDTH: usize = 8;
+
+        #[inline(always)]
+        unsafe fn load(p: *const Scalar) -> Self {
+            Avx512Lane(unsafe { _mm512_loadu_pd(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut Scalar) {
+            unsafe { _mm512_storeu_pd(p, self.0) };
+        }
+
+        #[inline(always)]
+        fn splat(v: Scalar) -> Self {
+            Avx512Lane(unsafe { _mm512_set1_pd(v) })
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            Avx512Lane(unsafe { _mm512_add_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            Avx512Lane(unsafe { _mm512_sub_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            Avx512Lane(unsafe { _mm512_mul_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul_add(self, b: Self, c: Self) -> Self {
+            Avx512Lane(unsafe { _mm512_fmadd_pd(self.0, b.0, c.0) })
+        }
+
+        #[inline(always)]
+        fn neg(self) -> Self {
+            // Exact sign flip via integer xor with the sign-bit mask.
+            Avx512Lane(unsafe {
+                _mm512_castsi512_pd(_mm512_xor_si512(
+                    _mm512_castpd_si512(self.0),
+                    _mm512_set1_epi64(i64::MIN),
+                ))
+            })
+        }
+
+        #[inline(always)]
+        fn velocities(jx: Self, jy: Self, jz: Self, rho: Self) -> (Self, Self, Self) {
+            unsafe {
+                // |ρ| via integer-domain abs mask (AVX-512F-only).
+                let abs = _mm512_castsi512_pd(_mm512_and_si512(
+                    _mm512_castpd_si512(rho.0),
+                    _mm512_set1_epi64(0x7fff_ffff_ffff_ffff),
+                ));
+                // Vacuum ⇔ |ρ| < tiny (ordered, so NaN ρ is *not* vacuum and
+                // propagates through the product, matching the scalar guard);
+                // maskz with the complement zeroes exactly the vacuum elements.
+                let vac: __mmask8 =
+                    _mm512_cmp_pd_mask::<_CMP_LT_OQ>(abs, _mm512_set1_pd(1e-300));
+                let ok = !vac;
+                let inv = _mm512_div_pd(_mm512_set1_pd(1.0), rho.0);
+                let ux = _mm512_maskz_mul_pd(ok, jx.0, inv);
+                let uy = _mm512_maskz_mul_pd(ok, jy.0, inv);
+                let uz = _mm512_maskz_mul_pd(ok, jz.0, inv);
+                (Avx512Lane(ux), Avx512Lane(uy), Avx512Lane(uz))
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx512::Avx512Lane;
+
 // ---------------------------------------------------------------------------
 // The vectorized interior kernel.
 // ---------------------------------------------------------------------------
 
-/// One lane-wide fused update of [`LANES`] consecutive-z interior cells
-/// starting at linear index `this`. The body is the vector transliteration of
-/// the scalar `d3q19_cell_update` in [`crate::kernels`] — same expression
-/// tree, so the portable instantiation is bit-exact.
-///
-/// # Safety
-/// Cells `this .. this + LANES` must all be interior (per the interior mask),
-/// `sraw`/`draw` must cover `19 * cells` scalars, and no other thread may
-/// write these cells concurrently.
+/// The D3Q19 BGK collision applied to one lane group of pre-gathered
+/// populations — the vector transliteration of the scalar
+/// [`crate::kernels::d3q19_collide_scalar`], shared by the AB and both AA
+/// lane kernels. Same expression tree as the scalar body, so the portable
+/// instantiations are bit-exact.
 #[inline(always)]
-unsafe fn lane_update<V: Lane>(
-    sraw: &[Scalar],
-    draw: *mut Scalar,
-    cells: usize,
-    off: &[isize; 19],
-    this: usize,
-    omega: Scalar,
-) {
-    let sp = sraw.as_ptr();
-    macro_rules! pull {
-        ($q:literal) => {
-            unsafe { V::load(sp.add(($q * cells as isize + this as isize + off[$q]) as usize)) }
-        };
-    }
-    let mut f0 = pull!(0);
-    let mut f1 = pull!(1);
-    let mut f2 = pull!(2);
-    let mut f3 = pull!(3);
-    let mut f4 = pull!(4);
-    let mut f5 = pull!(5);
-    let mut f6 = pull!(6);
-    let mut f7 = pull!(7);
-    let mut f8 = pull!(8);
-    let mut f9 = pull!(9);
-    let mut f10 = pull!(10);
-    let mut f11 = pull!(11);
-    let mut f12 = pull!(12);
-    let mut f13 = pull!(13);
-    let mut f14 = pull!(14);
-    let mut f15 = pull!(15);
-    let mut f16 = pull!(16);
-    let mut f17 = pull!(17);
-    let mut f18 = pull!(18);
-
+fn lane_collide<V: Lane>(f: &mut [V; 19], omega: Scalar) {
     // Moments: same left-associated reduction order as the scalar kernel.
-    let rho = f0
-        .add(f1)
-        .add(f2)
-        .add(f3)
-        .add(f4)
-        .add(f5)
-        .add(f6)
-        .add(f7)
-        .add(f8)
-        .add(f9)
-        .add(f10)
-        .add(f11)
-        .add(f12)
-        .add(f13)
-        .add(f14)
-        .add(f15)
-        .add(f16)
-        .add(f17)
-        .add(f18);
-    let jx = f1
-        .sub(f2)
-        .add(f7)
-        .sub(f8)
-        .add(f9)
-        .sub(f10)
-        .add(f11)
-        .sub(f12)
-        .add(f13)
-        .sub(f14);
-    let jy = f3
-        .sub(f4)
-        .add(f7)
-        .sub(f8)
-        .sub(f9)
-        .add(f10)
-        .add(f15)
-        .sub(f16)
-        .add(f17)
-        .sub(f18);
-    let jz = f5
-        .sub(f6)
-        .add(f11)
-        .sub(f12)
-        .sub(f13)
-        .add(f14)
-        .add(f15)
-        .sub(f16)
-        .sub(f17)
-        .add(f18);
+    let rho = f[0]
+        .add(f[1])
+        .add(f[2])
+        .add(f[3])
+        .add(f[4])
+        .add(f[5])
+        .add(f[6])
+        .add(f[7])
+        .add(f[8])
+        .add(f[9])
+        .add(f[10])
+        .add(f[11])
+        .add(f[12])
+        .add(f[13])
+        .add(f[14])
+        .add(f[15])
+        .add(f[16])
+        .add(f[17])
+        .add(f[18]);
+    let jx = f[1]
+        .sub(f[2])
+        .add(f[7])
+        .sub(f[8])
+        .add(f[9])
+        .sub(f[10])
+        .add(f[11])
+        .sub(f[12])
+        .add(f[13])
+        .sub(f[14]);
+    let jy = f[3]
+        .sub(f[4])
+        .add(f[7])
+        .sub(f[8])
+        .sub(f[9])
+        .add(f[10])
+        .add(f[15])
+        .sub(f[16])
+        .add(f[17])
+        .sub(f[18]);
+    let jz = f[5]
+        .sub(f[6])
+        .add(f[11])
+        .sub(f[12])
+        .sub(f[13])
+        .add(f[14])
+        .add(f[15])
+        .sub(f[16])
+        .sub(f[17])
+        .add(f[18]);
     let (ux, uy, uz) = V::velocities(jx, jy, jz, rho);
     // usq15 = 1.5·(ux² + uy² + uz²), same reduction order as scalar.
     let usq15 = {
@@ -535,7 +674,7 @@ unsafe fn lane_update<V: Lane>(
     let four5 = V::splat(4.5);
     let neg_omega = V::splat(-omega);
     macro_rules! relax {
-        ($f:ident, $w:expr, $cu:expr) => {{
+        ($q:literal, $w:expr, $cu:expr) => {{
             let cu = $cu;
             // feq = (w·ρ) · ((1 + 3cu + 4.5cu²) − usq15): unfused this is the
             // scalar tree exactly; under FMA two products contract.
@@ -544,53 +683,133 @@ unsafe fn lane_update<V: Lane>(
             let t = t.sub(usq15);
             let feq = V::splat($w).mul(rho).mul(t);
             // f ← f − ω(f − feq) = (f − feq)·(−ω) + f (bit-equal unfused).
-            $f = $f.sub(feq).mul_add(neg_omega, $f);
+            f[$q] = f[$q].sub(feq).mul_add(neg_omega, f[$q]);
         }};
     }
-    relax!(f0, W0, V::splat(0.0));
-    relax!(f1, WA, ux);
-    relax!(f2, WA, ux.neg());
-    relax!(f3, WA, uy);
-    relax!(f4, WA, uy.neg());
-    relax!(f5, WA, uz);
-    relax!(f6, WA, uz.neg());
-    relax!(f7, WE, ux.add(uy));
-    relax!(f8, WE, ux.neg().sub(uy));
-    relax!(f9, WE, ux.sub(uy));
-    relax!(f10, WE, ux.neg().add(uy));
-    relax!(f11, WE, ux.add(uz));
-    relax!(f12, WE, ux.neg().sub(uz));
-    relax!(f13, WE, ux.sub(uz));
-    relax!(f14, WE, ux.neg().add(uz));
-    relax!(f15, WE, uy.add(uz));
-    relax!(f16, WE, uy.neg().sub(uz));
-    relax!(f17, WE, uy.sub(uz));
-    relax!(f18, WE, uy.neg().add(uz));
+    relax!(0, W0, V::splat(0.0));
+    relax!(1, WA, ux);
+    relax!(2, WA, ux.neg());
+    relax!(3, WA, uy);
+    relax!(4, WA, uy.neg());
+    relax!(5, WA, uz);
+    relax!(6, WA, uz.neg());
+    relax!(7, WE, ux.add(uy));
+    relax!(8, WE, ux.neg().sub(uy));
+    relax!(9, WE, ux.sub(uy));
+    relax!(10, WE, ux.neg().add(uy));
+    relax!(11, WE, ux.add(uz));
+    relax!(12, WE, ux.neg().sub(uz));
+    relax!(13, WE, ux.sub(uz));
+    relax!(14, WE, ux.neg().add(uz));
+    relax!(15, WE, uy.add(uz));
+    relax!(16, WE, uy.neg().sub(uz));
+    relax!(17, WE, uy.sub(uz));
+    relax!(18, WE, uy.neg().add(uz));
+}
 
-    macro_rules! store {
-        ($q:literal, $f:ident) => {
-            unsafe { $f.store(draw.add($q * cells + this)) };
-        };
+/// One lane-wide fused AB update of [`Lane::WIDTH`] consecutive-z interior
+/// cells starting at linear index `this`: pull-gather from `sraw`, collide,
+/// store to `draw` — the vector transliteration of the scalar
+/// `d3q19_cell_update` in [`crate::kernels`].
+///
+/// # Safety
+/// Cells `this .. this + WIDTH` must all be interior (per the interior mask),
+/// `sraw`/`draw` must cover `19 * cells` scalars, and no other thread may
+/// write these cells concurrently.
+#[inline(always)]
+unsafe fn lane_update<V: Lane>(
+    sraw: &[Scalar],
+    draw: *mut Scalar,
+    cells: usize,
+    off: &[isize; 19],
+    this: usize,
+    omega: Scalar,
+) {
+    let sp = sraw.as_ptr();
+    let mut f = [V::splat(0.0); 19];
+    macro_rules! pull {
+        ($($q:literal)*) => {$(
+            f[$q] = unsafe {
+                V::load(sp.add(($q * cells as isize + this as isize + off[$q]) as usize))
+            };
+        )*};
     }
-    store!(0, f0);
-    store!(1, f1);
-    store!(2, f2);
-    store!(3, f3);
-    store!(4, f4);
-    store!(5, f5);
-    store!(6, f6);
-    store!(7, f7);
-    store!(8, f8);
-    store!(9, f9);
-    store!(10, f10);
-    store!(11, f11);
-    store!(12, f12);
-    store!(13, f13);
-    store!(14, f14);
-    store!(15, f15);
-    store!(16, f16);
-    store!(17, f17);
-    store!(18, f18);
+    pull!(0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18);
+    lane_collide::<V>(&mut f, omega);
+    macro_rules! push {
+        ($($q:literal)*) => {$(
+            unsafe { f[$q].store(draw.add($q * cells + this)) };
+        )*};
+    }
+    push!(0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18);
+}
+
+/// One lane-wide AA **odd** (pull + scatter) update of [`Lane::WIDTH`]
+/// consecutive-z interior cells. The grid holds the *reversed* state
+/// (`raw[x][q] = f*_opp(q)(x)`), so streaming-in population `q` lives in plane
+/// `opp(q)` of the pull neighbor (`this + off[q]`); post-collision values
+/// scatter to plane `q` of the push neighbor (`this − off[q]`), producing the
+/// *streamed* state. All 19 loads complete before any store, and a slot's only
+/// odd-step writer is the cell whose own gather reads it, so any traversal
+/// order (and any slab/lane partition) is race-free.
+///
+/// # Safety
+/// As [`lane_update`], with `raw` both read and written (single grid).
+#[inline(always)]
+unsafe fn aa_odd_lane_update<V: Lane>(
+    raw: *mut Scalar,
+    cells: usize,
+    off: &[isize; 19],
+    this: usize,
+    omega: Scalar,
+) {
+    let mut f = [V::splat(0.0); 19];
+    // opp(q) pairs: 0↔0, then (1,2)(3,4)…(17,18).
+    macro_rules! pull {
+        ($(($q:literal, $opp:literal))*) => {$(
+            f[$q] = unsafe {
+                V::load(raw.add(($opp * cells as isize + this as isize + off[$q]) as usize))
+            };
+        )*};
+    }
+    pull!((0, 0) (1, 2) (2, 1) (3, 4) (4, 3) (5, 6) (6, 5) (7, 8) (8, 7) (9, 10) (10, 9)
+          (11, 12) (12, 11) (13, 14) (14, 13) (15, 16) (16, 15) (17, 18) (18, 17));
+    lane_collide::<V>(&mut f, omega);
+    macro_rules! scatter {
+        ($($q:literal)*) => {$(
+            unsafe {
+                f[$q].store(raw.offset($q * cells as isize + this as isize - off[$q]));
+            }
+        )*};
+    }
+    scatter!(0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18);
+}
+
+/// One lane-wide AA **even** (local permute) update of [`Lane::WIDTH`]
+/// consecutive-z interior cells. The grid holds the *streamed* state
+/// (`raw[y][q] = f*_q(y − c_q)`), so every gather is the cell's own slot;
+/// post-collision values store back locally with slots reversed, producing the
+/// *reversed* state. Purely cell-local — no neighbor traffic at all.
+///
+/// # Safety
+/// As [`aa_odd_lane_update`].
+#[inline(always)]
+unsafe fn aa_even_lane_update<V: Lane>(raw: *mut Scalar, cells: usize, this: usize, omega: Scalar) {
+    let mut f = [V::splat(0.0); 19];
+    macro_rules! pull {
+        ($($q:literal)*) => {$(
+            f[$q] = unsafe { V::load(raw.add($q * cells + this).cast_const()) };
+        )*};
+    }
+    pull!(0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18);
+    lane_collide::<V>(&mut f, omega);
+    macro_rules! store_rev {
+        ($(($q:literal, $opp:literal))*) => {$(
+            unsafe { f[$q].store(raw.add($opp * cells + this)) };
+        )*};
+    }
+    store_rev!((0, 0) (1, 2) (2, 1) (3, 4) (4, 3) (5, 6) (6, 5) (7, 8) (8, 7) (9, 10) (10, 9)
+               (11, 12) (12, 11) (13, 14) (14, 13) (15, 16) (16, 15) (17, 18) (18, 17));
 }
 
 /// Shared loop nest: z-tiles × y × x pencils × interior runs, full lanes
@@ -644,11 +863,11 @@ unsafe fn interior_runs_impl<V: Lane>(
                     let a = (rz0 as usize).max(zt);
                     let b = (rz1 as usize).min(zt_end);
                     let mut z = a;
-                    while z + LANES <= b {
-                        // SAFETY: the run certifies cells base+z .. base+z+LANES
+                    while z + V::WIDTH <= b {
+                        // SAFETY: the run certifies cells base+z .. base+z+WIDTH
                         // interior; caller certifies buffers and exclusivity.
                         unsafe { lane_update::<V>(sraw, draw, cells, &off, base + z, omega) };
-                        z += LANES;
+                        z += V::WIDTH;
                     }
                     while z < b {
                         // SAFETY: as above, single interior cell.
@@ -661,6 +880,103 @@ unsafe fn interior_runs_impl<V: Lane>(
                                 base + z,
                                 omega,
                             )
+                        };
+                        z += 1;
+                    }
+                }
+            }
+        }
+        zt = zt_end;
+    }
+}
+
+/// The AA-pattern twin of [`interior_runs_impl`]: same z-tiles × y × x pencils
+/// × interior-runs loop nest (so the vector/scalar chunk split per cell is
+/// identical to the AB kernel at equal lane width), dispatching the odd or even
+/// AA lane update per [`AaParity`], with the matching scalar per-cell updates
+/// covering sub-lane remainders.
+///
+/// # Safety
+/// See [`aa_d3q19_interior_simd`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn aa_interior_runs_impl<V: Lane>(
+    flags: &FlagField,
+    raw: *mut Scalar,
+    omega: Scalar,
+    parity: AaParity,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    runs: &InteriorRuns,
+) {
+    let dims = flags.dims();
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    if nx < 3 || ny < 3 || nz < 3 {
+        return; // no interior at all; generic path covers everything
+    }
+    let cells = dims.cells();
+
+    let mut off = [0isize; 19];
+    for q in 0..19 {
+        let c = D3Q19::C[q];
+        off[q] = -((c[1] as isize * nx as isize + c[0] as isize) * nz as isize + c[2] as isize);
+    }
+
+    let y0 = ys.start.max(1);
+    let y1 = ys.end.min(ny - 1);
+    let x0 = xr.start.max(1);
+    let x1 = xr.end.min(nx - 1);
+    let z0 = 1;
+    let z1 = nz - 1;
+    let tile = if tile_z == 0 { z1 - z0 } else { tile_z };
+
+    let mut zt = z0;
+    while zt < z1 {
+        let zt_end = (zt + tile).min(z1);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let pencil = y * nx + x;
+                let base = pencil * nz;
+                for &(rz0, rz1) in runs.pencil(pencil) {
+                    let a = (rz0 as usize).max(zt);
+                    let b = (rz1 as usize).min(zt_end);
+                    let mut z = a;
+                    while z + V::WIDTH <= b {
+                        // SAFETY: the run certifies cells base+z .. base+z+WIDTH
+                        // interior (all 18 neighbors fluid and in bounds, so odd
+                        // scatters stay in bounds); caller certifies the buffer
+                        // and the AA slot-ownership race-freedom argument.
+                        unsafe {
+                            match parity {
+                                AaParity::Reversed => {
+                                    aa_odd_lane_update::<V>(raw, cells, &off, base + z, omega)
+                                }
+                                AaParity::Streamed => {
+                                    aa_even_lane_update::<V>(raw, cells, base + z, omega)
+                                }
+                            }
+                        };
+                        z += V::WIDTH;
+                    }
+                    while z < b {
+                        // SAFETY: as above, single interior cell.
+                        unsafe {
+                            match parity {
+                                AaParity::Reversed => crate::kernels::aa_odd_cell_update(
+                                    raw,
+                                    cells,
+                                    &off,
+                                    base + z,
+                                    omega,
+                                ),
+                                AaParity::Streamed => crate::kernels::aa_even_cell_update(
+                                    raw,
+                                    cells,
+                                    base + z,
+                                    omega,
+                                ),
+                            }
                         };
                         z += 1;
                     }
@@ -693,15 +1009,79 @@ unsafe fn interior_runs_avx2(
     unsafe { interior_runs_impl::<Avx2Lane>(flags, sraw, draw, omega, xr, ys, tile_z, runs) };
 }
 
+/// AVX-512F instantiation of the AB interior kernel.
+///
+/// # Safety
+/// CPU must support AVX-512F (checked by the dispatcher), plus the contract of
+/// [`d3q19_interior_simd`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn interior_runs_avx512(
+    flags: &FlagField,
+    sraw: &[Scalar],
+    draw: *mut Scalar,
+    omega: Scalar,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    runs: &InteriorRuns,
+) {
+    unsafe { interior_runs_impl::<Avx512Lane>(flags, sraw, draw, omega, xr, ys, tile_z, runs) };
+}
+
+/// AVX2+FMA instantiation of the AA interior kernel.
+///
+/// # Safety
+/// CPU must support AVX2 and FMA, plus the contract of
+/// [`aa_d3q19_interior_simd`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn aa_interior_runs_avx2(
+    flags: &FlagField,
+    raw: *mut Scalar,
+    omega: Scalar,
+    parity: AaParity,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    runs: &InteriorRuns,
+) {
+    unsafe { aa_interior_runs_impl::<Avx2Lane>(flags, raw, omega, parity, xr, ys, tile_z, runs) };
+}
+
+/// AVX-512F instantiation of the AA interior kernel.
+///
+/// # Safety
+/// CPU must support AVX-512F, plus the contract of [`aa_d3q19_interior_simd`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn aa_interior_runs_avx512(
+    flags: &FlagField,
+    raw: *mut Scalar,
+    omega: Scalar,
+    parity: AaParity,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    runs: &InteriorRuns,
+) {
+    unsafe { aa_interior_runs_impl::<Avx512Lane>(flags, raw, omega, parity, xr, ys, tile_z, runs) };
+}
+
 /// The vectorized fused D3Q19 interior kernel over run-length-encoded interior
 /// runs — the raw entry the unified dispatch (serial, pooled and distributed)
-/// shares. `portable = true` pins the bit-exact `[f64; 4]` fallback lane;
-/// `false` requires AVX2+FMA (callers go through [`select_fast_path`]).
+/// shares. `path` selects the lane (resolved by [`select_fast_path`]);
+/// [`FastPath::MaskScalar`] is the caller's job, not this function's.
 ///
 /// # Safety
 /// `draw` must point at `19 * cells` writable scalars, `runs` must describe
 /// interior cells of `flags` (every run cell has all 18 pull sources in
-/// bounds), and no other thread may write any cell in `xr × ys` concurrently.
+/// bounds), no other thread may write any cell in `xr × ys` concurrently, and
+/// hardware lanes require their CPU feature (guaranteed by
+/// [`select_fast_path`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) unsafe fn d3q19_interior_simd(
     flags: &FlagField,
@@ -712,22 +1092,92 @@ pub(crate) unsafe fn d3q19_interior_simd(
     ys: Range<usize>,
     tile_z: usize,
     runs: &InteriorRuns,
-    portable: bool,
+    path: FastPath,
 ) {
     #[cfg(target_arch = "x86_64")]
     {
-        if !portable {
-            debug_assert!(simd_available(), "AVX2 lane dispatched without support");
-            // SAFETY: caller contract + feature check above.
-            unsafe {
-                interior_runs_avx2(flags, sraw, draw, omega, xr, ys, tile_z, runs);
+        match path {
+            FastPath::Avx512 => {
+                debug_assert!(avx512_available(), "AVX-512 lane dispatched without support");
+                // SAFETY: caller contract + feature check above.
+                return unsafe {
+                    interior_runs_avx512(flags, sraw, draw, omega, xr, ys, tile_z, runs)
+                };
             }
-            return;
+            FastPath::Avx2 => {
+                debug_assert!(simd_available(), "AVX2 lane dispatched without support");
+                // SAFETY: caller contract + feature check above.
+                return unsafe {
+                    interior_runs_avx2(flags, sraw, draw, omega, xr, ys, tile_z, runs)
+                };
+            }
+            _ => {}
         }
     }
-    let _ = portable;
     // SAFETY: caller contract.
-    unsafe { interior_runs_impl::<PortableLane>(flags, sraw, draw, omega, xr, ys, tile_z, runs) };
+    unsafe {
+        match path {
+            FastPath::Portable8 => {
+                interior_runs_impl::<Portable8Lane>(flags, sraw, draw, omega, xr, ys, tile_z, runs)
+            }
+            _ => {
+                interior_runs_impl::<PortableLane>(flags, sraw, draw, omega, xr, ys, tile_z, runs)
+            }
+        }
+    }
+}
+
+/// The AA-pattern counterpart of [`d3q19_interior_simd`]: one in-place interior
+/// pass of the step flavor selected by `parity` over the single grid `raw`.
+///
+/// # Safety
+/// `raw` must point at `19 * cells` writable scalars; `runs` must describe
+/// interior cells of `flags`; no other code may read or write the grid during
+/// the pass except through the AA step itself (whose slot-ownership discipline
+/// makes concurrent slabs race-free); hardware lanes require their CPU feature.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn aa_d3q19_interior_simd(
+    flags: &FlagField,
+    raw: *mut Scalar,
+    omega: Scalar,
+    parity: AaParity,
+    xr: Range<usize>,
+    ys: Range<usize>,
+    tile_z: usize,
+    runs: &InteriorRuns,
+    path: FastPath,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match path {
+            FastPath::Avx512 => {
+                debug_assert!(avx512_available(), "AVX-512 lane dispatched without support");
+                // SAFETY: caller contract + feature check above.
+                return unsafe {
+                    aa_interior_runs_avx512(flags, raw, omega, parity, xr, ys, tile_z, runs)
+                };
+            }
+            FastPath::Avx2 => {
+                debug_assert!(simd_available(), "AVX2 lane dispatched without support");
+                // SAFETY: caller contract + feature check above.
+                return unsafe {
+                    aa_interior_runs_avx2(flags, raw, omega, parity, xr, ys, tile_z, runs)
+                };
+            }
+            _ => {}
+        }
+    }
+    // SAFETY: caller contract.
+    unsafe {
+        match path {
+            FastPath::Portable8 => aa_interior_runs_impl::<Portable8Lane>(
+                flags, raw, omega, parity, xr, ys, tile_z, runs,
+            ),
+            _ => aa_interior_runs_impl::<PortableLane>(
+                flags, raw, omega, parity, xr, ys, tile_z, runs,
+            ),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -899,14 +1349,103 @@ mod tests {
             (FastPath::Portable, KernelClass::Scalar)
         );
         assert_eq!(dispatch_tolerance(), 0.0);
+
+        // The force-hardware policies degrade to their portable twin (same
+        // chunk width for ForceAvx512) when the feature is absent or masked.
+        set_lane_policy(LanePolicy::ForceAvx2);
+        if simd_available() && !no_simd_env() {
+            assert_eq!(select_fast_path(), (FastPath::Avx2, KernelClass::Simd));
+        } else {
+            assert_eq!(select_fast_path(), (FastPath::Portable, KernelClass::Scalar));
+        }
+        set_lane_policy(LanePolicy::ForceAvx512);
+        if avx512_available() && !no_simd_env() {
+            assert_eq!(select_fast_path(), (FastPath::Avx512, KernelClass::Simd));
+        } else {
+            assert_eq!(
+                select_fast_path(),
+                (FastPath::Portable8, KernelClass::Scalar)
+            );
+        }
+
         set_lane_policy(LanePolicy::Auto);
         let (path, class) = select_fast_path();
-        if simd_available() && !no_simd_env() {
+        if avx512_available() && !no_simd_env() {
+            assert_eq!((path, class), (FastPath::Avx512, KernelClass::Simd));
+            assert_eq!(dispatch_tolerance(), 1e-12);
+        } else if simd_available() && !no_simd_env() {
             assert_eq!((path, class), (FastPath::Avx2, KernelClass::Simd));
             assert_eq!(dispatch_tolerance(), 1e-12);
         } else {
             assert_eq!((path, class), (FastPath::Portable, KernelClass::Scalar));
         }
         set_lane_policy(prev);
+    }
+
+    #[test]
+    fn portable8_lane_matches_portable_semantics() {
+        // Same unfused arithmetic as the 4-wide portable lane, 8 elements.
+        let src = [1.0, -2.5, 3.25, 1e-3, -7.0, 0.5, 42.0, -0.125];
+        let mut dst = [0.0; 8];
+        unsafe {
+            let v = Portable8Lane::load(src.as_ptr());
+            v.store(dst.as_mut_ptr());
+        }
+        assert_eq!(src, dst);
+        assert_eq!(Portable8Lane::WIDTH, 8);
+        let a = 1.0 + 2f64.powi(-30);
+        let v = Portable8Lane::splat(a);
+        let r = v.mul_add(v, Portable8Lane::splat(-1.0));
+        unsafe { r.store(dst.as_mut_ptr()) };
+        assert_eq!(dst[0], a * a - 1.0, "portable8 lane must not fuse");
+        // Vacuum guard across all 8 elements.
+        let rho = unsafe {
+            Portable8Lane::load([2.0, 0.0, 1e-301, -4.0, 1.0, -1e-310, 8.0, 1e-299].as_ptr())
+        };
+        let j = Portable8Lane::splat(0.5);
+        let (ux, _, _) = Portable8Lane::velocities(j, j, j, rho);
+        unsafe { ux.store(dst.as_mut_ptr()) };
+        assert_eq!(
+            dst,
+            [0.25, 0.0, 0.0, -0.125, 0.5, 0.0, 0.0625, 0.5 * (1.0 / 1e-299)]
+        );
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_lane_matches_portable_elementwise() {
+        if !avx512_available() {
+            return;
+        }
+        let a = [1.5, -0.25, 3.0, 1e-10, -6.5, 0.75, 2.25, -9.0];
+        let b = [2.0, 4.0, -1.0, 7.5, 0.5, -3.0, 1.25, 6.0];
+        let mut out_v = [0.0; 8];
+        let mut out_p = [0.0; 8];
+        unsafe {
+            let (va, vb) = (Avx512Lane::load(a.as_ptr()), Avx512Lane::load(b.as_ptr()));
+            va.add(vb).mul(va.sub(vb)).neg().store(out_v.as_mut_ptr());
+            let (pa, pb) = (
+                Portable8Lane::load(a.as_ptr()),
+                Portable8Lane::load(b.as_ptr()),
+            );
+            pa.add(pb).mul(pa.sub(pb)).neg().store(out_p.as_mut_ptr());
+        }
+        // add/sub/mul/neg are single-rounding ops on both lanes: bit-equal.
+        assert_eq!(out_v, out_p);
+        // Vacuum guard, including NaN propagation (NaN ρ is not vacuum).
+        let rho = unsafe {
+            Avx512Lane::load([2.0, 0.0, 1e-301, -4.0, f64::NAN, 1.0, -8.0, 1e-299].as_ptr())
+        };
+        let j = Avx512Lane::splat(0.5);
+        let (ux, _, _) = Avx512Lane::velocities(j, j, j, rho);
+        unsafe { ux.store(out_v.as_mut_ptr()) };
+        assert_eq!(out_v[0], 0.25);
+        assert_eq!(out_v[1], 0.0);
+        assert_eq!(out_v[2], 0.0);
+        assert_eq!(out_v[3], -0.125);
+        assert!(out_v[4].is_nan(), "NaN density must propagate");
+        assert_eq!(out_v[5], 0.5);
+        assert_eq!(out_v[6], -0.0625);
+        assert_eq!(out_v[7], 0.5 * (1.0 / 1e-299));
     }
 }

@@ -1,21 +1,30 @@
 //! Single-domain solver driver.
 //!
-//! [`Solver`] owns the A-B buffer pair, the flag field and the collision
+//! [`Solver`] owns the population [`Storage`] (an A-B buffer pair or a single
+//! AA-pattern grid, per [`StorageScheme`]), the flag field and the collision
 //! parameters, and advances the lattice in time through **one unified
-//! execution pipeline**: every step goes through [`ThreadPool::fused_step`],
-//! which dispatches the hand-optimized D3Q19 interior kernel (z-tile blocked)
-//! per y-slab whenever the field/collision combination supports it and the
-//! generic reference kernel everywhere else. Thread count and tile size are
-//! configuration, not modes — a 1-thread pool runs inline with no worker
-//! threads and identical (bit-exact) results. It is the unit the distributed
-//! engine (`swlb-sim`) instantiates per rank, and the reference implementation
-//! the architecture emulator (`swlb-arch`) is validated against.
+//! execution pipeline**: every step goes through [`ThreadPool::fused_step`]
+//! (AB) or [`ThreadPool::aa_fused_step`] (AA), which dispatch the
+//! hand-optimized D3Q19 interior kernel (z-tile blocked) per y-slab whenever
+//! the field/collision combination supports it and the generic reference
+//! kernel everywhere else. Thread count and tile size are configuration, not
+//! modes — a 1-thread pool runs inline with no worker threads and identical
+//! (bit-exact) results. It is the unit the distributed engine (`swlb-sim`)
+//! instantiates per rank, and the reference implementation the architecture
+//! emulator (`swlb-arch`) is validated against.
 //!
 //! Construction goes through [`SolverBuilder`] — the single path for dims,
-//! collision, thread pool, tile size and observability recorder. The
-//! historical `Solver::new` + `with_*` chain and the `ExecMode` selector were
-//! removed after every in-tree caller migrated; contradictory settings (e.g.
-//! `tile_z == 0`) are rejected by [`SolverBuilder::try_build`].
+//! collision, storage scheme, thread pool, tile size and observability
+//! recorder. The historical `Solver::new` + `with_*` chain and the `ExecMode`
+//! selector were removed after every in-tree caller migrated; contradictory
+//! settings (e.g. `tile_z == 0`) are rejected by [`SolverBuilder::try_build`].
+//!
+//! The scheme-agnostic state surface is [`Solver::state`]/[`Solver::state_mut`]
+//! (the raw current grid, whose slot interpretation depends on the scheme and
+//! [`Solver::parity`]) plus [`Solver::canonical_populations`]/
+//! [`Solver::restore_canonical`] (the scheme-portable post-collision view used
+//! by checkpoints, diagnostics and equivalence tests). The AB-only
+//! `populations()`/`populations_mut()` accessors are deprecated.
 
 use crate::collision::{BgkParams, CollisionKind};
 use crate::error::CoreError;
@@ -23,13 +32,16 @@ use crate::flags::FlagField;
 use crate::geometry::GridDims;
 use crate::kernels::{self, initialize_equilibrium, initialize_with, InteriorIndex};
 use crate::lattice::Lattice;
-use crate::layout::{AbBuffers, PopField, SoaField};
+use crate::layout::{AaParity, PopField, SoaField, Storage, StorageScheme};
 use crate::macroscopic::MacroFields;
 use crate::parallel::ThreadPool;
 use crate::simd::KernelClass;
 use crate::Scalar;
+use std::borrow::Cow;
 use std::marker::PhantomData;
 use swlb_obs::{Counter, Gauge, Phase, Recorder, SwlbError};
+
+use crate::kernels::{canonicalize_streamed, reverse_planes};
 
 /// Summary statistics of one (or the latest) time step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +72,7 @@ pub struct StepStats {
 pub struct SolverBuilder<L: Lattice> {
     dims: GridDims,
     collision: CollisionKind,
+    storage: StorageScheme,
     pool: Option<ThreadPool>,
     tile_z: Option<usize>,
     recorder: Recorder,
@@ -72,11 +85,23 @@ impl<L: Lattice> SolverBuilder<L> {
         SolverBuilder {
             dims,
             collision: CollisionKind::Bgk(params),
+            storage: StorageScheme::default(),
             pool: None,
             tile_z: None,
             recorder: Recorder::disabled(),
             _lattice: PhantomData,
         }
+    }
+
+    /// Population storage scheme (default [`StorageScheme::Ab`]). `Aa` keeps a
+    /// single grid and streams in place — half the distribution-storage
+    /// footprint and bytes/LUP — but supports only Fluid/Wall/MovingWall node
+    /// kinds (flags are painted after build, so the boundary check happens
+    /// lazily: [`Solver::try_step`]/[`Solver::run_checked`] return a typed
+    /// error, [`Solver::step`] panics).
+    pub fn storage(mut self, scheme: StorageScheme) -> Self {
+        self.storage = scheme;
+        self
     }
 
     /// Replace the collision operator (overrides the BGK params given to
@@ -123,10 +148,11 @@ impl<L: Lattice> SolverBuilder<L> {
         let obs_mlups = self.recorder.gauge("mlups");
         let obs_steps = self.recorder.counter("steps");
         let obs_kernel_class = self.recorder.gauge("kernel_class");
+        let dims = self.dims;
         Ok(Solver {
-            dims: self.dims,
-            flags: FlagField::new(self.dims),
-            buffers: AbBuffers::new(SoaField::new(self.dims), SoaField::new(self.dims)),
+            dims,
+            flags: FlagField::new(dims),
+            storage: Storage::with_scheme(self.storage, || SoaField::new(dims)),
             collision: self.collision,
             pool,
             step: 0,
@@ -153,12 +179,13 @@ impl<L: Lattice> SolverBuilder<L> {
     }
 }
 
-/// A single-box LBM solver with SoA storage and A-B buffering.
+/// A single-box LBM solver with SoA storage, double-buffered (AB) or
+/// single-grid AA-pattern per the builder's [`StorageScheme`].
 #[derive(Debug, Clone)]
 pub struct Solver<L: Lattice> {
     dims: GridDims,
     flags: FlagField,
-    buffers: AbBuffers<SoaField<L>>,
+    storage: Storage<SoaField<L>>,
     collision: CollisionKind,
     pool: ThreadPool,
     step: u64,
@@ -204,11 +231,21 @@ impl<L: Lattice> Solver<L> {
     }
 
     /// Overwrite the completed step count — the checkpoint-resume hook: after
-    /// restoring populations via [`Solver::populations_mut`], set the count to
-    /// the checkpointed step so accounting (stats, obs, slice budgets)
+    /// restoring populations via [`Solver::restore_canonical`], set the count
+    /// to the checkpointed step so accounting (stats, obs, slice budgets)
     /// continues where the saved run left off.
     pub fn set_step_count(&mut self, step: u64) {
         self.step = step;
+    }
+
+    /// The storage scheme this solver was built with.
+    pub fn scheme(&self) -> StorageScheme {
+        self.storage.scheme()
+    }
+
+    /// AA parity of the current state (`None` under the AB scheme).
+    pub fn parity(&self) -> Option<AaParity> {
+        self.storage.parity()
     }
 
     /// Immutable flag field.
@@ -223,20 +260,105 @@ impl<L: Lattice> Solver<L> {
         &mut self.flags
     }
 
-    /// Current (readable) population field.
-    pub fn populations(&self) -> &SoaField<L> {
-        self.buffers.src()
+    /// The raw grid holding the current state. Under AB this is the readable
+    /// `src` buffer (canonical post-collision populations); under AA the slot
+    /// interpretation depends on [`Solver::parity`] — use
+    /// [`Solver::canonical_populations`] for a scheme-portable view.
+    pub fn state(&self) -> &SoaField<L> {
+        self.storage.state()
     }
 
-    /// Mutable access to the current populations (restart / custom init).
+    /// Mutable access to the raw current-state grid. Under AA the caller is
+    /// responsible for honoring the current [`Solver::parity`] slot
+    /// interpretation; prefer [`Solver::restore_canonical`] for restarts.
+    pub fn state_mut(&mut self) -> &mut SoaField<L> {
+        self.storage.state_mut()
+    }
+
+    /// Current (readable) population field — AB scheme only.
+    ///
+    /// # Panics
+    /// Panics under AA storage, where the raw grid is not canonically ordered;
+    /// use [`Solver::state`] or [`Solver::canonical_populations`] instead.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use the scheme-agnostic `state()` / `canonical_populations()` instead"
+    )]
+    pub fn populations(&self) -> &SoaField<L> {
+        assert_eq!(
+            self.storage.scheme(),
+            StorageScheme::Ab,
+            "populations() is AB-only; use state()/canonical_populations() under AA storage"
+        );
+        self.storage.state()
+    }
+
+    /// Mutable access to the current populations — AB scheme only.
+    ///
+    /// # Panics
+    /// Panics under AA storage; use [`Solver::state_mut`] or
+    /// [`Solver::restore_canonical`] instead.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use the scheme-agnostic `state_mut()` / `restore_canonical()` instead"
+    )]
     pub fn populations_mut(&mut self) -> &mut SoaField<L> {
-        self.buffers.src_mut()
+        assert_eq!(
+            self.storage.scheme(),
+            StorageScheme::Ab,
+            "populations_mut() is AB-only; use state_mut()/restore_canonical() under AA storage"
+        );
+        self.storage.state_mut()
+    }
+
+    /// The canonical (AB-ordered) post-collision populations of the current
+    /// state: borrowed zero-copy under AB, materialized under AA by undoing
+    /// the slot reversal (`Reversed`) or the in-place streaming (`Streamed`).
+    /// This is the scheme-portable payload checkpoints and diagnostics use.
+    /// Solid cells hold scheme-dependent (finite) values.
+    pub fn canonical_populations(&self) -> Cow<'_, SoaField<L>> {
+        match &self.storage {
+            Storage::Ab(b) => Cow::Borrowed(b.src()),
+            Storage::Aa { field, parity } => match parity {
+                AaParity::Reversed => {
+                    let mut f = field.clone();
+                    reverse_planes::<L>(&mut f);
+                    Cow::Owned(f)
+                }
+                AaParity::Streamed => Cow::Owned(canonicalize_streamed::<L>(field)),
+            },
+        }
+    }
+
+    /// Restore a canonical (AB-ordered) post-collision state — the payload of
+    /// [`Solver::canonical_populations`] — into whichever scheme this solver
+    /// uses, and set the step count. Under AA the grid is re-reversed in place
+    /// and the parity reset to `Reversed` (restarting any canonical state with
+    /// an odd step is exactly equivalent to the AB continuation).
+    pub fn restore_canonical(&mut self, data: &[Scalar], step: u64) -> Result<(), SwlbError> {
+        let expect = L::Q * self.dims.cells();
+        if data.len() != expect {
+            return Err(SwlbError::InvalidConfig(format!(
+                "canonical state has {} scalars, grid needs {expect}",
+                data.len()
+            )));
+        }
+        match &mut self.storage {
+            Storage::Ab(b) => b.src_mut().raw_mut().copy_from_slice(data),
+            Storage::Aa { field, parity } => {
+                field.raw_mut().copy_from_slice(data);
+                reverse_planes::<L>(field);
+                *parity = AaParity::Reversed;
+            }
+        }
+        self.step = step;
+        Ok(())
     }
 
     /// Initialize every non-solid cell to `f_eq(rho, u)` and reset the step count.
     pub fn initialize_uniform(&mut self, rho: Scalar, u: [Scalar; 3]) {
-        initialize_equilibrium::<L, _>(&self.flags, self.buffers.src_mut(), rho, u);
-        self.step = 0;
+        initialize_equilibrium::<L, _>(&self.flags, self.storage.state_mut(), rho, u);
+        self.finish_init();
     }
 
     /// Initialize with a position-dependent state and reset the step count.
@@ -244,16 +366,38 @@ impl<L: Lattice> Solver<L> {
         &mut self,
         state: impl FnMut(usize, usize, usize) -> (Scalar, [Scalar; 3]),
     ) {
-        initialize_with::<L, _>(&self.flags, self.buffers.src_mut(), state);
+        initialize_with::<L, _>(&self.flags, self.storage.state_mut(), state);
+        self.finish_init();
+    }
+
+    /// Convert the canonical state the initializers wrote into the scheme's
+    /// raw representation and reset step accounting.
+    fn finish_init(&mut self) {
+        if let Storage::Aa { field, parity } = &mut self.storage {
+            reverse_planes::<L>(field);
+            *parity = AaParity::Reversed;
+        }
         self.step = 0;
     }
 
-    fn ensure_interior(&mut self) {
+    fn ensure_interior(&mut self) -> Result<(), SwlbError> {
         if self.mask_dirty {
+            if self.storage.scheme() == StorageScheme::Aa {
+                let c = self.flags.census();
+                if c.inlet != 0 || c.outlet != 0 {
+                    return Err(SwlbError::InvalidConfig(format!(
+                        "AA-pattern storage supports Fluid/Wall/MovingWall nodes only, \
+                         but the flag field has {} inlet and {} outlet nodes; \
+                         build with StorageScheme::Ab for open/NEBB boundaries",
+                        c.inlet, c.outlet
+                    )));
+                }
+            }
             self.interior = Some(InteriorIndex::build::<L>(&self.flags));
             self.active = kernels::active_cells(&self.flags);
             self.mask_dirty = false;
         }
+        Ok(())
     }
 
     /// The [`KernelClass`] (simd / scalar / generic) that served the interior
@@ -264,8 +408,20 @@ impl<L: Lattice> Solver<L> {
     }
 
     /// Advance one time step.
+    ///
+    /// # Panics
+    /// Panics when the flag field is incompatible with the storage scheme
+    /// (AA + open boundaries) — use [`Solver::try_step`] or
+    /// [`Solver::run_checked`] for the typed error.
     pub fn step(&mut self) {
-        self.ensure_interior();
+        self.try_step()
+            .unwrap_or_else(|e| panic!("solver step failed: {e}"));
+    }
+
+    /// Advance one time step, reporting scheme/boundary incompatibilities as a
+    /// typed error instead of panicking.
+    pub fn try_step(&mut self) -> Result<(), SwlbError> {
+        self.ensure_interior()?;
         // `now()` is `None` for a disabled recorder: the instrumented path
         // then takes no clock reading and touches no atomic.
         let t0 = self.recorder.now();
@@ -278,8 +434,19 @@ impl<L: Lattice> Solver<L> {
         let collision = self.collision;
         let interior = self.interior.as_ref();
         let pool = &self.pool;
-        let (src, dst) = self.buffers.pair_mut();
-        let class = pool.fused_step::<L, _>(flags, src, dst, &collision, interior);
+        let class = match &mut self.storage {
+            Storage::Ab(bufs) => {
+                let (src, dst) = bufs.pair_mut();
+                let class = pool.fused_step::<L, _>(flags, src, dst, &collision, interior);
+                bufs.flip();
+                class
+            }
+            Storage::Aa { field, parity } => {
+                let class = pool.aa_fused_step::<L>(flags, field, &collision, *parity, interior);
+                *parity = parity.flip();
+                class
+            }
+        };
         self.last_class = class;
         if let Some(t0) = t0 {
             let ns = (t0.elapsed().as_nanos() as u64).max(1);
@@ -289,9 +456,9 @@ impl<L: Lattice> Solver<L> {
             self.obs_mlups.set(self.active as f64 * 1e3 / ns as f64);
             self.obs_kernel_class.set(class.as_gauge());
         }
-        self.buffers.flip();
         self.step += 1;
         self.recorder.maybe_flush(self.step);
+        Ok(())
     }
 
     /// Advance `n` steps.
@@ -305,7 +472,7 @@ impl<L: Lattice> Solver<L> {
     pub fn run_checked(&mut self, n: u64, check_every: u64) -> Result<(), SwlbError> {
         let every = check_every.max(1);
         for i in 0..n {
-            self.step();
+            self.try_step()?;
             if (i + 1) % every == 0 || i + 1 == n {
                 let m = self.macroscopic();
                 if m.has_non_finite() {
@@ -316,9 +483,10 @@ impl<L: Lattice> Solver<L> {
         Ok(())
     }
 
-    /// Extract the macroscopic fields of the current state.
+    /// Extract the macroscopic fields of the current state (computed from the
+    /// canonical view, so AA parity never leaks into diagnostics).
     pub fn macroscopic(&self) -> MacroFields {
-        MacroFields::compute::<L, _>(&self.flags, self.buffers.src())
+        MacroFields::compute::<L, _>(&self.flags, self.canonical_populations().as_ref())
     }
 
     /// Summary statistics of the current state.
@@ -402,13 +570,13 @@ mod tests {
         let tol = crate::simd::dispatch_tolerance() * 100.0;
         for cell in 0..dims.cells() {
             for q in 0..19 {
-                let va = a.populations().get(cell, q);
+                let va = a.state().get(cell, q);
                 assert_eq!(
                     va,
-                    b.populations().get(cell, q),
+                    b.state().get(cell, q),
                     "4-thread mismatch at cell {cell} q {q}"
                 );
-                let vc = c.populations().get(cell, q);
+                let vc = c.state().get(cell, q);
                 assert!(
                     (va - vc).abs() <= tol,
                     "tiled mismatch at cell {cell} q {q}: {va} vs {vc}"
@@ -526,7 +694,7 @@ mod tests {
             s.flags_mut().paint_lid([0.04, 0.0, 0.0]);
             s.initialize_uniform(1.0, [0.0; 3]);
             s.run(6);
-            s.populations().clone()
+            s.state().clone()
         };
         let bgk = run(CollisionKind::Bgk(BgkParams::from_tau(tau)));
         let mrt = run(CollisionKind::MrtD3Q19(crate::mrt::MrtParams::bgk_limit(
@@ -554,7 +722,7 @@ mod tests {
                 .paint_nebb_inflow_outflow_x([0.03, 0.0, 0.0], 1.0);
             s.initialize_uniform(1.0, [0.03, 0.0, 0.0]);
             s.run(5);
-            s.populations().clone()
+            s.state().clone()
         };
         let serial = make(ThreadPool::new(1));
         let pooled = make(ThreadPool::new(3));
@@ -632,5 +800,144 @@ mod tests {
         );
         // Auto-flush fired at steps 4 and 8.
         assert_eq!(log.lock().unwrap().len(), 2);
+    }
+
+    /// Lid-driven cavity under AA storage must match AB — the canonical view
+    /// is compared on non-solid cells only (solid slots are AA mailboxes).
+    fn assert_canonical_match<L: Lattice>(a: &Solver<L>, b: &Solver<L>, tol: f64, what: &str) {
+        let ca = a.canonical_populations();
+        let cb = b.canonical_populations();
+        let dims = a.dims();
+        for cell in 0..dims.cells() {
+            if !a.flags().kind(cell).is_fluid() {
+                continue;
+            }
+            for q in 0..L::Q {
+                let (va, vb) = (ca.get(cell, q), cb.get(cell, q));
+                assert!(
+                    (va - vb).abs() <= tol,
+                    "{what}: cell {cell} q {q}: {va} vs {vb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aa_matches_ab_in_lid_driven_cavity() {
+        let dims = GridDims::new(10, 9, 8);
+        let make = |scheme: StorageScheme, threads: usize, steps: u64| {
+            let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.7))
+                .storage(scheme)
+                .pool(ThreadPool::new(threads))
+                .build();
+            s.flags_mut().set_box_walls();
+            s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(steps);
+            s
+        };
+        // Odd and even step counts exercise both mid-parity canonicalizations.
+        for steps in [5u64, 6] {
+            let ab = make(StorageScheme::Ab, 1, steps);
+            let aa = make(StorageScheme::Aa, 1, steps);
+            assert_eq!(aa.scheme(), StorageScheme::Aa);
+            let want = if steps % 2 == 1 {
+                AaParity::Streamed
+            } else {
+                AaParity::Reversed
+            };
+            assert_eq!(aa.parity(), Some(want));
+            assert_canonical_match(&ab, &aa, crate::simd::dispatch_tolerance() * 100.0, "1T");
+            // Thread count must not change AA results (slot ownership).
+            let aa4 = make(StorageScheme::Aa, 4, steps);
+            assert_canonical_match(&aa, &aa4, 0.0, "4T");
+        }
+    }
+
+    #[test]
+    fn aa_rejects_open_boundaries_with_typed_error() {
+        let mut s = Solver::<D3Q19>::builder(GridDims::new(10, 8, 6), BgkParams::from_tau(0.9))
+            .storage(StorageScheme::Aa)
+            .build();
+        s.flags_mut().paint_channel_walls_y();
+        s.flags_mut()
+            .paint_nebb_inflow_outflow_x([0.03, 0.0, 0.0], 1.0);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        let err = s.try_step().unwrap_err();
+        assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
+        // run_checked surfaces the same typed error.
+        let err = s.run_checked(3, 1).unwrap_err();
+        assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn aa_canonical_roundtrip_mid_parity() {
+        // Save the canonical state mid-AA-parity (after an odd step), restore
+        // into a fresh AA solver, continue, and compare against the
+        // uninterrupted run — and against AB restored from the same payload.
+        let dims = GridDims::new(8, 8, 8);
+        let build = |scheme| {
+            let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.8))
+                .storage(scheme)
+                .build();
+            s.flags_mut().set_box_walls();
+            s.flags_mut().paint_lid([0.04, 0.0, 0.0]);
+            s
+        };
+        let mut full = build(StorageScheme::Aa);
+        full.initialize_uniform(1.0, [0.0; 3]);
+        full.run(3); // odd count ⇒ Streamed parity at save time
+        let saved = full.canonical_populations().into_owned();
+        let saved_step = full.step_count();
+        full.run(4);
+
+        let mut resumed = build(StorageScheme::Aa);
+        resumed
+            .restore_canonical(saved.raw(), saved_step)
+            .unwrap();
+        assert_eq!(resumed.parity(), Some(AaParity::Reversed));
+        assert_eq!(resumed.step_count(), 3);
+        resumed.run(4);
+        assert_canonical_match(&full, &resumed, 0.0, "aa-resume");
+
+        let mut ab = build(StorageScheme::Ab);
+        ab.restore_canonical(saved.raw(), saved_step).unwrap();
+        ab.run(4);
+        assert_canonical_match(
+            &ab,
+            &resumed,
+            crate::simd::dispatch_tolerance() * 100.0,
+            "ab-resume",
+        );
+    }
+
+    #[test]
+    fn restore_canonical_rejects_wrong_length() {
+        let mut s = Solver::<D2Q9>::builder(GridDims::new2d(4, 4), BgkParams::from_tau(0.8))
+            .storage(StorageScheme::Aa)
+            .build();
+        let err = s.restore_canonical(&[0.0; 7], 1).unwrap_err();
+        assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn aa_generic_lattice_and_collision_fall_back() {
+        // D2Q9 (no fast path) and MRT (generic collision) both run under AA
+        // and agree with their AB twins.
+        let dims = GridDims::new2d(10, 10);
+        let run = |scheme| {
+            let mut s = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
+                .storage(scheme)
+                .build();
+            s.flags_mut().set_box_walls();
+            s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(7);
+            assert_eq!(s.last_kernel_class(), KernelClass::Generic);
+            s
+        };
+        let ab = run(StorageScheme::Ab);
+        let aa = run(StorageScheme::Aa);
+        assert_canonical_match(&ab, &aa, 0.0, "d2q9");
     }
 }

@@ -8,20 +8,36 @@
 //!
 //! ```text
 //! magic   8 B   "SWLBCKPT"
-//! version u32   format version (currently 1)
+//! version u32   format version (currently 2; version-1 files still load)
 //! step    u64   completed time steps
 //! nx,ny,nz u32  grid dims
 //! q       u32   populations per cell
+//! scheme  u8    producer storage scheme (0 = AB, 1 = AA)        [v2 only]
+//! parity  u8    AA payload parity (0 = canonical/Reversed-origin,
+//!               1 = Streamed-origin)                            [v2 only]
+//! pad     u16   reserved, zero                                  [v2 only]
 //! len     u64   population payload length (f64 count) = cells · q
 //! data    len × f64
 //! crc     u32   CRC-32 of everything above
 //! ```
+//!
+//! The production capture paths always serialize the *canonical* (AB-ordered
+//! post-collision) payload regardless of the running scheme, so `parity` is 0
+//! in files this workspace writes; the `scheme` byte records what the producer
+//! ran so a restart can warn when resuming a checkpoint under a different
+//! scheme (the restore itself is scheme-agnostic). Version-1 files decode as
+//! `scheme = 0, parity = 0`.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"SWLBCKPT";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// [`Checkpoint::scheme`] value for AB (double-buffer) producers.
+pub const SCHEME_AB: u8 = 0;
+/// [`Checkpoint::scheme`] value for AA (single-grid) producers.
+pub const SCHEME_AA: u8 = 1;
 
 /// Errors produced by checkpoint reading.
 #[derive(Debug)]
@@ -67,6 +83,13 @@ pub struct Checkpoint {
     pub dims: (u32, u32, u32),
     /// Populations per cell (`Q`).
     pub q: u32,
+    /// Producer storage scheme ([`SCHEME_AB`] or [`SCHEME_AA`]); metadata
+    /// only — the payload is canonical either way.
+    pub scheme: u8,
+    /// AA payload parity (0 = canonical, matching an AA `Reversed` origin;
+    /// 1 = `Streamed` origin). Production writers canonicalize before saving,
+    /// so this is 0 everywhere in this workspace.
+    pub parity: u8,
     /// Raw population payload (layout-defined by the producer; SoA for the
     /// production solver), length `cells · q`.
     pub data: Vec<f64>,
@@ -77,9 +100,9 @@ pub struct Checkpoint {
 // `swlb_io::checkpoint::{crc32, Crc32}` paths keep resolving.
 pub use swlb_obs::{crc32, Crc32};
 
-/// Serialize a checkpoint.
+/// Serialize a checkpoint (always the current version-2 layout).
 pub fn write_checkpoint(w: &mut impl Write, ck: &Checkpoint) -> io::Result<()> {
-    let mut body = Vec::with_capacity(44 + ck.data.len() * 8);
+    let mut body = Vec::with_capacity(48 + ck.data.len() * 8);
     body.extend_from_slice(MAGIC);
     body.extend_from_slice(&VERSION.to_le_bytes());
     body.extend_from_slice(&ck.step.to_le_bytes());
@@ -87,6 +110,9 @@ pub fn write_checkpoint(w: &mut impl Write, ck: &Checkpoint) -> io::Result<()> {
     body.extend_from_slice(&ck.dims.1.to_le_bytes());
     body.extend_from_slice(&ck.dims.2.to_le_bytes());
     body.extend_from_slice(&ck.q.to_le_bytes());
+    body.push(ck.scheme);
+    body.push(ck.parity);
+    body.extend_from_slice(&0u16.to_le_bytes());
     body.extend_from_slice(&(ck.data.len() as u64).to_le_bytes());
     for v in &ck.data {
         body.extend_from_slice(&v.to_le_bytes());
@@ -120,7 +146,7 @@ pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError>
     let u32_at = |o: usize| u32::from_le_bytes(payload[o..o + 4].try_into().unwrap());
     let u64_at = |o: usize| u64::from_le_bytes(payload[o..o + 8].try_into().unwrap());
     let version = u32_at(8);
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(CheckpointError::Corrupt(format!(
             "unsupported version {version}"
         )));
@@ -128,7 +154,25 @@ pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError>
     let step = u64_at(12);
     let dims = (u32_at(20), u32_at(24), u32_at(28));
     let q = u32_at(32);
-    let len = u64_at(36) as usize;
+    // Version 1 has no scheme/parity bytes: `len` sits at 36 and data at 44.
+    let (scheme, parity, data_off) = if version == 1 {
+        (SCHEME_AB, 0, 44)
+    } else {
+        if payload.len() < 48 {
+            return Err(CheckpointError::Corrupt(format!(
+                "version-2 file too short: {} B",
+                payload.len() + 4
+            )));
+        }
+        let (s, p) = (payload[36], payload[37]);
+        if s > SCHEME_AA || p > 1 {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown storage scheme {s} / parity {p}"
+            )));
+        }
+        (s, p, 48)
+    };
+    let len = u64_at(data_off - 8) as usize;
     let expected = dims.0 as usize * dims.1 as usize * dims.2 as usize * q as usize;
     if len != expected {
         return Err(CheckpointError::Corrupt(format!(
@@ -136,19 +180,26 @@ pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError>
             dims.0, dims.1, dims.2
         )));
     }
-    if payload.len() != 44 + len * 8 {
+    if payload.len() != data_off + len * 8 {
         return Err(CheckpointError::Corrupt(format!(
             "file length {} does not match header (expect {})",
             payload.len() + 4,
-            44 + len * 8 + 4
+            data_off + len * 8 + 4
         )));
     }
     let mut data = Vec::with_capacity(len);
     for i in 0..len {
-        let o = 44 + i * 8;
+        let o = data_off + i * 8;
         data.push(f64::from_le_bytes(payload[o..o + 8].try_into().unwrap()));
     }
-    Ok(Checkpoint { step, dims, q, data })
+    Ok(Checkpoint {
+        step,
+        dims,
+        q,
+        scheme,
+        parity,
+        data,
+    })
 }
 
 /// An on-disk checkpoint directory with atomic writes and bounded retention.
@@ -241,10 +292,10 @@ impl CheckpointStore {
             let _ = d.sync_all();
         }
         self.prune()?;
-        // Header (44 B) + payload + trailing CRC (4 B) — the on-disk footprint.
+        // Header (48 B) + payload + trailing CRC (4 B) — the on-disk footprint.
         self.recorder
             .counter("checkpoint.bytes_written")
-            .add(48 + ck.data.len() as u64 * 8);
+            .add(52 + ck.data.len() as u64 * 8);
         self.recorder.counter("checkpoint.saves").inc();
         Ok(final_path)
     }
@@ -312,7 +363,65 @@ mod tests {
             step: 1234,
             dims: (3, 2, 2),
             q: 19,
+            scheme: SCHEME_AB,
+            parity: 0,
             data: (0..3 * 2 * 2 * 19).map(|i| i as f64 * 0.5).collect(),
+        }
+    }
+
+    /// Serialize `ck` in the retired version-1 layout (no scheme/parity
+    /// bytes) — what pre-AA deployments left on disk.
+    fn write_v1(ck: &Checkpoint) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&ck.step.to_le_bytes());
+        body.extend_from_slice(&ck.dims.0.to_le_bytes());
+        body.extend_from_slice(&ck.dims.1.to_le_bytes());
+        body.extend_from_slice(&ck.dims.2.to_le_bytes());
+        body.extend_from_slice(&ck.q.to_le_bytes());
+        body.extend_from_slice(&(ck.data.len() as u64).to_le_bytes());
+        for v in &ck.data {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        body
+    }
+
+    #[test]
+    fn version1_files_still_load() {
+        let ck = sample();
+        let bytes = write_v1(&ck);
+        let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
+        // v1 carries no scheme/parity: decodes as AB/canonical.
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn scheme_and_parity_roundtrip() {
+        let mut ck = sample();
+        ck.scheme = SCHEME_AA;
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        let back = read_checkpoint(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.scheme, SCHEME_AA);
+        assert_eq!(back.parity, 0);
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn unknown_scheme_byte_is_rejected() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        buf[36] = 7; // invalid scheme
+        let crc_at = buf.len() - 4;
+        let crc = crc32(&buf[..crc_at]);
+        buf[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        match read_checkpoint(&mut buf.as_slice()) {
+            Err(CheckpointError::Corrupt(m)) => assert!(m.contains("scheme")),
+            other => panic!("expected scheme error, got {other:?}"),
         }
     }
 
@@ -508,6 +617,8 @@ mod tests {
             step: 0,
             dims: (1, 1, 1),
             q: 9,
+            scheme: SCHEME_AB,
+            parity: 0,
             data: vec![0.25; 9],
         };
         let mut buf = Vec::new();

@@ -17,12 +17,14 @@ proptest! {
         nx in 1u32..6, ny in 1u32..6, nz in 1u32..4,
         q in prop::sample::select(vec![9u32, 15, 19, 27]),
         seed in 0u64..1_000_000,
+        scheme in 0u8..=1,
+        parity in 0u8..=1,
     ) {
         let len = (nx * ny * nz * q) as usize;
         let data: Vec<f64> = (0..len)
             .map(|i| ((seed as f64 + i as f64) * 0.37).sin() * 1e3)
             .collect();
-        let ck = Checkpoint { step, dims: (nx, ny, nz), q, data };
+        let ck = Checkpoint { step, dims: (nx, ny, nz), q, scheme, parity, data };
         let mut bytes = Vec::new();
         write_checkpoint(&mut bytes, &ck).unwrap();
         let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
@@ -38,6 +40,8 @@ proptest! {
             step: 7,
             dims: (2, 2, 2),
             q: 9,
+            scheme: 0,
+            parity: 0,
             data: (0..72).map(|i| i as f64).collect(),
         };
         let mut bytes = Vec::new();

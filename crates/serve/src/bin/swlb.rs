@@ -12,7 +12,7 @@
 //!             [--slice-steps N] [--threads N]
 //! swlb submit [--addr HOST:PORT] [--name N] [--case cavity] [--lattice d2q9]
 //!             [--nx N] [--ny N] [--nz N] [--tau T] [--u U] [--steps N]
-//!             [--priority interactive|batch] [--output vtk|ppm]
+//!             [--storage ab|aa] [--priority interactive|batch] [--output vtk|ppm]
 //!             [--deadline-ms N] [--chaos-at STEP]
 //! swlb status [--addr HOST:PORT] [job-id]
 //! swlb watch  [--addr HOST:PORT] <job-id> [--from N]
@@ -59,7 +59,7 @@ fn usage() -> ExitCode {
          [--slice-steps N] [--threads N] [--metrics <path>] \
          [--io-timeout-ms N] [--chaos-routes]\n\
          \x20      swlb submit [--addr HOST:PORT] [--name N] [--case C] [--lattice L] \
-         [--nx N] [--ny N] [--nz N] [--tau T] [--u U] [--steps N] \
+         [--nx N] [--ny N] [--nz N] [--tau T] [--u U] [--steps N] [--storage ab|aa] \
          [--priority P] [--output vtk|ppm] [--deadline-ms N] [--chaos-at STEP]\n\
          \x20      swlb status [--addr HOST:PORT] [job-id]\n\
          \x20      swlb watch  [--addr HOST:PORT] <job-id> [--from N]\n\
@@ -224,6 +224,9 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         let priority_name = flag_value(args, "--priority")?.unwrap_or_else(|| "batch".into());
         let priority = Priority::parse(&priority_name)
             .ok_or(format!("unknown priority {priority_name:?}"))?;
+        let storage_name = flag_value(args, "--storage")?.unwrap_or_else(|| "ab".into());
+        let storage = StorageScheme::parse(&storage_name)
+            .ok_or(format!("unknown storage scheme {storage_name:?} (want ab|aa)"))?;
         let mut outputs = Vec::new();
         let mut rest: &[String] = args;
         while let Some(pos) = rest.iter().position(|a| a == "--output") {
@@ -243,6 +246,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 nz: num("--nz", if lattice == LatticeKind::D2Q9 { 1 } else { 64 })?,
                 tau: fnum("--tau", 0.8)?,
                 u_lattice: fnum("--u", 0.05)?,
+                storage,
             },
             steps: num("--steps", 1000)? as u64,
             priority,
@@ -692,7 +696,7 @@ fn run_cylinder(cfg: &CaseConfig, ctx: &RunCtx) {
     for s in 0..cfg.steps {
         solver.step();
         if s % 20 == 0 {
-            let f = momentum_exchange_force::<D2Q9, _>(solver.flags(), solver.populations());
+            let f = momentum_exchange_force::<D2Q9, _>(solver.flags(), solver.state());
             log.push(&[s as f64, f[0], f[1]]);
         }
     }

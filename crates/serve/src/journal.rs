@@ -474,6 +474,7 @@ mod tests {
                 nz: 1,
                 tau: 0.8,
                 u_lattice: 0.05,
+                storage: swlb_core::layout::StorageScheme::Ab,
             },
             steps: 100,
             priority: Priority::Batch,

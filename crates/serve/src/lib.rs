@@ -45,7 +45,7 @@
 //!
 //! ```
 //! use swlb_serve::{CaseKind, CaseSpec, JobSpec, LatticeKind, OutputKind,
-//!                  Priority, ServeClient, ServeConfig, Server};
+//!                  Priority, ServeClient, ServeConfig, Server, StorageScheme};
 //!
 //! let dir = std::env::temp_dir().join("swlb-serve-doc");
 //! let server = Server::spawn(ServeConfig::new(&dir)).unwrap();
@@ -57,6 +57,7 @@
 //!         lattice: LatticeKind::D2Q9,
 //!         nx: 16, ny: 16, nz: 1,
 //!         tau: 0.8, u_lattice: 0.05,
+//!         storage: StorageScheme::Aa,  // single-grid: half the footprint
 //!     },
 //!     steps: 64,
 //!     priority: Priority::Interactive,
@@ -84,5 +85,6 @@ pub use json::Json;
 pub use server::{ServeConfig, Server};
 pub use spec::{JobSpec, JobState, OutputKind, Priority};
 // Re-export the pieces a submission is made of, so client code doesn't need
-// a direct swlb-sim dependency.
+// a direct swlb-sim (or swlb-core) dependency.
+pub use swlb_core::layout::StorageScheme;
 pub use swlb_sim::cases::{CaseKind, CaseSpec, LatticeKind};

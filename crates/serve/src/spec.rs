@@ -1,6 +1,7 @@
 //! Job descriptions and lifecycle states — the wire schema of the service.
 
 use crate::json::Json;
+use swlb_core::layout::StorageScheme;
 use swlb_sim::cases::{CaseKind, CaseSpec, LatticeKind};
 use swlb_obs::SwlbError;
 
@@ -119,6 +120,7 @@ impl JobSpec {
             ("nz".to_string(), Json::num(self.case.nz as f64)),
             ("tau".to_string(), Json::num(self.case.tau)),
             ("u".to_string(), Json::num(self.case.u_lattice)),
+            ("storage".to_string(), Json::str(self.case.storage.name())),
             ("steps".to_string(), Json::num(self.steps as f64)),
             ("priority".to_string(), Json::str(self.priority.name())),
             (
@@ -166,6 +168,19 @@ impl JobSpec {
         let priority_name = str_field("priority")?;
         let priority = Priority::parse(&priority_name)
             .ok_or_else(|| SwlbError::CorruptData(format!("unknown priority {priority_name:?}")))?;
+        // Optional for backward compatibility: specs (and journal records)
+        // written before the storage scheme existed imply two-grid AB.
+        let storage = match v.get("storage") {
+            None => StorageScheme::Ab,
+            Some(j) => {
+                let name = j.as_str().ok_or_else(|| {
+                    SwlbError::CorruptData("job spec key \"storage\" must be a string".into())
+                })?;
+                StorageScheme::parse(name).ok_or_else(|| {
+                    SwlbError::CorruptData(format!("unknown storage scheme {name:?}"))
+                })?
+            }
+        };
         let mut outputs = Vec::new();
         if let Some(arr) = v.get("outputs").and_then(Json::as_arr) {
             for o in arr {
@@ -187,6 +202,7 @@ impl JobSpec {
                 nz: u64_field("nz")? as usize,
                 tau: f64_field("tau")?,
                 u_lattice: f64_field("u")?,
+                storage,
             },
             steps: u64_field("steps")?,
             priority,
@@ -261,6 +277,7 @@ mod tests {
                 nz: 16,
                 tau: 0.8,
                 u_lattice: 0.05,
+                storage: StorageScheme::Ab,
             },
             steps: 200,
             priority: Priority::Batch,
@@ -281,6 +298,40 @@ mod tests {
         chaos.deadline_ms = None;
         let back = JobSpec::from_json(&chaos.to_json()).unwrap();
         assert_eq!(chaos, back);
+
+        let mut aa = sample_spec();
+        aa.case.storage = StorageScheme::Aa;
+        let back = JobSpec::from_json(&aa.to_json()).unwrap();
+        assert_eq!(aa, back);
+    }
+
+    #[test]
+    fn storage_key_is_optional_and_validated() {
+        // Pre-AA submissions (and journal records) have no "storage" key:
+        // they must decode as two-grid AB.
+        let Json::Obj(mut m) = sample_spec().to_json() else {
+            unreachable!()
+        };
+        m.retain(|(k, _)| k != "storage");
+        let back = JobSpec::from_json(&Json::Obj(m)).unwrap();
+        assert_eq!(back.case.storage, StorageScheme::Ab);
+
+        // Unknown scheme names are rejected, not defaulted.
+        let Json::Obj(mut m) = sample_spec().to_json() else {
+            unreachable!()
+        };
+        for (k, val) in m.iter_mut() {
+            if k == "storage" {
+                *val = Json::str("esoteric");
+            }
+        }
+        assert!(JobSpec::from_json(&Json::Obj(m)).is_err());
+
+        // AA + open boundaries fails CaseSpec validation at decode time.
+        let mut spec = sample_spec();
+        spec.case.case = CaseKind::Channel;
+        spec.case.storage = StorageScheme::Aa;
+        assert!(JobSpec::from_json(&spec.to_json()).is_err());
     }
 
     #[test]

@@ -13,11 +13,12 @@ use swlb_core::collision::BgkParams;
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
 use swlb_core::lattice::{D2Q9, D3Q19};
-use swlb_core::layout::PopField;
+use swlb_core::layout::{PopField, StorageScheme};
 use swlb_core::parallel::ThreadPool;
 use swlb_core::simd::KernelClass;
 use swlb_core::solver::{Solver, StepStats};
 use swlb_core::Scalar;
+use swlb_io::checkpoint::{SCHEME_AA, SCHEME_AB};
 use swlb_io::Checkpoint;
 use swlb_obs::{Recorder, SwlbError};
 
@@ -106,6 +107,10 @@ pub struct CaseSpec {
     pub tau: Scalar,
     /// Driving velocity magnitude (lattice units).
     pub u_lattice: Scalar,
+    /// Population storage scheme (two-grid AB or single-grid AA). AA halves
+    /// the job's resident footprint but supports closed boundaries only, so
+    /// [`CaseKind::Channel`] (inflow/outflow) must run under AB.
+    pub storage: StorageScheme,
 }
 
 /// Cell-count admission cap: a service must bound the memory one job can
@@ -143,6 +148,13 @@ impl CaseSpec {
                 self.u_lattice
             )));
         }
+        if self.storage == StorageScheme::Aa && self.case == CaseKind::Channel {
+            return Err(SwlbError::InvalidConfig(
+                "AA-pattern storage supports closed boundaries only; the channel \
+                 case paints inflow/outflow nodes and must run under StorageScheme::Ab"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 
@@ -156,6 +168,7 @@ impl CaseSpec {
                 let mut s = Solver::<D2Q9>::builder(self.dims(), params)
                     .pool(pool)
                     .recorder(recorder)
+                    .storage(self.storage)
                     .try_build()?;
                 self.paint(&mut s);
                 Ok(CaseSolver::D2(s))
@@ -164,6 +177,7 @@ impl CaseSpec {
                 let mut s = Solver::<D3Q19>::builder(self.dims(), params)
                     .pool(pool)
                     .recorder(recorder)
+                    .storage(self.storage)
                     .try_build()?;
                 self.paint(&mut s);
                 Ok(CaseSolver::D3(s))
@@ -288,19 +302,38 @@ impl CaseSolver {
         }
     }
 
+    /// Storage scheme of the underlying solver.
+    pub fn scheme(&self) -> StorageScheme {
+        match self {
+            CaseSolver::D2(s) => s.scheme(),
+            CaseSolver::D3(s) => s.scheme(),
+        }
+    }
+
     /// Capture the full population state as a [`Checkpoint`] — the
     /// preemption primitive: save this, drop the solver, rebuild later from
     /// the same [`CaseSpec`] and [`CaseSolver::restore`].
+    ///
+    /// The payload is always the canonical (AB-convention, post-collision)
+    /// state regardless of the solver's storage scheme, so checkpoints are
+    /// portable across schemes: an AA job's checkpoint restores into an AB
+    /// solver and vice versa. The checkpoint's `scheme` byte records the
+    /// producer for provenance; `parity` is always 0 (canonical).
     pub fn capture(&self) -> Checkpoint {
         let dims = self.dims();
         let (q, data) = match self {
-            CaseSolver::D2(s) => (9u32, s.populations().raw().to_vec()),
-            CaseSolver::D3(s) => (19u32, s.populations().raw().to_vec()),
+            CaseSolver::D2(s) => (9u32, s.canonical_populations().raw().to_vec()),
+            CaseSolver::D3(s) => (19u32, s.canonical_populations().raw().to_vec()),
         };
         Checkpoint {
             step: self.step_count(),
             dims: (dims.nx as u32, dims.ny as u32, dims.nz as u32),
             q,
+            scheme: match self.scheme() {
+                StorageScheme::Ab => SCHEME_AB,
+                StorageScheme::Aa => SCHEME_AA,
+            },
+            parity: 0,
             data,
         }
     }
@@ -321,30 +354,9 @@ impl CaseSolver {
             )));
         }
         match self {
-            CaseSolver::D2(s) => {
-                let raw = s.populations_mut().raw_mut();
-                if ck.data.len() != raw.len() {
-                    return Err(SwlbError::LengthMismatch {
-                        got: ck.data.len(),
-                        expected: raw.len(),
-                    });
-                }
-                raw.copy_from_slice(&ck.data);
-                s.set_step_count(ck.step);
-            }
-            CaseSolver::D3(s) => {
-                let raw = s.populations_mut().raw_mut();
-                if ck.data.len() != raw.len() {
-                    return Err(SwlbError::LengthMismatch {
-                        got: ck.data.len(),
-                        expected: raw.len(),
-                    });
-                }
-                raw.copy_from_slice(&ck.data);
-                s.set_step_count(ck.step);
-            }
+            CaseSolver::D2(s) => s.restore_canonical(&ck.data, ck.step),
+            CaseSolver::D3(s) => s.restore_canonical(&ck.data, ck.step),
         }
-        Ok(())
     }
 
     /// Fault-injection hook: poison one interior population with NaN so the
@@ -356,9 +368,12 @@ impl CaseSolver {
         // Center cell: guaranteed interior fluid for every case family (walls
         // only ever occupy the outermost shell).
         let cell = d.idx(d.nx / 2, d.ny / 2, d.nz / 2);
+        // Slot q=0 is the rest population: under every scheme and parity it
+        // is stored at (and read back from) the cell itself, so the poison is
+        // visible to the very next macroscopic evaluation.
         match self {
-            CaseSolver::D2(s) => s.populations_mut().set(cell, 0, Scalar::NAN),
-            CaseSolver::D3(s) => s.populations_mut().set(cell, 0, Scalar::NAN),
+            CaseSolver::D2(s) => s.state_mut().set(cell, 0, Scalar::NAN),
+            CaseSolver::D3(s) => s.state_mut().set(cell, 0, Scalar::NAN),
         }
     }
 }
@@ -376,6 +391,7 @@ mod tests {
             nz: 8,
             tau: 0.8,
             u_lattice: 0.05,
+            storage: StorageScheme::Ab,
         }
     }
 
@@ -410,22 +426,66 @@ mod tests {
     fn every_case_family_builds_and_steps() {
         for case in [CaseKind::Cavity, CaseKind::Channel, CaseKind::TaylorGreen] {
             for lattice in [LatticeKind::D2Q9, LatticeKind::D3Q19] {
-                let s = CaseSpec {
-                    case,
-                    lattice,
-                    nx: 8,
-                    ny: 8,
-                    nz: 6,
-                    tau: 0.8,
-                    u_lattice: 0.05,
-                };
-                let mut solver = s
-                    .build(ThreadPool::new(1), Recorder::disabled())
-                    .unwrap_or_else(|e| panic!("{case:?}/{lattice:?}: {e}"));
-                solver.run_checked(4, 2).unwrap();
-                assert_eq!(solver.step_count(), 4);
-                assert!(!solver.has_non_finite());
+                for storage in [StorageScheme::Ab, StorageScheme::Aa] {
+                    let s = CaseSpec {
+                        case,
+                        lattice,
+                        nx: 8,
+                        ny: 8,
+                        nz: 6,
+                        tau: 0.8,
+                        u_lattice: 0.05,
+                        storage,
+                    };
+                    if case == CaseKind::Channel && storage == StorageScheme::Aa {
+                        // Open boundaries are AB-only; validated below.
+                        assert!(matches!(s.validate(), Err(SwlbError::InvalidConfig(_))));
+                        continue;
+                    }
+                    let mut solver = s
+                        .build(ThreadPool::new(1), Recorder::disabled())
+                        .unwrap_or_else(|e| panic!("{case:?}/{lattice:?}/{storage:?}: {e}"));
+                    solver.run_checked(4, 2).unwrap();
+                    assert_eq!(solver.step_count(), 4);
+                    assert!(!solver.has_non_finite());
+                }
             }
+        }
+    }
+
+    #[test]
+    fn aa_case_tracks_ab_case_and_checkpoints_are_cross_scheme() {
+        let pool = ThreadPool::new(1);
+        let ab = spec();
+        let mut aa = spec();
+        aa.storage = StorageScheme::Aa;
+
+        let mut sa = ab.build(pool.clone(), Recorder::disabled()).unwrap();
+        let mut sb = aa.build(pool.clone(), Recorder::disabled()).unwrap();
+        sa.run_checked(5, 5).unwrap();
+        sb.run_checked(5, 5).unwrap();
+
+        // Mid-parity capture (odd step count => AA state is Streamed): the
+        // payload must still be canonical and restore into an *AB* solver.
+        let ck = sb.capture();
+        assert_eq!(ck.scheme, SCHEME_AA);
+        assert_eq!(ck.parity, 0);
+        let mut sc = ab.build(pool, Recorder::disabled()).unwrap();
+        sc.restore(&ck).unwrap();
+        sa.run_checked(3, 3).unwrap();
+        sb.run_checked(3, 3).unwrap();
+        sc.run_checked(3, 3).unwrap();
+
+        // Compare fluid cells only: AA wall slots are scatter mailboxes, so
+        // macroscopic values over solid cells are not meaningful.
+        let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
+        let (ra, rb, rc) = (sa.rho(), sb.rho(), sc.rho());
+        for i in 0..ra.len() {
+            if sa.flags().kind(i) != swlb_core::boundary::NodeKind::Fluid {
+                continue;
+            }
+            assert!((ra[i] - rb[i]).abs() <= tol, "AA vs AB rho mismatch at {i}");
+            assert!((rb[i] - rc[i]).abs() <= tol, "restored vs AA rho mismatch at {i}");
         }
     }
 
@@ -448,7 +508,7 @@ mod tests {
         let (CaseSolver::D3(sa), CaseSolver::D3(sb)) = (&a, &b) else {
             panic!("expected D3 solvers");
         };
-        assert_eq!(sa.populations().raw(), sb.populations().raw());
+        assert_eq!(sa.state().raw(), sb.state().raw());
     }
 
     #[test]

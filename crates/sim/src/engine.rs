@@ -1,7 +1,8 @@
 //! The distributed solver: halo exchange + fused kernel per rank.
 //!
 //! Each rank owns an `(lnx + 2) × (lny + 2) × nz` local grid — interior plus a
-//! one-cell halo ring in x/y. A time step is:
+//! one-cell halo ring in x/y. Under the default A-B (double-buffer) storage a
+//! time step is:
 //!
 //! 1. send the 8 boundary strips of the current state to the neighbors,
 //! 2. (on-the-fly mode) compute the inner cells that need no halo,
@@ -14,6 +15,26 @@
 //! overlap changes only when work happens, not what is computed. This is the
 //! property the paper relies on when pipelining the MPE (communication) against
 //! the CPE cluster (inner-domain computation), Fig. 6(2)/Fig. 9(2).
+//!
+//! ## AA-pattern (single-grid) storage
+//!
+//! With [`StorageScheme::Aa`] each rank holds ONE grid and alternates two step
+//! flavors (see `swlb_core::layout`):
+//!
+//! - **Odd steps** (parity `Reversed`) gather from the upwind neighborhood and
+//!   scatter downwind — including *into the ghost ring*, whose cells stand in
+//!   for the neighbor's boundary cells. The schedule is the AB pre-exchange
+//!   (tags `0..8`, populating the ghosts so gathers see the neighbor's state)
+//!   plus a **post-exchange** (tags `8..16`): each rank ships its ghost strips
+//!   — now holding scatters that belong to the neighbor — back across, and
+//!   the receiver merges exactly those slots `(cell, q)` whose *writer*
+//!   `cell − c_q` lies in the sender's region. Slot ownership (each slot has a
+//!   unique writer, which is also its unique reader) makes the merge
+//!   predicates disjoint across the 8 senders, wraparound self-sends included.
+//! - **Even steps** (parity `Streamed`) read and write only the cell's own
+//!   slots and the mailbox slots of adjacent walls, all of which the rank's
+//!   own odd step wrote locally: even steps need **no communication at all** —
+//!   the AA scheme halves both the resident set and the halo traffic.
 
 use crate::partition::Partition2d;
 use std::ops::Range;
@@ -24,9 +45,11 @@ use swlb_comm::{Comm, CommError, Communicator, Tag};
 use swlb_core::collision::{collide, CollisionKind};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
-use swlb_core::kernels::{apply_non_fluid, gather_pull, InteriorIndex, MAX_Q};
+use swlb_core::kernels::{
+    apply_non_fluid, canonicalize_streamed, gather_pull, reverse_planes, InteriorIndex, MAX_Q,
+};
 use swlb_core::lattice::Lattice;
-use swlb_core::layout::{AbBuffers, PopField, SoaField};
+use swlb_core::layout::{AaParity, PopField, SoaField, Storage, StorageScheme};
 use swlb_core::macroscopic::MacroFields;
 use swlb_core::parallel::ThreadPool;
 use swlb_core::simd::KernelClass;
@@ -47,6 +70,10 @@ fn opposite_dir(d: usize) -> usize {
     // E↔W, N↔S, NE↔SW, SE↔NW.
     d ^ 1
 }
+
+/// Tag base of the AA odd-step post-exchange (ghost-scatter return traffic);
+/// the pre-exchange uses tags `0..8` and the restart scatter uses `40`.
+const AA_POST_TAG_BASE: u64 = 8;
 
 /// Retry/backoff policy for halo receives.
 ///
@@ -105,7 +132,7 @@ pub struct DistributedSolver<'c, L: Lattice, C: Communicator = Comm> {
     comm: &'c C,
     part: Partition2d,
     flags: FlagField,
-    bufs: AbBuffers<SoaField<L>>,
+    store: Storage<SoaField<L>>,
     collision: CollisionKind,
     mode: ExchangeMode,
     lnx: usize,
@@ -174,6 +201,7 @@ pub struct DistributedSolverBuilder<'c, 'f, L: Lattice, C: Communicator = Comm> 
     global_flags: &'f FlagField,
     collision: CollisionKind,
     mode: ExchangeMode,
+    storage: StorageScheme,
     retry: HaloRetry,
     recorder: Recorder,
     pool: Option<ThreadPool>,
@@ -194,6 +222,7 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             global_flags,
             collision,
             mode: ExchangeMode::OnTheFly,
+            storage: StorageScheme::Ab,
             retry: HaloRetry::default(),
             recorder: Recorder::disabled(),
             pool: None,
@@ -216,6 +245,16 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
         self
     }
 
+    /// Select the population storage scheme (default [`StorageScheme::Ab`]).
+    /// [`StorageScheme::Aa`] halves each rank's resident set and makes every
+    /// second step communication-free, but supports only
+    /// Fluid/Wall/MovingWall flags — [`DistributedSolverBuilder::try_build`]
+    /// rejects the combination with open/NEBB boundaries.
+    pub fn storage(mut self, scheme: StorageScheme) -> Self {
+        self.storage = scheme;
+        self
+    }
+
     /// Replace the halo retry/backoff policy (default [`HaloRetry::default`]).
     pub fn halo_retry(mut self, retry: HaloRetry) -> Self {
         assert!(
@@ -232,8 +271,27 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
         self
     }
 
-    /// Build this rank's solver.
+    /// Build this rank's solver, panicking on an invalid configuration.
     pub fn build(self) -> DistributedSolver<'c, L, C> {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("distributed solver build failed: {e}"))
+    }
+
+    /// Build this rank's solver, rejecting unsupported scheme/flag
+    /// combinations with a typed error: AA-pattern storage has no streaming
+    /// rule for open (inlet/outlet/NEBB) boundaries.
+    pub fn try_build(self) -> Result<DistributedSolver<'c, L, C>, SwlbError> {
+        if self.storage == StorageScheme::Aa {
+            let c = self.global_flags.census();
+            if c.inlet != 0 || c.outlet != 0 {
+                return Err(SwlbError::InvalidConfig(format!(
+                    "AA-pattern storage supports Fluid/Wall/MovingWall nodes only, but the \
+                     flag field has {} inlet and {} outlet nodes; build with StorageScheme::Ab \
+                     for open/NEBB boundaries",
+                    c.inlet, c.outlet
+                )));
+            }
+        }
         let comm = self.comm;
         let part = Partition2d::new(self.global, comm.size());
         let ((_, lnx), (_, lny)) = part.owned(comm.rank());
@@ -242,11 +300,11 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
         let active = count_active(&flags, lnx, lny);
         let recorder = self.recorder;
         let interior = InteriorIndex::build::<L>(&flags);
-        DistributedSolver {
+        Ok(DistributedSolver {
             comm,
             part,
             flags,
-            bufs: AbBuffers::new(SoaField::new(local), SoaField::new(local)),
+            store: Storage::with_scheme(self.storage, || SoaField::new(local)),
             collision: self.collision,
             mode: self.mode,
             lnx,
@@ -269,7 +327,7 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             obs_halo_us: recorder.histogram("halo.latency_us", &exponential_buckets(10.0, 4.0, 8)),
             obs_kernel_class: recorder.gauge("kernel_class"),
             recorder,
-        }
+        })
     }
 }
 
@@ -358,10 +416,32 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
     /// Rebuild the interior index and active-cell count if the flags changed.
     fn ensure_interior(&mut self) {
         if self.interior_dirty {
+            if self.store.scheme() == StorageScheme::Aa {
+                let c = self.flags.census();
+                assert!(
+                    c.inlet == 0 && c.outlet == 0,
+                    "AA-pattern storage supports Fluid/Wall/MovingWall nodes only, but the \
+                     mutated local flags now have {} inlet and {} outlet nodes; use \
+                     StorageScheme::Ab for open/NEBB boundaries",
+                    c.inlet,
+                    c.outlet
+                );
+            }
             self.interior = InteriorIndex::build::<L>(&self.flags);
             self.active = count_active(&self.flags, self.lnx, self.lny);
             self.interior_dirty = false;
         }
+    }
+
+    /// Which storage scheme this rank runs.
+    pub fn scheme(&self) -> StorageScheme {
+        self.store.scheme()
+    }
+
+    /// AA step-flavor parity (`None` under AB storage). `Reversed` means the
+    /// next step is the odd (communicating) flavor.
+    pub fn parity(&self) -> Option<AaParity> {
+        self.store.parity()
     }
 
     /// Initialize all local cells from a *global-coordinate* state function.
@@ -374,11 +454,17 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let global = part.global;
         let ((x0, _), (y0, _)) = part.owned(rank);
         let flags = self.flags.clone();
-        swlb_core::kernels::initialize_with::<L, _>(&flags, self.bufs.src_mut(), |lx, ly, z| {
+        swlb_core::kernels::initialize_with::<L, _>(&flags, self.store.state_mut(), |lx, ly, z| {
             let gx = (x0 + global.nx + lx - 1) % global.nx;
             let gy = (y0 + global.ny + ly - 1) % global.ny;
             state(gx, gy, z)
         });
+        // The initializer writes the canonical (AB-ordered) state; convert to
+        // the scheme's raw representation.
+        if let Storage::Aa { field, parity } = &mut self.store {
+            reverse_planes::<L>(field);
+            *parity = AaParity::Reversed;
+        }
         self.step = 0;
     }
 
@@ -406,32 +492,31 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         }
     }
 
-    /// Append the strip `xr × yr` (full z) to `out` in halo wire order.
-    fn pack_into(&self, xr: Range<usize>, yr: Range<usize>, out: &mut Vec<f64>) {
-        let dims = self.flags.dims();
-        let src = self.bufs.src();
+    /// Append the strip `xr × yr` (full z) of `field` to `out` in halo wire
+    /// order (y → x → z → q).
+    fn pack_strip(field: &SoaField<L>, xr: Range<usize>, yr: Range<usize>, out: &mut Vec<f64>) {
+        let dims = field.dims();
         out.reserve(xr.len() * yr.len() * dims.nz * L::Q);
         for y in yr {
             for x in xr.clone() {
                 for z in 0..dims.nz {
                     let cell = dims.idx(x, y, z);
                     for q in 0..L::Q {
-                        out.push(src.get(cell, q));
+                        out.push(field.get(cell, q));
                     }
                 }
             }
         }
     }
 
-    fn pack(&self, xr: Range<usize>, yr: Range<usize>) -> Vec<f64> {
-        let mut out = Vec::new();
-        self.pack_into(xr, yr, &mut out);
-        out
+    /// Append the strip `xr × yr` of the current raw state to `out`.
+    fn pack_into(&self, xr: Range<usize>, yr: Range<usize>, out: &mut Vec<f64>) {
+        Self::pack_strip(self.store.state(), xr, yr, out);
     }
 
     fn unpack(&mut self, xr: Range<usize>, yr: Range<usize>, data: &[f64]) {
         let dims = self.flags.dims();
-        let dst = self.bufs.src_mut();
+        let dst = self.store.state_mut();
         let mut it = data.iter();
         for y in yr {
             for x in xr.clone() {
@@ -584,7 +669,10 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let pool = &self.pool;
         let interior = &self.interior;
         let (xr, yr) = (2..self.lnx, 2..self.lny);
-        let (src, dst) = self.bufs.pair_mut();
+        let Storage::Ab(bufs) = &mut self.store else {
+            unreachable!("step_inner is the AB path")
+        };
+        let (src, dst) = bufs.pair_mut();
         let class = pool.step_rect::<L, _>(flags, src, dst, &collision, xr, yr, Some(interior));
         self.last_class = class;
     }
@@ -614,7 +702,10 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let dims = self.flags.dims();
         let collision = self.collision;
         let flags = &self.flags;
-        let (src, dst) = self.bufs.pair_mut();
+        let Storage::Ab(bufs) = &mut self.store else {
+            unreachable!("step_rect is the AB path")
+        };
+        let (src, dst) = bufs.pair_mut();
         let mut f = [0.0; MAX_Q];
         for y in yr {
             for x in xr.clone() {
@@ -634,13 +725,166 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         }
     }
 
-    /// Advance one time step.
-    pub fn step(&mut self) -> Result<(), CommError> {
-        // Cheap handle clone so phase guards don't hold a borrow of `self`.
-        let rec = self.recorder.clone();
-        let t_step = rec.now();
-        self.ensure_interior();
-        self.comm.notify_step(self.step);
+    /// Fused AA stream+collide over the inner rectangle `2..lnx × 2..lny`
+    /// (whose gathers *and scatters* stay within owned cells), dispatched
+    /// through the thread pool exactly like the AB inner rectangle.
+    fn aa_step_inner(&mut self) {
+        if self.lnx <= 2 || self.lny <= 2 {
+            self.last_class = KernelClass::Generic;
+            return;
+        }
+        let collision = self.collision;
+        let flags = &self.flags;
+        let pool = &self.pool;
+        let interior = &self.interior;
+        let (xr, yr) = (2..self.lnx, 2..self.lny);
+        let Storage::Aa { field, parity } = &mut self.store else {
+            unreachable!("aa_step_inner is the AA path")
+        };
+        let class = pool.aa_step_rect::<L>(flags, field, &collision, *parity, xr, yr, Some(interior));
+        self.last_class = class;
+    }
+
+    /// AA sweep over the boundary ring on the generic serial path. Odd-step
+    /// ring cells gather from and scatter into the ghost ring; slot ownership
+    /// (unique writer = unique reader per slot) makes the order against
+    /// [`DistributedSolver::aa_step_inner`] irrelevant — the schedules stay
+    /// bit-identical.
+    fn aa_step_ring(&mut self) {
+        let (lnx, lny) = (self.lnx, self.lny);
+        self.aa_step_rect(1..lnx + 1, 1..2); // south row
+        if lny > 1 {
+            self.aa_step_rect(1..lnx + 1, lny..lny + 1); // north row
+        }
+        if lny > 2 {
+            self.aa_step_rect(1..2, 2..lny); // west column
+            if lnx > 1 {
+                self.aa_step_rect(lnx..lnx + 1, 2..lny); // east column
+            }
+        }
+    }
+
+    /// AA sweep over the rectangle `xr × yr` (local coords, full z).
+    fn aa_step_rect(&mut self, xr: Range<usize>, yr: Range<usize>) {
+        let collision = self.collision;
+        let flags = &self.flags;
+        let Storage::Aa { field, parity } = &mut self.store else {
+            unreachable!("aa_step_rect is the AA path")
+        };
+        swlb_core::kernels::aa_step_rect::<L>(flags, field, &collision, *parity, xr, yr);
+    }
+
+    /// One pooled AA dispatch over every owned cell `1..=lnx × 1..=lny` — the
+    /// even (cell-local) step flavor, which needs no halo traffic.
+    fn aa_step_owned(&mut self) {
+        let collision = self.collision;
+        let flags = &self.flags;
+        let pool = &self.pool;
+        let interior = &self.interior;
+        let (xr, yr) = (1..self.lnx + 1, 1..self.lny + 1);
+        let Storage::Aa { field, parity } = &mut self.store else {
+            unreachable!("aa_step_owned is the AA path")
+        };
+        let class = pool.aa_step_rect::<L>(flags, field, &collision, *parity, xr, yr, Some(interior));
+        self.last_class = class;
+    }
+
+    /// AA odd-step post-exchange: ship the ghost strips (which now hold this
+    /// rank's scatters into the neighbors' cells) across, and merge the 8
+    /// incoming strips into the owned boundary ring — but only the slots
+    /// `(cell, q)` whose writer `cell − c_q` lies in the *sender's* region.
+    /// Every slot has exactly one writer, so the merge predicates are disjoint
+    /// across senders (wraparound self-sends included) and never clobber a
+    /// locally-computed value.
+    fn aa_post_exchange(&mut self) -> Result<(), CommError> {
+        let mut buf = std::mem::take(&mut self.send_buf);
+        let send_result = (|| {
+            for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+                let dst = self
+                    .part
+                    .cart
+                    .neighbor(self.comm.rank(), *dx, *dy)
+                    .expect("periodic topology always has neighbors");
+                buf.clear();
+                buf.resize(FRAME_HEADER, 0.0);
+                self.pack_into(
+                    Self::recv_range(*dx, self.lnx),
+                    Self::recv_range(*dy, self.lny),
+                    &mut buf,
+                );
+                seal_frame(&mut buf, self.epoch, self.step);
+                self.comm.send_buffered(dst, AA_POST_TAG_BASE + d as u64, &buf)?;
+            }
+            Ok(())
+        })();
+        self.send_buf = buf;
+        send_result?;
+
+        let mut buf = std::mem::take(&mut self.recv_buf);
+        let recv_result = (|| {
+            for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+                let src_rank = self
+                    .part
+                    .cart
+                    .neighbor(self.comm.rank(), *dx, *dy)
+                    .expect("periodic topology always has neighbors");
+                let t_recv = self.recorder.now();
+                self.recv_framed_into(
+                    src_rank,
+                    AA_POST_TAG_BASE + opposite_dir(d) as u64,
+                    &mut buf,
+                )?;
+                if let Some(t) = t_recv {
+                    let ns = t.elapsed().as_nanos() as u64;
+                    self.recorder.record_phase_ns(Phase::HaloExchange, ns);
+                    self.obs_halo_us.record(ns as f64 / 1e3);
+                }
+                self.aa_merge_strip(*dx, *dy, &buf[FRAME_HEADER..]);
+            }
+            Ok(())
+        })();
+        self.recv_buf = buf;
+        recv_result
+    }
+
+    /// Merge one post-exchange strip from the neighbor in direction
+    /// `(dx, dy)`. The payload mirrors my owned boundary strip
+    /// `send_range(dx) × send_range(dy)` in halo wire order; a slot is taken
+    /// iff its writer cell lies in the sender's region (beyond my owned block
+    /// in exactly the directions the sender sits, in unwrapped local coords).
+    fn aa_merge_strip(&mut self, dx: i32, dy: i32, data: &[f64]) {
+        fn writer_in_sender(w: isize, d: i32, ln: usize) -> bool {
+            match d {
+                1 => w > ln as isize,
+                -1 => w <= 0,
+                _ => w >= 1 && w <= ln as isize,
+            }
+        }
+        let dims = self.flags.dims();
+        let (lnx, lny) = (self.lnx, self.lny);
+        let dst = self.store.state_mut();
+        let mut it = data.iter();
+        for y in Self::send_range(dy, lny) {
+            for x in Self::send_range(dx, lnx) {
+                for z in 0..dims.nz {
+                    let cell = dims.idx(x, y, z);
+                    for q in 0..L::Q {
+                        let v = *it.next().expect("post-exchange message too short");
+                        let c = L::C[q];
+                        let wx = x as isize - c[0] as isize;
+                        let wy = y as isize - c[1] as isize;
+                        if writer_in_sender(wx, dx, lnx) && writer_in_sender(wy, dy, lny) {
+                            dst.set(cell, q, v);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(it.next().is_none(), "post-exchange message too long");
+    }
+
+    /// One AB time step: pre-exchange, compute, buffer flip.
+    fn step_ab(&mut self, rec: &Recorder) -> Result<(), CommError> {
         {
             let _pack = rec.phase(Phase::HaloPack);
             self.post_sends()?;
@@ -670,7 +914,71 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 self.step_ring();
             }
         }
-        self.bufs.flip();
+        let Storage::Ab(bufs) = &mut self.store else {
+            unreachable!("step_ab is the AB path")
+        };
+        bufs.flip();
+        Ok(())
+    }
+
+    /// One AA time step: odd flavor communicates (pre- and post-exchange),
+    /// even flavor is entirely local; the parity flips afterwards.
+    fn step_aa(&mut self, rec: &Recorder) -> Result<(), CommError> {
+        let parity = self.store.parity().expect("step_aa is the AA path");
+        match parity {
+            AaParity::Reversed => {
+                {
+                    let _pack = rec.phase(Phase::HaloPack);
+                    self.post_sends()?;
+                }
+                match self.mode {
+                    ExchangeMode::Sequential => {
+                        self.recv_halos()?;
+                        {
+                            let _cs = rec.phase(Phase::CollideStream);
+                            self.aa_step_inner();
+                        }
+                        let _bd = rec.phase(Phase::Boundary);
+                        self.aa_step_ring();
+                    }
+                    ExchangeMode::OnTheFly => {
+                        // The inner rectangle neither gathers from nor
+                        // scatters into the ghost ring: overlap it with the
+                        // pre-exchange receives.
+                        {
+                            let _cs = rec.phase(Phase::CollideStream);
+                            self.aa_step_inner();
+                        }
+                        self.recv_halos()?;
+                        let _bd = rec.phase(Phase::Boundary);
+                        self.aa_step_ring();
+                    }
+                }
+                self.aa_post_exchange()?;
+            }
+            AaParity::Streamed => {
+                let _cs = rec.phase(Phase::CollideStream);
+                self.aa_step_owned();
+            }
+        }
+        let Storage::Aa { parity, .. } = &mut self.store else {
+            unreachable!("step_aa is the AA path")
+        };
+        *parity = parity.flip();
+        Ok(())
+    }
+
+    /// Advance one time step.
+    pub fn step(&mut self) -> Result<(), CommError> {
+        // Cheap handle clone so phase guards don't hold a borrow of `self`.
+        let rec = self.recorder.clone();
+        let t_step = rec.now();
+        self.ensure_interior();
+        self.comm.notify_step(self.step);
+        match self.store.scheme() {
+            StorageScheme::Ab => self.step_ab(&rec)?,
+            StorageScheme::Aa => self.step_aa(&rec)?,
+        }
         self.step += 1;
         if let Some(t) = t_step {
             let ns = (t.elapsed().as_nanos() as u64).max(1);
@@ -691,28 +999,57 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         Ok(())
     }
 
+    /// The canonical (AB-ordered post-collision) view of the local grid:
+    /// borrowed zero-copy under AB, materialized under AA. Owned cells are
+    /// always correct; ghost-ring values are only meaningful under AB and AA
+    /// `Reversed` (under `Streamed` canonicalizing a ghost would need the
+    /// neighbor's data).
+    pub fn local_canonical(&self) -> std::borrow::Cow<'_, SoaField<L>> {
+        use std::borrow::Cow;
+        match &self.store {
+            Storage::Ab(b) => Cow::Borrowed(b.src()),
+            Storage::Aa { field, parity } => match parity {
+                AaParity::Reversed => {
+                    let mut f = field.clone();
+                    reverse_planes::<L>(&mut f);
+                    Cow::Owned(f)
+                }
+                AaParity::Streamed => Cow::Owned(canonicalize_streamed::<L>(field)),
+            },
+        }
+    }
+
     /// Local macroscopic snapshot (includes the halo ring; interior is
     /// `1..=lnx × 1..=lny`).
     pub fn local_macroscopic(&self) -> MacroFields {
-        MacroFields::compute::<L, _>(&self.flags, self.bufs.src())
+        MacroFields::compute::<L, _>(&self.flags, self.local_canonical().as_ref())
     }
 
-    /// Current local populations (with halo ring).
+    /// Current local raw state (with halo ring). Under AB this is the source
+    /// buffer; under AA the slot meaning depends on
+    /// [`DistributedSolver::parity`] — use
+    /// [`DistributedSolver::local_canonical`] for a scheme-portable view.
     pub fn local_populations(&self) -> &SoaField<L> {
-        self.bufs.src()
+        self.store.state()
     }
 
-    /// Mutable local populations (restart).
+    /// Mutable local raw state (restart, fault injection in tests).
     pub fn local_populations_mut(&mut self) -> &mut SoaField<L> {
-        self.bufs.src_mut()
+        self.store.state_mut()
     }
 
     /// This rank's fluid mass over interior cells (no communication). A NaN or
     /// Inf anywhere in the interior poisons the sum, which is what lets the
     /// recovery layer detect divergence from one reduced scalar.
+    ///
+    /// Scheme-invariant: under AA `Reversed` the slots of a cell are a
+    /// permutation of its canonical values, and under `Streamed` the cell's
+    /// canonical values sit at `(cell + c_q, q)` — which for owned cells never
+    /// leaves the local grid.
     pub fn local_mass(&self) -> Scalar {
         let dims = self.flags.dims();
-        let src = self.bufs.src();
+        let src = self.store.state();
+        let streamed = self.store.parity() == Some(AaParity::Streamed);
         let mut mass = 0.0;
         for y in 1..=self.lny {
             for x in 1..=self.lnx {
@@ -720,7 +1057,15 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                     let cell = dims.idx(x, y, z);
                     if self.flags.kind(cell).is_fluid() {
                         for q in 0..L::Q {
-                            mass += src.get(cell, q);
+                            let slot = if streamed {
+                                let c = L::C[q];
+                                let [a, b, d] =
+                                    dims.neighbor_periodic(x, y, z, [c[0], c[1], c[2]]);
+                                dims.idx(a, b, d)
+                            } else {
+                                cell
+                            };
+                            mass += src.get(slot, q);
                         }
                     }
                 }
@@ -770,13 +1115,29 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             let payload = self.comm.recv(0, SCATTER_TAG)?;
             self.unpack(1..self.lnx + 1, 1..self.lny + 1, &payload);
         }
+        // The payload is canonical (AB-ordered); convert to the scheme's raw
+        // representation. Restarting AA on the odd flavor from a canonical
+        // state is exactly the AB continuation; the stale ghost ring is
+        // overwritten by the pre-exchange before anything reads it.
+        if let Storage::Aa { field, parity } = &mut self.store {
+            reverse_planes::<L>(field);
+            *parity = AaParity::Reversed;
+        }
         self.step = step;
         Ok(())
     }
 
-    /// Gather the full global population field on rank 0 (`None` elsewhere).
+    /// Gather the full global *canonical* population field on rank 0 (`None`
+    /// elsewhere) — scheme-portable: AA ranks canonicalize their owned block
+    /// before packing.
     pub fn gather_populations(&self) -> Result<Option<SoaField<L>>, CommError> {
-        let payload = self.pack(1..self.lnx + 1, 1..self.lny + 1);
+        let mut payload = Vec::new();
+        Self::pack_strip(
+            self.local_canonical().as_ref(),
+            1..self.lnx + 1,
+            1..self.lny + 1,
+            &mut payload,
+        );
         let gathered = self.comm.gather_to_root(&payload)?;
         if self.comm.rank() != 0 {
             return Ok(None);
@@ -860,6 +1221,217 @@ mod tests {
                     (r - g).abs() < tol,
                     "cell {cell} q {q}: reference {r}, distributed {g}"
                 );
+            }
+        }
+    }
+
+    /// Run the same problem distributed under AA-pattern storage and compare
+    /// the gathered canonical field against the serial AB reference on every
+    /// fluid cell (solid cells hold scheme-dependent mailbox leftovers).
+    fn check_aa_distributed_matches_reference<L: Lattice>(
+        global: GridDims,
+        flags: FlagField,
+        nranks: usize,
+        mode: ExchangeMode,
+        steps: u64,
+    ) {
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        let init = |x: usize, y: usize, z: usize| {
+            let v = 0.01 * ((x * 7 + y * 3 + z) % 11) as Scalar;
+            (1.0 + v, [v * 0.1, -v * 0.05, 0.02 * v])
+        };
+        let reference = reference_run::<L>(global, &flags, &coll, steps, init);
+
+        let flags_ref = &flags;
+        let out = World::new(nranks).run(|comm| {
+            let mut s = DistributedSolver::<L>::builder(&comm, global, flags_ref, coll)
+                .exchange(mode)
+                .storage(StorageScheme::Aa)
+                .build();
+            s.initialize_with(init);
+            s.run(steps).unwrap();
+            s.gather_populations().unwrap()
+        });
+        let gathered = out[0].as_ref().expect("rank 0 gathers");
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+        for cell in 0..global.cells() {
+            if !flags.kind(cell).is_fluid() {
+                continue;
+            }
+            for q in 0..L::Q {
+                let (r, g) = (reference.get(cell, q), gathered.get(cell, q));
+                assert!(
+                    (r - g).abs() < tol,
+                    "cell {cell} q {q}: reference {r}, AA-distributed {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aa_single_rank_matches_reference_both_parities() {
+        // 5 steps end on the Streamed parity (gather canonicalizes in place),
+        // 6 on Reversed (gather un-reverses); both must match AB.
+        let global = GridDims::new(6, 6, 3);
+        for steps in [5, 6] {
+            let mut flags = FlagField::new(global);
+            flags.set_box_walls();
+            check_aa_distributed_matches_reference::<D3Q19>(
+                global,
+                flags,
+                1,
+                ExchangeMode::Sequential,
+                steps,
+            );
+        }
+    }
+
+    #[test]
+    fn aa_four_ranks_matches_reference_3d_both_modes() {
+        let global = GridDims::new(8, 8, 4);
+        for mode in [ExchangeMode::Sequential, ExchangeMode::OnTheFly] {
+            let mut flags = FlagField::new(global);
+            flags.set_box_walls();
+            flags.set(4, 4, 2, swlb_core::boundary::NodeKind::Wall);
+            check_aa_distributed_matches_reference::<D3Q19>(global, flags, 4, mode, 5);
+        }
+    }
+
+    #[test]
+    fn aa_six_ranks_periodic_2d_matches_reference() {
+        let global = GridDims::new2d(12, 9);
+        let flags = FlagField::new(global);
+        check_aa_distributed_matches_reference::<D2Q9>(
+            global,
+            flags,
+            6,
+            ExchangeMode::OnTheFly,
+            5,
+        );
+    }
+
+    #[test]
+    fn aa_two_ranks_wraparound_neighbors() {
+        // px = 2: the post-exchange self-send must route wrapped ghost
+        // scatters back into the correct owned strips.
+        let global = GridDims::new2d(8, 4);
+        let flags = FlagField::new(global);
+        check_aa_distributed_matches_reference::<D2Q9>(
+            global,
+            flags,
+            2,
+            ExchangeMode::Sequential,
+            5,
+        );
+    }
+
+    #[test]
+    fn aa_degenerate_subdomains_match_reference() {
+        // 6 ranks on 6×4 leave subdomains with lnx ≤ 2: the inner rectangle
+        // is empty and the whole odd step runs on the ring path.
+        let global = GridDims::new2d(6, 4);
+        let flags = FlagField::new(global);
+        check_aa_distributed_matches_reference::<D2Q9>(
+            global,
+            flags,
+            6,
+            ExchangeMode::OnTheFly,
+            6,
+        );
+    }
+
+    #[test]
+    fn aa_uneven_partition_matches_reference() {
+        let global = GridDims::new(10, 7, 3);
+        let mut flags = FlagField::new(global);
+        flags.set_box_walls();
+        check_aa_distributed_matches_reference::<D3Q19>(
+            global,
+            flags,
+            3,
+            ExchangeMode::Sequential,
+            4,
+        );
+    }
+
+    #[test]
+    fn aa_modes_are_bit_identical() {
+        let global = GridDims::new(9, 8, 3);
+        let mut flags = FlagField::new(global);
+        flags.set_box_walls();
+        flags.paint_lid([0.06, 0.0, 0.0]);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.7));
+        let flags_ref = &flags;
+        let run = |mode: ExchangeMode| {
+            World::new(4).run(|comm| {
+                let mut s = DistributedSolver::<D3Q19>::builder(&comm, global, flags_ref, coll)
+                    .exchange(mode)
+                    .storage(StorageScheme::Aa)
+                    .build();
+                s.initialize_uniform(1.0, [0.0; 3]);
+                s.run(5).unwrap();
+                s.gather_populations().unwrap()
+            })
+        };
+        let a = run(ExchangeMode::Sequential);
+        let b = run(ExchangeMode::OnTheFly);
+        let (fa, fb) = (a[0].as_ref().unwrap(), b[0].as_ref().unwrap());
+        for cell in 0..global.cells() {
+            for q in 0..19 {
+                assert_eq!(fa.get(cell, q), fb.get(cell, q), "cell {cell} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn aa_global_mass_conserved_at_both_parities() {
+        let global = GridDims::new2d(12, 12);
+        let mut flags = FlagField::new(global);
+        flags.set_box_walls();
+        flags.paint_lid([0.05, 0.0, 0.0]);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.9));
+        let flags_ref = &flags;
+        let masses = World::new(4).run(|comm| {
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::OnTheFly)
+                .storage(StorageScheme::Aa)
+                .build();
+            s.initialize_uniform(1.0, [0.0; 3]);
+            let m0 = s.global_mass().unwrap();
+            s.run(7).unwrap(); // odd count: mass measured at Streamed parity
+            assert_eq!(s.parity(), Some(AaParity::Streamed));
+            let m1 = s.global_mass().unwrap();
+            s.run(1).unwrap(); // and again at Reversed
+            assert_eq!(s.parity(), Some(AaParity::Reversed));
+            let m2 = s.global_mass().unwrap();
+            (m0, m1, m2)
+        });
+        for (m0, m1, m2) in masses {
+            assert!((m0 - m1).abs() / m0 < 1e-12, "mass drift {m0} → {m1}");
+            assert!((m0 - m2).abs() / m0 < 1e-12, "mass drift {m0} → {m2}");
+        }
+    }
+
+    #[test]
+    fn aa_rejects_open_boundaries_with_typed_error() {
+        let global = GridDims::new(8, 8, 4);
+        let mut flags = FlagField::new(global);
+        flags.paint_channel_walls_y();
+        flags.paint_inflow_outflow_x(1.0, [0.04, 0.0, 0.0]);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        let flags_ref = &flags;
+        let errs = World::new(2).run(|comm| {
+            DistributedSolver::<D3Q19>::builder(&comm, global, flags_ref, coll)
+                .storage(StorageScheme::Aa)
+                .try_build()
+                .err()
+        });
+        for e in errs {
+            match e {
+                Some(SwlbError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("AA-pattern"), "unexpected message: {msg}")
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
             }
         }
     }

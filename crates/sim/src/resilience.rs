@@ -42,7 +42,8 @@ use std::time::Duration;
 use swlb_comm::{CommError, Communicator};
 use swlb_core::lattice::Lattice;
 use swlb_core::layout::{PopField, SoaField};
-use swlb_io::checkpoint::{Checkpoint, CheckpointStore};
+use swlb_core::layout::StorageScheme;
+use swlb_io::checkpoint::{Checkpoint, CheckpointStore, SCHEME_AA, SCHEME_AB};
 use swlb_obs::{Phase, SwlbError};
 
 /// When to checkpoint, how often to retry, how long to wait.
@@ -113,6 +114,12 @@ fn capture<L: Lattice, C: Communicator>(
         step: solver.step_count(),
         dims: (global.nx as u32, global.ny as u32, global.nz as u32),
         q: L::Q as u32,
+        scheme: match solver.scheme() {
+            StorageScheme::Ab => SCHEME_AB,
+            StorageScheme::Aa => SCHEME_AA,
+        },
+        // `gather_populations` canonicalizes, whatever the running parity.
+        parity: 0,
         data: f.raw().to_vec(),
     }))
 }
@@ -385,6 +392,66 @@ mod tests {
         for cell in 0..global.cells() {
             for q in 0..9 {
                 assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
+            }
+        }
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn aa_storage_rollback_from_mid_parity_checkpoint_matches_plain_run() {
+        // checkpoint_every = 5 captures at Streamed parity; the rollback
+        // restores the canonical payload on the odd flavor — which must be
+        // exactly the same trajectory (canonical restart equivalence).
+        let (global, flags, coll) = case();
+        let flags_ref = &flags;
+        let plain = World::new(2).run(|comm| {
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .storage(swlb_core::layout::StorageScheme::Aa)
+                .build();
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(12).unwrap();
+            s.gather_populations().unwrap()
+        });
+        let store = temp_store("aa-nan");
+        let store_ref = &store;
+        let out = World::new(2).run(|comm| {
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .storage(swlb_core::layout::StorageScheme::Aa)
+                .halo_retry(HaloRetry::snappy())
+                .build();
+            s.initialize_uniform(1.0, [0.0; 3]);
+            let policy = RecoveryPolicy {
+                checkpoint_every: 5,
+                status_timeout: Duration::from_secs(10),
+                ..Default::default()
+            };
+            let mut injected = false;
+            let report = run_with_recovery_instrumented(&mut s, 12, &policy, store_ref, |s| {
+                if !injected && s.rank() == 1 && s.step_count() == 7 {
+                    injected = true;
+                    let dims = s.local_flags().dims();
+                    let cell = dims.idx(2, 2, 0);
+                    s.local_populations_mut().set(cell, 0, f64::NAN);
+                }
+            })
+            .unwrap();
+            assert_eq!(report.steps_completed, 12);
+            assert_eq!(report.restarts, 1, "exactly one rollback expected");
+            // Rolled back from the failed step-7 attempt to the step-5 ckpt.
+            assert_eq!(report.wasted_steps, 2);
+            s.gather_populations().unwrap()
+        });
+        let (a, b) = (plain[0].as_ref().unwrap(), out[0].as_ref().unwrap());
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+        for cell in 0..global.cells() {
+            if !flags.kind(cell).is_fluid() {
+                continue;
+            }
+            for q in 0..9 {
+                let (x, y) = (a.get(cell, q), b.get(cell, q));
+                assert!((x - y).abs() < tol, "cell {cell} q {q}: {x} vs {y}");
             }
         }
         std::fs::remove_dir_all(store.dir()).unwrap();

@@ -66,7 +66,7 @@ fn main() {
     );
 
     // Wall friction opposes the flow.
-    let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.populations());
+    let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.state());
     println!(
         "wall friction force F_x = {:.4e} (positive: the fluid drags the walls downstream)",
         f[0]

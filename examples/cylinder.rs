@@ -83,7 +83,7 @@ fn main() {
         }
         solver.step();
         if s > ramp && s % sample_every == 0 {
-            let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.populations());
+            let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.state());
             let cd = drag_coefficient(f[0], 1.0, u_in, area);
             log.push(&[s as f64, f[0], f[1], cd]);
         }

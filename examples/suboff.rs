@@ -48,7 +48,7 @@ fn main() {
     for s in 0..steps {
         solver.step();
         if s % 20 == 0 {
-            let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.populations());
+            let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.state());
             log.push(&[s as f64, f[0], drag_coefficient(f[0], 1.0, u_in, area)]);
         }
         if (s + 1) % 1000 == 0 {

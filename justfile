@@ -62,6 +62,22 @@ simd-check:
 bench-sweep:
     cargo run --release -p swlb-bench --bin native_scaling -- --json BENCH_pr4.json
 
+# AA-pattern acceptance (docs/PERFORMANCE.md, "Streaming patterns"): the
+# storage-scheme smoke sweep + schema validation, the AA↔AB equivalence
+# matrix (native lanes and the pinned AVX-512/portable-8 policies), the
+# cross-scheme checkpoint roundtrip, and the same matrix under
+# SWLB_NO_SIMD=1 where every lane falls back to scalar semantics.
+aa-check:
+    cargo run --release -p swlb-bench --bin native_scaling -- --pr6 --quick --json /tmp/bench_pr6_smoke.json
+    cargo run --release -p swlb-bench --bin native_scaling -- --validate /tmp/bench_pr6_smoke.json
+    cargo test -q -p swlb-sim --release --test unified_dispatch --test simd_equivalence --test checkpoint_roundtrip
+    SWLB_NO_SIMD=1 cargo test -q -p swlb-sim --release --test unified_dispatch --test simd_equivalence
+
+# The full AB-vs-AA storage-scheme sweep: 128^3 and 256^3 cavities across
+# 1/2/4 threads and the host's SIMD lanes, rewrites BENCH_pr6.json.
+bench-pr6:
+    cargo run --release -p swlb-bench --bin native_scaling -- --pr6 --json BENCH_pr6.json
+
 # Regenerate every paper figure/table harness.
 figures:
     for bin in fig08_kernel_speedup roofline_table fig13_weak_taihulight \

@@ -24,7 +24,7 @@ fn run_reference(dims: GridDims, flags: &FlagField, tau: f64, steps: usize) -> S
         (1.0 + v, [0.02 - v * 0.1, v * 0.05, -0.01])
     });
     s.run(steps as u64);
-    s.populations().clone()
+    s.state().clone()
 }
 
 fn run_emulated(

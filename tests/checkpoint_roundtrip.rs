@@ -19,14 +19,16 @@ fn capture(s: &Solver<D2Q9>) -> Checkpoint {
         step: s.step_count(),
         dims: (d.nx as u32, d.ny as u32, d.nz as u32),
         q: 9,
-        data: s.populations().raw().to_vec(),
+        scheme: swlb_io::checkpoint::SCHEME_AB,
+        parity: 0,
+        data: s.canonical_populations().raw().to_vec(),
     }
 }
 
 fn restore(s: &mut Solver<D2Q9>, ck: &Checkpoint) {
     assert_eq!(ck.dims.0 as usize, s.dims().nx);
     assert_eq!(ck.dims.1 as usize, s.dims().ny);
-    s.populations_mut().raw_mut().copy_from_slice(&ck.data);
+    s.restore_canonical(&ck.data, ck.step).unwrap();
 }
 
 #[test]
@@ -48,7 +50,7 @@ fn restart_continues_bit_identically() {
     restore(&mut resumed, &restored_ck);
     resumed.run(25);
 
-    let (a, b) = (straight.populations(), resumed.populations());
+    let (a, b) = (straight.state(), resumed.state());
     for cell in 0..straight.dims().cells() {
         for q in 0..9 {
             assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
@@ -131,6 +133,8 @@ fn distributed_checkpoint_restart_continues_bit_identically() {
                 step: s.step_count(),
                 dims: (global.nx as u32, global.ny as u32, global.nz as u32),
                 q: 9,
+                scheme: swlb_io::checkpoint::SCHEME_AB,
+                parity: 0,
                 data: field.raw().to_vec(),
             };
             let mut bytes = Vec::new();
@@ -215,7 +219,7 @@ fn restart_from_store_skips_corrupted_newest_checkpoint() {
     restore(&mut resumed, &ck);
     resumed.run(10);
 
-    let (a, b) = (straight.populations(), resumed.populations());
+    let (a, b) = (straight.state(), resumed.state());
     for cell in 0..straight.dims().cells() {
         for q in 0..9 {
             assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
@@ -235,11 +239,74 @@ fn checkpoint_of_3d_solver_roundtrips() {
         step: s.step_count(),
         dims: (8, 8, 8),
         q: 19,
-        data: s.populations().raw().to_vec(),
+        scheme: swlb_io::checkpoint::SCHEME_AB,
+        parity: 0,
+        data: s.canonical_populations().raw().to_vec(),
     };
     let mut bytes = Vec::new();
     write_checkpoint(&mut bytes, &ck).unwrap();
     let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
     assert_eq!(back.data.len(), 8 * 8 * 8 * 19);
     assert_eq!(back, ck);
+}
+
+#[test]
+fn aa_mid_parity_checkpoint_restores_across_schemes() {
+    // Capture an AA solver at odd step count (Streamed parity, the "hard"
+    // half of the AA cycle). The canonical payload must restore into a fresh
+    // solver of EITHER scheme and continue the same trajectory.
+    use swlb_io::checkpoint::SCHEME_AA;
+
+    let make = |scheme: StorageScheme| {
+        let dims = GridDims::new2d(20, 16);
+        let mut s = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.7))
+            .storage(scheme)
+            .build();
+        s.flags_mut().set_box_walls();
+        s.flags_mut().paint_lid([0.06, 0.0, 0.0]);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s
+    };
+
+    let mut straight = make(StorageScheme::Aa);
+    straight.run(24);
+
+    let mut first = make(StorageScheme::Aa);
+    first.run(9);
+    assert_eq!(first.parity(), Some(AaParity::Streamed));
+    let d = first.dims();
+    let ck = Checkpoint {
+        step: first.step_count(),
+        dims: (d.nx as u32, d.ny as u32, d.nz as u32),
+        q: 9,
+        scheme: SCHEME_AA,
+        parity: 0,
+        data: first.canonical_populations().raw().to_vec(),
+    };
+    let mut bytes = Vec::new();
+    write_checkpoint(&mut bytes, &ck).unwrap();
+    let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
+    assert_eq!((back.scheme, back.parity, back.step), (SCHEME_AA, 0, 9));
+
+    let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
+    for scheme in [StorageScheme::Aa, StorageScheme::Ab] {
+        let mut resumed = make(scheme);
+        resumed.restore_canonical(&back.data, back.step).unwrap();
+        resumed.run(15);
+        assert_eq!(resumed.step_count(), 24);
+        let a = straight.canonical_populations();
+        let b = resumed.canonical_populations();
+        for cell in 0..d.cells() {
+            if straight.flags().kind(cell) != NodeKind::Fluid {
+                continue;
+            }
+            for q in 0..9 {
+                let (va, vb) = (a.get(cell, q), b.get(cell, q));
+                assert!(
+                    (va - vb).abs() <= tol,
+                    "resume into {scheme:?}: cell {cell} q {q}: {va} vs {vb}"
+                );
+            }
+        }
+    }
 }

@@ -27,7 +27,7 @@ fn reference<L: Lattice>(
     *s.flags_mut() = flags.clone();
     s.initialize_field(init);
     s.run(steps);
-    s.populations().clone()
+    s.state().clone()
 }
 
 fn compare<L: Lattice>(

@@ -37,7 +37,7 @@ fn stl_to_simulation_pipeline() {
     solver.run_checked(200, 50).unwrap();
 
     // The cube must feel downstream drag.
-    let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.populations());
+    let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.state());
     assert!(f[0] > 1e-6, "obstacle feels no drag: {:?}", f);
 
     // And the wake must be slower than the free stream beside it.
@@ -139,7 +139,7 @@ fn suboff_drag_is_physical() {
     solver.initialize_uniform(1.0, [0.04, 0.0, 0.0]);
     solver.run_checked(400, 200).unwrap();
 
-    let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.populations());
+    let f = momentum_exchange_force::<D3Q19, _>(solver.flags(), solver.state());
     assert!(f[0] > 0.0, "hull drag must point downstream: {:?}", f);
     // Slender axisymmetric body: lateral force negligible vs drag.
     assert!(f[1].abs() < f[0], "lateral force {} vs drag {}", f[1], f[0]);

@@ -26,6 +26,7 @@ use swlb_obs::{Recorder, SwlbError};
 use swlb_serve::json::{self, Json};
 use swlb_serve::{
     CaseKind, CaseSpec, JobSpec, LatticeKind, Priority, ServeClient, ServeConfig, Server,
+    StorageScheme,
 };
 
 fn unique_dir(tag: &str) -> PathBuf {
@@ -44,6 +45,7 @@ fn cavity(nx: usize, ny: usize) -> CaseSpec {
         nz: 1,
         tau: 0.8,
         u_lattice: 0.05,
+        storage: StorageScheme::Ab,
     }
 }
 

@@ -21,6 +21,7 @@ use swlb_obs::{Recorder, SwlbError};
 use swlb_serve::json::{self, Json};
 use swlb_serve::{
     CaseKind, CaseSpec, JobSpec, LatticeKind, Priority, ServeClient, ServeConfig, Server,
+    StorageScheme,
 };
 use swlb_sim::RecoveryPolicy;
 
@@ -40,6 +41,7 @@ fn cavity(nx: usize, ny: usize) -> CaseSpec {
         nz: 1,
         tau: 0.8,
         u_lattice: 0.05,
+        storage: StorageScheme::Ab,
     }
 }
 
@@ -309,6 +311,54 @@ fn drain_leaves_resumable_checkpoints() {
             .unwrap();
         solver.restore(&ck).unwrap();
         assert_eq!(solver.step_count(), steps_done);
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An AA-storage job runs through submit → preempt → drain, and its canonical
+/// checkpoint (scheme byte `SCHEME_AA`, parity 0) restores into a fresh
+/// solver of EITHER storage scheme — the service can resume a drained AA job
+/// as AA or migrate it to AB without any conversion tooling.
+#[test]
+fn aa_job_drains_to_cross_scheme_resumable_checkpoint() {
+    let dir = unique_dir("aa-drain");
+    let server = Server::spawn(config(&dir, 4, 8)).unwrap();
+    let client = ServeClient::new(server.addr().to_string());
+
+    let mut case = cavity(16, 16);
+    case.storage = StorageScheme::Aa;
+    let id = client
+        .submit(&job("aa-cavity", case.clone(), 100_000, Priority::Batch))
+        .unwrap();
+    wait_for(&client, id, Duration::from_secs(20), "progress", |s| {
+        num_of(s, "steps_done") > 0
+    });
+    client.drain().unwrap();
+    let steps_done = num_of(&client.status(id).unwrap(), "steps_done");
+
+    let store = CheckpointStore::new(dir.join("checkpoints"), 2).unwrap();
+    let (ck, _) = store
+        .namespaced(&format!("job-{id}"))
+        .unwrap()
+        .load_latest_valid()
+        .unwrap()
+        .expect("AA job left no valid checkpoint");
+    assert_eq!(ck.scheme, swlb_io::checkpoint::SCHEME_AA);
+    assert_eq!(ck.parity, 0, "service checkpoints must be canonical");
+    assert_eq!(ck.step, steps_done);
+
+    let mut ab_case = case.clone();
+    ab_case.storage = StorageScheme::Ab;
+    for spec in [case, ab_case] {
+        let mut solver = spec
+            .build(ThreadPool::new(1), Recorder::disabled())
+            .unwrap();
+        solver.restore(&ck).unwrap();
+        assert_eq!(solver.step_count(), steps_done);
+        solver.run_checked(4, 2).unwrap();
+        assert!(!solver.has_non_finite());
     }
 
     server.shutdown();

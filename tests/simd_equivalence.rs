@@ -161,6 +161,67 @@ fn no_simd_env_never_selects_simd_class() {
     }
 }
 
+/// AA-pattern storage must agree with AB under every pinned lane policy —
+/// the portable lanes (4- and 8-wide), the mask-scalar kernel, the AVX2+FMA
+/// lane, and the 8-wide AVX-512F lane where the host detects `avx512f`
+/// (`ForceAvx512` falls back to the bit-identical portable 8-wide lane
+/// elsewhere, so the matrix is runnable on any host). Odd step counts end at
+/// Streamed parity, even ones Reversed; both are canonicalized for the
+/// comparison, fluid cells only (AA wall slots are scatter mailboxes).
+#[test]
+fn aa_matches_ab_under_every_lane_policy() {
+    use swlb_core::layout::StorageScheme;
+    use swlb_core::solver::Solver;
+
+    let dims = GridDims::new(12, 10, 14);
+    let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
+    let flags = obstacle_flags(dims);
+
+    let run = |scheme: StorageScheme, steps: u64| {
+        let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.8))
+            .storage(scheme)
+            .build();
+        s.flags_mut().set_box_walls();
+        s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
+        s.flags_mut().set(
+            dims.nx / 2,
+            dims.ny / 2,
+            dims.nz / 2,
+            swlb_core::boundary::NodeKind::Wall,
+        );
+        s.initialize_field(init_state);
+        s.run(steps);
+        s.canonical_populations().into_owned()
+    };
+
+    for policy in [
+        LanePolicy::ForcePortable,
+        LanePolicy::ForceScalar,
+        LanePolicy::ForceAvx2,
+        LanePolicy::ForceAvx512,
+        LanePolicy::Auto,
+    ] {
+        with_policy(policy, || {
+            for steps in [4u64, 5] {
+                let ab = run(StorageScheme::Ab, steps);
+                let aa = run(StorageScheme::Aa, steps);
+                for cell in 0..dims.cells() {
+                    if flags.kind(cell) != swlb_core::boundary::NodeKind::Fluid {
+                        continue;
+                    }
+                    for q in 0..D3Q19::Q {
+                        let (x, y) = (ab.get(cell, q), aa.get(cell, q));
+                        assert!(
+                            (x - y).abs() <= tol,
+                            "{policy:?} steps={steps}: cell {cell} q {q}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
 /// Distributed matrix on the portable lane: bit-exact against the serial
 /// generic reference across ranks, schedules, and degenerate subdomains.
 #[test]

@@ -18,7 +18,7 @@ use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
 use swlb_core::kernels::fused_step;
 use swlb_core::lattice::{Lattice, D2Q9, D3Q19};
-use swlb_core::layout::{PopField, SoaField};
+use swlb_core::layout::{PopField, SoaField, StorageScheme};
 use swlb_core::parallel::ThreadPool;
 use swlb_core::Scalar;
 use swlb_sim::engine::{DistributedSolver, ExchangeMode};
@@ -67,8 +67,58 @@ fn distributed_run<L: Lattice>(
     out.into_iter().next().unwrap().expect("rank 0 gathers")
 }
 
+/// Like [`distributed_run`], but under single-grid AA-pattern storage. The
+/// gather canonicalizes, so the result compares directly against the AB
+/// ping-pong reference.
+#[allow(clippy::too_many_arguments)]
+fn distributed_run_aa<L: Lattice>(
+    global: GridDims,
+    flags: &FlagField,
+    coll: CollisionKind,
+    steps: u64,
+    ranks: usize,
+    mode: ExchangeMode,
+    pool_threads: usize,
+    tile_z: usize,
+) -> SoaField<L> {
+    let out = World::new(ranks).run(|comm| {
+        let mut s = DistributedSolver::<L>::builder(&comm, global, flags, coll)
+            .exchange(mode)
+            .pool(ThreadPool::new(pool_threads).with_tile_z(tile_z))
+            .storage(StorageScheme::Aa)
+            .build();
+        s.initialize_with(init_state);
+        s.run(steps).unwrap();
+        s.gather_populations().unwrap()
+    });
+    out.into_iter().next().unwrap().expect("rank 0 gathers")
+}
+
 fn assert_fields_equal<L: Lattice>(a: &SoaField<L>, b: &SoaField<L>, what: &str) {
     assert_fields_close(a, b, 0.0, what);
+}
+
+/// Fluid-cells-only comparison: AA wall slots are in-place scatter mailboxes,
+/// so solid cells of a canonicalized AA field are not comparable to AB.
+fn assert_fluid_cells_close<L: Lattice>(
+    flags: &FlagField,
+    a: &SoaField<L>,
+    b: &SoaField<L>,
+    tol: f64,
+    what: &str,
+) {
+    for cell in 0..a.dims().cells() {
+        if flags.kind(cell) != swlb_core::boundary::NodeKind::Fluid {
+            continue;
+        }
+        for q in 0..L::Q {
+            let (x, y) = (a.get(cell, q), b.get(cell, q));
+            assert!(
+                (x - y).abs() <= tol,
+                "{what}: cell {cell} q {q}: {x} vs {y}"
+            );
+        }
+    }
 }
 
 fn assert_fields_close<L: Lattice>(a: &SoaField<L>, b: &SoaField<L>, tol: f64, what: &str) {
@@ -154,6 +204,74 @@ fn degenerate_subdomains_stay_bit_identical() {
         );
         assert_fields_equal(&reference, &seq, &format!("Sequential ranks={ranks}"));
         assert_fields_equal(&reference, &otf, &format!("OnTheFly ranks={ranks}"));
+    }
+}
+
+/// The AA-pattern storage matrix: (exchange mode × ranks × threads/tile_z ×
+/// odd/even step counts) against the serial AB reference. An odd step count
+/// ends at Streamed parity, so the gather exercises canonicalization of the
+/// "hard" half of the AA cycle; even counts end Reversed. Compared on fluid
+/// cells within the dispatch tolerance (the AA kernels take the fused SIMD
+/// path where the host offers it).
+#[test]
+fn aa_storage_matrix_matches_serial_reference() {
+    let global = GridDims::new(12, 10, 12);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+    flags.paint_lid([0.05, 0.0, 0.0]);
+    flags.set(6, 5, 6, swlb_core::boundary::NodeKind::Wall);
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+    let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
+
+    for steps in [4u64, 5] {
+        let reference = reference_run::<D3Q19>(global, &flags, &coll, steps);
+        for mode in [ExchangeMode::Sequential, ExchangeMode::OnTheFly] {
+            for ranks in [1usize, 4] {
+                for (threads, tile_z) in [(1, 0), (2, 2), (4, 70)] {
+                    let got = distributed_run_aa::<D3Q19>(
+                        global, &flags, coll, steps, ranks, mode, threads, tile_z,
+                    );
+                    assert_fluid_cells_close(
+                        &flags,
+                        &reference,
+                        &got,
+                        tol,
+                        &format!(
+                            "AA {mode:?} steps={steps} ranks={ranks} threads={threads} tile_z={tile_z}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// AA-pattern storage on degenerate subdomains (inner rectangle empty, the
+/// boundary ring is the whole subdomain) — including the ring-only odd-step
+/// path and self-neighbor wraparound merges.
+#[test]
+fn aa_degenerate_subdomains_match_reference() {
+    let global = GridDims::new(5, 4, 8);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.7));
+    let tol = swlb_core::simd::dispatch_tolerance() * 100.0;
+
+    for steps in [4u64, 5] {
+        let reference = reference_run::<D3Q19>(global, &flags, &coll, steps);
+        for ranks in [2usize, 6] {
+            for mode in [ExchangeMode::Sequential, ExchangeMode::OnTheFly] {
+                let got =
+                    distributed_run_aa::<D3Q19>(global, &flags, coll, steps, ranks, mode, 2, 0);
+                assert_fluid_cells_close(
+                    &flags,
+                    &reference,
+                    &got,
+                    tol,
+                    &format!("AA degenerate {mode:?} steps={steps} ranks={ranks}"),
+                );
+            }
+        }
     }
 }
 
