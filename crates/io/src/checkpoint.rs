@@ -122,75 +122,155 @@ pub fn write_checkpoint(w: &mut impl Write, ck: &Checkpoint) -> io::Result<()> {
     w.write_all(&crc.to_le_bytes())
 }
 
-/// Deserialize and verify a checkpoint.
-pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError> {
-    let mut body = Vec::new();
-    r.read_to_end(&mut body)?;
-    if body.len() < 44 + 4 {
+/// Bounds-checked cursor over a verified payload. Every accessor returns
+/// [`CheckpointError::Corrupt`] instead of slicing out of bounds, so a file
+/// cut mid-field — or a hostile header behind a recomputed CRC — can never
+/// panic the reader.
+pub(crate) struct FieldReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FieldReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        FieldReader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                CheckpointError::Corrupt(format!(
+                    "file cut short reading {what} at offset {}",
+                    self.pos
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &str) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("length checked")))
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("length checked")))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("length checked")))
+    }
+}
+
+/// `nx·ny·nz·q` with overflow rejection: a hostile header must not be able to
+/// wrap the expected payload length into a false match or drive a huge
+/// allocation.
+pub(crate) fn checked_payload_len(
+    dims: (u32, u32, u32),
+    q: u32,
+) -> Result<usize, CheckpointError> {
+    (dims.0 as usize)
+        .checked_mul(dims.1 as usize)
+        .and_then(|v| v.checked_mul(dims.2 as usize))
+        .and_then(|v| v.checked_mul(q as usize))
+        .ok_or_else(|| {
+            CheckpointError::Corrupt(format!(
+                "header dims {}x{}x{}x{q} overflow the addressable payload size",
+                dims.0, dims.1, dims.2
+            ))
+        })
+}
+
+/// Split `body` into (payload, stored CRC) and verify the checksum.
+pub(crate) fn split_verified(body: &[u8]) -> Result<&[u8], CheckpointError> {
+    if body.len() < 12 {
         return Err(CheckpointError::Corrupt(format!(
             "file too short: {} B",
             body.len()
         )));
     }
     let (payload, crc_bytes) = body.split_at(body.len() - 4);
-    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
     let computed = crc32(payload);
     if stored_crc != computed {
         return Err(CheckpointError::Corrupt(format!(
             "CRC mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
         )));
     }
-    if &payload[..8] != MAGIC {
+    Ok(payload)
+}
+
+/// Parse an already-read legacy (v1/v2) checkpoint body.
+pub(crate) fn parse_checkpoint(body: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    let payload = split_verified(body)?;
+    let mut rd = FieldReader::new(payload);
+    if rd.take(8, "magic")? != MAGIC {
         return Err(CheckpointError::Corrupt("bad magic".into()));
     }
-    let u32_at = |o: usize| u32::from_le_bytes(payload[o..o + 4].try_into().unwrap());
-    let u64_at = |o: usize| u64::from_le_bytes(payload[o..o + 8].try_into().unwrap());
-    let version = u32_at(8);
+    let version = rd.u32("version")?;
     if version != 1 && version != VERSION {
         return Err(CheckpointError::Corrupt(format!(
             "unsupported version {version}"
         )));
     }
-    let step = u64_at(12);
-    let dims = (u32_at(20), u32_at(24), u32_at(28));
-    let q = u32_at(32);
-    // Version 1 has no scheme/parity bytes: `len` sits at 36 and data at 44.
-    let (scheme, parity, data_off) = if version == 1 {
-        (SCHEME_AB, 0, 44)
+    let step = rd.u64("step")?;
+    let dims = (rd.u32("nx")?, rd.u32("ny")?, rd.u32("nz")?);
+    let q = rd.u32("q")?;
+    // Version 1 has no scheme/parity bytes: `len` follows `q` directly.
+    let (scheme, parity) = if version == 1 {
+        (SCHEME_AB, 0)
     } else {
-        if payload.len() < 48 {
-            return Err(CheckpointError::Corrupt(format!(
-                "version-2 file too short: {} B",
-                payload.len() + 4
-            )));
-        }
-        let (s, p) = (payload[36], payload[37]);
+        let s = rd.u8("scheme")?;
+        let p = rd.u8("parity")?;
+        let _pad = rd.u16("pad")?;
         if s > SCHEME_AA || p > 1 {
             return Err(CheckpointError::Corrupt(format!(
                 "unknown storage scheme {s} / parity {p}"
             )));
         }
-        (s, p, 48)
+        (s, p)
     };
-    let len = u64_at(data_off - 8) as usize;
-    let expected = dims.0 as usize * dims.1 as usize * dims.2 as usize * q as usize;
-    if len != expected {
+    let len = rd.u64("payload length")?;
+    let expected = checked_payload_len(dims, q)?;
+    if len != expected as u64 {
         return Err(CheckpointError::Corrupt(format!(
             "payload length {len} does not match {}x{}x{}x{q} = {expected}",
             dims.0, dims.1, dims.2
         )));
     }
-    if payload.len() != data_off + len * 8 {
+    let len = len as usize;
+    let data_bytes = len.checked_mul(8).ok_or_else(|| {
+        CheckpointError::Corrupt(format!("payload length {len} overflows the file size"))
+    })?;
+    if payload.len() - rd.pos() != data_bytes {
         return Err(CheckpointError::Corrupt(format!(
             "file length {} does not match header (expect {})",
             payload.len() + 4,
-            data_off + len * 8 + 4
+            rd.pos() + data_bytes + 4
         )));
     }
+    // `len` is bounded by the actual file size here, so this allocation
+    // cannot be driven past the bytes we were handed.
     let mut data = Vec::with_capacity(len);
-    for i in 0..len {
-        let o = data_off + i * 8;
-        data.push(f64::from_le_bytes(payload[o..o + 8].try_into().unwrap()));
+    for chunk in rd.rest().chunks_exact(8) {
+        data.push(f64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)")));
     }
     Ok(Checkpoint {
         step,
@@ -200,6 +280,13 @@ pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError>
         parity,
         data,
     })
+}
+
+/// Deserialize and verify a checkpoint.
+pub fn read_checkpoint(r: &mut impl Read) -> Result<Checkpoint, CheckpointError> {
+    let mut body = Vec::new();
+    r.read_to_end(&mut body)?;
+    parse_checkpoint(&body)
 }
 
 /// An on-disk checkpoint directory with atomic writes and bounded retention.
@@ -273,11 +360,35 @@ impl CheckpointStore {
     /// Atomically persist `ck`: write `*.tmp`, fsync, rename into place, then
     /// prune beyond the retention window. Returns the final path.
     pub fn save(&self, ck: &Checkpoint) -> Result<std::path::PathBuf, CheckpointError> {
-        let final_path = self.path_for(ck.step);
+        // Header (48 B) + payload + trailing CRC (4 B) — the on-disk footprint.
+        self.save_with(ck.step, 52 + ck.data.len() as u64 * 8, |f| {
+            write_checkpoint(f, ck)
+        })
+    }
+
+    /// Atomically persist a rank-count-independent (v3) checkpoint under the
+    /// same `ckpt-{step}.swlb` naming as legacy saves; readers dispatch on
+    /// the file magic (see [`crate::chunked::read_any_checkpoint`]).
+    pub fn save_chunked(
+        &self,
+        ck: &crate::chunked::ChunkedCheckpoint,
+    ) -> Result<std::path::PathBuf, CheckpointError> {
+        ck.validate()?;
+        let payload: u64 = ck.chunks.iter().map(|c| c.data.len() as u64 * 8).sum();
+        self.save_with(ck.step, payload, |f| ck.write(f))
+    }
+
+    fn save_with(
+        &self,
+        step: u64,
+        bytes_written: u64,
+        write: impl FnOnce(&mut std::fs::File) -> io::Result<()>,
+    ) -> Result<std::path::PathBuf, CheckpointError> {
+        let final_path = self.path_for(step);
         let tmp_path = final_path.with_extension("swlb.tmp");
         {
             let mut f = std::fs::File::create(&tmp_path)?;
-            write_checkpoint(&mut f, ck)?;
+            write(&mut f)?;
             let t_sync = self.recorder.now();
             f.sync_all()?;
             if let Some(t) = t_sync {
@@ -292,10 +403,9 @@ impl CheckpointStore {
             let _ = d.sync_all();
         }
         self.prune()?;
-        // Header (48 B) + payload + trailing CRC (4 B) — the on-disk footprint.
         self.recorder
             .counter("checkpoint.bytes_written")
-            .add(52 + ck.data.len() as u64 * 8);
+            .add(bytes_written);
         self.recorder.counter("checkpoint.saves").inc();
         Ok(final_path)
     }
@@ -335,6 +445,33 @@ impl CheckpointStore {
         for (_, path) in self.list()?.into_iter().rev() {
             let mut f = std::fs::File::open(&path)?;
             match read_checkpoint(&mut f) {
+                Ok(ck) => return Ok(Some((ck, skipped))),
+                Err(CheckpointError::Corrupt(_)) => skipped.push(path),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Read and verify the checkpoint for `step`, accepting either the legacy
+    /// (v1/v2) or the chunked (v3) format.
+    pub fn load_any(&self, step: u64) -> Result<crate::chunked::AnyCheckpoint, CheckpointError> {
+        let mut f = std::fs::File::open(self.path_for(step))?;
+        crate::chunked::read_any_checkpoint(&mut f)
+    }
+
+    /// Format-agnostic [`CheckpointStore::load_latest_valid`]: the newest
+    /// file of either generation that passes verification, with corrupt ones
+    /// skipped and reported — a store directory may mix legacy and chunked
+    /// checkpoints across an upgrade.
+    pub fn load_latest_valid_any(
+        &self,
+    ) -> Result<Option<(crate::chunked::AnyCheckpoint, Vec<std::path::PathBuf>)>, CheckpointError>
+    {
+        let mut skipped = Vec::new();
+        for (_, path) in self.list()?.into_iter().rev() {
+            let mut f = std::fs::File::open(&path)?;
+            match crate::chunked::read_any_checkpoint(&mut f) {
                 Ok(ck) => return Ok(Some((ck, skipped))),
                 Err(CheckpointError::Corrupt(_)) => skipped.push(path),
                 Err(e) => return Err(e),
@@ -608,6 +745,86 @@ mod tests {
                 Err(CheckpointError::Corrupt(_)) => {}
                 other => panic!("truncation to {keep} B: expected Corrupt, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn malformed_corpus_yields_typed_errors_at_every_field_boundary() {
+        // Cut a valid v2 file (and a v1 file) at every header field boundary
+        // and at every byte of the header besides: none may panic, all must
+        // yield a typed CheckpointError.
+        let ck = sample();
+        let mut v2 = Vec::new();
+        write_checkpoint(&mut v2, &ck).unwrap();
+        let v1 = write_v1(&ck);
+        // Field boundaries: magic, version, step, nx, ny, nz, q,
+        // scheme/parity/pad (v2), len, first payload word, crc.
+        let boundaries = [0, 8, 12, 20, 24, 28, 32, 36, 37, 38, 40, 44, 48, 56];
+        for buf in [&v2, &v1] {
+            for keep in boundaries
+                .iter()
+                .copied()
+                .chain(0..64.min(buf.len()))
+                .chain([buf.len() - 5, buf.len() - 4, buf.len() - 1])
+            {
+                let mut cut = buf.clone();
+                cut.truncate(keep);
+                match read_checkpoint(&mut cut.as_slice()) {
+                    Err(CheckpointError::Corrupt(_)) => {}
+                    other => panic!("cut to {keep} B: expected Corrupt, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Re-seal a tampered buffer with a freshly computed CRC so the header
+    /// checks (not the checksum) are what reject it — the hostile-writer
+    /// case, where CRC validity proves nothing.
+    fn reseal(buf: &mut [u8]) {
+        let crc_at = buf.len() - 4;
+        let crc = crc32(&buf[..crc_at]);
+        buf[crc_at..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    #[test]
+    fn hostile_dims_product_overflow_is_rejected_not_wrapped() {
+        // dims × q chosen so the usize product wraps to a small value that
+        // would "match" a tiny payload if the reader multiplied unchecked.
+        let ck = Checkpoint {
+            step: 1,
+            dims: (2, 2, 2),
+            q: 2,
+            scheme: SCHEME_AB,
+            parity: 0,
+            data: vec![0.0; 16],
+        };
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        // 2^31 × 2^31 × 2^2 × 2^0 ≡ 16 (mod 2^64): a wrap-around false match.
+        for (off, val) in [(20u32, 1u32 << 31), (24, 1 << 31), (28, 4), (32, 1)] {
+            let o = off as usize;
+            buf[o..o + 4].copy_from_slice(&val.to_le_bytes());
+        }
+        reseal(&mut buf);
+        match read_checkpoint(&mut buf.as_slice()) {
+            Err(CheckpointError::Corrupt(m)) => assert!(m.contains("overflow"), "{m}"),
+            other => panic!("expected overflow rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_len_cannot_drive_a_huge_allocation() {
+        // A CRC-valid header claiming a multi-exabyte payload must be
+        // rejected by arithmetic before any allocation is attempted.
+        let ck = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &ck).unwrap();
+        let huge = (u64::MAX / 8).to_le_bytes();
+        buf[40..48].copy_from_slice(&huge);
+        reseal(&mut buf);
+        match read_checkpoint(&mut buf.as_slice()) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
         }
     }
 

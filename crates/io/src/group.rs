@@ -130,22 +130,32 @@ impl GroupFile {
             return Err(GroupFileError::Corrupt("bad magic".into()));
         }
         let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
-        let index_end = 12 + count * 20;
-        if payload.len() < index_end {
+        // All index arithmetic is checked: a hostile count/offset/len must
+        // surface as Corrupt, never as an overflow panic or a wrapped slice.
+        if count
+            .checked_mul(20)
+            .and_then(|n| n.checked_add(12))
+            .filter(|&end| end <= payload.len())
+            .is_none()
+        {
             return Err(GroupFileError::Corrupt("truncated index".into()));
         }
         let mut chunks = BTreeMap::new();
         for i in 0..count {
             let o = 12 + i * 20;
             let rank = u32::from_le_bytes(payload[o..o + 4].try_into().unwrap());
-            let offset = u64::from_le_bytes(payload[o + 4..o + 12].try_into().unwrap()) as usize;
-            let len = u64::from_le_bytes(payload[o + 12..o + 20].try_into().unwrap()) as usize;
-            if offset + len > payload.len() {
+            let offset = u64::from_le_bytes(payload[o + 4..o + 12].try_into().unwrap());
+            let len = u64::from_le_bytes(payload[o + 12..o + 20].try_into().unwrap());
+            let end = offset
+                .checked_add(len)
+                .filter(|&e| e <= payload.len() as u64);
+            let Some(end) = end else {
                 return Err(GroupFileError::Corrupt(format!(
                     "chunk for rank {rank} overruns the file"
                 )));
-            }
-            if chunks.insert(rank, payload[offset..offset + len].to_vec()).is_some() {
+            };
+            let (offset, end) = (offset as usize, end as usize);
+            if chunks.insert(rank, payload[offset..end].to_vec()).is_some() {
                 return Err(GroupFileError::Corrupt(format!(
                     "duplicate chunk for rank {rank}"
                 )));

@@ -12,8 +12,8 @@
 //!             [--slice-steps N] [--threads N]
 //! swlb submit [--addr HOST:PORT] [--name N] [--case cavity] [--lattice d2q9]
 //!             [--nx N] [--ny N] [--nz N] [--tau T] [--u U] [--steps N]
-//!             [--storage ab|aa] [--priority interactive|batch] [--output vtk|ppm]
-//!             [--deadline-ms N] [--chaos-at STEP]
+//!             [--storage ab|aa] [--width N] [--priority interactive|batch]
+//!             [--output vtk|ppm] [--deadline-ms N] [--chaos-at STEP]
 //! swlb status [--addr HOST:PORT] [job-id]
 //! swlb watch  [--addr HOST:PORT] <job-id> [--from N]
 //! swlb cancel [--addr HOST:PORT] <job-id>
@@ -60,7 +60,8 @@ fn usage() -> ExitCode {
          [--io-timeout-ms N] [--chaos-routes]\n\
          \x20      swlb submit [--addr HOST:PORT] [--name N] [--case C] [--lattice L] \
          [--nx N] [--ny N] [--nz N] [--tau T] [--u U] [--steps N] [--storage ab|aa] \
-         [--priority P] [--output vtk|ppm] [--deadline-ms N] [--chaos-at STEP]\n\
+         [--width N] [--priority P] [--output vtk|ppm] [--deadline-ms N] \
+         [--chaos-at STEP]\n\
          \x20      swlb status [--addr HOST:PORT] [job-id]\n\
          \x20      swlb watch  [--addr HOST:PORT] <job-id> [--from N]\n\
          \x20      swlb cancel [--addr HOST:PORT] <job-id>\n\
@@ -257,6 +258,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             chaos_nan_at_step: flag_value(args, "--chaos-at")?
                 .map(|v| v.parse().map_err(|_| "--chaos-at needs an integer"))
                 .transpose()?,
+            width: match flag_value(args, "--width")? {
+                Some(v) => v.parse().map_err(|_| "--width needs an integer")?,
+                None => 1,
+            },
         };
         Ok((addr, spec))
     })();

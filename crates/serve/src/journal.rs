@@ -65,6 +65,17 @@ pub enum JobEvent {
         /// Completed steps at preemption.
         step: u64,
     },
+    /// Execution width changed at a slice boundary (elastic resume): the
+    /// job's canonical chunked checkpoint was re-partitioned from `from`
+    /// ranks onto `to` ranks.
+    Resharded {
+        /// Job id.
+        id: u64,
+        /// Width before the change.
+        from: u32,
+        /// Width after the change.
+        to: u32,
+    },
     /// Graceful drain parked the job, resumable after restart.
     Drained {
         /// Job id.
@@ -127,6 +138,12 @@ impl JobEvent {
                 ("id", Json::num(*id as f64)),
                 ("step", Json::num(*step as f64)),
             ]),
+            JobEvent::Resharded { id, from, to } => Json::obj([
+                ("rec", Json::str("resharded")),
+                ("id", Json::num(*id as f64)),
+                ("from", Json::num(*from as f64)),
+                ("to", Json::num(*to as f64)),
+            ]),
             JobEvent::Drained { id, step } => Json::obj([
                 ("rec", Json::str("drained")),
                 ("id", Json::num(*id as f64)),
@@ -164,6 +181,11 @@ impl JobEvent {
             "started" => Some(JobEvent::Started { id }),
             "checkpointed" => Some(JobEvent::Checkpointed { id, step: step()? }),
             "preempted" => Some(JobEvent::Preempted { id, step: step()? }),
+            "resharded" => Some(JobEvent::Resharded {
+                id,
+                from: v.get("from").and_then(Json::as_u64)? as u32,
+                to: v.get("to").and_then(Json::as_u64)? as u32,
+            }),
             "drained" => Some(JobEvent::Drained { id, step: step()? }),
             "completed" => Some(JobEvent::Completed { id }),
             "cancelled" => Some(JobEvent::Cancelled { id }),
@@ -244,6 +266,11 @@ pub fn fold_records(records: &[String]) -> (Vec<ReplayedJob>, u64) {
                 // Started but no checkpoint yet: restart from 0 — still
                 // Queued, build_or_resume finds no checkpoint and rebuilds.
                 let _ = id;
+            }
+            JobEvent::Resharded { .. } => {
+                // Width history, not progress: replay always recomputes the
+                // effective width from the spec and the live-job census, so
+                // the record informs operators, not the fold.
             }
             JobEvent::Checkpointed { id, step }
             | JobEvent::Preempted { id, step }
@@ -400,8 +427,24 @@ impl JournalHandle {
     /// disk. Admission uses this when it answers the failure with a refusal
     /// (503): the client never got an acknowledgement, so the record must
     /// not survive in the retry buffer and replay as a ghost job.
-    pub fn retract_last(&mut self) {
-        self.pending.pop_back();
+    ///
+    /// The retraction is verified against `ev`: only a still-buffered copy of
+    /// that exact record is removed. A record that already reached the disk
+    /// is no longer in `pending` (the drain pops front-first and a successful
+    /// append leaves the buffer empty), so a flushed record can never be
+    /// retracted — nor can an unrelated record buffered behind it. Returns
+    /// whether a record was withdrawn.
+    pub fn retract_last(&mut self, ev: &JobEvent) -> bool {
+        if self
+            .pending
+            .back()
+            .is_some_and(|(line, _)| *line == ev.to_line())
+        {
+            self.pending.pop_back();
+            true
+        } else {
+            false
+        }
     }
 
     /// Try to push the backlog to disk, preserving order.
@@ -481,6 +524,7 @@ mod tests {
             deadline_ms: None,
             outputs: vec![OutputKind::Ppm],
             chaos_nan_at_step: None,
+            width: 1,
         }
     }
 
@@ -495,6 +539,7 @@ mod tests {
             JobEvent::Started { id: 3 },
             JobEvent::Checkpointed { id: 3, step: 64 },
             JobEvent::Preempted { id: 3, step: 64 },
+            JobEvent::Resharded { id: 3, from: 4, to: 2 },
             JobEvent::Drained { id: 3, step: 96 },
             JobEvent::Completed { id: 3 },
             JobEvent::Cancelled { id: 3 },
@@ -605,6 +650,89 @@ mod tests {
         assert_eq!(report.skipped(), 0);
         // 1 started + the 4 newest checkpointed records that fit the buffer.
         assert_eq!(records.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_backlog_flushes_in_admission_order() {
+        let dir = std::env::temp_dir().join(format!(
+            "swlb-journal-order-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal =
+            Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
+        let mut h = JournalHandle::new(journal, 8, Recorder::disabled());
+
+        // A lands on disk; B and C buffer while degraded; D arrives after
+        // recovery and must drain the backlog first, so the on-disk order is
+        // the admission order A, B, C, D — never D before B/C.
+        assert!(h.append(&JobEvent::Started { id: 1 }));
+        h.set_fail_writes(true);
+        assert!(!h.append(&JobEvent::Checkpointed { id: 1, step: 8 }));
+        assert!(!h.append(&JobEvent::Preempted { id: 1, step: 8 }));
+        assert_eq!(h.buffered(), 2);
+        h.set_fail_writes(false);
+        assert!(h.append(&JobEvent::Completed { id: 1 }));
+        assert_eq!(h.buffered(), 0);
+        h.sync();
+
+        let (records, report) = Journal::replay(&dir).unwrap();
+        assert_eq!(report.skipped(), 0);
+        let kinds: Vec<_> = records
+            .iter()
+            .map(|l| {
+                crate::json::parse(l)
+                    .unwrap()
+                    .get("rec")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(kinds, ["started", "checkpointed", "preempted", "completed"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retract_never_removes_a_flushed_or_unrelated_record() {
+        let dir = std::env::temp_dir().join(format!(
+            "swlb-journal-retract-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal =
+            Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
+        let mut h = JournalHandle::new(journal, 8, Recorder::disabled());
+
+        // Flushed record: append succeeded, buffer is empty, so a retract of
+        // the same event is refused — the disk already has it.
+        let flushed = JobEvent::Started { id: 1 };
+        assert!(h.append(&flushed));
+        assert!(!h.retract_last(&flushed));
+
+        // Degradation mid-stream: an older record is stuck in the buffer
+        // when a refused admission retracts its own record. Only the
+        // admission's record goes; the older one stays queued for the disk.
+        h.set_fail_writes(true);
+        let stuck = JobEvent::Checkpointed { id: 1, step: 8 };
+        let refused = JobEvent::Cancelled { id: 2 };
+        h.append(&stuck);
+        h.append(&refused);
+        assert_eq!(h.buffered(), 2);
+        // Retracting with the wrong event is a no-op...
+        assert!(!h.retract_last(&JobEvent::Completed { id: 9 }));
+        assert_eq!(h.buffered(), 2);
+        // ...retracting the newest record removes exactly it.
+        assert!(h.retract_last(&refused));
+        assert_eq!(h.buffered(), 1);
+        // The surviving record still reaches the disk on recovery.
+        h.set_fail_writes(false);
+        h.sync();
+        assert!(!h.degraded());
+        let (records, _) = Journal::replay(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(JobEvent::parse(&records[1]), Some(stuck));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

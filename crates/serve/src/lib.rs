@@ -18,6 +18,11 @@
 //!   boundaries, by capturing the solver into the job's namespaced
 //!   [`CheckpointStore`](swlb_io::CheckpointStore) and rebuilding it on
 //!   resume; a preempted job loses no steps.
+//! * **Elastic resume** — checkpoints are written in the rank-count-
+//!   independent chunked format (v3), so a job submitted with `width > 1`
+//!   shrinks under contention and grows back as competitors finish; every
+//!   width change is a journaled re-shard of the job's canonical state.
+//!   See `docs/SERVING.md` ("Elastic resume").
 //! * **Supervised execution** — a faulted job (NaN/Inf, including injected
 //!   chaos faults) rolls back to its last valid checkpoint under the
 //!   [`RecoveryPolicy`](swlb_sim::RecoveryPolicy) restart budget. The job
@@ -64,6 +69,7 @@
 //!     deadline_ms: None,
 //!     outputs: vec![OutputKind::Ppm],
 //!     chaos_nan_at_step: None,
+//!     width: 1,
 //! }).unwrap();
 //! let events = client.watch(id, 0).unwrap();           // blocks to terminal
 //! assert!(events.iter().any(|e| e.contains("completed")));

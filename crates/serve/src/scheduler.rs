@@ -175,11 +175,42 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
         {
             let r = cur.as_mut().unwrap();
             loop {
-                let (steps_total, chaos_at, chaos_fired) = {
-                    let st = shared.lock_state();
+                let (steps_total, chaos_at, chaos_fired, eff_width) = {
+                    let mut st = shared.lock_state();
+                    let live = st.live_count();
                     let job = st.job(picked).unwrap();
-                    (job.spec.steps, job.spec.chaos_nan_at_step, job.chaos_fired)
+                    let steps = job.spec.steps;
+                    let chaos = job.spec.chaos_nan_at_step;
+                    let fired = job.chaos_fired;
+                    // Elastic width: the job's share of the service shrinks
+                    // under contention and grows back as competitors finish.
+                    // The change is a re-shard of the job's canonical chunked
+                    // state — journaled so the width history survives
+                    // restarts and shows up in `swlb stats`/status.
+                    let eff = effective_width(job.spec.width, live);
+                    let from = job.width;
+                    if eff != from {
+                        let job = st.job_mut(picked).unwrap();
+                        job.width = eff;
+                        job.reshards += 1;
+                        st.journal.append(&JobEvent::Resharded {
+                            id: picked,
+                            from,
+                            to: eff,
+                        });
+                        shared.push_event(
+                            &mut st,
+                            picked,
+                            "resharded",
+                            vec![
+                                ("from", Json::num(from as f64)),
+                                ("to", Json::num(eff as f64)),
+                            ],
+                        );
+                    }
+                    (steps, chaos, fired, eff)
                 };
+                r.solver.set_width(eff_width);
                 let remaining = steps_total.saturating_sub(r.solver.step_count());
                 let slice = cfg.slice_steps.min(remaining).max(1);
                 let t0 = Instant::now();
@@ -433,41 +464,62 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
     }
 }
 
-/// Save the running job's populations into its namespaced store.
+/// The width a job actually runs at: its requested width divided among the
+/// live jobs sharing the service (never below 1). Deterministic in the job
+/// census, so a competitor completing grows a shrunk job back at its next
+/// slice — the canonical chunked checkpoint format makes the re-shard free.
+fn effective_width(requested: u32, live: usize) -> u32 {
+    (requested / live.max(1) as u32).max(1)
+}
+
+/// Save the running job's populations into its namespaced store, in the
+/// rank-count-independent chunked format (v3) — resumable at any width.
 /// Returns the checkpointed step.
 fn checkpoint(cfg: &SchedConfig, r: &Running) -> Result<u64, SwlbError> {
     let store = cfg.store.namespaced(&format!("job-{}", r.id))?;
-    let ck = r.solver.capture();
-    store.save(&ck)?;
+    let ck = r.solver.capture_chunked();
+    store.save_chunked(&ck)?;
     Ok(ck.step)
 }
 
 /// Build the job's solver on the shared pool; restore its latest valid
-/// checkpoint if one exists (resume after preemption or rollback).
+/// checkpoint if one exists (resume after preemption or rollback). Accepts
+/// both checkpoint generations: legacy whole-domain v1/v2 files and chunked
+/// v3 — either restores at whatever width the job currently runs at.
 fn build_or_resume(
     shared: &Shared,
     cfg: &SchedConfig,
     id: u64,
 ) -> Result<Running, SwlbError> {
-    let (case, job_recorder, had_run) = {
+    let (case, job_recorder, had_run, req_width, cur_width) = {
         let st = shared.lock_state();
         let job = st.job(id).ok_or(SwlbError::NoValidCheckpoint)?;
-        (job.spec.case.clone(), job.recorder.clone(), job.steps_done > 0)
+        (
+            job.spec.case.clone(),
+            job.recorder.clone(),
+            job.steps_done > 0,
+            job.spec.width,
+            job.width,
+        )
     };
-    let mut solver = case.build(cfg.pool.clone(), job_recorder)?;
+    let mut solver = case.build_with_width(cfg.pool.clone(), job_recorder, req_width)?;
+    // Start at the job's last known effective width; the slice loop journals
+    // any subsequent change as a reshard.
+    solver.set_width(cur_width);
     let store = cfg.store.namespaced(&format!("job-{id}"))?;
     let mut last_ckpt = u64::MAX;
-    if let Some((ck, _skipped)) = store.load_latest_valid()? {
-        solver.restore(&ck)?;
-        last_ckpt = ck.step;
+    if let Some((ck, _skipped)) = store.load_latest_valid_any()? {
+        solver.restore_any(&ck)?;
+        let ck_step = ck.step();
+        last_ckpt = ck_step;
         let mut st = shared.lock_state();
         if let Some(job) = st.job_mut(id) {
             job.resumes += 1;
             // After crash recovery the journaled step can be newer than the
             // newest *valid* checkpoint; converge on what actually loaded.
-            job.steps_done = ck.step;
+            job.steps_done = ck_step;
             job.recorder.counter("job.resumes").inc();
-            let at = ck.step;
+            let at = ck_step;
             shared.push_event(
                 &mut st,
                 id,

@@ -534,6 +534,10 @@ fn stats(shared: &Shared, ctx: &ConnCtx) -> (u16, Json) {
             ("capacity", Json::num(st.capacity as f64)),
             ("rejected", Json::num(st.rejected as f64)),
             ("slices", Json::num(st.slice_seq as f64)),
+            (
+                "reshards",
+                Json::num(st.jobs.iter().map(|j| j.reshards).sum::<u64>() as f64),
+            ),
             ("draining", Json::Bool(st.draining)),
             ("drained", Json::Bool(st.drained)),
             ("journal_degraded", Json::Bool(st.journal.degraded())),

@@ -92,7 +92,17 @@ pub struct JobSpec {
     /// completed this many steps (chaos testing of the rollback-retry
     /// supervisor). `None` in production.
     pub chaos_nan_at_step: Option<u64>,
+    /// Requested execution width (in-process ranks per slice). Width 1 is a
+    /// plain serial solver; width > 1 builds an elastic solver whose state
+    /// travels in the rank-count-independent chunked checkpoint format, so
+    /// the scheduler may shrink the job under contention and grow it back —
+    /// resuming a checkpoint written at a different width re-shards on
+    /// restore.
+    pub width: u32,
 }
+
+/// Upper bound on a job's requested execution width (in-process ranks).
+pub const MAX_WIDTH: u32 = 64;
 
 impl JobSpec {
     /// Validate the submission (physics bounds via [`CaseSpec::validate`],
@@ -105,6 +115,12 @@ impl JobSpec {
         }
         if self.steps == 0 {
             return Err(SwlbError::InvalidConfig("steps must be >= 1".into()));
+        }
+        if self.width == 0 || self.width > MAX_WIDTH {
+            return Err(SwlbError::InvalidConfig(format!(
+                "width {} outside 1..={MAX_WIDTH}",
+                self.width
+            )));
         }
         self.case.validate()
     }
@@ -133,6 +149,11 @@ impl JobSpec {
         }
         if let Some(c) = self.chaos_nan_at_step {
             m.push(("chaos_nan_at_step".to_string(), Json::num(c as f64)));
+        }
+        // Optional for backward compatibility, like "storage": width-1 specs
+        // (the only kind that existed before elastic resume) omit the key.
+        if self.width > 1 {
+            m.push(("width".to_string(), Json::num(self.width as f64)));
         }
         Json::Obj(m)
     }
@@ -209,6 +230,17 @@ impl JobSpec {
             deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
             outputs,
             chaos_nan_at_step: v.get("chaos_nan_at_step").and_then(Json::as_u64),
+            // Missing key (pre-elastic specs and journal records) => serial.
+            width: match v.get("width") {
+                None => 1,
+                Some(j) => j.as_u64().and_then(|w| u32::try_from(w).ok()).ok_or_else(
+                    || {
+                        SwlbError::CorruptData(
+                            "job spec key \"width\" must be a non-negative integer".into(),
+                        )
+                    },
+                )?,
+            },
         };
         spec.validate()?;
         Ok(spec)
@@ -284,6 +316,7 @@ mod tests {
             deadline_ms: Some(5000),
             outputs: vec![OutputKind::Vtk, OutputKind::Ppm],
             chaos_nan_at_step: None,
+            width: 1,
         }
     }
 
@@ -332,6 +365,31 @@ mod tests {
         spec.case.case = CaseKind::Channel;
         spec.case.storage = StorageScheme::Aa;
         assert!(JobSpec::from_json(&spec.to_json()).is_err());
+    }
+
+    #[test]
+    fn width_key_is_optional_and_validated() {
+        // Pre-elastic submissions (and journal records) have no "width" key:
+        // they must decode as serial.
+        let Json::Obj(mut m) = sample_spec().to_json() else {
+            unreachable!()
+        };
+        m.retain(|(k, _)| k != "width");
+        let back = JobSpec::from_json(&Json::Obj(m)).unwrap();
+        assert_eq!(back.width, 1);
+
+        // Width > 1 round-trips through the wire form.
+        let mut wide = sample_spec();
+        wide.width = 4;
+        let back = JobSpec::from_json(&wide.to_json()).unwrap();
+        assert_eq!(back, wide);
+
+        // Zero and absurd widths are rejected at decode time.
+        for bad in [0u32, MAX_WIDTH + 1] {
+            let mut spec = sample_spec();
+            spec.width = bad;
+            assert!(spec.validate().is_err(), "width {bad} must be rejected");
+        }
     }
 
     #[test]

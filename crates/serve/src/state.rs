@@ -58,6 +58,11 @@ pub struct JobRecord {
     pub resumes: u64,
     /// Times this job rolled back after a fault.
     pub rollbacks: u64,
+    /// Current effective execution width (starts at the spec's request;
+    /// updated whenever the scheduler re-shards the job).
+    pub width: u32,
+    /// Times the job's width changed at a slice boundary (elastic resume).
+    pub reshards: u64,
     /// Whether the chaos fault (if configured) has fired already.
     pub chaos_fired: bool,
     /// Client asked for cancellation; honoured at the next slice boundary.
@@ -107,6 +112,8 @@ impl JobRecord {
             ("preemptions", Json::num(self.preemptions as f64)),
             ("resumes", Json::num(self.resumes as f64)),
             ("rollbacks", Json::num(self.rollbacks as f64)),
+            ("width", Json::num(self.width as f64)),
+            ("reshards", Json::num(self.reshards as f64)),
             ("restarts", Json::num(self.restarts as f64)),
             ("recovered", Json::Bool(self.recovered)),
             ("mlups", Json::num(mlups)),
@@ -133,9 +140,12 @@ impl JobRecord {
 /// A blank record for `id`/`seq` in the given spec — shared by admission and
 /// journal-replay restore so the two paths cannot drift.
 fn blank_record(id: u64, seq: u64, spec: JobSpec, submit_slice: u64, recorder: Recorder) -> JobRecord {
+    let width = spec.width.max(1);
     JobRecord {
         id,
         spec,
+        width,
+        reshards: 0,
         state: JobState::Queued,
         vruntime: 0.0,
         seq,
@@ -274,7 +284,7 @@ impl State {
         if !self.journal.append(&admitted) {
             // The client gets a refusal, so the unwritten record must not
             // stay buffered: it would replay as a never-acknowledged job.
-            self.journal.retract_last();
+            self.journal.retract_last(&admitted);
             return Err(SwlbError::Unavailable(
                 "job journal write failed; admission paused".into(),
             ));
@@ -461,6 +471,7 @@ mod tests {
             deadline_ms: None,
             outputs: vec![OutputKind::Ppm],
             chaos_nan_at_step: None,
+            width: 1,
         }
     }
 

@@ -9,17 +9,19 @@
 //! the enum closes over the lattice type parameter so a scheduler can hold
 //! jobs of mixed lattices in one queue.
 
-use swlb_core::collision::BgkParams;
+use crate::engine::{chunked_from_legacy, DistributedSolver, ExchangeMode};
+use swlb_comm::World;
+use swlb_core::collision::{BgkParams, CollisionKind};
 use swlb_core::flags::FlagField;
 use swlb_core::geometry::GridDims;
-use swlb_core::lattice::{D2Q9, D3Q19};
-use swlb_core::layout::{PopField, StorageScheme};
+use swlb_core::lattice::{Lattice, D2Q9, D3Q19};
+use swlb_core::layout::{PopField, SoaField, StorageScheme};
 use swlb_core::parallel::ThreadPool;
 use swlb_core::simd::KernelClass;
 use swlb_core::solver::{Solver, StepStats};
 use swlb_core::Scalar;
 use swlb_io::checkpoint::{SCHEME_AA, SCHEME_AB};
-use swlb_io::Checkpoint;
+use swlb_io::{AnyCheckpoint, Checkpoint, ChunkedCheckpoint};
 use swlb_obs::{Recorder, SwlbError};
 
 /// Lattice family a case runs on.
@@ -185,6 +187,45 @@ impl CaseSpec {
         }
     }
 
+    /// Build like [`CaseSpec::build`], wrapping the solver in an
+    /// [`ElasticSolver`] when `width > 1` so its slices execute on a
+    /// `width`-rank in-process world. Jobs built with `width <= 1` stay
+    /// plain serial solvers (and ignore later width changes).
+    pub fn build_with_width(
+        &self,
+        pool: ThreadPool,
+        recorder: Recorder,
+        width: u32,
+    ) -> Result<CaseSolver, SwlbError> {
+        let inner = self.build(pool, recorder)?;
+        if width <= 1 {
+            return Ok(inner);
+        }
+        Ok(CaseSolver::Elastic(Box::new(ElasticSolver::new(
+            inner,
+            self.clone(),
+            width,
+        ))))
+    }
+
+    /// Paint this case's boundary recipe onto a standalone global flag field
+    /// (the distributed construction path: `DistributedSolver` carves its
+    /// local flags out of this).
+    pub fn paint_flags(&self, flags: &mut FlagField) {
+        let u = self.u_lattice;
+        match self.case {
+            CaseKind::Cavity => {
+                flags.set_box_walls();
+                flags.paint_lid([u, 0.0, 0.0]);
+            }
+            CaseKind::Channel => {
+                flags.paint_channel_walls_y();
+                flags.paint_inflow_outflow_x(1.0, [u, 0.0, 0.0]);
+            }
+            CaseKind::TaylorGreen => {} // fully periodic
+        }
+    }
+
     fn paint<L: swlb_core::lattice::Lattice>(&self, s: &mut Solver<L>) {
         let u = self.u_lattice;
         match self.case {
@@ -212,6 +253,118 @@ impl CaseSpec {
     }
 }
 
+/// A case solver whose slices execute on a `width`-rank in-process world,
+/// carrying canonical state through the rank-count-independent chunked
+/// checkpoint format between slices — which is exactly what lets `width`
+/// change at any slice boundary (the scheduler's elastic resume). A serial
+/// shadow solver holds the canonical state and serves macroscopics, outputs,
+/// and fault injection; the distributed world exists only for the duration
+/// of a slice.
+pub struct ElasticSolver {
+    inner: CaseSolver,
+    spec: CaseSpec,
+    width: u32,
+    /// The per-source-rank capture from the most recent distributed slice.
+    /// Reused by [`CaseSolver::capture_chunked`] while still current, so
+    /// checkpoints written at preemption genuinely carry one chunk per rank.
+    last_capture: Option<ChunkedCheckpoint>,
+}
+
+impl ElasticSolver {
+    /// Wrap a freshly built (or restored) serial solver. `width` is clamped
+    /// to ≥ 1; `inner` must not itself be elastic.
+    pub fn new(inner: CaseSolver, spec: CaseSpec, width: u32) -> Self {
+        assert!(
+            !matches!(inner, CaseSolver::Elastic(_)),
+            "elastic solvers do not nest"
+        );
+        ElasticSolver {
+            inner,
+            spec,
+            width: width.max(1),
+            last_capture: None,
+        }
+    }
+
+    /// Current execution width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Change the execution width for subsequent slices (the re-shard);
+    /// returns the previous width. Takes effect at the next slice because
+    /// state lives in canonical chunked form between slices — no gather or
+    /// layout surgery is needed.
+    pub fn set_width(&mut self, width: u32) -> u32 {
+        std::mem::replace(&mut self.width, width.max(1))
+    }
+
+    fn run_slice(&mut self, n: u64) -> Result<(), SwlbError> {
+        let state = self.inner.capture_chunked();
+        let new_state = match self.spec.lattice {
+            LatticeKind::D2Q9 => {
+                run_distributed_slice::<D2Q9>(&self.spec, self.width as usize, &state, n)?
+            }
+            LatticeKind::D3Q19 => {
+                run_distributed_slice::<D3Q19>(&self.spec, self.width as usize, &state, n)?
+            }
+        };
+        self.inner.restore_chunked_state(&new_state)?;
+        self.last_capture = Some(new_state);
+        Ok(())
+    }
+
+    fn run_checked(&mut self, n: u64, check_every: u64) -> Result<(), SwlbError> {
+        if self.width <= 1 {
+            self.last_capture = None;
+            return self.inner.run_checked(n, check_every);
+        }
+        // The divergence check runs at the slice boundary: a NaN injected
+        // before the slice propagates through the distributed steps and is
+        // caught in the re-imported state, mirroring the serial guard.
+        self.run_slice(n)?;
+        if self.inner.has_non_finite() {
+            return Err(SwlbError::Diverged {
+                step: self.inner.step_count(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One distributed slice: build a `width`-rank world over the case's global
+/// flags, restore the canonical chunked state onto whatever partition that
+/// world gets (re-sharding as needed), advance `steps`, capture back.
+fn run_distributed_slice<L: Lattice>(
+    spec: &CaseSpec,
+    width: usize,
+    state: &ChunkedCheckpoint,
+    steps: u64,
+) -> Result<ChunkedCheckpoint, SwlbError> {
+    let dims = spec.dims();
+    let mut flags = FlagField::new(dims);
+    spec.paint_flags(&mut flags);
+    let coll = CollisionKind::Bgk(BgkParams::try_from_tau(spec.tau)?);
+    let flags_ref = &flags;
+    let results = World::new(width).run(|comm| -> Result<Option<ChunkedCheckpoint>, SwlbError> {
+        let mut s = DistributedSolver::<L>::builder(&comm, dims, flags_ref, coll)
+            .exchange(ExchangeMode::OnTheFly)
+            .storage(spec.storage)
+            .try_build()?;
+        s.restore_chunked(if comm.rank() == 0 { Some(state) } else { None })?;
+        s.run(steps)?;
+        Ok(s.capture_chunked()?)
+    });
+    let mut captured = None;
+    for (rank, result) in results.into_iter().enumerate() {
+        if let Some(ck) = result? {
+            debug_assert_eq!(rank, 0, "only rank 0 captures");
+            captured = Some(ck);
+        }
+    }
+    captured.ok_or_else(|| SwlbError::CorruptData("rank 0 produced no capture".into()))
+}
+
 /// A lattice-erased case solver: the unit a job scheduler slices, checkpoints,
 /// drops, and rebuilds.
 pub enum CaseSolver {
@@ -219,6 +372,8 @@ pub enum CaseSolver {
     D2(Solver<D2Q9>),
     /// 3-D solver.
     D3(Solver<D3Q19>),
+    /// Width-elastic solver: slices run on an in-process multi-rank world.
+    Elastic(Box<ElasticSolver>),
 }
 
 impl CaseSolver {
@@ -227,6 +382,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.step_count(),
             CaseSolver::D3(s) => s.step_count(),
+            CaseSolver::Elastic(e) => e.inner.step_count(),
         }
     }
 
@@ -235,6 +391,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.dims(),
             CaseSolver::D3(s) => s.dims(),
+            CaseSolver::Elastic(e) => e.inner.dims(),
         }
     }
 
@@ -243,6 +400,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.active_cells(),
             CaseSolver::D3(s) => s.active_cells(),
+            CaseSolver::Elastic(e) => e.inner.active_cells(),
         }
     }
 
@@ -251,6 +409,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.last_kernel_class(),
             CaseSolver::D3(s) => s.last_kernel_class(),
+            CaseSolver::Elastic(e) => e.inner.last_kernel_class(),
         }
     }
 
@@ -259,6 +418,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.stats(),
             CaseSolver::D3(s) => s.stats(),
+            CaseSolver::Elastic(e) => e.inner.stats(),
         }
     }
 
@@ -267,6 +427,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.flags(),
             CaseSolver::D3(s) => s.flags(),
+            CaseSolver::Elastic(e) => e.inner.flags(),
         }
     }
 
@@ -275,6 +436,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.run_checked(n, check_every),
             CaseSolver::D3(s) => s.run_checked(n, check_every),
+            CaseSolver::Elastic(e) => e.run_checked(n, check_every),
         }
     }
 
@@ -283,6 +445,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.macroscopic().has_non_finite(),
             CaseSolver::D3(s) => s.macroscopic().has_non_finite(),
+            CaseSolver::Elastic(e) => e.inner.has_non_finite(),
         }
     }
 
@@ -291,6 +454,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.macroscopic().slice_xy_speed(0),
             CaseSolver::D3(s) => s.macroscopic().slice_xy_speed(0),
+            CaseSolver::Elastic(e) => e.inner.slice_speed(),
         }
     }
 
@@ -299,6 +463,7 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.macroscopic().rho.clone(),
             CaseSolver::D3(s) => s.macroscopic().rho.clone(),
+            CaseSolver::Elastic(e) => e.inner.rho(),
         }
     }
 
@@ -307,6 +472,33 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.scheme(),
             CaseSolver::D3(s) => s.scheme(),
+            CaseSolver::Elastic(e) => e.inner.scheme(),
+        }
+    }
+
+    /// Populations-per-cell of the underlying lattice.
+    pub fn q(&self) -> u32 {
+        match self {
+            CaseSolver::D2(_) => 9,
+            CaseSolver::D3(_) => 19,
+            CaseSolver::Elastic(e) => e.inner.q(),
+        }
+    }
+
+    /// Execution width (1 unless elastic).
+    pub fn width(&self) -> u32 {
+        match self {
+            CaseSolver::Elastic(e) => e.width(),
+            _ => 1,
+        }
+    }
+
+    /// Change the execution width at a slice boundary; returns the previous
+    /// width. No-op (returns 1) on non-elastic solvers.
+    pub fn set_width(&mut self, width: u32) -> u32 {
+        match self {
+            CaseSolver::Elastic(e) => e.set_width(width),
+            _ => 1,
         }
     }
 
@@ -324,6 +516,7 @@ impl CaseSolver {
         let (q, data) = match self {
             CaseSolver::D2(s) => (9u32, s.canonical_populations().raw().to_vec()),
             CaseSolver::D3(s) => (19u32, s.canonical_populations().raw().to_vec()),
+            CaseSolver::Elastic(e) => return e.inner.capture(),
         };
         Checkpoint {
             step: self.step_count(),
@@ -343,10 +536,7 @@ impl CaseSolver {
     pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), SwlbError> {
         let dims = self.dims();
         let want = (dims.nx as u32, dims.ny as u32, dims.nz as u32);
-        let q = match self {
-            CaseSolver::D2(_) => 9u32,
-            CaseSolver::D3(_) => 19u32,
-        };
+        let q = self.q();
         if ck.dims != want || ck.q != q {
             return Err(SwlbError::CorruptData(format!(
                 "checkpoint is {}x{}x{} q{}, solver wants {}x{}x{} q{}",
@@ -356,6 +546,77 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.restore_canonical(&ck.data, ck.step),
             CaseSolver::D3(s) => s.restore_canonical(&ck.data, ck.step),
+            CaseSolver::Elastic(e) => {
+                e.last_capture = None;
+                e.inner.restore(ck)
+            }
+        }
+    }
+
+    /// Capture the state in the rank-count-independent chunked (format v3)
+    /// representation. Elastic solvers hand back the genuine per-rank
+    /// capture from their most recent distributed slice when it is still
+    /// current; everything else exports a single whole-domain chunk.
+    pub fn capture_chunked(&self) -> ChunkedCheckpoint {
+        match self {
+            CaseSolver::Elastic(e) => {
+                if let Some(ck) = &e.last_capture {
+                    if ck.step == e.inner.step_count() {
+                        return ck.clone();
+                    }
+                }
+                e.inner.capture_chunked()
+            }
+            CaseSolver::D2(_) => chunked_from_legacy::<D2Q9>(&self.capture())
+                .expect("a self-capture is always well-formed"),
+            CaseSolver::D3(_) => chunked_from_legacy::<D3Q19>(&self.capture())
+                .expect("a self-capture is always well-formed"),
+        }
+    }
+
+    /// Restore from a chunked checkpoint, re-assembling the global canonical
+    /// field from whatever source partition wrote it — this is what lets a
+    /// job checkpointed at one width resume at another.
+    pub fn restore_chunked_state(&mut self, ck: &ChunkedCheckpoint) -> Result<(), SwlbError> {
+        let dims = self.dims();
+        let want = (dims.nx as u32, dims.ny as u32, dims.nz as u32);
+        if ck.dims != want || ck.q != self.q() {
+            return Err(SwlbError::CorruptData(format!(
+                "chunked checkpoint is {}x{}x{} q{}, solver wants {}x{}x{} q{}",
+                ck.dims.0,
+                ck.dims.1,
+                ck.dims.2,
+                ck.q,
+                want.0,
+                want.1,
+                want.2,
+                self.q()
+            )));
+        }
+        match self {
+            CaseSolver::D2(s) => {
+                let f = field_from_chunked::<D2Q9>(ck)?;
+                s.restore_canonical(f.raw(), ck.step)
+            }
+            CaseSolver::D3(s) => {
+                let f = field_from_chunked::<D3Q19>(ck)?;
+                s.restore_canonical(f.raw(), ck.step)
+            }
+            CaseSolver::Elastic(e) => {
+                e.last_capture = None;
+                e.inner.restore_chunked_state(ck)?;
+                e.last_capture = Some(ck.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Restore from either checkpoint generation: legacy whole-domain v1/v2
+    /// files or chunked v3.
+    pub fn restore_any(&mut self, ck: &AnyCheckpoint) -> Result<(), SwlbError> {
+        match ck {
+            AnyCheckpoint::Legacy(ck) => self.restore(ck),
+            AnyCheckpoint::Chunked(ck) => self.restore_chunked_state(ck),
         }
     }
 
@@ -374,8 +635,32 @@ impl CaseSolver {
         match self {
             CaseSolver::D2(s) => s.state_mut().set(cell, 0, Scalar::NAN),
             CaseSolver::D3(s) => s.state_mut().set(cell, 0, Scalar::NAN),
+            CaseSolver::Elastic(e) => {
+                e.last_capture = None;
+                e.inner.poison_with_nan();
+            }
         }
     }
+}
+
+/// Assemble a chunked checkpoint's global canonical payload into an SoA field
+/// (cell-major), converting from the chunk wire order (y → x → z → q).
+fn field_from_chunked<L: Lattice>(ck: &ChunkedCheckpoint) -> Result<SoaField<L>, SwlbError> {
+    let data = ck.assemble_global()?;
+    let dims = GridDims::new(ck.dims.0 as usize, ck.dims.1 as usize, ck.dims.2 as usize);
+    let mut f = SoaField::<L>::new(dims);
+    let mut it = data.iter();
+    for y in 0..dims.ny {
+        for x in 0..dims.nx {
+            for z in 0..dims.nz {
+                let cell = dims.idx(x, y, z);
+                for q in 0..L::Q {
+                    f.set(cell, q, *it.next().expect("assembled payload too short"));
+                }
+            }
+        }
+    }
+    Ok(f)
 }
 
 #[cfg(test)]
@@ -521,6 +806,99 @@ mod tests {
         assert!(matches!(
             solver.restore(&foreign),
             Err(SwlbError::CorruptData(_))
+        ));
+    }
+
+    #[test]
+    fn elastic_width_2_matches_serial_run() {
+        let pool = ThreadPool::new(1);
+        let mut serial = spec().build(pool.clone(), Recorder::disabled()).unwrap();
+        serial.run_checked(10, 5).unwrap();
+
+        let mut elastic = spec()
+            .build_with_width(pool, Recorder::disabled(), 2)
+            .unwrap();
+        assert_eq!(elastic.width(), 2);
+        elastic.run_checked(10, 5).unwrap();
+        assert_eq!(elastic.step_count(), 10);
+
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+        let (rs, re) = (serial.rho(), elastic.rho());
+        for i in 0..rs.len() {
+            assert!(
+                (rs[i] - re[i]).abs() <= tol,
+                "serial vs elastic rho mismatch at {i}: {} vs {}",
+                rs[i],
+                re[i]
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_width_change_mid_run_reshards_transparently() {
+        let pool = ThreadPool::new(1);
+        let mut serial = spec().build(pool.clone(), Recorder::disabled()).unwrap();
+        serial.run_checked(12, 6).unwrap();
+
+        // Run 4 steps at width 3, re-shard to width 2 for 4 steps, then
+        // finish serial (width 1): three partitions of the same trajectory.
+        let mut elastic = spec()
+            .build_with_width(pool, Recorder::disabled(), 3)
+            .unwrap();
+        elastic.run_checked(4, 4).unwrap();
+        assert_eq!(elastic.set_width(2), 3);
+        elastic.run_checked(4, 4).unwrap();
+        assert_eq!(elastic.set_width(1), 2);
+        elastic.run_checked(4, 4).unwrap();
+        assert_eq!(elastic.step_count(), 12);
+
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+        let (rs, re) = (serial.rho(), elastic.rho());
+        for i in 0..rs.len() {
+            assert!(
+                (rs[i] - re[i]).abs() <= tol,
+                "width-elastic rho mismatch at {i}: {} vs {}",
+                rs[i],
+                re[i]
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_capture_is_multi_chunk_and_restores_into_serial() {
+        let pool = ThreadPool::new(1);
+        let mut elastic = spec()
+            .build_with_width(pool.clone(), Recorder::disabled(), 4)
+            .unwrap();
+        elastic.run_checked(6, 6).unwrap();
+        let ck = elastic.capture_chunked();
+        assert_eq!(ck.step, 6);
+        assert_eq!(ck.chunks.len(), 4, "one chunk per slice rank");
+
+        let mut serial = spec().build(pool, Recorder::disabled()).unwrap();
+        serial.restore_chunked_state(&ck).unwrap();
+        assert_eq!(serial.step_count(), 6);
+        serial.run_checked(4, 4).unwrap();
+        elastic.run_checked(4, 4).unwrap();
+
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+        let (rs, re) = (serial.rho(), elastic.rho());
+        for i in 0..rs.len() {
+            assert!((rs[i] - re[i]).abs() <= tol, "rho mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn elastic_poison_trips_divergence_at_slice_boundary() {
+        let mut elastic = spec()
+            .build_with_width(ThreadPool::new(1), Recorder::disabled(), 2)
+            .unwrap();
+        elastic.run_checked(2, 2).unwrap();
+        elastic.poison_with_nan();
+        assert!(elastic.has_non_finite());
+        assert!(matches!(
+            elastic.run_checked(2, 1),
+            Err(SwlbError::Diverged { .. })
         ));
     }
 

@@ -54,6 +54,7 @@ use swlb_core::macroscopic::MacroFields;
 use swlb_core::parallel::ThreadPool;
 use swlb_core::simd::KernelClass;
 use swlb_core::Scalar;
+use swlb_io::ChunkedCheckpoint;
 use swlb_obs::{exponential_buckets, Counter, Gauge, Histogram, Phase, Recorder, SwlbError};
 
 /// Halo-exchange schedule.
@@ -1160,6 +1161,150 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         }
         Ok(Some(field))
     }
+
+    /// Capture a rank-count-independent (v3) checkpoint on rank 0 (`None`
+    /// elsewhere): each rank packs its owned interior's *canonical*
+    /// populations in chunk wire order (y → x → z → q — the same order the
+    /// scatter/gather paths use), and rank 0 tags each payload with its
+    /// global rectangle. Unlike [`DistributedSolver::gather_populations`]
+    /// nothing is re-assembled into a whole-domain field — the chunks stay
+    /// per-source-rank, which is what lets a later resume re-shard them onto
+    /// any layout.
+    pub fn capture_chunked(&self) -> Result<Option<ChunkedCheckpoint>, CommError> {
+        let mut payload = Vec::new();
+        Self::pack_strip(
+            self.local_canonical().as_ref(),
+            1..self.lnx + 1,
+            1..self.lny + 1,
+            &mut payload,
+        );
+        let gathered = self.comm.gather_to_root(&payload)?;
+        if self.comm.rank() != 0 {
+            return Ok(None);
+        }
+        let global = self.part.global;
+        let chunks = gathered
+            .into_iter()
+            .enumerate()
+            .map(|(rank, data)| {
+                let ((x0, lnx), (y0, lny)) = self.part.owned(rank);
+                swlb_io::CheckpointChunk {
+                    meta: swlb_io::ChunkMeta {
+                        x0: x0 as u32,
+                        y0: y0 as u32,
+                        lnx: lnx as u32,
+                        lny: lny as u32,
+                    },
+                    data,
+                }
+            })
+            .collect();
+        Ok(Some(ChunkedCheckpoint {
+            step: self.step,
+            dims: (global.nx as u32, global.ny as u32, global.nz as u32),
+            q: L::Q as u32,
+            scheme: match self.store.scheme() {
+                StorageScheme::Ab => swlb_io::checkpoint::SCHEME_AB,
+                StorageScheme::Aa => swlb_io::checkpoint::SCHEME_AA,
+            },
+            parity: 0,
+            chunks,
+        }))
+    }
+
+    /// Restore from a rank-count-independent (v3) checkpoint — the elastic
+    /// resume path. Rank 0 holds the checkpoint and extracts each
+    /// destination rank's owned rectangle from whichever source chunks
+    /// overlap it, so the producing partition (its rank count, its
+    /// `px × py` shape, even a serial single-chunk capture) never needs to
+    /// match the current one. Payloads are canonical; AA ranks convert to
+    /// their raw representation exactly as the scatter path does. Ranks
+    /// other than 0 pass `None`.
+    pub fn restore_chunked(&mut self, ck: Option<&ChunkedCheckpoint>) -> Result<(), SwlbError> {
+        const RESHARD_TAG: u64 = 41;
+        let global = self.part.global;
+        let step = if self.comm.rank() == 0 {
+            let ck = ck.expect("rank 0 must supply the checkpoint");
+            let want = (global.nx as u32, global.ny as u32, global.nz as u32);
+            if ck.dims != want || ck.q != L::Q as u32 {
+                return Err(SwlbError::CorruptData(format!(
+                    "checkpoint is {}x{}x{}x{}, solver needs {}x{}x{}x{}",
+                    ck.dims.0, ck.dims.1, ck.dims.2, ck.q, want.0, want.1, want.2, L::Q
+                )));
+            }
+            self.comm
+                .broadcast(&[ck.step as f64])
+                .map_err(SwlbError::from)?;
+            for rank in (0..self.comm.size()).rev() {
+                let ((x0, lnx), (y0, lny)) = self.part.owned(rank);
+                let payload = ck
+                    .extract_rect(x0, y0, lnx, lny)
+                    .map_err(swlb_obs::SwlbError::from)?;
+                if rank == 0 {
+                    self.unpack(1..self.lnx + 1, 1..self.lny + 1, &payload);
+                } else {
+                    self.comm
+                        .send(rank, RESHARD_TAG, payload)
+                        .map_err(SwlbError::from)?;
+                }
+            }
+            ck.step
+        } else {
+            let step = self.comm.broadcast(&[0.0]).map_err(SwlbError::from)?[0] as u64;
+            let payload = self
+                .comm
+                .recv(0, RESHARD_TAG)
+                .map_err(SwlbError::from)?;
+            self.unpack(1..self.lnx + 1, 1..self.lny + 1, &payload);
+            step
+        };
+        // Same scheme conversion as `scatter_populations`: the payload is
+        // canonical, AA restarts on the odd flavor.
+        if let Storage::Aa { field, parity } = &mut self.store {
+            reverse_planes::<L>(field);
+            *parity = AaParity::Reversed;
+        }
+        self.step = step;
+        Ok(())
+    }
+}
+
+/// Wrap a legacy (v1/v2) whole-domain checkpoint as a single-chunk v3
+/// checkpoint: decode the SoA payload into a field and re-pack it in chunk
+/// wire order (y → x → z → q). This is what lets pre-v3 files flow through
+/// the re-sharding [`DistributedSolver::restore_chunked`] path onto any
+/// destination layout.
+pub fn chunked_from_legacy<L: Lattice>(
+    ck: &swlb_io::Checkpoint,
+) -> Result<ChunkedCheckpoint, SwlbError> {
+    let dims = GridDims::new(ck.dims.0 as usize, ck.dims.1 as usize, ck.dims.2 as usize);
+    if ck.q != L::Q as u32 || ck.data.len() != dims.cells() * L::Q {
+        return Err(SwlbError::CorruptData(format!(
+            "legacy checkpoint is {}x{}x{}x{} ({} values), lattice needs q = {}",
+            ck.dims.0,
+            ck.dims.1,
+            ck.dims.2,
+            ck.q,
+            ck.data.len(),
+            L::Q
+        )));
+    }
+    let mut field = SoaField::<L>::new(dims);
+    field.raw_mut().copy_from_slice(&ck.data);
+    let mut data = Vec::with_capacity(ck.data.len());
+    for y in 0..dims.ny {
+        for x in 0..dims.nx {
+            for z in 0..dims.nz {
+                let cell = dims.idx(x, y, z);
+                for q in 0..L::Q {
+                    data.push(field.get(cell, q));
+                }
+            }
+        }
+    }
+    Ok(ChunkedCheckpoint::single_chunk(
+        ck.step, ck.dims, ck.q, ck.scheme, data,
+    ))
 }
 
 #[cfg(test)]

@@ -29,9 +29,11 @@ pub mod group_io;
 pub mod partition;
 pub mod resilience;
 
-pub use cases::{CaseKind, CaseSolver, CaseSpec, LatticeKind};
+pub use cases::{CaseKind, CaseSolver, CaseSpec, ElasticSolver, LatticeKind};
 pub use config::CaseConfig;
-pub use engine::{DistributedSolver, DistributedSolverBuilder, ExchangeMode, HaloRetry};
+pub use engine::{
+    chunked_from_legacy, DistributedSolver, DistributedSolverBuilder, ExchangeMode, HaloRetry,
+};
 pub use forces::momentum_exchange_force;
 pub use group_io::aggregate_group;
 pub use partition::Partition2d;

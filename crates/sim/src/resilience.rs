@@ -37,13 +37,12 @@
 //! `recovery.rollbacks` / `recovery.wasted_steps` counters and times the
 //! `checkpoint` / `rollback` phases.
 
-use crate::engine::DistributedSolver;
+use crate::engine::{chunked_from_legacy, DistributedSolver};
 use std::time::Duration;
 use swlb_comm::{CommError, Communicator};
 use swlb_core::lattice::Lattice;
-use swlb_core::layout::{PopField, SoaField};
-use swlb_core::layout::StorageScheme;
-use swlb_io::checkpoint::{Checkpoint, CheckpointStore, SCHEME_AA, SCHEME_AB};
+use swlb_io::checkpoint::CheckpointStore;
+use swlb_io::{AnyCheckpoint, ChunkedCheckpoint};
 use swlb_obs::{Phase, SwlbError};
 
 /// When to checkpoint, how often to retry, how long to wait.
@@ -104,50 +103,45 @@ pub struct RecoveryReport {
     pub final_mass: f64,
 }
 
-/// Capture the global state as a [`Checkpoint`] (collective; `Some` on rank 0).
+/// Capture the global state as a rank-count-independent [`ChunkedCheckpoint`]
+/// (collective; `Some` on rank 0). Chunks stay per-source-rank with global
+/// coordinates, so the file this produces can be rolled back into a world of
+/// any size — including after the scheduler re-shards a preempted job.
 fn capture<L: Lattice, C: Communicator>(
     solver: &DistributedSolver<'_, L, C>,
-) -> Result<Option<Checkpoint>, CommError> {
-    let global = solver.partition().global;
-    let field = solver.gather_populations()?;
-    Ok(field.map(|f| Checkpoint {
-        step: solver.step_count(),
-        dims: (global.nx as u32, global.ny as u32, global.nz as u32),
-        q: L::Q as u32,
-        scheme: match solver.scheme() {
-            StorageScheme::Ab => SCHEME_AB,
-            StorageScheme::Aa => SCHEME_AA,
-        },
-        // `gather_populations` canonicalizes, whatever the running parity.
-        parity: 0,
-        data: f.raw().to_vec(),
-    }))
+) -> Result<Option<ChunkedCheckpoint>, CommError> {
+    solver.capture_chunked()
 }
 
-/// Roll every rank back to the newest valid checkpoint (collective).
+/// Roll every rank back to the newest valid checkpoint (collective). Accepts
+/// both generations: a legacy (v1/v2) whole-domain file is wrapped as a
+/// single chunk, then both restore through the re-sharding
+/// [`DistributedSolver::restore_chunked`] path — so a rollback works even
+/// when the checkpoint was written under a different rank count.
 fn rollback<L: Lattice, C: Communicator>(
     solver: &mut DistributedSolver<'_, L, C>,
     store: &CheckpointStore,
 ) -> Result<u64, SwlbError> {
-    let global = solver.partition().global;
-    let (field, ck_step) = if solver.rank() == 0 {
-        let (ck, skipped) = store.load_latest_valid()?.ok_or(SwlbError::NoValidCheckpoint)?;
+    let ck = if solver.rank() == 0 {
+        let (ck, skipped) = store
+            .load_latest_valid_any()?
+            .ok_or(SwlbError::NoValidCheckpoint)?;
         for path in skipped {
             eprintln!("[recovery] skipping corrupt checkpoint {}", path.display());
         }
-        let mut f = SoaField::<L>::new(global);
-        f.raw_mut().copy_from_slice(&ck.data);
-        (Some(f), ck.step)
+        Some(match ck {
+            AnyCheckpoint::Chunked(ck) => ck,
+            AnyCheckpoint::Legacy(ck) => chunked_from_legacy::<L>(&ck)?,
+        })
     } else {
-        (None, 0)
+        None
     };
-    // Every rank must learn the rollback step; a dead rank 0 makes this time
-    // out (op deadline is set), never hang.
-    let step = solver.comm().broadcast(&[ck_step as f64])?[0] as u64;
     // New halo epoch first: frames sent before the rollback must read as stale.
     solver.bump_epoch();
-    solver.scatter_populations(field.as_ref(), step)?;
-    Ok(step)
+    // Every rank learns the rollback step inside the restore's broadcast; a
+    // dead rank 0 makes this time out (op deadline is set), never hang.
+    solver.restore_chunked(ck.as_ref())?;
+    Ok(solver.step_count())
 }
 
 /// Drive `solver` to `total_steps` completed steps under `policy`, writing
@@ -274,7 +268,7 @@ fn save_checkpoint<L: Lattice, C: Communicator>(
 ) -> Result<(), SwlbError> {
     let _g = solver.recorder().phase(Phase::Checkpoint);
     if let Some(ck) = capture(solver)? {
-        store.save(&ck)?;
+        store.save_chunked(&ck)?;
         report.checkpoints_written += 1;
         solver.recorder().counter("recovery.checkpoints").inc();
     }
@@ -290,6 +284,7 @@ mod tests {
     use swlb_core::flags::FlagField;
     use swlb_core::geometry::GridDims;
     use swlb_core::lattice::D2Q9;
+    use swlb_core::layout::PopField;
 
     fn temp_store(tag: &str) -> CheckpointStore {
         let dir = std::env::temp_dir().join(format!("swlb-recovery-{}-{tag}", std::process::id()));
@@ -449,6 +444,62 @@ mod tests {
             if !flags.kind(cell).is_fluid() {
                 continue;
             }
+            for q in 0..9 {
+                let (x, y) = (a.get(cell, q), b.get(cell, q));
+                assert!((x - y).abs() < tol, "cell {cell} q {q}: {x} vs {y}");
+            }
+        }
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn rollback_across_a_reshard_restores_a_4_rank_checkpoint_into_6_ranks() {
+        // The elastic-resume contract at the resilience layer: a checkpoint
+        // written by a 4-rank world must be a valid rollback target for a
+        // 6-rank world (different `px × py`), and the resumed trajectory must
+        // match the uninterrupted one.
+        let (global, flags, coll) = case();
+        let flags_ref = &flags;
+        let store = temp_store("reshard");
+        let store_ref = &store;
+
+        let plain = World::new(1).run(|comm| {
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .build();
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(12).unwrap();
+            s.gather_populations().unwrap()
+        });
+
+        // A 4-rank world checkpoints at step 8.
+        World::new(4).run(|comm| {
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::OnTheFly)
+                .build();
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(8).unwrap();
+            if let Some(ck) = s.capture_chunked().unwrap() {
+                store_ref.save_chunked(&ck).unwrap();
+            }
+        });
+
+        // A 6-rank world rolls back from that file and finishes the run.
+        let out = World::new(6).run(|comm| {
+            let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                .exchange(ExchangeMode::Sequential)
+                .build();
+            s.initialize_uniform(1.0, [0.0; 3]);
+            let step = rollback(&mut s, store_ref).unwrap();
+            assert_eq!(step, 8);
+            assert_eq!(s.step_count(), 8);
+            s.run(4).unwrap();
+            s.gather_populations().unwrap()
+        });
+
+        let (a, b) = (plain[0].as_ref().unwrap(), out[0].as_ref().unwrap());
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+        for cell in 0..global.cells() {
             for q in 0..9 {
                 let (x, y) = (a.get(cell, q), b.get(cell, q));
                 assert!((x - y).abs() < tol, "cell {cell} q {q}: {x} vs {y}");

@@ -73,6 +73,18 @@ aa-check:
     cargo test -q -p swlb-sim --release --test unified_dispatch --test simd_equivalence --test checkpoint_roundtrip
     SWLB_NO_SIMD=1 cargo test -q -p swlb-sim --release --test unified_dispatch --test simd_equivalence
 
+# Rank-elastic checkpoint acceptance (docs/SERVING.md, "Elastic resume"):
+# the checkpoint-on-N / resume-on-M equivalence matrix (AB and mid-parity
+# AA, including degenerate narrow source subdomains), rollback across a
+# reshard, the service-level shrink-and-grow cycle, and the malformed
+# checkpoint corpus — every truncated or hostile header must fail typed,
+# never panic.
+reshard-check:
+    cargo test -q -p swlb-sim --release --test checkpoint_roundtrip
+    cargo test -q -p swlb-sim --release --lib resilience
+    cargo test -q -p swlb-io
+    cargo test -q -p swlb-serve --release --test serve_integration elastic
+
 # The full AB-vs-AA storage-scheme sweep: 128^3 and 256^3 cavities across
 # 1/2/4 threads and the host's SIMD lanes, rewrites BENCH_pr6.json.
 bench-pr6:

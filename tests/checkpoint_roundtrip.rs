@@ -250,6 +250,133 @@ fn checkpoint_of_3d_solver_roundtrips() {
     assert_eq!(back, ck);
 }
 
+/// Reshard equivalence matrix: a chunked (v3) checkpoint taken on N ranks
+/// resumes on M ranks for every (N, M) in {1,2,4} × {1,2,6}, and the resumed
+/// trajectory matches the uninterrupted one within dispatch tolerance — for
+/// AB storage and for AA captured mid-cycle (odd step, the parity that must
+/// reshard through the canonical form).
+#[test]
+fn reshard_matrix_resumes_on_any_rank_count() {
+    use swlb_comm::World;
+    use swlb_core::collision::CollisionKind;
+    use swlb_sim::{DistributedSolver, ExchangeMode};
+
+    let global = GridDims::new2d(20, 16);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+    flags.paint_lid([0.05, 0.0, 0.0]);
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+    let flags_ref = &flags;
+    let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+
+    let run_world = |ranks: usize,
+                     scheme: StorageScheme,
+                     resume_from: Option<&swlb_io::chunked::ChunkedCheckpoint>,
+                     steps: u64| {
+        World::new(ranks)
+            .run(|comm| {
+                let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                    .exchange(ExchangeMode::OnTheFly)
+                    .storage(scheme)
+                    .try_build()
+                    .unwrap();
+                s.initialize_uniform(1.0, [0.0; 3]);
+                if let Some(ck) = resume_from {
+                    s.restore_chunked(if comm.rank() == 0 { Some(ck) } else { None })
+                        .unwrap();
+                    assert_eq!(s.step_count(), ck.step);
+                }
+                s.run(steps).unwrap();
+                s.capture_chunked().unwrap()
+            })
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("rank 0 captures")
+    };
+
+    for scheme in [StorageScheme::Ab, StorageScheme::Aa] {
+        // Uninterrupted 24-step reference, exported canonically.
+        let want = run_world(1, scheme, None, 24).assemble_global().unwrap();
+
+        for n in [1usize, 2, 4] {
+            // Checkpoint at step 9: odd, so an AA producer is mid-cycle.
+            let ck = run_world(n, scheme, None, 9);
+            assert_eq!(ck.chunks.len(), n, "one chunk per source rank");
+            assert_eq!(ck.parity, 0, "chunks are always canonical");
+
+            for m in [1usize, 2, 6] {
+                let got = run_world(m, scheme, Some(&ck), 15)
+                    .assemble_global()
+                    .unwrap();
+                assert_eq!(got.len(), want.len());
+                for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+                    assert!(
+                        (a - b).abs() <= tol,
+                        "{scheme:?} {n}->{m} ranks: element {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Degenerate source subdomains: a 5-column domain over a 2x2 rank grid
+/// produces chunks only 2–3 cells wide; resuming on 6 ranks slices them
+/// narrower still (lnx = 1). The reassembly must stay exact.
+#[test]
+fn reshard_handles_degenerate_narrow_source_subdomains() {
+    use swlb_comm::World;
+    use swlb_core::collision::CollisionKind;
+    use swlb_sim::{DistributedSolver, ExchangeMode};
+
+    let global = GridDims::new2d(5, 12);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+    flags.paint_lid([0.05, 0.0, 0.0]);
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+    let flags_ref = &flags;
+    let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+
+    let run_world = |ranks: usize,
+                     resume_from: Option<&swlb_io::chunked::ChunkedCheckpoint>,
+                     steps: u64| {
+        World::new(ranks)
+            .run(|comm| {
+                let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                    .exchange(ExchangeMode::OnTheFly)
+                    .try_build()
+                    .unwrap();
+                s.initialize_uniform(1.0, [0.0; 3]);
+                if let Some(ck) = resume_from {
+                    s.restore_chunked(if comm.rank() == 0 { Some(ck) } else { None })
+                        .unwrap();
+                }
+                s.run(steps).unwrap();
+                s.capture_chunked().unwrap()
+            })
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("rank 0 captures")
+    };
+
+    let want = run_world(1, None, 20).assemble_global().unwrap();
+    let ck = run_world(4, None, 8);
+    assert!(
+        ck.chunks.iter().any(|c| c.meta.lnx <= 2),
+        "expected a degenerate narrow source chunk: {:?}",
+        ck.chunks.iter().map(|c| c.meta).collect::<Vec<_>>()
+    );
+
+    for m in [1usize, 6] {
+        let got = run_world(m, Some(&ck), 12).assemble_global().unwrap();
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            assert!((a - b).abs() <= tol, "4->{m} ranks: element {i}: {a} vs {b}");
+        }
+    }
+}
+
 #[test]
 fn aa_mid_parity_checkpoint_restores_across_schemes() {
     // Capture an AA solver at odd step count (Streamed parity, the "hard"

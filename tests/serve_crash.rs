@@ -58,6 +58,7 @@ fn job(name: &str, case: CaseSpec, steps: u64, priority: Priority) -> JobSpec {
         deadline_ms: None,
         outputs: vec![],
         chaos_nan_at_step: None,
+        width: 1,
     }
 }
 

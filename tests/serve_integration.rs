@@ -54,6 +54,7 @@ fn job(name: &str, case: CaseSpec, steps: u64, priority: Priority) -> JobSpec {
         deadline_ms: None,
         outputs: vec![],
         chaos_nan_at_step: None,
+        width: 1,
     }
 }
 
@@ -295,21 +296,23 @@ fn drain_leaves_resumable_checkpoints() {
     }
 
     // Restore each drained job's latest checkpoint into a fresh solver and
-    // confirm it lands exactly where the service said it stopped.
+    // confirm it lands exactly where the service said it stopped. Service
+    // checkpoints are written in the rank-elastic chunked (v3) format, so the
+    // load goes through the format-agnostic reader.
     let store = CheckpointStore::new(dir.join("checkpoints"), 2).unwrap();
     for &id in &ids {
         let steps_done = num_of(&client.status(id).unwrap(), "steps_done");
         let (ck, _) = store
             .namespaced(&format!("job-{id}"))
             .unwrap()
-            .load_latest_valid()
+            .load_latest_valid_any()
             .unwrap()
             .unwrap_or_else(|| panic!("job {id}: drain left no valid checkpoint"));
-        assert_eq!(ck.step, steps_done, "job {id}: checkpoint lags status");
+        assert_eq!(ck.step(), steps_done, "job {id}: checkpoint lags status");
         let mut solver = cavity(16, 16)
             .build(ThreadPool::new(1), Recorder::disabled())
             .unwrap();
-        solver.restore(&ck).unwrap();
+        solver.restore_any(&ck).unwrap();
         assert_eq!(solver.step_count(), steps_done);
     }
 
@@ -342,12 +345,17 @@ fn aa_job_drains_to_cross_scheme_resumable_checkpoint() {
     let (ck, _) = store
         .namespaced(&format!("job-{id}"))
         .unwrap()
-        .load_latest_valid()
+        .load_latest_valid_any()
         .unwrap()
         .expect("AA job left no valid checkpoint");
-    assert_eq!(ck.scheme, swlb_io::checkpoint::SCHEME_AA);
-    assert_eq!(ck.parity, 0, "service checkpoints must be canonical");
-    assert_eq!(ck.step, steps_done);
+    assert_eq!(ck.scheme(), swlb_io::checkpoint::SCHEME_AA);
+    match &ck {
+        swlb_io::chunked::AnyCheckpoint::Chunked(c) => {
+            assert_eq!(c.parity, 0, "service checkpoints must be canonical");
+        }
+        other => panic!("service should write chunked (v3) checkpoints: {other:?}"),
+    }
+    assert_eq!(ck.step(), steps_done);
 
     let mut ab_case = case.clone();
     ab_case.storage = StorageScheme::Ab;
@@ -355,11 +363,82 @@ fn aa_job_drains_to_cross_scheme_resumable_checkpoint() {
         let mut solver = spec
             .build(ThreadPool::new(1), Recorder::disabled())
             .unwrap();
-        solver.restore(&ck).unwrap();
+        solver.restore_any(&ck).unwrap();
         assert_eq!(solver.step_count(), steps_done);
         solver.run_checked(4, 2).unwrap();
         assert!(!solver.has_non_finite());
     }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Elastic resume: a width-4 job shrinks to effective width 2 while a serial
+/// competitor shares the machine, then grows back to 4 once the competitor
+/// completes. The job is preempted at one width and resumed at another via
+/// its rank-count-independent chunked checkpoint, and every width change is
+/// visible in the status API, the event stream, the write-ahead journal, and
+/// the server-wide stats counter.
+#[test]
+fn elastic_job_reshards_under_contention_and_grows_back() {
+    let dir = unique_dir("elastic");
+    let server = Server::spawn(config(&dir, 8, 8)).unwrap();
+    let client = ServeClient::new(server.addr().to_string());
+
+    let mut wide = job("wide", cavity(16, 16), 480, Priority::Batch);
+    wide.width = 4;
+    let wide_id = client.submit(&wide).unwrap();
+    // Let the wide job run at its full requested width first.
+    wait_for(&client, wide_id, Duration::from_secs(20), "first slice", |s| {
+        num_of(s, "steps_done") > 0
+    });
+
+    // A serial competitor halves the wide job's effective width (4 / 2 live).
+    let rival_id = client
+        .submit(&job("rival", cavity(16, 16), 120, Priority::Batch))
+        .unwrap();
+    wait_for(&client, rival_id, Duration::from_secs(60), "rival done", |s| {
+        state_of(s) == "completed"
+    });
+    let status = wait_for(&client, wide_id, Duration::from_secs(60), "wide done", |s| {
+        state_of(s) == "completed"
+    });
+
+    // Shrank (4 -> 2) and grew back (2 -> 4): at least two re-shards, ending
+    // at the requested width, with no steps lost along the way.
+    assert!(num_of(&status, "reshards") >= 2, "{}", status.to_text());
+    assert_eq!(num_of(&status, "width"), 4, "{}", status.to_text());
+    assert_eq!(num_of(&status, "steps_done"), 480, "{}", status.to_text());
+
+    // Preempted at one width, resumed at another: the counters that only move
+    // on a real checkpoint write / checkpoint read both advanced.
+    assert!(num_of(&status, "preemptions") >= 1, "{}", status.to_text());
+    assert!(num_of(&status, "resumes") >= 1, "{}", status.to_text());
+
+    // The width changes are in the job's event stream...
+    let events = client.watch(wide_id, 0).unwrap();
+    assert!(
+        events.iter().any(|e| e.contains("\"event\":\"resharded\"")),
+        "no resharded event: {events:?}"
+    );
+
+    // ...in the write-ahead journal...
+    let journal_text: String = std::fs::read_dir(dir.join("journal"))
+        .unwrap()
+        .filter_map(|e| std::fs::read_to_string(e.unwrap().path()).ok())
+        .collect();
+    assert!(
+        journal_text.contains("\"rec\":\"resharded\""),
+        "journal has no resharded record"
+    );
+
+    // ...and in the server-wide stats counter.
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.get("reshards").and_then(Json::as_u64).unwrap_or(0) >= 2,
+        "{}",
+        stats.to_text()
+    );
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
