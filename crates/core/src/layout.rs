@@ -438,6 +438,19 @@ impl<F> AbBuffers<F> {
         }
     }
 
+    /// Borrow both buffers mutably as `(src, dst)` — the shape a multi-step
+    /// wavefront sweep wants, since it alternates write targets within one
+    /// call.
+    #[inline]
+    pub fn both_mut(&mut self) -> (&mut F, &mut F) {
+        let (lo, hi) = self.bufs.split_at_mut(1);
+        if self.cur == 0 {
+            (&mut lo[0], &mut hi[0])
+        } else {
+            (&mut hi[0], &mut lo[0])
+        }
+    }
+
     /// Swap roles after a completed step.
     #[inline]
     pub fn flip(&mut self) {

@@ -53,6 +53,7 @@ pub mod simd;
 pub mod solver;
 pub mod stability;
 pub mod stream;
+pub mod temporal;
 pub mod units;
 
 /// Floating point scalar used throughout the solver.
@@ -77,7 +78,9 @@ pub mod prelude {
     pub use crate::flags::FlagField;
     pub use crate::geometry::{GridDims, Idx3};
     pub use crate::lattice::{Lattice, D2Q9, D3Q15, D3Q19, D3Q27};
-    pub use crate::layout::{AaParity, AosField, Layout, PopField, SoaField, Storage, StorageScheme};
+    pub use crate::layout::{
+        AaParity, AosField, Layout, PopField, SoaField, Storage, StorageScheme,
+    };
     pub use crate::macroscopic::MacroFields;
     pub use crate::parallel::ThreadPool;
     pub use crate::simd::{KernelClass, LanePolicy};

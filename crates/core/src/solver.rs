@@ -75,6 +75,7 @@ pub struct SolverBuilder<L: Lattice> {
     storage: StorageScheme,
     pool: Option<ThreadPool>,
     tile_z: Option<usize>,
+    time_block: usize,
     recorder: Recorder,
     _lattice: PhantomData<L>,
 }
@@ -88,6 +89,7 @@ impl<L: Lattice> SolverBuilder<L> {
             storage: StorageScheme::default(),
             pool: None,
             tile_z: None,
+            time_block: 1,
             recorder: Recorder::disabled(),
             _lattice: PhantomData,
         }
@@ -132,14 +134,37 @@ impl<L: Lattice> SolverBuilder<L> {
         self
     }
 
+    /// Temporal-blocking depth `k` (default 1 = no blocking): [`Solver::run`]
+    /// and [`Solver::run_checked`] then advance `k` steps per cache-resident
+    /// wavefront sweep (see [`crate::temporal`]), bit-identical to `k` plain
+    /// steps. Under [`StorageScheme::Aa`] the depth must be even so a block
+    /// ends at the canonical `Reversed` parity.
+    pub fn time_block(mut self, k: usize) -> Self {
+        self.time_block = k;
+        self
+    }
+
     /// Build the solver, rejecting contradictory settings.
     ///
-    /// Errors: `tile_z == 0` (use the default or a positive tile instead).
+    /// Errors: `tile_z == 0` (use the default or a positive tile instead),
+    /// `time_block == 0`, and an odd `time_block > 1` under AA storage.
     pub fn try_build(self) -> Result<Solver<L>, SwlbError> {
         if self.tile_z == Some(0) {
             return Err(SwlbError::InvalidConfig(
                 "tile_z must be >= 1 (omit it for the default blocking)".into(),
             ));
+        }
+        if self.time_block == 0 {
+            return Err(SwlbError::InvalidConfig(
+                "time_block must be >= 1 (1 disables temporal blocking)".into(),
+            ));
+        }
+        if self.storage == StorageScheme::Aa && self.time_block > 1 && !self.time_block.is_multiple_of(2) {
+            return Err(SwlbError::InvalidConfig(format!(
+                "AA-pattern storage needs an even time_block so a block ends at the \
+                 canonical Reversed parity; got {}",
+                self.time_block
+            )));
         }
         let mut pool = self.pool.unwrap_or_else(|| ThreadPool::new(1));
         if let Some(t) = self.tile_z {
@@ -156,6 +181,7 @@ impl<L: Lattice> SolverBuilder<L> {
             collision: self.collision,
             pool,
             step: 0,
+            time_block: self.time_block,
             interior: None,
             mask_dirty: true,
             active: 0,
@@ -189,6 +215,9 @@ pub struct Solver<L: Lattice> {
     collision: CollisionKind,
     pool: ThreadPool,
     step: u64,
+    /// Temporal-blocking depth: [`Solver::run`] advances this many steps per
+    /// wavefront sweep (1 = plain per-step execution).
+    time_block: usize,
     /// Interior fast-path index (mask + run-length runs), rebuilt lazily when
     /// the flags change.
     interior: Option<InteriorIndex>,
@@ -461,22 +490,115 @@ impl<L: Lattice> Solver<L> {
         Ok(())
     }
 
-    /// Advance `n` steps.
+    /// The temporal-blocking depth this solver was built with (1 = no
+    /// blocking).
+    pub fn time_block(&self) -> usize {
+        self.time_block
+    }
+
+    /// Whether a depth-`time_block` wavefront sweep may start now: always
+    /// under AB, and only from the canonical `Reversed` parity under AA (an
+    /// even completed step count — blocks both start and end there).
+    fn block_ready(&self) -> bool {
+        self.time_block > 1
+            && match self.storage.parity() {
+                None => true,
+                Some(p) => p == AaParity::Reversed,
+            }
+    }
+
+    /// Advance `time_block` steps in one cache-resident wavefront sweep —
+    /// bit-identical to that many [`Solver::try_step`] calls, but touching
+    /// DRAM roughly once instead of `time_block` times. Falls back to a plain
+    /// step when blocking is disabled.
+    pub fn try_block(&mut self) -> Result<(), SwlbError> {
+        let k = self.time_block;
+        if k <= 1 {
+            return self.try_step();
+        }
+        self.ensure_interior()?;
+        let t0 = self.recorder.now();
+        let flags = &self.flags;
+        let collision = self.collision;
+        let interior = self.interior.as_ref();
+        let pool = &self.pool;
+        let class = match &mut self.storage {
+            Storage::Ab(bufs) => {
+                let (src, dst) = bufs.both_mut();
+                let class =
+                    crate::temporal::ab_block::<L>(pool, flags, src, dst, &collision, interior, k);
+                // Level k leaves the final state in `dst` only for odd depths.
+                if k % 2 == 1 {
+                    bufs.flip();
+                }
+                class
+            }
+            Storage::Aa { field, parity } => {
+                if *parity != AaParity::Reversed {
+                    return Err(SwlbError::InvalidConfig(
+                        "an AA temporal block must start at Reversed parity \
+                         (even completed step count)"
+                            .into(),
+                    ));
+                }
+                // Even depth: the block returns to Reversed, parity unchanged.
+                crate::temporal::aa_block::<L>(pool, flags, field, &collision, *parity, interior, k)
+            }
+        };
+        self.last_class = class;
+        if let Some(t0) = t0 {
+            let ns = (t0.elapsed().as_nanos() as u64).max(1);
+            self.recorder.record_phase_ns(Phase::CollideStream, ns);
+            self.obs_steps.add(k as u64);
+            self.obs_mlups
+                .set(self.active as f64 * k as f64 * 1e3 / ns as f64);
+            self.obs_kernel_class.set(class.as_gauge());
+        }
+        self.step += k as u64;
+        self.recorder.maybe_flush(self.step);
+        Ok(())
+    }
+
+    /// Advance `n` steps — in depth-`time_block` wavefront sweeps where the
+    /// depth divides the remaining count (any remainder runs per-step, with
+    /// identical results).
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        let mut done = 0;
+        while done < n {
+            let k = self.time_block as u64;
+            if n - done >= k && self.block_ready() {
+                self.try_block()
+                    .unwrap_or_else(|e| panic!("solver step failed: {e}"));
+                done += k;
+            } else {
+                self.step();
+                done += 1;
+            }
         }
     }
 
-    /// Advance `n` steps, checking for divergence every `check_every` steps.
+    /// Advance `n` steps, checking for divergence every `check_every` steps
+    /// (rounded up to temporal-block boundaries when blocking is on).
     pub fn run_checked(&mut self, n: u64, check_every: u64) -> Result<(), SwlbError> {
         let every = check_every.max(1);
-        for i in 0..n {
-            self.try_step()?;
-            if (i + 1) % every == 0 || i + 1 == n {
+        let mut done = 0;
+        let mut next_check = every;
+        while done < n {
+            let k = self.time_block as u64;
+            if n - done >= k && self.block_ready() {
+                self.try_block()?;
+                done += k;
+            } else {
+                self.try_step()?;
+                done += 1;
+            }
+            if done >= next_check || done == n {
                 let m = self.macroscopic();
                 if m.has_non_finite() {
                     return Err(CoreError::Diverged { step: self.step }.into());
+                }
+                while next_check <= done {
+                    next_check += every;
                 }
             }
         }
@@ -631,6 +753,106 @@ mod tests {
         assert!(Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
             .tile_z(2)
             .pool(ThreadPool::new(2))
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn temporal_block_is_bit_identical_to_plain_steps() {
+        // The wavefront sweep is a pure reordering of the same per-cell
+        // updates: depth-k runs must equal the per-step run bit-for-bit, on
+        // every lane, for both storage schemes, across thread counts — and
+        // for step counts that are not multiples of k (remainder per-step).
+        let dims = GridDims::new(9, 11, 8);
+        let run = |scheme: StorageScheme, k: usize, threads: usize, steps: u64| {
+            let mut s = Solver::<D3Q19>::builder(dims, BgkParams::from_tau(0.7))
+                .storage(scheme)
+                .time_block(k)
+                .pool(ThreadPool::new(threads))
+                .build();
+            s.flags_mut().set_box_walls();
+            s.flags_mut().paint_lid([0.05, 0.0, 0.0]);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(steps);
+            assert_eq!(s.step_count(), steps);
+            s
+        };
+        for steps in [8u64, 7] {
+            let ab_ref = run(StorageScheme::Ab, 1, 1, steps);
+            for k in [2usize, 3, 4] {
+                for threads in [1usize, 3] {
+                    let blocked = run(StorageScheme::Ab, k, threads, steps);
+                    assert_canonical_match(&ab_ref, &blocked, 0.0, "ab-blocked");
+                }
+            }
+            let aa_ref = run(StorageScheme::Aa, 1, 1, steps);
+            for k in [2usize, 4] {
+                for threads in [1usize, 3] {
+                    let blocked = run(StorageScheme::Aa, k, threads, steps);
+                    assert_canonical_match(&aa_ref, &blocked, 0.0, "aa-blocked");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_block_handles_periodic_and_generic_paths() {
+        // Fully periodic box (wavefront wrap in y) and a D2Q9 generic-path
+        // lattice: both must stay bit-identical to per-step runs.
+        let dims3 = GridDims::new(6, 7, 5);
+        let run3 = |k: usize| {
+            let mut s = Solver::<D3Q19>::builder(dims3, BgkParams::from_tau(0.8))
+                .time_block(k)
+                .build();
+            s.initialize_field(|x, y, z| {
+                let v = 0.01 * ((x * 5 + y * 3 + z) % 7) as Scalar;
+                (1.0 + v, [v, -v, 0.5 * v])
+            });
+            s.run(6);
+            s
+        };
+        let (a, b) = (run3(1), run3(3));
+        assert_canonical_match(&a, &b, 0.0, "periodic-3d");
+
+        let dims2 = GridDims::new2d(12, 9);
+        let run2 = |k: usize| {
+            let mut s = Solver::<D2Q9>::builder(dims2, BgkParams::from_tau(0.9))
+                .time_block(k)
+                .build();
+            s.flags_mut().set_box_walls();
+            s.flags_mut().paint_lid([0.04, 0.0, 0.0]);
+            s.initialize_uniform(1.0, [0.0; 3]);
+            s.run(4);
+            assert_eq!(s.last_kernel_class(), KernelClass::Generic);
+            s
+        };
+        let (a, b) = (run2(1), run2(4));
+        assert_canonical_match(&a, &b, 0.0, "generic-d2q9");
+    }
+
+    #[test]
+    fn builder_rejects_bad_time_block() {
+        let dims = GridDims::new2d(8, 8);
+        let err = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
+            .time_block(0)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
+        // AA needs an even depth (a block must end at Reversed parity).
+        let err = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
+            .storage(StorageScheme::Aa)
+            .time_block(3)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
+        // Even AA depths and any AB depth are fine.
+        assert!(Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
+            .storage(StorageScheme::Aa)
+            .time_block(4)
+            .try_build()
+            .is_ok());
+        assert!(Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.8))
+            .time_block(5)
             .try_build()
             .is_ok());
     }
@@ -892,9 +1114,7 @@ mod tests {
         full.run(4);
 
         let mut resumed = build(StorageScheme::Aa);
-        resumed
-            .restore_canonical(saved.raw(), saved_step)
-            .unwrap();
+        resumed.restore_canonical(saved.raw(), saved_step).unwrap();
         assert_eq!(resumed.parity(), Some(AaParity::Reversed));
         assert_eq!(resumed.step_count(), 3);
         resumed.run(4);

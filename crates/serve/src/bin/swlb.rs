@@ -12,7 +12,8 @@
 //!             [--slice-steps N] [--threads N]
 //! swlb submit [--addr HOST:PORT] [--name N] [--case cavity] [--lattice d2q9]
 //!             [--nx N] [--ny N] [--nz N] [--tau T] [--u U] [--steps N]
-//!             [--storage ab|aa] [--width N] [--priority interactive|batch]
+//!             [--storage ab|aa] [--time-block K] [--width N]
+//!             [--priority interactive|batch]
 //!             [--output vtk|ppm] [--deadline-ms N] [--chaos-at STEP]
 //! swlb status [--addr HOST:PORT] [job-id]
 //! swlb watch  [--addr HOST:PORT] <job-id> [--from N]
@@ -39,8 +40,8 @@ use swlb_io::{colormap_viridis_like, write_ppm, write_vtk_scalars, PpmImage, Pro
 use swlb_mesh::cylinder_z_mask;
 use swlb_obs::{JsonlSink, Recorder, SummarySink};
 use swlb_serve::{
-    CaseKind, CaseSpec, JobSpec, Json, LatticeKind, OutputKind, Priority, ServeClient,
-    ServeConfig, Server,
+    CaseKind, CaseSpec, JobSpec, Json, LatticeKind, OutputKind, Priority, ServeClient, ServeConfig,
+    Server,
 };
 use swlb_sim::forces::momentum_exchange_force;
 use swlb_sim::CaseConfig;
@@ -60,8 +61,8 @@ fn usage() -> ExitCode {
          [--io-timeout-ms N] [--chaos-routes]\n\
          \x20      swlb submit [--addr HOST:PORT] [--name N] [--case C] [--lattice L] \
          [--nx N] [--ny N] [--nz N] [--tau T] [--u U] [--steps N] [--storage ab|aa] \
-         [--width N] [--priority P] [--output vtk|ppm] [--deadline-ms N] \
-         [--chaos-at STEP]\n\
+         [--time-block K] [--width N] [--priority P] [--output vtk|ppm] \
+         [--deadline-ms N] [--chaos-at STEP]\n\
          \x20      swlb status [--addr HOST:PORT] [job-id]\n\
          \x20      swlb watch  [--addr HOST:PORT] <job-id> [--from N]\n\
          \x20      swlb cancel [--addr HOST:PORT] <job-id>\n\
@@ -208,8 +209,8 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         let case_name = flag_value(args, "--case")?.unwrap_or_else(|| "cavity".into());
         let case = CaseKind::parse(&case_name).ok_or(format!("unknown case {case_name:?}"))?;
         let lattice_name = flag_value(args, "--lattice")?.unwrap_or_else(|| "d2q9".into());
-        let lattice = LatticeKind::parse(&lattice_name)
-            .ok_or(format!("unknown lattice {lattice_name:?}"))?;
+        let lattice =
+            LatticeKind::parse(&lattice_name).ok_or(format!("unknown lattice {lattice_name:?}"))?;
         let num = |flag: &str, default: usize| -> CliResult<usize> {
             match flag_value(args, flag)? {
                 Some(v) => v.parse().map_err(|_| format!("{flag} needs an integer")),
@@ -223,11 +224,12 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             }
         };
         let priority_name = flag_value(args, "--priority")?.unwrap_or_else(|| "batch".into());
-        let priority = Priority::parse(&priority_name)
-            .ok_or(format!("unknown priority {priority_name:?}"))?;
+        let priority =
+            Priority::parse(&priority_name).ok_or(format!("unknown priority {priority_name:?}"))?;
         let storage_name = flag_value(args, "--storage")?.unwrap_or_else(|| "ab".into());
-        let storage = StorageScheme::parse(&storage_name)
-            .ok_or(format!("unknown storage scheme {storage_name:?} (want ab|aa)"))?;
+        let storage = StorageScheme::parse(&storage_name).ok_or(format!(
+            "unknown storage scheme {storage_name:?} (want ab|aa)"
+        ))?;
         let mut outputs = Vec::new();
         let mut rest: &[String] = args;
         while let Some(pos) = rest.iter().position(|a| a == "--output") {
@@ -248,6 +250,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 tau: fnum("--tau", 0.8)?,
                 u_lattice: fnum("--u", 0.05)?,
                 storage,
+                time_block: num("--time-block", 1)?,
             },
             steps: num("--steps", 1000)? as u64,
             priority,
@@ -519,16 +522,18 @@ fn exit_summary(
     kernel: swlb_core::simd::KernelClass,
 ) {
     ctx.recorder.flush(steps);
-    let (retries, rollbacks) = ctx
+    let (retries, rollbacks, halo_msgs, halo_bytes) = ctx
         .recorder
         .snapshot(steps)
         .map(|s| {
             (
                 s.counter("halo.retries").unwrap_or(0),
                 s.counter("recovery.rollbacks").unwrap_or(0),
+                s.counter("halo.messages").unwrap_or(0),
+                s.counter("halo.bytes").unwrap_or(0),
             )
         })
-        .unwrap_or((0, 0));
+        .unwrap_or((0, 0, 0, 0));
     let mlups = if wall_s > 0.0 {
         active_cells as f64 * steps as f64 / wall_s / 1e6
     } else {
@@ -541,6 +546,8 @@ fn exit_summary(
             ("wall_s", Json::num(wall_s)),
             ("mlups", Json::num(mlups)),
             ("halo_retries", Json::num(retries as f64)),
+            ("halo_messages", Json::num(halo_msgs as f64)),
+            ("halo_bytes", Json::num(halo_bytes as f64)),
             ("rollbacks", Json::num(rollbacks as f64)),
             ("kernel", Json::str(kernel.name())),
             (
@@ -557,7 +564,8 @@ fn exit_summary(
     } else {
         println!(
             "summary: steps={steps} wall={wall_s:.3}s mlups={mlups:.2} \
-             halo_retries={retries} rollbacks={rollbacks} \
+             halo_retries={retries} halo_messages={halo_msgs} \
+             halo_bytes={halo_bytes} rollbacks={rollbacks} \
              kernel={} cores={}p/{}l features={}",
             kernel.name(),
             swlb_core::simd::physical_cores(),

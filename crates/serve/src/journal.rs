@@ -124,10 +124,9 @@ impl JobEvent {
                 ("seq", Json::num(*seq as f64)),
                 ("spec", spec.to_json()),
             ]),
-            JobEvent::Started { id } => Json::obj([
-                ("rec", Json::str("started")),
-                ("id", Json::num(*id as f64)),
-            ]),
+            JobEvent::Started { id } => {
+                Json::obj([("rec", Json::str("started")), ("id", Json::num(*id as f64))])
+            }
             JobEvent::Checkpointed { id, step } => Json::obj([
                 ("rec", Json::str("checkpointed")),
                 ("id", Json::num(*id as f64)),
@@ -453,8 +452,7 @@ impl JournalHandle {
             return;
         };
         while let Some((line, durable)) = self.pending.front() {
-            let failed = self.fail_writes
-                || journal.append(line, *durable).is_err();
+            let failed = self.fail_writes || journal.append(line, *durable).is_err();
             if failed {
                 if !self.degraded {
                     self.degraded = true;
@@ -492,9 +490,7 @@ impl JournalHandle {
 /// Replay an on-disk journal directory into jobs ready for table restore.
 /// Damage is counted, never fatal: `report` carries the frame-level skips,
 /// the second return the schema-level ones.
-pub fn replay_dir(
-    dir: &std::path::Path,
-) -> std::io::Result<(Vec<ReplayedJob>, ReplayReport, u64)> {
+pub fn replay_dir(dir: &std::path::Path) -> std::io::Result<(Vec<ReplayedJob>, ReplayReport, u64)> {
     let (records, report) = Journal::replay(dir)?;
     let (jobs, unparseable) = fold_records(&records);
     Ok((jobs, report, unparseable))
@@ -518,6 +514,7 @@ mod tests {
                 tau: 0.8,
                 u_lattice: 0.05,
                 storage: swlb_core::layout::StorageScheme::Ab,
+                time_block: 1,
             },
             steps: 100,
             priority: Priority::Batch,
@@ -539,7 +536,11 @@ mod tests {
             JobEvent::Started { id: 3 },
             JobEvent::Checkpointed { id: 3, step: 64 },
             JobEvent::Preempted { id: 3, step: 64 },
-            JobEvent::Resharded { id: 3, from: 4, to: 2 },
+            JobEvent::Resharded {
+                id: 3,
+                from: 4,
+                to: 2,
+            },
             JobEvent::Drained { id: 3, step: 96 },
             JobEvent::Completed { id: 3 },
             JobEvent::Cancelled { id: 3 },
@@ -560,9 +561,24 @@ mod tests {
     #[test]
     fn fold_reconstructs_outcomes_in_arrival_order() {
         let lines = vec![
-            JobEvent::Admitted { id: 1, seq: 0, spec: spec("first") }.to_line(),
-            JobEvent::Admitted { id: 2, seq: 1, spec: spec("second") }.to_line(),
-            JobEvent::Admitted { id: 3, seq: 2, spec: spec("third") }.to_line(),
+            JobEvent::Admitted {
+                id: 1,
+                seq: 0,
+                spec: spec("first"),
+            }
+            .to_line(),
+            JobEvent::Admitted {
+                id: 2,
+                seq: 1,
+                spec: spec("second"),
+            }
+            .to_line(),
+            JobEvent::Admitted {
+                id: 3,
+                seq: 2,
+                spec: spec("third"),
+            }
+            .to_line(),
             JobEvent::Started { id: 1 }.to_line(),
             JobEvent::Checkpointed { id: 1, step: 32 }.to_line(),
             JobEvent::Started { id: 2 }.to_line(),
@@ -584,7 +600,12 @@ mod tests {
         // A checkpointed record *after* completion (out-of-order tail from a
         // duplicated segment) must not resurrect the job.
         let lines = vec![
-            JobEvent::Admitted { id: 1, seq: 0, spec: spec("done") }.to_line(),
+            JobEvent::Admitted {
+                id: 1,
+                seq: 0,
+                spec: spec("done"),
+            }
+            .to_line(),
             JobEvent::Completed { id: 1 }.to_line(),
             JobEvent::Checkpointed { id: 1, step: 10 }.to_line(),
         ];
@@ -620,13 +641,9 @@ mod tests {
 
     #[test]
     fn handle_buffers_and_degrades_on_disk_failure() {
-        let dir = std::env::temp_dir().join(format!(
-            "swlb-handle-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("swlb-handle-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let journal =
-            Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
+        let journal = Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
         let mut h = JournalHandle::new(journal, 4, Recorder::disabled());
         assert!(h.append(&JobEvent::Started { id: 1 }));
         assert!(!h.degraded());
@@ -655,13 +672,9 @@ mod tests {
 
     #[test]
     fn degraded_backlog_flushes_in_admission_order() {
-        let dir = std::env::temp_dir().join(format!(
-            "swlb-journal-order-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("swlb-journal-order-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let journal =
-            Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
+        let journal = Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
         let mut h = JournalHandle::new(journal, 8, Recorder::disabled());
 
         // A lands on disk; B and C buffer while degraded; D arrives after
@@ -696,13 +709,9 @@ mod tests {
 
     #[test]
     fn retract_never_removes_a_flushed_or_unrelated_record() {
-        let dir = std::env::temp_dir().join(format!(
-            "swlb-journal-retract-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("swlb-journal-retract-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let journal =
-            Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
+        let journal = Journal::open(&dir, swlb_io::journal::JournalConfig::default()).unwrap();
         let mut h = JournalHandle::new(journal, 8, Recorder::disabled());
 
         // Flushed record: append succeeded, buffer is empty, so a retract of

@@ -63,6 +63,7 @@
 //!         nx: 16, ny: 16, nz: 1,
 //!         tau: 0.8, u_lattice: 0.05,
 //!         storage: StorageScheme::Aa,  // single-grid: half the footprint
+//!         time_block: 1,
 //!     },
 //!     steps: 64,
 //!     priority: Priority::Interactive,

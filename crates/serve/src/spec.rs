@@ -2,8 +2,8 @@
 
 use crate::json::Json;
 use swlb_core::layout::StorageScheme;
-use swlb_sim::cases::{CaseKind, CaseSpec, LatticeKind};
 use swlb_obs::SwlbError;
+use swlb_sim::cases::{CaseKind, CaseSpec, LatticeKind};
 
 /// Scheduling class of a job.
 ///
@@ -155,6 +155,13 @@ impl JobSpec {
         if self.width > 1 {
             m.push(("width".to_string(), Json::num(self.width as f64)));
         }
+        // Same convention for temporal blocking: depth-1 specs omit the key.
+        if self.case.time_block > 1 {
+            m.push((
+                "time_block".to_string(),
+                Json::num(self.case.time_block as f64),
+            ));
+        }
         Json::Obj(m)
     }
 
@@ -172,7 +179,9 @@ impl JobSpec {
         };
         let u64_field = |key: &str| {
             field(key)?.as_u64().ok_or_else(|| {
-                SwlbError::CorruptData(format!("job spec key {key:?} must be a non-negative integer"))
+                SwlbError::CorruptData(format!(
+                    "job spec key {key:?} must be a non-negative integer"
+                ))
             })
         };
         let f64_field = |key: &str| {
@@ -224,6 +233,15 @@ impl JobSpec {
                 tau: f64_field("tau")?,
                 u_lattice: f64_field("u")?,
                 storage,
+                // Missing key (pre-temporal-blocking specs) => depth 1.
+                time_block: match v.get("time_block") {
+                    None => 1,
+                    Some(j) => j.as_u64().map(|k| k as usize).ok_or_else(|| {
+                        SwlbError::CorruptData(
+                            "job spec key \"time_block\" must be a non-negative integer".into(),
+                        )
+                    })?,
+                },
             },
             steps: u64_field("steps")?,
             priority,
@@ -233,13 +251,14 @@ impl JobSpec {
             // Missing key (pre-elastic specs and journal records) => serial.
             width: match v.get("width") {
                 None => 1,
-                Some(j) => j.as_u64().and_then(|w| u32::try_from(w).ok()).ok_or_else(
-                    || {
+                Some(j) => j
+                    .as_u64()
+                    .and_then(|w| u32::try_from(w).ok())
+                    .ok_or_else(|| {
                         SwlbError::CorruptData(
                             "job spec key \"width\" must be a non-negative integer".into(),
                         )
-                    },
-                )?,
+                    })?,
             },
         };
         spec.validate()?;
@@ -310,6 +329,7 @@ mod tests {
                 tau: 0.8,
                 u_lattice: 0.05,
                 storage: StorageScheme::Ab,
+                time_block: 1,
             },
             steps: 200,
             priority: Priority::Batch,
@@ -390,6 +410,33 @@ mod tests {
             spec.width = bad;
             assert!(spec.validate().is_err(), "width {bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn time_block_key_is_optional_and_validated() {
+        // Pre-temporal-blocking submissions have no "time_block" key: they
+        // must decode as depth 1 (blocking disabled).
+        let Json::Obj(mut m) = sample_spec().to_json() else {
+            unreachable!()
+        };
+        m.retain(|(k, _)| k != "time_block");
+        let back = JobSpec::from_json(&Json::Obj(m)).unwrap();
+        assert_eq!(back.case.time_block, 1);
+
+        // Depth > 1 round-trips through the wire form.
+        let mut blocked = sample_spec();
+        blocked.case.time_block = 4;
+        let back = JobSpec::from_json(&blocked.to_json()).unwrap();
+        assert_eq!(back, blocked);
+
+        // Zero depth and odd AA depth fail CaseSpec validation at decode time.
+        let mut zero = sample_spec();
+        zero.case.time_block = 0;
+        assert!(zero.validate().is_err());
+        let mut odd_aa = sample_spec();
+        odd_aa.case.storage = StorageScheme::Aa;
+        odd_aa.case.time_block = 3;
+        assert!(JobSpec::from_json(&odd_aa.to_json()).is_err());
     }
 
     #[test]

@@ -117,29 +117,27 @@ impl JobRecord {
             ("restarts", Json::num(self.restarts as f64)),
             ("recovered", Json::Bool(self.recovered)),
             ("mlups", Json::num(mlups)),
-            (
-                "kernel",
-                self.kernel.map_or(Json::Null, Json::str),
-            ),
+            ("kernel", self.kernel.map_or(Json::Null, Json::str)),
             (
                 "deadline_ms",
                 self.spec
                     .deadline_ms
                     .map_or(Json::Null, |d| Json::num(d as f64)),
             ),
-            (
-                "error",
-                self.error
-                    .as_deref()
-                    .map_or(Json::Null, Json::str),
-            ),
+            ("error", self.error.as_deref().map_or(Json::Null, Json::str)),
         ])
     }
 }
 
 /// A blank record for `id`/`seq` in the given spec — shared by admission and
 /// journal-replay restore so the two paths cannot drift.
-fn blank_record(id: u64, seq: u64, spec: JobSpec, submit_slice: u64, recorder: Recorder) -> JobRecord {
+fn blank_record(
+    id: u64,
+    seq: u64,
+    spec: JobSpec,
+    submit_slice: u64,
+    recorder: Recorder,
+) -> JobRecord {
     let width = spec.width.max(1);
     JobRecord {
         id,
@@ -465,6 +463,7 @@ mod tests {
                 tau: 0.8,
                 u_lattice: 0.05,
                 storage: swlb_core::layout::StorageScheme::Ab,
+                time_block: 1,
             },
             steps: 100,
             priority,
@@ -479,8 +478,10 @@ mod tests {
     fn admission_bounces_at_capacity() {
         let shared = Shared::new(2);
         let mut st = shared.lock_state();
-        st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
-        st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        st.admit(spec(Priority::Batch), Recorder::disabled())
+            .unwrap();
+        st.admit(spec(Priority::Batch), Recorder::disabled())
+            .unwrap();
         match st.admit(spec(Priority::Batch), Recorder::disabled()) {
             Err(SwlbError::Rejected { capacity: 2 }) => {}
             other => panic!("expected Rejected, got {other:?}"),
@@ -488,14 +489,18 @@ mod tests {
         assert_eq!(st.rejected, 1);
         // A terminal job frees a slot.
         st.jobs[0].state = JobState::Completed;
-        assert!(st.admit(spec(Priority::Batch), Recorder::disabled()).is_ok());
+        assert!(st
+            .admit(spec(Priority::Batch), Recorder::disabled())
+            .is_ok());
     }
 
     #[test]
     fn fresh_interactive_job_wins_next_slice() {
         let shared = Shared::new(8);
         let mut st = shared.lock_state();
-        let batch = st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        let batch = st
+            .admit(spec(Priority::Batch), Recorder::disabled())
+            .unwrap();
         // The batch job has been running a while: charged runtime.
         st.job_mut(batch).unwrap().vruntime = 48.0;
         let short = st
@@ -514,7 +519,9 @@ mod tests {
     fn wait_accounting_counts_slices_between_submit_and_first_run() {
         let shared = Shared::new(8);
         let mut st = shared.lock_state();
-        let id = st.admit(spec(Priority::Interactive), Recorder::disabled()).unwrap();
+        let id = st
+            .admit(spec(Priority::Interactive), Recorder::disabled())
+            .unwrap();
         assert_eq!(st.job(id).unwrap().wait_slices(), None);
         // One slice of someone else starts, then ours.
         st.slice_seq += 1;
@@ -527,7 +534,9 @@ mod tests {
     fn events_append_and_carry_standard_fields() {
         let shared = Shared::new(2);
         let mut st = shared.lock_state();
-        let id = st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        let id = st
+            .admit(spec(Priority::Batch), Recorder::disabled())
+            .unwrap();
         shared.push_event(&mut st, id, "queued", vec![]);
         shared.push_event(&mut st, id, "started", vec![("slice", Json::num(1.0))]);
         let ev = &st.job(id).unwrap().events;
@@ -581,7 +590,9 @@ mod tests {
         assert!(st.job(3).unwrap().recovered);
         assert_eq!(st.job(1).unwrap().state, JobState::Completed);
         // The next fresh admission continues past the replayed ids.
-        let id = st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        let id = st
+            .admit(spec(Priority::Batch), Recorder::disabled())
+            .unwrap();
         assert_eq!(id, 4);
         assert_eq!(st.job(4).unwrap().seq, 3);
     }
@@ -599,22 +610,21 @@ mod tests {
         // The next taker recovers the guard instead of propagating.
         let mut st = shared.lock_state();
         assert_eq!(shared.lock_recoveries.load(Ordering::Relaxed), 1);
-        assert!(st.admit(spec(Priority::Batch), Recorder::disabled()).is_ok());
+        assert!(st
+            .admit(spec(Priority::Batch), Recorder::disabled())
+            .is_ok());
     }
 
     #[test]
     fn admission_refuses_while_journal_degraded() {
-        let dir = std::env::temp_dir().join(format!(
-            "swlb-state-journal-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("swlb-state-journal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let journal =
-            swlb_io::Journal::open(&dir, swlb_io::JournalConfig::default()).unwrap();
+        let journal = swlb_io::Journal::open(&dir, swlb_io::JournalConfig::default()).unwrap();
         let shared = Shared::new(4);
         let mut st = shared.lock_state();
         st.journal = JournalHandle::new(journal, 16, Recorder::disabled());
-        st.admit(spec(Priority::Batch), Recorder::disabled()).unwrap();
+        st.admit(spec(Priority::Batch), Recorder::disabled())
+            .unwrap();
         st.journal.set_fail_writes(true);
         match st.admit(spec(Priority::Batch), Recorder::disabled()) {
             Err(SwlbError::Unavailable(_)) => {}
@@ -624,7 +634,9 @@ mod tests {
         assert_eq!(st.jobs.len(), 1);
         assert_eq!(st.next_id, 2);
         st.journal.set_fail_writes(false);
-        assert!(st.admit(spec(Priority::Batch), Recorder::disabled()).is_ok());
+        assert!(st
+            .admit(spec(Priority::Batch), Recorder::disabled())
+            .is_ok());
         drop(st);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -113,6 +113,10 @@ pub struct CaseSpec {
     /// the job's resident footprint but supports closed boundaries only, so
     /// [`CaseKind::Channel`] (inflow/outflow) must run under AB.
     pub storage: StorageScheme,
+    /// Temporal-blocking depth `k` (1 disables blocking). Each sweep advances
+    /// the grid `k` steps; distributed slices exchange `k`-deep halos once per
+    /// block. AA storage requires an even depth.
+    pub time_block: usize,
 }
 
 /// Cell-count admission cap: a service must bound the memory one job can
@@ -157,6 +161,18 @@ impl CaseSpec {
                     .into(),
             ));
         }
+        if self.time_block == 0 {
+            return Err(SwlbError::InvalidConfig(
+                "time_block must be >= 1 (1 disables temporal blocking)".into(),
+            ));
+        }
+        if self.storage == StorageScheme::Aa && self.time_block > 1 && !self.time_block.is_multiple_of(2) {
+            return Err(SwlbError::InvalidConfig(format!(
+                "AA-pattern temporal blocking needs an even depth (a block must end \
+                 on a completed odd/even step pair); got time_block = {}",
+                self.time_block
+            )));
+        }
         Ok(())
     }
 
@@ -171,6 +187,7 @@ impl CaseSpec {
                     .pool(pool)
                     .recorder(recorder)
                     .storage(self.storage)
+                    .time_block(self.time_block)
                     .try_build()?;
                 self.paint(&mut s);
                 Ok(CaseSolver::D2(s))
@@ -180,6 +197,7 @@ impl CaseSpec {
                     .pool(pool)
                     .recorder(recorder)
                     .storage(self.storage)
+                    .time_block(self.time_block)
                     .try_build()?;
                 self.paint(&mut s);
                 Ok(CaseSolver::D3(s))
@@ -197,7 +215,7 @@ impl CaseSpec {
         recorder: Recorder,
         width: u32,
     ) -> Result<CaseSolver, SwlbError> {
-        let inner = self.build(pool, recorder)?;
+        let inner = self.build(pool, recorder.clone())?;
         if width <= 1 {
             return Ok(inner);
         }
@@ -205,6 +223,7 @@ impl CaseSpec {
             inner,
             self.clone(),
             width,
+            recorder,
         ))))
     }
 
@@ -268,12 +287,15 @@ pub struct ElasticSolver {
     /// Reused by [`CaseSolver::capture_chunked`] while still current, so
     /// checkpoints written at preemption genuinely carry one chunk per rank.
     last_capture: Option<ChunkedCheckpoint>,
+    /// The job's recorder, shared by every rank of each slice so the
+    /// `halo.messages` / `halo.bytes` counters accumulate job-wide totals.
+    recorder: Recorder,
 }
 
 impl ElasticSolver {
     /// Wrap a freshly built (or restored) serial solver. `width` is clamped
     /// to ≥ 1; `inner` must not itself be elastic.
-    pub fn new(inner: CaseSolver, spec: CaseSpec, width: u32) -> Self {
+    pub fn new(inner: CaseSolver, spec: CaseSpec, width: u32, recorder: Recorder) -> Self {
         assert!(
             !matches!(inner, CaseSolver::Elastic(_)),
             "elastic solvers do not nest"
@@ -283,6 +305,7 @@ impl ElasticSolver {
             spec,
             width: width.max(1),
             last_capture: None,
+            recorder,
         }
     }
 
@@ -302,12 +325,20 @@ impl ElasticSolver {
     fn run_slice(&mut self, n: u64) -> Result<(), SwlbError> {
         let state = self.inner.capture_chunked();
         let new_state = match self.spec.lattice {
-            LatticeKind::D2Q9 => {
-                run_distributed_slice::<D2Q9>(&self.spec, self.width as usize, &state, n)?
-            }
-            LatticeKind::D3Q19 => {
-                run_distributed_slice::<D3Q19>(&self.spec, self.width as usize, &state, n)?
-            }
+            LatticeKind::D2Q9 => run_distributed_slice::<D2Q9>(
+                &self.spec,
+                self.width as usize,
+                &state,
+                n,
+                &self.recorder,
+            )?,
+            LatticeKind::D3Q19 => run_distributed_slice::<D3Q19>(
+                &self.spec,
+                self.width as usize,
+                &state,
+                n,
+                &self.recorder,
+            )?,
         };
         self.inner.restore_chunked_state(&new_state)?;
         self.last_capture = Some(new_state);
@@ -340,6 +371,7 @@ fn run_distributed_slice<L: Lattice>(
     width: usize,
     state: &ChunkedCheckpoint,
     steps: u64,
+    recorder: &Recorder,
 ) -> Result<ChunkedCheckpoint, SwlbError> {
     let dims = spec.dims();
     let mut flags = FlagField::new(dims);
@@ -350,6 +382,8 @@ fn run_distributed_slice<L: Lattice>(
         let mut s = DistributedSolver::<L>::builder(&comm, dims, flags_ref, coll)
             .exchange(ExchangeMode::OnTheFly)
             .storage(spec.storage)
+            .time_block(spec.time_block)
+            .recorder(recorder.clone())
             .try_build()?;
         s.restore_chunked(if comm.rank() == 0 { Some(state) } else { None })?;
         s.run(steps)?;
@@ -677,6 +711,7 @@ mod tests {
             tau: 0.8,
             u_lattice: 0.05,
             storage: StorageScheme::Ab,
+            time_block: 1,
         }
     }
 
@@ -721,6 +756,7 @@ mod tests {
                         tau: 0.8,
                         u_lattice: 0.05,
                         storage,
+                        time_block: 1,
                     };
                     if case == CaseKind::Channel && storage == StorageScheme::Aa {
                         // Open boundaries are AB-only; validated below.
@@ -770,7 +806,10 @@ mod tests {
                 continue;
             }
             assert!((ra[i] - rb[i]).abs() <= tol, "AA vs AB rho mismatch at {i}");
-            assert!((rb[i] - rc[i]).abs() <= tol, "restored vs AA rho mismatch at {i}");
+            assert!(
+                (rb[i] - rc[i]).abs() <= tol,
+                "restored vs AA rho mismatch at {i}"
+            );
         }
     }
 
@@ -904,7 +943,9 @@ mod tests {
 
     #[test]
     fn poison_trips_divergence_check() {
-        let mut solver = spec().build(ThreadPool::new(1), Recorder::disabled()).unwrap();
+        let mut solver = spec()
+            .build(ThreadPool::new(1), Recorder::disabled())
+            .unwrap();
         solver.run_checked(2, 2).unwrap();
         solver.poison_with_nan();
         assert!(solver.has_non_finite());

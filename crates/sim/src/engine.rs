@@ -35,6 +35,39 @@
 //!   slots and the mailbox slots of adjacent walls, all of which the rank's
 //!   own odd step wrote locally: even steps need **no communication at all** —
 //!   the AA scheme halves both the resident set and the halo traffic.
+//!
+//! ## Depth-k temporal blocking (deep halos)
+//!
+//! With `time_block(k)` (k > 1) each rank's ghost ring is `k` cells deep and
+//! the halo exchange runs **once per k steps** instead of once per step. A
+//! block starts with the deep exchange, then advances the grid `k` times,
+//! shrinking the computed rectangle by one ghost layer per intra-block step:
+//! step `s` (1-based) computes the owned block *expanded* by `e = k − s` ghost
+//! layers. The expanded region redundantly recomputes ghost cells with exactly
+//! the data the owning neighbor uses (the flags there sample the same global
+//! field), so owned cells after every intra-block step are identical to a
+//! per-step exchange — results stay bit-identical to `k = 1` on
+//! scalar-semantics lanes and within the usual dispatch tolerance otherwise.
+//! Validity accounting per scheme:
+//!
+//! - **AB** pulls from distance 1, so validity shrinks by one layer per step:
+//!   step `s` may compute to depth `k − s` because depth `k − s + 1 ≤ k` was
+//!   valid before it.
+//! - **AA** alternates the odd (gather + scatter, shrinks validity by two
+//!   layers) and even (cell-local, shrinks by zero) flavors; the same
+//!   `e = k − s` schedule is exactly tight for even `k`, which is why the
+//!   builder requires it. The odd-step scatters that `k = 1` returns with a
+//!   post-exchange are instead *recomputed* by the neighbor inside its own
+//!   ghost ring, so a blocked AA step needs the pre-exchange only.
+//!
+//! When a subdomain is shallower than the ring (`ln < k`) one exchange cannot
+//! fill it, so the exchange repeats for `R = ceil(k / min_ln)` rounds (tags
+//! `64 + 16·(round−1) + d` past round 0): each round forwards what the
+//! previous round made valid, advancing the valid front by at least `min_ln`
+//! layers per round. Checkpoint capture stays valid mid-block (owned cells are
+//! always current); restore lands on a block *boundary* — it resets the
+//! intra-block phase so the next step re-exchanges before anything reads the
+//! (then stale) ghosts.
 
 use crate::partition::Partition2d;
 use std::ops::Range;
@@ -75,6 +108,22 @@ fn opposite_dir(d: usize) -> usize {
 /// Tag base of the AA odd-step post-exchange (ghost-scatter return traffic);
 /// the pre-exchange uses tags `0..8` and the restart scatter uses `40`.
 const AA_POST_TAG_BASE: u64 = 8;
+
+/// Tag base of deep-halo exchange rounds past the first: round `r ≥ 1` in
+/// direction `d` uses `ROUND_TAG_BASE + ROUND_TAG_STRIDE·(r−1) + d`, keeping
+/// every round's 8 strips distinguishable from round 0 (`0..8`), the AA
+/// post-exchange (`8..16`) and the restart tags (`40`, `41`).
+const ROUND_TAG_BASE: u64 = 64;
+const ROUND_TAG_STRIDE: u64 = 16;
+
+/// The tag of halo direction `d` in exchange round `round`.
+fn round_tag(round: usize, d: usize) -> u64 {
+    if round == 0 {
+        d as u64
+    } else {
+        ROUND_TAG_BASE + ROUND_TAG_STRIDE * (round as u64 - 1) + d as u64
+    }
+}
 
 /// Retry/backoff policy for halo receives.
 ///
@@ -138,6 +187,18 @@ pub struct DistributedSolver<'c, L: Lattice, C: Communicator = Comm> {
     mode: ExchangeMode,
     lnx: usize,
     lny: usize,
+    /// Temporal-blocking depth: steps advanced per halo exchange.
+    time_block: usize,
+    /// Ghost-ring width (= `time_block`). The owned block is
+    /// `halo..halo+lnx × halo..halo+lny` in local coordinates.
+    halo: usize,
+    /// Exchange rounds per deep-halo fill: 1 unless some subdomain is
+    /// shallower than the ring (see the module docs).
+    rounds: usize,
+    /// Intra-block phase `0..time_block`; 0 means the next step starts a
+    /// block (exchanges halos). Reset by initialize/restore so a resumed run
+    /// never reads stale ghosts.
+    phase: usize,
     /// Execution pipeline for the inner rectangle: the same pooled + z-blocked
     /// dispatch the shared-memory [`Solver`](swlb_core::solver::Solver) uses.
     pool: ThreadPool,
@@ -169,15 +230,17 @@ pub struct DistributedSolver<'c, L: Lattice, C: Communicator = Comm> {
     obs_timeouts: Counter,
     obs_corrupt: Counter,
     obs_halo_us: Histogram,
+    obs_halo_msgs: Counter,
+    obs_halo_bytes: Counter,
     obs_kernel_class: Gauge,
 }
 
 /// Interior (halo-ring-excluded) fluid-cell count of a local grid.
-fn count_active(flags: &FlagField, lnx: usize, lny: usize) -> usize {
+fn count_active(flags: &FlagField, lnx: usize, lny: usize, h: usize) -> usize {
     let local = flags.dims();
     let mut active = 0;
-    for y in 1..=lny {
-        for x in 1..=lnx {
+    for y in h..h + lny {
+        for x in h..h + lnx {
             for z in 0..local.nz {
                 if flags.kind(local.idx(x, y, z)).is_fluid() {
                     active += 1;
@@ -206,6 +269,7 @@ pub struct DistributedSolverBuilder<'c, 'f, L: Lattice, C: Communicator = Comm> 
     retry: HaloRetry,
     recorder: Recorder,
     pool: Option<ThreadPool>,
+    time_block: usize,
     _lattice: std::marker::PhantomData<L>,
 }
 
@@ -227,8 +291,17 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             retry: HaloRetry::default(),
             recorder: Recorder::disabled(),
             pool: None,
+            time_block: 1,
             _lattice: std::marker::PhantomData,
         }
+    }
+
+    /// Advance `k` steps per halo exchange with a `k`-deep ghost ring
+    /// (default 1 — exchange every step). AA storage requires an even `k` so
+    /// a block ends at the canonical `Reversed` parity.
+    pub fn time_block(mut self, k: usize) -> Self {
+        self.time_block = k;
+        self
     }
 
     /// Run this rank's inner rectangle on the given thread pool (default: a
@@ -293,12 +366,38 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
                 )));
             }
         }
+        if self.time_block == 0 {
+            return Err(SwlbError::InvalidConfig(
+                "time_block must be >= 1 (1 disables temporal blocking)".into(),
+            ));
+        }
+        if self.storage == StorageScheme::Aa && self.time_block > 1 && self.time_block % 2 == 1 {
+            return Err(SwlbError::InvalidConfig(format!(
+                "AA-pattern storage needs an even time_block so a block ends at the canonical \
+                 Reversed parity; got {}",
+                self.time_block
+            )));
+        }
         let comm = self.comm;
+        let h = self.time_block;
         let part = Partition2d::new(self.global, comm.size());
         let ((_, lnx), (_, lny)) = part.owned(comm.rank());
-        let flags = part.local_flags(comm.rank(), self.global_flags);
-        let local = part.local_dims(comm.rank());
-        let active = count_active(&flags, lnx, lny);
+        let flags = part.local_flags_h(comm.rank(), self.global_flags, h);
+        let local = part.local_dims_h(comm.rank(), h);
+        let active = count_active(&flags, lnx, lny, h);
+        // Rounds needed to fill an h-deep ring when subdomains may be
+        // shallower than h: each round advances the valid front by at least
+        // the shallowest owned extent along that axis. Every rank must agree,
+        // so the minima run over the whole layout, not this rank.
+        let min_lnx = (0..part.cart.px)
+            .map(|cx| swlb_comm::Cart2d::block_range(self.global.nx, part.cart.px, cx).1)
+            .min()
+            .expect("at least one column");
+        let min_lny = (0..part.cart.py)
+            .map(|cy| swlb_comm::Cart2d::block_range(self.global.ny, part.cart.py, cy).1)
+            .min()
+            .expect("at least one row");
+        let rounds = h.div_ceil(min_lnx).max(h.div_ceil(min_lny)).max(1);
         let recorder = self.recorder;
         let interior = InteriorIndex::build::<L>(&flags);
         Ok(DistributedSolver {
@@ -310,6 +409,10 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             mode: self.mode,
             lnx,
             lny,
+            time_block: self.time_block,
+            halo: h,
+            rounds,
+            phase: 0,
             pool: self.pool.unwrap_or_else(|| ThreadPool::new(1)),
             interior,
             interior_dirty: false,
@@ -326,6 +429,8 @@ impl<'c, 'f, L: Lattice, C: Communicator> DistributedSolverBuilder<'c, 'f, L, C>
             obs_timeouts: recorder.counter("halo.timeouts"),
             obs_corrupt: recorder.counter("halo.corrupt"),
             obs_halo_us: recorder.histogram("halo.latency_us", &exponential_buckets(10.0, 4.0, 8)),
+            obs_halo_msgs: recorder.counter("halo.messages"),
+            obs_halo_bytes: recorder.counter("halo.bytes"),
             obs_kernel_class: recorder.gauge("kernel_class"),
             recorder,
         })
@@ -390,6 +495,23 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         self.step
     }
 
+    /// Temporal-blocking depth (steps per halo exchange; 1 = unblocked).
+    pub fn time_block(&self) -> usize {
+        self.time_block
+    }
+
+    /// Ghost-ring width in cells (= [`DistributedSolver::time_block`]).
+    pub fn halo_width(&self) -> usize {
+        self.halo
+    }
+
+    /// Intra-block phase `0..time_block`; 0 means the next step starts a new
+    /// block (and pays the halo exchange). Checkpoint capture is valid at any
+    /// phase, but a *restore* always resumes at phase 0.
+    pub fn block_phase(&self) -> usize {
+        self.phase
+    }
+
     /// The partition (for output assembly).
     pub fn partition(&self) -> Partition2d {
         self.part
@@ -429,7 +551,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 );
             }
             self.interior = InteriorIndex::build::<L>(&self.flags);
-            self.active = count_active(&self.flags, self.lnx, self.lny);
+            self.active = count_active(&self.flags, self.lnx, self.lny, self.halo);
             self.interior_dirty = false;
         }
     }
@@ -454,11 +576,12 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let rank = self.comm.rank();
         let global = part.global;
         let ((x0, _), (y0, _)) = part.owned(rank);
+        let h = self.halo;
         let flags = self.flags.clone();
         swlb_core::kernels::initialize_with::<L, _>(&flags, self.store.state_mut(), |lx, ly, z| {
-            let gx = (x0 + global.nx + lx - 1) % global.nx;
-            let gy = (y0 + global.ny + ly - 1) % global.ny;
-            state(gx, gy, z)
+            let gx = (x0 as isize + lx as isize - h as isize).rem_euclid(global.nx as isize);
+            let gy = (y0 as isize + ly as isize - h as isize).rem_euclid(global.ny as isize);
+            state(gx as usize, gy as usize, z)
         });
         // The initializer writes the canonical (AB-ordered) state; convert to
         // the scheme's raw representation.
@@ -467,6 +590,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             *parity = AaParity::Reversed;
         }
         self.step = 0;
+        self.phase = 0;
     }
 
     /// Initialize to a uniform equilibrium.
@@ -474,22 +598,25 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         self.initialize_with(|_, _, _| (rho, u));
     }
 
-    /// Send ranges (interior strip) for direction component `d ∈ {−1, 0, +1}`
-    /// along an axis with `ln` interior cells.
-    fn send_range(d: i32, ln: usize) -> Range<usize> {
+    /// Send ranges for direction component `d ∈ {−1, 0, +1}` along an axis
+    /// with `ln` owned cells and an `h`-deep ghost ring: the `h` cells
+    /// adjacent to that neighbor. When `ln < h` the strip dips into this
+    /// rank's own ghost ring — valid in multi-round exchanges, where earlier
+    /// rounds filled it (see the module docs).
+    fn send_range(d: i32, ln: usize, h: usize) -> Range<usize> {
         match d {
-            1 => ln..ln + 1,
-            -1 => 1..2,
-            _ => 1..ln + 1,
+            1 => ln..ln + h,
+            -1 => h..2 * h,
+            _ => h..ln + h,
         }
     }
 
-    /// Receive (halo) ranges for direction component `d`.
-    fn recv_range(d: i32, ln: usize) -> Range<usize> {
+    /// Receive (ghost) ranges for direction component `d`.
+    fn recv_range(d: i32, ln: usize, h: usize) -> Range<usize> {
         match d {
-            1 => ln + 1..ln + 2,
-            -1 => 0..1,
-            _ => 1..ln + 1,
+            1 => ln + h..ln + 2 * h,
+            -1 => 0..h,
+            _ => h..ln + h,
         }
     }
 
@@ -532,10 +659,11 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         assert!(it.next().is_none(), "halo message too long");
     }
 
-    /// Post all 8 halo sends of the current state. Each frame is built in
-    /// place in the reusable send buffer: `[epoch, step, crc]` header, then
-    /// the packed strip, then the checksum filled into its slot.
-    fn post_sends(&mut self) -> Result<(), CommError> {
+    /// Post all 8 halo sends of the current state for exchange round `round`.
+    /// Each frame is built in place in the reusable send buffer:
+    /// `[epoch, step, crc]` header, then the packed strip, then the checksum
+    /// filled into its slot.
+    fn post_sends(&mut self, round: usize) -> Result<(), CommError> {
         let mut buf = std::mem::take(&mut self.send_buf);
         let result = (|| {
             for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
@@ -547,12 +675,15 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 buf.clear();
                 buf.resize(FRAME_HEADER, 0.0);
                 self.pack_into(
-                    Self::send_range(*dx, self.lnx),
-                    Self::send_range(*dy, self.lny),
+                    Self::send_range(*dx, self.lnx, self.halo),
+                    Self::send_range(*dy, self.lny, self.halo),
                     &mut buf,
                 );
                 seal_frame(&mut buf, self.epoch, self.step);
-                self.comm.send_buffered(dst, d as u64, &buf)?;
+                self.obs_halo_msgs.inc();
+                self.obs_halo_bytes
+                    .add((buf.len() * std::mem::size_of::<f64>()) as u64);
+                self.comm.send_buffered(dst, round_tag(round, d), &buf)?;
             }
             Ok(())
         })();
@@ -623,8 +754,9 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         }
     }
 
-    /// Receive all 8 halo strips into the current state's ring.
-    fn recv_halos(&mut self) -> Result<(), CommError> {
+    /// Receive all 8 halo strips of exchange round `round` into the current
+    /// state's ring.
+    fn recv_halos(&mut self, round: usize) -> Result<(), CommError> {
         let mut buf = std::mem::take(&mut self.recv_buf);
         let result = (|| {
             for (d, (dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
@@ -634,7 +766,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                     .neighbor(self.comm.rank(), *dx, *dy)
                     .expect("periodic topology always has neighbors");
                 let t_recv = self.recorder.now();
-                self.recv_framed_into(src_rank, opposite_dir(d) as u64, &mut buf)?;
+                self.recv_framed_into(src_rank, round_tag(round, opposite_dir(d)), &mut buf)?;
                 if let Some(t) = t_recv {
                     let ns = t.elapsed().as_nanos() as u64;
                     self.recorder.record_phase_ns(Phase::HaloExchange, ns);
@@ -643,8 +775,8 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 let rec = self.recorder.clone();
                 let _unpack = rec.phase(Phase::HaloUnpack);
                 self.unpack(
-                    Self::recv_range(*dx, self.lnx),
-                    Self::recv_range(*dy, self.lny),
+                    Self::recv_range(*dx, self.lnx, self.halo),
+                    Self::recv_range(*dy, self.lny, self.halo),
                     &buf[FRAME_HEADER..],
                 );
             }
@@ -652,6 +784,22 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         })();
         self.recv_buf = buf;
         result
+    }
+
+    /// Complete a deep-halo exchange whose round-0 sends are already posted:
+    /// receive round 0, then run any further rounds needed to fill a ring
+    /// deeper than the shallowest subdomain.
+    fn finish_exchange(&mut self) -> Result<(), CommError> {
+        self.recv_halos(0)?;
+        for round in 1..self.rounds {
+            {
+                let rec = self.recorder.clone();
+                let _pack = rec.phase(Phase::HaloPack);
+                self.post_sends(round)?;
+            }
+            self.recv_halos(round)?;
+        }
+        Ok(())
     }
 
     /// Fused stream+collide over the inner rectangle `2..lnx × 2..lny` (the
@@ -665,17 +813,31 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             self.last_class = KernelClass::Generic;
             return;
         }
+        let (xr, yr) = self.inner_ranges();
         let collision = self.collision;
         let flags = &self.flags;
         let pool = &self.pool;
         let interior = &self.interior;
-        let (xr, yr) = (2..self.lnx, 2..self.lny);
         let Storage::Ab(bufs) = &mut self.store else {
             unreachable!("step_inner is the AB path")
         };
         let (src, dst) = bufs.pair_mut();
         let class = pool.step_rect::<L, _>(flags, src, dst, &collision, xr, yr, Some(interior));
         self.last_class = class;
+    }
+
+    /// The inner rectangle: owned cells whose step-1 pulls and scatters touch
+    /// no ghost cell (empty for degenerate subdomains).
+    fn inner_ranges(&self) -> (Range<usize>, Range<usize>) {
+        let h = self.halo;
+        (h + 1..h + self.lnx - 1, h + 1..h + self.lny - 1)
+    }
+
+    /// The owned block expanded by `e` ghost layers on every side.
+    fn expanded_ranges(&self, e: usize) -> (Range<usize>, Range<usize>) {
+        let h = self.halo;
+        debug_assert!(e < h, "expansion exceeds the ring");
+        (h - e..h + self.lnx + e, h - e..h + self.lny + e)
     }
 
     /// Fused stream+collide over the boundary ring (the four strips adjacent
@@ -686,14 +848,15 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
     /// whole subdomain.
     fn step_ring(&mut self) {
         let (lnx, lny) = (self.lnx, self.lny);
-        self.step_rect(1..lnx + 1, 1..2); // south row
+        let h = self.halo;
+        self.step_rect(h..h + lnx, h..h + 1); // south row
         if lny > 1 {
-            self.step_rect(1..lnx + 1, lny..lny + 1); // north row
+            self.step_rect(h..h + lnx, h + lny - 1..h + lny); // north row
         }
         if lny > 2 {
-            self.step_rect(1..2, 2..lny); // west column
+            self.step_rect(h..h + 1, h + 1..h + lny - 1); // west column
             if lnx > 1 {
-                self.step_rect(lnx..lnx + 1, 2..lny); // east column
+                self.step_rect(h + lnx - 1..h + lnx, h + 1..h + lny - 1); // east column
             }
         }
     }
@@ -734,15 +897,16 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             self.last_class = KernelClass::Generic;
             return;
         }
+        let (xr, yr) = self.inner_ranges();
         let collision = self.collision;
         let flags = &self.flags;
         let pool = &self.pool;
         let interior = &self.interior;
-        let (xr, yr) = (2..self.lnx, 2..self.lny);
         let Storage::Aa { field, parity } = &mut self.store else {
             unreachable!("aa_step_inner is the AA path")
         };
-        let class = pool.aa_step_rect::<L>(flags, field, &collision, *parity, xr, yr, Some(interior));
+        let class =
+            pool.aa_step_rect::<L>(flags, field, &collision, *parity, xr, yr, Some(interior));
         self.last_class = class;
     }
 
@@ -753,14 +917,15 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
     /// bit-identical.
     fn aa_step_ring(&mut self) {
         let (lnx, lny) = (self.lnx, self.lny);
-        self.aa_step_rect(1..lnx + 1, 1..2); // south row
+        let h = self.halo;
+        self.aa_step_rect(h..h + lnx, h..h + 1); // south row
         if lny > 1 {
-            self.aa_step_rect(1..lnx + 1, lny..lny + 1); // north row
+            self.aa_step_rect(h..h + lnx, h + lny - 1..h + lny); // north row
         }
         if lny > 2 {
-            self.aa_step_rect(1..2, 2..lny); // west column
+            self.aa_step_rect(h..h + 1, h + 1..h + lny - 1); // west column
             if lnx > 1 {
-                self.aa_step_rect(lnx..lnx + 1, 2..lny); // east column
+                self.aa_step_rect(h + lnx - 1..h + lnx, h + 1..h + lny - 1); // east column
             }
         }
     }
@@ -782,11 +947,13 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let flags = &self.flags;
         let pool = &self.pool;
         let interior = &self.interior;
-        let (xr, yr) = (1..self.lnx + 1, 1..self.lny + 1);
+        let h = self.halo;
+        let (xr, yr) = (h..h + self.lnx, h..h + self.lny);
         let Storage::Aa { field, parity } = &mut self.store else {
             unreachable!("aa_step_owned is the AA path")
         };
-        let class = pool.aa_step_rect::<L>(flags, field, &collision, *parity, xr, yr, Some(interior));
+        let class =
+            pool.aa_step_rect::<L>(flags, field, &collision, *parity, xr, yr, Some(interior));
         self.last_class = class;
     }
 
@@ -809,12 +976,16 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                 buf.clear();
                 buf.resize(FRAME_HEADER, 0.0);
                 self.pack_into(
-                    Self::recv_range(*dx, self.lnx),
-                    Self::recv_range(*dy, self.lny),
+                    Self::recv_range(*dx, self.lnx, self.halo),
+                    Self::recv_range(*dy, self.lny, self.halo),
                     &mut buf,
                 );
                 seal_frame(&mut buf, self.epoch, self.step);
-                self.comm.send_buffered(dst, AA_POST_TAG_BASE + d as u64, &buf)?;
+                self.obs_halo_msgs.inc();
+                self.obs_halo_bytes
+                    .add((buf.len() * std::mem::size_of::<f64>()) as u64);
+                self.comm
+                    .send_buffered(dst, AA_POST_TAG_BASE + d as u64, &buf)?;
             }
             Ok(())
         })();
@@ -854,19 +1025,19 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
     /// iff its writer cell lies in the sender's region (beyond my owned block
     /// in exactly the directions the sender sits, in unwrapped local coords).
     fn aa_merge_strip(&mut self, dx: i32, dy: i32, data: &[f64]) {
-        fn writer_in_sender(w: isize, d: i32, ln: usize) -> bool {
+        fn writer_in_sender(w: isize, d: i32, ln: usize, h: usize) -> bool {
             match d {
-                1 => w > ln as isize,
-                -1 => w <= 0,
-                _ => w >= 1 && w <= ln as isize,
+                1 => w >= (ln + h) as isize,
+                -1 => w < h as isize,
+                _ => w >= h as isize && w < (ln + h) as isize,
             }
         }
         let dims = self.flags.dims();
-        let (lnx, lny) = (self.lnx, self.lny);
+        let (lnx, lny, h) = (self.lnx, self.lny, self.halo);
         let dst = self.store.state_mut();
         let mut it = data.iter();
-        for y in Self::send_range(dy, lny) {
-            for x in Self::send_range(dx, lnx) {
+        for y in Self::send_range(dy, lny, h) {
+            for x in Self::send_range(dx, lnx, h) {
                 for z in 0..dims.nz {
                     let cell = dims.idx(x, y, z);
                     for q in 0..L::Q {
@@ -874,7 +1045,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                         let c = L::C[q];
                         let wx = x as isize - c[0] as isize;
                         let wy = y as isize - c[1] as isize;
-                        if writer_in_sender(wx, dx, lnx) && writer_in_sender(wy, dy, lny) {
+                        if writer_in_sender(wx, dx, lnx, h) && writer_in_sender(wy, dy, lny, h) {
                             dst.set(cell, q, v);
                         }
                     }
@@ -888,7 +1059,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
     fn step_ab(&mut self, rec: &Recorder) -> Result<(), CommError> {
         {
             let _pack = rec.phase(Phase::HaloPack);
-            self.post_sends()?;
+            self.post_sends(0)?;
         }
         // Both schedules run the identical inner-rectangle (pooled, optimized)
         // and boundary-ring (generic) kernels; they differ only in *when* the
@@ -896,7 +1067,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         // keeps them bit-identical.
         match self.mode {
             ExchangeMode::Sequential => {
-                self.recv_halos()?;
+                self.recv_halos(0)?;
                 {
                     let _cs = rec.phase(Phase::CollideStream);
                     self.step_inner();
@@ -910,7 +1081,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                     let _cs = rec.phase(Phase::CollideStream);
                     self.step_inner();
                 }
-                self.recv_halos()?;
+                self.recv_halos(0)?;
                 let _bd = rec.phase(Phase::Boundary);
                 self.step_ring();
             }
@@ -922,6 +1093,153 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         Ok(())
     }
 
+    /// One pooled AB dispatch over an arbitrary rectangle of the expanded
+    /// local grid (blocked intra-block steps; ghost cells included).
+    fn ab_dispatch_rect(&mut self, xr: Range<usize>, yr: Range<usize>) {
+        let collision = self.collision;
+        let flags = &self.flags;
+        let pool = &self.pool;
+        let interior = &self.interior;
+        let Storage::Ab(bufs) = &mut self.store else {
+            unreachable!("ab_dispatch_rect is the AB path")
+        };
+        let (src, dst) = bufs.pair_mut();
+        let class = pool.step_rect::<L, _>(flags, src, dst, &collision, xr, yr, Some(interior));
+        self.last_class = class;
+    }
+
+    /// One pooled AA dispatch over an arbitrary rectangle of the expanded
+    /// local grid.
+    fn aa_dispatch_rect(&mut self, xr: Range<usize>, yr: Range<usize>) {
+        let collision = self.collision;
+        let flags = &self.flags;
+        let pool = &self.pool;
+        let interior = &self.interior;
+        let Storage::Aa { field, parity } = &mut self.store else {
+            unreachable!("aa_dispatch_rect is the AA path")
+        };
+        let class =
+            pool.aa_step_rect::<L>(flags, field, &collision, *parity, xr, yr, Some(interior));
+        self.last_class = class;
+    }
+
+    /// The frame of the expansion-`e` rectangle left after the inner
+    /// rectangle — four pooled strips (or the whole rectangle when the inner
+    /// one is empty). Per-cell results are independent of how the region is
+    /// cut into dispatch rectangles: z-runs are never split by an x/y cut, so
+    /// this decomposition is exactly as bit-stable as one big dispatch.
+    fn frame_rects(&self, e: usize) -> Vec<(Range<usize>, Range<usize>)> {
+        let (xo, yo) = self.expanded_ranges(e);
+        if self.lnx <= 2 || self.lny <= 2 {
+            return vec![(xo, yo)];
+        }
+        let (xi, yi) = self.inner_ranges();
+        vec![
+            (xo.clone(), yo.start..yi.start),       // south strip
+            (xo.clone(), yi.end..yo.end),           // north strip
+            (xo.start..xi.start, yi.start..yi.end), // west strip
+            (xi.end..xo.end, yi.start..yi.end),     // east strip
+        ]
+    }
+
+    /// One intra-block AB step under temporal blocking. Phase 0 pays the deep
+    /// exchange and computes the widest expanded rectangle; later phases
+    /// shrink by one ghost layer each and need no communication.
+    fn step_block_ab(&mut self, rec: &Recorder) -> Result<(), CommError> {
+        let s = self.phase + 1; // intra-block step, 1-based
+        let e = self.time_block - s; // ghost layers to recompute this step
+        if s == 1 {
+            {
+                let _pack = rec.phase(Phase::HaloPack);
+                self.post_sends(0)?;
+            }
+            // Same inner/frame split in both modes (so they stay
+            // bit-identical); OnTheFly just overlaps the inner rectangle with
+            // the receives.
+            match self.mode {
+                ExchangeMode::Sequential => {
+                    self.finish_exchange()?;
+                    {
+                        let _cs = rec.phase(Phase::CollideStream);
+                        self.step_inner();
+                    }
+                }
+                ExchangeMode::OnTheFly => {
+                    {
+                        let _cs = rec.phase(Phase::CollideStream);
+                        self.step_inner();
+                    }
+                    self.finish_exchange()?;
+                }
+            }
+            let _bd = rec.phase(Phase::Boundary);
+            for (xr, yr) in self.frame_rects(e) {
+                self.ab_dispatch_rect(xr, yr);
+            }
+        } else {
+            let _cs = rec.phase(Phase::CollideStream);
+            let (xr, yr) = self.expanded_ranges(e);
+            self.ab_dispatch_rect(xr, yr);
+        }
+        let Storage::Ab(bufs) = &mut self.store else {
+            unreachable!("step_block_ab is the AB path")
+        };
+        bufs.flip();
+        Ok(())
+    }
+
+    /// One intra-block AA step under temporal blocking. The odd flavor's
+    /// ghost-bound scatters are recomputed by the neighbor inside its own
+    /// ring, so blocked AA needs the phase-0 pre-exchange only — no
+    /// post-exchange (see the module docs).
+    fn step_block_aa(&mut self, rec: &Recorder) -> Result<(), CommError> {
+        let s = self.phase + 1;
+        let e = self.time_block - s;
+        if s == 1 {
+            debug_assert_eq!(
+                self.store.parity(),
+                Some(AaParity::Reversed),
+                "an AA block starts on the odd flavor"
+            );
+            {
+                let _pack = rec.phase(Phase::HaloPack);
+                self.post_sends(0)?;
+            }
+            // AA updates in place, so the overlap is sound only for a
+            // single-round exchange: with `rounds > 1` the round-1 re-pack
+            // reads strips (`send_range` spans ghost layers when `h > ln`)
+            // that the inner sweep's odd-flavor scatters have already
+            // mutated, and the deep ring would carry post-step values.
+            let overlap = self.mode == ExchangeMode::OnTheFly && self.rounds == 1;
+            if overlap {
+                {
+                    let _cs = rec.phase(Phase::CollideStream);
+                    self.aa_step_inner();
+                }
+                self.finish_exchange()?;
+            } else {
+                self.finish_exchange()?;
+                {
+                    let _cs = rec.phase(Phase::CollideStream);
+                    self.aa_step_inner();
+                }
+            }
+            let _bd = rec.phase(Phase::Boundary);
+            for (xr, yr) in self.frame_rects(e) {
+                self.aa_dispatch_rect(xr, yr);
+            }
+        } else {
+            let _cs = rec.phase(Phase::CollideStream);
+            let (xr, yr) = self.expanded_ranges(e);
+            self.aa_dispatch_rect(xr, yr);
+        }
+        let Storage::Aa { parity, .. } = &mut self.store else {
+            unreachable!("step_block_aa is the AA path")
+        };
+        *parity = parity.flip();
+        Ok(())
+    }
+
     /// One AA time step: odd flavor communicates (pre- and post-exchange),
     /// even flavor is entirely local; the parity flips afterwards.
     fn step_aa(&mut self, rec: &Recorder) -> Result<(), CommError> {
@@ -930,11 +1248,11 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             AaParity::Reversed => {
                 {
                     let _pack = rec.phase(Phase::HaloPack);
-                    self.post_sends()?;
+                    self.post_sends(0)?;
                 }
                 match self.mode {
                     ExchangeMode::Sequential => {
-                        self.recv_halos()?;
+                        self.recv_halos(0)?;
                         {
                             let _cs = rec.phase(Phase::CollideStream);
                             self.aa_step_inner();
@@ -950,7 +1268,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                             let _cs = rec.phase(Phase::CollideStream);
                             self.aa_step_inner();
                         }
-                        self.recv_halos()?;
+                        self.recv_halos(0)?;
                         let _bd = rec.phase(Phase::Boundary);
                         self.aa_step_ring();
                     }
@@ -976,10 +1294,14 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let t_step = rec.now();
         self.ensure_interior();
         self.comm.notify_step(self.step);
-        match self.store.scheme() {
-            StorageScheme::Ab => self.step_ab(&rec)?,
-            StorageScheme::Aa => self.step_aa(&rec)?,
+        let blocked = self.time_block > 1;
+        match (self.store.scheme(), blocked) {
+            (StorageScheme::Ab, false) => self.step_ab(&rec)?,
+            (StorageScheme::Aa, false) => self.step_aa(&rec)?,
+            (StorageScheme::Ab, true) => self.step_block_ab(&rec)?,
+            (StorageScheme::Aa, true) => self.step_block_aa(&rec)?,
         }
+        self.phase = (self.phase + 1) % self.time_block;
         self.step += 1;
         if let Some(t) = t_step {
             let ns = (t.elapsed().as_nanos() as u64).max(1);
@@ -1051,17 +1373,17 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let dims = self.flags.dims();
         let src = self.store.state();
         let streamed = self.store.parity() == Some(AaParity::Streamed);
+        let h = self.halo;
         let mut mass = 0.0;
-        for y in 1..=self.lny {
-            for x in 1..=self.lnx {
+        for y in h..h + self.lny {
+            for x in h..h + self.lnx {
                 for z in 0..dims.nz {
                     let cell = dims.idx(x, y, z);
                     if self.flags.kind(cell).is_fluid() {
                         for q in 0..L::Q {
                             let slot = if streamed {
                                 let c = L::C[q];
-                                let [a, b, d] =
-                                    dims.neighbor_periodic(x, y, z, [c[0], c[1], c[2]]);
+                                let [a, b, d] = dims.neighbor_periodic(x, y, z, [c[0], c[1], c[2]]);
                                 dims.idx(a, b, d)
                             } else {
                                 cell
@@ -1107,14 +1429,22 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                     }
                 }
                 if rank == 0 {
-                    self.unpack(1..self.lnx + 1, 1..self.lny + 1, &payload);
+                    self.unpack(
+                        self.halo..self.halo + self.lnx,
+                        self.halo..self.halo + self.lny,
+                        &payload,
+                    );
                 } else {
                     self.comm.send(rank, SCATTER_TAG, payload)?;
                 }
             }
         } else {
             let payload = self.comm.recv(0, SCATTER_TAG)?;
-            self.unpack(1..self.lnx + 1, 1..self.lny + 1, &payload);
+            self.unpack(
+                self.halo..self.halo + self.lnx,
+                self.halo..self.halo + self.lny,
+                &payload,
+            );
         }
         // The payload is canonical (AB-ordered); convert to the scheme's raw
         // representation. Restarting AA on the odd flavor from a canonical
@@ -1125,6 +1455,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             *parity = AaParity::Reversed;
         }
         self.step = step;
+        self.phase = 0;
         Ok(())
     }
 
@@ -1135,8 +1466,8 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let mut payload = Vec::new();
         Self::pack_strip(
             self.local_canonical().as_ref(),
-            1..self.lnx + 1,
-            1..self.lny + 1,
+            self.halo..self.halo + self.lnx,
+            self.halo..self.halo + self.lny,
             &mut payload,
         );
         let gathered = self.comm.gather_to_root(&payload)?;
@@ -1174,8 +1505,8 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
         let mut payload = Vec::new();
         Self::pack_strip(
             self.local_canonical().as_ref(),
-            1..self.lnx + 1,
-            1..self.lny + 1,
+            self.halo..self.halo + self.lnx,
+            self.halo..self.halo + self.lny,
             &mut payload,
         );
         let gathered = self.comm.gather_to_root(&payload)?;
@@ -1229,7 +1560,14 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             if ck.dims != want || ck.q != L::Q as u32 {
                 return Err(SwlbError::CorruptData(format!(
                     "checkpoint is {}x{}x{}x{}, solver needs {}x{}x{}x{}",
-                    ck.dims.0, ck.dims.1, ck.dims.2, ck.q, want.0, want.1, want.2, L::Q
+                    ck.dims.0,
+                    ck.dims.1,
+                    ck.dims.2,
+                    ck.q,
+                    want.0,
+                    want.1,
+                    want.2,
+                    L::Q
                 )));
             }
             self.comm
@@ -1241,7 +1579,11 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
                     .extract_rect(x0, y0, lnx, lny)
                     .map_err(swlb_obs::SwlbError::from)?;
                 if rank == 0 {
-                    self.unpack(1..self.lnx + 1, 1..self.lny + 1, &payload);
+                    self.unpack(
+                        self.halo..self.halo + self.lnx,
+                        self.halo..self.halo + self.lny,
+                        &payload,
+                    );
                 } else {
                     self.comm
                         .send(rank, RESHARD_TAG, payload)
@@ -1251,11 +1593,12 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             ck.step
         } else {
             let step = self.comm.broadcast(&[0.0]).map_err(SwlbError::from)?[0] as u64;
-            let payload = self
-                .comm
-                .recv(0, RESHARD_TAG)
-                .map_err(SwlbError::from)?;
-            self.unpack(1..self.lnx + 1, 1..self.lny + 1, &payload);
+            let payload = self.comm.recv(0, RESHARD_TAG).map_err(SwlbError::from)?;
+            self.unpack(
+                self.halo..self.halo + self.lnx,
+                self.halo..self.halo + self.lny,
+                &payload,
+            );
             step
         };
         // Same scheme conversion as `scatter_populations`: the payload is
@@ -1265,6 +1608,7 @@ impl<'c, L: Lattice, C: Communicator> DistributedSolver<'c, L, C> {
             *parity = AaParity::Reversed;
         }
         self.step = step;
+        self.phase = 0;
         Ok(())
     }
 }
@@ -1446,13 +1790,7 @@ mod tests {
     fn aa_six_ranks_periodic_2d_matches_reference() {
         let global = GridDims::new2d(12, 9);
         let flags = FlagField::new(global);
-        check_aa_distributed_matches_reference::<D2Q9>(
-            global,
-            flags,
-            6,
-            ExchangeMode::OnTheFly,
-            5,
-        );
+        check_aa_distributed_matches_reference::<D2Q9>(global, flags, 6, ExchangeMode::OnTheFly, 5);
     }
 
     #[test]
@@ -1476,13 +1814,7 @@ mod tests {
         // is empty and the whole odd step runs on the ring path.
         let global = GridDims::new2d(6, 4);
         let flags = FlagField::new(global);
-        check_aa_distributed_matches_reference::<D2Q9>(
-            global,
-            flags,
-            6,
-            ExchangeMode::OnTheFly,
-            6,
-        );
+        check_aa_distributed_matches_reference::<D2Q9>(global, flags, 6, ExchangeMode::OnTheFly, 6);
     }
 
     #[test]
@@ -1724,5 +2056,249 @@ mod tests {
         assert_eq!(class_after, class_before);
         assert!(runs_after > runs_before, "wall must split a z-run");
         assert_eq!(active_after, active_before - 1);
+    }
+
+    /// Distributed depth-k run vs the serial per-step reference. Exact on
+    /// scalar-semantics lanes; the dispatch tolerance absorbs fast/generic
+    /// path differences at the redundantly recomputed ghost borders.
+    fn check_blocked_matches_reference<L: Lattice>(
+        global: GridDims,
+        flags: FlagField,
+        nranks: usize,
+        mode: ExchangeMode,
+        scheme: StorageScheme,
+        time_block: usize,
+        steps: u64,
+    ) {
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        let init = |x: usize, y: usize, z: usize| {
+            let v = 0.01 * ((x * 7 + y * 3 + z) % 11) as Scalar;
+            (1.0 + v, [v * 0.1, -v * 0.05, 0.02 * v])
+        };
+        let reference = reference_run::<L>(global, &flags, &coll, steps, init);
+
+        let flags_ref = &flags;
+        let out = World::new(nranks).run(|comm| {
+            let mut s = DistributedSolver::<L>::builder(&comm, global, flags_ref, coll)
+                .exchange(mode)
+                .storage(scheme)
+                .time_block(time_block)
+                .build();
+            s.initialize_with(init);
+            s.run(steps).unwrap();
+            s.gather_populations().unwrap()
+        });
+        let gathered = out[0].as_ref().expect("rank 0 gathers");
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+        for cell in 0..global.cells() {
+            if scheme == StorageScheme::Aa && !flags.kind(cell).is_fluid() {
+                continue;
+            }
+            for q in 0..L::Q {
+                let (r, g) = (reference.get(cell, q), gathered.get(cell, q));
+                assert!(
+                    (r - g).abs() < tol,
+                    "k={time_block} {scheme:?} {mode:?} cell {cell} q {q}: \
+                     reference {r}, blocked {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_ab_matches_reference_both_modes() {
+        let global = GridDims::new(8, 8, 4);
+        for mode in [ExchangeMode::Sequential, ExchangeMode::OnTheFly] {
+            for k in [2usize, 4] {
+                let mut flags = FlagField::new(global);
+                flags.set_box_walls();
+                flags.set(4, 4, 2, swlb_core::boundary::NodeKind::Wall);
+                check_blocked_matches_reference::<D3Q19>(
+                    global,
+                    flags,
+                    4,
+                    mode,
+                    StorageScheme::Ab,
+                    k,
+                    8,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_aa_matches_reference_both_modes() {
+        let global = GridDims::new(8, 8, 4);
+        for mode in [ExchangeMode::Sequential, ExchangeMode::OnTheFly] {
+            for k in [2usize, 4] {
+                let mut flags = FlagField::new(global);
+                flags.set_box_walls();
+                flags.set(4, 4, 2, swlb_core::boundary::NodeKind::Wall);
+                check_blocked_matches_reference::<D3Q19>(
+                    global,
+                    flags,
+                    4,
+                    mode,
+                    StorageScheme::Aa,
+                    k,
+                    8,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_run_may_end_mid_block() {
+        // Owned cells are valid after every intra-block step, so a step count
+        // that is not a multiple of k still gathers the exact state.
+        let global = GridDims::new(8, 8, 4);
+        let mut flags = FlagField::new(global);
+        flags.set_box_walls();
+        check_blocked_matches_reference::<D3Q19>(
+            global,
+            flags,
+            4,
+            ExchangeMode::OnTheFly,
+            StorageScheme::Ab,
+            4,
+            7,
+        );
+    }
+
+    #[test]
+    fn blocked_degenerate_subdomains_use_multiple_rounds() {
+        // 6 ranks on 6x4: every subdomain is 2x2, so an h=4 ring needs
+        // R = ceil(4/2) = 2 exchange rounds per block.
+        let global = GridDims::new(6, 4, 3);
+        for scheme in [StorageScheme::Ab, StorageScheme::Aa] {
+            let mut flags = FlagField::new(global);
+            flags.set_box_walls();
+            check_blocked_matches_reference::<D3Q19>(
+                global,
+                flags,
+                6,
+                ExchangeMode::Sequential,
+                scheme,
+                4,
+                8,
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_2d_periodic_matches_reference() {
+        // Fully periodic D2Q9 with wraparound neighbors exercises the
+        // deep-ring ghost sampling across the domain edge.
+        let global = GridDims::new2d(9, 8);
+        check_blocked_matches_reference::<D2Q9>(
+            global,
+            FlagField::new(global),
+            2,
+            ExchangeMode::OnTheFly,
+            StorageScheme::Ab,
+            2,
+            6,
+        );
+    }
+
+    #[test]
+    fn blocked_halo_messages_drop_by_exactly_k() {
+        // 8 sends per exchange; blocking exchanges once per k steps, so the
+        // per-step message count falls by exactly k for both schemes.
+        let global = GridDims::new(8, 8, 4);
+        let steps = 8u64;
+        let count = |scheme: StorageScheme, k: usize| -> u64 {
+            let mut flags = FlagField::new(global);
+            flags.set_box_walls();
+            let flags_ref = &flags;
+            let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+            let out = World::new(4).run(|comm| {
+                let rec = Recorder::enabled();
+                let msgs = rec.counter("halo.messages");
+                let mut s = DistributedSolver::<D3Q19>::builder(&comm, global, flags_ref, coll)
+                    .storage(scheme)
+                    .time_block(k)
+                    .recorder(rec)
+                    .build();
+                s.initialize_uniform(1.0, [0.0; 3]);
+                s.run(steps).unwrap();
+                msgs.get()
+            });
+            out.iter().sum()
+        };
+        for scheme in [StorageScheme::Ab, StorageScheme::Aa] {
+            let base = count(scheme, 1);
+            for k in [2u64, 4] {
+                let blocked = count(scheme, k as usize);
+                assert_eq!(
+                    blocked * k,
+                    base,
+                    "{scheme:?}: k={k} must cut messages by exactly {k}x \
+                     ({base} -> {blocked})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_builder_rejects_odd_aa_depth() {
+        let global = GridDims::new(8, 8, 4);
+        let flags = FlagField::new(global);
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        World::new(1).run(|comm| {
+            let err = DistributedSolver::<D3Q19>::builder(&comm, global, &flags, coll)
+                .storage(StorageScheme::Aa)
+                .time_block(3)
+                .try_build()
+                .map(|_| ())
+                .unwrap_err();
+            assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
+            let err = DistributedSolver::<D3Q19>::builder(&comm, global, &flags, coll)
+                .time_block(0)
+                .try_build()
+                .map(|_| ())
+                .unwrap_err();
+            assert!(matches!(err, SwlbError::InvalidConfig(_)), "{err}");
+        });
+    }
+
+    #[test]
+    fn blocked_restore_resumes_at_block_boundary() {
+        // Capture mid-run, restore into a blocked solver, continue: the
+        // restore resets the intra-block phase, so the continuation
+        // re-exchanges before reading ghosts and still matches the reference.
+        let global = GridDims::new(8, 8, 4);
+        let mut flags = FlagField::new(global);
+        flags.set_box_walls();
+        let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+        let init = |x: usize, y: usize, z: usize| {
+            let v = 0.01 * ((x * 7 + y * 3 + z) % 11) as Scalar;
+            (1.0 + v, [v * 0.1, -v * 0.05, 0.02 * v])
+        };
+        let reference = reference_run::<D3Q19>(global, &flags, &coll, 10, init);
+        let flags_ref = &flags;
+        let out = World::new(4).run(|comm| {
+            let mut s = DistributedSolver::<D3Q19>::builder(&comm, global, flags_ref, coll)
+                .time_block(2)
+                .build();
+            s.initialize_with(init);
+            s.run(6).unwrap();
+            assert_eq!(s.block_phase(), 0, "6 steps = 3 whole blocks");
+            let ck = s.capture_chunked().unwrap();
+            // Wreck the live state, then roll back to the checkpoint.
+            s.local_populations_mut().raw_mut().fill(7.0);
+            s.bump_epoch();
+            s.restore_chunked(ck.as_ref()).unwrap();
+            s.run(4).unwrap();
+            s.gather_populations().unwrap()
+        });
+        let gathered = out[0].as_ref().expect("rank 0 gathers");
+        let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+        for cell in 0..global.cells() {
+            for q in 0..D3Q19::Q {
+                let (r, g) = (reference.get(cell, q), gathered.get(cell, q));
+                assert!((r - g).abs() < tol, "cell {cell} q {q}: {r} vs {g}");
+            }
+        }
     }
 }

@@ -51,8 +51,14 @@ impl Partition2d {
 
     /// Local grid dims of `rank` *including* the one-cell xy halo ring.
     pub fn local_dims(&self, rank: usize) -> GridDims {
+        self.local_dims_h(rank, 1)
+    }
+
+    /// Local grid dims of `rank` with an `h`-cell-deep xy ghost ring, as used
+    /// by depth-`h` temporal blocking.
+    pub fn local_dims_h(&self, rank: usize, h: usize) -> GridDims {
         let ((_, lnx), (_, lny)) = self.owned(rank);
-        GridDims::new(lnx + 2, lny + 2, self.global.nz)
+        GridDims::new(lnx + 2 * h, lny + 2 * h, self.global.nz)
     }
 
     /// Build `rank`'s local flag field: interior cells copy the global flags;
@@ -60,15 +66,22 @@ impl Partition2d {
     /// so boundary rules at subdomain edges match the single-domain reference
     /// exactly.
     pub fn local_flags(&self, rank: usize, global_flags: &FlagField) -> FlagField {
+        self.local_flags_h(rank, global_flags, 1)
+    }
+
+    /// [`Self::local_flags`] for an `h`-deep ghost ring: local interior cell
+    /// `(h, h)` corresponds to global `(x0, y0)`.
+    pub fn local_flags_h(&self, rank: usize, global_flags: &FlagField, h: usize) -> FlagField {
         assert_eq!(global_flags.dims(), self.global);
         let ((x0, _), (y0, _)) = self.owned(rank);
-        let local = self.local_dims(rank);
+        let local = self.local_dims_h(rank, h);
         let mut flags = FlagField::new(local);
         for ly in 0..local.ny {
-            // Local interior cell (1,1) corresponds to global (x0, y0).
-            let gy = (y0 + self.global.ny + ly - 1) % self.global.ny;
+            let gy = (y0 as isize + ly as isize - h as isize).rem_euclid(self.global.ny as isize)
+                as usize;
             for lx in 0..local.nx {
-                let gx = (x0 + self.global.nx + lx - 1) % self.global.nx;
+                let gx = (x0 as isize + lx as isize - h as isize)
+                    .rem_euclid(self.global.nx as isize) as usize;
                 for z in 0..local.nz {
                     flags.set(lx, ly, z, global_flags.kind_at(gx, gy, z));
                 }
@@ -126,11 +139,29 @@ mod tests {
         gf.set(0, 0, 0, NodeKind::Wall);
         gf.set(5, 5, 1, NodeKind::Wall);
         let p = Partition2d::new(global, 4); // 2x2, each 3x3
-        // Rank 0 owns x 0..3, y 0..3; its west halo column wraps to gx = 5.
+                                             // Rank 0 owns x 0..3, y 0..3; its west halo column wraps to gx = 5.
         let lf = p.local_flags(0, &gf);
         assert!(lf.kind_at(1, 1, 0).is_solid()); // global (0,0,0)
         assert!(lf.kind_at(0, 0, 1).is_solid()); // halo corner wraps to (5,5,1)
         assert!(lf.kind_at(2, 2, 0).is_fluid());
+    }
+
+    #[test]
+    fn deep_halo_flags_wrap_like_shallow_ones() {
+        let global = GridDims::new(6, 6, 2);
+        let mut gf = FlagField::new(global);
+        gf.set(0, 0, 0, NodeKind::Wall);
+        gf.set(4, 5, 1, NodeKind::Wall);
+        let p = Partition2d::new(global, 4); // 2x2, each 3x3
+        assert_eq!(
+            p.local_dims_h(0, 2),
+            GridDims::new(7, 7, 2),
+            "3x3 owned + 2-deep ring"
+        );
+        let lf = p.local_flags_h(0, &gf, 2);
+        assert!(lf.kind_at(2, 2, 0).is_solid()); // interior origin = global (0,0,0)
+        assert!(lf.kind_at(0, 1, 1).is_solid()); // ghost (-2,-1) wraps to (4,5,1)
+        assert!(lf.kind_at(3, 3, 0).is_fluid());
     }
 
     #[test]

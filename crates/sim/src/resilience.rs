@@ -81,7 +81,10 @@ impl Default for RecoveryPolicy {
 
 impl RecoveryPolicy {
     fn backoff_for(&self, restart: u32) -> Duration {
-        let mult = 1u32.checked_shl(restart.saturating_sub(1)).unwrap_or(u32::MAX).min(8);
+        let mult = 1u32
+            .checked_shl(restart.saturating_sub(1))
+            .unwrap_or(u32::MAX)
+            .min(8);
         self.backoff.saturating_mul(mult)
     }
 }
@@ -168,7 +171,10 @@ pub fn run_with_recovery_instrumented<L: Lattice, C: Communicator>(
     store: &CheckpointStore,
     mut on_step: impl FnMut(&mut DistributedSolver<'_, L, C>),
 ) -> Result<RecoveryReport, SwlbError> {
-    assert!(policy.checkpoint_every >= 1, "checkpoint_every must be at least 1");
+    assert!(
+        policy.checkpoint_every >= 1,
+        "checkpoint_every must be at least 1"
+    );
     let comm = solver.comm();
     let prev_timeout = comm.op_timeout();
     comm.set_op_timeout(Some(policy.status_timeout));
@@ -192,7 +198,9 @@ fn run_inner<L: Lattice, C: Communicator>(
     // Reference mass for the drift guard, agreed once at entry.
     let mass0 = solver.comm().allreduce_sum(&[solver.local_mass()])?[0];
     if !mass0.is_finite() {
-        return Err(SwlbError::Diverged { step: solver.step_count() });
+        return Err(SwlbError::Diverged {
+            step: solver.step_count(),
+        });
     }
 
     // Entry checkpoint: a rollback target must exist before the first fault.
@@ -213,16 +221,28 @@ fn run_inner<L: Lattice, C: Communicator>(
         };
 
         // Status agreement + divergence guard in one reduction.
-        let local_mass = if local_err.is_some() { 0.0 } else { solver.local_mass() };
+        let local_mass = if local_err.is_some() {
+            0.0
+        } else {
+            solver.local_mass()
+        };
         let fail_flag = if local_err.is_some() { 1.0 } else { 0.0 };
         let status = solver.comm().allreduce_sum(&[fail_flag, local_mass])?;
         let (fail_sum, mass_sum) = (status[0], status[1]);
 
-        let diverged = !mass_sum.is_finite()
-            || (mass_sum - mass0).abs() > policy.mass_drift_tol * mass0.abs();
+        let diverged =
+            !mass_sum.is_finite() || (mass_sum - mass0).abs() > policy.mass_drift_tol * mass0.abs();
         if fail_sum == 0.0 && !diverged {
             mass = mass_sum;
-            if solver.step_count().is_multiple_of(policy.checkpoint_every) {
+            // Under temporal blocking, checkpoints land on block boundaries
+            // only. A mid-block capture is valid, but a restore resets the
+            // intra-block phase — resuming from a mid-block step would shift
+            // the exchange cadence against an uninterrupted run; boundary
+            // checkpoints keep the recovered trajectory step-for-step
+            // identical to the fault-free one.
+            if solver.step_count().is_multiple_of(policy.checkpoint_every)
+                && solver.block_phase() == 0
+            {
                 save_checkpoint(solver, store, &mut report)?;
             }
             continue;
@@ -242,7 +262,9 @@ fn run_inner<L: Lattice, C: Communicator>(
             });
         }
         report.restarts += 1;
-        report.faults_recovered.push(format!("step {attempted}: {fault}"));
+        report
+            .faults_recovered
+            .push(format!("step {attempted}: {fault}"));
         std::thread::sleep(policy.backoff_for(report.restarts));
         // Every step completed past the checkpoint — including the one whose
         // result the verdict just discarded — is recomputed.
@@ -319,7 +341,10 @@ mod tests {
                 .exchange(ExchangeMode::OnTheFly)
                 .build();
             s.initialize_uniform(1.0, [0.0; 3]);
-            let policy = RecoveryPolicy { checkpoint_every: 5, ..Default::default() };
+            let policy = RecoveryPolicy {
+                checkpoint_every: 5,
+                ..Default::default()
+            };
             let report = run_with_recovery(&mut s, 20, &policy, store_ref).unwrap();
             assert_eq!(report.steps_completed, 20);
             assert_eq!(report.restarts, 0);
@@ -379,8 +404,11 @@ mod tests {
             assert_eq!(report.restarts, 1, "exactly one rollback expected");
             // Rolled back from the failed step-7 attempt to the step-4 ckpt.
             assert_eq!(report.wasted_steps, 3);
-            assert!(report.faults_recovered[0].contains("diverged"),
-                "fault description: {:?}", report.faults_recovered);
+            assert!(
+                report.faults_recovered[0].contains("diverged"),
+                "fault description: {:?}",
+                report.faults_recovered
+            );
             s.gather_populations().unwrap()
         });
         let (a, b) = (plain[0].as_ref().unwrap(), out[0].as_ref().unwrap());
@@ -539,7 +567,10 @@ mod tests {
             .unwrap_err();
             matches!(err, SwlbError::RestartsExhausted { restarts: 0, .. })
         });
-        assert!(errs.iter().all(|&ok| ok), "both ranks must fail fast with the typed error");
+        assert!(
+            errs.iter().all(|&ok| ok),
+            "both ranks must fail fast with the typed error"
+        );
         std::fs::remove_dir_all(store.dir()).unwrap();
     }
 
@@ -575,13 +606,22 @@ mod tests {
             (report, snap)
         });
         for (report, snap) in out {
-            assert_eq!(snap.counter("recovery.rollbacks"), Some(report.restarts as u64));
-            assert_eq!(snap.counter("recovery.wasted_steps"), Some(report.wasted_steps));
+            assert_eq!(
+                snap.counter("recovery.rollbacks"),
+                Some(report.restarts as u64)
+            );
+            assert_eq!(
+                snap.counter("recovery.wasted_steps"),
+                Some(report.wasted_steps)
+            );
             assert_eq!(
                 snap.counter("recovery.checkpoints").unwrap_or(0),
                 report.checkpoints_written
             );
-            assert!(report.restarts >= 1, "the injected NaN must force a rollback");
+            assert!(
+                report.restarts >= 1,
+                "the injected NaN must force a rollback"
+            );
         }
         std::fs::remove_dir_all(store.dir()).unwrap();
     }

@@ -90,6 +90,24 @@ reshard-check:
 bench-pr6:
     cargo run --release -p swlb-bench --bin native_scaling -- --pr6 --json BENCH_pr6.json
 
+# Temporal-blocking acceptance (docs/PERFORMANCE.md, "Temporal blocking"):
+# the quick depth-k smoke sweep + schema validation (halo-message k-times
+# reduction included), the depth-k vs depth-1 equivalence matrix, the
+# depth-k conservation proptest, and the blocked checkpoint/reshard
+# roundtrips.
+tb-check:
+    cargo run --release -p swlb-bench --bin native_scaling -- --pr9 --quick --json /tmp/bench_pr9_smoke.json
+    cargo run --release -p swlb-bench --bin native_scaling -- --validate /tmp/bench_pr9_smoke.json
+    cargo test -q -p swlb-sim --release --test unified_dispatch temporal_blocking
+    cargo test -q -p swlb-core --release --test properties temporal_blocking
+    cargo test -q -p swlb-sim --release --test checkpoint_roundtrip
+
+# The full temporal-blocking sweep: depth 1/2/4 for both storage schemes on
+# 128^3 and 256^3 cavities plus the distributed halo-message accounting,
+# rewrites BENCH_pr9.json.
+bench-pr9:
+    cargo run --release -p swlb-bench --bin native_scaling -- --pr9 --json BENCH_pr9.json
+
 # Regenerate every paper figure/table harness.
 figures:
     for bin in fig08_kernel_speedup roofline_table fig13_weak_taihulight \

@@ -166,10 +166,7 @@ fn distributed_checkpoint_restart_continues_bit_identically() {
         s.gather_populations().unwrap()
     });
 
-    let (a, b) = (
-        straight[0].as_ref().unwrap(),
-        resumed[0].as_ref().unwrap(),
-    );
+    let (a, b) = (straight[0].as_ref().unwrap(), resumed[0].as_ref().unwrap());
     for cell in 0..global.cells() {
         for q in 0..9 {
             assert_eq!(a.get(cell, q), b.get(cell, q), "cell {cell} q {q}");
@@ -212,7 +209,10 @@ fn restart_from_store_skips_corrupted_newest_checkpoint() {
     }
 
     // Restart: fall back to step 20 and replay the last 10 steps.
-    let (ck, skipped) = store.load_latest_valid().unwrap().expect("a valid checkpoint survives");
+    let (ck, skipped) = store
+        .load_latest_valid()
+        .unwrap()
+        .expect("a valid checkpoint survives");
     assert_eq!(ck.step, 20);
     assert_eq!(skipped, vec![store.path_for(30)]);
     let mut resumed = make_solver();
@@ -338,28 +338,27 @@ fn reshard_handles_degenerate_narrow_source_subdomains() {
     let flags_ref = &flags;
     let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
 
-    let run_world = |ranks: usize,
-                     resume_from: Option<&swlb_io::chunked::ChunkedCheckpoint>,
-                     steps: u64| {
-        World::new(ranks)
-            .run(|comm| {
-                let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
-                    .exchange(ExchangeMode::OnTheFly)
-                    .try_build()
-                    .unwrap();
-                s.initialize_uniform(1.0, [0.0; 3]);
-                if let Some(ck) = resume_from {
-                    s.restore_chunked(if comm.rank() == 0 { Some(ck) } else { None })
+    let run_world =
+        |ranks: usize, resume_from: Option<&swlb_io::chunked::ChunkedCheckpoint>, steps: u64| {
+            World::new(ranks)
+                .run(|comm| {
+                    let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                        .exchange(ExchangeMode::OnTheFly)
+                        .try_build()
                         .unwrap();
-                }
-                s.run(steps).unwrap();
-                s.capture_chunked().unwrap()
-            })
-            .into_iter()
-            .flatten()
-            .next()
-            .expect("rank 0 captures")
-    };
+                    s.initialize_uniform(1.0, [0.0; 3]);
+                    if let Some(ck) = resume_from {
+                        s.restore_chunked(if comm.rank() == 0 { Some(ck) } else { None })
+                            .unwrap();
+                    }
+                    s.run(steps).unwrap();
+                    s.capture_chunked().unwrap()
+                })
+                .into_iter()
+                .flatten()
+                .next()
+                .expect("rank 0 captures")
+        };
 
     let want = run_world(1, None, 20).assemble_global().unwrap();
     let ck = run_world(4, None, 8);
@@ -372,7 +371,141 @@ fn reshard_handles_degenerate_narrow_source_subdomains() {
     for m in [1usize, 6] {
         let got = run_world(m, Some(&ck), 12).assemble_global().unwrap();
         for (i, (a, b)) in want.iter().zip(&got).enumerate() {
-            assert!((a - b).abs() <= tol, "4->{m} ranks: element {i}: {a} vs {b}");
+            assert!(
+                (a - b).abs() <= tol,
+                "4->{m} ranks: element {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// A depth-2 run checkpointed at a block boundary (step 6 = three complete
+/// sweeps) must resume into either scheme and either compatible depth and
+/// continue the uninterrupted trajectory: the canonical payload carries no
+/// trace of the producer's blocking depth.
+#[test]
+fn blocked_checkpoint_at_block_boundary_restores_across_schemes_and_depths() {
+    let make = |scheme: StorageScheme, k: usize| {
+        let dims = GridDims::new2d(20, 16);
+        let mut s = Solver::<D2Q9>::builder(dims, BgkParams::from_tau(0.7))
+            .storage(scheme)
+            .time_block(k)
+            .try_build()
+            .unwrap();
+        s.flags_mut().set_box_walls();
+        s.flags_mut().paint_lid([0.06, 0.0, 0.0]);
+        s.initialize_uniform(1.0, [0.0; 3]);
+        s
+    };
+
+    let mut straight = make(StorageScheme::Ab, 2);
+    straight.run(24);
+
+    let mut first = make(StorageScheme::Ab, 2);
+    first.run(6);
+    let d = first.dims();
+    let ck = Checkpoint {
+        step: first.step_count(),
+        dims: (d.nx as u32, d.ny as u32, d.nz as u32),
+        q: 9,
+        scheme: swlb_io::checkpoint::SCHEME_AB,
+        parity: 0,
+        data: first.canonical_populations().raw().to_vec(),
+    };
+    let mut bytes = Vec::new();
+    write_checkpoint(&mut bytes, &ck).unwrap();
+    let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
+    assert_eq!(back.step, 6);
+
+    let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+    for (scheme, k) in [
+        (StorageScheme::Ab, 2usize),
+        (StorageScheme::Ab, 4),
+        (StorageScheme::Aa, 2),
+    ] {
+        let mut resumed = make(scheme, k);
+        resumed.restore_canonical(&back.data, back.step).unwrap();
+        resumed.run(18);
+        assert_eq!(resumed.step_count(), 24);
+        let a = straight.canonical_populations();
+        let b = resumed.canonical_populations();
+        for cell in 0..d.cells() {
+            if straight.flags().kind(cell) != NodeKind::Fluid {
+                continue;
+            }
+            for q in 0..9 {
+                let (va, vb) = (a.get(cell, q), b.get(cell, q));
+                assert!(
+                    (va - vb).abs() <= tol,
+                    "resume into {scheme:?} k={k}: cell {cell} q {q}: {va} vs {vb}"
+                );
+            }
+        }
+    }
+}
+
+/// The reshard matrix under temporal blocking: depth-2 producers checkpoint
+/// at a block boundary (step 10) and depth-2 consumers of any rank count
+/// resume the trajectory. Restore resets the intra-block phase, so the first
+/// resumed step re-pays the deep exchange before reading any ghost.
+#[test]
+fn reshard_matrix_resumes_blocked_runs_on_any_rank_count() {
+    use swlb_comm::World;
+    use swlb_core::collision::CollisionKind;
+    use swlb_sim::{DistributedSolver, ExchangeMode};
+
+    let global = GridDims::new2d(20, 16);
+    let mut flags = FlagField::new(global);
+    flags.set_box_walls();
+    flags.paint_lid([0.05, 0.0, 0.0]);
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+    let flags_ref = &flags;
+    let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+
+    let run_world = |ranks: usize,
+                     scheme: StorageScheme,
+                     resume_from: Option<&swlb_io::chunked::ChunkedCheckpoint>,
+                     steps: u64| {
+        World::new(ranks)
+            .run(|comm| {
+                let mut s = DistributedSolver::<D2Q9>::builder(&comm, global, flags_ref, coll)
+                    .exchange(ExchangeMode::OnTheFly)
+                    .storage(scheme)
+                    .time_block(2)
+                    .try_build()
+                    .unwrap();
+                s.initialize_uniform(1.0, [0.0; 3]);
+                if let Some(ck) = resume_from {
+                    s.restore_chunked(if comm.rank() == 0 { Some(ck) } else { None })
+                        .unwrap();
+                    assert_eq!(s.step_count(), ck.step);
+                }
+                s.run(steps).unwrap();
+                s.capture_chunked().unwrap()
+            })
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("rank 0 captures")
+    };
+
+    for scheme in [StorageScheme::Ab, StorageScheme::Aa] {
+        let want = run_world(1, scheme, None, 24).assemble_global().unwrap();
+        for n in [1usize, 2, 4] {
+            let ck = run_world(n, scheme, None, 10);
+            assert_eq!(ck.chunks.len(), n, "one chunk per source rank");
+            assert_eq!(ck.parity, 0, "chunks are always canonical");
+            for m in [1usize, 2, 6] {
+                let got = run_world(m, scheme, Some(&ck), 14)
+                    .assemble_global()
+                    .unwrap();
+                for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+                    assert!(
+                        (a - b).abs() <= tol,
+                        "blocked {scheme:?} {n}->{m} ranks: element {i}: {a} vs {b}"
+                    );
+                }
+            }
         }
     }
 }

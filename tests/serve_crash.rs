@@ -46,6 +46,7 @@ fn cavity(nx: usize, ny: usize) -> CaseSpec {
         tau: 0.8,
         u_lattice: 0.05,
         storage: StorageScheme::Ab,
+        time_block: 1,
     }
 }
 
@@ -162,14 +163,24 @@ fn kill_restart_cycle(dir: &Path) {
     for i in 0..2 {
         ids.push(
             client
-                .submit(&job(&format!("short-{i}"), cavity(12, 12), SHORT_STEPS, Priority::Interactive))
+                .submit(&job(
+                    &format!("short-{i}"),
+                    cavity(12, 12),
+                    SHORT_STEPS,
+                    Priority::Interactive,
+                ))
                 .unwrap(),
         );
     }
     for i in 0..2 {
         ids.push(
             client
-                .submit(&job(&format!("long-{i}"), cavity(40, 40), LONG_STEPS, Priority::Batch))
+                .submit(&job(
+                    &format!("long-{i}"),
+                    cavity(40, 40),
+                    LONG_STEPS,
+                    Priority::Batch,
+                ))
                 .unwrap(),
         );
     }
@@ -184,15 +195,20 @@ fn kill_restart_cycle(dir: &Path) {
     // (exactly-once target) and at least one long past two checkpoint
     // generations (resume-from-checkpoint target, checkpoint_every = 50).
     let mine = |j: &Json| ids.contains(&field_u64(j, "id"));
-    let pre_kill = wait_list(&client, Duration::from_secs(60), "pre-kill workload shape", |jobs| {
-        let short_done = jobs
-            .iter()
-            .any(|j| mine(j) && field_str(j, "state") == "completed");
-        let long_progressed = jobs.iter().any(|j| {
-            mine(j) && field_u64(j, "steps") == LONG_STEPS && field_u64(j, "steps_done") >= 120
-        });
-        short_done && long_progressed
-    });
+    let pre_kill = wait_list(
+        &client,
+        Duration::from_secs(60),
+        "pre-kill workload shape",
+        |jobs| {
+            let short_done = jobs
+                .iter()
+                .any(|j| mine(j) && field_str(j, "state") == "completed");
+            let long_progressed = jobs.iter().any(|j| {
+                mine(j) && field_u64(j, "steps") == LONG_STEPS && field_u64(j, "steps_done") >= 120
+            });
+            short_done && long_progressed
+        },
+    );
     let completed_before: Vec<u64> = pre_kill
         .iter()
         .filter(|j| field_str(j, "state") == "completed")
@@ -225,16 +241,23 @@ fn kill_restart_cycle(dir: &Path) {
     // after replay — never re-queued, never re-run.
     for id in &completed_before {
         let j = after.iter().find(|j| field_u64(j, "id") == *id).unwrap();
-        assert_eq!(field_str(j, "state"), "completed", "job {id} re-ran after the kill");
+        assert_eq!(
+            field_str(j, "state"),
+            "completed",
+            "job {id} re-ran after the kill"
+        );
         assert_eq!(field_u64(j, "steps_done"), field_u64(j, "steps"));
         assert_eq!(j.get("recovered"), Some(&Json::Bool(true)));
     }
 
     // Every job reaches completed exactly once; the interrupted long resumed
     // from a checkpoint instead of restarting at step 0.
-    let finished = wait_list(&client2, Duration::from_secs(120), "post-restart completion", |jobs| {
-        jobs.iter().all(|j| field_str(j, "state") == "completed")
-    });
+    let finished = wait_list(
+        &client2,
+        Duration::from_secs(120),
+        "post-restart completion",
+        |jobs| jobs.iter().all(|j| field_str(j, "state") == "completed"),
+    );
     for j in &finished {
         assert_eq!(field_u64(j, "steps_done"), field_u64(j, "steps"));
     }
@@ -297,7 +320,8 @@ fn replay_tolerates_corrupt_record_and_truncated_tail() {
             };
             j.append(&ev.to_line(), true).unwrap();
         }
-        j.append(&JobEvent::Completed { id: 1 }.to_line(), true).unwrap();
+        j.append(&JobEvent::Completed { id: 1 }.to_line(), true)
+            .unwrap();
         j.sync().unwrap();
     }
     // Damage the log: flip a byte inside job 2's admission record (CRC
@@ -313,8 +337,7 @@ fn replay_tolerates_corrupt_record_and_truncated_tail() {
         })
         .expect("one journal segment on disk");
     let mut bytes = std::fs::read(&seg).unwrap();
-    let line_lens: Vec<usize> =
-        bytes.split(|b| *b == b'\n').map(<[u8]>::len).collect();
+    let line_lens: Vec<usize> = bytes.split(|b| *b == b'\n').map(<[u8]>::len).collect();
     let second_start = line_lens[0] + 1;
     bytes[second_start + 20] ^= 0x55;
     let torn = bytes.len() - line_lens[3] / 2 - 1;
@@ -338,9 +361,12 @@ fn replay_tolerates_corrupt_record_and_truncated_tail() {
         "both damaged records should be counted"
     );
     // The survivors still run to completion on the recovered table.
-    wait_list(&client, Duration::from_secs(60), "recovered jobs to finish", |jobs| {
-        jobs.iter().all(|j| field_str(j, "state") == "completed")
-    });
+    wait_list(
+        &client,
+        Duration::from_secs(60),
+        "recovered jobs to finish",
+        |jobs| jobs.iter().all(|j| field_str(j, "state") == "completed"),
+    );
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -357,9 +383,12 @@ fn corrupt_newest_checkpoint_falls_back_one_generation() {
         long_id = client
             .submit(&job("long", cavity(24, 24), 4000, Priority::Batch))
             .unwrap();
-        wait_list(&client, Duration::from_secs(60), "two checkpoint generations", |jobs| {
-            jobs.iter().any(|j| field_u64(j, "steps_done") >= 120)
-        });
+        wait_list(
+            &client,
+            Duration::from_secs(60),
+            "two checkpoint generations",
+            |jobs| jobs.iter().any(|j| field_u64(j, "steps_done") >= 120),
+        );
         client.drain().unwrap();
         server.shutdown();
     }
@@ -389,9 +418,12 @@ fn corrupt_newest_checkpoint_falls_back_one_generation() {
     // newest generation and restores the previous one.
     let server = Server::spawn(ServeConfig::new(&dir)).unwrap();
     let client = ServeClient::new(server.addr().to_string());
-    wait_list(&client, Duration::from_secs(120), "fallback resume to finish", |jobs| {
-        jobs.iter().all(|j| field_str(j, "state") == "completed")
-    });
+    wait_list(
+        &client,
+        Duration::from_secs(120),
+        "fallback resume to finish",
+        |jobs| jobs.iter().all(|j| field_str(j, "state") == "completed"),
+    );
     let events = client.watch(long_id, 0).unwrap();
     let resumed_at = events
         .iter()
@@ -419,8 +451,7 @@ fn injected_panic_and_full_journal_degrade_without_exit() {
 
     // A handler that panics while holding the state lock costs one
     // connection; the next lock taker recovers and the service keeps going.
-    let (status, _) =
-        swlb_serve::http::roundtrip(&addr, "POST", "/v1/chaos/panic", b"").unwrap();
+    let (status, _) = swlb_serve::http::roundtrip(&addr, "POST", "/v1/chaos/panic", b"").unwrap();
     assert_eq!(status, 200);
     let start = Instant::now();
     loop {
@@ -437,13 +468,8 @@ fn injected_panic_and_full_journal_degrade_without_exit() {
 
     // Full journal disk: admission flips to 503/Unavailable, already-running
     // work is unaffected, and recovery restores normal admission.
-    let (status, _) = swlb_serve::http::roundtrip(
-        &addr,
-        "POST",
-        "/v1/chaos/journal-full?mode=on",
-        b"",
-    )
-    .unwrap();
+    let (status, _) =
+        swlb_serve::http::roundtrip(&addr, "POST", "/v1/chaos/journal-full?mode=on", b"").unwrap();
     assert_eq!(status, 200);
     match client.submit(&job("blocked", cavity(8, 8), 16, Priority::Batch)) {
         Err(SwlbError::Unavailable(msg)) => assert!(msg.contains("journal")),
@@ -452,16 +478,16 @@ fn injected_panic_and_full_journal_degrade_without_exit() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.get("journal_degraded"), Some(&Json::Bool(true)));
 
-    let (status, _) = swlb_serve::http::roundtrip(
-        &addr,
-        "POST",
-        "/v1/chaos/journal-full?mode=off",
-        b"",
-    )
-    .unwrap();
+    let (status, _) =
+        swlb_serve::http::roundtrip(&addr, "POST", "/v1/chaos/journal-full?mode=off", b"").unwrap();
     assert_eq!(status, 200);
     let id = client
-        .submit(&job("after-recovery", cavity(8, 8), 16, Priority::Interactive))
+        .submit(&job(
+            "after-recovery",
+            cavity(8, 8),
+            16,
+            Priority::Interactive,
+        ))
         .unwrap();
     let events = client.watch(id, 0).unwrap();
     assert!(events.iter().any(|e| e.contains("completed")));

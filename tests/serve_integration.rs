@@ -42,6 +42,7 @@ fn cavity(nx: usize, ny: usize) -> CaseSpec {
         tau: 0.8,
         u_lattice: 0.05,
         storage: StorageScheme::Ab,
+        time_block: 1,
     }
 }
 
@@ -131,9 +132,13 @@ fn mixed_workload_completes_with_bounded_interactive_wait() {
     assert_eq!((long_a, long_b), (1, 2), "ids are dense from 1");
 
     // Let the batch work actually occupy the pool before interactive traffic.
-    wait_for(&client, long_a, Duration::from_secs(20), "first slice", |s| {
-        num_of(s, "steps_done") > 0
-    });
+    wait_for(
+        &client,
+        long_a,
+        Duration::from_secs(20),
+        "first slice",
+        |s| num_of(s, "steps_done") > 0,
+    );
 
     // Six short interactive jobs, one at a time, each watched to completion
     // while the longs are (still) live.
@@ -157,9 +162,13 @@ fn mixed_workload_completes_with_bounded_interactive_wait() {
 
     // Wait out the longs.
     for id in [long_a, long_b] {
-        let status = wait_for(&client, id, Duration::from_secs(60), "terminal state", |s| {
-            ["completed", "failed", "cancelled"].contains(&state_of(s).as_str())
-        });
+        let status = wait_for(
+            &client,
+            id,
+            Duration::from_secs(60),
+            "terminal state",
+            |s| ["completed", "failed", "cancelled"].contains(&state_of(s).as_str()),
+        );
         assert_eq!(state_of(&status), "completed", "{}", status.to_text());
     }
 
@@ -389,20 +398,32 @@ fn elastic_job_reshards_under_contention_and_grows_back() {
     wide.width = 4;
     let wide_id = client.submit(&wide).unwrap();
     // Let the wide job run at its full requested width first.
-    wait_for(&client, wide_id, Duration::from_secs(20), "first slice", |s| {
-        num_of(s, "steps_done") > 0
-    });
+    wait_for(
+        &client,
+        wide_id,
+        Duration::from_secs(20),
+        "first slice",
+        |s| num_of(s, "steps_done") > 0,
+    );
 
     // A serial competitor halves the wide job's effective width (4 / 2 live).
     let rival_id = client
         .submit(&job("rival", cavity(16, 16), 120, Priority::Batch))
         .unwrap();
-    wait_for(&client, rival_id, Duration::from_secs(60), "rival done", |s| {
-        state_of(s) == "completed"
-    });
-    let status = wait_for(&client, wide_id, Duration::from_secs(60), "wide done", |s| {
-        state_of(s) == "completed"
-    });
+    wait_for(
+        &client,
+        rival_id,
+        Duration::from_secs(60),
+        "rival done",
+        |s| state_of(s) == "completed",
+    );
+    let status = wait_for(
+        &client,
+        wide_id,
+        Duration::from_secs(60),
+        "wide done",
+        |s| state_of(s) == "completed",
+    );
 
     // Shrank (4 -> 2) and grew back (2 -> 4): at least two re-shards, ending
     // at the requested width, with no steps lost along the way.
@@ -476,7 +497,12 @@ fn admission_backpressure_rejects_beyond_capacity() {
         state_of(s) == "cancelled"
     });
     client
-        .submit(&job("after-free", cavity(16, 16), 16, Priority::Interactive))
+        .submit(&job(
+            "after-free",
+            cavity(16, 16),
+            16,
+            Priority::Interactive,
+        ))
         .unwrap();
 
     server.shutdown();

@@ -94,6 +94,35 @@ fn distributed_run_aa<L: Lattice>(
     out.into_iter().next().unwrap().expect("rank 0 gathers")
 }
 
+/// The fully parameterized runner: storage scheme and temporal-blocking
+/// depth on top of [`distributed_run`]'s axes.
+#[allow(clippy::too_many_arguments)]
+fn distributed_run_k<L: Lattice>(
+    global: GridDims,
+    flags: &FlagField,
+    coll: CollisionKind,
+    steps: u64,
+    ranks: usize,
+    mode: ExchangeMode,
+    pool_threads: usize,
+    tile_z: usize,
+    scheme: StorageScheme,
+    time_block: usize,
+) -> SoaField<L> {
+    let out = World::new(ranks).run(|comm| {
+        let mut s = DistributedSolver::<L>::builder(&comm, global, flags, coll)
+            .exchange(mode)
+            .pool(ThreadPool::new(pool_threads).with_tile_z(tile_z))
+            .storage(scheme)
+            .time_block(time_block)
+            .build();
+        s.initialize_with(init_state);
+        s.run(steps).unwrap();
+        s.gather_populations().unwrap()
+    });
+    out.into_iter().next().unwrap().expect("rank 0 gathers")
+}
+
 fn assert_fields_equal<L: Lattice>(a: &SoaField<L>, b: &SoaField<L>, what: &str) {
     assert_fields_close(a, b, 0.0, what);
 }
@@ -270,6 +299,60 @@ fn aa_degenerate_subdomains_match_reference() {
                     tol,
                     &format!("AA degenerate {mode:?} steps={steps} ranks={ranks}"),
                 );
+            }
+        }
+    }
+}
+
+/// Temporal-blocking equivalence matrix: depth k ∈ {2, 4} against the same
+/// configuration at k = 1, for both storage schemes (AA depths are even by
+/// construction), both exchange schedules, rank counts including degenerate
+/// subdomains (`lny ≤ 2`, where deep halos force multi-round exchange), and
+/// two z-tile sizes. A blocked sweep performs the identical per-cell updates
+/// in a different order, so this is exact on scalar-semantics lanes; the
+/// dispatch tolerance absorbs fast/generic path differences at the
+/// redundantly recomputed ghost fringe (same rationale as the engine's
+/// `check_blocked_matches_reference`).
+#[test]
+fn temporal_blocking_matrix_matches_unblocked() {
+    let coll = CollisionKind::Bgk(BgkParams::from_tau(0.8));
+    let steps = 8u64;
+    let tol = 1e-14_f64.max(swlb_core::simd::dispatch_tolerance() * 100.0);
+    for (global, lid) in [
+        (GridDims::new(12, 10, 12), true),
+        // 5 × 4 interior over 4 ranks: lny = 2 subdomains, so depth 4 needs
+        // two exchange rounds per block to fill its 4-deep ghost rings.
+        (GridDims::new(5, 4, 3), false),
+    ] {
+        let mut flags = FlagField::new(global);
+        flags.set_box_walls();
+        if lid {
+            flags.paint_lid([0.05, 0.0, 0.0]);
+            flags.set(6, 5, 6, swlb_core::boundary::NodeKind::Wall);
+        }
+        let tile_zs: &[usize] = if lid { &[0, 5] } else { &[0] };
+        for scheme in [StorageScheme::Ab, StorageScheme::Aa] {
+            for mode in [ExchangeMode::Sequential, ExchangeMode::OnTheFly] {
+                for ranks in [1usize, 2, 4] {
+                    for &tile_z in tile_zs {
+                        let base = distributed_run_k::<D3Q19>(
+                            global, &flags, coll, steps, ranks, mode, 2, tile_z, scheme, 1,
+                        );
+                        for k in [2usize, 4] {
+                            let got = distributed_run_k::<D3Q19>(
+                                global, &flags, coll, steps, ranks, mode, 2, tile_z, scheme, k,
+                            );
+                            let what =
+                                format!("{scheme:?} {mode:?} ranks={ranks} tile_z={tile_z} k={k}");
+                            match scheme {
+                                StorageScheme::Ab => assert_fields_close(&base, &got, tol, &what),
+                                StorageScheme::Aa => {
+                                    assert_fluid_cells_close(&flags, &base, &got, tol, &what)
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
     }
