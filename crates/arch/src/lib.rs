@@ -28,6 +28,7 @@
 
 pub mod cpe;
 pub mod dma;
+pub mod fleet;
 pub mod gpu;
 pub mod ldm;
 pub mod machine;
@@ -37,5 +38,6 @@ pub mod regcomm;
 pub mod schedule;
 
 pub use cpe::{CoreGroupExecutor, ExecCounters, FusionMode, SharingMode};
+pub use fleet::{FleetCosts, FleetModel, SizingRow};
 pub use machine::{CoreGroupSpec, MachineKind, MachineSpec};
 pub use perf::{OptStage, PerfModel, ScalePoint};

@@ -73,6 +73,33 @@ pub fn body_crc(body: &[u8]) -> u32 {
     crc32(body)
 }
 
+/// Serialize an f64 frame as little-endian bytes — lets a sealed frame travel
+/// over a byte transport (the fleet heartbeat rides in an HTTP body) and be
+/// re-checked with [`check_frame`] on the other side.
+pub fn frame_to_bytes(frame: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame.len() * 8);
+    for x in frame {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode the byte form produced by [`frame_to_bytes`]. `None` when the
+/// length is not a whole number of f64 slots or is too short to hold the
+/// `[epoch, step, crc]` header — a truncated transport read, treated exactly
+/// like a corrupt frame by callers.
+pub fn frame_from_bytes(bytes: &[u8]) -> Option<Vec<f64>> {
+    if !bytes.len().is_multiple_of(8) || bytes.len() / 8 < FRAME_HEADER {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +140,22 @@ mod tests {
     fn body_crc_matches_workspace_crc() {
         assert_eq!(body_crc(b"123456789"), 0xCBF43926);
         assert_eq!(body_crc(b""), 0);
+    }
+
+    #[test]
+    fn byte_transport_preserves_frame_validity() {
+        let f = sealed(7, 123, &[3.0, 8.0, 16.0]);
+        let bytes = frame_to_bytes(&f);
+        let back = frame_from_bytes(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(check_frame(&back, 7, 123), FrameCheck::Valid);
+        // A flipped transport byte shows up as Corrupt after decode.
+        let mut bad = bytes.clone();
+        bad[30] ^= 0x01;
+        let damaged = frame_from_bytes(&bad).unwrap();
+        assert_eq!(check_frame(&damaged, 7, 123), FrameCheck::Corrupt);
+        // Ragged or header-short byte strings fail to decode at all.
+        assert!(frame_from_bytes(&bytes[..bytes.len() - 3]).is_none());
+        assert!(frame_from_bytes(&bytes[..16]).is_none());
     }
 }

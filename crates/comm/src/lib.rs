@@ -25,7 +25,10 @@ pub mod frame;
 pub mod netmodel;
 
 pub use cart::Cart2d;
-pub use frame::{body_crc, check_frame, frame_crc, seal_frame, FrameCheck, FRAME_HEADER};
+pub use frame::{
+    body_crc, check_frame, frame_crc, frame_from_bytes, frame_to_bytes, seal_frame, FrameCheck,
+    FRAME_HEADER,
+};
 pub use comm::{Comm, CommError, Message, RecvRequest, Tag, World};
 pub use communicator::Communicator;
 pub use fault::{ChaosComm, FaultAction, FaultEvent, FaultPlan, FaultRecord, FaultSpec};

@@ -1,0 +1,625 @@
+//! Typed fleet-lifecycle records over the [`swlb_io::journal`] write-ahead
+//! log, the replay fold that rebuilds the controller's job table and worker
+//! registry after a crash, and the degradation-aware writer the controller
+//! threads share.
+//!
+//! Record schema (one JSON object per journal line):
+//!
+//! ```text
+//! {"rec":"admitted","id":N,"seq":N,"spec":{...}}          durable before 202
+//! {"rec":"worker","name":"w0","addr":"...","dir":"..."}   durable, last wins
+//! {"rec":"placed","id":N,"worker":"w0","local":N}
+//! {"rec":"migrated","id":N,"worker":"w1","local":N,"step":N}
+//! {"rec":"unplaced","id":N}                               back to pending
+//! {"rec":"completed","id":N}                              durable, terminal
+//! {"rec":"cancelled","id":N}                              durable, terminal
+//! {"rec":"failed","id":N,"error":"..."}                   durable, terminal
+//! ```
+//!
+//! Replay folds the stream per fleet id: terminal jobs are restored terminal
+//! and never re-placed (each terminal is journaled durably exactly once, the
+//! first time the controller observes it — a restarted controller reports it
+//! from the fold, not from a second observation); a placed non-terminal job
+//! keeps its worker binding and is re-synced from that worker's live table;
+//! a pending job keeps its original id and arrival order.
+
+use std::collections::VecDeque;
+use swlb_io::journal::Journal;
+use swlb_obs::Recorder;
+use swlb_serve::{json, Json, JobSpec};
+
+/// One journaled fleet transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// Job accepted by the controller. Written durably *before* the 202.
+    Admitted {
+        /// Controller-assigned fleet id (stable across migrations).
+        id: u64,
+        /// Arrival order.
+        seq: u64,
+        /// The full submission.
+        spec: JobSpec,
+    },
+    /// A worker announced itself (or was re-announced at a new address).
+    Worker {
+        /// Stable worker name.
+        name: String,
+        /// `host:port` of the worker's data plane.
+        addr: String,
+        /// The worker's state directory (checkpoints are read from here when
+        /// the worker dies — shared-filesystem assumption, see docs).
+        dir: String,
+    },
+    /// Job pushed to `worker`, which assigned it `local` id.
+    Placed {
+        /// Fleet id.
+        id: u64,
+        /// Worker name.
+        worker: String,
+        /// Worker-local job id.
+        local: u64,
+    },
+    /// Job moved to `worker` (death replay or rebalance) from step `step`.
+    Migrated {
+        /// Fleet id.
+        id: u64,
+        /// Destination worker name.
+        worker: String,
+        /// New worker-local job id.
+        local: u64,
+        /// Steps completed at the checkpoint that travelled.
+        step: u64,
+    },
+    /// The job's worker died with no survivor able to take it; the job is
+    /// pending again and will be re-placed when capacity appears.
+    Unplaced {
+        /// Fleet id.
+        id: u64,
+    },
+    /// Terminal: the worker reported all steps done.
+    Completed {
+        /// Fleet id.
+        id: u64,
+    },
+    /// Terminal: cancelled by the client.
+    Cancelled {
+        /// Fleet id.
+        id: u64,
+    },
+    /// Terminal: the worker reported a fault (or the job was lost beyond
+    /// recovery).
+    Failed {
+        /// Fleet id.
+        id: u64,
+        /// Final error message.
+        error: String,
+    },
+}
+
+impl FleetEvent {
+    /// Admissions, registrations and terminals gate acknowledgements and are
+    /// fsynced before the caller proceeds.
+    pub fn is_durable(&self) -> bool {
+        matches!(
+            self,
+            FleetEvent::Admitted { .. }
+                | FleetEvent::Worker { .. }
+                | FleetEvent::Completed { .. }
+                | FleetEvent::Cancelled { .. }
+                | FleetEvent::Failed { .. }
+        )
+    }
+
+    /// Encode as one JSON line (the journal payload).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            FleetEvent::Admitted { id, seq, spec } => Json::obj([
+                ("rec", Json::str("admitted")),
+                ("id", Json::num(*id as f64)),
+                ("seq", Json::num(*seq as f64)),
+                ("spec", spec.to_json()),
+            ]),
+            FleetEvent::Worker { name, addr, dir } => Json::obj([
+                ("rec", Json::str("worker")),
+                ("name", Json::str(name.clone())),
+                ("addr", Json::str(addr.clone())),
+                ("dir", Json::str(dir.clone())),
+            ]),
+            FleetEvent::Placed { id, worker, local } => Json::obj([
+                ("rec", Json::str("placed")),
+                ("id", Json::num(*id as f64)),
+                ("worker", Json::str(worker.clone())),
+                ("local", Json::num(*local as f64)),
+            ]),
+            FleetEvent::Migrated {
+                id,
+                worker,
+                local,
+                step,
+            } => Json::obj([
+                ("rec", Json::str("migrated")),
+                ("id", Json::num(*id as f64)),
+                ("worker", Json::str(worker.clone())),
+                ("local", Json::num(*local as f64)),
+                ("step", Json::num(*step as f64)),
+            ]),
+            FleetEvent::Unplaced { id } => Json::obj([
+                ("rec", Json::str("unplaced")),
+                ("id", Json::num(*id as f64)),
+            ]),
+            FleetEvent::Completed { id } => Json::obj([
+                ("rec", Json::str("completed")),
+                ("id", Json::num(*id as f64)),
+            ]),
+            FleetEvent::Cancelled { id } => Json::obj([
+                ("rec", Json::str("cancelled")),
+                ("id", Json::num(*id as f64)),
+            ]),
+            FleetEvent::Failed { id, error } => Json::obj([
+                ("rec", Json::str("failed")),
+                ("id", Json::num(*id as f64)),
+                ("error", Json::str(error.clone())),
+            ]),
+        };
+        v.to_text()
+    }
+
+    /// Decode one journal payload; `None` if unparseable or unknown.
+    pub fn parse(line: &str) -> Option<FleetEvent> {
+        let v = json::parse(line).ok()?;
+        let id = || v.get("id").and_then(Json::as_u64);
+        let s = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        match v.get("rec").and_then(Json::as_str)? {
+            "admitted" => Some(FleetEvent::Admitted {
+                id: id()?,
+                seq: v.get("seq").and_then(Json::as_u64)?,
+                spec: JobSpec::from_json(v.get("spec")?).ok()?,
+            }),
+            "worker" => Some(FleetEvent::Worker {
+                name: s("name")?,
+                addr: s("addr")?,
+                dir: s("dir")?,
+            }),
+            "placed" => Some(FleetEvent::Placed {
+                id: id()?,
+                worker: s("worker")?,
+                local: v.get("local").and_then(Json::as_u64)?,
+            }),
+            "migrated" => Some(FleetEvent::Migrated {
+                id: id()?,
+                worker: s("worker")?,
+                local: v.get("local").and_then(Json::as_u64)?,
+                step: v.get("step").and_then(Json::as_u64)?,
+            }),
+            "unplaced" => Some(FleetEvent::Unplaced { id: id()? }),
+            "completed" => Some(FleetEvent::Completed { id: id()? }),
+            "cancelled" => Some(FleetEvent::Cancelled { id: id()? }),
+            "failed" => Some(FleetEvent::Failed {
+                id: id()?,
+                error: s("error").unwrap_or_else(|| "unknown".into()),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A fleet job's folded fate after replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetOutcome {
+    /// Waiting for placement (never placed, or unplaced by a worker death).
+    Pending,
+    /// Bound to `worker` as its `local` job; `step` is the newest journaled
+    /// migration step (0 for a first placement).
+    Placed {
+        /// Worker name.
+        worker: String,
+        /// Worker-local id.
+        local: u64,
+        /// Steps at the last journaled migration.
+        step: u64,
+    },
+    /// Terminal before the crash — reported from the fold, never re-run.
+    Completed,
+    /// Terminal: cancelled.
+    Cancelled,
+    /// Terminal: failed with this error.
+    Failed(String),
+}
+
+impl FleetOutcome {
+    /// Whether the job can never run again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            FleetOutcome::Completed | FleetOutcome::Cancelled | FleetOutcome::Failed(_)
+        )
+    }
+}
+
+/// One job rebuilt from the journal.
+#[derive(Debug, Clone)]
+pub struct ReplayedFleetJob {
+    /// Original controller-assigned id.
+    pub id: u64,
+    /// Original arrival order.
+    pub seq: u64,
+    /// The original submission.
+    pub spec: JobSpec,
+    /// Folded fate.
+    pub outcome: FleetOutcome,
+}
+
+/// A worker registration rebuilt from the journal (last record wins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedWorker {
+    /// Stable worker name.
+    pub name: String,
+    /// Last announced address.
+    pub addr: String,
+    /// Last announced state directory.
+    pub dir: String,
+}
+
+/// Fold raw journal payloads into per-job outcomes (ordered by arrival) and
+/// the worker registry. Returns `(jobs, workers, unparseable_count)`.
+pub fn fold_records(records: &[String]) -> (Vec<ReplayedFleetJob>, Vec<ReplayedWorker>, u64) {
+    let mut jobs: Vec<ReplayedFleetJob> = Vec::new();
+    let mut workers: Vec<ReplayedWorker> = Vec::new();
+    let mut unparseable = 0u64;
+    fn find(id: u64, jobs: &[ReplayedFleetJob]) -> Option<usize> {
+        jobs.iter().position(|j| j.id == id)
+    }
+    for line in records {
+        let Some(ev) = FleetEvent::parse(line) else {
+            unparseable += 1;
+            continue;
+        };
+        match ev {
+            FleetEvent::Admitted { id, seq, spec } => {
+                if find(id, &jobs).is_none() {
+                    jobs.push(ReplayedFleetJob {
+                        id,
+                        seq,
+                        spec,
+                        outcome: FleetOutcome::Pending,
+                    });
+                }
+            }
+            FleetEvent::Worker { name, addr, dir } => {
+                match workers.iter_mut().find(|w| w.name == name) {
+                    Some(w) => {
+                        w.addr = addr;
+                        w.dir = dir;
+                    }
+                    None => workers.push(ReplayedWorker { name, addr, dir }),
+                }
+            }
+            FleetEvent::Placed { id, worker, local } => {
+                if let Some(i) = find(id, &jobs) {
+                    if !jobs[i].outcome.is_terminal() {
+                        jobs[i].outcome = FleetOutcome::Placed {
+                            worker,
+                            local,
+                            step: 0,
+                        };
+                    }
+                }
+            }
+            FleetEvent::Migrated {
+                id,
+                worker,
+                local,
+                step,
+            } => {
+                if let Some(i) = find(id, &jobs) {
+                    if !jobs[i].outcome.is_terminal() {
+                        jobs[i].outcome = FleetOutcome::Placed {
+                            worker,
+                            local,
+                            step,
+                        };
+                    }
+                }
+            }
+            FleetEvent::Unplaced { id } => {
+                if let Some(i) = find(id, &jobs) {
+                    if !jobs[i].outcome.is_terminal() {
+                        jobs[i].outcome = FleetOutcome::Pending;
+                    }
+                }
+            }
+            FleetEvent::Completed { id } => {
+                if let Some(i) = find(id, &jobs) {
+                    jobs[i].outcome = FleetOutcome::Completed;
+                }
+            }
+            FleetEvent::Cancelled { id } => {
+                if let Some(i) = find(id, &jobs) {
+                    jobs[i].outcome = FleetOutcome::Cancelled;
+                }
+            }
+            FleetEvent::Failed { id, error } => {
+                if let Some(i) = find(id, &jobs) {
+                    jobs[i].outcome = FleetOutcome::Failed(error);
+                }
+            }
+        }
+    }
+    jobs.sort_by_key(|j| j.seq);
+    (jobs, workers, unparseable)
+}
+
+/// Re-encode a replayed job as its minimal compacted record set.
+pub fn compacted_records(job: &ReplayedFleetJob) -> Vec<String> {
+    let mut out = vec![FleetEvent::Admitted {
+        id: job.id,
+        seq: job.seq,
+        spec: job.spec.clone(),
+    }
+    .to_line()];
+    let state = match &job.outcome {
+        FleetOutcome::Pending => None,
+        FleetOutcome::Placed {
+            worker,
+            local,
+            step,
+        } => Some(FleetEvent::Migrated {
+            id: job.id,
+            worker: worker.clone(),
+            local: *local,
+            step: *step,
+        }),
+        FleetOutcome::Completed => Some(FleetEvent::Completed { id: job.id }),
+        FleetOutcome::Cancelled => Some(FleetEvent::Cancelled { id: job.id }),
+        FleetOutcome::Failed(e) => Some(FleetEvent::Failed {
+            id: job.id,
+            error: e.clone(),
+        }),
+    };
+    out.extend(state.map(|ev| ev.to_line()));
+    out
+}
+
+/// The journal writer the controller threads share. Mirrors the failure
+/// domain of the serve tier's `JournalHandle`: an I/O error buffers the
+/// record in memory (bounded), flips `degraded()` — admission then answers
+/// 503 — and every later append retries the backlog first so on-disk order
+/// matches logical order.
+pub struct FleetJournal {
+    inner: Option<Journal>,
+    pending: VecDeque<(String, bool)>,
+    buffer_max: usize,
+    degraded: bool,
+    recorder: Recorder,
+}
+
+impl FleetJournal {
+    /// A no-op handle (unit tests).
+    pub fn disabled() -> Self {
+        FleetJournal {
+            inner: None,
+            pending: VecDeque::new(),
+            buffer_max: 0,
+            degraded: false,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Wrap an open journal.
+    pub fn new(journal: Journal, buffer_max: usize, recorder: Recorder) -> Self {
+        FleetJournal {
+            inner: Some(journal.with_recorder(recorder.clone())),
+            pending: VecDeque::new(),
+            buffer_max: buffer_max.max(1),
+            degraded: false,
+            recorder,
+        }
+    }
+
+    /// Whether records currently reach stable storage.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Append a fleet record; returns whether it (and the backlog) reached
+    /// the disk.
+    pub fn append(&mut self, ev: &FleetEvent) -> bool {
+        if self.inner.is_none() {
+            return true;
+        }
+        self.pending.push_back((ev.to_line(), ev.is_durable()));
+        while self.pending.len() > self.buffer_max {
+            self.pending.pop_front();
+            self.recorder.counter("fleet.journal.dropped").inc();
+        }
+        self.drain();
+        !self.degraded
+    }
+
+    /// Withdraw the most recently appended record if it never reached disk
+    /// (the admission path answered 503, so the record must not replay as a
+    /// ghost job).
+    pub fn retract_last(&mut self, ev: &FleetEvent) -> bool {
+        if self
+            .pending
+            .back()
+            .is_some_and(|(line, _)| *line == ev.to_line())
+        {
+            self.pending.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn drain(&mut self) {
+        let Some(journal) = self.inner.as_mut() else {
+            return;
+        };
+        while let Some((line, durable)) = self.pending.front() {
+            if journal.append(line, *durable).is_err() {
+                if !self.degraded {
+                    self.degraded = true;
+                    self.recorder.counter("fleet.journal.degraded").inc();
+                }
+                return;
+            }
+            self.pending.pop_front();
+        }
+        self.degraded = false;
+    }
+
+    /// Flush batched appends (shutdown path).
+    pub fn sync(&mut self) {
+        self.drain();
+        if let Some(j) = self.inner.as_mut() {
+            let _ = j.sync();
+        }
+    }
+
+    /// Atomically rewrite the journal to `records` (startup compaction).
+    pub fn compact(&mut self, records: &[String]) {
+        if let Some(j) = self.inner.as_mut() {
+            if j.compact(records).is_err() {
+                self.degraded = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swlb_serve::{CaseKind, CaseSpec, LatticeKind, OutputKind, Priority};
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            case: CaseSpec {
+                case: CaseKind::Cavity,
+                lattice: LatticeKind::D2Q9,
+                nx: 8,
+                ny: 8,
+                nz: 1,
+                tau: 0.8,
+                u_lattice: 0.05,
+                storage: swlb_core::layout::StorageScheme::Ab,
+                time_block: 1,
+            },
+            steps: 32,
+            priority: Priority::Batch,
+            deadline_ms: None,
+            outputs: vec![OutputKind::Ppm],
+            chaos_nan_at_step: None,
+            width: 1,
+            tenant: "acme".into(),
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_through_lines() {
+        let events = [
+            FleetEvent::Admitted {
+                id: 1,
+                seq: 0,
+                spec: spec("a"),
+            },
+            FleetEvent::Worker {
+                name: "w0".into(),
+                addr: "127.0.0.1:9".into(),
+                dir: "/tmp/w0".into(),
+            },
+            FleetEvent::Placed {
+                id: 1,
+                worker: "w0".into(),
+                local: 3,
+            },
+            FleetEvent::Migrated {
+                id: 1,
+                worker: "w1".into(),
+                local: 5,
+                step: 96,
+            },
+            FleetEvent::Unplaced { id: 1 },
+            FleetEvent::Completed { id: 1 },
+            FleetEvent::Cancelled { id: 2 },
+            FleetEvent::Failed {
+                id: 3,
+                error: "boom".into(),
+            },
+        ];
+        for ev in &events {
+            assert_eq!(FleetEvent::parse(&ev.to_line()).as_ref(), Some(ev));
+        }
+        assert!(FleetEvent::parse("{\"rec\":\"martian\"}").is_none());
+        assert!(FleetEvent::parse("not json").is_none());
+    }
+
+    #[test]
+    fn fold_tracks_bindings_and_keeps_terminals_final() {
+        let lines: Vec<String> = [
+            FleetEvent::Admitted {
+                id: 1,
+                seq: 0,
+                spec: spec("a"),
+            },
+            FleetEvent::Admitted {
+                id: 2,
+                seq: 1,
+                spec: spec("b"),
+            },
+            FleetEvent::Worker {
+                name: "w0".into(),
+                addr: "old".into(),
+                dir: "/w0".into(),
+            },
+            FleetEvent::Worker {
+                name: "w0".into(),
+                addr: "new".into(),
+                dir: "/w0".into(),
+            },
+            FleetEvent::Placed {
+                id: 1,
+                worker: "w0".into(),
+                local: 1,
+            },
+            FleetEvent::Migrated {
+                id: 1,
+                worker: "w1".into(),
+                local: 2,
+                step: 64,
+            },
+            FleetEvent::Completed { id: 1 },
+            // Late records after a terminal must not resurrect the job.
+            FleetEvent::Placed {
+                id: 1,
+                worker: "w1".into(),
+                local: 9,
+            },
+            FleetEvent::Placed {
+                id: 2,
+                worker: "w0".into(),
+                local: 2,
+            },
+            FleetEvent::Unplaced { id: 2 },
+        ]
+        .iter()
+        .map(FleetEvent::to_line)
+        .collect();
+        let (jobs, workers, bad) = fold_records(&lines);
+        assert_eq!(bad, 0);
+        assert_eq!(workers, vec![ReplayedWorker {
+            name: "w0".into(),
+            addr: "new".into(),
+            dir: "/w0".into(),
+        }]);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].outcome, FleetOutcome::Completed);
+        assert_eq!(jobs[1].outcome, FleetOutcome::Pending);
+        // Compaction preserves the fold.
+        let compacted: Vec<String> = jobs.iter().flat_map(compacted_records).collect();
+        let (again, _, _) = fold_records(&compacted);
+        assert_eq!(again[0].outcome, FleetOutcome::Completed);
+        assert_eq!(again[1].outcome, FleetOutcome::Pending);
+    }
+}

@@ -1,0 +1,185 @@
+//! The worker registry: per-worker liveness tracked by CRC-framed heartbeat
+//! probes with a missed-counter and exponential probe backoff.
+//!
+//! The state machine is pure — the controller's tick loop does the actual
+//! network I/O and feeds results back in — so the retry/backoff/death logic
+//! is unit-testable without sockets:
+//!
+//! * every `probe_due` tick the controller sends a sealed `[epoch, seq, crc]`
+//!   frame ([`swlb_comm::frame`]) and validates the echoed frame;
+//! * a failed or invalid probe increments `missed` and backs the next probe
+//!   off `2^missed` ticks (capped), so a briefly-stalled worker is not
+//!   hammered while it recovers;
+//! * `max_missed` consecutive misses declare the worker dead — its jobs are
+//!   replayed onto survivors from their newest valid checkpoints;
+//! * one valid echo resurrects the worker (a re-registered worker at the
+//!   same name resets the counter immediately).
+
+/// Load report a worker echoes inside its heartbeat frame payload.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerLoad {
+    /// Live (queued + running + preempted) jobs.
+    pub live: u64,
+    /// Jobs waiting for a slice.
+    pub queued: u64,
+    /// Admission capacity.
+    pub capacity: u64,
+    /// Queue depth, interactive priority.
+    pub queue_interactive: u64,
+    /// Queue depth, batch priority.
+    pub queue_batch: u64,
+}
+
+impl WorkerLoad {
+    /// Decode from the heartbeat frame payload (body slots after the header).
+    pub fn from_payload(body: &[f64]) -> Option<WorkerLoad> {
+        if body.len() < 5 {
+            return None;
+        }
+        Some(WorkerLoad {
+            live: body[0] as u64,
+            queued: body[1] as u64,
+            capacity: body[2] as u64,
+            queue_interactive: body[3] as u64,
+            queue_batch: body[4] as u64,
+        })
+    }
+}
+
+/// One worker as the controller sees it.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// Stable name (registration key; survives address changes).
+    pub name: String,
+    /// Data-plane address.
+    pub addr: String,
+    /// Worker state directory (dead-worker checkpoint recovery reads here).
+    pub dir: String,
+    /// Consecutive missed heartbeats.
+    pub missed: u32,
+    /// Declared dead (jobs replayed away); a valid echo resurrects.
+    pub dead: bool,
+    /// Heartbeat epoch (bumped on re-registration so stale echoes from a
+    /// previous incarnation are rejected by the frame check).
+    pub epoch: u64,
+    /// Last heartbeat sequence number sent.
+    pub seq: u64,
+    /// Tick before which no probe is sent (backoff).
+    pub next_probe: u64,
+    /// Last echoed load report.
+    pub load: WorkerLoad,
+}
+
+impl Worker {
+    /// Fresh registration.
+    pub fn new(name: String, addr: String, dir: String, epoch: u64) -> Self {
+        Worker {
+            name,
+            addr,
+            dir,
+            missed: 0,
+            dead: false,
+            epoch,
+            seq: 0,
+            next_probe: 0,
+            load: WorkerLoad::default(),
+        }
+    }
+
+    /// Whether a probe should be sent at `tick`.
+    pub fn probe_due(&self, tick: u64) -> bool {
+        tick >= self.next_probe
+    }
+
+    /// A valid echo arrived: reset the retry state, absorb the load report.
+    pub fn record_success(&mut self, tick: u64, load: WorkerLoad) {
+        self.missed = 0;
+        self.dead = false;
+        self.next_probe = tick + 1;
+        self.load = load;
+    }
+
+    /// A probe failed (connect error, bad frame, stale echo). Returns `true`
+    /// on the transition into death — exactly once per incident, so the
+    /// caller replays the worker's jobs exactly once.
+    pub fn record_failure(&mut self, tick: u64, max_missed: u32) -> bool {
+        self.missed = self.missed.saturating_add(1);
+        // Exponential backoff in ticks, capped at 8 heartbeat periods; a
+        // dead worker is still probed (slowly) so it can resurrect.
+        self.next_probe = tick + 1 + (1u64 << self.missed.min(3));
+        let newly_dead = !self.dead && self.missed >= max_missed;
+        if newly_dead {
+            self.dead = true;
+        }
+        newly_dead
+    }
+
+    /// Re-registration at (possibly) a new address: new epoch invalidates
+    /// any in-flight echo from the old incarnation.
+    pub fn reregister(&mut self, addr: String, dir: String) {
+        self.addr = addr;
+        self.dir = dir;
+        self.epoch += 1;
+        self.missed = 0;
+        self.dead = false;
+        self.next_probe = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn death_is_declared_exactly_once_and_backoff_grows() {
+        let mut w = Worker::new("w0".into(), "a".into(), "d".into(), 1);
+        assert!(w.probe_due(0));
+        assert!(!w.record_failure(0, 3));
+        let first_backoff = w.next_probe;
+        assert!(first_backoff > 1, "backoff must skip ticks");
+        assert!(!w.probe_due(first_backoff - 1));
+        assert!(!w.record_failure(first_backoff, 3));
+        let second_backoff = w.next_probe;
+        // The second interval is wider than the first (probed at tick 0).
+        assert!(second_backoff - first_backoff > first_backoff);
+        // Third consecutive miss: the death transition fires once.
+        assert!(w.record_failure(second_backoff, 3));
+        assert!(w.dead);
+        assert!(!w.record_failure(w.next_probe, 3), "no double death");
+        // A valid echo resurrects and resets retry state.
+        w.record_success(100, WorkerLoad::default());
+        assert!(!w.dead);
+        assert_eq!(w.missed, 0);
+        assert!(w.probe_due(101));
+    }
+
+    #[test]
+    fn reregistration_bumps_epoch_and_clears_death() {
+        let mut w = Worker::new("w0".into(), "old".into(), "d".into(), 1);
+        for _ in 0..3 {
+            w.record_failure(0, 3);
+        }
+        assert!(w.dead);
+        w.reregister("new".into(), "d2".into());
+        assert!(!w.dead);
+        assert_eq!(w.epoch, 2);
+        assert_eq!(w.addr, "new");
+        assert_eq!(w.dir, "d2");
+        assert!(w.probe_due(0));
+    }
+
+    #[test]
+    fn load_payload_decodes() {
+        assert_eq!(
+            WorkerLoad::from_payload(&[3.0, 2.0, 16.0, 1.0, 1.0]),
+            Some(WorkerLoad {
+                live: 3,
+                queued: 2,
+                capacity: 16,
+                queue_interactive: 1,
+                queue_batch: 1,
+            })
+        );
+        assert_eq!(WorkerLoad::from_payload(&[1.0]), None);
+    }
+}

@@ -480,6 +480,36 @@ impl CheckpointStore {
         Ok(None)
     }
 
+    /// Raw bytes of the newest checkpoint (either generation) that passes
+    /// verification — the migration payload a fleet controller ships between
+    /// workers without re-encoding. Returns the checkpointed step alongside
+    /// the bytes; `Ok(None)` if no valid checkpoint exists.
+    pub fn latest_valid_bytes(&self) -> Result<Option<(u64, Vec<u8>)>, CheckpointError> {
+        for (_, path) in self.list()?.into_iter().rev() {
+            let bytes = std::fs::read(&path)?;
+            match crate::chunked::read_any_checkpoint(&mut bytes.as_slice()) {
+                Ok(ck) => return Ok(Some((ck.step(), bytes))),
+                Err(CheckpointError::Corrupt(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Install pre-encoded checkpoint bytes (either generation) as this
+    /// store's checkpoint for `step` — the receiving half of a migration.
+    /// The bytes are verified before the atomic tmp→rename install, so a
+    /// payload damaged in transit never lands under a valid name.
+    pub fn seed_bytes(
+        &self,
+        step: u64,
+        bytes: &[u8],
+    ) -> Result<std::path::PathBuf, CheckpointError> {
+        let mut r = bytes;
+        crate::chunked::read_any_checkpoint(&mut r)?;
+        self.save_with(step, bytes.len() as u64, |f| f.write_all(bytes))
+    }
+
     fn prune(&self) -> io::Result<()> {
         let list = self.list()?;
         if list.len() > self.retain {
@@ -841,5 +871,29 @@ mod tests {
         let mut buf = Vec::new();
         write_checkpoint(&mut buf, &ck).unwrap();
         assert_eq!(read_checkpoint(&mut buf.as_slice()).unwrap(), ck);
+    }
+
+    #[test]
+    fn byte_level_migration_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("swlb-ckpt-bytes-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let src = CheckpointStore::new(dir.join("src"), 2).unwrap();
+        let dst = CheckpointStore::new(dir.join("dst"), 2).unwrap();
+        let ck = sample();
+        src.save(&ck).unwrap();
+        let (step, bytes) = src.latest_valid_bytes().unwrap().unwrap();
+        assert_eq!(step, ck.step);
+        dst.seed_bytes(step, &bytes).unwrap();
+        assert_eq!(dst.load(step).unwrap(), ck);
+        // Bytes damaged in transit are refused before landing on disk.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        assert!(dst.seed_bytes(step + 1, &bad).is_err());
+        assert!(!dst.path_for(step + 1).exists());
+        // An empty store has no bytes to offer.
+        let empty = CheckpointStore::new(dir.join("empty"), 2).unwrap();
+        assert!(empty.latest_valid_bytes().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -37,6 +37,43 @@ impl ServeClient {
         }
     }
 
+    /// Submit with bounded retry: a 503 ([`SwlbError::Unavailable`]) means
+    /// the service is *degraded* (its journal cannot persist), which is
+    /// usually transient — a full disk being cleared, a controller failing
+    /// over. Retries up to `max_retries` times with jittered exponential
+    /// backoff starting at `base_backoff`, and returns `(id, retries_used)`
+    /// so the caller can tell the user the path was degraded. Any other
+    /// error (including 429 Rejected, which is a *policy* answer, not an
+    /// outage) propagates immediately.
+    pub fn submit_with_retry(
+        &self,
+        spec: &JobSpec,
+        max_retries: u32,
+        base_backoff: std::time::Duration,
+    ) -> Result<(u64, u32), SwlbError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(spec) {
+                Ok(id) => return Ok((id, attempt)),
+                Err(SwlbError::Unavailable(_)) if attempt < max_retries => {
+                    // Exponential backoff (capped at 2^6) with deterministic
+                    // jitter: spread concurrent submitters by hashing the
+                    // job name and attempt so herds don't re-collide.
+                    let exp = 1u64 << attempt.min(6);
+                    let jitter_seed = spec
+                        .name
+                        .bytes()
+                        .fold(attempt as u64 + 1, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+                    let jitter_pct = 50 + jitter_seed % 100; // 50%..150%
+                    let backoff = base_backoff.mul_f64(exp as f64 * jitter_pct as f64 / 100.0);
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Status object for one job.
     pub fn status(&self, id: u64) -> Result<Json, SwlbError> {
         self.get_json(&format!("/v1/jobs/{id}"))

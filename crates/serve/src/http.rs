@@ -17,6 +17,12 @@ use swlb_obs::SwlbError;
 /// control plane itself.
 pub const MAX_BODY: usize = 1 << 20;
 
+/// Body bound for data-plane transfers (checkpoint payloads riding the fleet
+/// migration routes): 1 GiB covers the largest checkpoint the solver bounds
+/// allow (`MAX_CELLS` cells × Q27 × 8 B ≈ 906 MiB) with framing headroom.
+/// Only the worker-mode routes accept bodies this large.
+pub const MAX_DATA_BODY: usize = 1 << 30;
+
 /// The body-integrity header name.
 pub const CRC_HEADER: &str = "x-swlb-crc32";
 
@@ -58,8 +64,18 @@ impl Request {
     }
 }
 
-/// Read and verify one request from `stream`.
+/// Read and verify one request from `stream` (control-plane body limit).
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, SwlbError> {
+    read_request_with_limit(stream, MAX_BODY)
+}
+
+/// Read and verify one request, accepting bodies up to `max_body` — the
+/// worker-mode data plane raises the limit to [`MAX_DATA_BODY`] so whole
+/// checkpoints can ride a migration push.
+pub fn read_request_with_limit(
+    stream: &mut TcpStream,
+    max_body: usize,
+) -> Result<Request, SwlbError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -93,9 +109,9 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, SwlbError> {
         .transpose()
         .map_err(|_| SwlbError::CorruptData("bad content-length".into()))?
         .unwrap_or(0);
-    if len > MAX_BODY {
+    if len > max_body {
         return Err(SwlbError::CorruptData(format!(
-            "body of {len} B exceeds the {MAX_BODY} B limit"
+            "body of {len} B exceeds the {max_body} B limit"
         )));
     }
     let mut body = vec![0u8; len];
@@ -171,6 +187,18 @@ pub fn roundtrip(
     target: &str,
     body: &[u8],
 ) -> Result<(u16, Vec<u8>), SwlbError> {
+    roundtrip_with_limit(addr, method, target, body, MAX_BODY)
+}
+
+/// [`roundtrip`] with an explicit response-body bound — the fleet controller
+/// pulling a migration envelope accepts up to [`MAX_DATA_BODY`].
+pub fn roundtrip_with_limit(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    max_body: usize,
+) -> Result<(u16, Vec<u8>), SwlbError> {
     let mut stream = TcpStream::connect(addr)?;
     send_request(&mut stream, method, target, body)?;
     let mut reader = BufReader::new(stream);
@@ -180,7 +208,7 @@ pub fn roundtrip(
         let len: usize = len
             .parse()
             .map_err(|_| SwlbError::CorruptData("bad content-length".into()))?;
-        if len > MAX_BODY {
+        if len > max_body {
             return Err(SwlbError::CorruptData("response too large".into()));
         }
         resp_body.resize(len, 0);

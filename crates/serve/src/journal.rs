@@ -522,6 +522,7 @@ mod tests {
             outputs: vec![OutputKind::Ppm],
             chaos_nan_at_step: None,
             width: 1,
+            tenant: crate::spec::DEFAULT_TENANT.to_string(),
         }
     }
 

@@ -71,6 +71,7 @@
 //!     outputs: vec![OutputKind::Ppm],
 //!     chaos_nan_at_step: None,
 //!     width: 1,
+//!     tenant: "default".into(),
 //! }).unwrap();
 //! let events = client.watch(id, 0).unwrap();           // blocks to terminal
 //! assert!(events.iter().any(|e| e.contains("completed")));
@@ -85,12 +86,14 @@ pub mod scheduler;
 pub mod server;
 pub mod spec;
 pub mod state;
+pub mod wire;
 
 pub use client::ServeClient;
 pub use journal::{JobEvent, JournalHandle, ReplayOutcome, ReplayedJob};
 pub use json::Json;
 pub use server::{ServeConfig, Server};
-pub use spec::{JobSpec, JobState, OutputKind, Priority};
+pub use spec::{JobSpec, JobState, OutputKind, Priority, DEFAULT_TENANT};
+pub use wire::PushEnvelope;
 // Re-export the pieces a submission is made of, so client code doesn't need
 // a direct swlb-sim (or swlb-core) dependency.
 pub use swlb_core::layout::StorageScheme;

@@ -57,6 +57,9 @@ enum Boundary {
     Preempt,
     Complete,
     Cancel,
+    /// Fleet migration handoff: checkpoint, park `Checkpointed` (journaled
+    /// as a drain) and wake the handoff handler waiting to ship the bytes.
+    Handoff,
     Rollback,
     Fail(String),
 }
@@ -297,6 +300,8 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                                 Boundary::Complete
                             } else if st.jobs[idx].cancel_requested {
                                 Boundary::Cancel
+                            } else if st.jobs[idx].handoff_requested && !just_poisoned {
+                                Boundary::Handoff
                             } else if (st.draining || st.stopping) && !just_poisoned {
                                 Boundary::Yield
                             } else if st.should_preempt(idx) && !just_poisoned {
@@ -381,6 +386,46 @@ pub fn run(shared: Arc<Shared>, cfg: SchedConfig) {
                         shared.event_wake.notify_all();
                         release = true;
                         break;
+                    }
+                    Boundary::Handoff => {
+                        let ck = checkpoint(&cfg, r);
+                        let mut st = shared.lock_state();
+                        match ck {
+                            Ok(step) => {
+                                let job = st.job_mut(picked).unwrap();
+                                // Parked like a drain: resumable from this
+                                // checkpoint, on this worker or another.
+                                job.state = JobState::Checkpointed;
+                                job.handoff_requested = false;
+                                job.recorder.flush(job.steps_done);
+                                st.journal.append(&JobEvent::Drained { id: picked, step });
+                                shared.push_event(
+                                    &mut st,
+                                    picked,
+                                    "handed_off",
+                                    vec![("at_step", Json::num(step as f64))],
+                                );
+                                shared.event_wake.notify_all();
+                                release = true;
+                                break;
+                            }
+                            Err(e) => {
+                                // Can't persist: withdraw the handoff and
+                                // keep computing rather than lose state. The
+                                // waiting handler times out and reports 503.
+                                if let Some(job) = st.job_mut(picked) {
+                                    job.handoff_requested = false;
+                                }
+                                shared.push_event(
+                                    &mut st,
+                                    picked,
+                                    "checkpoint_error",
+                                    vec![("error", Json::str(e.to_string()))],
+                                );
+                                shared.event_wake.notify_all();
+                                continue;
+                            }
+                        }
                     }
                     Boundary::Rollback => {
                         // Load the last valid checkpoint (or rebuild from

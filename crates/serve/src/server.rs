@@ -10,6 +10,9 @@
 //! GET  /v1/stats              service counters          200
 //! POST /v1/chaos/panic        (chaos_routes) panic a handler under the lock
 //! POST /v1/chaos/journal-full (chaos_routes) ?mode=on|off: fail journal writes
+//! POST /v1/fleet/ping         (worker_routes) sealed-frame heartbeat echo
+//! POST /v1/fleet/push         (worker_routes) receive a migrated job  202 | 429 | 503
+//! POST /v1/jobs/<id>/handoff  (worker_routes) park + ship the job     200 (envelope)
 //! ```
 //!
 //! One request per connection; every framed body carries an `x-swlb-crc32`
@@ -40,14 +43,15 @@ use crate::http::{self, Request};
 use crate::journal::{self, JournalHandle};
 use crate::json::Json;
 use crate::scheduler::{self, SchedConfig};
-use crate::spec::{JobSpec, JobState};
+use crate::spec::{JobSpec, JobState, Priority};
 use crate::state::Shared;
+use crate::wire::PushEnvelope;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use swlb_core::parallel::ThreadPool;
 use swlb_io::{CheckpointStore, Journal, JournalConfig};
 use swlb_obs::{JsonlSink, Recorder, SwlbError};
@@ -81,6 +85,10 @@ pub struct ServeConfig {
     pub journal_buffer: usize,
     /// Expose `POST /v1/chaos/*` fault-injection routes (tests only).
     pub chaos_routes: bool,
+    /// Worker mode: expose the fleet data-plane routes (`/v1/fleet/ping`,
+    /// `/v1/fleet/push`, `/v1/jobs/<id>/handoff`) and accept data-plane-sized
+    /// bodies, so a controller can place, probe and migrate jobs here.
+    pub worker_routes: bool,
 }
 
 impl ServeConfig {
@@ -98,6 +106,7 @@ impl ServeConfig {
             io_timeout: Some(Duration::from_secs(10)),
             journal_buffer: 1024,
             chaos_routes: false,
+            worker_routes: false,
         }
     }
 }
@@ -108,6 +117,10 @@ struct ConnCtx {
     recorder: Recorder,
     slice_steps: u64,
     chaos_routes: bool,
+    worker_routes: bool,
+    /// Parent checkpoint store (same root the scheduler namespaces into) —
+    /// the handoff/push handlers read and seed checkpoint bytes through it.
+    store: CheckpointStore,
 }
 
 /// A running service instance.
@@ -204,6 +217,10 @@ impl Server {
             recorder: cfg.recorder.clone(),
             slice_steps: cfg.slice_steps,
             chaos_routes: cfg.chaos_routes,
+            worker_routes: cfg.worker_routes,
+            // A second handle on the same checkpoint root; the scheduler owns
+            // the first. Namespacing keeps their file sets disjoint per job.
+            store: CheckpointStore::new(cfg.base_dir.join("checkpoints"), cfg.retain)?,
         });
         let io_timeout = cfg.io_timeout;
         let acceptor = {
@@ -337,7 +354,14 @@ const WATCH_POLL: Duration = Duration::from_millis(50);
 const WATCH_HEARTBEAT: Duration = Duration::from_millis(500);
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared, ctx: &ConnCtx) {
-    let req = match http::read_request(&mut stream) {
+    // Worker mode accepts data-plane-sized bodies (migration pushes carry
+    // whole checkpoints); plain serving keeps the tight control-plane bound.
+    let max_body = if ctx.worker_routes {
+        http::MAX_DATA_BODY
+    } else {
+        http::MAX_BODY
+    };
+    let req = match http::read_request_with_limit(&mut stream, max_body) {
         Ok(r) => r,
         Err(e) => {
             let body = error_json(&e);
@@ -354,6 +378,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, ctx: &ConnCtx) {
         ("GET", ["v1", "jobs", id, "events"]) => {
             // Streaming path: takes over the connection entirely.
             watch(&mut stream, shared, id, &req);
+            return;
+        }
+        ("POST", ["v1", "fleet", "ping"]) if ctx.worker_routes => {
+            // Binary frame echo: takes over the connection entirely.
+            heartbeat(&mut stream, shared, &req);
+            return;
+        }
+        ("POST", ["v1", "fleet", "push"]) if ctx.worker_routes => push(shared, &req, ctx),
+        ("POST", ["v1", "jobs", id, "handoff"]) if ctx.worker_routes => {
+            // Binary envelope response: takes over the connection entirely.
+            handoff(&mut stream, shared, id, ctx);
             return;
         }
         ("POST", ["v1", "jobs", id, "cancel"]) => cancel(shared, id),
@@ -475,8 +510,11 @@ fn cancel(shared: &Shared, id_seg: &str) -> (u16, Json) {
         return (404, Json::obj([("error", Json::str("no such job"))]));
     };
     match job.state {
-        // Off the pool: cancel immediately.
-        JobState::Queued | JobState::Preempted => {
+        // Off the pool (including parked-for-handoff/drain): cancel
+        // immediately. Cancelling a checkpointed job is how the fleet
+        // controller releases the source-side copy once a migration has
+        // landed elsewhere — the checkpoint files stay on disk.
+        JobState::Queued | JobState::Preempted | JobState::Checkpointed => {
             job.state = JobState::Cancelled;
             job.recorder.flush(job.steps_done);
             st.journal
@@ -494,6 +532,259 @@ fn cancel(shared: &Shared, id_seg: &str) -> (u16, Json) {
     shared.sched_wake.notify_all();
     let body = st.job(id).unwrap().status_json();
     (200, body)
+}
+
+/// How long a handoff handler waits for the scheduler to park a running job
+/// at its next slice boundary before reporting the worker busy.
+const HANDOFF_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// `POST /v1/fleet/ping` — heartbeat echo. The controller sends a sealed
+/// `[epoch, seq, crc]` f64 frame; the worker validates it, re-seals the same
+/// epoch/seq over a load-report payload `[live, queued, capacity,
+/// queue_interactive, queue_batch]`, and answers. Echoing means the worker
+/// keeps no per-controller epoch state — a worker restarted in place answers
+/// the very next probe correctly.
+fn heartbeat(stream: &mut TcpStream, shared: &Shared, req: &Request) {
+    use swlb_comm::frame::{
+        check_frame, frame_from_bytes, frame_to_bytes, seal_frame, FrameCheck, FRAME_HEADER,
+    };
+    let verdict = frame_from_bytes(&req.body)
+        .map(|probe| {
+            let (epoch, seq) = (probe[0] as u64, probe[1] as u64);
+            (check_frame(&probe, epoch, seq), epoch, seq)
+        })
+        .filter(|(check, _, _)| *check == FrameCheck::Valid);
+    let Some((_, epoch, seq)) = verdict else {
+        let _ = http::write_response(
+            stream,
+            400,
+            "application/json",
+            b"{\"error\":\"corrupt heartbeat frame\"}",
+        );
+        return;
+    };
+    let load = {
+        let st = shared.lock_state();
+        [
+            st.live_count() as f64,
+            st.queue_depth() as f64,
+            st.capacity as f64,
+            st.queue_depth_for(Priority::Interactive) as f64,
+            st.queue_depth_for(Priority::Batch) as f64,
+        ]
+    };
+    let mut resp = vec![0.0; FRAME_HEADER];
+    resp.extend_from_slice(&load);
+    seal_frame(&mut resp, epoch, seq);
+    let _ = http::write_response(
+        stream,
+        200,
+        "application/octet-stream",
+        &frame_to_bytes(&resp),
+    );
+}
+
+/// `POST /v1/fleet/push` — receive a migrated (or freshly placed) job. The
+/// job is admitted *held* so the scheduler cannot start it from scratch,
+/// then the envelope's checkpoint bytes are installed into the job's
+/// namespaced store, and only then is the hold released. A seed failure
+/// cancels the held job — the controller retries on another worker.
+fn push(shared: &Shared, req: &Request, ctx: &ConnCtx) -> (u16, Json) {
+    let env = match PushEnvelope::decode(&req.body) {
+        Ok(e) => e,
+        Err(e) => return (400, Json::obj([("error", Json::str(e.to_string()))])),
+    };
+    let id = {
+        let mut st = shared.lock_state();
+        match st.admit(env.spec.clone(), Recorder::disabled()) {
+            Ok(id) => {
+                let recorder = job_recorder(&ctx.jobs_dir, id, ctx.slice_steps);
+                let job = st.job_mut(id).unwrap();
+                job.recorder = recorder;
+                job.held = !env.ckpt.is_empty();
+                job.width = env.width.max(1);
+                job.steps_done = env.step;
+                ctx.recorder.counter("serve.pushed").inc();
+                shared.push_event(
+                    &mut st,
+                    id,
+                    "pushed",
+                    vec![
+                        ("fleet_id", Json::num(env.fleet_id as f64)),
+                        ("at_step", Json::num(env.step as f64)),
+                    ],
+                );
+                id
+            }
+            Err(SwlbError::Rejected { capacity }) => {
+                ctx.recorder.counter("serve.rejected").inc();
+                return (
+                    429,
+                    Json::obj([
+                        ("error", Json::str("worker at capacity")),
+                        ("capacity", Json::num(capacity as f64)),
+                    ]),
+                );
+            }
+            Err(e @ SwlbError::Unavailable(_)) => {
+                ctx.recorder.counter("serve.unavailable").inc();
+                return (503, Json::obj([("error", Json::str(e.to_string()))]));
+            }
+            Err(e) => return (500, Json::obj([("error", Json::str(e.to_string()))])),
+        }
+    };
+    if !env.ckpt.is_empty() {
+        // Disk I/O outside the lock; the hold keeps the scheduler away.
+        let seeded = ctx
+            .store
+            .namespaced(&format!("job-{id}"))
+            .map_err(swlb_io::CheckpointError::Io)
+            .and_then(|s| s.seed_bytes(env.step, &env.ckpt));
+        if let Err(e) = seeded {
+            let mut st = shared.lock_state();
+            st.journal
+                .append(&crate::journal::JobEvent::Cancelled { id });
+            if let Some(job) = st.job_mut(id) {
+                job.state = JobState::Cancelled;
+                job.held = false;
+                job.error = Some(e.to_string());
+            }
+            shared.push_event(
+                &mut st,
+                id,
+                "cancelled",
+                vec![("error", Json::str(e.to_string()))],
+            );
+            shared.event_wake.notify_all();
+            return (500, Json::obj([("error", Json::str(e.to_string()))]));
+        }
+    }
+    let mut st = shared.lock_state();
+    if let Some(job) = st.job_mut(id) {
+        job.held = false;
+    }
+    shared.sched_wake.notify_all();
+    (
+        202,
+        Json::obj([
+            ("id", Json::num(id as f64)),
+            ("fleet_id", Json::num(env.fleet_id as f64)),
+        ]),
+    )
+}
+
+/// `POST /v1/jobs/<id>/handoff?fleet_id=N` — park the job at a checkpointed
+/// boundary and ship its spec + newest valid checkpoint bytes back as a
+/// [`PushEnvelope`]. Queued/preempted jobs park immediately; a running job
+/// is flagged and the handler waits (bounded) for the scheduler to honour
+/// the handoff at its next slice boundary. The local record stays
+/// `Checkpointed` — terminal here, resumable wherever the envelope lands.
+fn handoff(stream: &mut TcpStream, shared: &Shared, id_seg: &str, ctx: &ConnCtx) {
+    let Some(id) = parse_id(id_seg) else {
+        let _ = http::write_response(stream, 400, "application/json", b"{\"error\":\"bad job id\"}");
+        return;
+    };
+    enum Park {
+        Ready,
+        NotFound,
+        Terminal(&'static str),
+        TimedOut,
+    }
+    let parked = {
+        let mut st = shared.lock_state();
+        let park_now = |st: &mut crate::state::State, shared: &Shared| {
+            let job = st.job_mut(id).unwrap();
+            job.state = JobState::Checkpointed;
+            let step = job.steps_done;
+            job.handoff_requested = false;
+            job.recorder.flush(step);
+            st.journal
+                .append(&crate::journal::JobEvent::Drained { id, step });
+            shared.push_event(
+                st,
+                id,
+                "handed_off",
+                vec![("at_step", Json::num(step as f64))],
+            );
+            shared.event_wake.notify_all();
+        };
+        match st.job(id).map(|j| j.state) {
+            None => Park::NotFound,
+            // Off the pool: any existing checkpoint (from preemption) is
+            // already on disk, so park directly.
+            Some(JobState::Queued | JobState::Preempted) => {
+                park_now(&mut st, shared);
+                Park::Ready
+            }
+            // Drained already — nothing to do, just ship.
+            Some(JobState::Checkpointed) => Park::Ready,
+            Some(JobState::Running) => {
+                st.job_mut(id).unwrap().handoff_requested = true;
+                shared.sched_wake.notify_all();
+                let deadline = Instant::now() + HANDOFF_TIMEOUT;
+                loop {
+                    st = shared.wait_event_timeout(st, Duration::from_millis(50));
+                    match st.job(id).map(|j| j.state) {
+                        Some(JobState::Checkpointed) => break Park::Ready,
+                        Some(JobState::Running) if Instant::now() < deadline => continue,
+                        Some(JobState::Running) => {
+                            // Withdraw the request so the job keeps running.
+                            st.job_mut(id).unwrap().handoff_requested = false;
+                            break Park::TimedOut;
+                        }
+                        // The job reached a different terminal state first
+                        // (completed/failed/cancelled won the boundary).
+                        _ => break Park::Terminal("job became terminal before handoff"),
+                    }
+                }
+            }
+            Some(_) => Park::Terminal("job is terminal"),
+        }
+    };
+    match parked {
+        Park::NotFound => {
+            let _ =
+                http::write_response(stream, 404, "application/json", b"{\"error\":\"no such job\"}");
+            return;
+        }
+        Park::Terminal(msg) => {
+            let body = Json::obj([("error", Json::str(msg))]).to_text();
+            let _ = http::write_response(stream, 409, "application/json", body.as_bytes());
+            return;
+        }
+        Park::TimedOut => {
+            let _ = http::write_response(
+                stream,
+                503,
+                "application/json",
+                b"{\"error\":\"handoff timed out waiting for a slice boundary\"}",
+            );
+            return;
+        }
+        Park::Ready => {}
+    }
+    let (spec, width) = {
+        let st = shared.lock_state();
+        let job = st.job(id).unwrap();
+        (job.spec.clone(), job.width)
+    };
+    // Newest valid bytes (outside the lock); a job parked before its first
+    // checkpoint ships an empty payload — the receiver starts from scratch.
+    let bytes = ctx
+        .store
+        .namespaced(&format!("job-{id}"))
+        .ok()
+        .and_then(|s| s.latest_valid_bytes().ok().flatten());
+    let (step, ckpt) = bytes.unwrap_or((0, Vec::new()));
+    let env = PushEnvelope {
+        spec,
+        fleet_id: 0, // stamped by the controller when it relays the envelope
+        step,
+        width,
+        ckpt,
+    };
+    ctx.recorder.counter("serve.handoffs").inc();
+    let _ = http::write_response(stream, 200, "application/octet-stream", &env.encode());
 }
 
 fn drain(shared: &Shared) -> (u16, Json) {
@@ -531,6 +822,31 @@ fn stats(shared: &Shared, ctx: &ConnCtx) -> (u16, Json) {
             ("jobs", Json::num(st.jobs.len() as f64)),
             ("live", Json::num(st.live_count() as f64)),
             ("queue_depth", Json::num(st.queue_depth() as f64)),
+            (
+                "queue_depth_interactive",
+                Json::num(st.queue_depth_for(Priority::Interactive) as f64),
+            ),
+            (
+                "queue_depth_batch",
+                Json::num(st.queue_depth_for(Priority::Batch) as f64),
+            ),
+            (
+                "tenants",
+                Json::Obj(
+                    st.tenant_counts()
+                        .into_iter()
+                        .map(|(tenant, running, queued)| {
+                            (
+                                tenant,
+                                Json::obj([
+                                    ("running", Json::num(running as f64)),
+                                    ("queued", Json::num(queued as f64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
             ("capacity", Json::num(st.capacity as f64)),
             ("rejected", Json::num(st.rejected as f64)),
             ("slices", Json::num(st.slice_seq as f64)),

@@ -99,7 +99,14 @@ pub struct JobSpec {
     /// resuming a checkpoint written at a different width re-shards on
     /// restore.
     pub width: u32,
+    /// Accounting tenant the job is charged to. The fleet controller enforces
+    /// per-tenant quotas and fair shares on this label; a single worker
+    /// reports per-tenant running/queued counts in `/v1/stats`.
+    pub tenant: String,
 }
+
+/// The tenant jobs are charged to when the submission names none.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Upper bound on a job's requested execution width (in-process ranks).
 pub const MAX_WIDTH: u32 = 64;
@@ -121,6 +128,17 @@ impl JobSpec {
                 "width {} outside 1..={MAX_WIDTH}",
                 self.width
             )));
+        }
+        if self.tenant.is_empty()
+            || self.tenant.len() > 32
+            || !self
+                .tenant
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(SwlbError::InvalidConfig(
+                "tenant must be 1..=32 characters of [A-Za-z0-9_-]".into(),
+            ));
         }
         self.case.validate()
     }
@@ -161,6 +179,11 @@ impl JobSpec {
                 "time_block".to_string(),
                 Json::num(self.case.time_block as f64),
             ));
+        }
+        // And for tenancy: pre-fleet specs (and journal records) have no
+        // tenant and decode as the default tenant.
+        if self.tenant != DEFAULT_TENANT {
+            m.push(("tenant".to_string(), Json::str(self.tenant.clone())));
         }
         Json::Obj(m)
     }
@@ -260,6 +283,16 @@ impl JobSpec {
                         )
                     })?,
             },
+            // Missing key (pre-fleet specs and journal records) => default.
+            tenant: match v.get("tenant") {
+                None => DEFAULT_TENANT.to_string(),
+                Some(j) => j
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| {
+                        SwlbError::CorruptData("job spec key \"tenant\" must be a string".into())
+                    })?,
+            },
         };
         spec.validate()?;
         Ok(spec)
@@ -314,7 +347,7 @@ impl JobState {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     pub(crate) fn sample_spec() -> JobSpec {
@@ -337,6 +370,7 @@ mod tests {
             outputs: vec![OutputKind::Vtk, OutputKind::Ppm],
             chaos_nan_at_step: None,
             width: 1,
+            tenant: DEFAULT_TENANT.to_string(),
         }
     }
 
@@ -437,6 +471,33 @@ mod tests {
         odd_aa.case.storage = StorageScheme::Aa;
         odd_aa.case.time_block = 3;
         assert!(JobSpec::from_json(&odd_aa.to_json()).is_err());
+    }
+
+    #[test]
+    fn tenant_key_is_optional_and_validated() {
+        // Pre-fleet submissions (and journal records) have no "tenant" key:
+        // they must decode as the default tenant — and the default is
+        // omitted on encode so old readers see an unchanged wire form.
+        let spec = sample_spec();
+        let Json::Obj(m) = spec.to_json() else {
+            unreachable!()
+        };
+        assert!(m.iter().all(|(k, _)| k != "tenant"));
+        let back = JobSpec::from_json(&Json::Obj(m)).unwrap();
+        assert_eq!(back.tenant, DEFAULT_TENANT);
+
+        // A named tenant round-trips through the wire form.
+        let mut named = sample_spec();
+        named.tenant = "team-cfd".into();
+        let back = JobSpec::from_json(&named.to_json()).unwrap();
+        assert_eq!(back, named);
+
+        // Empty, oversized and ill-charactered tenants are rejected.
+        for bad in ["", "a b", &"x".repeat(33)] {
+            let mut spec = sample_spec();
+            spec.tenant = bad.into();
+            assert!(spec.validate().is_err(), "tenant {bad:?} must be rejected");
+        }
     }
 
     #[test]

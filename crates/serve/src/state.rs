@@ -67,6 +67,14 @@ pub struct JobRecord {
     pub chaos_fired: bool,
     /// Client asked for cancellation; honoured at the next slice boundary.
     pub cancel_requested: bool,
+    /// Admitted via a fleet push but its migrated checkpoint has not landed
+    /// yet: the scheduler must not start it (it would rebuild from step 0
+    /// and race the seed). Cleared once the checkpoint bytes are installed.
+    pub held: bool,
+    /// Fleet controller asked for a migration handoff: at the next slice
+    /// boundary the scheduler checkpoints the job and parks it
+    /// `Checkpointed` so the handoff handler can ship the bytes.
+    pub handoff_requested: bool,
     /// Accumulated wall-clock seconds actually computing.
     pub run_s: f64,
     /// Kernel class that served the job's latest slice.
@@ -102,6 +110,7 @@ impl JobRecord {
             ("name", Json::str(self.spec.name.clone())),
             ("state", Json::str(self.state.name())),
             ("priority", Json::str(self.spec.priority.name())),
+            ("tenant", Json::str(self.spec.tenant.clone())),
             ("steps", Json::num(self.spec.steps as f64)),
             ("steps_done", Json::num(self.steps_done as f64)),
             (
@@ -156,6 +165,8 @@ fn blank_record(
         rollbacks: 0,
         chaos_fired: false,
         cancel_requested: false,
+        held: false,
+        handoff_requested: false,
         run_s: 0.0,
         kernel: None,
         error: None,
@@ -205,6 +216,44 @@ impl State {
             .count()
     }
 
+    /// Queue depth restricted to one scheduling class — the per-priority
+    /// breakdown `/v1/stats` reports so fleet placement can see class skew.
+    pub fn queue_depth_for(&self, priority: crate::spec::Priority) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| {
+                matches!(j.state, JobState::Queued | JobState::Preempted)
+                    && j.spec.priority == priority
+            })
+            .count()
+    }
+
+    /// Per-tenant `(running, queued)` counts over live jobs, sorted by
+    /// tenant name. Queued here means waiting for a slice (queued or
+    /// preempted), mirroring [`State::queue_depth`].
+    pub fn tenant_counts(&self) -> Vec<(String, usize, usize)> {
+        let mut out: Vec<(String, usize, usize)> = Vec::new();
+        for j in &self.jobs {
+            if !j.state.is_live() {
+                continue;
+            }
+            let slot = match out.iter_mut().find(|(t, _, _)| *t == j.spec.tenant) {
+                Some(s) => s,
+                None => {
+                    out.push((j.spec.tenant.clone(), 0, 0));
+                    out.last_mut().unwrap()
+                }
+            };
+            match j.state {
+                JobState::Running => slot.1 += 1,
+                JobState::Queued | JobState::Preempted => slot.2 += 1,
+                _ => {}
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// The virtual clock: minimum vruntime over live jobs, or 0 with none.
     /// New admissions start here so they never owe historical runtime.
     pub fn vclock(&self) -> f64 {
@@ -228,7 +277,9 @@ impl State {
         self.jobs
             .iter()
             .enumerate()
-            .filter(|(_, j)| matches!(j.state, JobState::Queued | JobState::Preempted))
+            .filter(|(_, j)| {
+                matches!(j.state, JobState::Queued | JobState::Preempted) && !j.held
+            })
             .min_by(|(_, a), (_, b)| {
                 a.vruntime
                     .partial_cmp(&b.vruntime)
@@ -471,6 +522,7 @@ mod tests {
             outputs: vec![OutputKind::Ppm],
             chaos_nan_at_step: None,
             width: 1,
+            tenant: crate::spec::DEFAULT_TENANT.to_string(),
         }
     }
 
@@ -595,6 +647,47 @@ mod tests {
             .unwrap();
         assert_eq!(id, 4);
         assert_eq!(st.job(4).unwrap().seq, 3);
+    }
+
+    #[test]
+    fn held_jobs_are_invisible_to_the_scheduler() {
+        let shared = Shared::new(4);
+        let mut st = shared.lock_state();
+        let id = st
+            .admit(spec(Priority::Batch), Recorder::disabled())
+            .unwrap();
+        st.job_mut(id).unwrap().held = true;
+        // Held jobs count toward live/queue accounting but never get picked.
+        assert_eq!(st.queue_depth(), 1);
+        assert_eq!(st.pick_ready(), None);
+        st.job_mut(id).unwrap().held = false;
+        assert_eq!(st.pick_ready(), st.idx_of(id));
+    }
+
+    #[test]
+    fn priority_and_tenant_breakdowns() {
+        let shared = Shared::new(8);
+        let mut st = shared.lock_state();
+        let b1 = st
+            .admit(spec(Priority::Batch), Recorder::disabled())
+            .unwrap();
+        let mut tenant_spec = spec(Priority::Interactive);
+        tenant_spec.tenant = "acme".into();
+        let i1 = st.admit(tenant_spec, Recorder::disabled()).unwrap();
+        st.admit(spec(Priority::Interactive), Recorder::disabled())
+            .unwrap();
+        st.job_mut(b1).unwrap().state = JobState::Running;
+        st.job_mut(i1).unwrap().state = JobState::Preempted;
+        assert_eq!(st.queue_depth_for(Priority::Batch), 0);
+        assert_eq!(st.queue_depth_for(Priority::Interactive), 2);
+        let tenants = st.tenant_counts();
+        assert_eq!(
+            tenants,
+            vec![
+                ("acme".to_string(), 0, 1),
+                ("default".to_string(), 1, 1),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! The fleet migration envelope: how a job (spec + progress + checkpoint
+//! bytes) travels between the controller and workers.
+//!
+//! Layout (integers little-endian):
+//!
+//! ```text
+//! magic     8 B   "SWLBFLT1"
+//! meta_len  u32   length of the JSON metadata blob
+//! meta      JSON  {"spec":{...},"fleet_id":N,"step":N,"width":W}
+//! ckpt      rest  raw checkpoint-store bytes (either generation; may be
+//!                 empty when the job has never checkpointed)
+//! ```
+//!
+//! The checkpoint bytes are the exact on-disk form produced by
+//! [`swlb_io::CheckpointStore::latest_valid_bytes`] and installed verbatim
+//! by `seed_bytes` on the receiving worker — no re-encode, so a migration
+//! between workers at different widths round-trips bit-exact through the v3
+//! chunked store. Transport integrity comes from the HTTP `x-swlb-crc32`
+//! header plus the checkpoint's own internal CRC.
+
+use crate::json::{self, Json};
+use crate::spec::JobSpec;
+use swlb_obs::SwlbError;
+
+/// Envelope magic; bump the trailing digit if the layout ever changes.
+pub const ENVELOPE_MAGIC: &[u8; 8] = b"SWLBFLT1";
+
+/// A job in flight between fleet nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushEnvelope {
+    /// The submission, verbatim (tenant included).
+    pub spec: JobSpec,
+    /// Controller-assigned fleet id — stable across migrations and worker
+    /// deaths; worker-local ids are per-worker and never travel.
+    pub fleet_id: u64,
+    /// Steps completed at the checkpoint the envelope carries (0 when no
+    /// checkpoint travels).
+    pub step: u64,
+    /// Execution width the job last ran at (the receiver may resume at any
+    /// width; this seeds its effective-width bookkeeping).
+    pub width: u32,
+    /// Raw checkpoint bytes; empty = start from scratch.
+    pub ckpt: Vec<u8>,
+}
+
+impl PushEnvelope {
+    /// Serialize for an HTTP body.
+    pub fn encode(&self) -> Vec<u8> {
+        let meta = Json::obj([
+            ("spec", self.spec.to_json()),
+            ("fleet_id", Json::num(self.fleet_id as f64)),
+            ("step", Json::num(self.step as f64)),
+            ("width", Json::num(self.width as f64)),
+        ])
+        .to_text();
+        let mut out = Vec::with_capacity(12 + meta.len() + self.ckpt.len());
+        out.extend_from_slice(ENVELOPE_MAGIC);
+        out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(meta.as_bytes());
+        out.extend_from_slice(&self.ckpt);
+        out
+    }
+
+    /// Parse an envelope body; the embedded spec is re-validated.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SwlbError> {
+        if bytes.len() < 12 || &bytes[..8] != ENVELOPE_MAGIC {
+            return Err(SwlbError::CorruptData(
+                "fleet envelope: bad magic or truncated header".into(),
+            ));
+        }
+        let meta_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let meta_end = 12usize
+            .checked_add(meta_len)
+            .filter(|end| *end <= bytes.len())
+            .ok_or_else(|| {
+                SwlbError::CorruptData("fleet envelope: metadata overruns body".into())
+            })?;
+        let meta_text = std::str::from_utf8(&bytes[12..meta_end])
+            .map_err(|_| SwlbError::CorruptData("fleet envelope: metadata not UTF-8".into()))?;
+        let meta = json::parse(meta_text)?;
+        let spec = JobSpec::from_json(meta.get("spec").ok_or_else(|| {
+            SwlbError::CorruptData("fleet envelope: metadata missing spec".into())
+        })?)?;
+        let num = |key: &str| {
+            meta.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                SwlbError::CorruptData(format!("fleet envelope: metadata missing {key:?}"))
+            })
+        };
+        Ok(PushEnvelope {
+            spec,
+            fleet_id: num("fleet_id")?,
+            step: num("step")?,
+            width: num("width")? as u32,
+            ckpt: bytes[meta_end..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PushEnvelope {
+        PushEnvelope {
+            spec: crate::spec::tests::sample_spec(),
+            fleet_id: 42,
+            step: 96,
+            width: 4,
+            ckpt: vec![7u8; 257],
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip_with_and_without_checkpoint() {
+        let env = sample();
+        let back = PushEnvelope::decode(&env.encode()).unwrap();
+        assert_eq!(back, env);
+
+        let mut bare = sample();
+        bare.ckpt.clear();
+        bare.step = 0;
+        let back = PushEnvelope::decode(&bare.encode()).unwrap();
+        assert_eq!(back, bare);
+        assert!(back.ckpt.is_empty());
+    }
+
+    #[test]
+    fn damaged_envelopes_are_rejected() {
+        let bytes = sample().encode();
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(PushEnvelope::decode(&bad).is_err());
+        // Metadata length pointing past the end of the body.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(PushEnvelope::decode(&bad).is_err());
+        // Truncated below the header.
+        assert!(PushEnvelope::decode(&bytes[..10]).is_err());
+        // A spec that fails validation is refused at decode time.
+        let mut env = sample();
+        env.spec.steps = 0;
+        assert!(PushEnvelope::decode(&env.encode()).is_err());
+    }
+}

@@ -115,3 +115,14 @@ figures:
                fig11_gpu_opt fig17_gpu_strong fusion_dma_table ablation_blocking \
                ablation_schedule related_work_table; do \
         cargo run --release -p swlb-bench --bin $bin; done
+
+# The fleet acceptance suite (docs/SERVING.md, "Fleet"): clippy-clean fleet
+# crate, the unit + integration tests (quota enforcement, aging starvation
+# regression, bit-exact cross-width migration), the kill -9 pair (worker
+# death resumed on a survivor, controller death replayed exactly-once), and
+# a scaled 1000-job churn soak. The 100k soak stays behind --ignored.
+fleet-check:
+    cargo clippy -p swlb-fleet --all-targets -- -D warnings
+    cargo test -q -p swlb-fleet
+    cargo test -q -p swlb-fleet --release --test fleet_crash
+    cargo run --release -p swlb-fleet --bin fleet_soak -- --jobs 1000 --workers 4 --churn-every 250 --out /tmp/fleet_soak.jsonl

@@ -1,0 +1,419 @@
+//! Fleet-tier crash acceptance — the two deaths the issue demands a fleet
+//! job survive, proven with real `kill -9`:
+//!
+//! * **worker death** — a job running on a worker child process is killed
+//!   with SIGKILL; the controller's heartbeat misses run out, the dead
+//!   worker's acknowledged jobs replay onto a survivor from their newest
+//!   valid checkpoints (read from the dead worker's state directory), and
+//!   the job completes under its original fleet id, resumed rather than
+//!   restarted;
+//! * **controller death** — the controller child process is killed with
+//!   SIGKILL mid-workload and restarted on the same journal directory;
+//!   every acknowledged job replays exactly once with its id preserved,
+//!   pre-kill terminals stay terminal, and the placement journal records
+//!   each terminal exactly once.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use swlb_serve::json::Json;
+use swlb_serve::{
+    http, CaseKind, CaseSpec, JobSpec, LatticeKind, Priority, ServeClient, ServeConfig, Server,
+    StorageScheme,
+};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swlb-fleetcrash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn job(name: &str, nx: usize, steps: u64) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        case: CaseSpec {
+            case: CaseKind::Cavity,
+            lattice: LatticeKind::D2Q9,
+            nx,
+            ny: nx,
+            nz: 1,
+            tau: 0.8,
+            u_lattice: 0.05,
+            storage: StorageScheme::Ab,
+            time_block: 1,
+        },
+        steps,
+        priority: Priority::Batch,
+        deadline_ms: None,
+        outputs: vec![],
+        chaos_nan_at_step: None,
+        width: 1,
+        tenant: "acme".into(),
+    }
+}
+
+/// Spawn a `swlb-fleet` subcommand child and parse the bound address from
+/// its banner (whitespace token 3, the workspace convention).
+fn spawn_fleet_process(args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_swlb-fleet"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn swlb-fleet");
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_string();
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+fn field_u64(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn field_str<'a>(v: &'a Json, key: &str) -> &'a str {
+    v.get(key).and_then(Json::as_str).unwrap_or("")
+}
+
+fn wait_fleet(
+    client: &ServeClient,
+    timeout: Duration,
+    what: &str,
+    pred: impl Fn(&[Json]) -> bool,
+) -> Vec<Json> {
+    let start = Instant::now();
+    loop {
+        if let Ok(items) = client.list() {
+            if pred(&items) {
+                return items;
+            }
+            if start.elapsed() > timeout {
+                let states: Vec<String> = items
+                    .iter()
+                    .map(|j| {
+                        format!(
+                            "#{} {} on {:?} step {}",
+                            field_u64(j, "id"),
+                            field_str(j, "state"),
+                            field_str(j, "worker"),
+                            field_u64(j, "step"),
+                        )
+                    })
+                    .collect();
+                panic!("timed out waiting for {what}; fleet jobs: {states:?}");
+            }
+        } else if start.elapsed() > timeout {
+            panic!("timed out waiting for {what}; controller unreachable");
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// Register an in-process worker with a controller (used by the controller
+/// -kill test, where the workers must outlive the controller process).
+fn register_worker(dir: &Path, name: &str, controller_addr: &str, server: &Server) {
+    let worker_dir = dir.join(name);
+    let body = Json::obj([
+        ("name", Json::str(name)),
+        ("addr", Json::str(server.addr().to_string())),
+        (
+            "dir",
+            Json::str(
+                worker_dir
+                    .canonicalize()
+                    .unwrap_or(worker_dir)
+                    .display()
+                    .to_string(),
+            ),
+        ),
+    ])
+    .to_text();
+    let start = Instant::now();
+    loop {
+        if let Ok((200, _)) = http::roundtrip(
+            controller_addr,
+            "POST",
+            "/v1/fleet/register",
+            body.as_bytes(),
+        ) {
+            return;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "worker {name} could not register"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn worker_kill_resumes_jobs_on_survivor_with_fleet_id_preserved() {
+    use swlb_fleet::{Controller, FleetConfig};
+
+    let dir = unique_dir("worker-kill");
+    // Controller in-process (it must survive); workers as child processes
+    // (one of them dies for real).
+    let mut cfg = FleetConfig::new(dir.join("controller"));
+    cfg.heartbeat = Duration::from_millis(100);
+    cfg.max_missed = 3;
+    cfg.rebalance = false; // deaths only: keep placement deterministic
+    let controller = Controller::spawn(cfg).unwrap();
+    let caddr = controller.addr().to_string();
+
+    let victim_dir = dir.join("victim");
+    let (mut victim, _) = spawn_fleet_process(&[
+        "worker",
+        "--addr",
+        "127.0.0.1:0",
+        "--dir",
+        victim_dir.to_str().unwrap(),
+        "--name",
+        "victim",
+        "--slice-steps",
+        "8",
+        "--threads",
+        "2",
+        "--controller",
+        &caddr,
+    ]);
+    let client = ServeClient::new(caddr.clone());
+
+    // One long job; with a single registered worker its placement is
+    // deterministic.
+    let id = client.submit(&job("survivor-job", 40, 4000)).unwrap();
+    let placed = wait_fleet(
+        &client,
+        Duration::from_secs(60),
+        "job checkpointed on the victim",
+        |jobs| {
+            jobs.iter().any(|j| {
+                field_u64(j, "id") == id
+                    && field_str(j, "worker") == "victim"
+                    && field_u64(j, "step") >= 120
+            })
+        },
+    );
+    let step_before = placed
+        .iter()
+        .find(|j| field_u64(j, "id") == id)
+        .map(|j| field_u64(j, "step"))
+        .unwrap();
+
+    // Bring up the survivor, then SIGKILL the victim mid-run.
+    let survivor_dir = dir.join("survivor");
+    let (mut survivor, _) = spawn_fleet_process(&[
+        "worker",
+        "--addr",
+        "127.0.0.1:0",
+        "--dir",
+        survivor_dir.to_str().unwrap(),
+        "--name",
+        "survivor",
+        "--slice-steps",
+        "8",
+        "--threads",
+        "2",
+        "--controller",
+        &caddr,
+    ]);
+    victim.kill().expect("kill -9 the victim worker");
+    let _ = victim.wait();
+
+    // The controller declares the victim dead and replays the job onto the
+    // survivor from the newest valid checkpoint in the victim's state dir —
+    // same fleet id, progress preserved.
+    let finished = wait_fleet(
+        &client,
+        Duration::from_secs(180),
+        "job to complete on the survivor",
+        |jobs| {
+            jobs.iter()
+                .any(|j| field_u64(j, "id") == id && field_str(j, "state") == "completed")
+        },
+    );
+    let done = finished.iter().find(|j| field_u64(j, "id") == id).unwrap();
+    assert!(
+        field_u64(done, "migrations") >= 1,
+        "job finished without ever migrating off the dead worker"
+    );
+    let stats = client.stats().unwrap();
+    let workers = stats.get("workers").and_then(Json::as_arr).unwrap();
+    let victim_row = workers
+        .iter()
+        .find(|w| field_str(w, "name") == "victim")
+        .unwrap();
+    assert_eq!(victim_row.get("alive"), Some(&Json::Bool(false)));
+
+    // Resumed, not restarted: the survivor's local copy of the job reports
+    // a resume at (at least) the victim's last synced checkpoint step.
+    let survivor_addr = workers
+        .iter()
+        .find(|w| field_str(w, "name") == "survivor")
+        .map(|w| field_str(w, "addr").to_string())
+        .unwrap();
+    let survivor_client = ServeClient::new(survivor_addr);
+    let local = survivor_client.list().unwrap();
+    let moved = local
+        .iter()
+        .find(|j| field_str(j, "name") == "survivor-job")
+        .expect("the job should exist on the survivor");
+    assert_eq!(field_str(moved, "state"), "completed");
+    let events = survivor_client
+        .watch(field_u64(moved, "id"), 0)
+        .unwrap();
+    let resumed_at = events
+        .iter()
+        .filter_map(|e| swlb_serve::json::parse(e).ok())
+        .find(|e| field_str(e, "event") == "resumed")
+        .map(|e| field_u64(&e, "at_step"))
+        .expect("survivor should resume from the dead worker's checkpoint");
+    assert!(
+        resumed_at >= 50 && resumed_at <= step_before + 4000,
+        "survivor resumed at step {resumed_at}, victim had reached {step_before}"
+    );
+
+    survivor.kill().expect("stop the survivor");
+    let _ = survivor.wait();
+    controller.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn controller_kill_restart_replays_acknowledged_state_exactly_once() {
+    let dir = unique_dir("ctl-kill");
+    let ctl_dir = dir.join("controller");
+    let (mut ctl, caddr) = spawn_fleet_process(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--dir",
+        ctl_dir.to_str().unwrap(),
+        "--heartbeat-ms",
+        "50",
+    ]);
+
+    // Workers live in-process so they survive the controller's death.
+    let mk_worker = |name: &str| {
+        let mut cfg = ServeConfig::new(dir.join(name));
+        cfg.worker_routes = true;
+        cfg.slice_steps = 8;
+        cfg.threads = 2;
+        let server = Server::spawn(cfg).unwrap();
+        register_worker(&dir, name, &caddr, &server);
+        server
+    };
+    let w1 = mk_worker("w1");
+    let w2 = mk_worker("w2");
+
+    let client = ServeClient::new(caddr.clone());
+    // Shorts complete before the kill; longs are mid-flight when it lands.
+    let mut ids = Vec::new();
+    for i in 0..2 {
+        ids.push(client.submit(&job(&format!("short-{i}"), 12, 48)).unwrap());
+    }
+    for i in 0..2 {
+        ids.push(client.submit(&job(&format!("long-{i}"), 40, 3000)).unwrap());
+    }
+    let completed_before: Vec<u64> = wait_fleet(
+        &client,
+        Duration::from_secs(60),
+        "shorts done, longs running",
+        |jobs| {
+            let shorts_done = jobs
+                .iter()
+                .filter(|j| field_str(j, "state") == "completed")
+                .count()
+                >= 2;
+            let long_running = jobs
+                .iter()
+                .any(|j| field_str(j, "state") == "placed" && field_u64(j, "step") >= 50);
+            shorts_done && long_running
+        },
+    )
+    .iter()
+    .filter(|j| field_str(j, "state") == "completed")
+    .map(|j| field_u64(j, "id"))
+    .collect();
+
+    // SIGKILL the controller: no drain, no journal flush beyond what the
+    // write-ahead discipline already guaranteed.
+    ctl.kill().expect("kill -9 the controller");
+    let _ = ctl.wait();
+
+    // Restart on the same state dir. The journal replays admissions,
+    // registrations, and terminals; the sync phase re-adopts the still-
+    // running local jobs from the (surviving) workers.
+    let (mut ctl2, caddr2) = spawn_fleet_process(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--dir",
+        ctl_dir.to_str().unwrap(),
+        "--heartbeat-ms",
+        "50",
+    ]);
+    let client2 = ServeClient::new(caddr2);
+
+    // Zero lost, zero duplicated, ids preserved.
+    let after = wait_fleet(
+        &client2,
+        Duration::from_secs(30),
+        "replayed job table",
+        |jobs| jobs.len() == ids.len(),
+    );
+    for id in &ids {
+        assert_eq!(
+            after.iter().filter(|j| field_u64(j, "id") == *id).count(),
+            1,
+            "job {id} lost or duplicated across the controller kill"
+        );
+    }
+    // Pre-kill terminals replay terminal — never re-run.
+    for id in &completed_before {
+        let j = after.iter().find(|j| field_u64(j, "id") == *id).unwrap();
+        assert_eq!(field_str(j, "state"), "completed");
+    }
+
+    // Everything completes; the longs keep their original fleet ids.
+    wait_fleet(
+        &client2,
+        Duration::from_secs(180),
+        "full workload after restart",
+        |jobs| jobs.iter().all(|j| field_str(j, "state") == "completed"),
+    );
+
+    // Exactly-once terminals, proven against the journal itself: one
+    // completion record per job across both controller lifetimes.
+    let (lines, _) = swlb_io::Journal::replay(&ctl_dir.join("journal")).unwrap();
+    for id in &ids {
+        let completions = lines
+            .iter()
+            .filter_map(|l| swlb_serve::json::parse(l).ok())
+            .filter(|v| field_str(v, "rec") == "completed" && field_u64(v, "id") == *id)
+            .count();
+        assert_eq!(
+            completions, 1,
+            "job {id} journaled {completions} completion records"
+        );
+    }
+
+    ctl2.kill().expect("stop the restarted controller");
+    let _ = ctl2.wait();
+    w1.shutdown();
+    w2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -56,6 +56,7 @@ fn job(name: &str, case: CaseSpec, steps: u64, priority: Priority) -> JobSpec {
         outputs: vec![],
         chaos_nan_at_step: None,
         width: 1,
+        tenant: swlb_serve::DEFAULT_TENANT.to_string(),
     }
 }
 
